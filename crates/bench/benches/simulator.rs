@@ -1,0 +1,71 @@
+//! Criterion micro-benchmarks of the DRAM-PIM simulator itself: command
+//! trace execution throughput for representative layer shapes, and the
+//! scheduler at each granularity.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pimflow::codegen::{execute_workload, generate_blocks, PimWorkload};
+use pimflow_ir::{Conv2dAttrs, Shape};
+use pimflow_pimsim::{run_channels, schedule, PimConfig, ScheduleGranularity};
+
+fn representative_workloads() -> Vec<(&'static str, PimWorkload)> {
+    vec![
+        (
+            "pw_112x112x32_to_16",
+            PimWorkload::from_conv(&Shape::nhwc(1, 112, 112, 32), &Conv2dAttrs::pointwise(16)),
+        ),
+        (
+            "pw_14x14x256_to_1024",
+            PimWorkload::from_conv(&Shape::nhwc(1, 14, 14, 256), &Conv2dAttrs::pointwise(1024)),
+        ),
+        ("fc_25088_to_4096", PimWorkload::from_dense(1, 25088, 4096)),
+        ("fc_1280_to_1000", PimWorkload::from_dense(1, 1280, 1000)),
+    ]
+}
+
+fn bench_trace_execution(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pimsim_trace_execution");
+    let cfg = PimConfig::default();
+    for (name, w) in representative_workloads() {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &w, |b, w| {
+            b.iter(|| execute_workload(w, &cfg, 16, ScheduleGranularity::Comp))
+        });
+    }
+    g.finish();
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pimsim_scheduler");
+    let cfg = PimConfig::default();
+    let w = PimWorkload::from_conv(&Shape::nhwc(1, 28, 28, 96), &Conv2dAttrs::pointwise(576));
+    let blocks = generate_blocks(&w, &cfg);
+    for (name, granularity) in [
+        ("gact", ScheduleGranularity::GAct),
+        ("readres", ScheduleGranularity::ReadRes),
+        ("comp", ScheduleGranularity::Comp),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let traces = schedule(&blocks, 16, granularity, &cfg);
+                run_channels(&cfg, &traces)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_command_set_variants(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pimsim_command_sets");
+    let w = PimWorkload::from_conv(&Shape::nhwc(1, 28, 28, 96), &Conv2dAttrs::pointwise(576));
+    for (name, cfg) in [
+        ("newton_plus", PimConfig::newton_plus()),
+        ("newton_plus_plus", PimConfig::newton_plus_plus()),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| execute_workload(&w, &cfg, 16, ScheduleGranularity::Comp))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_trace_execution, bench_scheduler, bench_command_set_variants);
+criterion_main!(benches);

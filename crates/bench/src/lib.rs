@@ -1,0 +1,10 @@
+//! # pimflow-bench
+//!
+//! Benchmark and experiment harness regenerating every table and figure of
+//! the PIMFlow paper's evaluation (§6). The [`experiments`] module holds
+//! one deterministic function per table/figure; the `figures` binary prints
+//! them and the Criterion benches time the underlying machinery.
+
+#![warn(missing_docs)]
+
+pub mod experiments;

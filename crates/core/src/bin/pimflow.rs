@@ -1,0 +1,264 @@
+//! The `pimflow` command-line driver, mirroring the artifact's top-level
+//! script (§A.5):
+//!
+//! ```text
+//! # Step 1: profile each CONV layer with the MD-DP / pipelining passes
+//! pimflow -m=profile -t=split    -n=<net>
+//! pimflow -m=profile -t=pipeline -n=<net>
+//!
+//! # Step 2: compute the optimal graph from the profiles
+//! pimflow -m=solve -n=<net>
+//!
+//! # Step 3: execute (simulate) the transformed model
+//! pimflow -m=run -n=<net> [--gpu_only] [--policy=<Newton+|Newton++|MDDP|Pipeline|PIMFlow>]
+//!
+//! # Extra: dump per-layer DRAM-PIM command traces / model statistics
+//! pimflow -m=trace -n=<net>
+//! pimflow -m=info  -n=<net>
+//! ```
+//!
+//! `<net>` is one of `toy`, `efficientnet-v1-b0`, `mobilenet-v2`,
+//! `mnasnet-1.0`, `resnet-50`, `vgg-16` (plus `bert-3`/`bert-64` and the
+//! scaled variants). Profiles and plans are stored under `pimflow-out/`,
+//! playing the role of the artifact's `PIMFlow/layerwise` and
+//! `PIMFlow/pipeline` metadata logs.
+
+use pimflow::engine::{execute, EngineConfig};
+use pimflow::policy::{evaluate, Policy};
+use pimflow::search::{apply_plan, search, ExecutionPlan, SearchOptions};
+use pimflow_ir::models;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+#[derive(Debug)]
+struct Args {
+    mode: String,
+    transform: Option<String>,
+    net: Option<String>,
+    gpu_only: bool,
+    timeline: bool,
+    policy: Policy,
+    out_dir: PathBuf,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        mode: String::new(),
+        transform: None,
+        net: None,
+        gpu_only: false,
+        timeline: false,
+        policy: Policy::Pimflow,
+        out_dir: PathBuf::from("pimflow-out"),
+    };
+    for raw in std::env::args().skip(1) {
+        let (key, value) = match raw.split_once('=') {
+            Some((k, v)) => (k.to_string(), Some(v.to_string())),
+            None => (raw.clone(), None),
+        };
+        match key.as_str() {
+            "-m" | "--mode" => args.mode = value.ok_or("-m requires a value")?,
+            "-t" | "--transform" => args.transform = value,
+            "-n" | "--net" => args.net = value,
+            "--gpu_only" | "--gpu-only" => args.gpu_only = true,
+            "--timeline" => args.timeline = true,
+            "--policy" => {
+                let v = value.ok_or("--policy requires a value")?;
+                args.policy =
+                    Policy::from_cli(&v).ok_or_else(|| format!("unknown policy `{v}`"))?;
+            }
+            "--out" => args.out_dir = PathBuf::from(value.ok_or("--out requires a value")?),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if args.mode.is_empty() {
+        return Err("missing -m=<profile|solve|run>".into());
+    }
+    Ok(args)
+}
+
+fn load_model(net: &Option<String>) -> Result<pimflow_ir::Graph, String> {
+    let name = net.as_deref().ok_or("missing -n=<net>")?;
+    models::by_name(name).ok_or_else(|| {
+        format!(
+            "unknown network `{name}` (try: toy, efficientnet-v1-b0, mobilenet-v2, \
+             mnasnet-1.0, resnet-50, vgg-16, bert-3, bert-64)"
+        )
+    })
+}
+
+fn write_json<T: serde::Serialize>(path: &Path, value: &T) -> Result<(), String> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+    }
+    let json = serde_json::to_string_pretty(value).map_err(|e| e.to_string())?;
+    std::fs::write(path, json).map_err(|e| format!("writing {}: {e}", path.display()))
+}
+
+fn profile(args: &Args) -> Result<(), String> {
+    let g = load_model(&args.net)?;
+    let cfg = EngineConfig::pimflow();
+    let kind = args.transform.as_deref().unwrap_or("split");
+    match kind {
+        "split" => {
+            let opts = SearchOptions { allow_pipeline: false, ..Default::default() };
+            let plan = search(&g, &cfg, &opts);
+            let path = args.out_dir.join("layerwise").join(format!("{}.json", g.name));
+            write_json(&path, &plan.profiles)?;
+            println!(
+                "profiled {} MD-DP candidate layers -> {}",
+                plan.profiles.len(),
+                path.display()
+            );
+        }
+        "pipeline" => {
+            let chains = pimflow::passes::find_chains(&g);
+            let rows: Vec<(String, usize, f64)> = chains
+                .iter()
+                .map(|c| {
+                    let head = g.node(c.nodes[0]).name.clone();
+                    let cost = pimflow::search::estimate_chain_pipelined_us(&g, &cfg, c, 2);
+                    (head, c.nodes.len(), cost)
+                })
+                .collect();
+            let path = args.out_dir.join("pipeline").join(format!("{}.json", g.name));
+            write_json(&path, &rows)?;
+            println!("profiled {} pipelining candidate subgraphs -> {}", rows.len(), path.display());
+        }
+        other => return Err(format!("unknown transform `{other}` (use split|pipeline)")),
+    }
+    Ok(())
+}
+
+fn solve(args: &Args) -> Result<(), String> {
+    let g = load_model(&args.net)?;
+    let cfg = args.policy.engine_config();
+    let opts = args
+        .policy
+        .search_options()
+        .ok_or("the baseline policy has nothing to solve")?;
+    let plan = search(&g, &cfg, &opts);
+    let path = args.out_dir.join("plans").join(format!("{}.json", g.name));
+    write_json(&path, &plan)?;
+    println!(
+        "optimal plan for {}: {} decisions, predicted {:.1} us -> {}",
+        g.name,
+        plan.decisions.len(),
+        plan.predicted_us,
+        path.display()
+    );
+    Ok(())
+}
+
+/// Dumps the generated DRAM-PIM command trace of every PIM-candidate layer
+/// (the artifact's trace files the Ramulator back-end replays).
+fn trace(args: &Args) -> Result<(), String> {
+    use pimflow::codegen::{generate_blocks, PimWorkload};
+    use pimflow_pimsim::{schedule, traces_to_text};
+    let g = load_model(&args.net)?;
+    let cfg = args.policy.engine_config();
+    let dir = args.out_dir.join("traces").join(&g.name);
+    std::fs::create_dir_all(&dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+    let mut count = 0;
+    for id in g.node_ids() {
+        if !g.is_pim_candidate(id) {
+            continue;
+        }
+        let w = PimWorkload::from_node(&g, id);
+        let blocks = generate_blocks(&w, &cfg.pim);
+        let traces = schedule(&blocks, cfg.pim_channels.max(1), cfg.granularity, &cfg.pim);
+        let path = dir.join(format!("{}.trace", g.node(id).name.replace("::", "_")));
+        std::fs::write(&path, traces_to_text(&traces))
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        count += 1;
+    }
+    println!("wrote {count} layer traces to {}", dir.display());
+    Ok(())
+}
+
+/// Prints model statistics and writes the Graphviz DOT rendering.
+fn info(args: &Args) -> Result<(), String> {
+    let g = load_model(&args.net)?;
+    println!("{}", g.summary());
+    println!(
+        "inter-node parallelism: {:.1}% of nodes have an independent peer",
+        pimflow_ir::analysis::independent_node_fraction(&g) * 100.0
+    );
+    let dir = args.out_dir.join("dot");
+    std::fs::create_dir_all(&dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+    let path = dir.join(format!("{}.dot", g.name));
+    std::fs::write(&path, g.to_dot()).map_err(|e| format!("writing {}: {e}", path.display()))?;
+    println!("graph rendered to {}", path.display());
+    Ok(())
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let g = load_model(&args.net)?;
+    if args.gpu_only {
+        let report = execute(&g, &EngineConfig::baseline_gpu());
+        println!(
+            "{} on GPU baseline (32 channels): {:.1} us, {:.0} uJ",
+            g.name, report.total_us, report.energy_uj
+        );
+        return Ok(());
+    }
+    // Reuse a previously solved plan if present (Step 3 after Step 2),
+    // otherwise search on the fly.
+    let plan_path = args.out_dir.join("plans").join(format!("{}.json", g.name));
+    let cfg = args.policy.engine_config();
+    let report = match std::fs::read_to_string(&plan_path) {
+        Ok(json) => {
+            let plan: ExecutionPlan =
+                serde_json::from_str(&json).map_err(|e| format!("parsing {}: {e}", plan_path.display()))?;
+            println!("using saved plan {}", plan_path.display());
+            execute(&apply_plan(&g, &plan), &cfg)
+        }
+        Err(_) => evaluate(&g, args.policy).report,
+    };
+    let base = execute(&g, &EngineConfig::baseline_gpu());
+    println!(
+        "{} under {}: {:.1} us ({:.2}x over GPU baseline), {:.0} uJ ({:.2}x)",
+        g.name,
+        args.policy.name(),
+        report.total_us,
+        base.total_us / report.total_us,
+        report.energy_uj,
+        base.energy_uj / report.energy_uj,
+    );
+    println!(
+        "  gpu busy {:.1} us, pim busy {:.1} us, {} KB moved across the channel boundary",
+        report.gpu_busy_us,
+        report.pim_busy_us,
+        report.transfer_bytes / 1024
+    );
+    if args.timeline {
+        print!("{}", pimflow::report::render_timeline(&report, 72));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("usage: pimflow -m=<profile|solve|trace|info|run> [-t=<split|pipeline>] -n=<net> [--gpu_only] [--policy=<p>] [--out=<dir>]");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match args.mode.as_str() {
+        "profile" => profile(&args),
+        "solve" => solve(&args),
+        "trace" => trace(&args),
+        "info" => info(&args),
+        "run" => run(&args),
+        other => Err(format!("unknown mode `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,341 @@
+//! DRAM-PIM command generation (§4.3.1).
+//!
+//! Lowers a CONV or FC node into [`CommandBlock`]s: the filter matrix is
+//! assumed pre-placed in the memory cell arrays (§2.2), input-matrix rows
+//! stream through the global buffers via GWRITE, and each group of
+//! `num_global_buffers` rows shares one streaming pass over the filter tile
+//! (the command-reuse optimization, §4.1). The blocks are then distributed
+//! over the PIM channels by the command scheduler and timed by the
+//! DRAM-PIM simulator.
+
+use pimflow_gpusim::GpuConfig;
+use pimflow_ir::{Conv2dAttrs, Graph, NodeId, Op, Shape};
+use pimflow_kernels::lowered_dims;
+use pimflow_pimsim::{
+    pim_energy_nj, run_channels, schedule, ChannelStats, CommandBlock, PimConfig,
+    PimEnergyParams, ScheduleGranularity,
+};
+
+/// A PIM-offloadable workload in lowered (matrix) form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PimWorkload {
+    /// Input-matrix rows to process.
+    pub rows: usize,
+    /// Reduction length per row.
+    pub k_elems: usize,
+    /// Output channels (filter-matrix columns).
+    pub out_channels: usize,
+    /// Whether GWRITE rows gather non-contiguous input (k > 1x1 conv).
+    pub strided: bool,
+    /// Contiguous input segments per row when strided (kh * kw for NHWC).
+    pub segments: usize,
+}
+
+impl PimWorkload {
+    /// Lowers a convolution over `input_shape`.
+    pub fn from_conv(input_shape: &Shape, attrs: &Conv2dAttrs) -> Self {
+        let d = lowered_dims(input_shape, attrs);
+        PimWorkload {
+            rows: d.rows,
+            k_elems: d.k_elems,
+            out_channels: d.out_channels,
+            strided: d.strided,
+            segments: (attrs.kernel.h * attrs.kernel.w).max(1),
+        }
+    }
+
+    /// Lowers a dense layer over a `[rows, features]` input.
+    pub fn from_dense(rows: usize, in_features: usize, out_features: usize) -> Self {
+        PimWorkload {
+            rows,
+            k_elems: in_features,
+            out_channels: out_features,
+            strided: false,
+            segments: 1,
+        }
+    }
+
+    /// Lowers graph node `id` (must be a PIM-candidate CONV or FC).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is not a CONV/FC or shapes are missing.
+    pub fn from_node(graph: &Graph, id: NodeId) -> Self {
+        let node = graph.node(id);
+        let in_shape = &graph
+            .value(node.inputs[0])
+            .desc
+            .as_ref()
+            .expect("shapes inferred")
+            .shape;
+        match &node.op {
+            Op::Conv2d(a) => PimWorkload::from_conv(in_shape, a),
+            Op::Dense(a) => PimWorkload::from_dense(in_shape.n(), in_shape.c(), a.out_features),
+            other => panic!("node `{}` ({other}) is not PIM-offloadable", node.name),
+        }
+    }
+
+    /// Total MAC operations of the workload.
+    pub fn macs(&self) -> u64 {
+        self.rows as u64 * self.k_elems as u64 * self.out_channels as u64
+    }
+}
+
+/// Generates the command blocks for a workload under `cfg`.
+///
+/// Each block processes up to `cfg.num_global_buffers` input rows: GWRITE
+/// fills one buffer per row, a G_ACT stream walks the filter tile once, and
+/// each activated row's column I/Os are COMPed against every live buffer
+/// before moving on (G_ACT reuse). Rows whose reduction exceeds the buffer
+/// capacity are k-tiled; the result latches accumulate across tiles so only
+/// one READRES per row group is needed.
+pub fn generate_blocks(w: &PimWorkload, cfg: &PimConfig) -> Vec<CommandBlock> {
+    if w.rows == 0 || w.k_elems == 0 || w.out_channels == 0 {
+        return Vec::new();
+    }
+    let elem_bytes = 2u32; // PIM-native f16
+    let buffer_rows = cfg.num_global_buffers.min(w.rows).max(1) as u8;
+    let k_tiles = w.k_elems.div_ceil(cfg.buffer_elems()).max(1);
+    let oc_per_bank = w.out_channels.div_ceil(cfg.banks).max(1);
+
+    // Filter elements resident per bank, and the activations/column I/Os
+    // needed to stream them once per buffer row.
+    let filter_elems_per_bank = w.k_elems * oc_per_bank;
+    let gacts = filter_elems_per_bank.div_ceil(cfg.row_elems_per_bank()).max(1) as u32;
+    let column_ios = w.k_elems.div_ceil(cfg.elems_per_column_io()) * oc_per_bank;
+    let comps_per_gact = (column_ios as u32).div_ceil(gacts).max(1);
+
+    let segments = if w.strided && !cfg.strided_gwrite {
+        w.segments
+    } else {
+        1
+    };
+    let gwrites_per_row = (k_tiles * segments).max(1) as u16;
+
+    let block = CommandBlock {
+        buffer_rows,
+        gwrite_bytes: (w.k_elems as u32) * elem_bytes,
+        gwrites_per_row,
+        gacts,
+        comps_per_gact,
+        readres_bytes: (w.out_channels as u32) * elem_bytes,
+        oc_splits: w.out_channels.min(cfg.banks) as u16,
+        // All row groups stream the same resident filter rows, so they
+        // share row ids: consecutive blocks on a channel hit the open row.
+        row_base: 0,
+    };
+
+    let groups = w.rows.div_ceil(buffer_rows as usize);
+    let mut blocks = vec![block; groups];
+    // Trim the last group to the remaining rows.
+    let rem = w.rows % buffer_rows as usize;
+    if rem != 0 {
+        if let Some(last) = blocks.last_mut() {
+            last.buffer_rows = rem as u8;
+        }
+    }
+    blocks
+}
+
+/// Result of executing a PIM workload on the simulator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PimExecution {
+    /// Wall-clock time in microseconds (slowest channel).
+    pub time_us: f64,
+    /// Merged channel statistics.
+    pub stats: ChannelStats,
+    /// Energy in microjoules.
+    pub energy_uj: f64,
+}
+
+/// Compiles and executes a workload on `channels` PIM channels, returning
+/// timing and energy.
+///
+/// # Panics
+///
+/// Panics if `channels == 0`.
+pub fn execute_workload(
+    w: &PimWorkload,
+    cfg: &PimConfig,
+    channels: usize,
+    granularity: ScheduleGranularity,
+) -> PimExecution {
+    let blocks = generate_blocks(w, cfg);
+    let traces = schedule(&blocks, channels, granularity, cfg);
+    let stats = run_channels(cfg, &traces);
+    let energy_uj =
+        pim_energy_nj(&stats, cfg, &PimEnergyParams::default(), channels) * 1e-3;
+    PimExecution {
+        time_us: cfg.cycles_to_ns(stats.cycles) * 1e-3,
+        stats,
+        energy_uj,
+    }
+}
+
+/// Convenience: PIM execution time of graph node `id` in microseconds.
+pub fn pim_node_time_us(
+    graph: &Graph,
+    id: NodeId,
+    cfg: &PimConfig,
+    channels: usize,
+) -> f64 {
+    let w = PimWorkload::from_node(graph, id);
+    execute_workload(&w, cfg, channels, ScheduleGranularity::Comp).time_us
+}
+
+/// Convenience: GPU execution time of graph node `id` (standalone launch) in
+/// microseconds with `channels` memory channels.
+pub fn gpu_node_time_us(graph: &Graph, id: NodeId, cfg: &GpuConfig, channels: usize) -> f64 {
+    let p = pimflow_gpusim::kernel_for_node(graph, id);
+    pimflow_gpusim::kernel_time_with_launch_us(&p, cfg, channels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pimflow_ir::Hw;
+
+    fn pointwise(rows_side: usize, ic: usize, oc: usize) -> PimWorkload {
+        PimWorkload::from_conv(
+            &Shape::nhwc(1, rows_side, rows_side, ic),
+            &Conv2dAttrs::pointwise(oc),
+        )
+    }
+
+    #[test]
+    fn block_generation_covers_all_rows() {
+        let w = pointwise(14, 64, 128);
+        let cfg = PimConfig::default();
+        let blocks = generate_blocks(&w, &cfg);
+        let rows: usize = blocks.iter().map(|b| b.buffer_rows as usize).sum();
+        assert_eq!(rows, 14 * 14);
+    }
+
+    #[test]
+    fn comp_count_covers_all_macs() {
+        // Every MAC must be backed by COMP capacity: comps * 256 >= macs,
+        // with padding waste bounded by the column-I/O rounding.
+        let w = pointwise(14, 64, 128);
+        let cfg = PimConfig::default();
+        let blocks = generate_blocks(&w, &cfg);
+        let comps: u64 = blocks.iter().map(|b| b.total_comps()).sum();
+        let capacity = comps * cfg.macs_per_comp() as u64;
+        assert!(capacity >= w.macs(), "capacity {capacity} < macs {}", w.macs());
+        assert!(capacity < w.macs() * 4, "excessive padding waste");
+    }
+
+    #[test]
+    fn fc_layer_is_an_order_of_magnitude_faster_on_pim_than_gpu() {
+        // The headline Newton result (§2.1): memory-bound FC layers gain
+        // ~10-20x on PIM. VGG-16's fc6: 25088 -> 4096, batch 1, 16 PIM
+        // channels vs a 32-channel GPU.
+        let w = PimWorkload::from_dense(1, 25088, 4096);
+        let pim = execute_workload(&w, &PimConfig::default(), 16, ScheduleGranularity::Comp);
+        let gpu_cfg = GpuConfig::rtx2060_like();
+        let p = pimflow_gpusim::KernelProfile::matvec(4096, 25088, 1);
+        let gpu_us = pimflow_gpusim::kernel_time_with_launch_us(&p, &gpu_cfg, 32);
+        let speedup = gpu_us / pim.time_us;
+        assert!(
+            (5.0..40.0).contains(&speedup),
+            "PIM {:.1}us vs GPU {gpu_us:.1}us (speedup {speedup:.1})",
+            pim.time_us
+        );
+    }
+
+    #[test]
+    fn newton_pp_beats_newton_p() {
+        // The PIM-command optimizations must help (Fig. 14: ~22% combined).
+        let w = pointwise(28, 96, 576);
+        let npp = execute_workload(&w, &PimConfig::newton_plus_plus(), 16, ScheduleGranularity::Comp);
+        let np = execute_workload(&w, &PimConfig::newton_plus(), 16, ScheduleGranularity::Comp);
+        assert!(
+            npp.time_us < np.time_us,
+            "Newton++ {:.1}us vs Newton+ {:.1}us",
+            npp.time_us,
+            np.time_us
+        );
+    }
+
+    #[test]
+    fn strided_conv_pays_more_gwrites_without_extension() {
+        let attrs = Conv2dAttrs {
+            out_channels: 64,
+            kernel: Hw::square(3),
+            stride: Hw::square(1),
+            padding: Hw::square(1),
+            groups: 1,
+        };
+        let w = PimWorkload::from_conv(&Shape::nhwc(1, 28, 28, 64), &attrs);
+        let mut no_ext = PimConfig::newton_plus_plus();
+        no_ext.strided_gwrite = false;
+        let blocks_ext = generate_blocks(&w, &PimConfig::newton_plus_plus());
+        let blocks_no = generate_blocks(&w, &no_ext);
+        assert_eq!(blocks_ext[0].gwrites_per_row, 1);
+        assert_eq!(blocks_no[0].gwrites_per_row, 9);
+    }
+
+    #[test]
+    fn pim_time_scales_down_with_channels() {
+        let w = pointwise(28, 96, 576);
+        let cfg = PimConfig::default();
+        let t4 = execute_workload(&w, &cfg, 4, ScheduleGranularity::Comp).time_us;
+        let t16 = execute_workload(&w, &cfg, 16, ScheduleGranularity::Comp).time_us;
+        assert!(t16 < t4 / 2.0, "4ch {t4:.1}us vs 16ch {t16:.1}us");
+    }
+
+    #[test]
+    fn big_dense_conv_favors_gpu() {
+        // A VGG-style 3x3x512 conv: the GPU should win clearly (§3 obs. 2 /
+        // Fig. 9: ResNet/VGG conv layers gain less from PIM).
+        let attrs = Conv2dAttrs {
+            out_channels: 512,
+            kernel: Hw::square(3),
+            stride: Hw::square(1),
+            padding: Hw::square(1),
+            groups: 1,
+        };
+        let shape = Shape::nhwc(1, 28, 28, 512);
+        let w = PimWorkload::from_conv(&shape, &attrs);
+        let pim = execute_workload(&w, &PimConfig::default(), 16, ScheduleGranularity::Comp);
+
+        let mut b = pimflow_ir::GraphBuilder::new("t");
+        let x = b.input(shape);
+        let y = b.conv(x, 512, 3, 1, 1);
+        let g = b.finish(y);
+        let id = g.node_ids().find(|&i| matches!(g.node(i).op, Op::Conv2d(_))).unwrap();
+        let gpu = gpu_node_time_us(&g, id, &GpuConfig::rtx2060_like(), 32);
+        assert!(
+            gpu < pim.time_us,
+            "GPU {gpu:.1}us should beat PIM {:.1}us on dense conv",
+            pim.time_us
+        );
+    }
+
+    #[test]
+    fn pointwise_conv_is_contested() {
+        // Mid-network 1x1 conv: PIM and GPU within ~3x of each other
+        // (the MD-DP split opportunity, §3 obs. 2).
+        let shape = Shape::nhwc(1, 14, 14, 256);
+        let w = PimWorkload::from_conv(&shape, &Conv2dAttrs::pointwise(1024));
+        let pim = execute_workload(&w, &PimConfig::default(), 16, ScheduleGranularity::Comp);
+
+        let mut b = pimflow_ir::GraphBuilder::new("t");
+        let x = b.input(shape);
+        let y = b.conv1x1(x, 1024);
+        let g = b.finish(y);
+        let id = g.node_ids().find(|&i| matches!(g.node(i).op, Op::Conv2d(_))).unwrap();
+        let gpu = gpu_node_time_us(&g, id, &GpuConfig::rtx2060_like(), 16);
+        let ratio = gpu / pim.time_us;
+        assert!(
+            (1.0 / 3.5..3.5).contains(&ratio),
+            "GPU {gpu:.1}us vs PIM {:.1}us (ratio {ratio:.2})",
+            pim.time_us
+        );
+    }
+
+    #[test]
+    fn empty_workload_generates_nothing() {
+        let w = PimWorkload { rows: 0, k_elems: 16, out_channels: 16, strided: false, segments: 1 };
+        assert!(generate_blocks(&w, &PimConfig::default()).is_empty());
+    }
+}

@@ -1,0 +1,228 @@
+//! Filter placement in the DRAM-PIM cell arrays.
+//!
+//! The paper's mapping (§2.2, Fig. 2) places lowered filter matrices in the
+//! memory cell arrays in advance; the command generator then only needs to
+//! know *how many* row activations stream the tile. This module makes the
+//! placement explicit — which `(bank, DRAM row)` holds which
+//! `(k-range, output-channel)` slice of the filter — serving two purposes:
+//!
+//! * it is the address-generation step a real memory controller needs (the
+//!   artifact's "memory address generation" the authors planned to move
+//!   into the compiler back-end, §5);
+//! * it cross-checks the command generator: the number of distinct DRAM
+//!   rows the placement occupies must equal the `gacts` the code generator
+//!   charges per streaming pass.
+
+use crate::codegen::PimWorkload;
+use pimflow_pimsim::PimConfig;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One placed fragment of the filter matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlacedFragment {
+    /// Bank holding the fragment.
+    pub bank: usize,
+    /// DRAM row within the bank.
+    pub row: usize,
+    /// First element offset within the row (in f16 elements).
+    pub offset: usize,
+    /// Output channel this fragment belongs to.
+    pub out_channel: usize,
+    /// Reduction-dimension range `[k_begin, k_end)` of the fragment.
+    pub k_begin: usize,
+    /// End of the reduction range.
+    pub k_end: usize,
+}
+
+impl PlacedFragment {
+    /// Elements in the fragment.
+    pub fn len(&self) -> usize {
+        self.k_end - self.k_begin
+    }
+
+    /// True if the fragment is empty (never produced by placement).
+    pub fn is_empty(&self) -> bool {
+        self.k_end <= self.k_begin
+    }
+}
+
+/// A full filter placement for one layer on one PIM channel.
+///
+/// Output channels are striped across banks (`oc mod banks`); within a
+/// bank, each output channel's k-vector is laid out contiguously, packed
+/// row after row — the layout whose streaming order the
+/// `GWRITE-G_ACT-COMP-READRES` sequence follows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FilterPlacement {
+    /// Fragments in placement order.
+    pub fragments: Vec<PlacedFragment>,
+    /// DRAM rows used in the busiest bank (= row activations per streaming
+    /// pass).
+    pub rows_used: usize,
+    /// Total filter elements placed.
+    pub elements: usize,
+}
+
+/// Places the filter matrix of `w` into the banks of one PIM channel.
+///
+/// # Panics
+///
+/// Panics if the workload is degenerate (`k_elems == 0` or
+/// `out_channels == 0`).
+pub fn place_filter(w: &PimWorkload, cfg: &PimConfig) -> FilterPlacement {
+    assert!(w.k_elems > 0 && w.out_channels > 0, "degenerate workload");
+    let row_elems = cfg.row_elems_per_bank();
+    let mut fragments = Vec::new();
+    // Per-bank write cursor: (row, offset).
+    let mut cursor: Vec<(usize, usize)> = vec![(0, 0); cfg.banks];
+
+    for oc in 0..w.out_channels {
+        let bank = oc % cfg.banks;
+        let mut k = 0;
+        while k < w.k_elems {
+            let (row, offset) = cursor[bank];
+            let space = row_elems - offset;
+            let take = space.min(w.k_elems - k);
+            fragments.push(PlacedFragment {
+                bank,
+                row,
+                offset,
+                out_channel: oc,
+                k_begin: k,
+                k_end: k + take,
+            });
+            k += take;
+            let new_offset = offset + take;
+            cursor[bank] = if new_offset == row_elems { (row + 1, 0) } else { (row, new_offset) };
+        }
+    }
+
+    let rows_used = cursor
+        .iter()
+        .map(|&(row, offset)| row + usize::from(offset > 0))
+        .max()
+        .unwrap_or(0);
+    FilterPlacement {
+        fragments,
+        rows_used,
+        elements: w.k_elems * w.out_channels,
+    }
+}
+
+impl FilterPlacement {
+    /// Checks structural invariants: fragments cover every
+    /// `(out_channel, k)` pair exactly once and never overlap within a row.
+    ///
+    /// Returns a description of the first violation, if any.
+    pub fn check(&self, w: &PimWorkload, cfg: &PimConfig) -> Option<String> {
+        let row_elems = cfg.row_elems_per_bank();
+        // Coverage per output channel.
+        let mut covered: BTreeMap<usize, usize> = BTreeMap::new();
+        for f in &self.fragments {
+            if f.is_empty() {
+                return Some(format!("empty fragment {f:?}"));
+            }
+            if f.offset + f.len() > row_elems {
+                return Some(format!("fragment overflows its row: {f:?}"));
+            }
+            if f.bank >= cfg.banks {
+                return Some(format!("fragment in nonexistent bank: {f:?}"));
+            }
+            *covered.entry(f.out_channel).or_insert(0) += f.len();
+        }
+        for oc in 0..w.out_channels {
+            match covered.get(&oc) {
+                Some(&n) if n == w.k_elems => {}
+                other => {
+                    return Some(format!(
+                        "output channel {oc} covers {other:?} of {} k-elements",
+                        w.k_elems
+                    ))
+                }
+            }
+        }
+        // No two fragments may overlap in (bank, row, offset range).
+        let mut spans: Vec<(usize, usize, usize, usize)> = self
+            .fragments
+            .iter()
+            .map(|f| (f.bank, f.row, f.offset, f.offset + f.len()))
+            .collect();
+        spans.sort_unstable();
+        for pair in spans.windows(2) {
+            let (b0, r0, _, e0) = pair[0];
+            let (b1, r1, s1, _) = pair[1];
+            if b0 == b1 && r0 == r1 && s1 < e0 {
+                return Some(format!("overlapping fragments in bank {b0} row {r0}"));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codegen::generate_blocks;
+
+    fn workload(rows: usize, k: usize, oc: usize) -> PimWorkload {
+        PimWorkload { rows, k_elems: k, out_channels: oc, strided: false, segments: 1 }
+    }
+
+    #[test]
+    fn small_filter_fits_one_row() {
+        let cfg = PimConfig::default();
+        let w = workload(16, 32, 16); // 32 elements per bank, row holds 512
+        let p = place_filter(&w, &cfg);
+        assert_eq!(p.rows_used, 1);
+        assert!(p.check(&w, &cfg).is_none(), "{:?}", p.check(&w, &cfg));
+    }
+
+    #[test]
+    fn deep_filters_span_rows() {
+        let cfg = PimConfig::default();
+        let w = workload(1, 2048, 16); // 2048 elems per bank = 4 rows
+        let p = place_filter(&w, &cfg);
+        assert_eq!(p.rows_used, 4);
+        assert!(p.check(&w, &cfg).is_none());
+    }
+
+    #[test]
+    fn many_output_channels_stripe_across_banks() {
+        let cfg = PimConfig::default();
+        let w = workload(1, 64, 256); // 16 ocs per bank x 64 elems = 2 rows
+        let p = place_filter(&w, &cfg);
+        assert_eq!(p.rows_used, 2);
+        // Every bank must be used.
+        let banks: std::collections::HashSet<usize> =
+            p.fragments.iter().map(|f| f.bank).collect();
+        assert_eq!(banks.len(), cfg.banks);
+    }
+
+    #[test]
+    fn placement_rows_match_codegen_gacts() {
+        // The cross-check: for every workload, the rows the placement uses
+        // must equal the G_ACTs the command generator charges per pass.
+        let cfg = PimConfig::default();
+        for (k, oc) in [(32, 16), (64, 384), (576, 64), (2048, 16), (25088, 4096), (1, 1), (513, 17)] {
+            let w = workload(8, k, oc);
+            let p = place_filter(&w, &cfg);
+            assert!(p.check(&w, &cfg).is_none(), "k={k} oc={oc}: {:?}", p.check(&w, &cfg));
+            let blocks = generate_blocks(&w, &cfg);
+            assert_eq!(
+                blocks[0].gacts as usize, p.rows_used,
+                "k={k} oc={oc}: codegen charges {} G_ACTs, placement needs {} rows",
+                blocks[0].gacts, p.rows_used
+            );
+        }
+    }
+
+    #[test]
+    fn check_catches_corruption() {
+        let cfg = PimConfig::default();
+        let w = workload(1, 64, 8);
+        let mut p = place_filter(&w, &cfg);
+        p.fragments.pop();
+        assert!(p.check(&w, &cfg).is_some(), "missing coverage must be caught");
+    }
+}

@@ -1,0 +1,11 @@
+//! PIM-aware graph transformation passes (§4.2.1) and cleanup
+//! canonicalizations.
+
+pub mod cleanup;
+pub mod mddp;
+pub mod pipeline;
+pub mod split_util;
+
+pub use cleanup::cleanup;
+pub use mddp::{split_node, PassError, SplitOutcome};
+pub use pipeline::{find_chains, pipeline_chain, Chain, PatternKind};

@@ -1,0 +1,61 @@
+//! Device placement markers.
+//!
+//! The original artifact "marks PIM-offloaded nodes by prefixing the node
+//! names and passing them as Relay IR attribute to trigger the DRAM
+//! back-end" (§4.3.1). We adopt the same convention: nodes whose name starts
+//! with `pim::` execute on the PIM-enabled channels, everything else on the
+//! GPU.
+
+use serde::{Deserialize, Serialize};
+
+/// Name prefix marking PIM-offloaded nodes.
+pub const PIM_PREFIX: &str = "pim::";
+
+/// Which device a node executes on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Placement {
+    /// Runs on the GPU streaming multiprocessors.
+    Gpu,
+    /// Runs on the PIM-enabled memory channels.
+    Pim,
+}
+
+impl Placement {
+    /// Placement encoded in a node name.
+    pub fn of_name(name: &str) -> Placement {
+        if name.starts_with(PIM_PREFIX) {
+            Placement::Pim
+        } else {
+            Placement::Gpu
+        }
+    }
+
+    /// Prefixes `base` so the node lands on this device.
+    pub fn tag(self, base: &str) -> String {
+        match self {
+            Placement::Gpu => base.to_string(),
+            Placement::Pim => format!("{PIM_PREFIX}{base}"),
+        }
+    }
+}
+
+impl std::fmt::Display for Placement {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Placement::Gpu => f.write_str("GPU"),
+            Placement::Pim => f.write_str("PIM"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        assert_eq!(Placement::of_name(&Placement::Pim.tag("conv_3")), Placement::Pim);
+        assert_eq!(Placement::of_name(&Placement::Gpu.tag("conv_3")), Placement::Gpu);
+        assert_eq!(Placement::of_name("conv_3"), Placement::Gpu);
+    }
+}

@@ -1,0 +1,120 @@
+//! Human-readable rendering of execution reports.
+//!
+//! Renders the two-stream (GPU + PIM) timeline of an [`ExecutionReport`] as
+//! an ASCII Gantt chart, so the overlap created by the MD-DP and pipelining
+//! transformations is visible directly in a terminal.
+//!
+//! [`ExecutionReport`]: crate::engine::ExecutionReport
+
+use crate::engine::ExecutionReport;
+use crate::placement::Placement;
+use std::fmt::Write as _;
+
+/// Renders a Gantt chart of the report's non-fused node executions.
+///
+/// `width` is the number of columns the time axis occupies (clamped to at
+/// least 20). Fused and zero-duration entries are omitted. GPU rows draw
+/// with `#`, PIM rows with `=`.
+pub fn render_timeline(report: &ExecutionReport, width: usize) -> String {
+    let width = width.max(20);
+    let total = report.total_us.max(1e-9);
+    let name_w = report
+        .timings
+        .iter()
+        .filter(|t| t.finish_us > t.start_us)
+        .map(|t| t.name.len())
+        .max()
+        .unwrap_or(8)
+        .min(36);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<name_w$}  {:>4} |{}| total {:.1} us",
+        "node",
+        "dev",
+        "-".repeat(width),
+        report.total_us
+    );
+    for t in &report.timings {
+        if t.finish_us <= t.start_us {
+            continue;
+        }
+        let from = ((t.start_us / total) * width as f64).floor() as usize;
+        let to = (((t.finish_us / total) * width as f64).ceil() as usize).min(width);
+        let to = to.max(from + 1).min(width);
+        let glyph = match t.device {
+            Placement::Gpu => '#',
+            Placement::Pim => '=',
+        };
+        let mut bar = String::with_capacity(width);
+        bar.extend(std::iter::repeat(' ').take(from));
+        bar.extend(std::iter::repeat(glyph).take(to - from));
+        bar.extend(std::iter::repeat(' ').take(width - to));
+        let mut name = t.name.clone();
+        if name.len() > name_w {
+            name.truncate(name_w - 1);
+            name.push('~');
+        }
+        let dev = match t.device {
+            Placement::Gpu => "GPU",
+            Placement::Pim => "PIM",
+        };
+        let _ = writeln!(out, "{name:<name_w$}  {dev:>4} |{bar}|");
+    }
+    let _ = writeln!(
+        out,
+        "{:<name_w$}  {:>4}  GPU busy {:.1} us, PIM busy {:.1} us, {} KB moved",
+        "",
+        "",
+        report.gpu_busy_us,
+        report.pim_busy_us,
+        report.transfer_bytes / 1024
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{execute, EngineConfig};
+    use crate::passes::split_node;
+    use pimflow_ir::models;
+
+    #[test]
+    fn timeline_renders_every_timed_node() {
+        let g = models::toy();
+        let r = execute(&g, &EngineConfig::baseline_gpu());
+        let text = render_timeline(&r, 60);
+        for t in &r.timings {
+            if t.finish_us > t.start_us {
+                let shown = t.name.chars().take(10).collect::<String>();
+                assert!(text.contains(&shown), "missing {}", t.name);
+            }
+        }
+        assert!(text.contains("total"));
+    }
+
+    #[test]
+    fn pim_rows_use_distinct_glyph() {
+        let mut g = models::toy();
+        let id = g.find_node("conv_3").unwrap();
+        split_node(&mut g, id, 0).unwrap();
+        let r = execute(&g, &EngineConfig::pimflow());
+        let text = render_timeline(&r, 60);
+        let pim_line = text.lines().find(|l| l.contains("PIM")).expect("PIM row");
+        assert!(pim_line.contains('='), "{pim_line}");
+    }
+
+    #[test]
+    fn bars_stay_within_axis() {
+        let g = models::toy();
+        let r = execute(&g, &EngineConfig::pimflow());
+        let text = render_timeline(&r, 40);
+        for line in text.lines().skip(1) {
+            if let (Some(open), Some(close)) = (line.find('|'), line.rfind('|')) {
+                assert_eq!(close - open - 1, 40, "axis width drifted: {line}");
+            }
+        }
+    }
+}

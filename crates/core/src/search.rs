@@ -1,0 +1,696 @@
+//! Execution mode and task size search (§4.2.2, Algorithm 1).
+//!
+//! For every PIM-candidate node the search profiles MD-DP splits at 10%
+//! ratio intervals (11 samples including the 0/100 full-offload endpoints),
+//! measures every pipelining candidate subgraph at each chain length, and
+//! combines the per-node/per-chain costs with dynamic programming:
+//!
+//! ```text
+//! T[i] = min( C[i][1] + T[i+1],  C[i][j] + T[i+j] )   (lines 23–28)
+//! ```
+//!
+//! The paper performs these measurements on the simulated hardware; we do
+//! the same — PIM costs come from command-trace execution on the DRAM-PIM
+//! simulator, GPU costs from the analytical GPU model — and record them in a
+//! serializable profile log, mirroring the artifact's metadata log file.
+
+use crate::codegen::{execute_workload, PimWorkload};
+use crate::engine::EngineConfig;
+use crate::passes::pipeline::{find_chains, Chain};
+use crate::placement::Placement;
+use pimflow_gpusim::{kernel_time_with_launch_us, KernelProfile};
+use pimflow_ir::{analysis, Graph, NodeId, Op};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Which execution modes the search may choose from (varies per offloading
+/// mechanism, §5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SearchOptions {
+    /// Ratio step in percent for MD-DP samples (10 in the paper). When
+    /// `offload_only` is set, only 0 and 100 are sampled.
+    pub ratio_step: u32,
+    /// Restrict MD-DP to full offload / full GPU (Newton+/Newton++ and
+    /// PIMFlow-pl behaviour).
+    pub offload_only: bool,
+    /// Whether pipelining candidates are considered.
+    pub allow_pipeline: bool,
+    /// Pipeline stage count (2 in the paper; Fig. 15 sweeps it).
+    pub pipeline_stages: usize,
+}
+
+impl Default for SearchOptions {
+    fn default() -> Self {
+        SearchOptions {
+            ratio_step: 10,
+            offload_only: false,
+            allow_pipeline: true,
+            pipeline_stages: 2,
+        }
+    }
+}
+
+/// Per-node decision chosen by the search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Decision {
+    /// Keep the node on the GPU.
+    Gpu,
+    /// MD-DP split: `gpu_percent`% of the rows on GPU (0 = full offload).
+    Split {
+        /// Percent of work on the GPU.
+        gpu_percent: u32,
+    },
+    /// Pipeline the chain starting here over `node_names` with this many
+    /// stages.
+    Pipeline {
+        /// Names of the chain nodes, in order.
+        node_names: Vec<String>,
+        /// Stage count.
+        stages: usize,
+    },
+}
+
+/// Profiled costs of one PIM-candidate layer (one artifact
+/// `PIMFlow/layerwise` record).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerProfile {
+    /// Node name.
+    pub name: String,
+    /// `(gpu_percent, estimated microseconds)` samples.
+    pub samples: Vec<(u32, f64)>,
+    /// Best sample.
+    pub best_ratio: u32,
+    /// Best time in microseconds.
+    pub best_us: f64,
+    /// Full-GPU time in microseconds.
+    pub gpu_us: f64,
+}
+
+/// The search result: per-node decisions plus the profile log.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionPlan {
+    /// Model name the plan was computed for.
+    pub model: String,
+    /// Decision per node name (nodes not listed stay on GPU).
+    pub decisions: Vec<(String, Decision)>,
+    /// Layer profiles recorded during the search.
+    pub profiles: Vec<LayerProfile>,
+    /// Predicted end-to-end time of the plan, microseconds.
+    pub predicted_us: f64,
+    /// Predicted total time attributed to PIM-candidate CONV layers under
+    /// the chosen decisions (the Fig. 9 per-layer metric; FC excluded).
+    pub conv_layer_us: f64,
+}
+
+impl ExecutionPlan {
+    /// Decision for a node name, defaulting to GPU.
+    pub fn decision(&self, name: &str) -> Decision {
+        self.decisions
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, d)| d.clone())
+            .unwrap_or(Decision::Gpu)
+    }
+
+    /// Distribution of chosen MD-DP GPU ratios over PIM-candidate layers
+    /// (Table 2): `(ratio, share)` pairs over 0,10,...,100.
+    pub fn ratio_distribution(&self) -> Vec<(u32, f64)> {
+        let mut counts: HashMap<u32, usize> = HashMap::new();
+        let mut total = 0usize;
+        for (_, d) in &self.decisions {
+            let r = match d {
+                Decision::Gpu => 100,
+                Decision::Split { gpu_percent } => *gpu_percent,
+                Decision::Pipeline { .. } => continue,
+            };
+            *counts.entry(r).or_insert(0) += 1;
+            total += 1;
+        }
+        (0..=100)
+            .step_by(10)
+            .map(|r| {
+                let c = counts.get(&r).copied().unwrap_or(0);
+                (r, if total == 0 { 0.0 } else { c as f64 / total as f64 })
+            })
+            .collect()
+    }
+}
+
+/// Shared profiling context (memoizes PIM simulations).
+struct Profiler<'g> {
+    graph: &'g Graph,
+    cfg: EngineConfig,
+    pim_memo: HashMap<PimWorkload, f64>,
+}
+
+impl<'g> Profiler<'g> {
+    fn new(graph: &'g Graph, cfg: &EngineConfig) -> Self {
+        Profiler { graph, cfg: cfg.clone(), pim_memo: HashMap::new() }
+    }
+
+    /// PIM time of `frac` of node `id`'s rows, microseconds.
+    fn pim_time(&mut self, id: NodeId, frac: f64) -> f64 {
+        let mut w = PimWorkload::from_node(self.graph, id);
+        w.rows = ((w.rows as f64 * frac).round() as usize).max(1);
+        let cfg = &self.cfg;
+        *self.pim_memo.entry(w).or_insert_with(|| {
+            execute_workload(&w, &cfg.pim, cfg.pim_channels.max(1), cfg.granularity).time_us
+        })
+    }
+
+    /// GPU time of `frac` of node `id`'s rows (standalone launch),
+    /// microseconds. Weight traffic does not scale with the split.
+    fn gpu_time(&self, id: NodeId, frac: f64) -> f64 {
+        let p = pimflow_gpusim::kernel_for_node(self.graph, id);
+        let cost = analysis::node_cost(self.graph, id);
+        let weight_bytes = cost.weight_elems as f64 * 2.0;
+        let act_bytes = (p.dram_bytes - weight_bytes).max(0.0);
+        let scaled = KernelProfile {
+            flops: p.flops * frac,
+            dram_bytes: weight_bytes + act_bytes * frac,
+            parallel_items: (p.parallel_items * frac).max(1.0),
+            ..p
+        };
+        kernel_time_with_launch_us(&scaled, &self.cfg.gpu, self.cfg.gpu_channels.max(1))
+    }
+
+    /// Result-return transfer cost for `frac` of node `id`'s output.
+    fn transfer_out(&self, id: NodeId, frac: f64) -> f64 {
+        let bytes = self
+            .graph
+            .value(self.graph.node(id).output)
+            .desc
+            .as_ref()
+            .map(|d| d.size_bytes() as f64)
+            .unwrap_or(0.0)
+            * frac;
+        self.cfg.transfer_latency_us + bytes / (self.cfg.link_gbps * 1e3)
+    }
+
+    /// Standalone GPU cost of the epilogue slice that *stops being fused*
+    /// when `frac` of node `id`'s rows leave the GPU: the MD-DP pass
+    /// replicates the epilogue per part, so only the PIM part's slice turns
+    /// into a real element-wise kernel.
+    fn defusion_penalty(&mut self, id: NodeId, frac: f64) -> f64 {
+        // AiM-style PIM activation units apply the epilogue in memory.
+        if self.cfg.pim.activation_in_pim {
+            return 0.0;
+        }
+        let succ = self.graph.successors(id);
+        if succ.len() != 1 {
+            return 0.0;
+        }
+        let next = succ[0];
+        let next_node = self.graph.node(next);
+        if !crate::engine::op_is_fusable(&next_node.op) {
+            return 0.0;
+        }
+        if next_node.inputs.len() == 1 {
+            // The MD-DP pass replicates single-input epilogues per part, so
+            // only the PIM slice becomes a standalone kernel.
+            self.gpu_time(next, frac)
+        } else {
+            // Two-input epilogues (residual Add) stay behind the concat and
+            // run standalone over the full tensor.
+            self.gpu_time(next, 1.0)
+        }
+    }
+
+    /// MD-DP cost of node `id` at `gpu_percent`, including the epilogue
+    /// de-fusion penalty on the PIM slice.
+    fn mddp_cost(&mut self, id: NodeId, gpu_percent: u32) -> f64 {
+        match gpu_percent {
+            100 => self.gpu_time(id, 1.0),
+            0 => {
+                self.pim_time(id, 1.0)
+                    + self.transfer_out(id, 1.0)
+                    + self.defusion_penalty(id, 1.0)
+            }
+            r => {
+                let f = r as f64 / 100.0;
+                let gpu = self.gpu_time(id, f);
+                let pim = self.pim_time(id, 1.0 - f) + self.transfer_out(id, 1.0 - f);
+                // The de-fused epilogue is a GPU kernel: it serializes on
+                // the GPU stream after the GPU part (and after the PIM
+                // results arrive), so it adds to the critical path rather
+                // than overlapping it.
+                gpu.max(pim) + self.defusion_penalty(id, 1.0 - f)
+            }
+        }
+    }
+
+    /// Wavefront estimate of a pipelined chain: `stages` parts, conv cells
+    /// on their device, element-wise nodes following a PIM conv charged as
+    /// standalone GPU kernels, following a GPU conv fused for free.
+    fn pipeline_cost(&mut self, chain: &Chain, stages: usize) -> f64 {
+        let mut gpu_free = 0.0f64;
+        let mut pim_free = 0.0f64;
+        // finish[p] = completion time of part p at the current chain depth.
+        let mut finish = vec![0.0f64; stages];
+        let mut prev_device = Placement::Gpu;
+        for &nid in &chain.nodes {
+            let node = self.graph.node(nid);
+            let (device, cell) = match &node.op {
+                Op::Conv2d(a) => {
+                    let device = if a.is_pointwise() { Placement::Pim } else { Placement::Gpu };
+                    let frac = 1.0 / stages as f64;
+                    let dur = match device {
+                        Placement::Pim => self.pim_time(nid, frac) + self.transfer_out(nid, frac),
+                        Placement::Gpu => self.gpu_time(nid, frac),
+                    };
+                    (device, dur)
+                }
+                _ => {
+                    // Element-wise rider: free when fused behind a GPU conv,
+                    // a small bandwidth-bound kernel after a PIM conv.
+                    if prev_device == Placement::Gpu {
+                        (Placement::Gpu, 0.0)
+                    } else {
+                        let dur = self.gpu_time(nid, 1.0 / stages as f64);
+                        (Placement::Gpu, dur)
+                    }
+                }
+            };
+            for p in 0..stages {
+                let ready = finish[p];
+                let start = match device {
+                    Placement::Gpu => ready.max(gpu_free),
+                    Placement::Pim => ready.max(pim_free),
+                };
+                let end = start + cell;
+                match device {
+                    Placement::Gpu => gpu_free = end,
+                    Placement::Pim => pim_free = end,
+                }
+                finish[p] = end;
+            }
+            prev_device = device;
+        }
+        // The concat joining the final parts breaks epilogue fusion for the
+        // node that follows the chain, exactly as in the MD-DP case.
+        let last_conv = *chain.nodes.last().expect("chain non-empty");
+        finish[stages - 1] + self.defusion_penalty(last_conv, 1.0)
+    }
+}
+
+/// Public cost-model access for harnesses (Fig. 10/11 style analyses):
+/// estimated time of `chain` when pipelined with `stages` stages.
+pub fn estimate_chain_pipelined_us(
+    graph: &Graph,
+    cfg: &EngineConfig,
+    chain: &Chain,
+    stages: usize,
+) -> f64 {
+    let mut p = Profiler::new(graph, cfg);
+    p.pipeline_cost(chain, stages.max(2))
+}
+
+/// Estimated best MD-DP time of node `id` (minimum over the 10% ratio grid,
+/// including full offload and full GPU), for harness-level comparisons.
+pub fn estimate_node_best_us(graph: &Graph, cfg: &EngineConfig, id: NodeId) -> f64 {
+    let mut p = Profiler::new(graph, cfg);
+    if graph.is_pim_candidate(id) && cfg.pim_channels > 0 {
+        (0..=100)
+            .step_by(10)
+            .map(|r| p.mddp_cost(id, r))
+            .fold(f64::INFINITY, f64::min)
+    } else {
+        p.gpu_time(id, 1.0)
+    }
+}
+
+/// Baseline (GPU-resident) cost of a node inside the model timeline:
+/// fused epilogues and optimized-away data movement cost nothing.
+fn solo_gpu_cost(p: &mut Profiler<'_>, id: NodeId, fused_after_conv: bool) -> f64 {
+    let graph = p.graph;
+    if crate::memopt::is_data_move(graph, id) {
+        let bytes = crate::memopt::data_move_bytes(graph, id, p.cfg.memopt);
+        if bytes == 0 {
+            return 0.0;
+        }
+        return bytes as f64 / p.cfg.gpu.mem_bandwidth(p.cfg.gpu_channels.max(1)) * 1e6
+            + p.cfg.gpu.kernel_launch_us;
+    }
+    if fused_after_conv && crate::engine::op_is_fusable(&graph.node(id).op) {
+        return 0.0;
+    }
+    p.gpu_time(id, 1.0)
+}
+
+/// Runs the execution mode and task size search over `graph`.
+///
+/// Returns the chosen plan. Costs are measured with the hardware models in
+/// `cfg`; `opts` restricts the mode space per offloading mechanism.
+pub fn search(graph: &Graph, cfg: &EngineConfig, opts: &SearchOptions) -> ExecutionPlan {
+    let order = graph.topo_order().expect("graph must be acyclic");
+    let n = order.len();
+    let index_of: HashMap<NodeId, usize> =
+        order.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+    let mut profiler = Profiler::new(graph, cfg);
+
+    // Whether each node fuses into its producer in the all-GPU timeline
+    // (mirrors the engine: element-wise ops fuse into any GPU compute
+    // kernel; only data-movement views and graph inputs break fusion).
+    let mut conv_like: HashMap<NodeId, bool> = HashMap::new();
+    for &id in &order {
+        let node = graph.node(id);
+        let after_kernel = node
+            .inputs
+            .first()
+            .and_then(|v| graph.producer(*v))
+            .map(|p| !crate::memopt::is_data_move(graph, p))
+            .unwrap_or(false);
+        let fusable = crate::engine::op_is_fusable(&node.op) && after_kernel;
+        conv_like.insert(id, fusable);
+    }
+
+    // Single-node costs: lines 1-7 of Algorithm 1.
+    let mut single_cost = vec![0.0f64; n];
+    let mut single_decision: Vec<Decision> = vec![Decision::Gpu; n];
+    let mut profiles = Vec::new();
+    for (i, &id) in order.iter().enumerate() {
+        let fused = *conv_like.get(&id).unwrap_or(&false);
+        let gpu_only = solo_gpu_cost(&mut profiler, id, fused);
+        if graph.is_pim_candidate(id) && cfg.pim_channels > 0 {
+            // Nodes whose split axis is degenerate (1x1 spatial convs in
+            // squeeze-excite blocks, width-1 FCs) only offer the offload
+            // endpoints.
+            let splittable = match &graph.node(id).op {
+                Op::Conv2d(_) => graph
+                    .value(graph.node(id).output)
+                    .desc
+                    .as_ref()
+                    .map(|d| d.shape.h() >= 2)
+                    .unwrap_or(false),
+                Op::Dense(a) => {
+                    let rows = graph
+                        .value(graph.node(id).inputs[0])
+                        .desc
+                        .as_ref()
+                        .map(|d| d.shape.n())
+                        .unwrap_or(1);
+                    rows >= 2 || a.out_features >= 2
+                }
+                _ => false,
+            };
+            let ratios: Vec<u32> = if opts.offload_only || !splittable {
+                vec![0, 100]
+            } else {
+                (0..=100).step_by(opts.ratio_step.max(1) as usize).collect()
+            };
+            let mut samples = Vec::with_capacity(ratios.len());
+            let mut best = (100u32, gpu_only);
+            for r in ratios {
+                let t = profiler.mddp_cost(id, r);
+                samples.push((r, t));
+                if t < best.1 {
+                    best = (r, t);
+                }
+            }
+            profiles.push(LayerProfile {
+                name: graph.node(id).name.clone(),
+                samples,
+                best_ratio: best.0,
+                best_us: best.1,
+                gpu_us: gpu_only,
+            });
+            single_cost[i] = best.1;
+            single_decision[i] = if best.0 == 100 {
+                Decision::Gpu
+            } else {
+                Decision::Split { gpu_percent: best.0 }
+            };
+        } else {
+            single_cost[i] = gpu_only;
+        }
+    }
+
+    // Pipeline candidates: lines 8-15. A chain is usable when its nodes are
+    // contiguous in the topo order (the DP walks that order).
+    let mut chain_options: HashMap<usize, Vec<(Chain, f64)>> = HashMap::new();
+    if opts.allow_pipeline && cfg.pim_channels > 0 {
+        for chain in find_chains(graph) {
+            let start = index_of[&chain.nodes[0]];
+            let contiguous = chain
+                .nodes
+                .iter()
+                .enumerate()
+                .all(|(k, nid)| index_of[nid] == start + k);
+            if !contiguous {
+                continue;
+            }
+            let cost = profiler.pipeline_cost(&chain, opts.pipeline_stages.max(2));
+            chain_options.entry(start).or_default().push((chain, cost));
+        }
+    }
+
+    // DP combine: lines 23-28 (suffix form over the topo order).
+    let mut t = vec![0.0f64; n + 1];
+    let mut choice: Vec<Option<usize>> = vec![None; n]; // chain index used at i
+    for i in (0..n).rev() {
+        let mut best = single_cost[i] + t[i + 1];
+        let mut best_choice = None;
+        if let Some(chains) = chain_options.get(&i) {
+            for (k, (chain, cost)) in chains.iter().enumerate() {
+                let len = chain.nodes.len();
+                let total = cost + t[i + len];
+                if total < best {
+                    best = total;
+                    best_choice = Some(k);
+                }
+            }
+        }
+        t[i] = best;
+        choice[i] = best_choice;
+    }
+
+    // Reconstruct decisions and attribute conv-layer time (Fig. 9 top).
+    let mut decisions = Vec::new();
+    let mut conv_layer_us = 0.0f64;
+    let mut i = 0usize;
+    while i < n {
+        let id = order[i];
+        let name = graph.node(id).name.clone();
+        if let Some(k) = choice[i] {
+            let (chain, cost) = &chain_options[&i][k];
+            // Attribute only the candidate-conv share of the chain to the
+            // Fig. 9 conv metric: subtract what the chain's non-candidate
+            // members (DW convs, element-wise) would have cost anyway.
+            let rider_cost: f64 = chain
+                .nodes
+                .iter()
+                .filter(|nid| {
+                    !(matches!(graph.node(**nid).op, Op::Conv2d(_))
+                        && graph.is_pim_candidate(**nid))
+                })
+                .map(|nid| single_cost[index_of[nid]])
+                .sum();
+            conv_layer_us += (cost - rider_cost).max(0.0);
+            decisions.push((
+                name,
+                Decision::Pipeline {
+                    node_names: chain
+                        .nodes
+                        .iter()
+                        .map(|&nid| graph.node(nid).name.clone())
+                        .collect(),
+                    stages: opts.pipeline_stages.max(2),
+                },
+            ));
+            i += chain.nodes.len();
+        } else {
+            if matches!(graph.node(id).op, Op::Conv2d(_)) && graph.is_pim_candidate(id) {
+                conv_layer_us += single_cost[i];
+            }
+            if single_decision[i] != Decision::Gpu {
+                decisions.push((name, single_decision[i].clone()));
+            }
+            i += 1;
+        }
+    }
+
+    ExecutionPlan {
+        model: graph.name.clone(),
+        decisions,
+        profiles,
+        predicted_us: t[0],
+        conv_layer_us,
+    }
+}
+
+/// Applies `plan` to a fresh copy of `graph`, returning the transformed
+/// graph ready for the execution engine.
+///
+/// # Errors
+///
+/// Returns [`crate::passes::PassError`] if the plan references nodes that
+/// do not exist in `graph` or a decision cannot be applied (plans are only
+/// valid for the graph they were computed on).
+pub fn try_apply_plan(
+    graph: &Graph,
+    plan: &ExecutionPlan,
+) -> Result<Graph, crate::passes::PassError> {
+    use crate::passes::PassError;
+    let mut out = graph.clone();
+    for (name, decision) in &plan.decisions {
+        match decision {
+            Decision::Gpu => {}
+            Decision::Split { gpu_percent } => {
+                let id = out.find_node(name).ok_or_else(|| {
+                    PassError::NotApplicable(format!("plan references unknown node `{name}`"))
+                })?;
+                crate::passes::split_node(&mut out, id, *gpu_percent)?;
+            }
+            Decision::Pipeline { node_names, stages } => {
+                let chain = find_chains(&out)
+                    .into_iter()
+                    .find(|c| {
+                        c.nodes.len() == node_names.len()
+                            && c.nodes
+                                .iter()
+                                .zip(node_names)
+                                .all(|(&nid, n)| &out.node(nid).name == n)
+                    })
+                    .ok_or_else(|| {
+                        PassError::NotApplicable(format!(
+                            "plan references unknown chain at `{name}`"
+                        ))
+                    })?;
+                crate::passes::pipeline_chain(&mut out, &chain, *stages)?;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Applies `plan` to a fresh copy of `graph`, returning the transformed
+/// graph ready for the execution engine.
+///
+/// # Panics
+///
+/// Panics if the plan cannot be applied; use [`try_apply_plan`] to handle
+/// that gracefully.
+pub fn apply_plan(graph: &Graph, plan: &ExecutionPlan) -> Graph {
+    try_apply_plan(graph, plan).unwrap_or_else(|e| panic!("applying plan: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::execute;
+    use pimflow_ir::{models, Op};
+    use pimflow_kernels::{input_tensors, run_graph};
+
+    fn pimflow_cfg() -> EngineConfig {
+        EngineConfig::pimflow()
+    }
+
+    #[test]
+    fn search_produces_offload_decisions_for_toy() {
+        let g = models::toy();
+        let plan = search(&g, &pimflow_cfg(), &SearchOptions::default());
+        assert!(!plan.decisions.is_empty(), "toy model should offload something");
+        assert!(plan.predicted_us > 0.0);
+        assert!(!plan.profiles.is_empty());
+    }
+
+    #[test]
+    fn profiles_have_eleven_samples_at_default_step() {
+        let g = models::toy();
+        let plan = search(&g, &pimflow_cfg(), &SearchOptions::default());
+        for p in &plan.profiles {
+            assert_eq!(p.samples.len(), 11, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn offload_only_restricts_ratios() {
+        let g = models::toy();
+        let opts = SearchOptions { offload_only: true, allow_pipeline: false, ..Default::default() };
+        let plan = search(&g, &pimflow_cfg(), &opts);
+        for (_, d) in &plan.decisions {
+            match d {
+                Decision::Split { gpu_percent } => assert_eq!(*gpu_percent, 0),
+                Decision::Gpu => {}
+                Decision::Pipeline { .. } => panic!("pipeline disabled"),
+            }
+        }
+    }
+
+    #[test]
+    fn plan_applies_and_preserves_semantics() {
+        let g = models::toy();
+        let plan = search(&g, &pimflow_cfg(), &SearchOptions::default());
+        let transformed = apply_plan(&g, &plan);
+        transformed.validate().unwrap();
+        let inputs = input_tensors(&g, 5);
+        let a = run_graph(&g, &inputs).unwrap();
+        let b = run_graph(&transformed, &inputs).unwrap();
+        assert!(a[0].allclose(&b[0], 1e-4), "diff {}", a[0].max_abs_diff(&b[0]));
+    }
+
+    #[test]
+    fn plan_execution_beats_gpu_baseline_on_toy() {
+        let g = models::toy();
+        let plan = search(&g, &pimflow_cfg(), &SearchOptions::default());
+        let transformed = apply_plan(&g, &plan);
+        let base = execute(&g, &EngineConfig::baseline_gpu());
+        let opt = execute(&transformed, &pimflow_cfg());
+        assert!(
+            opt.total_us < base.total_us,
+            "PIMFlow {:.1}us vs baseline {:.1}us",
+            opt.total_us,
+            base.total_us
+        );
+    }
+
+    #[test]
+    fn search_is_deterministic() {
+        let g = models::toy();
+        let a = search(&g, &pimflow_cfg(), &SearchOptions::default());
+        let b = search(&g, &pimflow_cfg(), &SearchOptions::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dp_never_worse_than_all_gpu() {
+        let g = models::toy();
+        let plan = search(&g, &pimflow_cfg(), &SearchOptions::default());
+        let all_gpu: f64 = {
+            let mut p = Profiler::new(&g, &pimflow_cfg());
+            let order = g.topo_order().unwrap();
+            let mut conv_seen = false;
+            order
+                .iter()
+                .map(|&id| {
+                    let fused = conv_seen && crate::engine::op_is_fusable(&g.node(id).op);
+                    conv_seen = matches!(g.node(id).op, Op::Conv2d(_) | Op::Dense(_)) || fused;
+                    solo_gpu_cost(&mut p, id, fused)
+                })
+                .sum()
+        };
+        assert!(plan.predicted_us <= all_gpu + 1e-9);
+    }
+
+    #[test]
+    fn ratio_distribution_sums_to_one() {
+        let g = models::toy();
+        let plan = search(&g, &pimflow_cfg(), &SearchOptions::default());
+        let dist = plan.ratio_distribution();
+        let total: f64 = dist.iter().map(|(_, s)| s).sum();
+        if plan.decisions.iter().any(|(_, d)| !matches!(d, Decision::Pipeline { .. })) {
+            assert!((total - 1.0).abs() < 1e-9, "total {total}");
+        }
+    }
+
+    #[test]
+    fn plan_serializes_roundtrip() {
+        let g = models::toy();
+        let plan = search(&g, &pimflow_cfg(), &SearchOptions::default());
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: ExecutionPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(plan.model, back.model);
+        assert_eq!(plan.decisions, back.decisions);
+        assert_eq!(plan.profiles.len(), back.profiles.len());
+    }
+}

@@ -1,0 +1,103 @@
+//! End-to-end test of the `pimflow` CLI: the artifact's three-step workflow
+//! (profile -> solve -> run) against the Toy network.
+
+use std::process::Command;
+
+fn pimflow(args: &[&str], dir: &std::path::Path) -> (bool, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_pimflow"))
+        .args(args)
+        .current_dir(dir)
+        .output()
+        .expect("binary runs");
+    let text = format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (out.status.success(), text)
+}
+
+#[test]
+fn artifact_workflow_profile_solve_run() {
+    let dir = std::env::temp_dir().join(format!("pimflow-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Step 1: profile with both transformation passes.
+    let (ok, out) = pimflow(&["-m=profile", "-t=split", "-n=toy"], &dir);
+    assert!(ok, "{out}");
+    assert!(out.contains("MD-DP candidate layers"), "{out}");
+    let (ok, out) = pimflow(&["-m=profile", "-t=pipeline", "-n=toy"], &dir);
+    assert!(ok, "{out}");
+
+    // Step 2: compute the optimal graph.
+    let (ok, out) = pimflow(&["-m=solve", "-n=toy"], &dir);
+    assert!(ok, "{out}");
+    assert!(out.contains("optimal plan"), "{out}");
+    assert!(dir.join("pimflow-out/plans/toy.json").exists());
+
+    // Step 3: run, both GPU-only and with the saved plan.
+    let (ok, out) = pimflow(&["-m=run", "-n=toy", "--gpu_only"], &dir);
+    assert!(ok, "{out}");
+    assert!(out.contains("GPU baseline"), "{out}");
+    let (ok, out) = pimflow(&["-m=run", "-n=toy"], &dir);
+    assert!(ok, "{out}");
+    assert!(out.contains("using saved plan"), "{out}");
+    assert!(out.contains("PIMFlow"), "{out}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn trace_mode_writes_parseable_traces() {
+    let dir = std::env::temp_dir().join(format!("pimflow-trace-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let (ok, out) = pimflow(&["-m=trace", "-n=toy"], &dir);
+    assert!(ok, "{out}");
+    let trace_dir = dir.join("pimflow-out/traces/toy");
+    let mut found = 0;
+    for entry in std::fs::read_dir(&trace_dir).unwrap() {
+        let path = entry.unwrap().path();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let traces = pimflow_pimsim::parse_traces(&text).expect("trace parses");
+        assert!(!traces.is_empty());
+        found += 1;
+    }
+    assert!(found >= 4, "expected traces for every candidate layer, got {found}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn info_mode_prints_summary_and_writes_dot() {
+    let dir = std::env::temp_dir().join(format!("pimflow-info-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let (ok, out) = pimflow(&["-m=info", "-n=toy"], &dir);
+    assert!(ok, "{out}");
+    assert!(out.contains("MMACs"), "{out}");
+    let dot = std::fs::read_to_string(dir.join("pimflow-out/dot/toy.dot")).unwrap();
+    assert!(dot.starts_with("digraph"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn unknown_model_fails_cleanly() {
+    let dir = std::env::temp_dir();
+    let (ok, out) = pimflow(&["-m=run", "-n=alexnet"], &dir);
+    assert!(!ok);
+    assert!(out.contains("unknown network"), "{out}");
+}
+
+#[test]
+fn bad_arguments_fail_cleanly() {
+    let dir = std::env::temp_dir();
+    let (ok, out) = pimflow(&["--frobnicate"], &dir);
+    assert!(!ok);
+    assert!(out.contains("usage"), "{out}");
+}
+
+#[test]
+fn policy_selection_works() {
+    let dir = std::env::temp_dir();
+    let (ok, out) = pimflow(&["-m=run", "-n=toy", "--policy=Newton++"], &dir);
+    assert!(ok, "{out}");
+    assert!(out.contains("Newton++"), "{out}");
+}

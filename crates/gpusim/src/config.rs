@@ -1,0 +1,106 @@
+//! GPU hardware configuration presets.
+//!
+//! The paper simulates an NVIDIA GeForce RTX 2060 with Accel-Sim for the
+//! main evaluation and a Titan V (24 memory channels) for the Fig. 8
+//! simulator validation. We reproduce both as analytical presets: the
+//! latency model only needs peak throughput, per-channel bandwidth, and
+//! kernel-launch overhead.
+
+use serde::{Deserialize, Serialize};
+
+/// Analytical GPU model parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpuConfig {
+    /// Number of streaming multiprocessors.
+    pub sm_count: usize,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// FP16 FLOPs per SM per clock (FMA lanes x 2).
+    pub flops_per_sm_clock: f64,
+    /// Total memory channels available to the GPU when no channels are
+    /// dedicated to PIM.
+    pub total_channels: usize,
+    /// DRAM bandwidth per channel in GB/s.
+    pub gbps_per_channel: f64,
+    /// Fraction of peak DRAM bandwidth achievable by well-behaved kernels.
+    pub mem_efficiency: f64,
+    /// Fixed launch + driver overhead per kernel, microseconds.
+    pub kernel_launch_us: f64,
+    /// Dynamic energy per FLOP, picojoules (AccelWattch-style).
+    pub dynamic_pj_per_flop: f64,
+    /// Dynamic energy per DRAM byte, picojoules.
+    pub dram_pj_per_byte: f64,
+    /// Static (idle + leakage) power in watts, charged for wall-clock time.
+    pub static_w: f64,
+}
+
+impl GpuConfig {
+    /// RTX 2060-class preset with the paper's 32-channel GDDR6 memory
+    /// (§5: "Baseline: GPU-only execution with a 32-channel memory").
+    pub fn rtx2060_like() -> Self {
+        GpuConfig {
+            sm_count: 30,
+            clock_ghz: 1.68,
+            flops_per_sm_clock: 256.0, // 128 FP16 FMA lanes
+            total_channels: 32,
+            gbps_per_channel: 16.0, // 512 GB/s aggregate
+            mem_efficiency: 0.75,
+            kernel_launch_us: 1.5,
+            dynamic_pj_per_flop: 4.0,
+            dram_pj_per_byte: 20.0,
+            static_w: 55.0,
+        }
+    }
+
+    /// Titan V-class preset (24 HBM2 channels) used to reproduce the Fig. 8
+    /// validation experiment.
+    pub fn titan_v_like() -> Self {
+        GpuConfig {
+            sm_count: 80,
+            clock_ghz: 1.455,
+            flops_per_sm_clock: 256.0,
+            total_channels: 24,
+            gbps_per_channel: 27.0, // ~650 GB/s aggregate
+            mem_efficiency: 0.75,
+            kernel_launch_us: 1.5,
+            dynamic_pj_per_flop: 4.0,
+            dram_pj_per_byte: 16.0,
+            static_w: 90.0,
+        }
+    }
+
+    /// Peak FP16 throughput in FLOP/s.
+    pub fn peak_flops(&self) -> f64 {
+        self.sm_count as f64 * self.clock_ghz * 1e9 * self.flops_per_sm_clock
+    }
+
+    /// Effective DRAM bandwidth in bytes/s when `channels` memory channels
+    /// serve the GPU.
+    pub fn mem_bandwidth(&self, channels: usize) -> f64 {
+        channels as f64 * self.gbps_per_channel * 1e9 * self.mem_efficiency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rtx2060_peak_is_about_13_tflops() {
+        let tflops = GpuConfig::rtx2060_like().peak_flops() / 1e12;
+        assert!((11.0..15.0).contains(&tflops), "{tflops}");
+    }
+
+    #[test]
+    fn bandwidth_scales_with_channels() {
+        let c = GpuConfig::rtx2060_like();
+        assert!((c.mem_bandwidth(32) / c.mem_bandwidth(16) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn titan_v_has_more_bandwidth() {
+        let t = GpuConfig::titan_v_like();
+        let r = GpuConfig::rtx2060_like();
+        assert!(t.mem_bandwidth(24) > r.mem_bandwidth(32));
+    }
+}

@@ -1,0 +1,36 @@
+//! # pimflow-gpusim
+//!
+//! Analytical GPU timing + energy model: the Rust substitute for the
+//! paper's Accel-Sim (GPU traces) and AccelWattch (GPU power) components.
+//!
+//! The model summarizes each graph node as a [`KernelProfile`] and computes
+//! `latency = max(compute, memory) + launch` with a shape-dependent SM
+//! efficiency. Memory time scales with the number of DRAM channels assigned
+//! to the GPU, which is what the channel-partitioning experiments (Fig. 3,
+//! Fig. 13) sweep.
+//!
+//! ## Example
+//!
+//! ```
+//! use pimflow_gpusim::{kernel_for_node, kernel_time_with_launch_us, GpuConfig};
+//! use pimflow_ir::models;
+//!
+//! let g = models::toy();
+//! let cfg = GpuConfig::rtx2060_like();
+//! let id = g.topo_order().unwrap()[0];
+//! let t = kernel_time_with_launch_us(&kernel_for_node(&g, id), &cfg, 32);
+//! assert!(t > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod config;
+pub mod kernel;
+pub mod model;
+
+pub use config::GpuConfig;
+pub use kernel::{kernel_for_node, KernelKind, KernelProfile};
+pub use model::{
+    kernel_energy_uj, kernel_time_us, kernel_time_with_launch_us, sm_efficiency,
+};

@@ -1,0 +1,240 @@
+//! GPU latency and energy model.
+//!
+//! `latency = max(compute, memory) + launch`, the classic roofline with a
+//! shape-dependent SM-efficiency term. The efficiency heuristic encodes the
+//! regimes the paper's preliminary analysis (§3) observes on real hardware:
+//!
+//! * dense convolutions with deep channels run near peak (GPU wins);
+//! * 1x1 convolutions achieve moderate efficiency (GPU and PIM within a
+//!   close range — the MD-DP opportunity);
+//! * depthwise convolutions and batch-1 FC layers are bandwidth-bound
+//!   (PIM wins by an order of magnitude).
+
+use crate::config::GpuConfig;
+use crate::kernel::{KernelKind, KernelProfile};
+
+/// Saturating utilization term: `x / (x + half)` — 0.5 at `x == half`.
+fn sat(x: f64, half: f64) -> f64 {
+    x / (x + half)
+}
+
+/// SM efficiency (fraction of peak FP16 FLOPs) for a kernel.
+///
+/// Calibrated against public cuDNN benchmarks at the regime level: large
+/// dense convs reach ~50% of FP16 peak, GEMM-shaped 1x1 convs ~10-35%
+/// depending on reduction depth and output count (mobile-CNN shapes are
+/// notoriously inefficient on GPUs — the Fig. 1 motivation), depthwise
+/// convs <10% (bandwidth-bound).
+pub fn sm_efficiency(p: &KernelProfile) -> f64 {
+    match p.kind {
+        KernelKind::ConvRegular => 0.65 * sat(p.parallel_items, 6144.0) * sat(p.inner_dim, 64.0),
+        KernelKind::ConvPointwise => 0.42 * sat(p.parallel_items, 16384.0) * sat(p.inner_dim, 192.0),
+        KernelKind::ConvDepthwise => 0.08 * sat(p.parallel_items, 4096.0),
+        KernelKind::Dense => 0.55 * sat(p.parallel_items, 16384.0) * sat(p.inner_dim, 128.0),
+        KernelKind::Elementwise | KernelKind::Pool | KernelKind::DataMove => 0.25,
+    }
+}
+
+/// Kernel execution time in microseconds, **excluding** launch overhead,
+/// when `channels` memory channels serve the GPU.
+///
+/// # Panics
+///
+/// Panics if `channels == 0`.
+pub fn kernel_time_us(p: &KernelProfile, cfg: &GpuConfig, channels: usize) -> f64 {
+    assert!(channels > 0, "GPU needs at least one memory channel");
+    let compute_s = if p.flops > 0.0 {
+        p.flops / (cfg.peak_flops() * sm_efficiency(p).max(1e-3) * p.algo_speedup.max(1.0))
+    } else {
+        0.0
+    };
+    let mem_s = p.dram_bytes / cfg.mem_bandwidth(channels);
+    compute_s.max(mem_s) * 1e6
+}
+
+/// Kernel execution time including the fixed launch overhead (standalone
+/// launch; the execution engine omits the overhead for fused epilogues).
+pub fn kernel_time_with_launch_us(p: &KernelProfile, cfg: &GpuConfig, channels: usize) -> f64 {
+    kernel_time_us(p, cfg, channels) + cfg.kernel_launch_us
+}
+
+/// Dynamic + static energy of executing the kernel, in microjoules.
+///
+/// `wall_us` is the wall-clock time the GPU is held busy/idle for this
+/// kernel (usually the kernel time, but under mixed-parallel execution the
+/// engine passes the overlapped interval).
+pub fn kernel_energy_uj(p: &KernelProfile, cfg: &GpuConfig, wall_us: f64) -> f64 {
+    let dynamic_uj = (p.flops * cfg.dynamic_pj_per_flop + p.dram_bytes * cfg.dram_pj_per_byte) * 1e-6;
+    let static_uj = cfg.static_w * wall_us; // W * us = uJ
+    dynamic_uj + static_uj
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pimflow_ir::{models, Op};
+
+    fn cfg() -> GpuConfig {
+        GpuConfig::rtx2060_like()
+    }
+
+    #[test]
+    fn dense_conv_is_compute_bound_and_efficient() {
+        // VGG-style 3x3x256 conv on 56x56.
+        let p = KernelProfile {
+            kind: KernelKind::ConvRegular,
+            flops: 2.0 * 56.0 * 56.0 * 256.0 * 9.0 * 256.0,
+            dram_bytes: 2.0 * (56.0 * 56.0 * 256.0 * 2.0 + 9.0 * 256.0 * 256.0),
+            parallel_items: 56.0 * 56.0 * 256.0,
+            inner_dim: 9.0 * 256.0,
+            algo_speedup: 1.0,
+        };
+        assert!(sm_efficiency(&p) > 0.5);
+        let t = kernel_time_us(&p, &cfg(), 32);
+        let mem_only = p.dram_bytes / cfg().mem_bandwidth(32) * 1e6;
+        assert!(t > mem_only, "should be compute bound");
+    }
+
+    #[test]
+    fn batch1_fc_is_memory_bound() {
+        let p = KernelProfile::matvec(4096, 25088, 1);
+        let t = kernel_time_us(&p, &cfg(), 32);
+        let mem_only = p.dram_bytes / cfg().mem_bandwidth(32) * 1e6;
+        assert!((t - mem_only).abs() / mem_only < 1e-6, "FC must be bandwidth bound");
+    }
+
+    #[test]
+    fn fewer_channels_slow_memory_bound_kernels() {
+        let p = KernelProfile::matvec(4096, 4096, 1);
+        let t32 = kernel_time_us(&p, &cfg(), 32);
+        let t16 = kernel_time_us(&p, &cfg(), 16);
+        assert!((t16 / t32 - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn fewer_channels_barely_affect_compute_bound_kernels() {
+        // Fig. 3: compute-intensive models are not noticeably impacted even
+        // when channels are halved.
+        let p = KernelProfile {
+            kind: KernelKind::ConvRegular,
+            flops: 1e9,
+            dram_bytes: 4e6,
+            parallel_items: 1e6,
+            inner_dim: 1024.0,
+            algo_speedup: 1.0,
+        };
+        let t32 = kernel_time_us(&p, &cfg(), 32);
+        let t16 = kernel_time_us(&p, &cfg(), 16);
+        assert!(t16 / t32 < 1.05, "ratio {}", t16 / t32);
+    }
+
+    #[test]
+    fn depthwise_is_inefficient() {
+        let p = KernelProfile {
+            kind: KernelKind::ConvDepthwise,
+            flops: 1e8,
+            dram_bytes: 1e6,
+            parallel_items: 1e5,
+            inner_dim: 9.0,
+            algo_speedup: 1.0,
+        };
+        assert!(sm_efficiency(&p) < 0.15);
+    }
+
+    #[test]
+    fn toy_model_end_to_end_time_is_positive_and_finite() {
+        let g = models::toy();
+        let mut total = 0.0;
+        for id in g.topo_order().unwrap() {
+            let p = crate::kernel::kernel_for_node(&g, id);
+            total += kernel_time_with_launch_us(&p, &cfg(), 32);
+        }
+        assert!(total.is_finite() && total > 0.0);
+    }
+
+    #[test]
+    fn energy_grows_with_time_and_work() {
+        let p = KernelProfile::matvec(1024, 1024, 1);
+        let e1 = kernel_energy_uj(&p, &cfg(), 10.0);
+        let e2 = kernel_energy_uj(&p, &cfg(), 20.0);
+        assert!(e2 > e1);
+    }
+
+    #[test]
+    fn efficiency_is_monotone_in_shape() {
+        // More parallelism and deeper reductions never reduce efficiency.
+        let base = KernelProfile {
+            kind: KernelKind::ConvPointwise,
+            flops: 1e6,
+            dram_bytes: 1e4,
+            parallel_items: 1e4,
+            inner_dim: 64.0,
+            algo_speedup: 1.0,
+        };
+        let more_parallel = KernelProfile { parallel_items: 1e6, ..base };
+        let deeper = KernelProfile { inner_dim: 512.0, ..base };
+        assert!(sm_efficiency(&more_parallel) > sm_efficiency(&base));
+        assert!(sm_efficiency(&deeper) > sm_efficiency(&base));
+        // And it never exceeds 1.
+        for p in [base, more_parallel, deeper] {
+            assert!(sm_efficiency(&p) < 1.0);
+        }
+    }
+
+    #[test]
+    fn winograd_speeds_up_unit_stride_3x3() {
+        let g = {
+            let mut b = pimflow_ir::GraphBuilder::new("w");
+            let x = b.input(pimflow_ir::Shape::nhwc(1, 28, 28, 128));
+            let s1 = b.conv(x, 128, 3, 1, 1); // unit stride: Winograd
+            let _ = b.conv(s1, 128, 3, 2, 1); // strided: no Winograd
+            b.finish(s1)
+        };
+        let ids: Vec<_> = g.topo_order().unwrap();
+        let p_unit = crate::kernel::kernel_for_node(&g, ids[0]);
+        let p_strided = crate::kernel::kernel_for_node(&g, ids[1]);
+        assert!(p_unit.algo_speedup > 1.0);
+        assert_eq!(p_strided.algo_speedup, 1.0);
+    }
+
+    #[test]
+    fn launch_overhead_is_additive() {
+        let p = KernelProfile::matvec(256, 256, 1);
+        let cfg = cfg();
+        let t = kernel_time_us(&p, &cfg, 32);
+        let tl = kernel_time_with_launch_us(&p, &cfg, 32);
+        assert!((tl - t - cfg.kernel_launch_us).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dynamic_energy_scales_with_flops() {
+        let small = KernelProfile::matvec(256, 256, 1);
+        let big = KernelProfile::matvec(4096, 4096, 1);
+        let cfg = cfg();
+        // Compare pure dynamic parts (zero wall time).
+        let e_small = kernel_energy_uj(&small, &cfg, 0.0);
+        let e_big = kernel_energy_uj(&big, &cfg, 0.0);
+        assert!(e_big > 100.0 * e_small);
+    }
+
+    #[test]
+    fn pointwise_conv_lands_in_the_contested_zone() {
+        // A mid-network 1x1 conv (14x14x256 -> 512): GPU time should be in
+        // the same order of magnitude as a Newton-style PIM (§3 obs. 2).
+        let g = {
+            let mut b = pimflow_ir::GraphBuilder::new("pw");
+            let x = b.input(pimflow_ir::Shape::nhwc(1, 14, 14, 256));
+            let y = b.conv1x1(x, 512);
+            b.finish(y)
+        };
+        let id = g.node_ids().find(|&i| matches!(g.node(i).op, Op::Conv2d(_))).unwrap();
+        let p = crate::kernel::kernel_for_node(&g, id);
+        let t = kernel_time_with_launch_us(&p, &cfg(), 16);
+        // PIM estimate: macs / (256 MACs/cycle/channel * 16 channels) at
+        // 2 cycles per COMP step -> ~12.3 us; GPU should be within ~3x.
+        let macs = 14.0 * 14.0 * 256.0 * 512.0;
+        let pim_us = macs / (256.0 * 16.0) * 2.0 / 1000.0;
+        let ratio = t / pim_us;
+        assert!((0.3..3.0).contains(&ratio), "GPU {t:.1}us vs PIM ~{pim_us:.1}us (ratio {ratio:.2})");
+    }
+}

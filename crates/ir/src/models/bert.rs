@@ -1,0 +1,88 @@
+//! BERT-base-like encoder stack used by the model-type sensitivity study
+//! (Fig. 16).
+//!
+//! The paper evaluates BERT with 1x3 and 1x64 token inputs to show that
+//! MD-DP execution of FC layers pays off once the row count grows. Only the
+//! FC-dominated datapath matters for that experiment, so the attention
+//! score/context matmuls (negligible at seq <= 64: `seq^2 * hidden` MACs vs
+//! `seq * hidden^2` for the projections) are approximated by an `Identity`
+//! node; every projection and feed-forward layer is a real `Dense` node.
+
+use crate::builder::GraphBuilder;
+use crate::graph::Graph;
+use crate::ops::{ActivationKind, SliceAttrs};
+use crate::tensor::Shape;
+
+/// Hidden width of the BERT-base-like encoder.
+pub const BERT_HIDDEN: usize = 768;
+/// Number of encoder layers.
+pub const BERT_LAYERS: usize = 12;
+
+/// Builds a BERT-base-like encoder over `seq_len` tokens.
+///
+/// # Panics
+///
+/// Panics if `seq_len == 0`.
+pub fn bert_like(seq_len: usize) -> Graph {
+    assert!(seq_len > 0, "sequence length must be positive");
+    let mut b = GraphBuilder::new(format!("bert-{seq_len}"));
+    let h = BERT_HIDDEN;
+    let x = b.input(Shape::rf(seq_len, h));
+    let mut y = x;
+    for _ in 0..BERT_LAYERS {
+        // Attention projections: Q, K, V fused as one 3h-wide Dense, as in
+        // common fused-QKV implementations.
+        let qkv = b.dense(y, 3 * h);
+        // Attention score + context matmuls, negligible at small seq_len.
+        let attn = b.identity(qkv);
+        // Keep the "context" third of the fused QKV width so the output
+        // projection sees a width-h operand.
+        let ctx = b.slice(attn, SliceAttrs { axis: 1, begin: 2 * h, end: 3 * h });
+        let proj = b.dense(ctx, h);
+        let res1 = b.add(proj, y);
+        // Feed-forward network.
+        let ff1 = b.dense(res1, 4 * h);
+        let ff1 = b.act(ff1, ActivationKind::Gelu);
+        let ff2 = b.dense(ff1, h);
+        y = b.add(ff2, res1);
+    }
+    let logits = b.dense(y, h);
+    b.finish(logits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{classify, node_cost, LayerClass};
+
+    #[test]
+    fn twelve_layers_of_dense() {
+        let g = bert_like(3);
+        let fcs = g
+            .node_ids()
+            .filter(|&id| classify(&g, id) == LayerClass::Fc)
+            .count();
+        // 4 Dense per layer x 12 + classifier head.
+        assert_eq!(fcs, 4 * BERT_LAYERS + 1);
+    }
+
+    #[test]
+    fn macs_scale_linearly_with_seq_len() {
+        let m3: u64 = {
+            let g = bert_like(3);
+            g.node_ids().map(|id| node_cost(&g, id).macs).sum()
+        };
+        let m64: u64 = {
+            let g = bert_like(64);
+            g.node_ids().map(|id| node_cost(&g, id).macs).sum()
+        };
+        let ratio = m64 as f64 / m3 as f64;
+        assert!((18.0..24.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn validates() {
+        bert_like(1).validate().unwrap();
+        bert_like(64).validate().unwrap();
+    }
+}

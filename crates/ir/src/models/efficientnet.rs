@@ -1,0 +1,180 @@
+//! EfficientNet-B0 and scaled variants (Tan & Le, ICML 2019).
+
+use super::make_divisible;
+use crate::builder::GraphBuilder;
+use crate::graph::{Graph, ValueId};
+use crate::ops::ActivationKind;
+use crate::tensor::Shape;
+
+/// Compound-scaled EfficientNet variants used in the paper: B0 in the main
+/// evaluation, B2/B4/B6 in the model-size sensitivity study (Fig. 16).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EfficientNetVariant {
+    /// width 1.0, depth 1.0, 224x224.
+    B0,
+    /// width 1.1, depth 1.2, 260x260.
+    B2,
+    /// width 1.4, depth 1.8, 380x380.
+    B4,
+    /// width 1.8, depth 2.6, 528x528.
+    B6,
+}
+
+impl EfficientNetVariant {
+    /// `(width multiplier, depth multiplier, input resolution)`.
+    pub fn coefficients(self) -> (f64, f64, usize) {
+        match self {
+            EfficientNetVariant::B0 => (1.0, 1.0, 224),
+            EfficientNetVariant::B2 => (1.1, 1.2, 260),
+            EfficientNetVariant::B4 => (1.4, 1.8, 380),
+            EfficientNetVariant::B6 => (1.8, 2.6, 528),
+        }
+    }
+
+    /// Artifact-style model name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EfficientNetVariant::B0 => "efficientnet-v1-b0",
+            EfficientNetVariant::B2 => "efficientnet-v1-b2",
+            EfficientNetVariant::B4 => "efficientnet-v1-b4",
+            EfficientNetVariant::B6 => "efficientnet-v1-b6",
+        }
+    }
+}
+
+/// Squeeze-excite: GAP -> 1x1 reduce -> swish -> 1x1 expand -> sigmoid ->
+/// channel-wise scale.
+fn squeeze_excite(b: &mut GraphBuilder, x: ValueId, channels: usize, se_channels: usize) -> ValueId {
+    let s = b.gap(x);
+    let s = b.conv1x1(s, se_channels);
+    let s = b.swish(s);
+    let s = b.conv1x1(s, channels);
+    let s = b.act(s, ActivationKind::Sigmoid);
+    b.mul(x, s)
+}
+
+/// MBConv block: 1x1 expand -> DW kxk -> SE -> 1x1 linear project
+/// (+ residual when shapes match).
+#[allow(clippy::too_many_arguments)]
+fn mbconv(
+    b: &mut GraphBuilder,
+    x: ValueId,
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    expand_ratio: usize,
+) -> ValueId {
+    let hidden = in_channels * expand_ratio;
+    let mut y = x;
+    if expand_ratio != 1 {
+        y = b.conv_act(y, hidden, 1, 1, 0, ActivationKind::Swish);
+    }
+    y = b.dw_act(y, hidden, kernel, stride, kernel / 2, ActivationKind::Swish);
+    let se_channels = (in_channels / 4).max(1);
+    y = squeeze_excite(b, y, hidden, se_channels);
+    y = b.conv1x1(y, out_channels);
+    if stride == 1 && in_channels == out_channels {
+        y = b.add(y, x);
+    }
+    y
+}
+
+/// Builds the requested EfficientNet variant for single-batch inference.
+///
+/// # Examples
+///
+/// ```
+/// use pimflow_ir::models::{efficientnet, EfficientNetVariant};
+/// let g = efficientnet(EfficientNetVariant::B0);
+/// assert_eq!(g.name, "efficientnet-v1-b0");
+/// ```
+pub fn efficientnet(variant: EfficientNetVariant) -> Graph {
+    let (width, depth, resolution) = variant.coefficients();
+    let mut b = GraphBuilder::new(variant.name());
+    let scale_c = |c: usize| make_divisible(c as f64 * width, 8);
+    let scale_n = |n: usize| (n as f64 * depth).ceil() as usize;
+
+    let x = b.input(Shape::nhwc(1, resolution, resolution, 3));
+    let stem = scale_c(32);
+    let mut y = b.conv_act(x, stem, 3, 2, 1, ActivationKind::Swish);
+
+    // (expand t, channels c, repeats n, stride s, kernel k) per stage (B0).
+    let cfg = [
+        (1, 16, 1, 1, 3),
+        (6, 24, 2, 2, 3),
+        (6, 40, 2, 2, 5),
+        (6, 80, 3, 2, 3),
+        (6, 112, 3, 1, 5),
+        (6, 192, 4, 2, 5),
+        (6, 320, 1, 1, 3),
+    ];
+    let mut in_c = stem;
+    for (t, c, n, s, k) in cfg {
+        let out_c = scale_c(c);
+        for i in 0..scale_n(n) {
+            let stride = if i == 0 { s } else { 1 };
+            y = mbconv(&mut b, y, in_c, out_c, k, stride, t);
+            in_c = out_c;
+        }
+    }
+
+    let head = scale_c(1280);
+    let y = b.conv_act(y, head, 1, 1, 0, ActivationKind::Swish);
+    let y = b.gap(y);
+    let y = b.flatten(y);
+    let y = b.dense(y, 1000);
+    b.finish(y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{node_cost, profile_model, LayerClass};
+
+    #[test]
+    fn b0_macs_about_400_mmacs() {
+        let g = efficientnet(EfficientNetVariant::B0);
+        let macs: u64 = g.node_ids().map(|id| node_cost(&g, id).macs).sum();
+        let mmacs = macs as f64 / 1e6;
+        assert!((350.0..480.0).contains(&mmacs), "got {mmacs} MMACs");
+    }
+
+    #[test]
+    fn scaling_is_monotonic() {
+        let mut prev = 0u64;
+        for v in [
+            EfficientNetVariant::B0,
+            EfficientNetVariant::B2,
+            EfficientNetVariant::B4,
+            EfficientNetVariant::B6,
+        ] {
+            let g = efficientnet(v);
+            g.validate().unwrap();
+            let macs: u64 = g.node_ids().map(|id| node_cost(&g, id).macs).sum();
+            assert!(macs > prev, "{:?}: {macs} <= {prev}", v);
+            prev = macs;
+        }
+    }
+
+    #[test]
+    fn b0_is_pointwise_heavy() {
+        let p = profile_model(&efficientnet(EfficientNetVariant::B0));
+        assert!(p.mac_share(LayerClass::PointwiseConv) > 0.45);
+    }
+
+    #[test]
+    fn se_blocks_present() {
+        let g = efficientnet(EfficientNetVariant::B0);
+        let sigmoids = g
+            .node_ids()
+            .filter(|&id| {
+                matches!(
+                    g.node(id).op,
+                    crate::ops::Op::Activation(ActivationKind::Sigmoid)
+                )
+            })
+            .count();
+        assert_eq!(sigmoids, 16); // one per MBConv block in B0
+    }
+}

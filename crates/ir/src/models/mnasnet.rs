@@ -1,0 +1,113 @@
+//! MnasNet-B1 depth multiplier 1.0 (Tan et al., CVPR 2019), the
+//! torchvision `mnasnet1_0` layout (no squeeze-excite).
+
+use super::make_divisible;
+use crate::builder::GraphBuilder;
+use crate::graph::{Graph, ValueId};
+use crate::ops::ActivationKind;
+use crate::tensor::Shape;
+
+fn inverted_residual(
+    b: &mut GraphBuilder,
+    x: ValueId,
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    expand_ratio: usize,
+) -> ValueId {
+    let hidden = in_channels * expand_ratio;
+    let mut y = b.conv_act(x, hidden, 1, 1, 0, ActivationKind::Relu6);
+    y = b.dw_act(y, hidden, kernel, stride, kernel / 2, ActivationKind::Relu6);
+    y = b.conv1x1(y, out_channels);
+    if stride == 1 && in_channels == out_channels {
+        y = b.add(y, x);
+    }
+    y
+}
+
+/// Builds MnasNet-1.0 for 224x224 single-batch inference.
+pub fn mnasnet() -> Graph {
+    mnasnet_scaled(1.0)
+}
+
+/// Builds MnasNet with a channel width multiplier (Fig. 16 scaling study).
+///
+/// # Panics
+///
+/// Panics if `alpha <= 0`.
+pub fn mnasnet_scaled(alpha: f64) -> Graph {
+    assert!(alpha > 0.0, "width multiplier must be positive");
+    let name = if (alpha - 1.0).abs() < 1e-9 {
+        "mnasnet-1.0".to_string()
+    } else {
+        format!("mnasnet-w{alpha:.2}")
+    };
+    let mut b = GraphBuilder::new(name);
+    let scale = |c: usize| make_divisible(c as f64 * alpha, 8);
+
+    let x = b.input(Shape::nhwc(1, 224, 224, 3));
+    let stem = scale(32);
+    let mut y = b.conv_act(x, stem, 3, 2, 1, ActivationKind::Relu6);
+
+    // Separable first block: DW 3x3 + linear 1x1 projection to 16.
+    y = b.dw_act(y, stem, 3, 1, 1, ActivationKind::Relu6);
+    y = b.conv1x1(y, scale(16));
+    let mut in_c = scale(16);
+
+    // (kernel k, expand t, channels c, repeats n, stride s) per stage.
+    let cfg = [
+        (3, 3, 24, 3, 2),
+        (5, 3, 40, 3, 2),
+        (5, 6, 80, 3, 2),
+        (3, 6, 96, 2, 1),
+        (5, 6, 192, 4, 2),
+        (3, 6, 320, 1, 1),
+    ];
+    for (k, t, c, n, s) in cfg {
+        let out_c = scale(c);
+        for i in 0..n {
+            let stride = if i == 0 { s } else { 1 };
+            y = inverted_residual(&mut b, y, in_c, out_c, k, stride, t);
+            in_c = out_c;
+        }
+    }
+
+    let y = b.conv_act(y, 1280, 1, 1, 0, ActivationKind::Relu6);
+    let y = b.gap(y);
+    let y = b.flatten(y);
+    let y = b.dense(y, 1000);
+    b.finish(y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{node_cost, profile_model, LayerClass};
+
+    #[test]
+    fn total_macs_about_320_mmacs() {
+        let g = mnasnet();
+        let macs: u64 = g.node_ids().map(|id| node_cost(&g, id).macs).sum();
+        let mmacs = macs as f64 / 1e6;
+        assert!((280.0..380.0).contains(&mmacs), "got {mmacs} MMACs");
+    }
+
+    #[test]
+    fn uses_5x5_depthwise_kernels() {
+        let g = mnasnet();
+        let has_5x5_dw = g.node_ids().any(|id| {
+            matches!(
+                &g.node(id).op,
+                crate::ops::Op::Conv2d(a) if a.groups > 1 && a.kernel.h == 5
+            )
+        });
+        assert!(has_5x5_dw);
+    }
+
+    #[test]
+    fn pointwise_heavy() {
+        let p = profile_model(&mnasnet());
+        assert!(p.mac_share(LayerClass::PointwiseConv) > 0.5);
+    }
+}

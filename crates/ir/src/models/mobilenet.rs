@@ -1,0 +1,127 @@
+//! MobileNetV2 (Sandler et al., CVPR 2018).
+
+use super::make_divisible;
+use crate::builder::GraphBuilder;
+use crate::graph::{Graph, ValueId};
+use crate::ops::ActivationKind;
+use crate::tensor::Shape;
+
+/// One inverted residual block: 1x1 expand (t*in) -> DW 3x3 -> 1x1 linear
+/// project, with a residual add when the shapes match.
+///
+/// This is the paper's canonical **1x1–DW–1x1 pipelining pattern** (§4.2.2).
+fn inverted_residual(
+    b: &mut GraphBuilder,
+    x: ValueId,
+    in_channels: usize,
+    out_channels: usize,
+    stride: usize,
+    expand_ratio: usize,
+) -> ValueId {
+    let hidden = in_channels * expand_ratio;
+    let mut y = x;
+    if expand_ratio != 1 {
+        y = b.conv_act(y, hidden, 1, 1, 0, ActivationKind::Relu6);
+    }
+    y = b.dw_act(y, hidden, 3, stride, 1, ActivationKind::Relu6);
+    y = b.conv1x1(y, out_channels);
+    if stride == 1 && in_channels == out_channels {
+        y = b.add(y, x);
+    }
+    y
+}
+
+/// Builds MobileNetV2 with width multiplier 1.0 for 224x224 inference.
+pub fn mobilenet_v2() -> Graph {
+    mobilenet_v2_scaled(1.0)
+}
+
+/// Builds MobileNetV2 with an arbitrary width multiplier (`alpha`), used by
+/// the model-size sensitivity study (Fig. 16).
+///
+/// # Panics
+///
+/// Panics if `alpha <= 0`.
+pub fn mobilenet_v2_scaled(alpha: f64) -> Graph {
+    assert!(alpha > 0.0, "width multiplier must be positive");
+    let name = if (alpha - 1.0).abs() < 1e-9 {
+        "mobilenet-v2".to_string()
+    } else {
+        format!("mobilenet-v2-w{alpha:.2}")
+    };
+    let mut b = GraphBuilder::new(name);
+    let scale = |c: usize| make_divisible(c as f64 * alpha, 8);
+
+    let x = b.input(Shape::nhwc(1, 224, 224, 3));
+    let stem = scale(32);
+    let mut y = b.conv_act(x, stem, 3, 2, 1, ActivationKind::Relu6);
+
+    // (expand t, channels c, repeats n, stride s) per stage.
+    let cfg = [
+        (1, 16, 1, 1),
+        (6, 24, 2, 2),
+        (6, 32, 3, 2),
+        (6, 64, 4, 2),
+        (6, 96, 3, 1),
+        (6, 160, 3, 2),
+        (6, 320, 1, 1),
+    ];
+    let mut in_c = stem;
+    for (t, c, n, s) in cfg {
+        let out_c = scale(c);
+        for i in 0..n {
+            let stride = if i == 0 { s } else { 1 };
+            y = inverted_residual(&mut b, y, in_c, out_c, stride, t);
+            in_c = out_c;
+        }
+    }
+
+    let head = if alpha > 1.0 { scale(1280) } else { 1280 };
+    let y = b.conv_act(y, head, 1, 1, 0, ActivationKind::Relu6);
+    let y = b.gap(y);
+    let y = b.flatten(y);
+    let y = b.dense(y, 1000);
+    b.finish(y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{classify, node_cost, LayerClass};
+
+    #[test]
+    fn block_counts() {
+        let g = mobilenet_v2();
+        let dw = g
+            .node_ids()
+            .filter(|&id| classify(&g, id) == LayerClass::DepthwiseConv)
+            .count();
+        assert_eq!(dw, 17); // 1+2+3+4+3+3+1 inverted residual blocks
+    }
+
+    #[test]
+    fn total_macs_about_300_mmacs() {
+        let g = mobilenet_v2();
+        let macs: u64 = g.node_ids().map(|id| node_cost(&g, id).macs).sum();
+        let mmacs = macs as f64 / 1e6;
+        assert!((280.0..360.0).contains(&mmacs), "got {mmacs} MMACs");
+    }
+
+    #[test]
+    fn pointwise_dominates_mac_count() {
+        // Fig. 1: 1x1 convs dominate the runtime of mobile CNNs.
+        let g = mobilenet_v2();
+        let p = crate::analysis::profile_model(&g);
+        assert!(p.mac_share(LayerClass::PointwiseConv) > 0.5);
+    }
+
+    #[test]
+    fn width_scaling_grows_channels() {
+        let g = mobilenet_v2_scaled(1.4);
+        g.validate().unwrap();
+        let macs_14: u64 = g.node_ids().map(|id| node_cost(&g, id).macs).sum();
+        let g0 = mobilenet_v2();
+        let macs_10: u64 = g0.node_ids().map(|id| node_cost(&g0, id).macs).sum();
+        assert!(macs_14 as f64 > 1.5 * macs_10 as f64);
+    }
+}

@@ -1,0 +1,172 @@
+//! Model zoo: programmatic builders for every network evaluated in the paper
+//! (§5): EfficientNetB0, MnasNet-1.0, MobileNetV2, ResNet-50, VGG-16, the
+//! artifact's Toy network, the BERT-like model of Fig. 16, and scaled
+//! variants (EfficientNet-B2/B4/B6, width-scaled MobileNetV2/MnasNet).
+//!
+//! Architectures are reconstructed from the original papers (the graphs are
+//! the input the PIMFlow compiler consumes, standing in for Torchvision ONNX
+//! exports).
+
+mod bert;
+mod efficientnet;
+mod mnasnet;
+mod mobilenet;
+mod resnet;
+mod squeezenet;
+mod unet;
+mod vgg;
+
+pub use bert::bert_like;
+pub use efficientnet::{efficientnet, EfficientNetVariant};
+pub use mnasnet::{mnasnet, mnasnet_scaled};
+pub use mobilenet::{mobilenet_v2, mobilenet_v2_scaled};
+pub use resnet::{resnet18, resnet34, resnet50};
+pub use squeezenet::squeezenet;
+pub use unet::{unet, unet_small};
+pub use vgg::vgg16;
+
+use crate::builder::GraphBuilder;
+use crate::graph::Graph;
+use crate::tensor::Shape;
+
+/// Rounds a channel count to the nearest multiple of `divisor` (at least
+/// `divisor`), the standard "make divisible" rule used by the mobile CNNs.
+pub(crate) fn make_divisible(v: f64, divisor: usize) -> usize {
+    let d = divisor as f64;
+    let new_v = ((v + d / 2.0) / d).floor() * d;
+    let new_v = new_v.max(d);
+    // Do not round down by more than 10%.
+    let new_v = if new_v < 0.9 * v { new_v + d } else { new_v };
+    new_v as usize
+}
+
+/// The artifact's Toy network: a short pointwise/depthwise stack small
+/// enough for fast numerical tests while exercising every transformation
+/// (1x1 conv, DW conv, the 1x1–DW–1x1 pipeline pattern, FC).
+pub fn toy() -> Graph {
+    let mut b = GraphBuilder::new("toy");
+    let x = b.input(Shape::nhwc(1, 32, 32, 3));
+    let y = b.conv(x, 16, 3, 1, 1);
+    let y = b.relu(y);
+    let y = b.conv1x1(y, 32);
+    let y = b.relu6(y);
+    let y = b.dwconv(y, 32, 3, 1, 1);
+    let y = b.relu6(y);
+    let y = b.conv1x1(y, 64);
+    let y = b.relu(y);
+    let y = b.gap(y);
+    let y = b.flatten(y);
+    let y = b.dense(y, 10);
+    b.finish(y)
+}
+
+/// Artifact network names (`-n <net>` values of the `pimflow` CLI) mapped to
+/// builders.
+///
+/// Returns `None` for unknown names.
+pub fn by_name(name: &str) -> Option<Graph> {
+    match name {
+        "toy" => Some(toy()),
+        "efficientnet-v1-b0" => Some(efficientnet(EfficientNetVariant::B0)),
+        "efficientnet-v1-b2" => Some(efficientnet(EfficientNetVariant::B2)),
+        "efficientnet-v1-b4" => Some(efficientnet(EfficientNetVariant::B4)),
+        "efficientnet-v1-b6" => Some(efficientnet(EfficientNetVariant::B6)),
+        "mobilenet-v2" => Some(mobilenet_v2()),
+        "mnasnet-1.0" => Some(mnasnet()),
+        "resnet-18" => Some(resnet18()),
+        "resnet-34" => Some(resnet34()),
+        "resnet-50" => Some(resnet50()),
+        "vgg-16" => Some(vgg16()),
+        "squeezenet-1.1" => Some(squeezenet()),
+        "unet-small" => Some(unet_small()),
+        "bert-3" => Some(bert_like(3)),
+        "bert-64" => Some(bert_like(64)),
+        _ => None,
+    }
+}
+
+/// The five CNN models of the main evaluation (Fig. 9), in paper order.
+pub fn evaluated_cnns() -> Vec<Graph> {
+    vec![
+        efficientnet(EfficientNetVariant::B0),
+        mnasnet(),
+        mobilenet_v2(),
+        resnet50(),
+        vgg16(),
+    ]
+}
+
+/// Names of the five evaluated CNNs, in the same order as
+/// [`evaluated_cnns`].
+pub fn evaluated_cnn_names() -> Vec<&'static str> {
+    vec![
+        "efficientnet-v1-b0",
+        "mnasnet-1.0",
+        "mobilenet-v2",
+        "resnet-50",
+        "vgg-16",
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{classify, LayerClass};
+
+    #[test]
+    fn make_divisible_matches_reference() {
+        assert_eq!(make_divisible(32.0, 8), 32);
+        assert_eq!(make_divisible(33.6, 8), 32);
+        assert_eq!(make_divisible(17.0, 8), 16);
+        assert_eq!(make_divisible(8.0 * 0.35, 8), 8);
+    }
+
+    #[test]
+    fn toy_is_valid_and_small() {
+        let g = toy();
+        g.validate().unwrap();
+        assert!(g.node_count() <= 15);
+    }
+
+    #[test]
+    fn toy_contains_pipeline_pattern() {
+        // 1x1 -> DW -> 1x1 must be present for pipelining tests.
+        let g = toy();
+        let classes: Vec<LayerClass> = g
+            .topo_order()
+            .unwrap()
+            .into_iter()
+            .map(|id| classify(&g, id))
+            .filter(|c| *c != LayerClass::Other)
+            .collect();
+        let w: Vec<LayerClass> = vec![
+            LayerClass::PointwiseConv,
+            LayerClass::DepthwiseConv,
+            LayerClass::PointwiseConv,
+        ];
+        assert!(
+            classes.windows(3).any(|win| win == w.as_slice()),
+            "classes: {classes:?}"
+        );
+    }
+
+    #[test]
+    fn by_name_resolves_all_artifact_names() {
+        for n in evaluated_cnn_names() {
+            assert!(by_name(n).is_some(), "{n}");
+        }
+        assert!(by_name("toy").is_some());
+        assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn evaluated_models_validate() {
+        for g in evaluated_cnns() {
+            g.validate().unwrap_or_else(|e| panic!("{}: {e}", g.name));
+            // Every evaluated model ends in a classifier over 1000 classes.
+            let out = g.outputs()[0];
+            let shape = &g.value(out).desc.as_ref().unwrap().shape;
+            assert_eq!(shape.c(), 1000, "{}", g.name);
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! ResNet-50 (He et al., CVPR 2016), torchvision layout.
+
+use crate::builder::GraphBuilder;
+use crate::graph::{Graph, ValueId};
+use crate::tensor::Shape;
+
+/// One bottleneck block: 1x1 reduce -> 3x3 -> 1x1 expand, with a projection
+/// shortcut when the shape changes. Stride (when present) is applied on the
+/// 3x3 convolution, matching torchvision's ResNet v1.5.
+fn bottleneck(
+    b: &mut GraphBuilder,
+    x: ValueId,
+    in_channels: usize,
+    mid_channels: usize,
+    out_channels: usize,
+    stride: usize,
+) -> ValueId {
+    let y = b.conv1x1(x, mid_channels);
+    let y = b.relu(y);
+    let y = b.conv(y, mid_channels, 3, stride, 1);
+    let y = b.relu(y);
+    let y = b.conv1x1(y, out_channels);
+    let shortcut = if stride != 1 || in_channels != out_channels {
+        b.conv(x, out_channels, 1, stride, 0)
+    } else {
+        x
+    };
+    let y = b.add(y, shortcut);
+    b.relu(y)
+}
+
+/// Builds ResNet-50 for 224x224 single-batch inference.
+///
+/// # Examples
+///
+/// ```
+/// let g = pimflow_ir::models::resnet50();
+/// assert_eq!(g.name, "resnet-50");
+/// ```
+pub fn resnet50() -> Graph {
+    let mut b = GraphBuilder::new("resnet-50");
+    let x = b.input(Shape::nhwc(1, 224, 224, 3));
+    let y = b.conv(x, 64, 7, 2, 3);
+    let y = b.relu(y);
+    let mut y = b.maxpool(y, 3, 2, 1);
+
+    // (mid, out, blocks, first-stride) per stage.
+    let stages = [(64, 256, 3, 1), (128, 512, 4, 2), (256, 1024, 6, 2), (512, 2048, 3, 2)];
+    let mut in_c = 64;
+    for (mid, out, blocks, first_stride) in stages {
+        for block in 0..blocks {
+            let stride = if block == 0 { first_stride } else { 1 };
+            y = bottleneck(&mut b, y, in_c, mid, out, stride);
+            in_c = out;
+        }
+    }
+
+    let y = b.gap(y);
+    let y = b.flatten(y);
+    let y = b.dense(y, 1000);
+    b.finish(y)
+}
+
+/// One basic block (ResNet-18/34): 3x3 -> 3x3 with an identity or
+/// projection shortcut.
+fn basic_block(
+    b: &mut GraphBuilder,
+    x: ValueId,
+    in_channels: usize,
+    out_channels: usize,
+    stride: usize,
+) -> ValueId {
+    let y = b.conv(x, out_channels, 3, stride, 1);
+    let y = b.relu(y);
+    let y = b.conv(y, out_channels, 3, 1, 1);
+    let shortcut = if stride != 1 || in_channels != out_channels {
+        b.conv(x, out_channels, 1, stride, 0)
+    } else {
+        x
+    };
+    let y = b.add(y, shortcut);
+    b.relu(y)
+}
+
+/// Builds a basic-block ResNet (He et al., 2016): 18 layers for
+/// `blocks = [2, 2, 2, 2]`, 34 layers for `[3, 4, 6, 3]`.
+fn resnet_basic(name: &str, blocks: [usize; 4]) -> Graph {
+    let mut b = GraphBuilder::new(name);
+    let x = b.input(Shape::nhwc(1, 224, 224, 3));
+    let y = b.conv(x, 64, 7, 2, 3);
+    let y = b.relu(y);
+    let mut y = b.maxpool(y, 3, 2, 1);
+
+    let widths = [64usize, 128, 256, 512];
+    let mut in_c = 64;
+    for (stage, &n) in blocks.iter().enumerate() {
+        let out = widths[stage];
+        for i in 0..n {
+            let stride = if i == 0 && stage > 0 { 2 } else { 1 };
+            y = basic_block(&mut b, y, in_c, out, stride);
+            in_c = out;
+        }
+    }
+    let y = b.gap(y);
+    let y = b.flatten(y);
+    let y = b.dense(y, 1000);
+    b.finish(y)
+}
+
+/// Builds ResNet-18 (basic blocks, no 1x1 bottlenecks) — the dense-conv
+/// counterpoint to ResNet-50 in architecture studies.
+pub fn resnet18() -> Graph {
+    resnet_basic("resnet-18", [2, 2, 2, 2])
+}
+
+/// Builds ResNet-34 (basic blocks).
+pub fn resnet34() -> Graph {
+    resnet_basic("resnet-34", [3, 4, 6, 3])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{classify, node_cost, LayerClass};
+
+    #[test]
+    fn conv_count_matches_architecture() {
+        let g = resnet50();
+        let convs = g
+            .node_ids()
+            .filter(|&id| matches!(classify(&g, id), LayerClass::PointwiseConv | LayerClass::RegularConv))
+            .count();
+        // 1 stem + 16 blocks x 3 + 4 projection shortcuts = 53.
+        assert_eq!(convs, 53);
+    }
+
+    #[test]
+    fn total_macs_are_about_4_gmacs() {
+        let g = resnet50();
+        let macs: u64 = g.node_ids().map(|id| node_cost(&g, id).macs).sum();
+        let gmacs = macs as f64 / 1e9;
+        assert!((3.5..4.8).contains(&gmacs), "got {gmacs} GMACs");
+    }
+
+    #[test]
+    fn final_spatial_size_is_7x7() {
+        let g = resnet50();
+        // Find the GAP input.
+        let gap = g.node_ids().find(|&id| g.node(id).name.starts_with("gap")).unwrap();
+        let in_v = g.node(gap).inputs[0];
+        let s = &g.value(in_v).desc.as_ref().unwrap().shape;
+        assert_eq!((s.h(), s.w(), s.c()), (7, 7, 2048));
+    }
+
+    #[test]
+    fn resnet18_and_34_validate_with_expected_macs() {
+        let r18 = resnet18();
+        r18.validate().unwrap();
+        let m18: u64 = r18.node_ids().map(|id| node_cost(&r18, id).macs).sum();
+        let g18 = m18 as f64 / 1e9;
+        assert!((1.5..2.2).contains(&g18), "ResNet-18 {g18} GMACs");
+
+        let r34 = resnet34();
+        let m34: u64 = r34.node_ids().map(|id| node_cost(&r34, id).macs).sum();
+        let g34 = m34 as f64 / 1e9;
+        assert!((3.2..4.2).contains(&g34), "ResNet-34 {g34} GMACs");
+    }
+
+    #[test]
+    fn basic_resnets_have_almost_no_pointwise_work() {
+        // Unlike ResNet-50's bottlenecks, ResNet-18 is nearly all dense 3x3
+        // convs — the GPU-favored end of the spectrum.
+        let g = resnet18();
+        let p = crate::analysis::profile_model(&g);
+        assert!(p.mac_share(LayerClass::PointwiseConv) < 0.05);
+    }
+
+    #[test]
+    fn has_many_pointwise_layers() {
+        // ResNet-50's bottlenecks make 1x1 convs the majority of its convs —
+        // the paper's motivation for targeting it with PIM.
+        let g = resnet50();
+        let pw = g
+            .node_ids()
+            .filter(|&id| classify(&g, id) == LayerClass::PointwiseConv)
+            .count();
+        assert!(pw >= 32, "got {pw}");
+    }
+}

@@ -1,0 +1,76 @@
+//! SqueezeNet 1.1 (Iandola et al., 2016).
+//!
+//! Not part of the paper's evaluation set, but its fire modules have real
+//! branch-level parallelism (parallel 1x1/3x3 expands joined by a concat),
+//! which makes it the interesting data point for the §3 preliminary
+//! analysis: even "branchy" CNNs expose only limited inter-node parallelism
+//! compared to what MD-DP/pipelining can create.
+
+use crate::builder::GraphBuilder;
+use crate::graph::{Graph, ValueId};
+use crate::tensor::Shape;
+
+/// Fire module: squeeze 1x1 -> (expand 1x1 || expand 3x3) -> channel concat.
+fn fire(b: &mut GraphBuilder, x: ValueId, squeeze: usize, expand: usize) -> ValueId {
+    let s = b.conv1x1(x, squeeze);
+    let s = b.relu(s);
+    let e1 = b.conv1x1(s, expand);
+    let e1 = b.relu(e1);
+    let e3 = b.conv(s, expand, 3, 1, 1);
+    let e3 = b.relu(e3);
+    b.concat(vec![e1, e3], 3)
+}
+
+/// Builds SqueezeNet 1.1 for 224x224 single-batch inference.
+pub fn squeezenet() -> Graph {
+    let mut b = GraphBuilder::new("squeezenet-1.1");
+    let x = b.input(Shape::nhwc(1, 224, 224, 3));
+    let y = b.conv(x, 64, 3, 2, 0);
+    let y = b.relu(y);
+    let mut y = b.maxpool(y, 3, 2, 0);
+    for (i, (s, e)) in [(16, 64), (16, 64), (32, 128), (32, 128), (48, 192), (48, 192), (64, 256), (64, 256)]
+        .into_iter()
+        .enumerate()
+    {
+        y = fire(&mut b, y, s, e);
+        if i == 1 || i == 3 {
+            y = b.maxpool(y, 3, 2, 0);
+        }
+    }
+    let y = b.conv1x1(y, 1000);
+    let y = b.relu(y);
+    let y = b.gap(y);
+    b.finish(y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::independent_node_fraction;
+
+    #[test]
+    fn validates_and_classifies() {
+        let g = squeezenet();
+        g.validate().unwrap();
+        let out = g.value(g.outputs()[0]).desc.as_ref().unwrap();
+        assert_eq!(out.shape.c(), 1000);
+    }
+
+    #[test]
+    fn fire_modules_expose_inter_node_parallelism() {
+        // The expand 1x1 / expand 3x3 pairs are mutually independent —
+        // SqueezeNet is the branchy counter-example to the straight-line
+        // mobile CNNs (§3 observation 1).
+        let g = squeezenet();
+        let frac = independent_node_fraction(&g);
+        assert!(frac > 0.3, "fire branches should be independent, got {frac}");
+    }
+
+    #[test]
+    fn straight_line_models_have_less_parallelism_than_squeezenet() {
+        let sq = independent_node_fraction(&squeezenet());
+        let vgg = independent_node_fraction(&crate::models::vgg16());
+        assert!(vgg < sq);
+        assert_eq!(vgg, 0.0, "VGG is a pure chain");
+    }
+}

@@ -1,0 +1,125 @@
+//! A U-Net-style encoder/decoder segmentation network (Ronneberger et al.,
+//! 2015 — cited by the paper as a core CNN application domain).
+//!
+//! Not part of the paper's evaluation set; included for the §A.7
+//! customization story ("The main execution script can take as input other
+//! CNN/DNN models that were not evaluated in the paper and optimize them
+//! with PIMFlow"). The decoder's skip-connection concats also give the
+//! analysis module a second branchy topology.
+
+use crate::builder::GraphBuilder;
+use crate::graph::{Graph, ValueId};
+use crate::ops::Op;
+use crate::tensor::Shape;
+
+fn conv_block(b: &mut GraphBuilder, x: ValueId, channels: usize) -> ValueId {
+    let y = b.conv(x, channels, 3, 1, 1);
+    let y = b.relu(y);
+    let y = b.conv(y, channels, 3, 1, 1);
+    b.relu(y)
+}
+
+/// Builds a compact U-Net over `resolution`x`resolution` inputs with
+/// `base_channels` filters at the top level and `depth` down/up stages.
+///
+/// # Panics
+///
+/// Panics if `resolution` is not divisible by `2^depth` or `depth == 0`.
+pub fn unet(resolution: usize, base_channels: usize, depth: usize) -> Graph {
+    assert!(depth >= 1, "depth must be >= 1");
+    assert_eq!(
+        resolution % (1 << depth),
+        0,
+        "resolution must be divisible by 2^depth"
+    );
+    let mut b = GraphBuilder::new(format!("unet-{resolution}-c{base_channels}-d{depth}"));
+    let x = b.input(Shape::nhwc(1, resolution, resolution, 3));
+
+    // Encoder: conv block then 2x2 max-pool per stage, keeping the skips.
+    let mut skips: Vec<ValueId> = Vec::with_capacity(depth);
+    let mut y = x;
+    let mut channels = base_channels;
+    for _ in 0..depth {
+        y = conv_block(&mut b, y, channels);
+        skips.push(y);
+        y = b.maxpool(y, 2, 2, 0);
+        channels *= 2;
+    }
+
+    // Bottleneck.
+    y = conv_block(&mut b, y, channels);
+
+    // Decoder: upsample, concat the skip, conv block.
+    for skip in skips.into_iter().rev() {
+        channels /= 2;
+        let up_name = format!("up_{}", b.graph().node_count());
+        let up = {
+            // GraphBuilder has no upsample helper on purpose (it is not part
+            // of the paper's op set); add the node directly.
+            let g = b.graph_mut();
+            g.add_node(up_name, Op::Upsample { factor: 2 }, vec![y])
+        };
+        let merged = b.concat(vec![up, skip], 3);
+        y = conv_block(&mut b, merged, channels);
+    }
+
+    // Per-pixel segmentation head.
+    let y = b.conv1x1(y, 2);
+    b.finish(y)
+}
+
+/// The default configuration used by examples and the customization test:
+/// 96x96 input, 16 base channels, 3 stages.
+pub fn unet_small() -> Graph {
+    unet(96, 16, 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::independent_node_fraction;
+
+    #[test]
+    fn shapes_close_the_loop() {
+        let g = unet_small();
+        g.validate().unwrap();
+        let out = g.value(g.outputs()[0]).desc.as_ref().unwrap();
+        assert_eq!(out.shape, Shape::nhwc(1, 96, 96, 2));
+    }
+
+    #[test]
+    fn skip_connections_do_not_create_inter_node_parallelism() {
+        // Counter-intuitive but correct, and exactly the paper's §3 point:
+        // although U-Net "branches", every decoder node is reachable from
+        // every encoder node (through the bottleneck), so no two nodes are
+        // mutually independent. Skips extend *liveness*, not parallelism —
+        // PIMFlow must create the parallelism by transformation.
+        let frac = independent_node_fraction(&unet_small());
+        assert_eq!(frac, 0.0);
+    }
+
+    #[test]
+    fn skips_extend_liveness() {
+        // The structural effect skips do have: encoder activations stay
+        // live across the bottleneck, raising peak memory well above a
+        // plain chain of the same layers.
+        let g = unet_small();
+        let peak = crate::analysis::peak_activation_bytes(&g);
+        // The three skips alone hold 96x96x16 + 48x48x32 + 24x24x64 f16.
+        let skips_bytes = (96 * 96 * 16 + 48 * 48 * 32 + 24 * 24 * 64) * 2;
+        assert!(peak as usize > skips_bytes, "peak {peak} vs skips {skips_bytes}");
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible")]
+    fn misaligned_resolution_is_rejected() {
+        unet(100, 16, 3);
+    }
+
+    #[test]
+    fn tiny_unet_executes_numerically() {
+        // Keep it minuscule — this runs the reference executor.
+        let g = unet(8, 2, 1);
+        g.validate().unwrap();
+    }
+}

@@ -1,0 +1,77 @@
+//! VGG-16 (Simonyan & Zisserman, 2014), configuration D.
+
+use crate::builder::GraphBuilder;
+use crate::graph::Graph;
+use crate::tensor::Shape;
+
+/// Builds VGG-16 for 224x224 single-batch inference.
+///
+/// The three giant FC layers (25088->4096, 4096->4096, 4096->1000) are the
+/// classic memory-bound PIM targets; the paper reports VGG-16 gaining an
+/// extra 5% end-to-end from FC offload on top of its CONV speedup (§6.1).
+pub fn vgg16() -> Graph {
+    let mut b = GraphBuilder::new("vgg-16");
+    let x = b.input(Shape::nhwc(1, 224, 224, 3));
+
+    // Configuration D: channel count per conv, `0` marks a 2x2 max-pool.
+    let cfg = [64, 64, 0, 128, 128, 0, 256, 256, 256, 0, 512, 512, 512, 0, 512, 512, 512, 0];
+    let mut y = x;
+    for c in cfg {
+        if c == 0 {
+            y = b.maxpool(y, 2, 2, 0);
+        } else {
+            y = b.conv(y, c, 3, 1, 1);
+            y = b.relu(y);
+        }
+    }
+    let y = b.flatten(y);
+    let y = b.dense(y, 4096);
+    let y = b.relu(y);
+    let y = b.dense(y, 4096);
+    let y = b.relu(y);
+    let y = b.dense(y, 1000);
+    b.finish(y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{classify, node_cost, LayerClass};
+    use crate::ops::Op;
+
+    #[test]
+    fn thirteen_convs_three_fcs() {
+        let g = vgg16();
+        let convs = g
+            .node_ids()
+            .filter(|&id| matches!(g.node(id).op, Op::Conv2d(_)))
+            .count();
+        let fcs = g
+            .node_ids()
+            .filter(|&id| classify(&g, id) == LayerClass::Fc)
+            .count();
+        assert_eq!((convs, fcs), (13, 3));
+    }
+
+    #[test]
+    fn total_macs_are_about_15_gmacs() {
+        let g = vgg16();
+        let macs: u64 = g.node_ids().map(|id| node_cost(&g, id).macs).sum();
+        let gmacs = macs as f64 / 1e9;
+        assert!((14.0..16.5).contains(&gmacs), "got {gmacs} GMACs");
+    }
+
+    #[test]
+    fn fc_weights_dominate_fc_traffic() {
+        // The first FC holds 25088*4096 ~= 102.8M weights: the archetypal
+        // memory-bound layer.
+        let g = vgg16();
+        let fc0 = g
+            .node_ids()
+            .find(|&id| classify(&g, id) == LayerClass::Fc)
+            .unwrap();
+        let c = node_cost(&g, fc0);
+        assert_eq!(c.weight_elems, 25088 * 4096);
+        assert!(c.arithmetic_intensity() < 1.1);
+    }
+}

@@ -1,0 +1,377 @@
+//! Operator definitions.
+//!
+//! The operator set mirrors the subset of ONNX opset 13 exercised by the
+//! paper's evaluated models (§5): convolutions (regular, pointwise,
+//! depthwise), fully-connected layers, pooling, element-wise arithmetic,
+//! activations, and the data-movement operators (`Pad`, `Slice`, `Concat`)
+//! that the PIM-aware transformation passes insert.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A 2-D extent (height, width) used for kernels, strides, and padding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Hw {
+    /// Vertical extent.
+    pub h: usize,
+    /// Horizontal extent.
+    pub w: usize,
+}
+
+impl Hw {
+    /// Creates an extent.
+    pub fn new(h: usize, w: usize) -> Self {
+        Hw { h, w }
+    }
+
+    /// Creates a square extent.
+    pub fn square(s: usize) -> Self {
+        Hw { h: s, w: s }
+    }
+}
+
+impl fmt::Display for Hw {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}", self.h, self.w)
+    }
+}
+
+/// Attributes of a 2-D convolution.
+///
+/// `groups == 1` is a regular (or pointwise, when the kernel is 1x1)
+/// convolution; `groups == in_channels == out_channels` is a depthwise
+/// convolution. Other grouped convolutions are not used by the evaluated
+/// models and are rejected by graph validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Conv2dAttrs {
+    /// Number of output channels (filters).
+    pub out_channels: usize,
+    /// Filter spatial extent.
+    pub kernel: Hw,
+    /// Stride.
+    pub stride: Hw,
+    /// Symmetric zero padding applied to each spatial border.
+    pub padding: Hw,
+    /// Number of filter groups.
+    pub groups: usize,
+}
+
+impl Conv2dAttrs {
+    /// A pointwise (1x1, stride 1, no padding) convolution.
+    pub fn pointwise(out_channels: usize) -> Self {
+        Conv2dAttrs {
+            out_channels,
+            kernel: Hw::square(1),
+            stride: Hw::square(1),
+            padding: Hw::square(0),
+            groups: 1,
+        }
+    }
+
+    /// True if this is a 1x1 convolution (regardless of stride).
+    pub fn is_pointwise(&self) -> bool {
+        self.kernel == Hw::square(1) && self.groups == 1
+    }
+
+    /// True if this convolution is depthwise for the given input channels.
+    pub fn is_depthwise_for(&self, in_channels: usize) -> bool {
+        self.groups > 1 && self.groups == in_channels && self.out_channels == in_channels
+    }
+}
+
+/// Attributes of a fully-connected (Dense / Gemm) layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DenseAttrs {
+    /// Number of output features.
+    pub out_features: usize,
+}
+
+/// Pooling kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PoolKind {
+    /// Maximum pooling.
+    Max,
+    /// Average pooling.
+    Avg,
+}
+
+/// Attributes of a spatial pooling layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PoolAttrs {
+    /// Max or average.
+    pub kind: PoolKind,
+    /// Window extent.
+    pub kernel: Hw,
+    /// Stride.
+    pub stride: Hw,
+    /// Symmetric zero padding.
+    pub padding: Hw,
+}
+
+/// Unary activation functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ActivationKind {
+    /// `max(0, x)`.
+    Relu,
+    /// `min(max(0, x), 6)` (ONNX `Clip`, used by MobileNetV2/MnasNet).
+    Relu6,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// `x * sigmoid(x)` (SiLU, used by EfficientNet).
+    Swish,
+    /// Gaussian error linear unit (used by the BERT-like model).
+    Gelu,
+    /// Row-wise softmax over the last dimension.
+    Softmax,
+    /// `tanh(x)`.
+    Tanh,
+}
+
+/// Attributes of a zero-padding operator over the spatial dimensions of an
+/// NHWC tensor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PadAttrs {
+    /// Rows added above.
+    pub top: usize,
+    /// Rows added below.
+    pub bottom: usize,
+    /// Columns added on the left.
+    pub left: usize,
+    /// Columns added on the right.
+    pub right: usize,
+}
+
+impl PadAttrs {
+    /// Total padded rows.
+    pub fn extra_h(&self) -> usize {
+        self.top + self.bottom
+    }
+
+    /// Total padded columns.
+    pub fn extra_w(&self) -> usize {
+        self.left + self.right
+    }
+}
+
+/// Attributes of a slice along a single axis: the half-open range
+/// `[begin, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SliceAttrs {
+    /// Axis being sliced.
+    pub axis: usize,
+    /// First index kept.
+    pub begin: usize,
+    /// One past the last index kept.
+    pub end: usize,
+}
+
+impl SliceAttrs {
+    /// Extent of the slice.
+    pub fn len(&self) -> usize {
+        self.end - self.begin
+    }
+
+    /// True if the slice keeps zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.begin
+    }
+}
+
+/// Attributes of a concatenation along a single axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ConcatAttrs {
+    /// Axis along which inputs are joined.
+    pub axis: usize,
+}
+
+/// An operator.
+///
+/// Every operator produces exactly one output tensor. Multi-output ONNX
+/// constructs in the evaluated models (none in practice) would be modelled as
+/// multiple nodes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Op {
+    /// 2-D convolution over an NHWC input.
+    Conv2d(Conv2dAttrs),
+    /// Fully-connected layer over a `[rows, features]` input.
+    Dense(DenseAttrs),
+    /// Unary activation.
+    Activation(ActivationKind),
+    /// Element-wise addition of two same-shaped tensors.
+    Add,
+    /// Element-wise multiplication of two same-shaped tensors
+    /// (broadcast over H and W when the second operand is `[N,1,1,C]`,
+    /// as produced by squeeze-excite blocks).
+    Mul,
+    /// Spatial pooling.
+    Pool(PoolAttrs),
+    /// Global average pooling: NHWC -> `[N,1,1,C]`.
+    GlobalAvgPool,
+    /// Inference-mode batch normalization (per-channel affine).
+    BatchNorm,
+    /// Spatial zero padding.
+    Pad(PadAttrs),
+    /// Single-axis slice.
+    Slice(SliceAttrs),
+    /// Single-axis concatenation of two or more inputs.
+    Concat(ConcatAttrs),
+    /// Collapse all dimensions after the first: NHWC -> `[N, H*W*C]`.
+    Flatten,
+    /// Nearest-neighbour spatial upsampling by an integer factor
+    /// (decoder stages of segmentation networks, e.g. U-Net).
+    Upsample {
+        /// Spatial scale factor (>= 1).
+        factor: usize,
+    },
+    /// Pass-through.
+    Identity,
+}
+
+impl Op {
+    /// Short mnemonic used in printed graphs and profiles.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            Op::Conv2d(c) if c.groups > 1 => "dwconv",
+            Op::Conv2d(c) if c.is_pointwise() => "conv1x1",
+            Op::Conv2d(_) => "conv",
+            Op::Dense(_) => "dense",
+            Op::Activation(ActivationKind::Relu) => "relu",
+            Op::Activation(ActivationKind::Relu6) => "relu6",
+            Op::Activation(ActivationKind::Sigmoid) => "sigmoid",
+            Op::Activation(ActivationKind::Swish) => "swish",
+            Op::Activation(ActivationKind::Gelu) => "gelu",
+            Op::Activation(ActivationKind::Softmax) => "softmax",
+            Op::Activation(ActivationKind::Tanh) => "tanh",
+            Op::Add => "add",
+            Op::Mul => "mul",
+            Op::Pool(PoolAttrs { kind: PoolKind::Max, .. }) => "maxpool",
+            Op::Pool(_) => "avgpool",
+            Op::GlobalAvgPool => "gap",
+            Op::BatchNorm => "bn",
+            Op::Pad(_) => "pad",
+            Op::Slice(_) => "slice",
+            Op::Concat(_) => "concat",
+            Op::Flatten => "flatten",
+            Op::Upsample { .. } => "upsample",
+            Op::Identity => "id",
+        }
+    }
+
+    /// Number of inputs the operator requires; `None` means variadic
+    /// (at least two), which only `Concat` uses.
+    pub fn arity(&self) -> Option<usize> {
+        match self {
+            Op::Add | Op::Mul => Some(2),
+            Op::Concat(_) => None,
+            _ => Some(1),
+        }
+    }
+
+    /// True for the node kinds the paper treats as PIM offload candidates:
+    /// FC and CONV layers *except* depthwise CONV (§4.2.1).
+    ///
+    /// Depthwise convolution is excluded because it "requires the global
+    /// buffer to be flushed for each input channel" on the baseline
+    /// DRAM-PIM (§4.2.2).
+    pub fn is_pim_candidate_for(&self, in_channels: usize) -> bool {
+        match self {
+            Op::Conv2d(c) => !c.is_depthwise_for(in_channels) && c.groups == 1,
+            Op::Dense(_) => true,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Op::Conv2d(c) => write!(
+                f,
+                "{}(k={},s={},p={},oc={},g={})",
+                self.mnemonic(),
+                c.kernel,
+                c.stride,
+                c.padding,
+                c.out_channels,
+                c.groups
+            ),
+            Op::Dense(d) => write!(f, "dense(of={})", d.out_features),
+            Op::Slice(s) => write!(f, "slice(ax={},{}..{})", s.axis, s.begin, s.end),
+            Op::Concat(c) => write!(f, "concat(ax={})", c.axis),
+            Op::Pad(p) => write!(f, "pad(t{},b{},l{},r{})", p.top, p.bottom, p.left, p.right),
+            _ => write!(f, "{}", self.mnemonic()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pointwise_detection() {
+        let pw = Conv2dAttrs::pointwise(64);
+        assert!(pw.is_pointwise());
+        assert!(!pw.is_depthwise_for(32));
+        let dw = Conv2dAttrs {
+            out_channels: 32,
+            kernel: Hw::square(3),
+            stride: Hw::square(1),
+            padding: Hw::square(1),
+            groups: 32,
+        };
+        assert!(dw.is_depthwise_for(32));
+        assert!(!dw.is_pointwise());
+    }
+
+    #[test]
+    fn pim_candidates_exclude_depthwise() {
+        let dw = Op::Conv2d(Conv2dAttrs {
+            out_channels: 32,
+            kernel: Hw::square(3),
+            stride: Hw::square(1),
+            padding: Hw::square(1),
+            groups: 32,
+        });
+        assert!(!dw.is_pim_candidate_for(32));
+        assert!(Op::Conv2d(Conv2dAttrs::pointwise(8)).is_pim_candidate_for(32));
+        assert!(Op::Dense(DenseAttrs { out_features: 10 }).is_pim_candidate_for(0));
+        assert!(!Op::Add.is_pim_candidate_for(32));
+    }
+
+    #[test]
+    fn arity() {
+        assert_eq!(Op::Add.arity(), Some(2));
+        assert_eq!(Op::Identity.arity(), Some(1));
+        assert_eq!(Op::Concat(ConcatAttrs { axis: 1 }).arity(), None);
+    }
+
+    #[test]
+    fn mnemonics_distinguish_conv_flavours() {
+        assert_eq!(Op::Conv2d(Conv2dAttrs::pointwise(4)).mnemonic(), "conv1x1");
+        let mut a = Conv2dAttrs::pointwise(4);
+        a.kernel = Hw::square(3);
+        assert_eq!(Op::Conv2d(a).mnemonic(), "conv");
+        a.groups = 4;
+        assert_eq!(Op::Conv2d(a).mnemonic(), "dwconv");
+    }
+
+    #[test]
+    fn slice_len() {
+        let s = SliceAttrs { axis: 1, begin: 3, end: 9 };
+        assert_eq!(s.len(), 6);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        for op in [
+            Op::Conv2d(Conv2dAttrs::pointwise(4)),
+            Op::Dense(DenseAttrs { out_features: 10 }),
+            Op::Add,
+            Op::Flatten,
+        ] {
+            assert!(!op.to_string().is_empty());
+        }
+    }
+}

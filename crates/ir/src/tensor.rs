@@ -1,0 +1,272 @@
+//! Tensor shapes and element types.
+//!
+//! All activation tensors in this workspace follow the paper's **NHWC**
+//! (channels-last) convention: the paper assumes NHWC "as it guarantees
+//! contiguous memory access in the channel dimension" (§2.2), and the memory
+//! layout optimizer (§4.3.2) relies on H-dimension slices of NHWC tensors
+//! being contiguous.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Element type of a tensor.
+///
+/// The Newton-style DRAM-PIM MAC units operate on 16-bit floating point
+/// values (16 multipliers fed by a 256-bit column I/O), so [`DataType::F16`]
+/// is the default for PIM-offloadable tensors. The reference executor
+/// computes in f32 regardless; `DataType` only affects *byte* accounting in
+/// the performance models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    /// 16-bit IEEE float (PIM-native).
+    F16,
+    /// 32-bit IEEE float.
+    F32,
+    /// 8-bit signed integer.
+    I8,
+}
+
+impl DataType {
+    /// Size of one element in bytes.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pimflow_ir::DataType;
+    /// assert_eq!(DataType::F16.size_bytes(), 2);
+    /// ```
+    pub fn size_bytes(self) -> usize {
+        match self {
+            DataType::F16 => 2,
+            DataType::F32 => 4,
+            DataType::I8 => 1,
+        }
+    }
+}
+
+impl Default for DataType {
+    fn default() -> Self {
+        DataType::F16
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::F16 => write!(f, "f16"),
+            DataType::F32 => write!(f, "f32"),
+            DataType::I8 => write!(f, "i8"),
+        }
+    }
+}
+
+/// A tensor shape: a list of dimension extents.
+///
+/// 4-D shapes are interpreted as NHWC; 2-D shapes as `[rows, features]`
+/// (the form consumed by [`crate::ops::Op::Dense`]).
+///
+/// # Examples
+///
+/// ```
+/// use pimflow_ir::Shape;
+/// let s = Shape::nhwc(1, 56, 56, 64);
+/// assert_eq!(s.numel(), 56 * 56 * 64);
+/// assert_eq!(s.c(), 64);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape(pub Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from raw dimensions.
+    pub fn new(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+
+    /// Creates a 4-D NHWC shape.
+    pub fn nhwc(n: usize, h: usize, w: usize, c: usize) -> Self {
+        Shape(vec![n, h, w, c])
+    }
+
+    /// Creates a 2-D `[rows, features]` shape.
+    pub fn rf(rows: usize, features: usize) -> Self {
+        Shape(vec![rows, features])
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Batch dimension of a 4-D (or 2-D) shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is 0-dimensional.
+    pub fn n(&self) -> usize {
+        self.0[0]
+    }
+
+    /// Height of a 4-D NHWC shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is not 4-D.
+    pub fn h(&self) -> usize {
+        assert_eq!(self.rank(), 4, "h() requires an NHWC shape, got {self}");
+        self.0[1]
+    }
+
+    /// Width of a 4-D NHWC shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is not 4-D.
+    pub fn w(&self) -> usize {
+        assert_eq!(self.rank(), 4, "w() requires an NHWC shape, got {self}");
+        self.0[2]
+    }
+
+    /// Channel count: the last dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is 0-dimensional.
+    pub fn c(&self) -> usize {
+        *self.0.last().expect("c() requires a non-empty shape")
+    }
+
+    /// Dimension extent at `axis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis` is out of range.
+    pub fn dim(&self, axis: usize) -> usize {
+        self.0[axis]
+    }
+
+    /// Returns a copy with `axis` replaced by `extent`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis` is out of range.
+    pub fn with_dim(&self, axis: usize, extent: usize) -> Shape {
+        let mut dims = self.0.clone();
+        dims[axis] = extent;
+        Shape(dims)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, "x")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+}
+
+/// Full description of a tensor: shape plus element type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TensorDesc {
+    /// Dimension extents.
+    pub shape: Shape,
+    /// Element type.
+    pub dtype: DataType,
+}
+
+impl TensorDesc {
+    /// Creates a descriptor.
+    pub fn new(shape: Shape, dtype: DataType) -> Self {
+        TensorDesc { shape, dtype }
+    }
+
+    /// Total size of the tensor in bytes.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pimflow_ir::{DataType, Shape, TensorDesc};
+    /// let d = TensorDesc::new(Shape::rf(1, 1000), DataType::F16);
+    /// assert_eq!(d.size_bytes(), 2000);
+    /// ```
+    pub fn size_bytes(&self) -> usize {
+        self.shape.numel() * self.dtype.size_bytes()
+    }
+}
+
+impl fmt::Display for TensorDesc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.shape, self.dtype)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dtype_sizes() {
+        assert_eq!(DataType::F16.size_bytes(), 2);
+        assert_eq!(DataType::F32.size_bytes(), 4);
+        assert_eq!(DataType::I8.size_bytes(), 1);
+    }
+
+    #[test]
+    fn nhwc_accessors() {
+        let s = Shape::nhwc(2, 14, 7, 320);
+        assert_eq!(s.n(), 2);
+        assert_eq!(s.h(), 14);
+        assert_eq!(s.w(), 7);
+        assert_eq!(s.c(), 320);
+        assert_eq!(s.numel(), 2 * 14 * 7 * 320);
+        assert_eq!(s.rank(), 4);
+    }
+
+    #[test]
+    fn rf_accessors() {
+        let s = Shape::rf(3, 768);
+        assert_eq!(s.n(), 3);
+        assert_eq!(s.c(), 768);
+        assert_eq!(s.rank(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "NHWC")]
+    fn h_panics_on_2d() {
+        Shape::rf(1, 10).h();
+    }
+
+    #[test]
+    fn with_dim_replaces_one_axis() {
+        let s = Shape::nhwc(1, 8, 8, 16).with_dim(1, 4);
+        assert_eq!(s, Shape::nhwc(1, 4, 8, 16));
+    }
+
+    #[test]
+    fn desc_bytes() {
+        let d = TensorDesc::new(Shape::nhwc(1, 4, 4, 8), DataType::F32);
+        assert_eq!(d.size_bytes(), 4 * 4 * 8 * 4);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Shape::nhwc(1, 2, 3, 4).to_string(), "[1x2x3x4]");
+        let d = TensorDesc::new(Shape::rf(1, 10), DataType::F16);
+        assert_eq!(d.to_string(), "[1x10]f16");
+    }
+}

@@ -1,0 +1,256 @@
+//! Graph executor: evaluates a [`Graph`] over concrete tensors.
+//!
+//! Parameters are regenerated deterministically from each node's
+//! `weight_key` (see [`crate::params`]), so execution is a pure function of
+//! `(graph structure, weight keys, inputs)`. Two graphs that are supposed to
+//! be semantically equivalent — e.g. before and after the MD-DP split pass —
+//! can therefore be compared by running both on the same input.
+
+use crate::ops;
+use crate::params::{param_vec, ParamRole};
+use crate::tensor::Tensor;
+use pimflow_ir::{Graph, GraphError, Op, ValueId};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while executing a graph.
+#[derive(Debug)]
+pub enum ExecError {
+    /// The graph itself is malformed.
+    Graph(GraphError),
+    /// An input tensor was missing or had the wrong shape.
+    Input(String),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Graph(e) => write!(f, "graph error: {e}"),
+            ExecError::Input(m) => write!(f, "input error: {m}"),
+        }
+    }
+}
+
+impl Error for ExecError {}
+
+impl From<GraphError> for ExecError {
+    fn from(e: GraphError) -> Self {
+        ExecError::Graph(e)
+    }
+}
+
+/// Regenerates weight/bias parameters for a CONV (groups = 1) or FC node,
+/// honouring an optional [`ParamView`]: the full `[fan_in, orig_out]` matrix
+/// is generated from the key, then columns `begin..end` are kept, so a node
+/// split along its output axis sees exactly its slice of the original
+/// weights.
+///
+/// [`ParamView`]: pimflow_ir::graph::ParamView
+fn sliced_params(
+    key: u64,
+    fan_in: usize,
+    out: usize,
+    view: Option<&pimflow_ir::graph::ParamView>,
+) -> (Vec<f32>, Vec<f32>) {
+    match view {
+        None => (
+            param_vec(key, ParamRole::Weight, fan_in * out, fan_in),
+            param_vec(key, ParamRole::Bias, out, fan_in),
+        ),
+        Some(v) => {
+            assert_eq!(v.len(), out, "param view width must match node output width");
+            let full_w = param_vec(key, ParamRole::Weight, fan_in * v.orig_out, fan_in);
+            let full_b = param_vec(key, ParamRole::Bias, v.orig_out, fan_in);
+            let mut w = Vec::with_capacity(fan_in * out);
+            for row in 0..fan_in {
+                w.extend_from_slice(&full_w[row * v.orig_out + v.begin..row * v.orig_out + v.end]);
+            }
+            (w, full_b[v.begin..v.end].to_vec())
+        }
+    }
+}
+
+/// Runs `graph` on the given input tensors (one per graph input, in order)
+/// and returns the output tensors (one per graph output, in order).
+///
+/// # Errors
+///
+/// Returns [`ExecError`] if the graph is malformed or inputs are missing or
+/// mis-shaped.
+///
+/// # Examples
+///
+/// ```
+/// use pimflow_ir::models;
+/// use pimflow_kernels::{run_graph, input_tensors};
+///
+/// let g = models::toy();
+/// let inputs = input_tensors(&g, 7);
+/// let out = run_graph(&g, &inputs).unwrap();
+/// assert_eq!(out[0].shape().c(), 10);
+/// ```
+pub fn run_graph(graph: &Graph, inputs: &[Tensor]) -> Result<Vec<Tensor>, ExecError> {
+    if inputs.len() != graph.inputs().len() {
+        return Err(ExecError::Input(format!(
+            "expected {} inputs, got {}",
+            graph.inputs().len(),
+            inputs.len()
+        )));
+    }
+    let mut env: HashMap<ValueId, Tensor> = HashMap::new();
+    for (&vid, tensor) in graph.inputs().iter().zip(inputs) {
+        if let Some(desc) = &graph.value(vid).desc {
+            if &desc.shape != tensor.shape() {
+                return Err(ExecError::Input(format!(
+                    "input `{}` expects shape {}, got {}",
+                    graph.value(vid).name,
+                    desc.shape,
+                    tensor.shape()
+                )));
+            }
+        }
+        env.insert(vid, tensor.clone());
+    }
+
+    for id in graph.topo_order()? {
+        let node = graph.node(id);
+        let get = |i: usize| -> &Tensor {
+            env.get(&node.inputs[i])
+                .expect("topological order guarantees inputs are computed")
+        };
+        let x = get(0);
+        let key = node.weight_key;
+        let out = match &node.op {
+            Op::Conv2d(a) => {
+                let ic = x.shape().c();
+                if a.groups > 1 {
+                    let fan_in = a.kernel.h * a.kernel.w;
+                    let w = param_vec(key, ParamRole::Weight, fan_in * ic, fan_in);
+                    let b = param_vec(key, ParamRole::Bias, a.out_channels, fan_in);
+                    ops::conv2d(x, &w, &b, a)
+                } else {
+                    let fan_in = a.kernel.h * a.kernel.w * ic;
+                    let (w, b) = sliced_params(key, fan_in, a.out_channels, node.param_view.as_ref());
+                    ops::conv2d(x, &w, &b, a)
+                }
+            }
+            Op::Dense(a) => {
+                let in_f = x.shape().c();
+                let (w, b) = sliced_params(key, in_f, a.out_features, node.param_view.as_ref());
+                ops::dense(x, &w, &b, a.out_features)
+            }
+            Op::Activation(k) => ops::activation(x, *k),
+            Op::Add => ops::add(x, get(1)),
+            Op::Mul => ops::mul(x, get(1)),
+            Op::Pool(a) => ops::pool(x, a),
+            Op::GlobalAvgPool => ops::global_avg_pool(x),
+            Op::BatchNorm => {
+                let c = x.shape().c();
+                let scale = param_vec(key, ParamRole::BnScale, c, 1);
+                let shift = param_vec(key, ParamRole::BnShift, c, 1);
+                ops::batch_norm(x, &scale, &shift)
+            }
+            Op::Pad(a) => ops::pad(x, a),
+            Op::Slice(a) => ops::slice(x, a),
+            Op::Concat(a) => {
+                let tensors: Vec<&Tensor> = node.inputs.iter().map(|v| &env[v]).collect();
+                ops::concat(&tensors, a.axis)
+            }
+            Op::Flatten => ops::flatten(x),
+            Op::Upsample { factor } => ops::upsample(x, *factor),
+            Op::Identity => x.clone(),
+        };
+        env.insert(node.output, out);
+    }
+
+    graph
+        .outputs()
+        .iter()
+        .map(|v| {
+            env.get(v)
+                .cloned()
+                .ok_or_else(|| ExecError::Input(format!("output value #{} never computed", v.index())))
+        })
+        .collect()
+}
+
+/// Generates deterministic input tensors for every graph input (values in
+/// `[-1, 1]` seeded by `seed`), for use in equivalence tests and examples.
+pub fn input_tensors(graph: &Graph, seed: u64) -> Vec<Tensor> {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    graph
+        .inputs()
+        .iter()
+        .enumerate()
+        .map(|(i, &vid)| {
+            let shape = graph
+                .value(vid)
+                .desc
+                .as_ref()
+                .expect("graph inputs always carry shapes")
+                .shape
+                .clone();
+            let mut rng = SmallRng::seed_from_u64(seed.wrapping_add(i as u64 * 0x1234_5678));
+            Tensor::from_fn(shape, |_| rng.gen_range(-1.0..1.0))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pimflow_ir::models;
+
+    #[test]
+    fn toy_model_runs_end_to_end() {
+        let g = models::toy();
+        let inputs = input_tensors(&g, 1);
+        let out = run_graph(&g, &inputs).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].shape().c(), 10);
+        // Output must be finite and non-degenerate.
+        assert!(out[0].data().iter().all(|v| v.is_finite()));
+        let spread = out[0].data().iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        assert!(spread > 0.0, "all-zero output suggests broken wiring");
+    }
+
+    #[test]
+    fn execution_is_deterministic() {
+        let g = models::toy();
+        let inputs = input_tensors(&g, 9);
+        let a = run_graph(&g, &inputs).unwrap();
+        let b = run_graph(&g, &inputs).unwrap();
+        assert!(a[0].allclose(&b[0], 0.0));
+    }
+
+    #[test]
+    fn different_inputs_give_different_outputs() {
+        let g = models::toy();
+        let a = run_graph(&g, &input_tensors(&g, 1)).unwrap();
+        let b = run_graph(&g, &input_tensors(&g, 2)).unwrap();
+        assert!(!a[0].allclose(&b[0], 1e-7));
+    }
+
+    #[test]
+    fn wrong_input_count_errors() {
+        let g = models::toy();
+        assert!(matches!(run_graph(&g, &[]), Err(ExecError::Input(_))));
+    }
+
+    #[test]
+    fn wrong_input_shape_errors() {
+        let g = models::toy();
+        let bad = vec![Tensor::zeros(pimflow_ir::Shape::nhwc(1, 8, 8, 3))];
+        assert!(matches!(run_graph(&g, &bad), Err(ExecError::Input(_))));
+    }
+
+    #[test]
+    fn bert_like_runs() {
+        let g = models::bert_like(2);
+        let out = run_graph(&g, &input_tensors(&g, 3)).unwrap();
+        assert_eq!(out[0].shape().n(), 2);
+        assert!(out[0].data().iter().all(|v| v.is_finite()));
+    }
+}

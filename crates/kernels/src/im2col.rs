@@ -1,0 +1,176 @@
+//! Convolution lowering (im2col).
+//!
+//! The paper maps CONV layers to DRAM-PIM by applying convolution lowering
+//! first and then iterating matrix-vector multiplications over the rows of
+//! the lowered input matrix (§2.2, Fig. 2). This module implements the
+//! lowering itself; the PIM code generator consumes only its *dimensions*,
+//! while tests use the full matrices to prove `conv == im2col x GEMM`.
+
+use crate::tensor::Tensor;
+use pimflow_ir::{Conv2dAttrs, Shape};
+
+/// Dimensions of a lowered convolution, as consumed by the DRAM-PIM code
+/// generator: the filter matrix is `[k_elems, out_channels]` resident in the
+/// memory cell arrays, and each of the `rows` input-matrix rows (length
+/// `k_elems`) is pushed to the global buffers by GWRITE commands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoweredConv {
+    /// Rows of the lowered input matrix (`N * OH * OW`).
+    pub rows: usize,
+    /// Row length (`KH * KW * IC` for regular, `KH * KW` per channel for
+    /// depthwise).
+    pub k_elems: usize,
+    /// Columns of the filter matrix (output channels).
+    pub out_channels: usize,
+    /// True if each GWRITE row gathers from non-contiguous addresses
+    /// (any kernel other than pointwise), requiring the strided-GWRITE
+    /// command extension (§4.1).
+    pub strided: bool,
+}
+
+/// Computes the lowered dimensions of a convolution over `input_shape`.
+///
+/// # Panics
+///
+/// Panics if `input_shape` is not 4-D or the kernel does not fit.
+pub fn lowered_dims(input_shape: &Shape, attrs: &Conv2dAttrs) -> LoweredConv {
+    assert_eq!(input_shape.rank(), 4, "conv input must be NHWC");
+    let (n, h, w, c) = (
+        input_shape.n(),
+        input_shape.h(),
+        input_shape.w(),
+        input_shape.c(),
+    );
+    let oh = pimflow_ir::shape_infer::conv_out_extent(h, attrs.kernel.h, attrs.stride.h, attrs.padding.h)
+        .expect("kernel must fit input height");
+    let ow = pimflow_ir::shape_infer::conv_out_extent(w, attrs.kernel.w, attrs.stride.w, attrs.padding.w)
+        .expect("kernel must fit input width");
+    let k_spatial = attrs.kernel.h * attrs.kernel.w;
+    LoweredConv {
+        rows: n * oh * ow,
+        k_elems: if attrs.groups > 1 { k_spatial } else { k_spatial * c },
+        out_channels: attrs.out_channels,
+        strided: !(attrs.kernel.h == 1 && attrs.kernel.w == 1 && attrs.padding.h == 0 && attrs.padding.w == 0),
+    }
+}
+
+/// Materializes the lowered input matrix `[rows, k_elems]` for a regular
+/// (groups = 1) convolution over a batch-1 NHWC input.
+///
+/// # Panics
+///
+/// Panics on depthwise attrs or batch != 1 (tests only need batch 1, the
+/// paper's inference setting).
+pub fn im2col(x: &Tensor, attrs: &Conv2dAttrs) -> Tensor {
+    assert_eq!(attrs.groups, 1, "im2col supports regular conv only");
+    assert_eq!(x.shape().n(), 1, "im2col supports batch 1");
+    let dims = lowered_dims(x.shape(), attrs);
+    let (ih, iw, ic) = (x.shape().h(), x.shape().w(), x.shape().c());
+    let oh = pimflow_ir::shape_infer::conv_out_extent(ih, attrs.kernel.h, attrs.stride.h, attrs.padding.h).unwrap();
+    let ow = pimflow_ir::shape_infer::conv_out_extent(iw, attrs.kernel.w, attrs.stride.w, attrs.padding.w).unwrap();
+    let mut m = Tensor::zeros(Shape::rf(dims.rows, dims.k_elems));
+    let xd = x.data();
+    let md = m.data_mut();
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let row = oy * ow + ox;
+            for ky in 0..attrs.kernel.h {
+                let iy = (oy * attrs.stride.h + ky) as isize - attrs.padding.h as isize;
+                for kx in 0..attrs.kernel.w {
+                    let ix = (ox * attrs.stride.w + kx) as isize - attrs.padding.w as isize;
+                    for ci in 0..ic {
+                        let col = (ky * attrs.kernel.w + kx) * ic + ci;
+                        let v = if iy >= 0 && (iy as usize) < ih && ix >= 0 && (ix as usize) < iw {
+                            xd[((iy as usize) * iw + ix as usize) * ic + ci]
+                        } else {
+                            0.0
+                        };
+                        md[row * dims.k_elems + col] = v;
+                    }
+                }
+            }
+        }
+    }
+    m
+}
+
+/// Plain GEMM: `[m, k] x [k, n] -> [m, n]` (used to check the lowering).
+pub fn gemm(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.shape().rank(), 2);
+    assert_eq!(b.shape().rank(), 2);
+    let (m, k) = (a.shape().n(), a.shape().c());
+    let (k2, n) = (b.shape().n(), b.shape().c());
+    assert_eq!(k, k2, "gemm inner dimension mismatch");
+    let mut out = Tensor::zeros(Shape::rf(m, n));
+    let (ad, bd) = (a.data(), b.data());
+    let od = out.data_mut();
+    for i in 0..m {
+        for kk in 0..k {
+            let av = ad[i * k + kk];
+            if av == 0.0 {
+                continue;
+            }
+            for j in 0..n {
+                od[i * n + j] += av * bd[kk * n + j];
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::conv2d;
+    use pimflow_ir::Hw;
+
+    #[test]
+    fn lowered_dims_pointwise() {
+        let d = lowered_dims(&Shape::nhwc(1, 14, 14, 64), &Conv2dAttrs::pointwise(128));
+        assert_eq!(d.rows, 14 * 14);
+        assert_eq!(d.k_elems, 64);
+        assert_eq!(d.out_channels, 128);
+        assert!(!d.strided);
+    }
+
+    #[test]
+    fn lowered_dims_3x3_is_strided() {
+        let attrs = Conv2dAttrs {
+            out_channels: 16,
+            kernel: Hw::square(3),
+            stride: Hw::square(1),
+            padding: Hw::square(1),
+            groups: 1,
+        };
+        let d = lowered_dims(&Shape::nhwc(1, 8, 8, 4), &attrs);
+        assert_eq!(d.rows, 64);
+        assert_eq!(d.k_elems, 36);
+        assert!(d.strided);
+    }
+
+    #[test]
+    fn im2col_gemm_equals_direct_conv() {
+        // The fundamental lowering identity the PIM mapping relies on.
+        let attrs = Conv2dAttrs {
+            out_channels: 5,
+            kernel: Hw::square(3),
+            stride: Hw::square(2),
+            padding: Hw::square(1),
+            groups: 1,
+        };
+        let x = Tensor::from_fn(Shape::nhwc(1, 9, 7, 3), |i| ((i * 31 + 7) % 17) as f32 * 0.1 - 0.8);
+        let k_elems = 3 * 3 * 3;
+        let w: Vec<f32> = (0..k_elems * 5).map(|i| ((i * 13 + 5) % 11) as f32 * 0.05 - 0.25).collect();
+        let bias = vec![0.0; 5];
+
+        let direct = conv2d(&x, &w, &bias, &attrs);
+        let lowered = im2col(&x, &attrs);
+        let w_mat = Tensor::from_vec(Shape::rf(k_elems, 5), w);
+        let via_gemm = gemm(&lowered, &w_mat);
+
+        // Reshape direct output [1,oh,ow,oc] to [rows, oc] for comparison.
+        let rows = direct.shape().h() * direct.shape().w();
+        let direct2 = Tensor::from_vec(Shape::rf(rows, 5), direct.data().to_vec());
+        assert!(via_gemm.allclose(&direct2, 1e-4));
+    }
+}

@@ -1,0 +1,562 @@
+//! Reference implementations of every operator in the IR.
+//!
+//! These are deliberately straightforward loop nests: they are the
+//! correctness oracle for the transformation passes, not a fast runtime.
+
+use crate::tensor::Tensor;
+use pimflow_ir::{ActivationKind, Conv2dAttrs, PadAttrs, PoolAttrs, PoolKind, Shape, SliceAttrs};
+
+/// Direct 2-D convolution over an NHWC input.
+///
+/// Weight layout: `[kh][kw][ic_per_group][oc]` flattened row-major for
+/// regular convolution and `[kh][kw][c]` for depthwise.
+///
+/// # Panics
+///
+/// Panics if shapes/lengths are inconsistent with `attrs`.
+pub fn conv2d(x: &Tensor, weights: &[f32], bias: &[f32], attrs: &Conv2dAttrs) -> Tensor {
+    let (n, ih, iw, ic) = (x.shape().n(), x.shape().h(), x.shape().w(), x.shape().c());
+    let (kh, kw) = (attrs.kernel.h, attrs.kernel.w);
+    let (sh, sw) = (attrs.stride.h, attrs.stride.w);
+    let (ph, pw) = (attrs.padding.h, attrs.padding.w);
+    let oc = attrs.out_channels;
+    let depthwise = attrs.groups > 1;
+    if depthwise {
+        assert!(attrs.is_depthwise_for(ic), "unsupported grouped conv");
+        assert_eq!(weights.len(), kh * kw * ic, "depthwise weight length");
+    } else {
+        assert_eq!(weights.len(), kh * kw * ic * oc, "conv weight length");
+    }
+    assert_eq!(bias.len(), oc, "bias length");
+
+    let oh = (ih + 2 * ph - kh) / sh + 1;
+    let ow = (iw + 2 * pw - kw) / sw + 1;
+    let mut out = Tensor::zeros(Shape::nhwc(n, oh, ow, oc));
+    let xd = x.data();
+    let od = out.data_mut();
+    for b in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                for co in 0..oc {
+                    let mut acc = bias[co];
+                    for ky in 0..kh {
+                        let iy = (oy * sh + ky) as isize - ph as isize;
+                        if iy < 0 || iy as usize >= ih {
+                            continue;
+                        }
+                        for kx in 0..kw {
+                            let ix = (ox * sw + kx) as isize - pw as isize;
+                            if ix < 0 || ix as usize >= iw {
+                                continue;
+                            }
+                            let in_base = ((b * ih + iy as usize) * iw + ix as usize) * ic;
+                            if depthwise {
+                                let w = weights[(ky * kw + kx) * ic + co];
+                                acc += xd[in_base + co] * w;
+                            } else {
+                                let w_base = ((ky * kw + kx) * ic) * oc + co;
+                                for ci in 0..ic {
+                                    acc += xd[in_base + ci] * weights[w_base + ci * oc];
+                                }
+                            }
+                        }
+                    }
+                    od[((b * oh + oy) * ow + ox) * oc + co] = acc;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Fully-connected layer: `y = x W + b` with `W` laid out `[in][out]`.
+///
+/// # Panics
+///
+/// Panics if shapes/lengths are inconsistent.
+pub fn dense(x: &Tensor, weights: &[f32], bias: &[f32], out_features: usize) -> Tensor {
+    assert_eq!(x.shape().rank(), 2, "dense input must be 2-D");
+    let (rows, in_f) = (x.shape().n(), x.shape().c());
+    assert_eq!(weights.len(), in_f * out_features, "dense weight length");
+    assert_eq!(bias.len(), out_features, "bias length");
+    let mut out = Tensor::zeros(Shape::rf(rows, out_features));
+    let xd = x.data();
+    let od = out.data_mut();
+    for r in 0..rows {
+        for o in 0..out_features {
+            let mut acc = bias[o];
+            for i in 0..in_f {
+                acc += xd[r * in_f + i] * weights[i * out_features + o];
+            }
+            od[r * out_features + o] = acc;
+        }
+    }
+    out
+}
+
+/// Applies a unary activation element-wise (softmax is applied row-wise over
+/// the last dimension).
+pub fn activation(x: &Tensor, kind: ActivationKind) -> Tensor {
+    let mut out = x.clone();
+    match kind {
+        ActivationKind::Relu => {
+            for v in out.data_mut() {
+                *v = v.max(0.0);
+            }
+        }
+        ActivationKind::Relu6 => {
+            for v in out.data_mut() {
+                *v = v.clamp(0.0, 6.0);
+            }
+        }
+        ActivationKind::Sigmoid => {
+            for v in out.data_mut() {
+                *v = 1.0 / (1.0 + (-*v).exp());
+            }
+        }
+        ActivationKind::Swish => {
+            for v in out.data_mut() {
+                *v *= 1.0 / (1.0 + (-*v).exp());
+            }
+        }
+        ActivationKind::Gelu => {
+            for v in out.data_mut() {
+                // tanh approximation of GELU.
+                let x3 = *v * *v * *v;
+                *v = 0.5 * *v * (1.0 + ((0.797_884_6) * (*v + 0.044715 * x3)).tanh());
+            }
+        }
+        ActivationKind::Tanh => {
+            for v in out.data_mut() {
+                *v = v.tanh();
+            }
+        }
+        ActivationKind::Softmax => {
+            let c = x.shape().c();
+            let rows = x.shape().numel() / c;
+            let d = out.data_mut();
+            for r in 0..rows {
+                let row = &mut d[r * c..(r + 1) * c];
+                let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+                let mut sum = 0.0;
+                for v in row.iter_mut() {
+                    *v = (*v - max).exp();
+                    sum += *v;
+                }
+                for v in row.iter_mut() {
+                    *v /= sum;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Element-wise addition.
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn add(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.shape(), b.shape(), "add shape mismatch");
+    let mut out = a.clone();
+    for (o, &v) in out.data_mut().iter_mut().zip(b.data()) {
+        *o += v;
+    }
+    out
+}
+
+/// Element-wise multiplication with optional `[N,1,1,C]` broadcast of `b`.
+///
+/// # Panics
+///
+/// Panics if shapes are incompatible.
+pub fn mul(a: &Tensor, b: &Tensor) -> Tensor {
+    if a.shape() == b.shape() {
+        let mut out = a.clone();
+        for (o, &v) in out.data_mut().iter_mut().zip(b.data()) {
+            *o *= v;
+        }
+        return out;
+    }
+    // Broadcast path: b is [N,1,1,C].
+    assert_eq!(a.shape().rank(), 4, "broadcast mul needs NHWC");
+    assert_eq!(b.shape().rank(), 4, "broadcast mul needs NHWC");
+    assert_eq!((b.shape().h(), b.shape().w()), (1, 1), "mul operand not broadcastable");
+    assert_eq!(a.shape().c(), b.shape().c(), "mul channel mismatch");
+    assert_eq!(a.shape().n(), b.shape().n(), "mul batch mismatch");
+    let c = a.shape().c();
+    let mut out = a.clone();
+    let bd = b.data();
+    let (n, h, w) = (a.shape().n(), a.shape().h(), a.shape().w());
+    let od = out.data_mut();
+    for bi in 0..n {
+        for i in 0..h * w {
+            for ci in 0..c {
+                od[(bi * h * w + i) * c + ci] *= bd[bi * c + ci];
+            }
+        }
+    }
+    out
+}
+
+/// Inference-mode batch normalization: `y = x * scale[c] + shift[c]`.
+///
+/// # Panics
+///
+/// Panics if parameter lengths do not match the channel count.
+pub fn batch_norm(x: &Tensor, scale: &[f32], shift: &[f32]) -> Tensor {
+    let c = x.shape().c();
+    assert_eq!(scale.len(), c, "bn scale length");
+    assert_eq!(shift.len(), c, "bn shift length");
+    let mut out = x.clone();
+    for (i, v) in out.data_mut().iter_mut().enumerate() {
+        let ci = i % c;
+        *v = *v * scale[ci] + shift[ci];
+    }
+    out
+}
+
+/// Spatial pooling.
+pub fn pool(x: &Tensor, attrs: &PoolAttrs) -> Tensor {
+    let (n, ih, iw, c) = (x.shape().n(), x.shape().h(), x.shape().w(), x.shape().c());
+    let (kh, kw) = (attrs.kernel.h, attrs.kernel.w);
+    let (sh, sw) = (attrs.stride.h, attrs.stride.w);
+    let (ph, pw) = (attrs.padding.h, attrs.padding.w);
+    let oh = (ih + 2 * ph - kh) / sh + 1;
+    let ow = (iw + 2 * pw - kw) / sw + 1;
+    let mut out = Tensor::zeros(Shape::nhwc(n, oh, ow, c));
+    let xd = x.data();
+    let od = out.data_mut();
+    for b in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                for ci in 0..c {
+                    let mut acc = match attrs.kind {
+                        PoolKind::Max => f32::NEG_INFINITY,
+                        PoolKind::Avg => 0.0,
+                    };
+                    let mut count = 0;
+                    for ky in 0..kh {
+                        let iy = (oy * sh + ky) as isize - ph as isize;
+                        if iy < 0 || iy as usize >= ih {
+                            continue;
+                        }
+                        for kx in 0..kw {
+                            let ix = (ox * sw + kx) as isize - pw as isize;
+                            if ix < 0 || ix as usize >= iw {
+                                continue;
+                            }
+                            let v = xd[((b * ih + iy as usize) * iw + ix as usize) * c + ci];
+                            match attrs.kind {
+                                PoolKind::Max => acc = acc.max(v),
+                                PoolKind::Avg => acc += v,
+                            }
+                            count += 1;
+                        }
+                    }
+                    od[((b * oh + oy) * ow + ox) * c + ci] = match attrs.kind {
+                        PoolKind::Max => acc,
+                        // Count-includes-padding=false semantics.
+                        PoolKind::Avg => {
+                            if count > 0 {
+                                acc / count as f32
+                            } else {
+                                0.0
+                            }
+                        }
+                    };
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Global average pooling: NHWC -> `[N,1,1,C]`.
+pub fn global_avg_pool(x: &Tensor) -> Tensor {
+    let (n, h, w, c) = (x.shape().n(), x.shape().h(), x.shape().w(), x.shape().c());
+    let mut out = Tensor::zeros(Shape::nhwc(n, 1, 1, c));
+    let xd = x.data();
+    let od = out.data_mut();
+    for b in 0..n {
+        for i in 0..h * w {
+            for ci in 0..c {
+                od[b * c + ci] += xd[(b * h * w + i) * c + ci];
+            }
+        }
+    }
+    let inv = 1.0 / (h * w) as f32;
+    for v in od {
+        *v *= inv;
+    }
+    out
+}
+
+/// Zero-pads the spatial dimensions of an NHWC tensor.
+pub fn pad(x: &Tensor, attrs: &PadAttrs) -> Tensor {
+    let (n, h, w, c) = (x.shape().n(), x.shape().h(), x.shape().w(), x.shape().c());
+    let (oh, ow) = (h + attrs.extra_h(), w + attrs.extra_w());
+    let mut out = Tensor::zeros(Shape::nhwc(n, oh, ow, c));
+    for b in 0..n {
+        for y in 0..h {
+            for xx in 0..w {
+                for ci in 0..c {
+                    let v = x.get(&[b, y, xx, ci]);
+                    out.set(&[b, y + attrs.top, xx + attrs.left, ci], v);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Slices along a single axis.
+///
+/// # Panics
+///
+/// Panics if the slice range is invalid.
+pub fn slice(x: &Tensor, attrs: &SliceAttrs) -> Tensor {
+    let shape = x.shape();
+    assert!(attrs.axis < shape.rank(), "slice axis out of range");
+    assert!(attrs.end <= shape.dim(attrs.axis) && !attrs.is_empty(), "invalid slice range");
+    let out_shape = shape.with_dim(attrs.axis, attrs.len());
+    let mut out = Tensor::zeros(out_shape.clone());
+    let mut idx = vec![0usize; shape.rank()];
+    let total = out_shape.numel();
+    for lin in 0..total {
+        // Decode lin into out-coordinates.
+        let mut rem = lin;
+        for ax in (0..out_shape.rank()).rev() {
+            idx[ax] = rem % out_shape.dim(ax);
+            rem /= out_shape.dim(ax);
+        }
+        let mut src = idx.clone();
+        src[attrs.axis] += attrs.begin;
+        out.data_mut()[lin] = x.get(&src);
+    }
+    out
+}
+
+/// Concatenates tensors along a single axis.
+///
+/// # Panics
+///
+/// Panics if fewer than one input is given or shapes are incompatible.
+pub fn concat(inputs: &[&Tensor], axis: usize) -> Tensor {
+    assert!(!inputs.is_empty(), "concat needs inputs");
+    let first = inputs[0].shape();
+    let total_axis: usize = inputs.iter().map(|t| t.shape().dim(axis)).sum();
+    let out_shape = first.with_dim(axis, total_axis);
+    let mut out = Tensor::zeros(out_shape.clone());
+    let rank = out_shape.rank();
+    let mut axis_offset = 0;
+    for t in inputs {
+        let s = t.shape();
+        let n = s.numel();
+        let mut idx = vec![0usize; rank];
+        for lin in 0..n {
+            let mut rem = lin;
+            for ax in (0..rank).rev() {
+                idx[ax] = rem % s.dim(ax);
+                rem /= s.dim(ax);
+            }
+            let mut dst = idx.clone();
+            dst[axis] += axis_offset;
+            let v = t.data()[lin];
+            out.set(&dst, v);
+        }
+        axis_offset += s.dim(axis);
+    }
+    out
+}
+
+/// Nearest-neighbour upsampling of an NHWC tensor by `factor`.
+///
+/// # Panics
+///
+/// Panics if `factor == 0`.
+pub fn upsample(x: &Tensor, factor: usize) -> Tensor {
+    assert!(factor >= 1, "upsample factor must be >= 1");
+    let (n, h, w, c) = (x.shape().n(), x.shape().h(), x.shape().w(), x.shape().c());
+    let mut out = Tensor::zeros(Shape::nhwc(n, h * factor, w * factor, c));
+    for b in 0..n {
+        for oy in 0..h * factor {
+            for ox in 0..w * factor {
+                for ci in 0..c {
+                    let v = x.get(&[b, oy / factor, ox / factor, ci]);
+                    out.set(&[b, oy, ox, ci], v);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Flattens to `[N, rest]`.
+pub fn flatten(x: &Tensor) -> Tensor {
+    let n = x.shape().n();
+    let rest = x.shape().numel() / n;
+    Tensor::from_vec(Shape::rf(n, rest), x.data().to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pimflow_ir::Hw;
+
+    fn seq_tensor(shape: Shape) -> Tensor {
+        Tensor::from_fn(shape, |i| (i % 13) as f32 * 0.25 - 1.0)
+    }
+
+    #[test]
+    fn conv_identity_kernel() {
+        // 1x1 conv with identity weight matrix preserves input channels.
+        let x = seq_tensor(Shape::nhwc(1, 3, 3, 2));
+        let w = vec![1.0, 0.0, 0.0, 1.0]; // [ic=2][oc=2] identity
+        let b = vec![0.0, 0.0];
+        let y = conv2d(&x, &w, &b, &Conv2dAttrs::pointwise(2));
+        assert!(y.allclose(&x, 1e-6));
+    }
+
+    #[test]
+    fn conv_matches_hand_computation() {
+        // 2x2 input, 2x2 kernel, single channel: one output element.
+        let x = Tensor::from_vec(Shape::nhwc(1, 2, 2, 1), vec![1.0, 2.0, 3.0, 4.0]);
+        let w = vec![0.5, -1.0, 2.0, 0.25];
+        let attrs = Conv2dAttrs {
+            out_channels: 1,
+            kernel: Hw::square(2),
+            stride: Hw::square(1),
+            padding: Hw::square(0),
+            groups: 1,
+        };
+        let y = conv2d(&x, &w, &[1.0], &attrs);
+        let expect = 1.0 * 0.5 + 2.0 * -1.0 + 3.0 * 2.0 + 4.0 * 0.25 + 1.0;
+        assert!((y.data()[0] - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn conv_padding_zero_extends() {
+        let x = Tensor::from_vec(Shape::nhwc(1, 1, 1, 1), vec![3.0]);
+        let attrs = Conv2dAttrs {
+            out_channels: 1,
+            kernel: Hw::square(3),
+            stride: Hw::square(1),
+            padding: Hw::square(1),
+            groups: 1,
+        };
+        let w = vec![1.0; 9];
+        let y = conv2d(&x, &w, &[0.0], &attrs);
+        assert_eq!(y.shape(), &Shape::nhwc(1, 1, 1, 1));
+        assert!((y.data()[0] - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn depthwise_scales_channels_independently() {
+        let x = Tensor::from_vec(Shape::nhwc(1, 1, 1, 2), vec![2.0, 5.0]);
+        let attrs = Conv2dAttrs {
+            out_channels: 2,
+            kernel: Hw::square(1),
+            stride: Hw::square(1),
+            padding: Hw::square(0),
+            groups: 2,
+        };
+        let y = conv2d(&x, &[10.0, 100.0], &[0.0, 0.0], &attrs);
+        assert_eq!(y.data(), &[20.0, 500.0]);
+    }
+
+    #[test]
+    fn dense_matches_matvec() {
+        let x = Tensor::from_vec(Shape::rf(1, 3), vec![1.0, 2.0, 3.0]);
+        // W [3][2] row-major by input.
+        let w = vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0];
+        let y = dense(&x, &w, &[0.5, -0.5], 2);
+        assert_eq!(y.data(), &[1.0 + 3.0 + 0.5, 2.0 + 3.0 - 0.5]);
+    }
+
+    #[test]
+    fn activations_clamp() {
+        let x = Tensor::from_vec(Shape::rf(1, 3), vec![-1.0, 3.0, 9.0]);
+        assert_eq!(activation(&x, ActivationKind::Relu).data(), &[0.0, 3.0, 9.0]);
+        assert_eq!(activation(&x, ActivationKind::Relu6).data(), &[0.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let x = seq_tensor(Shape::rf(3, 5));
+        let y = activation(&x, ActivationKind::Softmax);
+        for r in 0..3 {
+            let s: f32 = y.data()[r * 5..(r + 1) * 5].iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn mul_broadcasts_se_scale() {
+        let x = Tensor::from_vec(Shape::nhwc(1, 1, 2, 2), vec![1.0, 2.0, 3.0, 4.0]);
+        let s = Tensor::from_vec(Shape::nhwc(1, 1, 1, 2), vec![10.0, 0.5]);
+        let y = mul(&x, &s);
+        assert_eq!(y.data(), &[10.0, 1.0, 30.0, 2.0]);
+    }
+
+    #[test]
+    fn gap_averages() {
+        let x = Tensor::from_vec(Shape::nhwc(1, 2, 2, 1), vec![1.0, 2.0, 3.0, 6.0]);
+        let y = global_avg_pool(&x);
+        assert_eq!(y.data(), &[3.0]);
+    }
+
+    #[test]
+    fn maxpool_picks_max() {
+        let x = Tensor::from_vec(Shape::nhwc(1, 2, 2, 1), vec![1.0, 7.0, 3.0, 2.0]);
+        let attrs = PoolAttrs {
+            kind: PoolKind::Max,
+            kernel: Hw::square(2),
+            stride: Hw::square(2),
+            padding: Hw::square(0),
+        };
+        assert_eq!(pool(&x, &attrs).data(), &[7.0]);
+    }
+
+    #[test]
+    fn slice_concat_roundtrip() {
+        let x = seq_tensor(Shape::nhwc(1, 6, 2, 3));
+        let a = slice(&x, &SliceAttrs { axis: 1, begin: 0, end: 2 });
+        let b = slice(&x, &SliceAttrs { axis: 1, begin: 2, end: 6 });
+        let y = concat(&[&a, &b], 1);
+        assert!(y.allclose(&x, 0.0));
+    }
+
+    #[test]
+    fn pad_then_slice_recovers_input() {
+        let x = seq_tensor(Shape::nhwc(1, 3, 3, 2));
+        let p = pad(&x, &PadAttrs { top: 1, bottom: 2, left: 1, right: 1 });
+        let inner = slice(&p, &SliceAttrs { axis: 1, begin: 1, end: 4 });
+        let inner = slice(&inner, &SliceAttrs { axis: 2, begin: 1, end: 4 });
+        assert!(inner.allclose(&x, 0.0));
+    }
+
+    #[test]
+    fn bn_is_per_channel_affine() {
+        let x = Tensor::from_vec(Shape::nhwc(1, 1, 2, 2), vec![1.0, 1.0, 2.0, 2.0]);
+        let y = batch_norm(&x, &[2.0, 3.0], &[0.0, 1.0]);
+        assert_eq!(y.data(), &[2.0, 4.0, 4.0, 7.0]);
+    }
+
+    #[test]
+    fn upsample_replicates_nearest() {
+        let x = Tensor::from_vec(Shape::nhwc(1, 1, 2, 1), vec![1.0, 2.0]);
+        let y = upsample(&x, 2);
+        assert_eq!(y.shape(), &Shape::nhwc(1, 2, 4, 1));
+        assert_eq!(y.data(), &[1.0, 1.0, 2.0, 2.0, 1.0, 1.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn flatten_preserves_data() {
+        let x = seq_tensor(Shape::nhwc(2, 2, 2, 2));
+        let y = flatten(&x);
+        assert_eq!(y.shape(), &Shape::rf(2, 8));
+        assert_eq!(y.data(), x.data());
+    }
+}

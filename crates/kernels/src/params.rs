@@ -1,0 +1,94 @@
+//! Deterministic parameter generation.
+//!
+//! The model zoo carries no weight data; instead every node has a
+//! `weight_key` and parameters are regenerated on demand from that key.
+//! Transformation passes clone the key when they split a node, so the two
+//! halves see identical filters — the property that makes "transformed graph
+//! ≡ original graph" testable numerically.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Distinguishes the different parameter tensors of one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParamRole {
+    /// Convolution filters / dense weight matrix.
+    Weight,
+    /// Additive bias.
+    Bias,
+    /// Batch-norm scale (gamma / sqrt(var)).
+    BnScale,
+    /// Batch-norm shift (beta - mean * scale).
+    BnShift,
+}
+
+impl ParamRole {
+    fn salt(self) -> u64 {
+        match self {
+            ParamRole::Weight => 0x57,
+            ParamRole::Bias => 0xB1A5,
+            ParamRole::BnScale => 0x5CA1E,
+            ParamRole::BnShift => 0x5817F7,
+        }
+    }
+}
+
+/// Generates `len` deterministic parameter values for `(key, role)`.
+///
+/// Values are drawn uniformly from `[-s, s]` where `s = 1/sqrt(fan_in + 1)`,
+/// keeping activations numerically tame through deep stacks (a crude
+/// Xavier/Glorot initialization — the executor only needs well-conditioned
+/// numbers, not trained accuracy).
+pub fn param_vec(key: u64, role: ParamRole, len: usize, fan_in: usize) -> Vec<f32> {
+    let seed = key
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(role.salt().wrapping_mul(0xD1B5_4A32_D192_ED03));
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let scale = 1.0 / ((fan_in as f32) + 1.0).sqrt();
+    match role {
+        // Batch-norm scale must stay away from zero to avoid collapsing
+        // activations; draw from [0.5, 1.5].
+        ParamRole::BnScale => (0..len).map(|_| rng.gen_range(0.5..1.5)).collect(),
+        _ => (0..len).map(|_| rng.gen_range(-scale..scale)).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_key() {
+        let a = param_vec(42, ParamRole::Weight, 16, 9);
+        let b = param_vec(42, ParamRole::Weight, 16, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_keys_differ() {
+        let a = param_vec(1, ParamRole::Weight, 16, 9);
+        let b = param_vec(2, ParamRole::Weight, 16, 9);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn roles_decorrelate() {
+        let a = param_vec(1, ParamRole::Weight, 16, 9);
+        let b = param_vec(1, ParamRole::Bias, 16, 9);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn bn_scale_is_positive() {
+        for v in param_vec(7, ParamRole::BnScale, 64, 1) {
+            assert!(v >= 0.5 && v <= 1.5);
+        }
+    }
+
+    #[test]
+    fn magnitude_shrinks_with_fan_in() {
+        let wide = param_vec(3, ParamRole::Weight, 1000, 10_000);
+        let max = wide.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        assert!(max < 0.011);
+    }
+}

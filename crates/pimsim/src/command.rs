@@ -1,0 +1,181 @@
+//! DRAM-PIM commands and command blocks.
+//!
+//! The command vocabulary follows Newton (§2.1): `GWRITE` pushes input data
+//! into a global buffer, `G_ACT` activates filter rows across all banks,
+//! `COMP` triggers one column-I/O-wide MAC against a buffer, and `READRES`
+//! drains the result latches. PIMFlow's extensions (§4.1) appear as
+//! attributes: the target buffer index (multi-buffer `GWRITE_2`/`GWRITE_4`
+//! behaviour), strided GWRITE, and the latency-hiding overlap handled by the
+//! timing engine.
+
+use serde::{Deserialize, Serialize};
+
+/// A single PIM (or interleaved GPU) command on one channel.
+///
+/// `Comp` is run-length encoded: `repeat` consecutive COMP issues at `tCCD`
+/// spacing. The timing engine's fast path is exact with respect to the
+/// expanded form (see `timing::tests::rle_matches_expanded`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PimCommand {
+    /// Push `bytes` of input data into global buffer `buffer`.
+    Gwrite {
+        /// Destination global buffer index.
+        buffer: u8,
+        /// Payload size in bytes.
+        bytes: u32,
+    },
+    /// Activate filter row `row` across all banks. Re-activating the row
+    /// that is already open is a no-op (row-buffer hit) — this is what lets
+    /// small 1x1-conv filter tiles stream thousands of input rows with a
+    /// single activation.
+    GAct {
+        /// Filter-row identifier within the layer tile.
+        row: u32,
+    },
+    /// `repeat` back-to-back COMP commands, each multiplying one column I/O
+    /// per bank against global buffer `buffer` and accumulating into the
+    /// result latches.
+    Comp {
+        /// Source global buffer index.
+        buffer: u8,
+        /// Number of consecutive COMP issues.
+        repeat: u32,
+    },
+    /// Read `bytes` of accumulated results back over the channel I/O.
+    ReadRes {
+        /// Result payload in bytes.
+        bytes: u32,
+    },
+    /// A burst of ordinary GPU memory traffic interleaved at the shared
+    /// memory controller (used by the §7 contention experiment).
+    GpuBurst {
+        /// Payload size in bytes.
+        bytes: u32,
+    },
+}
+
+/// One unit of generated PIM work for a layer tile: a group of input rows
+/// that share a streaming pass over a resident filter tile.
+///
+/// The DRAM-PIM code generator (in the `pimflow` core crate) lowers each
+/// CONV/FC tile into a sequence of these blocks; the scheduler distributes
+/// them (whole or split) across PIM channels; the timing engine expands each
+/// block into the canonical `GWRITE* G_ACT (COMP*)* READRES` sequence
+/// (§4.1's "GWRITE-G_ACT-COMP-READRES" order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommandBlock {
+    /// Input rows processed by this block (each occupies one global buffer;
+    /// at most [`crate::PimConfig::num_global_buffers`]).
+    pub buffer_rows: u8,
+    /// Bytes of one input row pushed per GWRITE.
+    pub gwrite_bytes: u32,
+    /// GWRITE commands needed per input row: 1 with strided GWRITE, else one
+    /// per contiguous input segment (§4.1).
+    pub gwrites_per_row: u16,
+    /// G_ACT commands needed to stream the filter tile once.
+    pub gacts: u32,
+    /// COMP commands per G_ACT **per buffer row** (at most the config's
+    /// column I/Os per row).
+    pub comps_per_gact: u32,
+    /// Result bytes read per input row after the streaming pass.
+    pub readres_bytes: u32,
+    /// Independent output-column groups this block can split into at
+    /// `ReadRes` scheduling granularity (one group per bank-column stripe).
+    pub oc_splits: u16,
+    /// First filter-row identifier this block activates. Blocks of the same
+    /// layer tile share row ids, so consecutive blocks on a channel hit the
+    /// open row; column-split parts get disjoint bases.
+    pub row_base: u32,
+}
+
+impl CommandBlock {
+    /// Total COMP issues this block performs.
+    pub fn total_comps(&self) -> u64 {
+        self.gacts as u64 * self.comps_per_gact as u64 * self.buffer_rows as u64
+    }
+
+    /// Total GWRITE commands this block performs.
+    pub fn total_gwrites(&self) -> u64 {
+        self.buffer_rows as u64 * self.gwrites_per_row as u64
+    }
+
+    /// Expands the block into its command sequence for one channel.
+    ///
+    /// The order follows the paper: all GWRITEs (one buffer per input row),
+    /// then for each G_ACT a COMP burst per buffer, then one READRES per
+    /// input row.
+    pub fn expand(&self) -> Vec<PimCommand> {
+        let mut out = Vec::with_capacity(
+            self.total_gwrites() as usize + self.gacts as usize * (1 + self.buffer_rows as usize) + 1,
+        );
+        for row in 0..self.buffer_rows {
+            for _ in 0..self.gwrites_per_row {
+                out.push(PimCommand::Gwrite {
+                    buffer: row,
+                    bytes: self.gwrite_bytes / self.gwrites_per_row.max(1) as u32,
+                });
+            }
+        }
+        for a in 0..self.gacts {
+            out.push(PimCommand::GAct { row: self.row_base + a });
+            for row in 0..self.buffer_rows {
+                out.push(PimCommand::Comp { buffer: row, repeat: self.comps_per_gact });
+            }
+        }
+        out.push(PimCommand::ReadRes {
+            bytes: self.readres_bytes * self.buffer_rows as u32,
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_block() -> CommandBlock {
+        CommandBlock {
+            buffer_rows: 4,
+            gwrite_bytes: 128,
+            gwrites_per_row: 1,
+            gacts: 2,
+            comps_per_gact: 8,
+            readres_bytes: 32,
+            oc_splits: 4,
+            row_base: 0,
+        }
+    }
+
+    #[test]
+    fn expansion_order_is_gwrite_gact_comp_readres() {
+        let cmds = sample_block().expand();
+        // 4 GWRITEs, then (GACT, 4 COMPs) x2, then READRES.
+        assert!(matches!(cmds[0], PimCommand::Gwrite { buffer: 0, .. }));
+        assert!(matches!(cmds[3], PimCommand::Gwrite { buffer: 3, .. }));
+        assert!(matches!(cmds[4], PimCommand::GAct { row: 0 }));
+        assert!(matches!(cmds[5], PimCommand::Comp { buffer: 0, repeat: 8 }));
+        assert!(matches!(cmds[9], PimCommand::GAct { row: 1 }));
+        assert!(matches!(cmds.last(), Some(PimCommand::ReadRes { bytes: 128 })));
+    }
+
+    #[test]
+    fn totals() {
+        let b = sample_block();
+        assert_eq!(b.total_comps(), 2 * 8 * 4);
+        assert_eq!(b.total_gwrites(), 4);
+    }
+
+    #[test]
+    fn non_strided_splits_gwrites() {
+        let mut b = sample_block();
+        b.gwrites_per_row = 4;
+        let cmds = b.expand();
+        let gwrites = cmds
+            .iter()
+            .filter(|c| matches!(c, PimCommand::Gwrite { .. }))
+            .count();
+        assert_eq!(gwrites, 16);
+        // Payload is split across the segment GWRITEs.
+        assert!(matches!(cmds[0], PimCommand::Gwrite { bytes: 32, .. }));
+    }
+}

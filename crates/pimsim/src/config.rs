@@ -1,0 +1,317 @@
+//! DRAM-PIM hardware configuration (Table 1 of the paper).
+//!
+//! The paper's Table 1 lists a GDDR6-adapted Newton configuration:
+//! 1 rank, 16 banks, 4 KB global buffer, 32 column I/Os per row, 256-bit
+//! column I/O, 16 multipliers per bank, and six timing parameters
+//! `{2, 11, 11, 11, 2, 25}` clock cycles. The parameter *names* are garbled
+//! in the source text; we interpret them as the standard GDDR6 set
+//! `{tCCD, tRCDRD, tRCDWR, tCL, tRTP, tRAS}`, which matches both the values
+//! and Newton's usage, and document the interpretation here.
+
+use serde::{Deserialize, Serialize};
+
+/// DRAM timing parameters, in command-clock cycles (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DramTiming {
+    /// Column-to-column delay: minimum spacing of consecutive column
+    /// operations (COMP issues at this rate).
+    pub t_ccd: u32,
+    /// Activate-to-read delay: a G_ACT's row data becomes readable this many
+    /// cycles after issue.
+    pub t_rcd_rd: u32,
+    /// Activate-to-write delay.
+    pub t_rcd_wr: u32,
+    /// CAS latency: column read command to first data.
+    pub t_cl: u32,
+    /// Read-to-precharge delay.
+    pub t_rtp: u32,
+    /// Row-activate to precharge minimum (row restoration time).
+    pub t_ras: u32,
+    /// Precharge period. Not in Table 1; we reuse `t_rcd_rd` (11) as is
+    /// standard for GDDR6 where tRP is approximately tRCD.
+    pub t_rp: u32,
+    /// Average refresh interval: one all-bank refresh is due every `t_refi`
+    /// cycles (GDDR6: ~1.9 us). 0 disables refresh.
+    pub t_refi: u32,
+    /// Refresh cycle time: the channel is unavailable for `t_rfc` cycles
+    /// per refresh (GDDR6 8Gb: ~110 ns).
+    pub t_rfc: u32,
+}
+
+impl Default for DramTiming {
+    fn default() -> Self {
+        DramTiming {
+            t_ccd: 2,
+            t_rcd_rd: 11,
+            t_rcd_wr: 11,
+            t_cl: 11,
+            t_rtp: 2,
+            t_ras: 25,
+            t_rp: 11,
+            // 1.9 us and 110 ns at the 1.75 GHz command clock.
+            t_refi: 3325,
+            t_rfc: 193,
+        }
+    }
+}
+
+impl DramTiming {
+    /// Row cycle time: minimum spacing between two activations of the same
+    /// bank (`tRAS + tRP`).
+    pub fn t_rc(&self) -> u32 {
+        self.t_ras + self.t_rp
+    }
+}
+
+/// Per-channel PIM hardware configuration (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PimConfig {
+    /// DRAM timing parameters.
+    pub timing: DramTiming,
+    /// Banks per channel.
+    pub banks: usize,
+    /// MAC multipliers per bank (one 256-bit column I/O feeds 16 f16 lanes).
+    pub multipliers_per_bank: usize,
+    /// Column I/Os per activated row.
+    pub column_ios_per_row: usize,
+    /// Bits per column I/O.
+    pub column_io_bits: usize,
+    /// Bytes per global buffer.
+    pub global_buffer_bytes: usize,
+    /// Number of global buffers per channel: 1 in Newton \[26], 2 in the
+    /// GDDR6 AiM \[38], 4 in PIMFlow's extension (§4.1).
+    pub num_global_buffers: usize,
+    /// Whether GWRITE data fetch may overlap a following G_ACT (§4.1,
+    /// "GWRITE latency hiding"). Requires the split GPU/PIM channel design.
+    pub gwrite_latency_hiding: bool,
+    /// Whether the strided-GWRITE command extension is available (§4.1);
+    /// without it, each non-contiguous input segment costs one GWRITE.
+    pub strided_gwrite: bool,
+    /// Whether the PIM logic applies activation functions while draining
+    /// result latches (the GDDR6 AiM \[38] supports "various activation
+    /// functions"; Newton does not). When set, offloaded layers need no
+    /// GPU-side epilogue kernel. Off in all paper configurations — this is
+    /// the extension ablation.
+    pub activation_in_pim: bool,
+    /// Command clock in GHz (GDDR6 command clock).
+    pub clock_ghz: f64,
+    /// Channel I/O width in bytes transferred per command clock
+    /// (GDDR6 x32 at 16 Gb/s/pin -> 64 B per 1 GHz command clock).
+    pub io_bytes_per_cycle: usize,
+}
+
+impl Default for PimConfig {
+    fn default() -> Self {
+        PimConfig {
+            timing: DramTiming::default(),
+            banks: 16,
+            multipliers_per_bank: 16,
+            column_ios_per_row: 32,
+            column_io_bits: 256,
+            global_buffer_bytes: 4096,
+            num_global_buffers: 4,
+            gwrite_latency_hiding: true,
+            strided_gwrite: true,
+            activation_in_pim: false,
+            // GDDR6 at 14 Gb/s/pin (RTX 2060-class): 1.75 GHz command
+            // clock; a x32 channel moves 56 GB/s = 32 B per command clock.
+            clock_ghz: 1.75,
+            io_bytes_per_cycle: 32,
+        }
+    }
+}
+
+impl PimConfig {
+    /// The baseline **Newton+** configuration (§5): original Newton command
+    /// set with CONV/FC offload — one global buffer, no strided GWRITE, no
+    /// latency hiding.
+    pub fn newton_plus() -> Self {
+        PimConfig {
+            num_global_buffers: 1,
+            gwrite_latency_hiding: false,
+            strided_gwrite: false,
+            ..PimConfig::default()
+        }
+    }
+
+    /// The **Newton++** configuration: Newton+ plus the PIM-command
+    /// optimizations (4 global buffers, strided GWRITE, latency hiding).
+    pub fn newton_plus_plus() -> Self {
+        PimConfig::default()
+    }
+
+    /// An AiM-like extension of Newton++ with in-memory activation
+    /// functions \[38] — offloaded layers return *activated* results, so no
+    /// GPU epilogue kernel is needed. Used by the extension ablation.
+    pub fn aim_like() -> Self {
+        PimConfig { activation_in_pim: true, ..PimConfig::default() }
+    }
+
+    /// An HBM-PIM-like substrate (Samsung Aquabolt-XL \[37]): HBM2 pseudo
+    /// channels at a lower clock with wider internal I/O, bank-level SIMD
+    /// FP16 units, a single small buffer, no strided access, but in-memory
+    /// activation support. The paper argues PIMFlow "can be readily adapted
+    /// to support" such architectures — this preset is that adaptation.
+    pub fn hbm_pim_like() -> Self {
+        PimConfig {
+            timing: DramTiming {
+                t_ccd: 2,
+                t_rcd_rd: 14,
+                t_rcd_wr: 14,
+                t_cl: 14,
+                t_rtp: 3,
+                t_ras: 33,
+                t_rp: 14,
+                // ~1.9 us and ~160 ns at the 1.0 GHz HBM2 command clock.
+                t_refi: 1900,
+                t_rfc: 160,
+            },
+            banks: 16,
+            multipliers_per_bank: 16,
+            column_ios_per_row: 32,
+            column_io_bits: 256,
+            global_buffer_bytes: 2048,
+            num_global_buffers: 1,
+            gwrite_latency_hiding: false,
+            strided_gwrite: false,
+            activation_in_pim: true,
+            clock_ghz: 1.0,
+            // HBM2 pseudo channel: 64-bit at 2.4 Gb/s/pin -> ~19 GB/s.
+            io_bytes_per_cycle: 19,
+        }
+    }
+
+    /// Elements of PIM-native type (f16) per column I/O.
+    pub fn elems_per_column_io(&self) -> usize {
+        self.column_io_bits / 16
+    }
+
+    /// f16 elements a single global buffer can hold.
+    pub fn buffer_elems(&self) -> usize {
+        self.global_buffer_bytes / 2
+    }
+
+    /// f16 filter elements stored per DRAM row per bank
+    /// (`column_ios_per_row * elems_per_column_io`).
+    pub fn row_elems_per_bank(&self) -> usize {
+        self.column_ios_per_row * self.elems_per_column_io()
+    }
+
+    /// MACs performed by one COMP command across all banks of a channel.
+    pub fn macs_per_comp(&self) -> usize {
+        self.banks * self.multipliers_per_bank
+    }
+
+    /// Converts cycles at the command clock to nanoseconds.
+    pub fn cycles_to_ns(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.clock_ghz
+    }
+
+    /// Checks configuration invariants; returns a description of the first
+    /// violation. All built-in presets validate.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.banks == 0 {
+            return Err("banks must be > 0".into());
+        }
+        if self.multipliers_per_bank == 0 || self.column_io_bits % 16 != 0 {
+            return Err("column I/O must feed whole f16 lanes".into());
+        }
+        if self.multipliers_per_bank != self.elems_per_column_io() {
+            return Err(format!(
+                "multipliers/bank ({}) must match elements per column I/O ({})",
+                self.multipliers_per_bank,
+                self.elems_per_column_io()
+            ));
+        }
+        if self.global_buffer_bytes < 2 || self.num_global_buffers == 0 {
+            return Err("global buffers must hold at least one element".into());
+        }
+        if !(self.clock_ghz.is_finite() && self.clock_ghz > 0.0) {
+            return Err("clock must be positive".into());
+        }
+        if self.io_bytes_per_cycle == 0 {
+            return Err("channel I/O width must be > 0".into());
+        }
+        if self.timing.t_refi != 0 && self.timing.t_rfc >= self.timing.t_refi {
+            return Err("tRFC must be far below tREFI".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_values() {
+        let t = DramTiming::default();
+        assert_eq!((t.t_ccd, t.t_rcd_rd, t.t_rcd_wr, t.t_cl, t.t_rtp, t.t_ras), (2, 11, 11, 11, 2, 25));
+        assert_eq!(t.t_rc(), 36);
+        // Refresh overhead must stay a single-digit percentage.
+        assert!((t.t_rfc as f64 / t.t_refi as f64) < 0.10);
+    }
+
+    #[test]
+    fn derived_quantities() {
+        let c = PimConfig::default();
+        assert_eq!(c.elems_per_column_io(), 16);
+        assert_eq!(c.buffer_elems(), 2048);
+        assert_eq!(c.row_elems_per_bank(), 512);
+        assert_eq!(c.macs_per_comp(), 256);
+    }
+
+    #[test]
+    fn newton_plus_disables_extensions() {
+        let c = PimConfig::newton_plus();
+        assert_eq!(c.num_global_buffers, 1);
+        assert!(!c.gwrite_latency_hiding);
+        assert!(!c.strided_gwrite);
+        let cpp = PimConfig::newton_plus_plus();
+        assert_eq!(cpp.num_global_buffers, 4);
+        assert!(cpp.gwrite_latency_hiding);
+        assert!(cpp.strided_gwrite);
+    }
+
+    #[test]
+    fn all_presets_validate() {
+        for cfg in [
+            PimConfig::default(),
+            PimConfig::newton_plus(),
+            PimConfig::newton_plus_plus(),
+            PimConfig::aim_like(),
+            PimConfig::hbm_pim_like(),
+        ] {
+            cfg.validate().expect("preset must validate");
+        }
+    }
+
+    #[test]
+    fn validate_catches_broken_configs() {
+        let mut c = PimConfig::default();
+        c.banks = 0;
+        assert!(c.validate().is_err());
+        let mut c = PimConfig::default();
+        c.multipliers_per_bank = 8; // mismatched with 256-bit column I/O
+        assert!(c.validate().is_err());
+        let mut c = PimConfig::default();
+        c.timing.t_rfc = c.timing.t_refi;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn hbm_pim_preset_is_consistent() {
+        let c = PimConfig::hbm_pim_like();
+        assert_eq!(c.num_global_buffers, 1);
+        assert!(c.activation_in_pim);
+        assert!(c.clock_ghz < PimConfig::default().clock_ghz);
+        assert_eq!(c.macs_per_comp(), 256);
+    }
+
+    #[test]
+    fn ns_conversion() {
+        let c = PimConfig::default();
+        // 1750 cycles at the 1.75 GHz command clock = 1 microsecond.
+        assert!((c.cycles_to_ns(1750) - 1000.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,140 @@
+//! DRAM-PIM energy model.
+//!
+//! The paper measures PIM energy with CACTI 7 using parameters adapted from
+//! Maestro \[54] (§5). We use per-event energy constants in the same spirit:
+//! row activation, column I/O + MAC per COMP, channel I/O per byte, and a
+//! small static/background power per channel. Absolute values follow
+//! published CACTI-class numbers for GDDR6-era DRAM; Fig. 12 only depends on
+//! their *ratios* to the GPU model's constants.
+
+use crate::config::PimConfig;
+use crate::timing::ChannelStats;
+use serde::{Deserialize, Serialize};
+
+/// Per-event energy constants (nanojoules).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PimEnergyParams {
+    /// Energy of one G_ACT (row activation across all banks of a channel).
+    pub gact_nj: f64,
+    /// Energy of one COMP (one column I/O per bank + the bank MAC trees).
+    pub comp_nj: f64,
+    /// Energy per byte moved over the channel I/O (GWRITE / READRES /
+    /// inter-channel transfer).
+    pub io_nj_per_byte: f64,
+    /// Static/background power per active channel, in watts.
+    pub static_w_per_channel: f64,
+}
+
+impl Default for PimEnergyParams {
+    fn default() -> Self {
+        PimEnergyParams {
+            // 16 banks x ~0.5 nJ per bank-row activate.
+            gact_nj: 8.0,
+            // 256 f16 MACs (~0.4 pJ each) + 16 x 256-bit column reads.
+            comp_nj: 0.35,
+            // On-package GDDR6 I/O, ~5 pJ/bit-ish -> 0.04 nJ/byte.
+            io_nj_per_byte: 0.04,
+            static_w_per_channel: 0.25,
+        }
+    }
+}
+
+/// Component-wise PIM energy of one channel-merged execution, nanojoules.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct PimEnergyBreakdown {
+    /// Row-activation energy (G_ACTs).
+    pub activation_nj: f64,
+    /// Compute energy (COMPs: column reads + MAC trees).
+    pub compute_nj: f64,
+    /// Channel I/O energy (GWRITE payloads in, READRES results out).
+    pub io_nj: f64,
+    /// Static/background energy over the execution window.
+    pub static_nj: f64,
+}
+
+impl PimEnergyBreakdown {
+    /// Total energy in nanojoules.
+    pub fn total_nj(&self) -> f64 {
+        self.activation_nj + self.compute_nj + self.io_nj + self.static_nj
+    }
+}
+
+/// Computes the component-wise energy of an execution.
+pub fn pim_energy_breakdown(
+    stats: &ChannelStats,
+    cfg: &PimConfig,
+    params: &PimEnergyParams,
+    active_channels: usize,
+) -> PimEnergyBreakdown {
+    let seconds = cfg.cycles_to_ns(stats.cycles) * 1e-9;
+    PimEnergyBreakdown {
+        activation_nj: stats.gacts as f64 * params.gact_nj,
+        compute_nj: stats.comps as f64 * params.comp_nj,
+        io_nj: (stats.gwrite_bytes + stats.readres_bytes) as f64 * params.io_nj_per_byte,
+        static_nj: params.static_w_per_channel * active_channels as f64 * seconds * 1e9,
+    }
+}
+
+/// Energy of one channel-merged execution, in nanojoules.
+///
+/// `active_channels` scales the static term; `stats.cycles` is the
+/// wall-clock of the slowest channel.
+pub fn pim_energy_nj(
+    stats: &ChannelStats,
+    cfg: &PimConfig,
+    params: &PimEnergyParams,
+    active_channels: usize,
+) -> f64 {
+    pim_energy_breakdown(stats, cfg, params, active_channels).total_nj()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(gacts: u64, comps: u64) -> ChannelStats {
+        ChannelStats {
+            cycles: 1000,
+            gacts,
+            comps,
+            gwrite_bytes: 1024,
+            readres_bytes: 256,
+            ..ChannelStats::default()
+        }
+    }
+
+    #[test]
+    fn fewer_gacts_means_less_energy() {
+        let cfg = PimConfig::default();
+        let p = PimEnergyParams::default();
+        let many = pim_energy_nj(&stats(100, 1000), &cfg, &p, 16);
+        let few = pim_energy_nj(&stats(25, 1000), &cfg, &p, 16);
+        assert!(few < many);
+    }
+
+    #[test]
+    fn energy_is_positive_and_finite() {
+        let e = pim_energy_nj(&stats(10, 10), &PimConfig::default(), &PimEnergyParams::default(), 1);
+        assert!(e.is_finite() && e > 0.0);
+    }
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        let cfg = PimConfig::default();
+        let p = PimEnergyParams::default();
+        let s = stats(40, 4000);
+        let b = pim_energy_breakdown(&s, &cfg, &p, 16);
+        assert!((b.total_nj() - pim_energy_nj(&s, &cfg, &p, 16)).abs() < 1e-9);
+        assert!(b.activation_nj > 0.0 && b.compute_nj > 0.0 && b.io_nj > 0.0);
+    }
+
+    #[test]
+    fn static_term_scales_with_channels() {
+        let cfg = PimConfig::default();
+        let p = PimEnergyParams::default();
+        let s = ChannelStats { cycles: 1_000_000, ..ChannelStats::default() };
+        let one = pim_energy_nj(&s, &cfg, &p, 1);
+        let sixteen = pim_energy_nj(&s, &cfg, &p, 16);
+        assert!(sixteen > 10.0 * one);
+    }
+}

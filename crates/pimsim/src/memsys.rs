@@ -1,0 +1,180 @@
+//! The PIM-enabled GPU memory system (§4.1, Fig. 4).
+//!
+//! A single DRAM serves as both GPU memory and PIM device by dividing its
+//! channels into two contiguous sets: regular channels for GPU data and
+//! PIM-enabled channels. This facade owns that division and the memory
+//! network connecting the two sets, and provides the §7 contention
+//! experiment (interleaving ordinary GPU traffic into PIM command streams)
+//! as a first-class operation.
+
+use crate::command::{CommandBlock, PimCommand};
+use crate::config::PimConfig;
+use crate::scheduler::{schedule, ScheduleGranularity};
+use crate::timing::{run_channels, ChannelStats};
+use serde::{Deserialize, Serialize};
+
+/// A GPU memory with a contiguous subset of PIM-enabled channels.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemorySystem {
+    /// Channels serving the GPU as ordinary DRAM.
+    pub gpu_channels: usize,
+    /// PIM-enabled channels.
+    pub pim_channels: usize,
+    /// Per-channel PIM configuration.
+    pub cfg: PimConfig,
+    /// Memory-network links between channel groups (one per PIM channel in
+    /// the paper's crossbar, §4.1/\[63]).
+    pub network_links: usize,
+}
+
+impl MemorySystem {
+    /// Creates the paper's evaluation memory: 32 channels split 16/16.
+    pub fn pimflow_default() -> Self {
+        MemorySystem {
+            gpu_channels: 16,
+            pim_channels: 16,
+            cfg: PimConfig::newton_plus_plus(),
+            network_links: 16,
+        }
+    }
+
+    /// Creates a memory system, validating the division.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description if the configuration is inconsistent (no PIM
+    /// channels, or an invalid per-channel config).
+    pub fn new(
+        gpu_channels: usize,
+        pim_channels: usize,
+        cfg: PimConfig,
+    ) -> Result<Self, String> {
+        if pim_channels == 0 {
+            return Err("a PIM memory system needs at least one PIM channel".into());
+        }
+        cfg.validate()?;
+        Ok(MemorySystem {
+            gpu_channels,
+            pim_channels,
+            cfg,
+            network_links: pim_channels,
+        })
+    }
+
+    /// Total channels in the device.
+    pub fn total_channels(&self) -> usize {
+        self.gpu_channels + self.pim_channels
+    }
+
+    /// Executes one layer's command blocks on the PIM channel set.
+    pub fn run_layer(
+        &self,
+        blocks: &[CommandBlock],
+        granularity: ScheduleGranularity,
+    ) -> ChannelStats {
+        let traces = schedule(blocks, self.pim_channels, granularity, &self.cfg);
+        run_channels(&self.cfg, &traces)
+    }
+
+    /// Executes one layer while ordinary GPU traffic shares the controller:
+    /// a `burst_bytes` GPU access is interleaved every `burst_every`
+    /// PIM commands on every channel (§7's contention methodology).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `burst_every == 0`.
+    pub fn run_layer_with_gpu_traffic(
+        &self,
+        blocks: &[CommandBlock],
+        granularity: ScheduleGranularity,
+        burst_bytes: u32,
+        burst_every: usize,
+    ) -> ChannelStats {
+        assert!(burst_every > 0, "burst interval must be positive");
+        let traces = schedule(blocks, self.pim_channels, granularity, &self.cfg);
+        let noisy: Vec<Vec<PimCommand>> = traces
+            .iter()
+            .map(|t| {
+                let mut out = Vec::with_capacity(t.len() + t.len() / burst_every + 1);
+                for (i, c) in t.iter().enumerate() {
+                    if i % burst_every == 0 {
+                        out.push(PimCommand::GpuBurst { bytes: burst_bytes });
+                    }
+                    out.push(*c);
+                }
+                out
+            })
+            .collect();
+        run_channels(&self.cfg, &noisy)
+    }
+
+    /// Cycles to move `bytes` between the channel groups over the memory
+    /// network (all links in parallel, each as wide as a channel I/O).
+    pub fn transfer_cycles(&self, bytes: u64) -> u64 {
+        let per_cycle = (self.network_links.max(1) * self.cfg.io_bytes_per_cycle) as u64;
+        bytes.div_ceil(per_cycle)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blocks() -> Vec<CommandBlock> {
+        vec![
+            CommandBlock {
+                buffer_rows: 4,
+                gwrite_bytes: 128,
+                gwrites_per_row: 1,
+                gacts: 4,
+                comps_per_gact: 16,
+                readres_bytes: 64,
+                oc_splits: 8,
+                row_base: 0,
+            };
+            64
+        ]
+    }
+
+    #[test]
+    fn default_is_the_paper_split() {
+        let m = MemorySystem::pimflow_default();
+        assert_eq!(m.total_channels(), 32);
+        assert_eq!((m.gpu_channels, m.pim_channels), (16, 16));
+    }
+
+    #[test]
+    fn zero_pim_channels_rejected() {
+        assert!(MemorySystem::new(32, 0, PimConfig::default()).is_err());
+    }
+
+    #[test]
+    fn invalid_channel_config_rejected() {
+        let mut cfg = PimConfig::default();
+        cfg.banks = 0;
+        assert!(MemorySystem::new(16, 16, cfg).is_err());
+    }
+
+    #[test]
+    fn layer_runs_and_contention_is_small() {
+        let m = MemorySystem::pimflow_default();
+        let clean = m.run_layer(&blocks(), ScheduleGranularity::Comp);
+        let noisy =
+            m.run_layer_with_gpu_traffic(&blocks(), ScheduleGranularity::Comp, 512, 64);
+        assert!(noisy.cycles >= clean.cycles);
+        let slowdown = noisy.cycles as f64 / clean.cycles as f64 - 1.0;
+        assert!(slowdown < 0.05, "contention slowdown {slowdown}");
+        assert_eq!(noisy.comps, clean.comps, "work must be unchanged");
+    }
+
+    #[test]
+    fn transfer_scales_with_links() {
+        let m = MemorySystem::pimflow_default();
+        let one_link = MemorySystem {
+            network_links: 1,
+            ..MemorySystem::pimflow_default()
+        };
+        let bytes = 1 << 20;
+        assert!(m.transfer_cycles(bytes) * 8 < one_link.transfer_cycles(bytes));
+    }
+}

@@ -1,0 +1,467 @@
+//! Cycle-level command timing for one PIM-enabled channel.
+//!
+//! The engine models the resources a Newton-style channel serializes on:
+//!
+//! * the **channel I/O bus** (GWRITE payloads in, READRES payloads out,
+//!   interleaved GPU bursts);
+//! * the **bank array** (G_ACT row activations spaced by `tRC`, data usable
+//!   `tRCDRD` after issue);
+//! * the **MAC pipeline** (COMP issues spaced by `tCCD`, gated on both the
+//!   activated row and the source global buffer being ready).
+//!
+//! GWRITE latency hiding (§4.1) is the one scheduling freedom: when enabled,
+//! a GWRITE only occupies the bus, letting the following G_ACT/COMP stream
+//! proceed concurrently; when disabled (original Newton, where data fetch
+//! involves all channels), the command stream blocks until the transfer
+//! completes.
+
+use crate::command::PimCommand;
+use crate::config::PimConfig;
+use serde::{Deserialize, Serialize};
+
+/// Execution statistics of one channel trace.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ChannelStats {
+    /// Total cycles until the last command (and bus transfer) completed.
+    pub cycles: u64,
+    /// G_ACT commands issued.
+    pub gacts: u64,
+    /// COMP commands issued (expanded, not run-length encoded).
+    pub comps: u64,
+    /// GWRITE commands issued.
+    pub gwrites: u64,
+    /// READRES commands issued.
+    pub readres: u64,
+    /// MAC operations performed.
+    pub macs: u64,
+    /// Bytes pushed into global buffers.
+    pub gwrite_bytes: u64,
+    /// Result bytes read out.
+    pub readres_bytes: u64,
+    /// Bytes of interleaved GPU traffic serviced.
+    pub gpu_burst_bytes: u64,
+    /// Cycles during which the MAC pipeline was busy (COMP bursts).
+    pub comp_busy_cycles: u64,
+    /// All-bank refreshes serviced.
+    pub refreshes: u64,
+}
+
+impl ChannelStats {
+    /// Merges two channels' statistics, keeping the max cycle count (the
+    /// layer finishes when its slowest channel does).
+    pub fn merge_parallel(&self, other: &ChannelStats) -> ChannelStats {
+        ChannelStats {
+            cycles: self.cycles.max(other.cycles),
+            gacts: self.gacts + other.gacts,
+            comps: self.comps + other.comps,
+            gwrites: self.gwrites + other.gwrites,
+            readres: self.readres + other.readres,
+            macs: self.macs + other.macs,
+            gwrite_bytes: self.gwrite_bytes + other.gwrite_bytes,
+            readres_bytes: self.readres_bytes + other.readres_bytes,
+            gpu_burst_bytes: self.gpu_burst_bytes + other.gpu_burst_bytes,
+            comp_busy_cycles: self.comp_busy_cycles + other.comp_busy_cycles,
+            refreshes: self.refreshes + other.refreshes,
+        }
+    }
+}
+
+/// Per-channel timing engine.
+#[derive(Debug, Clone)]
+pub struct ChannelEngine {
+    cfg: PimConfig,
+    clock: u64,
+    bus_free: u64,
+    act_ready: u64,
+    last_act_issue: Option<u64>,
+    last_comp_end: u64,
+    buffer_ready: Vec<u64>,
+    open_row: Option<u32>,
+    next_refresh: u64,
+    stats: ChannelStats,
+}
+
+impl ChannelEngine {
+    /// Creates an idle engine for the given configuration.
+    pub fn new(cfg: PimConfig) -> Self {
+        let buffers = cfg.num_global_buffers.max(1);
+        ChannelEngine {
+            cfg,
+            clock: 0,
+            bus_free: 0,
+            act_ready: 0,
+            last_act_issue: None,
+            last_comp_end: 0,
+            buffer_ready: vec![0; buffers],
+            open_row: None,
+            next_refresh: if cfg.timing.t_refi > 0 { cfg.timing.t_refi as u64 } else { u64::MAX },
+            stats: ChannelStats::default(),
+        }
+    }
+
+    /// Services any refresh that has come due: the channel stalls for
+    /// `tRFC`, all banks precharge, and — if a filter row was open — the
+    /// controller re-activates it afterwards (counted as a G_ACT). Real
+    /// controllers can postpone refreshes slightly; we issue them at each
+    /// command boundary once due, which is conservative.
+    fn service_refresh(&mut self) {
+        let t = self.cfg.timing;
+        while self.clock >= self.next_refresh {
+            let start = self.clock.max(self.next_refresh);
+            let mut end = start + t.t_rfc as u64;
+            if self.open_row.is_some() {
+                // Re-open the working row after the all-bank precharge.
+                end += t.t_rcd_rd as u64;
+                self.stats.gacts += 1;
+            }
+            self.clock = end;
+            self.last_comp_end = self.last_comp_end.max(end);
+            self.act_ready = self.act_ready.max(end);
+            self.last_act_issue = None;
+            self.next_refresh += t.t_refi as u64;
+            self.stats.refreshes += 1;
+        }
+    }
+
+    fn io_cycles(&self, bytes: u32) -> u64 {
+        (bytes as u64).div_ceil(self.cfg.io_bytes_per_cycle as u64)
+    }
+
+    /// Executes one command, advancing the channel state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `Gwrite`/`Comp` names a buffer index outside the
+    /// configured number of global buffers.
+    pub fn execute(&mut self, cmd: &PimCommand) {
+        self.service_refresh();
+        let t = self.cfg.timing;
+        match *cmd {
+            PimCommand::Gwrite { buffer, bytes } => {
+                let buffer = buffer as usize;
+                assert!(
+                    buffer < self.buffer_ready.len(),
+                    "GWRITE to buffer {buffer} but only {} configured",
+                    self.buffer_ready.len()
+                );
+                // GWRITE targets the SRAM global buffer, not a DRAM row:
+                // the cost is reading the source data out of the GPU
+                // channels (a CAS-latency worth of cycles) plus the bus
+                // transfer. With latency hiding this whole fetch overlaps
+                // the bank-side command stream (§4.1).
+                let start = self.clock.max(self.bus_free);
+                let end = start + t.t_cl as u64 + self.io_cycles(bytes);
+                self.bus_free = end;
+                self.buffer_ready[buffer] = end;
+                self.clock = if self.cfg.gwrite_latency_hiding {
+                    // The transfer proceeds on the bus while the bank-side
+                    // command stream continues (split GPU/PIM channels let
+                    // data be fetched from GPU channels while PIM channels
+                    // activate rows, §4.1).
+                    start + 1
+                } else {
+                    end
+                };
+                self.stats.gwrites += 1;
+                self.stats.gwrite_bytes += bytes as u64;
+            }
+            PimCommand::GAct { row } => {
+                // Row-buffer hit: the requested filter row is already open
+                // in every bank — nothing to do (this is what amortizes one
+                // activation over thousands of COMP-streamed input rows).
+                if self.open_row == Some(row) {
+                    return;
+                }
+                let mut issue = self.clock;
+                if let Some(last) = self.last_act_issue {
+                    issue = issue.max(last + t.t_rc() as u64);
+                }
+                // A new activation must also wait for reads of the previous
+                // row to finish (read-to-precharge).
+                issue = issue.max(self.last_comp_end + t.t_rtp as u64);
+                self.act_ready = issue + t.t_rcd_rd as u64;
+                self.last_act_issue = Some(issue);
+                self.open_row = Some(row);
+                self.clock = issue + 1;
+                self.stats.gacts += 1;
+            }
+            PimCommand::Comp { buffer, repeat } => {
+                let buffer = buffer as usize;
+                assert!(
+                    buffer < self.buffer_ready.len(),
+                    "COMP from buffer {buffer} but only {} configured",
+                    self.buffer_ready.len()
+                );
+                // Run-length-encoded burst, chunked at refresh boundaries so
+                // the fast path stays cycle-exact with the expanded form
+                // (refresh fires at command boundaries: after the first COMP
+                // whose end crosses the deadline).
+                let mut remaining = repeat as u64;
+                while remaining > 0 {
+                    self.service_refresh();
+                    let start = self
+                        .clock
+                        .max(self.act_ready)
+                        .max(self.buffer_ready[buffer]);
+                    let fit = if self.next_refresh == u64::MAX {
+                        remaining
+                    } else {
+                        let until = self.next_refresh.saturating_sub(start);
+                        (until.div_ceil(t.t_ccd as u64)).clamp(1, remaining)
+                    };
+                    let end = start + fit * t.t_ccd as u64;
+                    self.clock = end;
+                    self.last_comp_end = end;
+                    self.stats.comps += fit;
+                    self.stats.comp_busy_cycles += end - start;
+                    self.stats.macs += fit * self.cfg.macs_per_comp() as u64;
+                    remaining -= fit;
+                }
+            }
+            PimCommand::ReadRes { bytes } => {
+                let start = self.clock.max(self.last_comp_end).max(self.bus_free);
+                let end = start + t.t_cl as u64 + self.io_cycles(bytes);
+                self.bus_free = end;
+                self.clock = end;
+                self.stats.readres += 1;
+                self.stats.readres_bytes += bytes as u64;
+            }
+            PimCommand::GpuBurst { bytes } => {
+                // Ordinary GPU traffic at the shared controller: occupies
+                // the bus, but PIM bank commands keep flowing (§7).
+                let start = self.clock.max(self.bus_free);
+                self.bus_free = start + self.io_cycles(bytes);
+                self.clock = start + 1;
+                self.stats.gpu_burst_bytes += bytes as u64;
+            }
+        }
+    }
+
+    /// Executes a full trace and returns the final statistics.
+    pub fn run(mut self, trace: &[PimCommand]) -> ChannelStats {
+        for cmd in trace {
+            self.execute(cmd);
+        }
+        self.finish()
+    }
+
+    /// Returns the statistics, closing out any in-flight bus transfer.
+    pub fn finish(mut self) -> ChannelStats {
+        self.stats.cycles = self.clock.max(self.bus_free);
+        self.stats
+    }
+
+    /// Current clock (for tests and incremental drivers).
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+}
+
+/// Runs one trace per channel and returns the merged statistics; the
+/// `cycles` field is the maximum over channels (channels run in parallel).
+pub fn run_channels(cfg: &PimConfig, traces: &[Vec<PimCommand>]) -> ChannelStats {
+    traces
+        .iter()
+        .map(|t| ChannelEngine::new(*cfg).run(t))
+        .fold(ChannelStats::default(), |acc, s| acc.merge_parallel(&s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::command::CommandBlock;
+
+    fn cfg() -> PimConfig {
+        PimConfig::default()
+    }
+
+    #[test]
+    fn comp_waits_for_act_and_buffer() {
+        let mut e = ChannelEngine::new(cfg());
+        e.execute(&PimCommand::Gwrite { buffer: 0, bytes: 64 });
+        e.execute(&PimCommand::GAct { row: 0 });
+        let before = e.clock();
+        e.execute(&PimCommand::Comp { buffer: 0, repeat: 1 });
+        // COMP start >= act issue + tRCDRD and >= GWRITE end.
+        assert!(e.clock() >= before + 2);
+        let s = e.finish();
+        assert_eq!(s.comps, 1);
+        assert_eq!(s.macs, 256);
+    }
+
+    #[test]
+    fn rle_matches_expanded() {
+        // Run-length-encoded COMP must be cycle-identical to the expansion.
+        let trace_rle = vec![
+            PimCommand::Gwrite { buffer: 0, bytes: 256 },
+            PimCommand::GAct { row: 0 },
+            PimCommand::Comp { buffer: 0, repeat: 17 },
+            PimCommand::ReadRes { bytes: 64 },
+        ];
+        let mut trace_exp = vec![
+            PimCommand::Gwrite { buffer: 0, bytes: 256 },
+            PimCommand::GAct { row: 0 },
+        ];
+        trace_exp.extend(std::iter::repeat(PimCommand::Comp { buffer: 0, repeat: 1 }).take(17));
+        trace_exp.push(PimCommand::ReadRes { bytes: 64 });
+
+        let a = ChannelEngine::new(cfg()).run(&trace_rle);
+        let b = ChannelEngine::new(cfg()).run(&trace_exp);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.comps, b.comps);
+        assert_eq!(a.macs, b.macs);
+    }
+
+    #[test]
+    fn gwrite_hiding_reduces_cycles() {
+        let block = CommandBlock {
+            buffer_rows: 1,
+            gwrite_bytes: 2048,
+            gwrites_per_row: 1,
+            gacts: 1,
+            comps_per_gact: 4,
+            readres_bytes: 32,
+            oc_splits: 1,
+            row_base: 0,
+        };
+        let trace = block.expand();
+        let hidden = ChannelEngine::new(PimConfig::default()).run(&trace);
+        let mut no_hide_cfg = PimConfig::default();
+        no_hide_cfg.gwrite_latency_hiding = false;
+        let exposed = ChannelEngine::new(no_hide_cfg).run(&trace);
+        assert!(
+            hidden.cycles < exposed.cycles,
+            "hidden {} vs exposed {}",
+            hidden.cycles,
+            exposed.cycles
+        );
+    }
+
+    #[test]
+    fn gacts_respect_row_cycle_time() {
+        let t = cfg().timing;
+        let trace = vec![PimCommand::GAct { row: 0 }, PimCommand::GAct { row: 1 }];
+        let mut e = ChannelEngine::new(cfg());
+        for c in &trace {
+            e.execute(c);
+        }
+        // Second activation issues at >= tRC.
+        assert!(e.clock() >= t.t_rc() as u64 + 1);
+    }
+
+    #[test]
+    fn multi_buffer_block_reuses_gacts() {
+        // 4 rows sharing one streaming pass must beat 4 single-row passes.
+        let shared = CommandBlock {
+            buffer_rows: 4,
+            gwrite_bytes: 128,
+            gwrites_per_row: 1,
+            gacts: 4,
+            comps_per_gact: 8,
+            readres_bytes: 32,
+            oc_splits: 1,
+            row_base: 0,
+        };
+        let single = CommandBlock { buffer_rows: 1, ..shared };
+        let shared_stats = ChannelEngine::new(cfg()).run(&shared.expand());
+        let mut single_trace = Vec::new();
+        for _ in 0..4 {
+            single_trace.extend(single.expand());
+        }
+        let mut single_cfg = cfg();
+        single_cfg.num_global_buffers = 1;
+        let single_stats = ChannelEngine::new(single_cfg).run(&single_trace);
+        assert_eq!(shared_stats.comps, single_stats.comps);
+        assert_eq!(shared_stats.gacts * 4, single_stats.gacts);
+        assert!(
+            shared_stats.cycles < single_stats.cycles,
+            "shared {} vs single {}",
+            shared_stats.cycles,
+            single_stats.cycles
+        );
+    }
+
+    #[test]
+    fn gpu_bursts_delay_bus_not_banks() {
+        // A GPU burst before a COMP stream should barely move the finish
+        // time (contention is negligible, §7)...
+        let mut base_trace = vec![PimCommand::GAct { row: 0 }];
+        base_trace.push(PimCommand::Comp { buffer: 0, repeat: 100 });
+        let base = ChannelEngine::new(cfg()).run(&base_trace);
+
+        let mut burst_trace = vec![PimCommand::GpuBurst { bytes: 4096 }, PimCommand::GAct { row: 0 }];
+        burst_trace.push(PimCommand::Comp { buffer: 0, repeat: 100 });
+        let with_burst = ChannelEngine::new(cfg()).run(&burst_trace);
+        let slowdown = with_burst.cycles as f64 / base.cycles as f64;
+        assert!(slowdown < 1.05, "slowdown {slowdown}");
+        assert_eq!(with_burst.gpu_burst_bytes, 4096);
+    }
+
+    #[test]
+    fn run_channels_takes_max_cycles() {
+        let short = vec![PimCommand::GAct { row: 0 }, PimCommand::Comp { buffer: 0, repeat: 1 }];
+        let long = vec![PimCommand::GAct { row: 0 }, PimCommand::Comp { buffer: 0, repeat: 1000 }];
+        let merged = run_channels(&cfg(), &[short.clone(), long.clone()]);
+        let long_alone = ChannelEngine::new(cfg()).run(&long);
+        assert_eq!(merged.cycles, long_alone.cycles);
+        assert_eq!(merged.comps, 1001);
+    }
+
+    #[test]
+    fn refresh_fires_on_long_traces() {
+        let c = cfg();
+        let trace = vec![
+            PimCommand::GAct { row: 0 },
+            PimCommand::Comp { buffer: 0, repeat: 10_000 }, // 20k cycles >> tREFI
+            PimCommand::ReadRes { bytes: 64 },
+        ];
+        let stats = ChannelEngine::new(c).run(&trace);
+        assert!(stats.refreshes >= 1, "long trace must hit refresh windows");
+    }
+
+    #[test]
+    fn refresh_reactivates_the_open_row() {
+        // Every refresh that interrupts work on an open row costs one
+        // controller re-activation.
+        let mut e = ChannelEngine::new(cfg());
+        e.execute(&PimCommand::GAct { row: 3 });
+        e.execute(&PimCommand::Comp { buffer: 0, repeat: 10_000 });
+        e.execute(&PimCommand::GAct { row: 3 }); // still open: free
+        let s = e.finish();
+        assert!(s.refreshes >= 1);
+        assert_eq!(s.gacts, 1 + s.refreshes, "one re-activation per refresh");
+    }
+
+    #[test]
+    fn refresh_can_be_disabled() {
+        let mut c = cfg();
+        c.timing.t_refi = 0;
+        let trace = vec![
+            PimCommand::GAct { row: 0 },
+            PimCommand::Comp { buffer: 0, repeat: 10_000 },
+        ];
+        let stats = ChannelEngine::new(c).run(&trace);
+        assert_eq!(stats.refreshes, 0);
+    }
+
+    #[test]
+    fn refresh_overhead_is_single_digit_percent() {
+        let with = ChannelEngine::new(cfg())
+            .run(&[PimCommand::GAct { row: 0 }, PimCommand::Comp { buffer: 0, repeat: 100_000 }]);
+        let mut c = cfg();
+        c.timing.t_refi = 0;
+        let without = ChannelEngine::new(c)
+            .run(&[PimCommand::GAct { row: 0 }, PimCommand::Comp { buffer: 0, repeat: 100_000 }]);
+        let overhead = with.cycles as f64 / without.cycles as f64 - 1.0;
+        assert!(overhead > 0.0 && overhead < 0.10, "overhead {overhead}");
+    }
+
+    #[test]
+    #[should_panic(expected = "only 1 configured")]
+    fn buffer_overflow_panics() {
+        let mut c = cfg();
+        c.num_global_buffers = 1;
+        let mut e = ChannelEngine::new(c);
+        e.execute(&PimCommand::Gwrite { buffer: 3, bytes: 8 });
+    }
+}

@@ -1,0 +1,77 @@
+//! Mobile-CNN inference scenario: the paper's headline use case.
+//!
+//! ```text
+//! cargo run --release --example mobile_inference [model]
+//! ```
+//!
+//! Compares all six offloading mechanisms (§5) on a mobile CNN
+//! (MobileNetV2 by default) and prints the Fig. 9-style summary plus the
+//! Table 2-style ratio distribution of the PIMFlow plan.
+
+use pimflow::policy::{evaluate, Policy};
+use pimflow::search::Decision;
+use pimflow_ir::models;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "mobilenet-v2".into());
+    let model = models::by_name(&name).unwrap_or_else(|| {
+        eprintln!("unknown model `{name}`; using mobilenet-v2");
+        models::mobilenet_v2()
+    });
+    println!(
+        "{} — {} nodes, {:.0} MMACs",
+        model.name,
+        model.node_count(),
+        model
+            .node_ids()
+            .map(|id| pimflow_ir::analysis::node_cost(&model, id).macs)
+            .sum::<u64>() as f64
+            / 1e6
+    );
+
+    let mut base_e2e = 0.0;
+    let mut base_conv = 0.0;
+    for policy in Policy::all() {
+        let e = evaluate(&model, policy);
+        if policy == Policy::Baseline {
+            base_e2e = e.report.total_us;
+            base_conv = e.conv_layer_us;
+        }
+        println!(
+            "{:<11} e2e {:8.1} us ({:4.2}x)  conv layers {:8.1} us ({:4.2}x)  energy {:8.0} uJ",
+            policy.name(),
+            e.report.total_us,
+            base_e2e / e.report.total_us,
+            e.conv_layer_us,
+            base_conv / e.conv_layer_us,
+            e.report.energy_uj,
+        );
+        if policy == Policy::Pimflow {
+            if let Some(plan) = &e.plan {
+                let offloads = plan
+                    .decisions
+                    .iter()
+                    .filter(|(_, d)| matches!(d, Decision::Split { gpu_percent: 0 }))
+                    .count();
+                let splits = plan
+                    .decisions
+                    .iter()
+                    .filter(|(_, d)| matches!(d, Decision::Split { gpu_percent } if *gpu_percent > 0))
+                    .count();
+                let pipes = plan
+                    .decisions
+                    .iter()
+                    .filter(|(_, d)| matches!(d, Decision::Pipeline { .. }))
+                    .count();
+                println!("  plan: {offloads} full offloads, {splits} MD-DP splits, {pipes} pipelined chains");
+                print!("  ratio distribution (Table 2):");
+                for (ratio, share) in plan.ratio_distribution() {
+                    if share > 0.0 {
+                        print!(" {}%:{:.0}%", ratio, share * 100.0);
+                    }
+                }
+                println!();
+            }
+        }
+    }
+}

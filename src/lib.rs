@@ -1,0 +1,19 @@
+//! # pimflow-suite
+//!
+//! Umbrella package for the PIMFlow reproduction workspace: the runnable
+//! examples under `examples/` and the cross-crate integration tests under
+//! `tests/` live here. The actual functionality is in the member crates:
+//!
+//! * [`pimflow_ir`] — graph IR, shape inference, model zoo;
+//! * [`pimflow_kernels`] — reference executor (numerical oracle);
+//! * [`pimflow_pimsim`] — Newton-style DRAM-PIM simulator;
+//! * [`pimflow_gpusim`] — analytical GPU model;
+//! * [`pimflow`] — the compiler/runtime: passes, search, codegen, engine.
+
+#![warn(missing_docs)]
+
+pub use pimflow;
+pub use pimflow_gpusim;
+pub use pimflow_ir;
+pub use pimflow_kernels;
+pub use pimflow_pimsim;

@@ -1,0 +1,58 @@
+//! Calibration sanity: the simulated GPU baseline must land in the
+//! plausible absolute range for an RTX 2060-class device, and the
+//! simulators' relative regimes must hold (the quantities EXPERIMENTS.md
+//! depends on).
+
+use pimflow::engine::{execute, EngineConfig};
+use pimflow_ir::models;
+
+#[test]
+fn gpu_baseline_times_are_plausible() {
+    // (model, lower us, upper us): generous brackets around published
+    // RTX 2060 FP16 inference times.
+    let expectations = [
+        ("mobilenet-v2", 200.0, 3_000.0),
+        ("mnasnet-1.0", 200.0, 3_000.0),
+        ("efficientnet-v1-b0", 300.0, 4_000.0),
+        ("resnet-50", 800.0, 10_000.0),
+        ("vgg-16", 1_500.0, 20_000.0),
+    ];
+    for (name, lo, hi) in expectations {
+        let g = models::by_name(name).unwrap();
+        let t = execute(&g, &EngineConfig::baseline_gpu()).total_us;
+        assert!(
+            (lo..hi).contains(&t),
+            "{name}: {t:.0} us outside the plausible [{lo}, {hi}] bracket"
+        );
+    }
+}
+
+#[test]
+fn vgg_fc_layers_are_a_meaningful_share() {
+    // VGG-16's FC layers are the classic PIM showcase: they must be a
+    // double-digit share of baseline inference (real hardware: ~15-25%).
+    let g = models::vgg16();
+    let r = execute(&g, &EngineConfig::baseline_gpu());
+    let fc_time: f64 = g
+        .node_ids()
+        .filter(|&id| matches!(g.node(id).op, pimflow_ir::Op::Dense(_)))
+        .filter_map(|id| r.timing(&g.node(id).name))
+        .map(|t| t.finish_us - t.start_us)
+        .sum();
+    let share = fc_time / r.total_us;
+    assert!((0.08..0.45).contains(&share), "FC share {share:.2}");
+}
+
+#[test]
+fn relative_model_costs_are_ordered() {
+    // VGG-16 > ResNet-50 > EfficientNet-B0 > MobileNetV2-level costs, as on
+    // real hardware.
+    let t = |name: &str| {
+        execute(&models::by_name(name).unwrap(), &EngineConfig::baseline_gpu()).total_us
+    };
+    let vgg = t("vgg-16");
+    let rn = t("resnet-50");
+    let enet = t("efficientnet-v1-b0");
+    let mbv2 = t("mobilenet-v2");
+    assert!(vgg > rn && rn > enet && enet > mbv2, "{vgg} {rn} {enet} {mbv2}");
+}

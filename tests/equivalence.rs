@@ -1,0 +1,84 @@
+//! Cross-crate integration: the compiler's transformations never change
+//! model semantics — the transformed graph produced by the full search/apply
+//! flow computes the same function as the original, verified on the
+//! reference executor.
+
+use pimflow::engine::EngineConfig;
+use pimflow::search::{apply_plan, search, SearchOptions};
+use pimflow_ir::{models, ActivationKind, Graph, GraphBuilder, Shape};
+use pimflow_kernels::{input_tensors, run_graph};
+
+fn assert_plan_preserves_semantics(g: &Graph, opts: &SearchOptions, tol: f32) {
+    let cfg = EngineConfig::pimflow();
+    let plan = search(g, &cfg, opts);
+    let transformed = apply_plan(g, &plan);
+    transformed.validate().expect("transformed graph is well-formed");
+    let inputs = input_tensors(g, 99);
+    let a = run_graph(g, &inputs).expect("original runs");
+    let b = run_graph(&transformed, &inputs).expect("transformed runs");
+    for (x, y) in a.iter().zip(&b) {
+        assert!(
+            x.allclose(y, tol),
+            "{}: outputs differ by {}",
+            g.name,
+            x.max_abs_diff(y)
+        );
+    }
+}
+
+#[test]
+fn toy_full_flow_is_equivalent() {
+    assert_plan_preserves_semantics(&models::toy(), &SearchOptions::default(), 1e-4);
+}
+
+#[test]
+fn toy_offload_only_flow_is_equivalent() {
+    let opts = SearchOptions { offload_only: true, allow_pipeline: false, ..Default::default() };
+    assert_plan_preserves_semantics(&models::toy(), &opts, 1e-4);
+}
+
+#[test]
+fn mobile_block_flow_is_equivalent() {
+    // An inverted-residual block small enough to execute numerically.
+    let mut b = GraphBuilder::new("block");
+    let x = b.input(Shape::nhwc(1, 16, 16, 8));
+    let y = b.conv_act(x, 48, 1, 1, 0, ActivationKind::Relu6);
+    let y = b.dw_act(y, 48, 3, 1, 1, ActivationKind::Relu6);
+    let y = b.conv1x1(y, 8);
+    let y = b.add(y, x);
+    let g = b.finish(y);
+    assert_plan_preserves_semantics(&g, &SearchOptions::default(), 1e-4);
+}
+
+#[test]
+fn strided_downsample_flow_is_equivalent() {
+    let mut b = GraphBuilder::new("down");
+    let x = b.input(Shape::nhwc(1, 17, 13, 6));
+    let y = b.conv_act(x, 12, 3, 2, 1, ActivationKind::Relu);
+    let y = b.conv_act(y, 24, 5, 2, 2, ActivationKind::Relu);
+    let y = b.gap(y);
+    let y = b.flatten(y);
+    let y = b.dense(y, 10);
+    let g = b.finish(y);
+    assert_plan_preserves_semantics(&g, &SearchOptions::default(), 1e-4);
+}
+
+#[test]
+fn bert_like_flow_is_equivalent() {
+    // Multi-row FC splitting path (Fig. 16's BERT case), downsized.
+    let g = models::bert_like(4);
+    assert_plan_preserves_semantics(&g, &SearchOptions::default(), 5e-3);
+}
+
+#[test]
+fn pipeline_stage_counts_preserve_semantics() {
+    for stages in [2, 3] {
+        let opts = SearchOptions {
+            offload_only: true,
+            allow_pipeline: true,
+            pipeline_stages: stages,
+            ..Default::default()
+        };
+        assert_plan_preserves_semantics(&models::toy(), &opts, 1e-4);
+    }
+}

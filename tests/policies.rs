@@ -1,0 +1,81 @@
+//! Cross-crate integration: every offloading mechanism compiles and
+//! simulates every evaluated workload, and the paper's ordering invariants
+//! hold.
+
+use pimflow::policy::{evaluate, Policy};
+use pimflow_ir::models;
+
+/// A small but representative mobile block stack (fast enough for CI while
+/// exercising splits, offloads, and pipelines).
+fn mini_mobile() -> pimflow_ir::Graph {
+    use pimflow_ir::{ActivationKind, GraphBuilder, Shape};
+    let mut b = GraphBuilder::new("mini-mobile");
+    let x = b.input(Shape::nhwc(1, 56, 56, 24));
+    let mut y = x;
+    for c in [24, 32] {
+        let hidden = 6 * c;
+        y = b.conv_act(y, hidden, 1, 1, 0, ActivationKind::Relu6);
+        y = b.dw_act(y, hidden, 3, 1, 1, ActivationKind::Relu6);
+        y = b.conv1x1(y, c);
+    }
+    let y = b.gap(y);
+    let y = b.flatten(y);
+    let y = b.dense(y, 100);
+    b.finish(y)
+}
+
+#[test]
+fn all_policies_run_on_all_models() {
+    for g in [models::toy(), mini_mobile()] {
+        for p in Policy::all() {
+            let e = evaluate(&g, p);
+            assert!(e.report.total_us > 0.0 && e.report.total_us.is_finite(), "{p:?} on {}", g.name);
+            assert!(e.report.energy_uj > 0.0);
+            assert!(e.conv_layer_us >= 0.0);
+        }
+    }
+}
+
+#[test]
+fn mechanism_ordering_matches_the_paper() {
+    // Fig. 9's qualitative ordering: each added capability can only help
+    // (within a small engine-vs-search estimation tolerance).
+    let g = mini_mobile();
+    let t = |p: Policy| evaluate(&g, p).report.total_us;
+    let baseline = t(Policy::Baseline);
+    let newton_p = t(Policy::NewtonPlus);
+    let newton_pp = t(Policy::NewtonPlusPlus);
+    let md = t(Policy::PimflowMd);
+    let pf = t(Policy::Pimflow);
+    let tol = 1.02;
+    assert!(newton_pp <= newton_p * tol, "Newton++ {newton_pp} vs Newton+ {newton_p}");
+    assert!(md <= newton_pp * tol, "md {md} vs Newton++ {newton_pp}");
+    assert!(pf <= md * tol, "PIMFlow {pf} vs md {md}");
+    assert!(pf < baseline, "PIMFlow {pf} must beat the baseline {baseline}");
+}
+
+#[test]
+fn pim_mechanisms_save_energy_on_mobile_blocks() {
+    // Fig. 12: reduced execution time leads to lower energy.
+    let g = mini_mobile();
+    let base = evaluate(&g, Policy::Baseline).report.energy_uj;
+    let pf = evaluate(&g, Policy::Pimflow).report.energy_uj;
+    assert!(pf < base, "PIMFlow energy {pf} vs baseline {base}");
+}
+
+#[test]
+fn evaluation_is_deterministic() {
+    let g = mini_mobile();
+    let a = evaluate(&g, Policy::Pimflow);
+    let b = evaluate(&g, Policy::Pimflow);
+    assert_eq!(a.report.total_us, b.report.total_us);
+    assert_eq!(a.plan, b.plan);
+}
+
+#[test]
+fn baseline_uses_no_pim() {
+    let g = models::toy();
+    let e = evaluate(&g, Policy::Baseline);
+    assert_eq!(e.report.pim_busy_us, 0.0);
+    assert_eq!(e.report.transfer_bytes, 0);
+}
