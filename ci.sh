@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# Offline CI for the PIMFlow workspace: formatting, lints, and the full
+# test suite. Everything runs against the committed Cargo.lock with no
+# network access (the workspace has no external dependencies).
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> cargo test"
+cargo test -q --workspace --offline
+
+echo "CI OK"

@@ -1,14 +1,14 @@
-//! Criterion benchmarks of the compiler side: transformation passes, the
+//! Benchmarks of the compiler side: transformation passes, the
 //! execution-mode search (Algorithm 1), and the execution engine.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pimflow::engine::{execute, EngineConfig};
 use pimflow::passes::{find_chains, pipeline_chain, split_node, PatternKind};
 use pimflow::search::{apply_plan, search, SearchOptions};
+use pimflow_bench::harness::Group;
 use pimflow_ir::models;
 
-fn bench_passes(c: &mut Criterion) {
-    let mut g = c.benchmark_group("passes");
+fn bench_passes() {
+    let mut g = Group::new("passes");
     let base = models::mobilenet_v2();
     let target = base
         .node_ids()
@@ -17,53 +17,48 @@ fn bench_passes(c: &mut Criterion) {
         })
         .expect("mobilenet has candidate convs");
 
-    g.bench_function("mddp_split", |b| {
-        b.iter(|| {
-            let mut m = base.clone();
-            split_node(&mut m, target, 50).expect("splittable")
-        })
+    g.bench("mddp_split", || {
+        let mut m = base.clone();
+        split_node(&mut m, target, 50).expect("splittable")
     });
-    g.bench_function("find_chains", |b| b.iter(|| find_chains(&base)));
-    g.bench_function("pipeline_type3", |b| {
-        b.iter(|| {
-            let mut m = base.clone();
-            let chain = find_chains(&m)
-                .into_iter()
-                .find(|c| c.pattern == PatternKind::PwDwPw)
-                .expect("mobilenet has type-3 chains");
-            pipeline_chain(&mut m, &chain, 2).expect("pipelinable")
-        })
+    g.bench("find_chains", || find_chains(&base));
+    g.bench("pipeline_type3", || {
+        let mut m = base.clone();
+        let chain = find_chains(&m)
+            .into_iter()
+            .find(|c| c.pattern == PatternKind::PwDwPw)
+            .expect("mobilenet has type-3 chains");
+        pipeline_chain(&mut m, &chain, 2).expect("pipelinable")
     });
     g.finish();
 }
 
-fn bench_search(c: &mut Criterion) {
-    let mut g = c.benchmark_group("search");
+fn bench_search() {
+    let mut g = Group::new("search");
     g.sample_size(10);
     let cfg = EngineConfig::pimflow();
     for name in ["toy", "mobilenet-v2", "resnet-50"] {
         let model = models::by_name(name).expect("known model");
-        g.bench_with_input(BenchmarkId::from_parameter(name), &model, |b, m| {
-            b.iter(|| search(m, &cfg, &SearchOptions::default()))
-        });
+        g.bench(name, || search(&model, &cfg, &SearchOptions::default()));
     }
     g.finish();
 }
 
-fn bench_engine(c: &mut Criterion) {
-    let mut g = c.benchmark_group("engine");
+fn bench_engine() {
+    let mut g = Group::new("engine");
     g.sample_size(10);
     let cfg = EngineConfig::pimflow();
     for name in ["mobilenet-v2", "resnet-50", "vgg-16"] {
         let model = models::by_name(name).expect("known model");
         let plan = search(&model, &cfg, &SearchOptions::default());
         let transformed = apply_plan(&model, &plan);
-        g.bench_with_input(BenchmarkId::from_parameter(name), &transformed, |b, t| {
-            b.iter(|| execute(t, &cfg))
-        });
+        g.bench(name, || execute(&transformed, &cfg));
     }
     g.finish();
 }
 
-criterion_group!(benches, bench_passes, bench_search, bench_engine);
-criterion_main!(benches);
+fn main() {
+    bench_passes();
+    bench_search();
+    bench_engine();
+}

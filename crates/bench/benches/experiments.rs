@@ -1,55 +1,53 @@
-//! Criterion benches over the paper's experiment machinery.
+//! Benches over the paper's experiment machinery.
 //!
 //! Each benchmark times a representative slice of one table/figure
 //! regenerator (the full sweeps live in the `figures` binary — these
 //! benches measure how fast the harness itself is, so heavyweight
 //! multi-model loops are exercised on one representative workload).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use pimflow::engine::{execute, EngineConfig};
 use pimflow::policy::{evaluate, Policy};
 use pimflow::search::{apply_plan, search, SearchOptions};
 use pimflow_bench::experiments as exp;
+use pimflow_bench::harness::Group;
 use pimflow_ir::models;
 
-fn bench_light_figures(c: &mut Criterion) {
-    let mut g = c.benchmark_group("figures");
+fn bench_light_figures() {
+    let mut g = Group::new("figures");
     g.sample_size(10);
 
-    g.bench_function("fig1_runtime_breakdown", |b| b.iter(exp::fig1));
-    g.bench_function("fig3_channel_sensitivity", |b| b.iter(exp::fig3));
-    g.bench_function("fig6_scheduling_granularity", |b| b.iter(exp::fig6));
-    g.bench_function("fig8_simulator_validation", |b| b.iter(exp::fig8));
-    g.bench_function("fig10_layerwise_mddp", |b| b.iter(|| exp::fig10("mobilenet-v2")));
-    g.bench_function("fig14_command_optimizations", |b| {
-        b.iter(|| exp::fig14("mobilenet-v2"))
-    });
-    g.bench_function("fig15_stage_count", |b| b.iter(|| exp::fig15("mobilenet-v2")));
-    g.bench_function("contention", |b| b.iter(|| exp::contention("mobilenet-v2")));
+    g.bench("fig1_runtime_breakdown", exp::fig1);
+    g.bench("fig3_channel_sensitivity", exp::fig3);
+    g.bench("fig6_scheduling_granularity", exp::fig6);
+    g.bench("fig8_simulator_validation", exp::fig8);
+    g.bench("fig10_layerwise_mddp", || exp::fig10("mobilenet-v2"));
+    g.bench("fig14_command_optimizations", || exp::fig14("mobilenet-v2"));
+    g.bench("fig15_stage_count", || exp::fig15("mobilenet-v2"));
+    g.bench("contention", || exp::contention("mobilenet-v2"));
     g.finish();
 }
 
-fn bench_heavy_slices(c: &mut Criterion) {
+fn bench_heavy_slices() {
     // One representative cell of each heavyweight sweep.
-    let mut h = c.benchmark_group("figures_heavy_slice");
+    let mut h = Group::new("figures_heavy_slice");
     h.sample_size(10);
     let mbv2 = models::mobilenet_v2();
-    h.bench_function("fig9_one_cell_pimflow_mbv2", |b| {
-        b.iter(|| evaluate(&mbv2, Policy::Pimflow))
+    h.bench("fig9_one_cell_pimflow_mbv2", || {
+        evaluate(&mbv2, Policy::Pimflow)
     });
-    h.bench_function("fig13_one_split_point", |b| {
-        b.iter(|| {
-            let mut cfg = EngineConfig::pimflow();
-            cfg.pim_channels = 12;
-            cfg.gpu_channels = 20;
-            let plan = search(&mbv2, &cfg, &SearchOptions::default());
-            execute(&apply_plan(&mbv2, &plan), &cfg)
-        })
+    h.bench("fig13_one_split_point", || {
+        let mut cfg = EngineConfig::pimflow();
+        cfg.pim_channels = 12;
+        cfg.gpu_channels = 20;
+        let plan = search(&mbv2, &cfg, &SearchOptions::default());
+        execute(&apply_plan(&mbv2, &plan), &cfg)
     });
     let bert = models::bert_like(64);
-    h.bench_function("fig16_bert64_cell", |b| b.iter(|| evaluate(&bert, Policy::Pimflow)));
+    h.bench("fig16_bert64_cell", || evaluate(&bert, Policy::Pimflow));
     h.finish();
 }
 
-criterion_group!(benches, bench_light_figures, bench_heavy_slices);
-criterion_main!(benches);
+fn main() {
+    bench_light_figures();
+    bench_heavy_slices();
+}

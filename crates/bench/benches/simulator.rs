@@ -1,9 +1,9 @@
-//! Criterion micro-benchmarks of the DRAM-PIM simulator itself: command
-//! trace execution throughput for representative layer shapes, and the
-//! scheduler at each granularity.
+//! Micro-benchmarks of the DRAM-PIM simulator itself: command trace
+//! execution throughput for representative layer shapes, and the scheduler
+//! at each granularity.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pimflow::codegen::{execute_workload, generate_blocks, PimWorkload};
+use pimflow_bench::harness::Group;
 use pimflow_ir::{Conv2dAttrs, Shape};
 use pimflow_pimsim::{run_channels, schedule, PimConfig, ScheduleGranularity};
 
@@ -22,19 +22,19 @@ fn representative_workloads() -> Vec<(&'static str, PimWorkload)> {
     ]
 }
 
-fn bench_trace_execution(c: &mut Criterion) {
-    let mut g = c.benchmark_group("pimsim_trace_execution");
+fn bench_trace_execution() {
+    let mut g = Group::new("pimsim_trace_execution");
     let cfg = PimConfig::default();
     for (name, w) in representative_workloads() {
-        g.bench_with_input(BenchmarkId::from_parameter(name), &w, |b, w| {
-            b.iter(|| execute_workload(w, &cfg, 16, ScheduleGranularity::Comp))
+        g.bench(name, || {
+            execute_workload(&w, &cfg, 16, ScheduleGranularity::Comp)
         });
     }
     g.finish();
 }
 
-fn bench_scheduler(c: &mut Criterion) {
-    let mut g = c.benchmark_group("pimsim_scheduler");
+fn bench_scheduler() {
+    let mut g = Group::new("pimsim_scheduler");
     let cfg = PimConfig::default();
     let w = PimWorkload::from_conv(&Shape::nhwc(1, 28, 28, 96), &Conv2dAttrs::pointwise(576));
     let blocks = generate_blocks(&w, &cfg);
@@ -43,29 +43,30 @@ fn bench_scheduler(c: &mut Criterion) {
         ("readres", ScheduleGranularity::ReadRes),
         ("comp", ScheduleGranularity::Comp),
     ] {
-        g.bench_function(name, |b| {
-            b.iter(|| {
-                let traces = schedule(&blocks, 16, granularity, &cfg);
-                run_channels(&cfg, &traces)
-            })
+        g.bench(name, || {
+            let traces = schedule(&blocks, 16, granularity, &cfg);
+            run_channels(&cfg, &traces)
         });
     }
     g.finish();
 }
 
-fn bench_command_set_variants(c: &mut Criterion) {
-    let mut g = c.benchmark_group("pimsim_command_sets");
+fn bench_command_set_variants() {
+    let mut g = Group::new("pimsim_command_sets");
     let w = PimWorkload::from_conv(&Shape::nhwc(1, 28, 28, 96), &Conv2dAttrs::pointwise(576));
     for (name, cfg) in [
         ("newton_plus", PimConfig::newton_plus()),
         ("newton_plus_plus", PimConfig::newton_plus_plus()),
     ] {
-        g.bench_function(name, |b| {
-            b.iter(|| execute_workload(&w, &cfg, 16, ScheduleGranularity::Comp))
+        g.bench(name, || {
+            execute_workload(&w, &cfg, 16, ScheduleGranularity::Comp)
         });
     }
     g.finish();
 }
 
-criterion_group!(benches, bench_trace_execution, bench_scheduler, bench_command_set_variants);
-criterion_main!(benches);
+fn main() {
+    bench_trace_execution();
+    bench_scheduler();
+    bench_command_set_variants();
+}

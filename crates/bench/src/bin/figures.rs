@@ -4,7 +4,8 @@
 //! figures [all|fig1|fig3|fig6|fig8|fig9|fig10|fig11|fig12|fig13|fig14|
 //!          fig15|fig16|table1|table2|internode|crossover|ablation|
 //!          autotune|portability|contention]
-//! figures csv <dir>    # machine-readable fig9/fig12 matrix
+//! figures csv <dir>      # machine-readable fig9/fig12 matrix
+//! figures serve [dir]    # serving RPS sweep -> <dir>/BENCH_serve.json
 //! ```
 //!
 //! Output is textual (rows/series in the same structure as the paper's
@@ -27,7 +28,11 @@ fn fig1() {
             );
         }
         for (class, ai) in &row.intensity {
-            println!("  {:<10} median arithmetic intensity {:8.1} MAC/ldst", class.label(), ai);
+            println!(
+                "  {:<10} median arithmetic intensity {:8.1} MAC/ldst",
+                class.label(),
+                ai
+            );
         }
     }
 }
@@ -48,7 +53,12 @@ fn fig6() {
     let rows = exp::fig6();
     let base = rows[0].1 as f64;
     for (name, cycles) in rows {
-        println!("  {:<8} {:>8} cycles  ({:.2}x)", name, cycles, base / cycles as f64);
+        println!(
+            "  {:<8} {:>8} cycles  ({:.2}x)",
+            name,
+            cycles,
+            base / cycles as f64
+        );
     }
 }
 
@@ -90,7 +100,10 @@ fn fig10() {
         let rows = exp::fig10(model);
         println!("{model}: {} layers leave the GPU", rows.len());
         for (name, ratio, norm) in rows {
-            println!("  {:<22} gpu-ratio {:>3}%  time {:4.2}x of GPU", name, ratio, norm);
+            println!(
+                "  {:<22} gpu-ratio {:>3}%  time {:4.2}x of GPU",
+                name, ratio, norm
+            );
         }
     }
 }
@@ -105,7 +118,13 @@ fn fig11() {
         }
         let avg = vals.iter().sum::<f64>() / vals.len() as f64;
         let best = vals.iter().cloned().fold(f64::INFINITY, f64::min);
-        println!("  {:<20} {} chains, mean ratio {:4.2}, best {:4.2}", kind, vals.len(), avg, best);
+        println!(
+            "  {:<20} {} chains, mean ratio {:4.2}, best {:4.2}",
+            kind,
+            vals.len(),
+            avg,
+            best
+        );
     }
 }
 
@@ -211,7 +230,10 @@ fn table2() {
 fn internode() {
     println!("== §3 obs. 1: inherent inter-node parallelism of the model zoo ==");
     for (model, frac) in exp::internode_parallelism() {
-        println!("  {model:<22} {:5.1}% of nodes have an independent peer", frac * 100.0);
+        println!(
+            "  {model:<22} {:5.1}% of nodes have an independent peer",
+            frac * 100.0
+        );
     }
 }
 
@@ -224,7 +246,10 @@ fn ablation() {
     println!("== Footnote 1: MD-DP ratio interval 10% vs 2% ==");
     for model in ["efficientnet-v1-b0", "mobilenet-v2"] {
         let (coarse, fine, gain) = exp::footnote1(model);
-        println!("  {model:<22} 10%: {coarse:8.1}us  2%: {fine:8.1}us  gain {:+.2}%", gain * 100.0);
+        println!(
+            "  {model:<22} 10%: {coarse:8.1}us  2%: {fine:8.1}us  gain {:+.2}%",
+            gain * 100.0
+        );
     }
 }
 
@@ -269,24 +294,27 @@ fn portability() {
 fn autotune() {
     println!("== §9 future work: measured auto-tuning over the Algorithm 1 plan ==");
     for (model, initial, tuned, gain) in exp::autotune_gains() {
-        println!("  {model:<22} DP plan {initial:8.1}us -> tuned {tuned:8.1}us ({:+.2}%)", gain * 100.0);
+        println!(
+            "  {model:<22} DP plan {initial:8.1}us -> tuned {tuned:8.1}us ({:+.2}%)",
+            gain * 100.0
+        );
     }
 }
 
 fn contention() {
     println!("== §7: memory-controller contention ==");
     for model in ["mobilenet-v2", "resnet-50"] {
-        println!("  {model:<22} slowdown {:+.2}%", exp::contention(model) * 100.0);
+        println!(
+            "  {model:<22} slowdown {:+.2}%",
+            exp::contention(model) * 100.0
+        );
     }
 }
 
 /// Writes the full evaluation matrix as CSV (for downstream plotting).
 fn csv(dir: &str) {
     use pimflow::evaluation::EvaluationSuite;
-    let suite = EvaluationSuite::run(
-        &pimflow_ir::models::evaluated_cnns(),
-        &Policy::all(),
-    );
+    let suite = EvaluationSuite::run(&pimflow_ir::models::evaluated_cnns(), &Policy::all());
     let path = std::path::Path::new(dir).join("fig9_fig12.csv");
     std::fs::create_dir_all(dir).expect("create output directory");
     std::fs::write(&path, suite.to_csv()).expect("write CSV");
@@ -298,11 +326,41 @@ fn csv(dir: &str) {
     );
 }
 
+/// Runs the serving RPS sweep and writes `BENCH_serve.json` under `dir`.
+fn serve_sweep(dir: &str) {
+    use pimflow_bench::serve_sweep::write_bench_artifact;
+    println!("== Serving RPS sweep (toy, PIMFlow, Poisson arrivals) ==");
+    let (report, path) = write_bench_artifact(std::path::Path::new(dir)).expect("serving sweep");
+    println!(
+        "  {:>7} {:>9} {:>9} {:>9} {:>11} {:>9}",
+        "rps", "p50 us", "p95 us", "p99 us", "thru req/s", "cache"
+    );
+    for p in &report.points {
+        println!(
+            "  {:>7.0} {:>9.1} {:>9.1} {:>9.1} {:>11.1} {:>8.1}%",
+            p.rps,
+            p.p50_us,
+            p.p95_us,
+            p.p99_us,
+            p.throughput_rps,
+            p.cache_hit_rate * 100.0
+        );
+    }
+    println!("wrote {}", path.display());
+}
+
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
     if which == "csv" {
-        let dir = std::env::args().nth(2).unwrap_or_else(|| "pimflow-out".into());
+        let dir = std::env::args()
+            .nth(2)
+            .unwrap_or_else(|| "pimflow-out".into());
         csv(&dir);
+        return;
+    }
+    if which == "serve" {
+        let dir = std::env::args().nth(2).unwrap_or_else(|| ".".into());
+        serve_sweep(&dir);
         return;
     }
     let needs_fig9 = matches!(which.as_str(), "all" | "fig9" | "fig12");

@@ -70,11 +70,19 @@ pub fn fig1() -> Vec<Fig1Row> {
                         .map(|id| node_cost(&g, id).arithmetic_intensity())
                         .collect();
                     ais.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-                    let median = if ais.is_empty() { 0.0 } else { ais[ais.len() / 2] };
+                    let median = if ais.is_empty() {
+                        0.0
+                    } else {
+                        ais[ais.len() / 2]
+                    };
                     (c, median)
                 })
                 .collect();
-            Fig1Row { model: g.name.clone(), breakdown, intensity }
+            Fig1Row {
+                model: g.name.clone(),
+                breakdown,
+                intensity,
+            }
         })
         .collect()
 }
@@ -221,8 +229,20 @@ pub fn fig14(model: &str) -> Vec<(&'static str, f64)> {
     let g = models::by_name(model).expect("known model");
     let variants: [(&'static str, PimConfig); 4] = [
         ("Newton+", PimConfig::newton_plus()),
-        ("+hiding", PimConfig { gwrite_latency_hiding: true, ..PimConfig::newton_plus() }),
-        ("+buffers", PimConfig { num_global_buffers: 4, ..PimConfig::newton_plus() }),
+        (
+            "+hiding",
+            PimConfig {
+                gwrite_latency_hiding: true,
+                ..PimConfig::newton_plus()
+            },
+        ),
+        (
+            "+buffers",
+            PimConfig {
+                num_global_buffers: 4,
+                ..PimConfig::newton_plus()
+            },
+        ),
         ("Newton++", PimConfig::newton_plus_plus()),
     ];
     let time_for = |cfg: &PimConfig| -> f64 {
@@ -336,8 +356,22 @@ pub fn ablation_pim_activation() -> Vec<(String, f64, f64)> {
 pub fn footnote1(model: &str) -> (f64, f64, f64) {
     let g = models::by_name(model).expect("known model");
     let cfg = EngineConfig::pimflow();
-    let coarse = search(&g, &cfg, &SearchOptions { ratio_step: 10, ..Default::default() });
-    let fine = search(&g, &cfg, &SearchOptions { ratio_step: 2, ..Default::default() });
+    let coarse = search(
+        &g,
+        &cfg,
+        &SearchOptions {
+            ratio_step: 10,
+            ..Default::default()
+        },
+    );
+    let fine = search(
+        &g,
+        &cfg,
+        &SearchOptions {
+            ratio_step: 2,
+            ..Default::default()
+        },
+    );
     (
         coarse.predicted_us,
         fine.predicted_us,
@@ -374,12 +408,8 @@ pub fn crossover_map() -> Vec<(usize, usize, usize, usize, f64, f64)> {
                         padding: pimflow_ir::Hw::square(kernel / 2),
                         groups: 1,
                     };
-                    let w = PimWorkload::from_conv(
-                        &Shape::nhwc(1, spatial, spatial, ic),
-                        &attrs,
-                    );
-                    let pim_us =
-                        execute_workload(&w, &pim, 16, ScheduleGranularity::Comp).time_us;
+                    let w = PimWorkload::from_conv(&Shape::nhwc(1, spatial, spatial, ic), &attrs);
+                    let pim_us = execute_workload(&w, &pim, 16, ScheduleGranularity::Comp).time_us;
                     rows.push((kernel, spatial, ic, oc, gpu_us, pim_us));
                 }
             }
@@ -398,7 +428,10 @@ pub fn portability_hbm_pim() -> Vec<(String, f64, f64)> {
     for g in models::evaluated_cnns() {
         let base = execute(&g, &EngineConfig::baseline_gpu()).total_us;
         let run = |pim: PimConfig| -> f64 {
-            let cfg = EngineConfig { pim, ..EngineConfig::pimflow() };
+            let cfg = EngineConfig {
+                pim,
+                ..EngineConfig::pimflow()
+            };
             let plan = search(&g, &cfg, &SearchOptions::default());
             execute(&apply_plan(&g, &plan), &cfg).total_us
         };
@@ -418,7 +451,12 @@ pub fn autotune_gains() -> Vec<(String, f64, f64, f64)> {
         let cfg = EngineConfig::pimflow();
         let plan = search(&g, &cfg, &SearchOptions::default());
         let result = autotune(&g, &cfg, &plan, 2, 10);
-        rows.push((g.name.clone(), result.initial_us, result.tuned_us, result.gain()));
+        rows.push((
+            g.name.clone(),
+            result.initial_us,
+            result.tuned_us,
+            result.gain(),
+        ));
     }
     rows
 }
@@ -432,7 +470,10 @@ pub fn table2() -> Vec<(u32, f64)> {
         let plan = search(
             &g,
             &EngineConfig::pimflow(),
-            &SearchOptions { allow_pipeline: false, ..Default::default() },
+            &SearchOptions {
+                allow_pipeline: false,
+                ..Default::default()
+            },
         );
         for p in &plan.profiles {
             counts[(p.best_ratio / 10) as usize] += 1;
@@ -442,7 +483,16 @@ pub fn table2() -> Vec<(u32, f64)> {
     counts
         .into_iter()
         .enumerate()
-        .map(|(i, c)| ((i as u32) * 10, if total == 0 { 0.0 } else { c as f64 / total as f64 }))
+        .map(|(i, c)| {
+            (
+                (i as u32) * 10,
+                if total == 0 {
+                    0.0
+                } else {
+                    c as f64 / total as f64
+                },
+            )
+        })
         .collect()
 }
 
@@ -538,9 +588,16 @@ mod tests {
                 contested += 1;
             }
         }
-        assert!(gpu_wins > 0, "no GPU-won points (dense 3x3 convs must favor the GPU)");
+        assert!(
+            gpu_wins > 0,
+            "no GPU-won points (dense 3x3 convs must favor the GPU)"
+        );
         assert!(pim_wins > 0, "no PIM-won points");
-        assert!(contested > rows.len() / 8, "contested band too thin: {contested}/{}", rows.len());
+        assert!(
+            contested > rows.len() / 8,
+            "contested band too thin: {contested}/{}",
+            rows.len()
+        );
     }
 
     #[test]

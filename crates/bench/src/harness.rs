@@ -1,0 +1,84 @@
+//! Minimal wall-clock benchmarking harness.
+//!
+//! The workspace builds with zero network access, so Criterion is not
+//! available; this module provides the small slice of it the bench targets
+//! need: named groups, adaptive iteration counts, and a median-of-samples
+//! report printed to stdout. Bench binaries keep `harness = false` in the
+//! manifest and drive a [`Group`] from `main`.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// One measured benchmark.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// `group/name` label.
+    pub label: String,
+    /// Median time per iteration.
+    pub median: Duration,
+    /// Minimum observed time per iteration.
+    pub min: Duration,
+    /// Iterations per sample.
+    pub iters_per_sample: u32,
+}
+
+/// A named collection of benchmarks, mirroring Criterion's `benchmark_group`.
+pub struct Group {
+    name: String,
+    samples: usize,
+    target: Duration,
+    results: Vec<Measurement>,
+}
+
+impl Group {
+    /// Creates a group with the default 10 samples of ~100 ms each.
+    pub fn new(name: impl Into<String>) -> Self {
+        Group {
+            name: name.into(),
+            samples: 10,
+            target: Duration::from_millis(100),
+            results: Vec::new(),
+        }
+    }
+
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.samples = samples.max(2);
+        self
+    }
+
+    /// Times `f`, printing one line with the median per-iteration cost.
+    pub fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) {
+        // Calibrate: run once to estimate cost, then pick an iteration
+        // count that fills roughly one target window per sample.
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let iters = (self.target.as_nanos() / once.as_nanos()).clamp(1, 10_000) as u32;
+
+        let mut per_iter: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            per_iter.push(start.elapsed() / iters);
+        }
+        per_iter.sort();
+        let median = per_iter[per_iter.len() / 2];
+        let min = per_iter[0];
+        let label = format!("{}/{}", self.name, name);
+        println!("{label:<48} median {median:>12.2?}  min {min:>12.2?}  ({iters} iters/sample)");
+        self.results.push(Measurement {
+            label,
+            median,
+            min,
+            iters_per_sample: iters,
+        });
+    }
+
+    /// Finishes the group and returns its measurements.
+    pub fn finish(self) -> Vec<Measurement> {
+        self.results
+    }
+}

@@ -3,8 +3,11 @@
 //! Benchmark and experiment harness regenerating every table and figure of
 //! the PIMFlow paper's evaluation (§6). The [`experiments`] module holds
 //! one deterministic function per table/figure; the `figures` binary prints
-//! them and the Criterion benches time the underlying machinery.
+//! them and the bench targets time the underlying machinery through the
+//! in-repo [`harness`] (the workspace builds offline, without Criterion).
 
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod harness;
+pub mod serve_sweep;

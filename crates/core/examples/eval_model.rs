@@ -10,7 +10,9 @@ use pimflow_ir::models;
 use std::time::Instant;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "mobilenet-v2".into());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "mobilenet-v2".into());
     let g = models::by_name(&name).expect("unknown model");
     println!("== {} ({} nodes) ==", g.name, g.node_count());
     let mut base_e2e = 0.0;
@@ -18,9 +20,21 @@ fn main() {
     for p in Policy::all() {
         let t0 = Instant::now();
         let e = evaluate(&g, p);
-        if p == Policy::Baseline { base_e2e = e.report.total_us; base_conv = e.conv_layer_us; }
+        if p == Policy::Baseline {
+            base_e2e = e.report.total_us;
+            base_conv = e.conv_layer_us;
+        }
         let splits = e.plan.as_ref().map(|pl| pl.decisions.iter().filter(|(_,d)| matches!(d, pimflow::search::Decision::Split{gpu_percent} if *gpu_percent>0)).count()).unwrap_or(0);
-        let pipes = e.plan.as_ref().map(|pl| pl.decisions.iter().filter(|(_,d)| matches!(d, pimflow::search::Decision::Pipeline{..})).count()).unwrap_or(0);
+        let pipes = e
+            .plan
+            .as_ref()
+            .map(|pl| {
+                pl.decisions
+                    .iter()
+                    .filter(|(_, d)| matches!(d, pimflow::search::Decision::Pipeline { .. }))
+                    .count()
+            })
+            .unwrap_or(0);
         println!("{:<11} e2e {:8.1}us (x{:.2})  conv {:8.1}us (x{:.2})  energy {:8.0}uJ  splits {} pipes {}  [{:.1}s]",
             p.name(), e.report.total_us, base_e2e / e.report.total_us,
             e.conv_layer_us, base_conv / e.conv_layer_us,

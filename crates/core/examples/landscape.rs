@@ -9,7 +9,7 @@
 
 use pimflow::codegen::*;
 use pimflow_gpusim::GpuConfig;
-use pimflow_ir::{Conv2dAttrs, Shape, Hw};
+use pimflow_ir::{Conv2dAttrs, Hw, Shape};
 use pimflow_pimsim::{PimConfig, ScheduleGranularity};
 
 fn main() {
@@ -17,35 +17,116 @@ fn main() {
     let npp = PimConfig::newton_plus_plus();
     let np = PimConfig::newton_plus();
     let cases: Vec<(&str, Shape, Conv2dAttrs)> = vec![
-        ("mbv2 pw 112x112x32->16", Shape::nhwc(1,112,112,32), Conv2dAttrs::pointwise(16)),
-        ("mbv2 pw 14x14x64->384", Shape::nhwc(1,14,14,64), Conv2dAttrs::pointwise(384)),
-        ("mbv2 pw 7x7x960->320", Shape::nhwc(1,7,7,960), Conv2dAttrs::pointwise(320)),
-        ("enet pw 7x7x1152->192", Shape::nhwc(1,7,7,1152), Conv2dAttrs::pointwise(192)),
-        ("rn50 pw 14x14x256->1024", Shape::nhwc(1,14,14,256), Conv2dAttrs::pointwise(1024)),
-        ("rn50 3x3 14x14x256", Shape::nhwc(1,14,14,256), Conv2dAttrs{out_channels:256,kernel:Hw::square(3),stride:Hw::square(1),padding:Hw::square(1),groups:1}),
-        ("vgg 3x3 224x224x64", Shape::nhwc(1,224,224,64), Conv2dAttrs{out_channels:64,kernel:Hw::square(3),stride:Hw::square(1),padding:Hw::square(1),groups:1}),
-        ("vgg 3x3 28x28x512", Shape::nhwc(1,28,28,512), Conv2dAttrs{out_channels:512,kernel:Hw::square(3),stride:Hw::square(1),padding:Hw::square(1),groups:1}),
+        (
+            "mbv2 pw 112x112x32->16",
+            Shape::nhwc(1, 112, 112, 32),
+            Conv2dAttrs::pointwise(16),
+        ),
+        (
+            "mbv2 pw 14x14x64->384",
+            Shape::nhwc(1, 14, 14, 64),
+            Conv2dAttrs::pointwise(384),
+        ),
+        (
+            "mbv2 pw 7x7x960->320",
+            Shape::nhwc(1, 7, 7, 960),
+            Conv2dAttrs::pointwise(320),
+        ),
+        (
+            "enet pw 7x7x1152->192",
+            Shape::nhwc(1, 7, 7, 1152),
+            Conv2dAttrs::pointwise(192),
+        ),
+        (
+            "rn50 pw 14x14x256->1024",
+            Shape::nhwc(1, 14, 14, 256),
+            Conv2dAttrs::pointwise(1024),
+        ),
+        (
+            "rn50 3x3 14x14x256",
+            Shape::nhwc(1, 14, 14, 256),
+            Conv2dAttrs {
+                out_channels: 256,
+                kernel: Hw::square(3),
+                stride: Hw::square(1),
+                padding: Hw::square(1),
+                groups: 1,
+            },
+        ),
+        (
+            "vgg 3x3 224x224x64",
+            Shape::nhwc(1, 224, 224, 64),
+            Conv2dAttrs {
+                out_channels: 64,
+                kernel: Hw::square(3),
+                stride: Hw::square(1),
+                padding: Hw::square(1),
+                groups: 1,
+            },
+        ),
+        (
+            "vgg 3x3 28x28x512",
+            Shape::nhwc(1, 28, 28, 512),
+            Conv2dAttrs {
+                out_channels: 512,
+                kernel: Hw::square(3),
+                stride: Hw::square(1),
+                padding: Hw::square(1),
+                groups: 1,
+            },
+        ),
     ];
-    println!("{:<28} {:>9} {:>9} {:>9} {:>7}", "layer", "GPU us", "PIM++ us", "PIM+ us", "G/P++");
+    println!(
+        "{:<28} {:>9} {:>9} {:>9} {:>7}",
+        "layer", "GPU us", "PIM++ us", "PIM+ us", "G/P++"
+    );
     for (name, shape, attrs) in cases {
         let mut b = pimflow_ir::GraphBuilder::new("t");
         let x = b.input(shape.clone());
-        let oc = attrs.out_channels; let k = attrs.kernel.h; let s = attrs.stride.h; let p = attrs.padding.h;
-        let y = if attrs.groups > 1 { b.dwconv(x, oc, k, s, p) } else { b.conv(x, oc, k, s, p) };
+        let oc = attrs.out_channels;
+        let k = attrs.kernel.h;
+        let s = attrs.stride.h;
+        let p = attrs.padding.h;
+        let y = if attrs.groups > 1 {
+            b.dwconv(x, oc, k, s, p)
+        } else {
+            b.conv(x, oc, k, s, p)
+        };
         let g = b.finish(y);
-        let id = g.node_ids().find(|&i| matches!(g.node(i).op, pimflow_ir::Op::Conv2d(_))).unwrap();
+        let id = g
+            .node_ids()
+            .find(|&i| matches!(g.node(i).op, pimflow_ir::Op::Conv2d(_)))
+            .unwrap();
         let tg = gpu_node_time_us(&g, id, &gpu, 16);
         let w = PimWorkload::from_conv(&shape, &attrs);
         let tpp = execute_workload(&w, &npp, 16, ScheduleGranularity::Comp).time_us;
         let tp = execute_workload(&w, &np, 16, ScheduleGranularity::Comp).time_us;
-        println!("{:<28} {:>9.1} {:>9.1} {:>9.1} {:>7.2}", name, tg, tpp, tp, tg/tpp);
+        println!(
+            "{:<28} {:>9.1} {:>9.1} {:>9.1} {:>7.2}",
+            name,
+            tg,
+            tpp,
+            tp,
+            tg / tpp
+        );
     }
     // FC layers
-    for (name, k, of) in [("vgg fc6", 25088usize, 4096usize), ("vgg fc8", 4096, 1000), ("mbv2 fc", 1280, 1000)] {
+    for (name, k, of) in [
+        ("vgg fc6", 25088usize, 4096usize),
+        ("vgg fc8", 4096, 1000),
+        ("mbv2 fc", 1280, 1000),
+    ] {
         let w = PimWorkload::from_dense(1, k, of);
         let tpp = execute_workload(&w, &npp, 16, ScheduleGranularity::Comp).time_us;
         let p = pimflow_gpusim::KernelProfile::matvec(of, k, 1);
         let tg = pimflow_gpusim::kernel_time_with_launch_us(&p, &gpu, 32);
-        println!("{:<28} {:>9.1} {:>9.1} {:>9} {:>7.2}", name, tg, tpp, "-", tg/tpp);
+        println!(
+            "{:<28} {:>9.1} {:>9.1} {:>9} {:>7.2}",
+            name,
+            tg,
+            tpp,
+            "-",
+            tg / tpp
+        );
     }
 }

@@ -51,12 +51,7 @@ fn neighbours(plan: &ExecutionPlan, index: usize, step: u32) -> Vec<ExecutionPla
         return Vec::new();
     };
     let mut ratios = Vec::new();
-    for candidate in [
-        gpu_percent.saturating_sub(step),
-        gpu_percent + step,
-        0,
-        100,
-    ] {
+    for candidate in [gpu_percent.saturating_sub(step), gpu_percent + step, 0, 100] {
         let candidate = candidate.min(100);
         if candidate != *gpu_percent && !ratios.contains(&candidate) {
             ratios.push(candidate);
@@ -117,7 +112,12 @@ pub fn autotune(
     }
 
     best_plan.predicted_us = best_us;
-    TuneResult { plan: best_plan, initial_us, tuned_us: best_us, evaluations }
+    TuneResult {
+        plan: best_plan,
+        initial_us,
+        tuned_us: best_us,
+        evaluations,
+    }
 }
 
 #[cfg(test)]
@@ -158,11 +158,9 @@ mod tests {
         }
         if !sabotaged {
             // Turn a full offload into a bad split.
-            if let Some((_, d)) = plan
-                .decisions
-                .iter_mut()
-                .find(|(n, d)| matches!(d, Decision::Split { gpu_percent: 0 }) && n.contains("conv"))
-            {
+            if let Some((_, d)) = plan.decisions.iter_mut().find(|(n, d)| {
+                matches!(d, Decision::Split { gpu_percent: 0 }) && n.contains("conv")
+            }) {
                 *d = Decision::Split { gpu_percent: 90 };
                 sabotaged = true;
             }

@@ -155,7 +155,10 @@ impl GpuBackend {
     /// The evaluation configuration: RTX 2060-class on 16 channels (the
     /// GPU's share of the split memory).
     pub fn rtx2060_like() -> Self {
-        GpuBackend { gpu: GpuConfig::rtx2060_like(), channels: 16 }
+        GpuBackend {
+            gpu: GpuConfig::rtx2060_like(),
+            channels: 16,
+        }
     }
 }
 
@@ -205,8 +208,8 @@ pub fn compile_graph(
         if matches!(node.op, Op::Identity | Op::Flatten) {
             continue; // views vanish at code generation
         }
-        let prefer_pim = crate::placement::Placement::of_name(&node.name)
-            == crate::placement::Placement::Pim;
+        let prefer_pim =
+            crate::placement::Placement::of_name(&node.name) == crate::placement::Placement::Pim;
         let kernel = if prefer_pim && pim.supports(graph, id) {
             pim.compile(graph, id)?
         } else {

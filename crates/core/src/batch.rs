@@ -1,0 +1,97 @@
+//! Batch-dimension plumbing for the serving runtime.
+//!
+//! The paper's compiler operates on batch-1 inference graphs (the model zoo
+//! builds them that way); a serving system amortizes weight traffic by
+//! batching requests. [`with_batch`] rewrites a model to an arbitrary batch
+//! size by replacing the batch extent of every graph input and re-running
+//! shape inference, so every downstream consumer — the reference executor,
+//! the kernel profiles, the PIM lowering — sees the batched extents.
+
+use pimflow_ir::{infer_shapes, Graph, GraphError};
+
+/// Returns a copy of `graph` whose inputs carry batch size `batch`, with
+/// all intermediate shapes re-inferred.
+///
+/// The graph name is preserved so execution plans computed for different
+/// batch sizes of the same model still report the model's name.
+///
+/// # Errors
+///
+/// Returns [`GraphError`] if shape inference fails on the batched graph
+/// (e.g. an op whose attributes hard-code extents incompatible with the new
+/// batch).
+///
+/// # Panics
+///
+/// Panics if `batch == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use pimflow::batch::with_batch;
+/// use pimflow_ir::models;
+///
+/// let g = with_batch(&models::toy(), 4).unwrap();
+/// let out = g.value(g.outputs()[0]).desc.as_ref().unwrap();
+/// assert_eq!(out.shape.n(), 4);
+/// ```
+pub fn with_batch(graph: &Graph, batch: usize) -> Result<Graph, GraphError> {
+    assert!(batch > 0, "batch size must be positive");
+    let mut out = graph.clone();
+    for &v in &out.inputs().to_vec() {
+        let value = out.value_mut(v);
+        if let Some(desc) = value.desc.as_mut() {
+            desc.shape = desc.shape.with_dim(0, batch);
+        }
+    }
+    infer_shapes(&mut out)?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{execute, EngineConfig};
+    use pimflow_ir::models;
+
+    #[test]
+    fn batched_toy_scales_all_values() {
+        let g = models::toy();
+        let b4 = with_batch(&g, 4).unwrap();
+        assert_eq!(b4.name, g.name);
+        for id in b4.node_ids() {
+            let shape = &b4.value(b4.node(id).output).desc.as_ref().unwrap().shape;
+            assert_eq!(shape.n(), 4, "node {}", b4.node(id).name);
+        }
+    }
+
+    #[test]
+    fn batch_one_is_identity() {
+        let g = models::toy();
+        let b1 = with_batch(&g, 1).unwrap();
+        for (a, b) in g.node_ids().zip(b1.node_ids()) {
+            assert_eq!(
+                g.value(g.node(a).output).desc,
+                b1.value(b1.node(b).output).desc
+            );
+        }
+    }
+
+    #[test]
+    fn larger_batches_cost_more() {
+        let g = models::toy();
+        let cfg = EngineConfig::pimflow();
+        let t1 = execute(&with_batch(&g, 1).unwrap(), &cfg).total_us;
+        let t8 = execute(&with_batch(&g, 8).unwrap(), &cfg).total_us;
+        assert!(t8 > t1, "batch-8 {t8:.1}us vs batch-1 {t1:.1}us");
+    }
+
+    #[test]
+    fn batched_models_validate() {
+        for name in ["toy", "mobilenet-v2"] {
+            let g = models::by_name(name).unwrap();
+            let b = with_batch(&g, 3).unwrap();
+            b.validate().unwrap();
+        }
+    }
+}

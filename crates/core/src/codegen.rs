@@ -12,7 +12,7 @@ use pimflow_gpusim::GpuConfig;
 use pimflow_ir::{Conv2dAttrs, Graph, NodeId, Op, Shape};
 use pimflow_kernels::lowered_dims;
 use pimflow_pimsim::{
-    pim_energy_nj, run_channels, schedule, ChannelStats, CommandBlock, PimConfig,
+    pim_energy_nj, run_channels_each, schedule, ChannelStats, CommandBlock, PimConfig,
     PimEnergyParams, ScheduleGranularity,
 };
 
@@ -101,7 +101,9 @@ pub fn generate_blocks(w: &PimWorkload, cfg: &PimConfig) -> Vec<CommandBlock> {
     // Filter elements resident per bank, and the activations/column I/Os
     // needed to stream them once per buffer row.
     let filter_elems_per_bank = w.k_elems * oc_per_bank;
-    let gacts = filter_elems_per_bank.div_ceil(cfg.row_elems_per_bank()).max(1) as u32;
+    let gacts = filter_elems_per_bank
+        .div_ceil(cfg.row_elems_per_bank())
+        .max(1) as u32;
     let column_ios = w.k_elems.div_ceil(cfg.elems_per_column_io()) * oc_per_bank;
     let comps_per_gact = (column_ios as u32).div_ceil(gacts).max(1);
 
@@ -160,25 +162,38 @@ pub fn execute_workload(
     channels: usize,
     granularity: ScheduleGranularity,
 ) -> PimExecution {
+    execute_workload_per_channel(w, cfg, channels, granularity).0
+}
+
+/// Like [`execute_workload`] but also returns each channel's own statistics
+/// (index = channel), for per-channel utilization accounting.
+///
+/// # Panics
+///
+/// Panics if `channels == 0`.
+pub fn execute_workload_per_channel(
+    w: &PimWorkload,
+    cfg: &PimConfig,
+    channels: usize,
+    granularity: ScheduleGranularity,
+) -> (PimExecution, Vec<ChannelStats>) {
     let blocks = generate_blocks(w, cfg);
     let traces = schedule(&blocks, channels, granularity, cfg);
-    let stats = run_channels(cfg, &traces);
-    let energy_uj =
-        pim_energy_nj(&stats, cfg, &PimEnergyParams::default(), channels) * 1e-3;
-    PimExecution {
+    let per_channel = run_channels_each(cfg, &traces);
+    let stats = per_channel
+        .iter()
+        .fold(ChannelStats::default(), |acc, s| acc.merge_parallel(s));
+    let energy_uj = pim_energy_nj(&stats, cfg, &PimEnergyParams::default(), channels) * 1e-3;
+    let exec = PimExecution {
         time_us: cfg.cycles_to_ns(stats.cycles) * 1e-3,
         stats,
         energy_uj,
-    }
+    };
+    (exec, per_channel)
 }
 
 /// Convenience: PIM execution time of graph node `id` in microseconds.
-pub fn pim_node_time_us(
-    graph: &Graph,
-    id: NodeId,
-    cfg: &PimConfig,
-    channels: usize,
-) -> f64 {
+pub fn pim_node_time_us(graph: &Graph, id: NodeId, cfg: &PimConfig, channels: usize) -> f64 {
     let w = PimWorkload::from_node(graph, id);
     execute_workload(&w, cfg, channels, ScheduleGranularity::Comp).time_us
 }
@@ -220,7 +235,11 @@ mod tests {
         let blocks = generate_blocks(&w, &cfg);
         let comps: u64 = blocks.iter().map(|b| b.total_comps()).sum();
         let capacity = comps * cfg.macs_per_comp() as u64;
-        assert!(capacity >= w.macs(), "capacity {capacity} < macs {}", w.macs());
+        assert!(
+            capacity >= w.macs(),
+            "capacity {capacity} < macs {}",
+            w.macs()
+        );
         assert!(capacity < w.macs() * 4, "excessive padding waste");
     }
 
@@ -246,7 +265,12 @@ mod tests {
     fn newton_pp_beats_newton_p() {
         // The PIM-command optimizations must help (Fig. 14: ~22% combined).
         let w = pointwise(28, 96, 576);
-        let npp = execute_workload(&w, &PimConfig::newton_plus_plus(), 16, ScheduleGranularity::Comp);
+        let npp = execute_workload(
+            &w,
+            &PimConfig::newton_plus_plus(),
+            16,
+            ScheduleGranularity::Comp,
+        );
         let np = execute_workload(&w, &PimConfig::newton_plus(), 16, ScheduleGranularity::Comp);
         assert!(
             npp.time_us < np.time_us,
@@ -302,7 +326,10 @@ mod tests {
         let x = b.input(shape);
         let y = b.conv(x, 512, 3, 1, 1);
         let g = b.finish(y);
-        let id = g.node_ids().find(|&i| matches!(g.node(i).op, Op::Conv2d(_))).unwrap();
+        let id = g
+            .node_ids()
+            .find(|&i| matches!(g.node(i).op, Op::Conv2d(_)))
+            .unwrap();
         let gpu = gpu_node_time_us(&g, id, &GpuConfig::rtx2060_like(), 32);
         assert!(
             gpu < pim.time_us,
@@ -323,7 +350,10 @@ mod tests {
         let x = b.input(shape);
         let y = b.conv1x1(x, 1024);
         let g = b.finish(y);
-        let id = g.node_ids().find(|&i| matches!(g.node(i).op, Op::Conv2d(_))).unwrap();
+        let id = g
+            .node_ids()
+            .find(|&i| matches!(g.node(i).op, Op::Conv2d(_)))
+            .unwrap();
         let gpu = gpu_node_time_us(&g, id, &GpuConfig::rtx2060_like(), 16);
         let ratio = gpu / pim.time_us;
         assert!(
@@ -335,7 +365,13 @@ mod tests {
 
     #[test]
     fn empty_workload_generates_nothing() {
-        let w = PimWorkload { rows: 0, k_elems: 16, out_channels: 16, strided: false, segments: 1 };
+        let w = PimWorkload {
+            rows: 0,
+            k_elems: 16,
+            out_channels: 16,
+            strided: false,
+            segments: 1,
+        };
         assert!(generate_blocks(&w, &PimConfig::default()).is_empty());
     }
 }

@@ -11,17 +11,17 @@
 //! a GPU convolution or GEMM are epilogue-fused (no launch, no extra DRAM
 //! round-trip), matching the cuDNN/CUTLASS mappings the artifact relies on.
 
-use crate::codegen::{execute_workload, PimWorkload};
+use crate::codegen::{execute_workload_per_channel, PimWorkload};
 use crate::memopt::{data_move_bytes, is_data_move};
 use crate::placement::Placement;
 use pimflow_gpusim::{kernel_for_node, GpuConfig, KernelProfile};
 use pimflow_ir::{ActivationKind, Graph, NodeId, Op, ValueId};
+use pimflow_json::json_struct;
 use pimflow_pimsim::{ChannelStats, PimConfig, PimEnergyParams, ScheduleGranularity};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Full system configuration for one execution.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EngineConfig {
     /// GPU model.
     pub gpu: GpuConfig,
@@ -80,7 +80,7 @@ impl EngineConfig {
 }
 
 /// Where a node ran and for how long.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NodeTiming {
     /// Node name (with any `pim::` placement tag).
     pub name: String,
@@ -95,7 +95,7 @@ pub struct NodeTiming {
 }
 
 /// Component-wise energy breakdown of one execution, microjoules.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct EnergyBreakdown {
     /// GPU dynamic energy (FLOPs + DRAM traffic of GPU kernels).
     pub gpu_dynamic_uj: f64,
@@ -115,7 +115,7 @@ impl EnergyBreakdown {
 }
 
 /// Result of simulating one inference.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExecutionReport {
     /// End-to-end latency, microseconds.
     pub total_us: f64,
@@ -129,9 +129,36 @@ pub struct ExecutionReport {
     pub pim_busy_us: f64,
     /// Bytes moved across the GPU/PIM channel boundary.
     pub transfer_bytes: u64,
+    /// MAC-pipeline busy time of each PIM channel, microseconds (length
+    /// `cfg.pim_channels`; empty when no PIM channels are configured).
+    pub pim_channel_busy_us: Vec<f64>,
     /// Per-node timeline in execution order.
     pub timings: Vec<NodeTiming>,
 }
+
+json_struct!(NodeTiming {
+    name,
+    device,
+    start_us,
+    finish_us,
+    fused
+});
+json_struct!(EnergyBreakdown {
+    gpu_dynamic_uj,
+    pim_dynamic_uj,
+    transfer_uj,
+    static_uj
+});
+json_struct!(ExecutionReport {
+    total_us,
+    energy_uj,
+    energy_breakdown,
+    gpu_busy_us,
+    pim_busy_us,
+    transfer_bytes,
+    pim_channel_busy_us,
+    timings,
+});
 
 impl ExecutionReport {
     /// Timing entry for `name`, if present.
@@ -172,8 +199,21 @@ pub fn execute(graph: &Graph, cfg: &EngineConfig) -> ExecutionReport {
     }
     let mut values: HashMap<ValueId, ValueState> = HashMap::new();
     for &v in graph.inputs() {
-        let bytes = graph.value(v).desc.as_ref().map(|d| d.size_bytes() as u64).unwrap_or(0);
-        values.insert(v, ValueState { time: 0.0, at_pim: false, at_gpu: true, bytes });
+        let bytes = graph
+            .value(v)
+            .desc
+            .as_ref()
+            .map(|d| d.size_bytes() as u64)
+            .unwrap_or(0);
+        values.insert(
+            v,
+            ValueState {
+                time: 0.0,
+                at_pim: false,
+                at_gpu: true,
+                bytes,
+            },
+        );
     }
 
     let mut gpu_free = 0.0f64;
@@ -184,7 +224,8 @@ pub fn execute(graph: &Graph, cfg: &EngineConfig) -> ExecutionReport {
     let mut gpu_dynamic_uj = 0.0f64;
     let mut pim_stats_total = ChannelStats::default();
     let mut timings = Vec::with_capacity(order.len());
-    let mut pim_memo: HashMap<PimWorkload, (f64, ChannelStats)> = HashMap::new();
+    let mut pim_channel_busy_us = vec![0.0f64; cfg.pim_channels];
+    let mut pim_memo: HashMap<PimWorkload, (f64, ChannelStats, Vec<f64>)> = HashMap::new();
     // Device that produced each value (for fusion decisions).
     let mut produced_on_gpu_conv: HashMap<ValueId, bool> = HashMap::new();
 
@@ -212,8 +253,7 @@ pub fn execute(graph: &Graph, cfg: &EngineConfig) -> ExecutionReport {
                 .unwrap_or(false);
         if pim_activation {
             device = Placement::Pim;
-        } else if device == Placement::Pim
-            && (cfg.pim_channels == 0 || !is_heavy_compute(&node.op))
+        } else if device == Placement::Pim && (cfg.pim_channels == 0 || !is_heavy_compute(&node.op))
         {
             device = Placement::Gpu;
         }
@@ -237,8 +277,7 @@ pub fn execute(graph: &Graph, cfg: &EngineConfig) -> ExecutionReport {
                 // (Fig. 4, movement (4)).
                 Placement::Gpu => {
                     if !state.at_gpu {
-                        t += cfg.transfer_latency_us
-                            + state.bytes as f64 / link_bw_bytes_per_us;
+                        t += cfg.transfer_latency_us + state.bytes as f64 / link_bw_bytes_per_us;
                         transfer_bytes += state.bytes;
                         state.at_gpu = true;
                     }
@@ -270,18 +309,25 @@ pub fn execute(graph: &Graph, cfg: &EngineConfig) -> ExecutionReport {
             }
         } else if device == Placement::Pim {
             let workload = PimWorkload::from_node(graph, id);
-            let (dur, stats) = pim_memo
+            let (dur, stats, busy_us) = pim_memo
                 .entry(workload)
                 .or_insert_with(|| {
-                    let exec = execute_workload(
+                    let (exec, per_channel) = execute_workload_per_channel(
                         &workload,
                         &cfg.pim,
                         cfg.pim_channels,
                         cfg.granularity,
                     );
-                    (exec.time_us, exec.stats)
+                    let busy_us: Vec<f64> = per_channel
+                        .iter()
+                        .map(|s| cfg.pim.cycles_to_ns(s.comp_busy_cycles) * 1e-3)
+                        .collect();
+                    (exec.time_us, exec.stats, busy_us)
                 })
                 .clone();
+            for (acc, b) in pim_channel_busy_us.iter_mut().zip(&busy_us) {
+                *acc += b;
+            }
             pim_stats_total = pim_stats_total.merge_parallel(&stats);
             let start = ready.max(pim_free);
             pim_free = start + dur;
@@ -323,7 +369,9 @@ pub fn execute(graph: &Graph, cfg: &EngineConfig) -> ExecutionReport {
         // element-wise epilogues; data-movement views and PIM nodes cannot.
         let hosts_fusion = device == Placement::Gpu
             && !is_data_move(graph, id)
-            && (is_heavy_compute(&node.op) || fused || op_is_fusable(&node.op)
+            && (is_heavy_compute(&node.op)
+                || fused
+                || op_is_fusable(&node.op)
                 || matches!(node.op, Op::Pool(_) | Op::GlobalAvgPool));
         produced_on_gpu_conv.insert(node.output, hosts_fusion);
 
@@ -350,7 +398,10 @@ pub fn execute(graph: &Graph, cfg: &EngineConfig) -> ExecutionReport {
     // + GPU static power over the makespan. The PIM static share is folded
     // into the command-level energy model.
     let pim_dynamic_uj = pimflow_pimsim::pim_energy_nj(
-        &ChannelStats { cycles: 0, ..pim_stats_total },
+        &ChannelStats {
+            cycles: 0,
+            ..pim_stats_total
+        },
         &cfg.pim,
         &PimEnergyParams::default(),
         cfg.pim_channels,
@@ -371,6 +422,7 @@ pub fn execute(graph: &Graph, cfg: &EngineConfig) -> ExecutionReport {
         gpu_busy_us: gpu_busy,
         pim_busy_us: pim_busy,
         transfer_bytes,
+        pim_channel_busy_us,
         timings,
     }
 }
@@ -433,9 +485,14 @@ mod tests {
         let a = r.timing("mddp_a_conv_3").unwrap().clone();
         let b = r.timing("pim::mddp_b_conv_3").unwrap().clone();
         // The two halves must overlap in time (that is the whole point).
-        assert!(a.start_us < b.finish_us && b.start_us < a.finish_us,
+        assert!(
+            a.start_us < b.finish_us && b.start_us < a.finish_us,
             "GPU part {:?}..{:?} vs PIM part {:?}..{:?}",
-            a.start_us, a.finish_us, b.start_us, b.finish_us);
+            a.start_us,
+            a.finish_us,
+            b.start_us,
+            b.finish_us
+        );
     }
 
     #[test]
@@ -512,9 +569,16 @@ mod transfer_tests {
             .as_ref()
             .unwrap()
             .size_bytes() as u64;
-        assert!(r.transfer_bytes >= conv_out, "output must cross the boundary");
+        assert!(
+            r.transfer_bytes >= conv_out,
+            "output must cross the boundary"
+        );
         // FC output (10 values) also crosses; bound the total tightly.
-        assert!(r.transfer_bytes <= 2 * conv_out + 1024, "no double counting: {}", r.transfer_bytes);
+        assert!(
+            r.transfer_bytes <= 2 * conv_out + 1024,
+            "no double counting: {}",
+            r.transfer_bytes
+        );
     }
 
     #[test]
@@ -589,7 +653,10 @@ mod aim_tests {
         // Newton++: the relu6 after the offloaded conv is a real GPU kernel.
         let newton = execute(&g, &EngineConfig::pimflow());
         let t = newton.timing("relu6_4").unwrap();
-        assert!(t.finish_us > t.start_us, "epilogue must cost time on Newton++");
+        assert!(
+            t.finish_us > t.start_us,
+            "epilogue must cost time on Newton++"
+        );
         // AiM-like: it is absorbed into the PIM read-out.
         let aim = execute(&g, &aim_cfg());
         let t = aim.timing("relu6_4").unwrap();
@@ -602,11 +669,16 @@ mod aim_tests {
     fn in_pim_activation_never_hurts_end_to_end() {
         for name in ["toy", "mobilenet-v2"] {
             let g = models::by_name(name).unwrap();
-            let plan = crate::search::search(&g, &aim_cfg(), &crate::search::SearchOptions::default());
+            let plan =
+                crate::search::search(&g, &aim_cfg(), &crate::search::SearchOptions::default());
             let transformed = crate::search::apply_plan(&g, &plan);
             let aim = execute(&transformed, &aim_cfg());
 
-            let plan_n = crate::search::search(&g, &EngineConfig::pimflow(), &crate::search::SearchOptions::default());
+            let plan_n = crate::search::search(
+                &g,
+                &EngineConfig::pimflow(),
+                &crate::search::SearchOptions::default(),
+            );
             let transformed_n = crate::search::apply_plan(&g, &plan_n);
             let newton = execute(&transformed_n, &EngineConfig::pimflow());
             assert!(

@@ -9,11 +9,11 @@
 
 use crate::policy::{evaluate, Policy};
 use pimflow_ir::Graph;
-use serde::{Deserialize, Serialize};
+use pimflow_json::json_struct;
 use std::fmt::Write as _;
 
 /// One `(model, policy)` cell of the evaluation matrix.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EvaluationCell {
     /// Model name.
     pub model: String,
@@ -34,11 +34,23 @@ pub struct EvaluationCell {
 }
 
 /// The full evaluation matrix.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct EvaluationSuite {
     /// All cells, grouped by model in input order.
     pub cells: Vec<EvaluationCell>,
 }
+
+json_struct!(EvaluationCell {
+    model,
+    policy,
+    e2e_us,
+    conv_us,
+    energy_uj,
+    e2e_speedup,
+    conv_speedup,
+    energy_ratio,
+});
+json_struct!(EvaluationSuite { cells });
 
 impl EvaluationSuite {
     /// Runs `policies` over `models` (the baseline is always evaluated
@@ -73,7 +85,9 @@ impl EvaluationSuite {
 
     /// The cell for `(model, policy)`, if present.
     pub fn cell(&self, model: &str, policy: Policy) -> Option<&EvaluationCell> {
-        self.cells.iter().find(|c| c.model == model && c.policy == policy)
+        self.cells
+            .iter()
+            .find(|c| c.model == model && c.policy == policy)
     }
 
     /// Geometric-mean e2e speedup of `policy` across all models.
@@ -155,8 +169,8 @@ mod tests {
     #[test]
     fn suite_serializes() {
         let s = toy_suite();
-        let json = serde_json::to_string(&s).unwrap();
-        let back: EvaluationSuite = serde_json::from_str(&json).unwrap();
+        let json = pimflow_json::to_string(&s);
+        let back: EvaluationSuite = pimflow_json::from_str(&json).unwrap();
         // Float JSON round-trips lose ulps; compare structure and values
         // within tolerance instead of bitwise.
         assert_eq!(s.cells.len(), back.cells.len());

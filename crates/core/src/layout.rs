@@ -15,11 +15,10 @@
 
 use crate::codegen::PimWorkload;
 use pimflow_pimsim::PimConfig;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// One placed fragment of the filter matrix.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PlacedFragment {
     /// Bank holding the fragment.
     pub bank: usize,
@@ -53,7 +52,7 @@ impl PlacedFragment {
 /// bank, each output channel's k-vector is laid out contiguously, packed
 /// row after row — the layout whose streaming order the
 /// `GWRITE-G_ACT-COMP-READRES` sequence follows.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FilterPlacement {
     /// Fragments in placement order.
     pub fragments: Vec<PlacedFragment>,
@@ -94,7 +93,11 @@ pub fn place_filter(w: &PimWorkload, cfg: &PimConfig) -> FilterPlacement {
             });
             k += take;
             let new_offset = offset + take;
-            cursor[bank] = if new_offset == row_elems { (row + 1, 0) } else { (row, new_offset) };
+            cursor[bank] = if new_offset == row_elems {
+                (row + 1, 0)
+            } else {
+                (row, new_offset)
+            };
         }
     }
 
@@ -166,7 +169,13 @@ mod tests {
     use crate::codegen::generate_blocks;
 
     fn workload(rows: usize, k: usize, oc: usize) -> PimWorkload {
-        PimWorkload { rows, k_elems: k, out_channels: oc, strided: false, segments: 1 }
+        PimWorkload {
+            rows,
+            k_elems: k,
+            out_channels: oc,
+            strided: false,
+            segments: 1,
+        }
     }
 
     #[test]
@@ -194,8 +203,7 @@ mod tests {
         let p = place_filter(&w, &cfg);
         assert_eq!(p.rows_used, 2);
         // Every bank must be used.
-        let banks: std::collections::HashSet<usize> =
-            p.fragments.iter().map(|f| f.bank).collect();
+        let banks: std::collections::HashSet<usize> = p.fragments.iter().map(|f| f.bank).collect();
         assert_eq!(banks.len(), cfg.banks);
     }
 
@@ -204,10 +212,22 @@ mod tests {
         // The cross-check: for every workload, the rows the placement uses
         // must equal the G_ACTs the command generator charges per pass.
         let cfg = PimConfig::default();
-        for (k, oc) in [(32, 16), (64, 384), (576, 64), (2048, 16), (25088, 4096), (1, 1), (513, 17)] {
+        for (k, oc) in [
+            (32, 16),
+            (64, 384),
+            (576, 64),
+            (2048, 16),
+            (25088, 4096),
+            (1, 1),
+            (513, 17),
+        ] {
             let w = workload(8, k, oc);
             let p = place_filter(&w, &cfg);
-            assert!(p.check(&w, &cfg).is_none(), "k={k} oc={oc}: {:?}", p.check(&w, &cfg));
+            assert!(
+                p.check(&w, &cfg).is_none(),
+                "k={k} oc={oc}: {:?}",
+                p.check(&w, &cfg)
+            );
             let blocks = generate_blocks(&w, &cfg);
             assert_eq!(
                 blocks[0].gacts as usize, p.rows_used,
@@ -223,6 +243,9 @@ mod tests {
         let w = workload(1, 64, 8);
         let mut p = place_filter(&w, &cfg);
         p.fragments.pop();
-        assert!(p.check(&w, &cfg).is_some(), "missing coverage must be caught");
+        assert!(
+            p.check(&w, &cfg).is_some(),
+            "missing coverage must be caught"
+        );
     }
 }

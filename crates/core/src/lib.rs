@@ -45,6 +45,7 @@
 
 pub mod autotune;
 pub mod backend;
+pub mod batch;
 pub mod codegen;
 pub mod engine;
 pub mod evaluation;

@@ -77,7 +77,11 @@ pub fn data_move_bytes(graph: &Graph, id: NodeId, memopt: bool) -> u64 {
 pub fn is_data_move(graph: &Graph, id: NodeId) -> bool {
     matches!(
         graph.node(id).op,
-        Op::Pad(_) | Op::Slice(_) | Op::Concat(_) | Op::Flatten | Op::Upsample { .. }
+        Op::Pad(_)
+            | Op::Slice(_)
+            | Op::Concat(_)
+            | Op::Flatten
+            | Op::Upsample { .. }
             | Op::Identity
     )
 }
@@ -90,9 +94,31 @@ mod tests {
     fn graph_with_moves() -> Graph {
         let mut b = GraphBuilder::new("m");
         let x = b.input(Shape::nhwc(1, 8, 6, 4));
-        let s_h = b.slice(x, SliceAttrs { axis: 1, begin: 0, end: 4 });
-        let s_w = b.slice(x, SliceAttrs { axis: 2, begin: 0, end: 3 });
-        let p = b.pad(s_h, PadAttrs { top: 1, bottom: 1, left: 0, right: 0 });
+        let s_h = b.slice(
+            x,
+            SliceAttrs {
+                axis: 1,
+                begin: 0,
+                end: 4,
+            },
+        );
+        let s_w = b.slice(
+            x,
+            SliceAttrs {
+                axis: 2,
+                begin: 0,
+                end: 3,
+            },
+        );
+        let p = b.pad(
+            s_h,
+            PadAttrs {
+                top: 1,
+                bottom: 1,
+                left: 0,
+                right: 0,
+            },
+        );
         let c = b.concat(vec![p, p], 1);
         let _ = s_w;
         b.finish(c)

@@ -171,14 +171,30 @@ mod tests {
     fn nested_slices_fuse() {
         let mut b = GraphBuilder::new("t");
         let x = b.input(Shape::nhwc(1, 10, 4, 2));
-        let s1 = b.slice(x, SliceAttrs { axis: 1, begin: 2, end: 9 });
-        let s2 = b.slice(s1, SliceAttrs { axis: 1, begin: 1, end: 5 });
+        let s1 = b.slice(
+            x,
+            SliceAttrs {
+                axis: 1,
+                begin: 2,
+                end: 9,
+            },
+        );
+        let s2 = b.slice(
+            s1,
+            SliceAttrs {
+                axis: 1,
+                begin: 1,
+                end: 5,
+            },
+        );
         let mut g = b.finish(s2);
         let before = g.clone();
         cleanup(&mut g).unwrap();
         assert_eq!(g.node_count(), 1);
         let id = g.node_ids().next().unwrap();
-        let Op::Slice(attrs) = g.node(id).op else { panic!() };
+        let Op::Slice(attrs) = g.node(id).op else {
+            panic!()
+        };
         assert_eq!((attrs.begin, attrs.end), (3, 7));
         assert_equivalent(&before, &g);
     }
@@ -187,8 +203,22 @@ mod tests {
     fn cross_axis_slices_do_not_fuse() {
         let mut b = GraphBuilder::new("t");
         let x = b.input(Shape::nhwc(1, 10, 6, 2));
-        let s1 = b.slice(x, SliceAttrs { axis: 1, begin: 0, end: 5 });
-        let s2 = b.slice(s1, SliceAttrs { axis: 2, begin: 1, end: 4 });
+        let s1 = b.slice(
+            x,
+            SliceAttrs {
+                axis: 1,
+                begin: 0,
+                end: 5,
+            },
+        );
+        let s2 = b.slice(
+            s1,
+            SliceAttrs {
+                axis: 2,
+                begin: 1,
+                end: 4,
+            },
+        );
         let mut g = b.finish(s2);
         cleanup(&mut g).unwrap();
         assert_eq!(g.node_count(), 2);
@@ -199,11 +229,33 @@ mod tests {
         // The inner slice feeds two consumers: fusing would break one.
         let mut b = GraphBuilder::new("t");
         let x = b.input(Shape::nhwc(1, 10, 4, 2));
-        let s1 = b.slice(x, SliceAttrs { axis: 1, begin: 2, end: 9 });
-        let s2 = b.slice(s1, SliceAttrs { axis: 1, begin: 0, end: 3 });
+        let s1 = b.slice(
+            x,
+            SliceAttrs {
+                axis: 1,
+                begin: 2,
+                end: 9,
+            },
+        );
+        let s2 = b.slice(
+            s1,
+            SliceAttrs {
+                axis: 1,
+                begin: 0,
+                end: 3,
+            },
+        );
         let r = b.relu(s1);
         let s2r = b.relu(s2);
-        let pad = b.pad(s2r, pimflow_ir::PadAttrs { top: 0, bottom: 4, left: 0, right: 0 });
+        let pad = b.pad(
+            s2r,
+            pimflow_ir::PadAttrs {
+                top: 0,
+                bottom: 4,
+                left: 0,
+                right: 0,
+            },
+        );
         let y = b.add(pad, r);
         let mut g = b.finish(y);
         let before = g.clone();
@@ -251,7 +303,10 @@ mod tests {
         let mut g = models::bert_like(2);
         let before_count = g.node_count();
         let removed = cleanup(&mut g).unwrap();
-        assert!(removed >= 12, "12 attention identities expected, removed {removed}");
+        assert!(
+            removed >= 12,
+            "12 attention identities expected, removed {removed}"
+        );
         assert!(g.node_count() < before_count);
     }
 }

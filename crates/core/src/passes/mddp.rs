@@ -69,7 +69,9 @@ pub enum SplitOutcome {
 }
 
 fn producer_of(graph: &Graph, v: ValueId) -> NodeId {
-    graph.producer(v).expect("value was just produced by a node")
+    graph
+        .producer(v)
+        .expect("value was just produced by a node")
 }
 
 /// Applies the MD-DP split to node `id` with `gpu_percent`% of the work on
@@ -82,7 +84,11 @@ fn producer_of(graph: &Graph, v: ValueId) -> NodeId {
 ///
 /// Returns [`PassError::NotApplicable`] if the node is not a PIM candidate
 /// or is too small to split at the requested ratio.
-pub fn split_node(graph: &mut Graph, id: NodeId, gpu_percent: u32) -> Result<SplitOutcome, PassError> {
+pub fn split_node(
+    graph: &mut Graph,
+    id: NodeId,
+    gpu_percent: u32,
+) -> Result<SplitOutcome, PassError> {
     if !graph.is_pim_candidate(id) {
         return Err(PassError::NotApplicable(format!(
             "`{}` is not a PIM-candidate node",
@@ -131,12 +137,19 @@ pub fn split_node(graph: &mut Graph, id: NodeId, gpu_percent: u32) -> Result<Spl
                 // Row split: both parts share the full weight matrix.
                 let gpu_rows = ((rows as u64 * gpu_percent as u64 + 50) / 100) as usize;
                 let gpu_rows = gpu_rows.clamp(1, rows - 1);
-                let ranges = [(0..gpu_rows, Placement::Gpu, "mddp_a_"), (gpu_rows..rows, Placement::Pim, "mddp_b_")];
+                let ranges = [
+                    (0..gpu_rows, Placement::Gpu, "mddp_a_"),
+                    (gpu_rows..rows, Placement::Pim, "mddp_b_"),
+                ];
                 let mut parts = Vec::new();
                 for (r, placement, tag) in ranges {
                     let sliced = graph.add_node(
                         format!("{tag}{}_slice", node.name),
-                        Op::Slice(SliceAttrs { axis: 0, begin: r.start, end: r.end }),
+                        Op::Slice(SliceAttrs {
+                            axis: 0,
+                            begin: r.start,
+                            end: r.end,
+                        }),
                         vec![input],
                     );
                     let part = graph.add_node_with_key(
@@ -162,11 +175,20 @@ pub fn split_node(graph: &mut Graph, id: NodeId, gpu_percent: u32) -> Result<Spl
                 let gpu_of = gpu_of.clamp(1, of - 1);
                 // Compose with a pre-existing view if the node was already a
                 // column slice of some larger original.
-                let base = node.param_view.unwrap_or(ParamView { orig_out: of, begin: 0, end: of });
-                let mk = |graph: &mut Graph, range: std::ops::Range<usize>, placement: Placement, tag: &str| {
+                let base = node.param_view.unwrap_or(ParamView {
+                    orig_out: of,
+                    begin: 0,
+                    end: of,
+                });
+                let mk = |graph: &mut Graph,
+                          range: std::ops::Range<usize>,
+                          placement: Placement,
+                          tag: &str| {
                     let part = graph.add_node_with_key(
                         placement.tag(&format!("{tag}{}", node.name)),
-                        Op::Dense(DenseAttrs { out_features: range.len() }),
+                        Op::Dense(DenseAttrs {
+                            out_features: range.len(),
+                        }),
                         vec![input],
                         node.weight_key,
                     );
@@ -341,7 +363,9 @@ mod tests {
         let mut t = models::toy();
         let id = t.find_node("conv_3").unwrap();
         let outcome = split_node(&mut t, id, 0).unwrap();
-        let SplitOutcome::AllPim(nid) = outcome else { panic!() };
+        let SplitOutcome::AllPim(nid) = outcome else {
+            panic!()
+        };
         assert_eq!(Placement::of_name(&t.node(nid).name), Placement::Pim);
         // Graph unchanged numerically.
         assert_equivalent(&models::toy(), &t, 0.0);

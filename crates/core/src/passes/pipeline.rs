@@ -90,10 +90,7 @@ fn linear_run(graph: &Graph, start: NodeId, max_convs: usize) -> (Vec<NodeId>, V
     let mut nodes = vec![start];
     let mut convs = vec![start];
     let mut cur = start;
-    loop {
-        let Some(next) = sole_linear_successor(graph, cur) else {
-            break;
-        };
+    while let Some(next) = sole_linear_successor(graph, cur) {
         let op = &graph.node(next).op;
         if matches!(op, Op::Conv2d(_)) {
             if convs.len() == max_convs {
@@ -146,7 +143,11 @@ pub fn find_chains(graph: &Graph) -> Vec<Chain> {
                     .position(|&n| n == last_conv)
                     .expect("pattern convs come from the walked node list");
                 let nodes: Vec<NodeId> = nodes.iter().copied().take(cut + 1).collect();
-                chains.push(Chain { nodes, convs, pattern });
+                chains.push(Chain {
+                    nodes,
+                    convs,
+                    pattern,
+                });
             };
             push_chain(pattern);
             // Algorithm 1 lines 11-15 expand candidate subgraphs one conv at
@@ -174,7 +175,9 @@ pub fn find_chains(graph: &Graph) -> Vec<Chain> {
 /// height too small to split).
 pub fn pipeline_chain(graph: &mut Graph, chain: &Chain, stages: usize) -> Result<(), PassError> {
     if stages < 2 {
-        return Err(PassError::NotApplicable("need at least 2 pipeline stages".into()));
+        return Err(PassError::NotApplicable(
+            "need at least 2 pipeline stages".into(),
+        ));
     }
     let last = *chain.nodes.last().expect("chain non-empty");
     let last_out = graph.node(last).output;
@@ -196,7 +199,15 @@ pub fn pipeline_chain(graph: &mut Graph, chain: &Chain, stages: usize) -> Result
     let heights: Vec<usize> = chain
         .nodes
         .iter()
-        .map(|&id| graph.value(graph.node(id).output).desc.as_ref().unwrap().shape.h())
+        .map(|&id| {
+            graph
+                .value(graph.node(id).output)
+                .desc
+                .as_ref()
+                .unwrap()
+                .shape
+                .h()
+        })
         .collect();
 
     // Cumulative part-end boundaries per chain node, back-propagated from
@@ -208,8 +219,9 @@ pub fn pipeline_chain(graph: &mut Graph, chain: &Chain, stages: usize) -> Result
         ends[n - 1][p] = r.end;
     }
     for t in (0..n - 1).rev() {
-        for p in 0..parts_n {
-            let next_end = ends[t + 1][p];
+        let (row, rest) = ends[t..].split_first_mut().expect("t < n");
+        let next_row = &rest[0];
+        for (end, &next_end) in row.iter_mut().zip(next_row) {
             let need = match &graph.node(chain.nodes[t + 1]).op {
                 Op::Conv2d(a) => {
                     if next_end == 0 {
@@ -220,7 +232,7 @@ pub fn pipeline_chain(graph: &mut Graph, chain: &Chain, stages: usize) -> Result
                 }
                 _ => next_end, // element-wise: identity receptive field
             };
-            ends[t][p] = need.min(heights[t]);
+            *end = need.min(heights[t]);
         }
         // Boundaries must be monotone and the last part covers everything.
         for p in 1..parts_n {
@@ -274,7 +286,15 @@ pub fn pipeline_chain(graph: &mut Graph, chain: &Chain, stages: usize) -> Result
                             &format!("{tag}{}_in", graph.node(node_id).name),
                         )
                     };
-                    emit_conv_on_span(graph, node_id, input, span.pad_top, span.pad_bottom, placement, &tag)
+                    emit_conv_on_span(
+                        graph,
+                        node_id,
+                        input,
+                        span.pad_top,
+                        span.pad_bottom,
+                        placement,
+                        &tag,
+                    )
                 }
                 _ => {
                     let input = if t == 0 {
@@ -325,7 +345,11 @@ mod tests {
         let a = run_graph(original, &inputs).unwrap();
         let b = run_graph(transformed, &inputs).unwrap();
         for (x, y) in a.iter().zip(&b) {
-            assert!(x.allclose(y, tol), "outputs differ by {}", x.max_abs_diff(y));
+            assert!(
+                x.allclose(y, tol),
+                "outputs differ by {}",
+                x.max_abs_diff(y)
+            );
         }
     }
 
@@ -348,8 +372,14 @@ mod tests {
     fn finds_type3_chain_in_block() {
         let g = pw_dw_pw_graph();
         let chains = find_chains(&g);
-        assert!(chains.iter().any(|c| c.pattern == PatternKind::PwDwPw), "{chains:?}");
-        let c = chains.iter().find(|c| c.pattern == PatternKind::PwDwPw).unwrap();
+        assert!(
+            chains.iter().any(|c| c.pattern == PatternKind::PwDwPw),
+            "{chains:?}"
+        );
+        let c = chains
+            .iter()
+            .find(|c| c.pattern == PatternKind::PwDwPw)
+            .unwrap();
         assert_eq!(c.convs.len(), 3);
         assert_eq!(c.nodes.len(), 7);
         // Algorithm 1 also registers the Type-1 prefix of the same site.
@@ -369,8 +399,14 @@ mod tests {
 
         let mbv2 = models::mobilenet_v2();
         let chains = find_chains(&mbv2);
-        let t3 = chains.iter().filter(|c| c.pattern == PatternKind::PwDwPw).count();
-        assert!(t3 >= 10, "MobileNetV2 should have many 1x1-DW-1x1 chains, got {t3}");
+        let t3 = chains
+            .iter()
+            .filter(|c| c.pattern == PatternKind::PwDwPw)
+            .count();
+        assert!(
+            t3 >= 10,
+            "MobileNetV2 should have many 1x1-DW-1x1 chains, got {t3}"
+        );
     }
 
     #[test]
@@ -398,7 +434,10 @@ mod tests {
             b.finish(y)
         };
         let mut t = original.clone();
-        let chain = find_chains(&t).into_iter().find(|c| c.pattern == PatternKind::PwDw).unwrap();
+        let chain = find_chains(&t)
+            .into_iter()
+            .find(|c| c.pattern == PatternKind::PwDw)
+            .unwrap();
         pipeline_chain(&mut t, &chain, 2).unwrap();
         assert_equivalent(&original, &t, 1e-4);
 
@@ -411,7 +450,10 @@ mod tests {
             b.finish(y)
         };
         let mut t = original.clone();
-        let chain = find_chains(&t).into_iter().find(|c| c.pattern == PatternKind::DwPw).unwrap();
+        let chain = find_chains(&t)
+            .into_iter()
+            .find(|c| c.pattern == PatternKind::DwPw)
+            .unwrap();
         pipeline_chain(&mut t, &chain, 2).unwrap();
         assert_equivalent(&original, &t, 1e-4);
     }
@@ -427,7 +469,10 @@ mod tests {
             b.finish(y)
         };
         let mut t = original.clone();
-        let chain = find_chains(&t).into_iter().find(|c| c.pattern == PatternKind::PwDw).unwrap();
+        let chain = find_chains(&t)
+            .into_iter()
+            .find(|c| c.pattern == PatternKind::PwDw)
+            .unwrap();
         pipeline_chain(&mut t, &chain, 2).unwrap();
         assert_equivalent(&original, &t, 1e-4);
     }
@@ -460,7 +505,10 @@ mod tests {
         let y = b.add(y, x);
         let g = b.finish(y);
         let chains = find_chains(&g);
-        let c = chains.iter().find(|c| c.pattern == PatternKind::PwDwPw).unwrap();
+        let c = chains
+            .iter()
+            .find(|c| c.pattern == PatternKind::PwDwPw)
+            .unwrap();
         // Chain must not include the Add.
         assert_eq!(c.nodes.len(), 3);
     }

@@ -31,14 +31,22 @@ pub struct InputSpan {
 /// Panics if `out_rows` is empty.
 pub fn conv_input_span(attrs: &Conv2dAttrs, in_h: usize, out_rows: &Range<usize>) -> InputSpan {
     assert!(!out_rows.is_empty(), "output row range must be non-empty");
-    let (k, s, p) = (attrs.kernel.h as isize, attrs.stride.h as isize, attrs.padding.h as isize);
+    let (k, s, p) = (
+        attrs.kernel.h as isize,
+        attrs.stride.h as isize,
+        attrs.padding.h as isize,
+    );
     let first = out_rows.start as isize * s - p;
     let last_excl = (out_rows.end as isize - 1) * s + k - p;
     let start = first.max(0) as usize;
     let end = (last_excl.min(in_h as isize)) as usize;
     let pad_top = (-first).max(0) as usize;
     let pad_bottom = (last_excl - in_h as isize).max(0) as usize;
-    InputSpan { rows: start..end, pad_top, pad_bottom }
+    InputSpan {
+        rows: start..end,
+        pad_top,
+        pad_bottom,
+    }
 }
 
 /// Emits a padding-free copy of conv node `orig` over `input` (which must
@@ -88,7 +96,9 @@ pub fn emit_conv_on_span(
     );
     // H-splits keep the full output-channel set; propagate any existing
     // output-axis view unchanged.
-    graph.node_mut(graph.producer(out).expect("just added")).param_view = node.param_view;
+    graph
+        .node_mut(graph.producer(out).expect("just added"))
+        .param_view = node.param_view;
     out
 }
 
@@ -127,11 +137,23 @@ pub fn emit_conv_part(
     if span.rows != (0..in_shape.h()) {
         x = graph.add_node(
             format!("{}{}_slice", tag, node_name),
-            Op::Slice(SliceAttrs { axis: 1, begin: span.rows.start, end: span.rows.end }),
+            Op::Slice(SliceAttrs {
+                axis: 1,
+                begin: span.rows.start,
+                end: span.rows.end,
+            }),
             vec![x],
         );
     }
-    emit_conv_on_span(graph, orig, x, span.pad_top, span.pad_bottom, placement, tag)
+    emit_conv_on_span(
+        graph,
+        orig,
+        x,
+        span.pad_top,
+        span.pad_bottom,
+        placement,
+        tag,
+    )
 }
 
 /// Emits a copy of an elementwise node (`BatchNorm`, `Activation`, `Add`,
@@ -183,7 +205,11 @@ pub fn rows_from_parts(
             let local = (lo - rows.start)..(hi - rows.start);
             let v = graph.add_node(
                 format!("{tag}_take{i}"),
-                Op::Slice(SliceAttrs { axis: 1, begin: local.start, end: local.end }),
+                Op::Slice(SliceAttrs {
+                    axis: 1,
+                    begin: local.start,
+                    end: local.end,
+                }),
                 vec![*value],
             );
             pieces.push(v);

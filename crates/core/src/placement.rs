@@ -6,19 +6,21 @@
 //! with `pim::` execute on the PIM-enabled channels, everything else on the
 //! GPU.
 
-use serde::{Deserialize, Serialize};
+use pimflow_json::json_unit_enum;
 
 /// Name prefix marking PIM-offloaded nodes.
 pub const PIM_PREFIX: &str = "pim::";
 
 /// Which device a node executes on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Placement {
     /// Runs on the GPU streaming multiprocessors.
     Gpu,
     /// Runs on the PIM-enabled memory channels.
     Pim,
 }
+
+json_unit_enum!(Placement { Gpu, Pim });
 
 impl Placement {
     /// Placement encoded in a node name.
@@ -54,8 +56,14 @@ mod tests {
 
     #[test]
     fn roundtrip() {
-        assert_eq!(Placement::of_name(&Placement::Pim.tag("conv_3")), Placement::Pim);
-        assert_eq!(Placement::of_name(&Placement::Gpu.tag("conv_3")), Placement::Gpu);
+        assert_eq!(
+            Placement::of_name(&Placement::Pim.tag("conv_3")),
+            Placement::Pim
+        );
+        assert_eq!(
+            Placement::of_name(&Placement::Gpu.tag("conv_3")),
+            Placement::Gpu
+        );
         assert_eq!(Placement::of_name("conv_3"), Placement::Gpu);
     }
 }

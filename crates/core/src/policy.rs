@@ -13,10 +13,10 @@
 use crate::engine::{execute, EngineConfig, ExecutionReport};
 use crate::search::{apply_plan, search, ExecutionPlan, SearchOptions};
 use pimflow_ir::Graph;
-use serde::{Deserialize, Serialize};
+use pimflow_json::{json_struct, json_unit_enum};
 
 /// One of the six offloading mechanisms compared throughout §6.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Policy {
     /// GPU-only, 32 memory channels.
     Baseline,
@@ -31,6 +31,15 @@ pub enum Policy {
     /// Everything combined.
     Pimflow,
 }
+
+json_unit_enum!(Policy {
+    Baseline,
+    NewtonPlus,
+    NewtonPlusPlus,
+    PimflowMd,
+    PimflowPl,
+    Pimflow
+});
 
 impl Policy {
     /// All mechanisms in paper order.
@@ -110,7 +119,7 @@ impl std::fmt::Display for Policy {
 }
 
 /// Result of evaluating one model under one mechanism.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PolicyEvaluation {
     /// Mechanism evaluated.
     pub policy: Policy,
@@ -124,6 +133,14 @@ pub struct PolicyEvaluation {
     /// Fig. 9 top metric; FC layers excluded).
     pub conv_layer_us: f64,
 }
+
+json_struct!(PolicyEvaluation {
+    policy,
+    model,
+    plan,
+    report,
+    conv_layer_us
+});
 
 /// Runs the full compile-and-simulate flow for `graph` under `policy`:
 /// search (per the mechanism's mode space), transform, execute.

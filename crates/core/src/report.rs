@@ -48,9 +48,9 @@ pub fn render_timeline(report: &ExecutionReport, width: usize) -> String {
             Placement::Pim => '=',
         };
         let mut bar = String::with_capacity(width);
-        bar.extend(std::iter::repeat(' ').take(from));
-        bar.extend(std::iter::repeat(glyph).take(to - from));
-        bar.extend(std::iter::repeat(' ').take(width - to));
+        bar.extend(std::iter::repeat_n(' ', from));
+        bar.extend(std::iter::repeat_n(glyph, to - from));
+        bar.extend(std::iter::repeat_n(' ', width - to));
         let mut name = t.name.clone();
         if name.len() > name_w {
             name.truncate(name_w - 1);

@@ -20,12 +20,12 @@ use crate::passes::pipeline::{find_chains, Chain};
 use crate::placement::Placement;
 use pimflow_gpusim::{kernel_time_with_launch_us, KernelProfile};
 use pimflow_ir::{analysis, Graph, NodeId, Op};
-use serde::{Deserialize, Serialize};
+use pimflow_json::{json_struct, FromJson, Json, JsonError, ToJson};
 use std::collections::HashMap;
 
 /// Which execution modes the search may choose from (varies per offloading
 /// mechanism, §5).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SearchOptions {
     /// Ratio step in percent for MD-DP samples (10 in the paper). When
     /// `offload_only` is set, only 0 and 100 are sampled.
@@ -51,7 +51,7 @@ impl Default for SearchOptions {
 }
 
 /// Per-node decision chosen by the search.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Decision {
     /// Keep the node on the GPU.
     Gpu,
@@ -72,7 +72,7 @@ pub enum Decision {
 
 /// Profiled costs of one PIM-candidate layer (one artifact
 /// `PIMFlow/layerwise` record).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LayerProfile {
     /// Node name.
     pub name: String,
@@ -87,7 +87,7 @@ pub struct LayerProfile {
 }
 
 /// The search result: per-node decisions plus the profile log.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExecutionPlan {
     /// Model name the plan was computed for.
     pub model: String,
@@ -101,6 +101,68 @@ pub struct ExecutionPlan {
     /// the chosen decisions (the Fig. 9 per-layer metric; FC excluded).
     pub conv_layer_us: f64,
 }
+
+// `Decision` carries payloads, so the derive-like macros don't apply; the
+// impls below keep the serde externally-tagged shape.
+impl ToJson for Decision {
+    fn to_json(&self) -> Json {
+        match self {
+            Decision::Gpu => Json::Str("Gpu".into()),
+            Decision::Split { gpu_percent } => Json::obj(vec![(
+                "Split",
+                Json::obj(vec![("gpu_percent", gpu_percent.to_json())]),
+            )]),
+            Decision::Pipeline { node_names, stages } => Json::obj(vec![(
+                "Pipeline",
+                Json::obj(vec![
+                    ("node_names", node_names.to_json()),
+                    ("stages", stages.to_json()),
+                ]),
+            )]),
+        }
+    }
+}
+
+impl FromJson for Decision {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        match json {
+            Json::Str(s) if s == "Gpu" => Ok(Decision::Gpu),
+            Json::Obj(fields) if fields.len() == 1 => {
+                let (tag, payload) = &fields[0];
+                match tag.as_str() {
+                    "Split" => Ok(Decision::Split {
+                        gpu_percent: u32::from_json(payload.field("gpu_percent")?)?,
+                    }),
+                    "Pipeline" => Ok(Decision::Pipeline {
+                        node_names: Vec::from_json(payload.field("node_names")?)?,
+                        stages: usize::from_json(payload.field("stages")?)?,
+                    }),
+                    other => Err(JsonError::msg(format!(
+                        "unknown Decision variant `{other}`"
+                    ))),
+                }
+            }
+            other => Err(JsonError::msg(format!(
+                "expected Decision as string or single-field object, got {other}"
+            ))),
+        }
+    }
+}
+
+json_struct!(LayerProfile {
+    name,
+    samples,
+    best_ratio,
+    best_us,
+    gpu_us
+});
+json_struct!(ExecutionPlan {
+    model,
+    decisions,
+    profiles,
+    predicted_us,
+    conv_layer_us
+});
 
 impl ExecutionPlan {
     /// Decision for a node name, defaulting to GPU.
@@ -130,7 +192,14 @@ impl ExecutionPlan {
             .step_by(10)
             .map(|r| {
                 let c = counts.get(&r).copied().unwrap_or(0);
-                (r, if total == 0 { 0.0 } else { c as f64 / total as f64 })
+                (
+                    r,
+                    if total == 0 {
+                        0.0
+                    } else {
+                        c as f64 / total as f64
+                    },
+                )
             })
             .collect()
     }
@@ -145,7 +214,11 @@ struct Profiler<'g> {
 
 impl<'g> Profiler<'g> {
     fn new(graph: &'g Graph, cfg: &EngineConfig) -> Self {
-        Profiler { graph, cfg: cfg.clone(), pim_memo: HashMap::new() }
+        Profiler {
+            graph,
+            cfg: cfg.clone(),
+            pim_memo: HashMap::new(),
+        }
     }
 
     /// PIM time of `frac` of node `id`'s rows, microseconds.
@@ -222,9 +295,7 @@ impl<'g> Profiler<'g> {
         match gpu_percent {
             100 => self.gpu_time(id, 1.0),
             0 => {
-                self.pim_time(id, 1.0)
-                    + self.transfer_out(id, 1.0)
-                    + self.defusion_penalty(id, 1.0)
+                self.pim_time(id, 1.0) + self.transfer_out(id, 1.0) + self.defusion_penalty(id, 1.0)
             }
             r => {
                 let f = r as f64 / 100.0;
@@ -252,7 +323,11 @@ impl<'g> Profiler<'g> {
             let node = self.graph.node(nid);
             let (device, cell) = match &node.op {
                 Op::Conv2d(a) => {
-                    let device = if a.is_pointwise() { Placement::Pim } else { Placement::Gpu };
+                    let device = if a.is_pointwise() {
+                        Placement::Pim
+                    } else {
+                        Placement::Gpu
+                    };
                     let frac = 1.0 / stages as f64;
                     let dur = match device {
                         Placement::Pim => self.pim_time(nid, frac) + self.transfer_out(nid, frac),
@@ -271,18 +346,17 @@ impl<'g> Profiler<'g> {
                     }
                 }
             };
-            for p in 0..stages {
-                let ready = finish[p];
+            for slot in finish.iter_mut() {
                 let start = match device {
-                    Placement::Gpu => ready.max(gpu_free),
-                    Placement::Pim => ready.max(pim_free),
+                    Placement::Gpu => slot.max(gpu_free),
+                    Placement::Pim => slot.max(pim_free),
                 };
                 let end = start + cell;
                 match device {
                     Placement::Gpu => gpu_free = end,
                     Placement::Pim => pim_free = end,
                 }
-                finish[p] = end;
+                *slot = end;
             }
             prev_device = device;
         }
@@ -418,7 +492,9 @@ pub fn search(graph: &Graph, cfg: &EngineConfig, opts: &SearchOptions) -> Execut
             single_decision[i] = if best.0 == 100 {
                 Decision::Gpu
             } else {
-                Decision::Split { gpu_percent: best.0 }
+                Decision::Split {
+                    gpu_percent: best.0,
+                }
             };
         } else {
             single_cost[i] = gpu_only;
@@ -589,7 +665,10 @@ mod tests {
     fn search_produces_offload_decisions_for_toy() {
         let g = models::toy();
         let plan = search(&g, &pimflow_cfg(), &SearchOptions::default());
-        assert!(!plan.decisions.is_empty(), "toy model should offload something");
+        assert!(
+            !plan.decisions.is_empty(),
+            "toy model should offload something"
+        );
         assert!(plan.predicted_us > 0.0);
         assert!(!plan.profiles.is_empty());
     }
@@ -606,7 +685,11 @@ mod tests {
     #[test]
     fn offload_only_restricts_ratios() {
         let g = models::toy();
-        let opts = SearchOptions { offload_only: true, allow_pipeline: false, ..Default::default() };
+        let opts = SearchOptions {
+            offload_only: true,
+            allow_pipeline: false,
+            ..Default::default()
+        };
         let plan = search(&g, &pimflow_cfg(), &opts);
         for (_, d) in &plan.decisions {
             match d {
@@ -626,7 +709,11 @@ mod tests {
         let inputs = input_tensors(&g, 5);
         let a = run_graph(&g, &inputs).unwrap();
         let b = run_graph(&transformed, &inputs).unwrap();
-        assert!(a[0].allclose(&b[0], 1e-4), "diff {}", a[0].max_abs_diff(&b[0]));
+        assert!(
+            a[0].allclose(&b[0], 1e-4),
+            "diff {}",
+            a[0].max_abs_diff(&b[0])
+        );
     }
 
     #[test]
@@ -678,7 +765,11 @@ mod tests {
         let plan = search(&g, &pimflow_cfg(), &SearchOptions::default());
         let dist = plan.ratio_distribution();
         let total: f64 = dist.iter().map(|(_, s)| s).sum();
-        if plan.decisions.iter().any(|(_, d)| !matches!(d, Decision::Pipeline { .. })) {
+        if plan
+            .decisions
+            .iter()
+            .any(|(_, d)| !matches!(d, Decision::Pipeline { .. }))
+        {
             assert!((total - 1.0).abs() < 1e-9, "total {total}");
         }
     }
@@ -687,8 +778,8 @@ mod tests {
     fn plan_serializes_roundtrip() {
         let g = models::toy();
         let plan = search(&g, &pimflow_cfg(), &SearchOptions::default());
-        let json = serde_json::to_string(&plan).unwrap();
-        let back: ExecutionPlan = serde_json::from_str(&json).unwrap();
+        let json = pimflow_json::to_string(&plan);
+        let back: ExecutionPlan = pimflow_json::from_str(&json).unwrap();
         assert_eq!(plan.model, back.model);
         assert_eq!(plan.decisions, back.decisions);
         assert_eq!(plan.profiles.len(), back.profiles.len());

@@ -6,10 +6,8 @@
 //! latency model only needs peak throughput, per-channel bandwidth, and
 //! kernel-launch overhead.
 
-use serde::{Deserialize, Serialize};
-
 /// Analytical GPU model parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GpuConfig {
     /// Number of streaming multiprocessors.
     pub sm_count: usize,

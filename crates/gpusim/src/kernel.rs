@@ -7,10 +7,9 @@
 //! reduction depth) that drive the SM-efficiency heuristic.
 
 use pimflow_ir::{analysis, Graph, NodeId, Op};
-use serde::{Deserialize, Serialize};
 
 /// Coarse kernel classes with distinct efficiency behaviour on a GPU.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum KernelKind {
     /// Dense convolution with spatial kernel > 1x1 (cuDNN implicit GEMM).
     ConvRegular,
@@ -29,7 +28,7 @@ pub enum KernelKind {
 }
 
 /// Workload summary of one kernel.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct KernelProfile {
     /// Kernel class.
     pub kind: KernelKind,
@@ -81,7 +80,11 @@ impl KernelProfile {
 pub fn kernel_for_node(graph: &Graph, id: NodeId) -> KernelProfile {
     let node = graph.node(id);
     let cost = analysis::node_cost(graph, id);
-    let out_desc = graph.value(node.output).desc.as_ref().expect("shapes inferred");
+    let out_desc = graph
+        .value(node.output)
+        .desc
+        .as_ref()
+        .expect("shapes inferred");
     let elem = out_desc.dtype.size_bytes() as f64;
     let out_elems = out_desc.shape.numel() as f64;
     let dram_bytes = (cost.loads + cost.stores) as f64 * elem;
@@ -101,7 +104,10 @@ pub fn kernel_for_node(graph: &Graph, id: NodeId) -> KernelProfile {
                     // realized after transform overheads.
                     algo_speedup = 1.8;
                 }
-                (KernelKind::ConvRegular, (a.kernel.h * a.kernel.w) as f64 * in_c)
+                (
+                    KernelKind::ConvRegular,
+                    (a.kernel.h * a.kernel.w) as f64 * in_c,
+                )
             }
         }
         Op::Dense(_) => {
@@ -109,7 +115,11 @@ pub fn kernel_for_node(graph: &Graph, id: NodeId) -> KernelProfile {
             (KernelKind::Dense, in_f)
         }
         Op::Pool(_) | Op::GlobalAvgPool => (KernelKind::Pool, 1.0),
-        Op::Pad(_) | Op::Slice(_) | Op::Concat(_) | Op::Flatten | Op::Upsample { .. }
+        Op::Pad(_)
+        | Op::Slice(_)
+        | Op::Concat(_)
+        | Op::Flatten
+        | Op::Upsample { .. }
         | Op::Identity => (KernelKind::DataMove, 1.0),
         _ => (KernelKind::Elementwise, 1.0),
     };
@@ -155,7 +165,10 @@ mod tests {
     #[test]
     fn identity_moves_no_flops() {
         let g = models::bert_like(1);
-        let id = g.node_ids().find(|&i| matches!(g.node(i).op, Op::Identity)).unwrap();
+        let id = g
+            .node_ids()
+            .find(|&i| matches!(g.node(i).op, Op::Identity))
+            .unwrap();
         let p = kernel_for_node(&g, id);
         assert_eq!(p.kind, KernelKind::DataMove);
         assert_eq!(p.flops, 0.0);

@@ -31,6 +31,4 @@ pub mod model;
 
 pub use config::GpuConfig;
 pub use kernel::{kernel_for_node, KernelKind, KernelProfile};
-pub use model::{
-    kernel_energy_uj, kernel_time_us, kernel_time_with_launch_us, sm_efficiency,
-};
+pub use model::{kernel_energy_uj, kernel_time_us, kernel_time_with_launch_us, sm_efficiency};

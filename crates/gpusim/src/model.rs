@@ -28,7 +28,9 @@ fn sat(x: f64, half: f64) -> f64 {
 pub fn sm_efficiency(p: &KernelProfile) -> f64 {
     match p.kind {
         KernelKind::ConvRegular => 0.65 * sat(p.parallel_items, 6144.0) * sat(p.inner_dim, 64.0),
-        KernelKind::ConvPointwise => 0.42 * sat(p.parallel_items, 16384.0) * sat(p.inner_dim, 192.0),
+        KernelKind::ConvPointwise => {
+            0.42 * sat(p.parallel_items, 16384.0) * sat(p.inner_dim, 192.0)
+        }
         KernelKind::ConvDepthwise => 0.08 * sat(p.parallel_items, 4096.0),
         KernelKind::Dense => 0.55 * sat(p.parallel_items, 16384.0) * sat(p.inner_dim, 128.0),
         KernelKind::Elementwise | KernelKind::Pool | KernelKind::DataMove => 0.25,
@@ -64,7 +66,8 @@ pub fn kernel_time_with_launch_us(p: &KernelProfile, cfg: &GpuConfig, channels: 
 /// kernel (usually the kernel time, but under mixed-parallel execution the
 /// engine passes the overlapped interval).
 pub fn kernel_energy_uj(p: &KernelProfile, cfg: &GpuConfig, wall_us: f64) -> f64 {
-    let dynamic_uj = (p.flops * cfg.dynamic_pj_per_flop + p.dram_bytes * cfg.dram_pj_per_byte) * 1e-6;
+    let dynamic_uj =
+        (p.flops * cfg.dynamic_pj_per_flop + p.dram_bytes * cfg.dram_pj_per_byte) * 1e-6;
     let static_uj = cfg.static_w * wall_us; // W * us = uJ
     dynamic_uj + static_uj
 }
@@ -100,7 +103,10 @@ mod tests {
         let p = KernelProfile::matvec(4096, 25088, 1);
         let t = kernel_time_us(&p, &cfg(), 32);
         let mem_only = p.dram_bytes / cfg().mem_bandwidth(32) * 1e6;
-        assert!((t - mem_only).abs() / mem_only < 1e-6, "FC must be bandwidth bound");
+        assert!(
+            (t - mem_only).abs() / mem_only < 1e-6,
+            "FC must be bandwidth bound"
+        );
     }
 
     #[test]
@@ -171,8 +177,14 @@ mod tests {
             inner_dim: 64.0,
             algo_speedup: 1.0,
         };
-        let more_parallel = KernelProfile { parallel_items: 1e6, ..base };
-        let deeper = KernelProfile { inner_dim: 512.0, ..base };
+        let more_parallel = KernelProfile {
+            parallel_items: 1e6,
+            ..base
+        };
+        let deeper = KernelProfile {
+            inner_dim: 512.0,
+            ..base
+        };
         assert!(sm_efficiency(&more_parallel) > sm_efficiency(&base));
         assert!(sm_efficiency(&deeper) > sm_efficiency(&base));
         // And it never exceeds 1.
@@ -227,7 +239,10 @@ mod tests {
             let y = b.conv1x1(x, 512);
             b.finish(y)
         };
-        let id = g.node_ids().find(|&i| matches!(g.node(i).op, Op::Conv2d(_))).unwrap();
+        let id = g
+            .node_ids()
+            .find(|&i| matches!(g.node(i).op, Op::Conv2d(_)))
+            .unwrap();
         let p = crate::kernel::kernel_for_node(&g, id);
         let t = kernel_time_with_launch_us(&p, &cfg(), 16);
         // PIM estimate: macs / (256 MACs/cycle/channel * 16 channels) at
@@ -235,6 +250,9 @@ mod tests {
         let macs = 14.0 * 14.0 * 256.0 * 512.0;
         let pim_us = macs / (256.0 * 16.0) * 2.0 / 1000.0;
         let ratio = t / pim_us;
-        assert!((0.3..3.0).contains(&ratio), "GPU {t:.1}us vs PIM ~{pim_us:.1}us (ratio {ratio:.2})");
+        assert!(
+            (0.3..3.0).contains(&ratio),
+            "GPU {t:.1}us vs PIM ~{pim_us:.1}us (ratio {ratio:.2})"
+        );
     }
 }

@@ -8,11 +8,10 @@
 
 use crate::graph::{Graph, NodeId};
 use crate::ops::{Op, PoolKind};
-use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 
 /// Coarse layer class used in Fig. 1's runtime breakdown.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LayerClass {
     /// 1x1 (pointwise) convolution.
     PointwiseConv,
@@ -40,7 +39,7 @@ impl LayerClass {
 }
 
 /// Static cost summary of one node.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NodeCost {
     /// Multiply-accumulate operations.
     pub macs: u64,
@@ -109,7 +108,14 @@ pub fn node_cost(graph: &Graph, id: NodeId) -> NodeCost {
     let in_elems: u64 = node
         .inputs
         .iter()
-        .map(|&v| graph.value(v).desc.as_ref().map(|d| d.shape.numel() as u64).unwrap_or(0))
+        .map(|&v| {
+            graph
+                .value(v)
+                .desc
+                .as_ref()
+                .map(|d| d.shape.numel() as u64)
+                .unwrap_or(0)
+        })
         .sum();
     match &node.op {
         Op::Conv2d(a) => {
@@ -146,7 +152,12 @@ pub fn node_cost(graph: &Graph, id: NodeId) -> NodeCost {
                 PoolKind::Avg => out_elems * window,
                 PoolKind::Max => 0,
             };
-            NodeCost { macs, loads: in_elems, stores: out_elems, weight_elems: 0 }
+            NodeCost {
+                macs,
+                loads: in_elems,
+                stores: out_elems,
+                weight_elems: 0,
+            }
         }
         Op::GlobalAvgPool => NodeCost {
             macs: in_elems,
@@ -160,7 +171,11 @@ pub fn node_cost(graph: &Graph, id: NodeId) -> NodeCost {
             stores: out_elems,
             weight_elems: 0,
         },
-        Op::Pad(_) | Op::Slice(_) | Op::Concat(_) | Op::Flatten | Op::Upsample { .. }
+        Op::Pad(_)
+        | Op::Slice(_)
+        | Op::Concat(_)
+        | Op::Flatten
+        | Op::Upsample { .. }
         | Op::Identity => NodeCost {
             macs: 0,
             loads: in_elems,
@@ -171,7 +186,7 @@ pub fn node_cost(graph: &Graph, id: NodeId) -> NodeCost {
 }
 
 /// Per-class aggregate of [`NodeCost`] over a whole model.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct ModelProfile {
     /// `(class, total MACs, total load/store elements, node count)` rows.
     pub rows: Vec<(LayerClass, u64, u64, usize)>,
@@ -261,7 +276,12 @@ pub fn peak_activation_bytes(graph: &Graph) -> u64 {
     }
 
     let bytes_of = |v: crate::graph::ValueId| -> u64 {
-        graph.value(v).desc.as_ref().map(|d| d.size_bytes() as u64).unwrap_or(0)
+        graph
+            .value(v)
+            .desc
+            .as_ref()
+            .map(|d| d.size_bytes() as u64)
+            .unwrap_or(0)
     };
     let mut peak = 0u64;
     for step in 0..order.len() {

@@ -51,7 +51,14 @@ impl GraphBuilder {
     }
 
     /// Regular convolution: square kernel `k`, stride `s`, padding `p`.
-    pub fn conv(&mut self, x: ValueId, out_channels: usize, k: usize, s: usize, p: usize) -> ValueId {
+    pub fn conv(
+        &mut self,
+        x: ValueId,
+        out_channels: usize,
+        k: usize,
+        s: usize,
+        p: usize,
+    ) -> ValueId {
         let name = self.next_name("conv");
         self.graph.add_node(
             name,
@@ -306,8 +313,7 @@ mod tests {
         let a = b.conv1x1(x, 4);
         let c = b.conv1x1(a, 4);
         let g = b.finish(c);
-        let mut names: Vec<String> =
-            g.node_ids().map(|id| g.node(id).name.clone()).collect();
+        let mut names: Vec<String> = g.node_ids().map(|id| g.node(id).name.clone()).collect();
         names.sort();
         names.dedup();
         assert_eq!(names.len(), g.node_count());

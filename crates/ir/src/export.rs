@@ -11,19 +11,19 @@ impl Graph {
     ///
     /// # Errors
     ///
-    /// Returns a [`serde_json::Error`] if serialization fails (practically
-    /// impossible for well-formed graphs).
-    pub fn to_json(&self) -> Result<String, serde_json::Error> {
-        serde_json::to_string_pretty(self)
+    /// Never fails in practice; the `Result` is kept so callers are ready
+    /// for stricter formats later.
+    pub fn to_json(&self) -> Result<String, pimflow_json::JsonError> {
+        Ok(pimflow_json::to_string_pretty(self))
     }
 
     /// Deserializes a graph previously produced by [`Graph::to_json`].
     ///
     /// # Errors
     ///
-    /// Returns a [`serde_json::Error`] on malformed input.
-    pub fn from_json(json: &str) -> Result<Graph, serde_json::Error> {
-        serde_json::from_str(json)
+    /// Returns a [`pimflow_json::JsonError`] on malformed input.
+    pub fn from_json(json: &str) -> Result<Graph, pimflow_json::JsonError> {
+        pimflow_json::from_str(json)
     }
 
     /// Renders the graph in Graphviz DOT format. PIM-offloaded nodes
@@ -139,7 +139,10 @@ mod tests {
         // Same node names, ops, and weight keys.
         for id in g.node_ids() {
             let a = g.node(id);
-            let b = back.find_node(&a.name).map(|i| back.node(i)).expect("node survives");
+            let b = back
+                .find_node(&a.name)
+                .map(|i| back.node(i))
+                .expect("node survives");
             assert_eq!(a.op, b.op);
             assert_eq!(a.weight_key, b.weight_key);
         }
@@ -151,10 +154,7 @@ mod tests {
         let back = Graph::from_json(&g.to_json().unwrap()).unwrap();
         // Weight keys survive, so downstream execution is bit-identical;
         // structurally the serialization must be a fixed point.
-        assert_eq!(
-            serde_json::to_string(&g).unwrap(),
-            serde_json::to_string(&back).unwrap()
-        );
+        assert_eq!(pimflow_json::to_string(&g), pimflow_json::to_string(&back));
     }
 
     #[test]
@@ -166,7 +166,11 @@ mod tests {
         let dot = g.to_dot();
         assert!(dot.starts_with("digraph"));
         for id in g.node_ids() {
-            assert!(dot.contains(&g.node(id).name.replace('"', "'")), "{}", g.node(id).name);
+            assert!(
+                dot.contains(&g.node(id).name.replace('"', "'")),
+                "{}",
+                g.node(id).name
+            );
         }
         assert!(dot.contains("lightblue"), "PIM nodes must be highlighted");
         assert_eq!(dot.matches(" -> ").count(), 11); // edges = node inputs

@@ -8,13 +8,13 @@
 
 use crate::ops::Op;
 use crate::tensor::{DataType, Shape, TensorDesc};
-use serde::{Deserialize, Serialize};
+use pimflow_json::{json_struct, FromJson, Json, JsonError, ToJson};
 use std::collections::{HashMap, VecDeque};
 use std::error::Error;
 use std::fmt;
 
 /// Identifier of a tensor value within a [`Graph`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ValueId(pub(crate) usize);
 
 impl ValueId {
@@ -25,7 +25,7 @@ impl ValueId {
 }
 
 /// Identifier of a node within a [`Graph`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub(crate) usize);
 
 impl NodeId {
@@ -36,7 +36,7 @@ impl NodeId {
 }
 
 /// A tensor value: either a graph input or the output of exactly one node.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Value {
     /// Human-readable name.
     pub name: String,
@@ -54,7 +54,7 @@ pub struct Value {
 /// freshly generated weights of the smaller shape. The executor regenerates
 /// the full `[.., orig_out]` parameters from the weight key and then keeps
 /// columns `begin..end`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ParamView {
     /// Output width of the original (unsplit) node.
     pub orig_out: usize,
@@ -77,7 +77,7 @@ impl ParamView {
 }
 
 /// An operator node.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Node {
     /// Human-readable name, unique within the graph.
     pub name: String,
@@ -127,7 +127,11 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::Cycle(n) => write!(f, "graph contains a cycle through node `{n}`"),
-            GraphError::Arity { node, expected, actual } => match expected {
+            GraphError::Arity {
+                node,
+                expected,
+                actual,
+            } => match expected {
                 Some(e) => write!(f, "node `{node}` expects {e} inputs, got {actual}"),
                 None => write!(f, "node `{node}` expects at least 2 inputs, got {actual}"),
             },
@@ -155,7 +159,7 @@ impl Error for GraphError {}
 /// pimflow_ir::infer_shapes(&mut g).unwrap();
 /// assert_eq!(g.value(y).desc.as_ref().unwrap().shape, Shape::nhwc(1, 8, 8, 16));
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Graph {
     /// Model name (e.g. `"mobilenet-v2"`).
     pub name: String,
@@ -281,7 +285,8 @@ impl Graph {
     ///
     /// Panics if the node does not exist or was removed.
     pub fn node(&self, id: NodeId) -> &Node {
-        self.try_node(id).expect("node was removed or never existed")
+        self.try_node(id)
+            .expect("node was removed or never existed")
     }
 
     /// Mutable node record for `id`.
@@ -290,7 +295,9 @@ impl Graph {
     ///
     /// Panics if the node does not exist or was removed.
     pub fn node_mut(&mut self, id: NodeId) -> &mut Node {
-        self.nodes[id.0].as_mut().expect("node was removed or never existed")
+        self.nodes[id.0]
+            .as_mut()
+            .expect("node was removed or never existed")
     }
 
     /// Removes a node, leaving its output value dangling. Callers must
@@ -339,7 +346,9 @@ impl Graph {
     /// The node producing `v`, if `v` is not a graph input and its producer
     /// is still live.
     pub fn producer(&self, v: ValueId) -> Option<NodeId> {
-        self.value(v).producer.filter(|&id| self.try_node(id).is_some())
+        self.value(v)
+            .producer
+            .filter(|&id| self.try_node(id).is_some())
     }
 
     /// Live predecessor nodes of `id` (producers of its inputs),
@@ -483,6 +492,57 @@ impl Graph {
     }
 }
 
+impl ToJson for ValueId {
+    fn to_json(&self) -> Json {
+        self.0.to_json()
+    }
+}
+
+impl FromJson for ValueId {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        usize::from_json(json).map(ValueId)
+    }
+}
+
+impl ToJson for NodeId {
+    fn to_json(&self) -> Json {
+        self.0.to_json()
+    }
+}
+
+impl FromJson for NodeId {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        usize::from_json(json).map(NodeId)
+    }
+}
+
+json_struct!(Value {
+    name,
+    desc,
+    producer
+});
+json_struct!(ParamView {
+    orig_out,
+    begin,
+    end
+});
+json_struct!(Node {
+    name,
+    op,
+    inputs,
+    output,
+    weight_key,
+    param_view
+});
+json_struct!(Graph {
+    name,
+    values,
+    nodes,
+    inputs,
+    outputs,
+    next_weight_key
+});
+
 impl fmt::Display for Graph {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "graph {} ({} nodes)", self.name, self.node_count())?;
@@ -510,8 +570,16 @@ mod tests {
         let mut g = Graph::new("diamond");
         let x = g.add_input("x", Shape::nhwc(1, 4, 4, 2), DataType::F16);
         let a = g.add_node("a", Op::Conv2d(Conv2dAttrs::pointwise(4)), vec![x]);
-        let b = g.add_node("b", Op::Activation(crate::ops::ActivationKind::Relu), vec![a]);
-        let c = g.add_node("c", Op::Activation(crate::ops::ActivationKind::Relu), vec![a]);
+        let b = g.add_node(
+            "b",
+            Op::Activation(crate::ops::ActivationKind::Relu),
+            vec![a],
+        );
+        let c = g.add_node(
+            "c",
+            Op::Activation(crate::ops::ActivationKind::Relu),
+            vec![a],
+        );
         let d = g.add_node("d", Op::Add, vec![b, c]);
         g.mark_output(d);
         g
@@ -582,7 +650,11 @@ mod tests {
         g.mark_output(y);
         assert!(matches!(
             g.validate(),
-            Err(GraphError::Arity { expected: None, actual: 1, .. })
+            Err(GraphError::Arity {
+                expected: None,
+                actual: 1,
+                ..
+            })
         ));
     }
 

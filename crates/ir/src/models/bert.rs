@@ -37,7 +37,14 @@ pub fn bert_like(seq_len: usize) -> Graph {
         let attn = b.identity(qkv);
         // Keep the "context" third of the fused QKV width so the output
         // projection sees a width-h operand.
-        let ctx = b.slice(attn, SliceAttrs { axis: 1, begin: 2 * h, end: 3 * h });
+        let ctx = b.slice(
+            attn,
+            SliceAttrs {
+                axis: 1,
+                begin: 2 * h,
+                end: 3 * h,
+            },
+        );
         let proj = b.dense(ctx, h);
         let res1 = b.add(proj, y);
         // Feed-forward network.

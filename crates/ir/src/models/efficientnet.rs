@@ -44,7 +44,12 @@ impl EfficientNetVariant {
 
 /// Squeeze-excite: GAP -> 1x1 reduce -> swish -> 1x1 expand -> sigmoid ->
 /// channel-wise scale.
-fn squeeze_excite(b: &mut GraphBuilder, x: ValueId, channels: usize, se_channels: usize) -> ValueId {
+fn squeeze_excite(
+    b: &mut GraphBuilder,
+    x: ValueId,
+    channels: usize,
+    se_channels: usize,
+) -> ValueId {
     let s = b.gap(x);
     let s = b.conv1x1(s, se_channels);
     let s = b.swish(s);

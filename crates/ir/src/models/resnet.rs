@@ -45,7 +45,12 @@ pub fn resnet50() -> Graph {
     let mut y = b.maxpool(y, 3, 2, 1);
 
     // (mid, out, blocks, first-stride) per stage.
-    let stages = [(64, 256, 3, 1), (128, 512, 4, 2), (256, 1024, 6, 2), (512, 2048, 3, 2)];
+    let stages = [
+        (64, 256, 3, 1),
+        (128, 512, 4, 2),
+        (256, 1024, 6, 2),
+        (512, 2048, 3, 2),
+    ];
     let mut in_c = 64;
     for (mid, out, blocks, first_stride) in stages {
         for block in 0..blocks {
@@ -128,7 +133,12 @@ mod tests {
         let g = resnet50();
         let convs = g
             .node_ids()
-            .filter(|&id| matches!(classify(&g, id), LayerClass::PointwiseConv | LayerClass::RegularConv))
+            .filter(|&id| {
+                matches!(
+                    classify(&g, id),
+                    LayerClass::PointwiseConv | LayerClass::RegularConv
+                )
+            })
             .count();
         // 1 stem + 16 blocks x 3 + 4 projection shortcuts = 53.
         assert_eq!(convs, 53);
@@ -146,7 +156,10 @@ mod tests {
     fn final_spatial_size_is_7x7() {
         let g = resnet50();
         // Find the GAP input.
-        let gap = g.node_ids().find(|&id| g.node(id).name.starts_with("gap")).unwrap();
+        let gap = g
+            .node_ids()
+            .find(|&id| g.node(id).name.starts_with("gap"))
+            .unwrap();
         let in_v = g.node(gap).inputs[0];
         let s = &g.value(in_v).desc.as_ref().unwrap().shape;
         assert_eq!((s.h(), s.w(), s.c()), (7, 7, 2048));

@@ -28,9 +28,18 @@ pub fn squeezenet() -> Graph {
     let y = b.conv(x, 64, 3, 2, 0);
     let y = b.relu(y);
     let mut y = b.maxpool(y, 3, 2, 0);
-    for (i, (s, e)) in [(16, 64), (16, 64), (32, 128), (32, 128), (48, 192), (48, 192), (64, 256), (64, 256)]
-        .into_iter()
-        .enumerate()
+    for (i, (s, e)) in [
+        (16, 64),
+        (16, 64),
+        (32, 128),
+        (32, 128),
+        (48, 192),
+        (48, 192),
+        (64, 256),
+        (64, 256),
+    ]
+    .into_iter()
+    .enumerate()
     {
         y = fire(&mut b, y, s, e);
         if i == 1 || i == 3 {
@@ -63,7 +72,10 @@ mod tests {
         // mobile CNNs (§3 observation 1).
         let g = squeezenet();
         let frac = independent_node_fraction(&g);
-        assert!(frac > 0.3, "fire branches should be independent, got {frac}");
+        assert!(
+            frac > 0.3,
+            "fire branches should be independent, got {frac}"
+        );
     }
 
     #[test]

@@ -107,7 +107,10 @@ mod tests {
         let peak = crate::analysis::peak_activation_bytes(&g);
         // The three skips alone hold 96x96x16 + 48x48x32 + 24x24x64 f16.
         let skips_bytes = (96 * 96 * 16 + 48 * 48 * 32 + 24 * 24 * 64) * 2;
-        assert!(peak as usize > skips_bytes, "peak {peak} vs skips {skips_bytes}");
+        assert!(
+            peak as usize > skips_bytes,
+            "peak {peak} vs skips {skips_bytes}"
+        );
     }
 
     #[test]

@@ -14,7 +14,9 @@ pub fn vgg16() -> Graph {
     let x = b.input(Shape::nhwc(1, 224, 224, 3));
 
     // Configuration D: channel count per conv, `0` marks a 2x2 max-pool.
-    let cfg = [64, 64, 0, 128, 128, 0, 256, 256, 256, 0, 512, 512, 512, 0, 512, 512, 512, 0];
+    let cfg = [
+        64, 64, 0, 128, 128, 0, 256, 256, 256, 0, 512, 512, 512, 0, 512, 512, 512, 0,
+    ];
     let mut y = x;
     for c in cfg {
         if c == 0 {

@@ -6,11 +6,11 @@
 //! activations, and the data-movement operators (`Pad`, `Slice`, `Concat`)
 //! that the PIM-aware transformation passes insert.
 
-use serde::{Deserialize, Serialize};
+use pimflow_json::{json_struct, json_unit_enum, FromJson, Json, JsonError, ToJson};
 use std::fmt;
 
 /// A 2-D extent (height, width) used for kernels, strides, and padding.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Hw {
     /// Vertical extent.
     pub h: usize,
@@ -42,7 +42,7 @@ impl fmt::Display for Hw {
 /// convolution; `groups == in_channels == out_channels` is a depthwise
 /// convolution. Other grouped convolutions are not used by the evaluated
 /// models and are rejected by graph validation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Conv2dAttrs {
     /// Number of output channels (filters).
     pub out_channels: usize,
@@ -80,14 +80,14 @@ impl Conv2dAttrs {
 }
 
 /// Attributes of a fully-connected (Dense / Gemm) layer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct DenseAttrs {
     /// Number of output features.
     pub out_features: usize,
 }
 
 /// Pooling kind.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PoolKind {
     /// Maximum pooling.
     Max,
@@ -96,7 +96,7 @@ pub enum PoolKind {
 }
 
 /// Attributes of a spatial pooling layer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PoolAttrs {
     /// Max or average.
     pub kind: PoolKind,
@@ -109,7 +109,7 @@ pub struct PoolAttrs {
 }
 
 /// Unary activation functions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ActivationKind {
     /// `max(0, x)`.
     Relu,
@@ -129,7 +129,7 @@ pub enum ActivationKind {
 
 /// Attributes of a zero-padding operator over the spatial dimensions of an
 /// NHWC tensor.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PadAttrs {
     /// Rows added above.
     pub top: usize,
@@ -155,7 +155,7 @@ impl PadAttrs {
 
 /// Attributes of a slice along a single axis: the half-open range
 /// `[begin, end)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SliceAttrs {
     /// Axis being sliced.
     pub axis: usize,
@@ -178,7 +178,7 @@ impl SliceAttrs {
 }
 
 /// Attributes of a concatenation along a single axis.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ConcatAttrs {
     /// Axis along which inputs are joined.
     pub axis: usize,
@@ -189,7 +189,7 @@ pub struct ConcatAttrs {
 /// Every operator produces exactly one output tensor. Multi-output ONNX
 /// constructs in the evaluated models (none in practice) would be modelled as
 /// multiple nodes.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Op {
     /// 2-D convolution over an NHWC input.
     Conv2d(Conv2dAttrs),
@@ -244,7 +244,10 @@ impl Op {
             Op::Activation(ActivationKind::Tanh) => "tanh",
             Op::Add => "add",
             Op::Mul => "mul",
-            Op::Pool(PoolAttrs { kind: PoolKind::Max, .. }) => "maxpool",
+            Op::Pool(PoolAttrs {
+                kind: PoolKind::Max,
+                ..
+            }) => "maxpool",
             Op::Pool(_) => "avgpool",
             Op::GlobalAvgPool => "gap",
             Op::BatchNorm => "bn",
@@ -304,6 +307,102 @@ impl fmt::Display for Op {
     }
 }
 
+json_struct!(Hw { h, w });
+json_struct!(Conv2dAttrs {
+    out_channels,
+    kernel,
+    stride,
+    padding,
+    groups
+});
+json_struct!(DenseAttrs { out_features });
+json_unit_enum!(PoolKind { Max, Avg });
+json_struct!(PoolAttrs {
+    kind,
+    kernel,
+    stride,
+    padding
+});
+json_unit_enum!(ActivationKind {
+    Relu,
+    Relu6,
+    Sigmoid,
+    Swish,
+    Gelu,
+    Softmax,
+    Tanh
+});
+json_struct!(PadAttrs {
+    top,
+    bottom,
+    left,
+    right
+});
+json_struct!(SliceAttrs { axis, begin, end });
+json_struct!(ConcatAttrs { axis });
+
+// `Op` carries payloads, so the derive-like macros don't apply; the impls
+// below keep the serde externally-tagged shape (`"Add"` for unit variants,
+// `{"Conv2d": {...}}` for payload variants).
+impl ToJson for Op {
+    fn to_json(&self) -> Json {
+        let tagged = |tag: &str, payload: Json| Json::obj(vec![(tag, payload)]);
+        match self {
+            Op::Conv2d(a) => tagged("Conv2d", a.to_json()),
+            Op::Dense(a) => tagged("Dense", a.to_json()),
+            Op::Activation(k) => tagged("Activation", k.to_json()),
+            Op::Add => Json::Str("Add".into()),
+            Op::Mul => Json::Str("Mul".into()),
+            Op::Pool(a) => tagged("Pool", a.to_json()),
+            Op::GlobalAvgPool => Json::Str("GlobalAvgPool".into()),
+            Op::BatchNorm => Json::Str("BatchNorm".into()),
+            Op::Pad(a) => tagged("Pad", a.to_json()),
+            Op::Slice(a) => tagged("Slice", a.to_json()),
+            Op::Concat(a) => tagged("Concat", a.to_json()),
+            Op::Flatten => Json::Str("Flatten".into()),
+            Op::Upsample { factor } => {
+                tagged("Upsample", Json::obj(vec![("factor", factor.to_json())]))
+            }
+            Op::Identity => Json::Str("Identity".into()),
+        }
+    }
+}
+
+impl FromJson for Op {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        match json {
+            Json::Str(name) => match name.as_str() {
+                "Add" => Ok(Op::Add),
+                "Mul" => Ok(Op::Mul),
+                "GlobalAvgPool" => Ok(Op::GlobalAvgPool),
+                "BatchNorm" => Ok(Op::BatchNorm),
+                "Flatten" => Ok(Op::Flatten),
+                "Identity" => Ok(Op::Identity),
+                other => Err(JsonError::msg(format!("unknown Op variant `{other}`"))),
+            },
+            Json::Obj(fields) if fields.len() == 1 => {
+                let (tag, payload) = &fields[0];
+                match tag.as_str() {
+                    "Conv2d" => Conv2dAttrs::from_json(payload).map(Op::Conv2d),
+                    "Dense" => DenseAttrs::from_json(payload).map(Op::Dense),
+                    "Activation" => ActivationKind::from_json(payload).map(Op::Activation),
+                    "Pool" => PoolAttrs::from_json(payload).map(Op::Pool),
+                    "Pad" => PadAttrs::from_json(payload).map(Op::Pad),
+                    "Slice" => SliceAttrs::from_json(payload).map(Op::Slice),
+                    "Concat" => ConcatAttrs::from_json(payload).map(Op::Concat),
+                    "Upsample" => Ok(Op::Upsample {
+                        factor: usize::from_json(payload.field("factor")?)?,
+                    }),
+                    other => Err(JsonError::msg(format!("unknown Op variant `{other}`"))),
+                }
+            }
+            other => Err(JsonError::msg(format!(
+                "expected Op as string or single-field object, got {other}"
+            ))),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -358,7 +457,11 @@ mod tests {
 
     #[test]
     fn slice_len() {
-        let s = SliceAttrs { axis: 1, begin: 3, end: 9 };
+        let s = SliceAttrs {
+            axis: 1,
+            begin: 3,
+            end: 9,
+        };
         assert_eq!(s.len(), 6);
         assert!(!s.is_empty());
     }

@@ -46,25 +46,46 @@ fn infer_node(graph: &Graph, id: NodeId) -> Result<TensorDesc, GraphError> {
     let out = match &node.op {
         Op::Conv2d(a) => {
             if x.shape.rank() != 4 {
-                return Err(shape_err(graph, id, format!("conv input must be NHWC, got {}", x.shape)));
+                return Err(shape_err(
+                    graph,
+                    id,
+                    format!("conv input must be NHWC, got {}", x.shape),
+                ));
             }
             let (h, w, c) = (x.shape.h(), x.shape.w(), x.shape.c());
             if a.groups != 1 && !a.is_depthwise_for(c) {
                 return Err(shape_err(
                     graph,
                     id,
-                    format!("unsupported grouped conv: groups={} in_c={} out_c={}", a.groups, c, a.out_channels),
+                    format!(
+                        "unsupported grouped conv: groups={} in_c={} out_c={}",
+                        a.groups, c, a.out_channels
+                    ),
                 ));
             }
-            let oh = conv_out_extent(h, a.kernel.h, a.stride.h, a.padding.h)
-                .ok_or_else(|| shape_err(graph, id, format!("kernel {} does not fit input h={h}", a.kernel)))?;
-            let ow = conv_out_extent(w, a.kernel.w, a.stride.w, a.padding.w)
-                .ok_or_else(|| shape_err(graph, id, format!("kernel {} does not fit input w={w}", a.kernel)))?;
+            let oh = conv_out_extent(h, a.kernel.h, a.stride.h, a.padding.h).ok_or_else(|| {
+                shape_err(
+                    graph,
+                    id,
+                    format!("kernel {} does not fit input h={h}", a.kernel),
+                )
+            })?;
+            let ow = conv_out_extent(w, a.kernel.w, a.stride.w, a.padding.w).ok_or_else(|| {
+                shape_err(
+                    graph,
+                    id,
+                    format!("kernel {} does not fit input w={w}", a.kernel),
+                )
+            })?;
             TensorDesc::new(Shape::nhwc(x.shape.n(), oh, ow, a.out_channels), x.dtype)
         }
         Op::Dense(a) => {
             if x.shape.rank() != 2 {
-                return Err(shape_err(graph, id, format!("dense input must be 2-D, got {}", x.shape)));
+                return Err(shape_err(
+                    graph,
+                    id,
+                    format!("dense input must be 2-D, got {}", x.shape),
+                ));
             }
             TensorDesc::new(Shape::rf(x.shape.n(), a.out_features), x.dtype)
         }
@@ -77,7 +98,11 @@ fn infer_node(graph: &Graph, id: NodeId) -> Result<TensorDesc, GraphError> {
         Op::Add => {
             let y = input_desc(1)?;
             if x.shape != y.shape {
-                return Err(shape_err(graph, id, format!("add operands differ: {} vs {}", x.shape, y.shape)));
+                return Err(shape_err(
+                    graph,
+                    id,
+                    format!("add operands differ: {} vs {}", x.shape, y.shape),
+                ));
             }
             x.clone()
         }
@@ -90,7 +115,11 @@ fn infer_node(graph: &Graph, id: NodeId) -> Result<TensorDesc, GraphError> {
                 && y.shape.n() == x.shape.n()
                 && y.shape.c() == x.shape.c();
             if x.shape != y.shape && !broadcast_ok {
-                return Err(shape_err(graph, id, format!("mul operands differ: {} vs {}", x.shape, y.shape)));
+                return Err(shape_err(
+                    graph,
+                    id,
+                    format!("mul operands differ: {} vs {}", x.shape, y.shape),
+                ));
             }
             x.clone()
         }
@@ -106,7 +135,11 @@ fn infer_node(graph: &Graph, id: NodeId) -> Result<TensorDesc, GraphError> {
         }
         Op::GlobalAvgPool => {
             if x.shape.rank() != 4 {
-                return Err(shape_err(graph, id, "global average pool input must be NHWC"));
+                return Err(shape_err(
+                    graph,
+                    id,
+                    "global average pool input must be NHWC",
+                ));
             }
             TensorDesc::new(Shape::nhwc(x.shape.n(), 1, 1, x.shape.c()), x.dtype)
         }
@@ -132,20 +165,33 @@ fn infer_node(graph: &Graph, id: NodeId) -> Result<TensorDesc, GraphError> {
         }
         Op::Slice(s) => {
             if s.axis >= x.shape.rank() {
-                return Err(shape_err(graph, id, format!("slice axis {} out of range for {}", s.axis, x.shape)));
+                return Err(shape_err(
+                    graph,
+                    id,
+                    format!("slice axis {} out of range for {}", s.axis, x.shape),
+                ));
             }
             if s.is_empty() || s.end > x.shape.dim(s.axis) {
                 return Err(shape_err(
                     graph,
                     id,
-                    format!("slice {}..{} invalid for axis extent {}", s.begin, s.end, x.shape.dim(s.axis)),
+                    format!(
+                        "slice {}..{} invalid for axis extent {}",
+                        s.begin,
+                        s.end,
+                        x.shape.dim(s.axis)
+                    ),
                 ));
             }
             TensorDesc::new(x.shape.with_dim(s.axis, s.len()), x.dtype)
         }
         Op::Concat(c) => {
             if c.axis >= x.shape.rank() {
-                return Err(shape_err(graph, id, format!("concat axis {} out of range", c.axis)));
+                return Err(shape_err(
+                    graph,
+                    id,
+                    format!("concat axis {} out of range", c.axis),
+                ));
             }
             let mut total = 0;
             for i in 0..node.inputs.len() {
@@ -158,7 +204,10 @@ fn infer_node(graph: &Graph, id: NodeId) -> Result<TensorDesc, GraphError> {
                         return Err(shape_err(
                             graph,
                             id,
-                            format!("concat operand {i} mismatches on axis {ax}: {} vs {}", d.shape, x.shape),
+                            format!(
+                                "concat operand {i} mismatches on axis {ax}: {} vs {}",
+                                d.shape, x.shape
+                            ),
                         ));
                     }
                 }
@@ -223,7 +272,9 @@ pub fn infer_shapes(graph: &mut Graph) -> Result<(), GraphError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ops::{ConcatAttrs, Conv2dAttrs, DenseAttrs, Hw, PadAttrs, PoolAttrs, PoolKind, SliceAttrs};
+    use crate::ops::{
+        ConcatAttrs, Conv2dAttrs, DenseAttrs, Hw, PadAttrs, PoolAttrs, PoolKind, SliceAttrs,
+    };
     use crate::tensor::DataType;
 
     fn shape_of(g: &Graph, v: crate::graph::ValueId) -> Shape {
@@ -294,7 +345,10 @@ mod tests {
             vec![x],
         );
         g.mark_output(y);
-        assert!(matches!(infer_shapes(&mut g), Err(GraphError::Shape { .. })));
+        assert!(matches!(
+            infer_shapes(&mut g),
+            Err(GraphError::Shape { .. })
+        ));
     }
 
     #[test]
@@ -313,8 +367,24 @@ mod tests {
     fn slice_and_concat_roundtrip_shape() {
         let mut g = Graph::new("t");
         let x = g.add_input("x", Shape::nhwc(1, 10, 8, 4), DataType::F16);
-        let a = g.add_node("s0", Op::Slice(SliceAttrs { axis: 1, begin: 0, end: 6 }), vec![x]);
-        let b = g.add_node("s1", Op::Slice(SliceAttrs { axis: 1, begin: 6, end: 10 }), vec![x]);
+        let a = g.add_node(
+            "s0",
+            Op::Slice(SliceAttrs {
+                axis: 1,
+                begin: 0,
+                end: 6,
+            }),
+            vec![x],
+        );
+        let b = g.add_node(
+            "s1",
+            Op::Slice(SliceAttrs {
+                axis: 1,
+                begin: 6,
+                end: 10,
+            }),
+            vec![x],
+        );
         let y = g.add_node("cat", Op::Concat(ConcatAttrs { axis: 1 }), vec![a, b]);
         g.mark_output(y);
         infer_shapes(&mut g).unwrap();
@@ -328,7 +398,12 @@ mod tests {
         let x = g.add_input("x", Shape::nhwc(1, 5, 5, 3), DataType::F16);
         let y = g.add_node(
             "p",
-            Op::Pad(PadAttrs { top: 1, bottom: 2, left: 0, right: 1 }),
+            Op::Pad(PadAttrs {
+                top: 1,
+                bottom: 2,
+                left: 0,
+                right: 1,
+            }),
             vec![x],
         );
         g.mark_output(y);
@@ -375,15 +450,29 @@ mod tests {
         let y = g.add_input("y", Shape::nhwc(1, 4, 4, 16), DataType::F16);
         let z = g.add_node("add", Op::Add, vec![x, y]);
         g.mark_output(z);
-        assert!(matches!(infer_shapes(&mut g), Err(GraphError::Shape { .. })));
+        assert!(matches!(
+            infer_shapes(&mut g),
+            Err(GraphError::Shape { .. })
+        ));
     }
 
     #[test]
     fn invalid_slice_rejected() {
         let mut g = Graph::new("t");
         let x = g.add_input("x", Shape::nhwc(1, 4, 4, 8), DataType::F16);
-        let z = g.add_node("s", Op::Slice(SliceAttrs { axis: 1, begin: 2, end: 7 }), vec![x]);
+        let z = g.add_node(
+            "s",
+            Op::Slice(SliceAttrs {
+                axis: 1,
+                begin: 2,
+                end: 7,
+            }),
+            vec![x],
+        );
         g.mark_output(z);
-        assert!(matches!(infer_shapes(&mut g), Err(GraphError::Shape { .. })));
+        assert!(matches!(
+            infer_shapes(&mut g),
+            Err(GraphError::Shape { .. })
+        ));
     }
 }

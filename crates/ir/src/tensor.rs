@@ -6,7 +6,7 @@
 //! layout optimizer (§4.3.2) relies on H-dimension slices of NHWC tensors
 //! being contiguous.
 
-use serde::{Deserialize, Serialize};
+use pimflow_json::{json_struct, json_unit_enum, FromJson, Json, JsonError, ToJson};
 use std::fmt;
 
 /// Element type of a tensor.
@@ -16,9 +16,10 @@ use std::fmt;
 /// is the default for PIM-offloadable tensors. The reference executor
 /// computes in f32 regardless; `DataType` only affects *byte* accounting in
 /// the performance models.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum DataType {
     /// 16-bit IEEE float (PIM-native).
+    #[default]
     F16,
     /// 32-bit IEEE float.
     F32,
@@ -41,12 +42,6 @@ impl DataType {
             DataType::F32 => 4,
             DataType::I8 => 1,
         }
-    }
-}
-
-impl Default for DataType {
-    fn default() -> Self {
-        DataType::F16
     }
 }
 
@@ -73,7 +68,7 @@ impl fmt::Display for DataType {
 /// assert_eq!(s.numel(), 56 * 56 * 64);
 /// assert_eq!(s.c(), 64);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Shape(pub Vec<usize>);
 
 impl Shape {
@@ -181,7 +176,7 @@ impl From<Vec<usize>> for Shape {
 }
 
 /// Full description of a tensor: shape plus element type.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct TensorDesc {
     /// Dimension extents.
     pub shape: Shape,
@@ -212,6 +207,21 @@ impl TensorDesc {
 impl fmt::Display for TensorDesc {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}{}", self.shape, self.dtype)
+    }
+}
+
+json_unit_enum!(DataType { F16, F32, I8 });
+json_struct!(TensorDesc { shape, dtype });
+
+impl ToJson for Shape {
+    fn to_json(&self) -> Json {
+        self.0.to_json()
+    }
+}
+
+impl FromJson for Shape {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Vec::<usize>::from_json(json).map(Shape)
     }
 }
 

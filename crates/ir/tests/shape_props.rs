@@ -1,27 +1,33 @@
-//! Property tests for shape inference and graph structure.
+//! Property tests for shape inference and graph structure, driven by
+//! seeded random cases from `pimflow-rng` (the workspace builds offline,
+//! so `proptest` is not available).
 
 use pimflow_ir::{
     infer_shapes, shape_infer::conv_out_extent, ActivationKind, Conv2dAttrs, DataType, Graph,
     GraphBuilder, Hw, Op, Shape, SliceAttrs,
 };
-use proptest::prelude::*;
+use pimflow_rng::Rng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: usize = 64;
 
-    /// The inferred conv output extent matches the closed-form formula for
-    /// every fitting configuration.
-    #[test]
-    fn conv_shape_matches_formula(
-        h in 1usize..64,
-        w in 1usize..64,
-        ic in 1usize..16,
-        oc in 1usize..16,
-        k in 1usize..8,
-        s in 1usize..4,
-        p in 0usize..4,
-    ) {
-        prop_assume!(h + 2 * p >= k && w + 2 * p >= k);
+/// The inferred conv output extent matches the closed-form formula for
+/// every fitting configuration.
+#[test]
+fn conv_shape_matches_formula() {
+    let mut rng = Rng::seed_from_u64(0x5eed_0001);
+    let mut checked = 0;
+    while checked < CASES {
+        let h = rng.range_usize(1, 64);
+        let w = rng.range_usize(1, 64);
+        let ic = rng.range_usize(1, 16);
+        let oc = rng.range_usize(1, 16);
+        let k = rng.range_usize(1, 8);
+        let s = rng.range_usize(1, 4);
+        let p = rng.range_usize(0, 4);
+        if h + 2 * p < k || w + 2 * p < k {
+            continue;
+        }
+        checked += 1;
         let mut g = Graph::new("t");
         let x = g.add_input("x", Shape::nhwc(1, h, w, ic), DataType::F16);
         let y = g.add_node(
@@ -38,43 +44,61 @@ proptest! {
         g.mark_output(y);
         infer_shapes(&mut g).expect("valid conv");
         let out = &g.value(y).desc.as_ref().unwrap().shape;
-        prop_assert_eq!(out.h(), (h + 2 * p - k) / s + 1);
-        prop_assert_eq!(out.w(), (w + 2 * p - k) / s + 1);
-        prop_assert_eq!(out.c(), oc);
+        assert_eq!(out.h(), (h + 2 * p - k) / s + 1);
+        assert_eq!(out.w(), (w + 2 * p - k) / s + 1);
+        assert_eq!(out.c(), oc);
     }
+}
 
-    /// Splitting any axis into two slices and concatenating restores the
-    /// original shape.
-    #[test]
-    fn slice_concat_shape_roundtrip(
-        dims in proptest::collection::vec(2usize..10, 4),
-        axis in 0usize..4,
-        cut_num in 1usize..9,
-    ) {
+/// Splitting any axis into two slices and concatenating restores the
+/// original shape.
+#[test]
+fn slice_concat_shape_roundtrip() {
+    let mut rng = Rng::seed_from_u64(0x5eed_0002);
+    for _ in 0..CASES {
+        let dims: Vec<usize> = (0..4).map(|_| rng.range_usize(2, 10)).collect();
+        let axis = rng.range_usize(0, 4);
+        let cut_num = rng.range_usize(1, 9);
         let extent = dims[axis];
         let cut = 1 + cut_num % (extent - 1);
         let mut b = GraphBuilder::new("t");
         let x = b.input(Shape::new(dims.clone()));
-        let a = b.slice(x, SliceAttrs { axis, begin: 0, end: cut });
-        let c = b.slice(x, SliceAttrs { axis, begin: cut, end: extent });
+        let a = b.slice(
+            x,
+            SliceAttrs {
+                axis,
+                begin: 0,
+                end: cut,
+            },
+        );
+        let c = b.slice(
+            x,
+            SliceAttrs {
+                axis,
+                begin: cut,
+                end: extent,
+            },
+        );
         let y = b.concat(vec![a, c], axis);
         let g = b.finish(y);
         let out = &g.value(g.outputs()[0]).desc.as_ref().unwrap().shape;
-        prop_assert_eq!(out.clone(), Shape::new(dims));
+        assert_eq!(out, &Shape::new(dims));
     }
+}
 
-    /// Topological order always places producers before consumers, for
-    /// randomly wired element-wise DAGs.
-    #[test]
-    fn topo_order_is_consistent(
-        edges in proptest::collection::vec((0usize..12, 0usize..12), 1..24),
-    ) {
+/// Topological order always places producers before consumers, for
+/// randomly wired element-wise DAGs.
+#[test]
+fn topo_order_is_consistent() {
+    let mut rng = Rng::seed_from_u64(0x5eed_0003);
+    for _ in 0..CASES {
+        let edge_count = rng.range_usize(1, 24);
         let mut b = GraphBuilder::new("dag");
         let input = b.input(Shape::nhwc(1, 4, 4, 2));
         let mut values = vec![input];
-        for (i, &(a, c)) in edges.iter().enumerate() {
-            let va = values[a % values.len()];
-            let vc = values[c % values.len()];
+        for i in 0..edge_count {
+            let va = values[rng.range_usize(0, values.len())];
+            let vc = values[rng.range_usize(0, values.len())];
             let v = if i % 2 == 0 {
                 b.add(va, vc)
             } else {
@@ -88,21 +112,31 @@ proptest! {
             order.iter().enumerate().map(|(i, &id)| (id, i)).collect();
         for id in g.node_ids() {
             for p in g.predecessors(id) {
-                prop_assert!(pos[&p] < pos[&id]);
+                assert!(pos[&p] < pos[&id]);
             }
         }
     }
+}
 
-    /// `conv_out_extent` is antitone in kernel size and stride.
-    #[test]
-    fn out_extent_monotonicity(input in 8usize..128, k in 1usize..8, s in 1usize..4) {
-        prop_assume!(input >= k);
+/// `conv_out_extent` is antitone in kernel size and stride.
+#[test]
+fn out_extent_monotonicity() {
+    let mut rng = Rng::seed_from_u64(0x5eed_0004);
+    let mut checked = 0;
+    while checked < CASES {
+        let input = rng.range_usize(8, 128);
+        let k = rng.range_usize(1, 8);
+        let s = rng.range_usize(1, 4);
+        if input < k {
+            continue;
+        }
+        checked += 1;
         let base = conv_out_extent(input, k, s, 0).unwrap();
         if let Some(bigger_k) = conv_out_extent(input, k + 1, s, 0) {
-            prop_assert!(bigger_k <= base);
+            assert!(bigger_k <= base);
         }
         if let Some(bigger_s) = conv_out_extent(input, k, s + 1, 0) {
-            prop_assert!(bigger_s <= base);
+            assert!(bigger_s <= base);
         }
     }
 }

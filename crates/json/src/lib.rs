@@ -1,0 +1,946 @@
+//! # pimflow-json
+//!
+//! A small, dependency-free JSON library standing in for `serde` +
+//! `serde_json`: the workspace builds with zero network access, so the
+//! structs we actually round-trip (graphs, execution plans, evaluation
+//! suites, serving metrics) serialize through the [`ToJson`] / [`FromJson`]
+//! traits here instead of derive macros.
+//!
+//! * [`Json`] — the value tree (objects keep insertion order, so output is
+//!   deterministic);
+//! * [`Json::parse`] — a recursive-descent parser for the full JSON grammar;
+//! * [`Json::to_string_compact`] / [`Json::to_string_pretty`] — writers;
+//! * [`json_struct!`] / [`json_unit_enum!`] — derive-like macros covering
+//!   plain structs and C-like enums; enums with payloads write their two
+//!   impls by hand (externally tagged, serde-compatible shape).
+//!
+//! # Examples
+//!
+//! ```
+//! use pimflow_json::{json_struct, FromJson, Json, ToJson};
+//!
+//! #[derive(Debug, PartialEq)]
+//! struct Point { x: f64, y: f64 }
+//! json_struct!(Point { x, y });
+//!
+//! let p = Point { x: 1.0, y: -2.5 };
+//! let text = p.to_json().to_string_compact();
+//! assert_eq!(text, r#"{"x":1,"y":-2.5}"#);
+//! let back = Point::from_json(&Json::parse(&text).unwrap()).unwrap();
+//! assert_eq!(back, p);
+//! ```
+
+#![warn(missing_docs)]
+
+use std::error::Error;
+use std::fmt;
+
+/// A parsed or constructed JSON value.
+///
+/// Objects are ordered lists of `(key, value)` pairs rather than maps: the
+/// writer emits fields in insertion order, which keeps serialized artifacts
+/// byte-stable across runs (a hard requirement for the serving runtime's
+/// determinism guarantee).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (stored as `f64`; integers are exact up to 2^53).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered fields.
+    Obj(Vec<(String, Json)>),
+}
+
+/// Error raised by parsing or by [`FromJson`] conversions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset in the input (0 for conversion errors).
+    pub offset: usize,
+}
+
+impl JsonError {
+    /// A conversion (non-parse) error.
+    pub fn msg(message: impl Into<String>) -> Self {
+        JsonError {
+            message: message.into(),
+            offset: 0,
+        }
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.offset > 0 {
+            write!(f, "{} at byte {}", self.message, self.offset)
+        } else {
+            write!(f, "{}", self.message)
+        }
+    }
+}
+
+impl Error for JsonError {}
+
+impl Json {
+    /// Builds an object from field pairs.
+    pub fn obj(fields: Vec<(&str, Json)>) -> Json {
+        Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// The value of field `name`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `self` is not an object or lacks the field.
+    pub fn field(&self, name: &str) -> Result<&Json, JsonError> {
+        match self {
+            Json::Obj(fields) => fields
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| JsonError::msg(format!("missing field `{name}`"))),
+            other => Err(JsonError::msg(format!(
+                "expected object with field `{name}`, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// The elements, if `self` is an array.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error otherwise.
+    pub fn elements(&self) -> Result<&[Json], JsonError> {
+        match self {
+            Json::Arr(items) => Ok(items),
+            other => Err(JsonError::msg(format!(
+                "expected array, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// The number, if `self` is one.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error otherwise.
+    pub fn number(&self) -> Result<f64, JsonError> {
+        match self {
+            Json::Num(n) => Ok(*n),
+            other => Err(JsonError::msg(format!(
+                "expected number, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// The string, if `self` is one.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error otherwise.
+    pub fn string(&self) -> Result<&str, JsonError> {
+        match self {
+            Json::Str(s) => Ok(s),
+            other => Err(JsonError::msg(format!(
+                "expected string, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Bool(_) => "bool",
+            Json::Num(_) => "number",
+            Json::Str(_) => "string",
+            Json::Arr(_) => "array",
+            Json::Obj(_) => "object",
+        }
+    }
+
+    /// Parses `text` as one JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] with the byte offset of the first problem.
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing data after JSON value"));
+        }
+        Ok(v)
+    }
+
+    /// Serializes without whitespace.
+    pub fn to_string_compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Serializes with two-space indentation (the `serde_json` pretty shape).
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => write_number(out, *n),
+            Json::Str(s) => write_string(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    item.write(out, indent, depth + 1);
+                }
+                newline_indent(out, indent, depth);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    write_string(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, depth + 1);
+                }
+                newline_indent(out, indent, depth);
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_string_compact())
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(w) = indent {
+        out.push('\n');
+        for _ in 0..depth * w {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_number(out: &mut String, n: f64) {
+    if !n.is_finite() {
+        // JSON has no NaN/inf; null is the least-bad representation.
+        out.push_str("null");
+    } else if n == n.trunc() && n.abs() < 9.0e15 {
+        let _ = fmt::write(out, format_args!("{}", n as i64));
+    } else {
+        // `{}` on f64 prints the shortest string that round-trips.
+        let _ = fmt::write(out, format_args!("{n}"));
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = fmt::write(out, format_args!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> JsonError {
+        JsonError {
+            message: message.to_string(),
+            offset: self.pos.max(1),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8, what: &str) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(what))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.eat(b'[', "expected `[`")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.eat(b'{', "expected `{`")?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':', "expected `:` after object key")?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.eat(b'"', "expected `\"`")?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: expect \uXXXX low half.
+                                if self.peek() == Some(b'\\') {
+                                    self.pos += 1;
+                                    self.eat(b'u', "expected low surrogate escape")?;
+                                    self.pos += 1;
+                                    self.pos -= 1; // eat consumed `u`
+                                    let lo = self.hex4()?;
+                                    let code = 0x10000
+                                        + ((hi - 0xD800) << 10)
+                                        + (lo.wrapping_sub(0xDC00) & 0x3FF);
+                                    char::from_u32(code)
+                                        .ok_or_else(|| self.err("invalid surrogate pair"))?
+                                } else {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                            } else {
+                                char::from_u32(hi).ok_or_else(|| self.err("invalid \\u escape"))?
+                            };
+                            out.push(c);
+                            continue;
+                        }
+                        _ => return Err(self.err("invalid escape sequence")),
+                    }
+                    self.pos += 1;
+                }
+                Some(b) if b < 0x20 => return Err(self.err("control character in string")),
+                Some(_) => {
+                    // Copy one UTF-8 scalar (input is &str, so it is valid).
+                    let rest = &self.bytes[self.pos..];
+                    let len = utf8_len(rest[0]);
+                    let s =
+                        std::str::from_utf8(&rest[..len]).map_err(|_| self.err("invalid UTF-8"))?;
+                    out.push_str(s);
+                    self.pos += len;
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let s = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| self.err("invalid \\u escape"))?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err("invalid number"))
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+/// Conversion into a [`Json`] tree.
+pub trait ToJson {
+    /// Builds the JSON representation of `self`.
+    fn to_json(&self) -> Json;
+}
+
+/// Conversion out of a [`Json`] tree.
+pub trait FromJson: Sized {
+    /// Reconstructs a value from its JSON representation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] describing the first mismatch.
+    fn from_json(json: &Json) -> Result<Self, JsonError>;
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl FromJson for Json {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(json.clone())
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl FromJson for bool {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        match json {
+            Json::Bool(b) => Ok(*b),
+            other => Err(JsonError::msg(format!(
+                "expected bool, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl FromJson for String {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        json.string().map(str::to_string)
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+macro_rules! impl_json_float {
+    ($($ty:ty),+) => {$(
+        impl ToJson for $ty {
+            fn to_json(&self) -> Json {
+                Json::Num(*self as f64)
+            }
+        }
+        impl FromJson for $ty {
+            fn from_json(json: &Json) -> Result<Self, JsonError> {
+                Ok(json.number()? as $ty)
+            }
+        }
+    )+};
+}
+
+impl_json_float!(f32, f64);
+
+macro_rules! impl_json_int {
+    ($($ty:ty),+) => {$(
+        impl ToJson for $ty {
+            fn to_json(&self) -> Json {
+                Json::Num(*self as f64)
+            }
+        }
+        impl FromJson for $ty {
+            fn from_json(json: &Json) -> Result<Self, JsonError> {
+                let n = json.number()?;
+                if n.trunc() != n {
+                    return Err(JsonError::msg(format!("expected integer, got {n}")));
+                }
+                if n < <$ty>::MIN as f64 || n > <$ty>::MAX as f64 {
+                    return Err(JsonError::msg(format!(
+                        "{n} out of range for {}", stringify!($ty)
+                    )));
+                }
+                Ok(n as $ty)
+            }
+        }
+    )+};
+}
+
+impl_json_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: FromJson> FromJson for Option<T> {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        match json {
+            Json::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        json.elements()?.iter().map(T::from_json).collect()
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<A: ToJson, B: ToJson> ToJson for (A, B) {
+    fn to_json(&self) -> Json {
+        Json::Arr(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+
+impl<A: FromJson, B: FromJson> FromJson for (A, B) {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        match json.elements()? {
+            [a, b] => Ok((A::from_json(a)?, B::from_json(b)?)),
+            other => Err(JsonError::msg(format!(
+                "expected 2-tuple, got {} items",
+                other.len()
+            ))),
+        }
+    }
+}
+
+impl<A: ToJson, B: ToJson, C: ToJson> ToJson for (A, B, C) {
+    fn to_json(&self) -> Json {
+        Json::Arr(vec![self.0.to_json(), self.1.to_json(), self.2.to_json()])
+    }
+}
+
+impl<A: FromJson, B: FromJson, C: FromJson> FromJson for (A, B, C) {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        match json.elements()? {
+            [a, b, c] => Ok((A::from_json(a)?, B::from_json(b)?, C::from_json(c)?)),
+            other => Err(JsonError::msg(format!(
+                "expected 3-tuple, got {} items",
+                other.len()
+            ))),
+        }
+    }
+}
+
+/// Serializes any [`ToJson`] value to a pretty string (the `serde_json::
+/// to_string_pretty` replacement).
+pub fn to_string_pretty<T: ToJson + ?Sized>(value: &T) -> String {
+    value.to_json().to_string_pretty()
+}
+
+/// Serializes any [`ToJson`] value to a compact string.
+pub fn to_string<T: ToJson + ?Sized>(value: &T) -> String {
+    value.to_json().to_string_compact()
+}
+
+/// Parses `text` and converts it into `T` (the `serde_json::from_str`
+/// replacement).
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] from either the parse or the conversion.
+pub fn from_str<T: FromJson>(text: &str) -> Result<T, JsonError> {
+    T::from_json(&Json::parse(text)?)
+}
+
+/// Implements [`ToJson`] and [`FromJson`] for a plain struct, serializing
+/// it as an object with one field per listed member (in order).
+///
+/// Must be invoked in a scope with access to the listed fields.
+#[macro_export]
+macro_rules! json_struct {
+    ($ty:ident { $($field:ident),+ $(,)? }) => {
+        impl $crate::ToJson for $ty {
+            fn to_json(&self) -> $crate::Json {
+                $crate::Json::Obj(vec![
+                    $((stringify!($field).to_string(), $crate::ToJson::to_json(&self.$field)),)+
+                ])
+            }
+        }
+        impl $crate::FromJson for $ty {
+            fn from_json(json: &$crate::Json) -> Result<Self, $crate::JsonError> {
+                Ok(Self {
+                    $($field: $crate::FromJson::from_json(json.field(stringify!($field))?)?,)+
+                })
+            }
+        }
+    };
+}
+
+/// Implements [`ToJson`] and [`FromJson`] for a C-like enum, serializing
+/// each variant as its name string (the serde externally-tagged shape for
+/// unit variants).
+#[macro_export]
+macro_rules! json_unit_enum {
+    ($ty:ident { $($variant:ident),+ $(,)? }) => {
+        impl $crate::ToJson for $ty {
+            fn to_json(&self) -> $crate::Json {
+                let name = match self {
+                    $($ty::$variant => stringify!($variant),)+
+                };
+                $crate::Json::Str(name.to_string())
+            }
+        }
+        impl $crate::FromJson for $ty {
+            fn from_json(json: &$crate::Json) -> Result<Self, $crate::JsonError> {
+                match json.string()? {
+                    $(s if s == stringify!($variant) => Ok($ty::$variant),)+
+                    other => Err($crate::JsonError::msg(format!(
+                        "unknown {} variant `{other}`", stringify!($ty)
+                    ))),
+                }
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrips() {
+        for text in ["null", "true", "false", "0", "-17", "3.25", "1e3", "\"hi\""] {
+            let v = Json::parse(text).unwrap();
+            let back = Json::parse(&v.to_string_compact()).unwrap();
+            assert_eq!(v, back, "{text}");
+        }
+    }
+
+    #[test]
+    fn nested_structure_roundtrips() {
+        let text = r#"{"a":[1,2,{"b":null}],"c":{"d":"x\ny","e":[true,false]}}"#;
+        let v = Json::parse(text).unwrap();
+        assert_eq!(v.to_string_compact(), text);
+    }
+
+    #[test]
+    fn pretty_matches_compact_semantically() {
+        let text = r#"{"a":[1,2],"b":{"c":"d"}}"#;
+        let v = Json::parse(text).unwrap();
+        let pretty = v.to_string_pretty();
+        assert!(pretty.contains("\n"));
+        assert_eq!(Json::parse(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let original = "quote\" slash\\ newline\n tab\t unicode\u{1F600} ctrl\u{1}";
+        let v = Json::Str(original.to_string());
+        let parsed = Json::parse(&v.to_string_compact()).unwrap();
+        assert_eq!(parsed, v);
+    }
+
+    #[test]
+    fn unicode_escape_parses() {
+        assert_eq!(Json::parse(r#""Aé""#).unwrap(), Json::Str("Aé".to_string()));
+        // Surrogate pair for U+1F600.
+        assert_eq!(
+            Json::parse(r#""😀""#).unwrap(),
+            Json::Str("\u{1F600}".to_string())
+        );
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        for text in [
+            "{not json",
+            "[1,2",
+            "\"open",
+            "01x",
+            "{\"a\":}",
+            "nul",
+            "[1,]",
+            "",
+        ] {
+            assert!(Json::parse(text).is_err(), "{text:?} should fail");
+        }
+    }
+
+    #[test]
+    fn trailing_data_is_rejected() {
+        assert!(Json::parse("1 2").is_err());
+        assert!(Json::parse("{} extra").is_err());
+    }
+
+    #[test]
+    fn integers_write_without_decimal_point() {
+        assert_eq!(Json::Num(5.0).to_string_compact(), "5");
+        assert_eq!(Json::Num(-2.5).to_string_compact(), "-2.5");
+        assert_eq!(Json::Num(f64::NAN).to_string_compact(), "null");
+    }
+
+    #[test]
+    fn float_roundtrip_is_exact() {
+        for x in [0.1, 1.0 / 3.0, 1e-300, 123456.789012345, f64::MAX] {
+            let text = Json::Num(x).to_string_compact();
+            let back = Json::parse(&text).unwrap().number().unwrap();
+            assert_eq!(back, x, "{text}");
+        }
+    }
+
+    #[test]
+    fn primitive_trait_roundtrips() {
+        let xs: Vec<(String, u32)> = vec![("a".into(), 1), ("b".into(), 2)];
+        let text = to_string(&xs);
+        let back: Vec<(String, u32)> = from_str(&text).unwrap();
+        assert_eq!(back, xs);
+
+        let opt: Option<f64> = None;
+        assert_eq!(to_string(&opt), "null");
+        let back: Option<f64> = from_str("2.5").unwrap();
+        assert_eq!(back, Some(2.5));
+    }
+
+    #[test]
+    fn integer_conversion_rejects_fractions_and_overflow() {
+        assert!(from_str::<u32>("1.5").is_err());
+        assert!(from_str::<u8>("300").is_err());
+        assert!(from_str::<u32>("-1").is_err());
+        assert_eq!(from_str::<i32>("-5").unwrap(), -5);
+    }
+
+    #[derive(Debug, PartialEq)]
+    struct Demo {
+        name: String,
+        count: usize,
+        ratio: Option<f64>,
+    }
+    json_struct!(Demo { name, count, ratio });
+
+    #[derive(Debug, PartialEq)]
+    enum Mode {
+        Fast,
+        Slow,
+    }
+    json_unit_enum!(Mode { Fast, Slow });
+
+    #[test]
+    fn struct_macro_roundtrips() {
+        let d = Demo {
+            name: "x".into(),
+            count: 3,
+            ratio: Some(0.5),
+        };
+        let text = to_string(&d);
+        assert_eq!(text, r#"{"name":"x","count":3,"ratio":0.5}"#);
+        assert_eq!(from_str::<Demo>(&text).unwrap(), d);
+        let none = Demo {
+            name: "y".into(),
+            count: 0,
+            ratio: None,
+        };
+        assert_eq!(from_str::<Demo>(&to_string(&none)).unwrap(), none);
+    }
+
+    #[test]
+    fn unit_enum_macro_roundtrips() {
+        assert_eq!(to_string(&Mode::Fast), r#""Fast""#);
+        assert_eq!(from_str::<Mode>(r#""Slow""#).unwrap(), Mode::Slow);
+        assert!(from_str::<Mode>(r#""Medium""#).is_err());
+    }
+
+    #[test]
+    fn missing_field_is_reported_by_name() {
+        let err = from_str::<Demo>(r#"{"name":"x","count":1}"#).unwrap_err();
+        assert!(err.message.contains("ratio"), "{err}");
+    }
+
+    #[test]
+    fn deep_nesting_is_bounded() {
+        let text = "[".repeat(1000) + &"]".repeat(1000);
+        assert!(Json::parse(&text).is_err());
+    }
+}

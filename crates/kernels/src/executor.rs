@@ -59,7 +59,11 @@ fn sliced_params(
             param_vec(key, ParamRole::Bias, out, fan_in),
         ),
         Some(v) => {
-            assert_eq!(v.len(), out, "param view width must match node output width");
+            assert_eq!(
+                v.len(),
+                out,
+                "param view width must match node output width"
+            );
             let full_w = param_vec(key, ParamRole::Weight, fan_in * v.orig_out, fan_in);
             let full_b = param_vec(key, ParamRole::Bias, v.orig_out, fan_in);
             let mut w = Vec::with_capacity(fan_in * out);
@@ -131,7 +135,8 @@ pub fn run_graph(graph: &Graph, inputs: &[Tensor]) -> Result<Vec<Tensor>, ExecEr
                     ops::conv2d(x, &w, &b, a)
                 } else {
                     let fan_in = a.kernel.h * a.kernel.w * ic;
-                    let (w, b) = sliced_params(key, fan_in, a.out_channels, node.param_view.as_ref());
+                    let (w, b) =
+                        sliced_params(key, fan_in, a.out_channels, node.param_view.as_ref());
                     ops::conv2d(x, &w, &b, a)
                 }
             }
@@ -168,9 +173,9 @@ pub fn run_graph(graph: &Graph, inputs: &[Tensor]) -> Result<Vec<Tensor>, ExecEr
         .outputs()
         .iter()
         .map(|v| {
-            env.get(v)
-                .cloned()
-                .ok_or_else(|| ExecError::Input(format!("output value #{} never computed", v.index())))
+            env.get(v).cloned().ok_or_else(|| {
+                ExecError::Input(format!("output value #{} never computed", v.index()))
+            })
         })
         .collect()
 }
@@ -178,8 +183,6 @@ pub fn run_graph(graph: &Graph, inputs: &[Tensor]) -> Result<Vec<Tensor>, ExecEr
 /// Generates deterministic input tensors for every graph input (values in
 /// `[-1, 1]` seeded by `seed`), for use in equivalence tests and examples.
 pub fn input_tensors(graph: &Graph, seed: u64) -> Vec<Tensor> {
-    use rand::rngs::SmallRng;
-    use rand::{Rng, SeedableRng};
     graph
         .inputs()
         .iter()
@@ -192,8 +195,9 @@ pub fn input_tensors(graph: &Graph, seed: u64) -> Vec<Tensor> {
                 .expect("graph inputs always carry shapes")
                 .shape
                 .clone();
-            let mut rng = SmallRng::seed_from_u64(seed.wrapping_add(i as u64 * 0x1234_5678));
-            Tensor::from_fn(shape, |_| rng.gen_range(-1.0..1.0))
+            let mut rng =
+                pimflow_rng::Rng::seed_from_u64(seed.wrapping_add(i as u64 * 0x1234_5678));
+            Tensor::from_fn(shape, |_| rng.range_f32(-1.0, 1.0))
         })
         .collect()
 }

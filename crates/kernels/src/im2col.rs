@@ -41,16 +41,33 @@ pub fn lowered_dims(input_shape: &Shape, attrs: &Conv2dAttrs) -> LoweredConv {
         input_shape.w(),
         input_shape.c(),
     );
-    let oh = pimflow_ir::shape_infer::conv_out_extent(h, attrs.kernel.h, attrs.stride.h, attrs.padding.h)
-        .expect("kernel must fit input height");
-    let ow = pimflow_ir::shape_infer::conv_out_extent(w, attrs.kernel.w, attrs.stride.w, attrs.padding.w)
-        .expect("kernel must fit input width");
+    let oh = pimflow_ir::shape_infer::conv_out_extent(
+        h,
+        attrs.kernel.h,
+        attrs.stride.h,
+        attrs.padding.h,
+    )
+    .expect("kernel must fit input height");
+    let ow = pimflow_ir::shape_infer::conv_out_extent(
+        w,
+        attrs.kernel.w,
+        attrs.stride.w,
+        attrs.padding.w,
+    )
+    .expect("kernel must fit input width");
     let k_spatial = attrs.kernel.h * attrs.kernel.w;
     LoweredConv {
         rows: n * oh * ow,
-        k_elems: if attrs.groups > 1 { k_spatial } else { k_spatial * c },
+        k_elems: if attrs.groups > 1 {
+            k_spatial
+        } else {
+            k_spatial * c
+        },
         out_channels: attrs.out_channels,
-        strided: !(attrs.kernel.h == 1 && attrs.kernel.w == 1 && attrs.padding.h == 0 && attrs.padding.w == 0),
+        strided: !(attrs.kernel.h == 1
+            && attrs.kernel.w == 1
+            && attrs.padding.h == 0
+            && attrs.padding.w == 0),
     }
 }
 
@@ -66,8 +83,20 @@ pub fn im2col(x: &Tensor, attrs: &Conv2dAttrs) -> Tensor {
     assert_eq!(x.shape().n(), 1, "im2col supports batch 1");
     let dims = lowered_dims(x.shape(), attrs);
     let (ih, iw, ic) = (x.shape().h(), x.shape().w(), x.shape().c());
-    let oh = pimflow_ir::shape_infer::conv_out_extent(ih, attrs.kernel.h, attrs.stride.h, attrs.padding.h).unwrap();
-    let ow = pimflow_ir::shape_infer::conv_out_extent(iw, attrs.kernel.w, attrs.stride.w, attrs.padding.w).unwrap();
+    let oh = pimflow_ir::shape_infer::conv_out_extent(
+        ih,
+        attrs.kernel.h,
+        attrs.stride.h,
+        attrs.padding.h,
+    )
+    .unwrap();
+    let ow = pimflow_ir::shape_infer::conv_out_extent(
+        iw,
+        attrs.kernel.w,
+        attrs.stride.w,
+        attrs.padding.w,
+    )
+    .unwrap();
     let mut m = Tensor::zeros(Shape::rf(dims.rows, dims.k_elems));
     let xd = x.data();
     let md = m.data_mut();
@@ -158,9 +187,13 @@ mod tests {
             padding: Hw::square(1),
             groups: 1,
         };
-        let x = Tensor::from_fn(Shape::nhwc(1, 9, 7, 3), |i| ((i * 31 + 7) % 17) as f32 * 0.1 - 0.8);
+        let x = Tensor::from_fn(Shape::nhwc(1, 9, 7, 3), |i| {
+            ((i * 31 + 7) % 17) as f32 * 0.1 - 0.8
+        });
         let k_elems = 3 * 3 * 3;
-        let w: Vec<f32> = (0..k_elems * 5).map(|i| ((i * 13 + 5) % 11) as f32 * 0.05 - 0.25).collect();
+        let w: Vec<f32> = (0..k_elems * 5)
+            .map(|i| ((i * 13 + 5) % 11) as f32 * 0.05 - 0.25)
+            .collect();
         let bias = vec![0.0; 5];
 
         let direct = conv2d(&x, &w, &bias, &attrs);

@@ -182,7 +182,11 @@ pub fn mul(a: &Tensor, b: &Tensor) -> Tensor {
     // Broadcast path: b is [N,1,1,C].
     assert_eq!(a.shape().rank(), 4, "broadcast mul needs NHWC");
     assert_eq!(b.shape().rank(), 4, "broadcast mul needs NHWC");
-    assert_eq!((b.shape().h(), b.shape().w()), (1, 1), "mul operand not broadcastable");
+    assert_eq!(
+        (b.shape().h(), b.shape().w()),
+        (1, 1),
+        "mul operand not broadcastable"
+    );
     assert_eq!(a.shape().c(), b.shape().c(), "mul channel mismatch");
     assert_eq!(a.shape().n(), b.shape().n(), "mul batch mismatch");
     let c = a.shape().c();
@@ -319,7 +323,10 @@ pub fn pad(x: &Tensor, attrs: &PadAttrs) -> Tensor {
 pub fn slice(x: &Tensor, attrs: &SliceAttrs) -> Tensor {
     let shape = x.shape();
     assert!(attrs.axis < shape.rank(), "slice axis out of range");
-    assert!(attrs.end <= shape.dim(attrs.axis) && !attrs.is_empty(), "invalid slice range");
+    assert!(
+        attrs.end <= shape.dim(attrs.axis) && !attrs.is_empty(),
+        "invalid slice range"
+    );
     let out_shape = shape.with_dim(attrs.axis, attrs.len());
     let mut out = Tensor::zeros(out_shape.clone());
     let mut idx = vec![0usize; shape.rank()];
@@ -432,7 +439,7 @@ mod tests {
             groups: 1,
         };
         let y = conv2d(&x, &w, &[1.0], &attrs);
-        let expect = 1.0 * 0.5 + 2.0 * -1.0 + 3.0 * 2.0 + 4.0 * 0.25 + 1.0;
+        let expect = 1.0 * 0.5 + -2.0 + 3.0 * 2.0 + 4.0 * 0.25 + 1.0;
         assert!((y.data()[0] - expect).abs() < 1e-6);
     }
 
@@ -478,8 +485,14 @@ mod tests {
     #[test]
     fn activations_clamp() {
         let x = Tensor::from_vec(Shape::rf(1, 3), vec![-1.0, 3.0, 9.0]);
-        assert_eq!(activation(&x, ActivationKind::Relu).data(), &[0.0, 3.0, 9.0]);
-        assert_eq!(activation(&x, ActivationKind::Relu6).data(), &[0.0, 3.0, 6.0]);
+        assert_eq!(
+            activation(&x, ActivationKind::Relu).data(),
+            &[0.0, 3.0, 9.0]
+        );
+        assert_eq!(
+            activation(&x, ActivationKind::Relu6).data(),
+            &[0.0, 3.0, 6.0]
+        );
     }
 
     #[test]
@@ -522,8 +535,22 @@ mod tests {
     #[test]
     fn slice_concat_roundtrip() {
         let x = seq_tensor(Shape::nhwc(1, 6, 2, 3));
-        let a = slice(&x, &SliceAttrs { axis: 1, begin: 0, end: 2 });
-        let b = slice(&x, &SliceAttrs { axis: 1, begin: 2, end: 6 });
+        let a = slice(
+            &x,
+            &SliceAttrs {
+                axis: 1,
+                begin: 0,
+                end: 2,
+            },
+        );
+        let b = slice(
+            &x,
+            &SliceAttrs {
+                axis: 1,
+                begin: 2,
+                end: 6,
+            },
+        );
         let y = concat(&[&a, &b], 1);
         assert!(y.allclose(&x, 0.0));
     }
@@ -531,9 +558,31 @@ mod tests {
     #[test]
     fn pad_then_slice_recovers_input() {
         let x = seq_tensor(Shape::nhwc(1, 3, 3, 2));
-        let p = pad(&x, &PadAttrs { top: 1, bottom: 2, left: 1, right: 1 });
-        let inner = slice(&p, &SliceAttrs { axis: 1, begin: 1, end: 4 });
-        let inner = slice(&inner, &SliceAttrs { axis: 2, begin: 1, end: 4 });
+        let p = pad(
+            &x,
+            &PadAttrs {
+                top: 1,
+                bottom: 2,
+                left: 1,
+                right: 1,
+            },
+        );
+        let inner = slice(
+            &p,
+            &SliceAttrs {
+                axis: 1,
+                begin: 1,
+                end: 4,
+            },
+        );
+        let inner = slice(
+            &inner,
+            &SliceAttrs {
+                axis: 2,
+                begin: 1,
+                end: 4,
+            },
+        );
         assert!(inner.allclose(&x, 0.0));
     }
 

@@ -6,8 +6,7 @@
 //! halves see identical filters — the property that makes "transformed graph
 //! ≡ original graph" testable numerically.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use pimflow_rng::Rng;
 
 /// Distinguishes the different parameter tensors of one node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,13 +42,13 @@ pub fn param_vec(key: u64, role: ParamRole, len: usize, fan_in: usize) -> Vec<f3
     let seed = key
         .wrapping_mul(0x9E37_79B9_7F4A_7C15)
         .wrapping_add(role.salt().wrapping_mul(0xD1B5_4A32_D192_ED03));
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let scale = 1.0 / ((fan_in as f32) + 1.0).sqrt();
     match role {
         // Batch-norm scale must stay away from zero to avoid collapsing
         // activations; draw from [0.5, 1.5].
-        ParamRole::BnScale => (0..len).map(|_| rng.gen_range(0.5..1.5)).collect(),
-        _ => (0..len).map(|_| rng.gen_range(-scale..scale)).collect(),
+        ParamRole::BnScale => (0..len).map(|_| rng.range_f32(0.5, 1.5)).collect(),
+        _ => (0..len).map(|_| rng.range_f32(-scale, scale)).collect(),
     }
 }
 
@@ -81,7 +80,7 @@ mod tests {
     #[test]
     fn bn_scale_is_positive() {
         for v in param_vec(7, ParamRole::BnScale, 64, 1) {
-            assert!(v >= 0.5 && v <= 1.5);
+            assert!((0.5..=1.5).contains(&v));
         }
     }
 

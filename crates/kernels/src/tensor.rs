@@ -28,7 +28,10 @@ impl Tensor {
     /// Creates a zero-filled tensor.
     pub fn zeros(shape: Shape) -> Self {
         let n = shape.numel();
-        Tensor { shape, data: vec![0.0; n] }
+        Tensor {
+            shape,
+            data: vec![0.0; n],
+        }
     }
 
     /// Creates a tensor from existing data.
@@ -49,7 +52,10 @@ impl Tensor {
     /// Creates a tensor by evaluating `f` at each linear index.
     pub fn from_fn(shape: Shape, f: impl FnMut(usize) -> f32) -> Self {
         let n = shape.numel();
-        Tensor { shape, data: (0..n).map(f).collect() }
+        Tensor {
+            shape,
+            data: (0..n).map(f).collect(),
+        }
     }
 
     /// The tensor's shape.
@@ -77,7 +83,10 @@ impl Tensor {
         let mut off = 0;
         for (axis, &i) in idx.iter().enumerate() {
             let extent = self.shape.dim(axis);
-            assert!(i < extent, "index {i} out of bounds for axis {axis} (extent {extent})");
+            assert!(
+                i < extent,
+                "index {i} out of bounds for axis {axis} (extent {extent})"
+            );
             off = off * extent + i;
         }
         off

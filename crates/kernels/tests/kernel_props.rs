@@ -1,33 +1,43 @@
 //! Property tests for the reference kernels: the convolution-lowering
-//! identity, data-movement roundtrips, and executor determinism.
+//! identity, data-movement roundtrips, and executor determinism. Cases are
+//! drawn from a seeded `pimflow-rng` generator (the workspace builds
+//! offline, so `proptest` is not available).
 
+use pimflow_ir::{Conv2dAttrs, Hw, PadAttrs, Shape, SliceAttrs};
 use pimflow_kernels::ops::{concat, conv2d, pad, slice};
 use pimflow_kernels::{gemm, im2col, Tensor};
-use pimflow_ir::{Conv2dAttrs, Hw, PadAttrs, Shape, SliceAttrs};
-use proptest::prelude::*;
+use pimflow_rng::Rng;
 
-fn arb_tensor(shape: Shape) -> impl Strategy<Value = Tensor> {
+const CASES: usize = 32;
+
+fn random_tensor(rng: &mut Rng, shape: Shape) -> Tensor {
     let n = shape.numel();
-    proptest::collection::vec(-2.0f32..2.0, n).prop_map(move |v| Tensor::from_vec(shape.clone(), v))
+    let data: Vec<f32> = (0..n).map(|_| rng.range_f32(-2.0, 2.0)).collect();
+    Tensor::from_vec(shape, data)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// The PIM mapping's foundation (§2.2): convolution lowering followed by
-    /// GEMM equals direct convolution, for arbitrary configurations.
-    #[test]
-    fn im2col_gemm_equals_direct_conv(
-        (h, w, ic, oc, k, s, p, x, wts) in (3usize..10, 3usize..10, 1usize..4, 1usize..5,
-            prop_oneof![Just(1usize), Just(2), Just(3)], 1usize..3, 0usize..2)
-            .prop_flat_map(|(h, w, ic, oc, k, s, p)| {
-                let x = arb_tensor(Shape::nhwc(1, h, w, ic));
-                let wts = proptest::collection::vec(-1.0f32..1.0, k * k * ic * oc);
-                (Just(h), Just(w), Just(ic), Just(oc), Just(k), Just(s), Just(p), x, wts)
-            })
-            .prop_map(|(h, w, ic, oc, k, s, p, x, wts)| (h, w, ic, oc, k, s, p, x, wts)),
-    ) {
-        prop_assume!(h + 2 * p >= k && w + 2 * p >= k);
+/// The PIM mapping's foundation (§2.2): convolution lowering followed by
+/// GEMM equals direct convolution, for arbitrary configurations.
+#[test]
+fn im2col_gemm_equals_direct_conv() {
+    let mut rng = Rng::seed_from_u64(0x6e57_0001);
+    let mut checked = 0;
+    while checked < CASES {
+        let h = rng.range_usize(3, 10);
+        let w = rng.range_usize(3, 10);
+        let ic = rng.range_usize(1, 4);
+        let oc = rng.range_usize(1, 5);
+        let k = rng.range_usize(1, 4);
+        let s = rng.range_usize(1, 3);
+        let p = rng.range_usize(0, 2);
+        if h + 2 * p < k || w + 2 * p < k {
+            continue;
+        }
+        checked += 1;
+        let x = random_tensor(&mut rng, Shape::nhwc(1, h, w, ic));
+        let wts: Vec<f32> = (0..k * k * ic * oc)
+            .map(|_| rng.range_f32(-1.0, 1.0))
+            .collect();
         let attrs = Conv2dAttrs {
             out_channels: oc,
             kernel: Hw::square(k),
@@ -42,40 +52,66 @@ proptest! {
         let via_gemm = gemm(&lowered, &w_mat);
         let rows = direct.shape().h() * direct.shape().w();
         let direct2 = Tensor::from_vec(Shape::rf(rows, oc), direct.data().to_vec());
-        prop_assert!(via_gemm.allclose(&direct2, 1e-3),
-            "diff {}", via_gemm.max_abs_diff(&direct2));
+        assert!(
+            via_gemm.allclose(&direct2, 1e-3),
+            "diff {}",
+            via_gemm.max_abs_diff(&direct2)
+        );
     }
+}
 
-    /// Slicing a tensor along H into two parts and concatenating restores
-    /// the original exactly.
-    #[test]
-    fn slice_concat_data_roundtrip(
-        (h, w, c, cut, x) in (2usize..10, 1usize..6, 1usize..5)
-            .prop_flat_map(|(h, w, c)| {
-                let x = arb_tensor(Shape::nhwc(1, h, w, c));
-                (Just(h), Just(w), Just(c), 1usize..1000, x)
-            })
-            .prop_map(|(h, w, c, cut, x)| (h, w, c, 1 + cut % (h - 1).max(1), x)),
-    ) {
-        let _ = (w, c);
-        let a = slice(&x, &SliceAttrs { axis: 1, begin: 0, end: cut });
-        let b = slice(&x, &SliceAttrs { axis: 1, begin: cut, end: h });
+/// Slicing a tensor along H into two parts and concatenating restores
+/// the original exactly.
+#[test]
+fn slice_concat_data_roundtrip() {
+    let mut rng = Rng::seed_from_u64(0x6e57_0002);
+    for _ in 0..CASES {
+        let h = rng.range_usize(2, 10);
+        let w = rng.range_usize(1, 6);
+        let c = rng.range_usize(1, 5);
+        let cut = 1 + rng.range_usize(1, 1000) % (h - 1).max(1);
+        let x = random_tensor(&mut rng, Shape::nhwc(1, h, w, c));
+        let a = slice(
+            &x,
+            &SliceAttrs {
+                axis: 1,
+                begin: 0,
+                end: cut,
+            },
+        );
+        let b = slice(
+            &x,
+            &SliceAttrs {
+                axis: 1,
+                begin: cut,
+                end: h,
+            },
+        );
         let y = concat(&[&a, &b], 1);
-        prop_assert!(y.allclose(&x, 0.0));
+        assert!(y.allclose(&x, 0.0));
     }
+}
 
-    /// Padding then slicing the interior recovers the input exactly, and
-    /// padded borders are zero.
-    #[test]
-    fn pad_slice_recovery(
-        (h, w, c, t, bm, l, r, x) in (2usize..8, 2usize..8, 1usize..4, 0usize..3, 0usize..3, 0usize..3, 0usize..3)
-            .prop_flat_map(|(h, w, c, t, bm, l, r)| {
-                let x = arb_tensor(Shape::nhwc(1, h, w, c));
-                (Just(h), Just(w), Just(c), Just(t), Just(bm), Just(l), Just(r), x)
-            }),
-    ) {
-        let _ = c;
-        let attrs = PadAttrs { top: t, bottom: bm, left: l, right: r };
+/// Padding then slicing the interior recovers the input exactly, and
+/// padded borders are zero.
+#[test]
+fn pad_slice_recovery() {
+    let mut rng = Rng::seed_from_u64(0x6e57_0003);
+    for _ in 0..CASES {
+        let h = rng.range_usize(2, 8);
+        let w = rng.range_usize(2, 8);
+        let c = rng.range_usize(1, 4);
+        let t = rng.range_usize(0, 3);
+        let bm = rng.range_usize(0, 3);
+        let l = rng.range_usize(0, 3);
+        let r = rng.range_usize(0, 3);
+        let x = random_tensor(&mut rng, Shape::nhwc(1, h, w, c));
+        let attrs = PadAttrs {
+            top: t,
+            bottom: bm,
+            left: l,
+            right: r,
+        };
         let padded = pad(&x, &attrs);
         // Border sums must be zero.
         let mut border_sum = 0.0f32;
@@ -89,18 +125,36 @@ proptest! {
                 }
             }
         }
-        prop_assert_eq!(border_sum, 0.0);
+        assert_eq!(border_sum, 0.0);
         // Interior recovers input.
-        let inner = slice(&padded, &SliceAttrs { axis: 1, begin: t, end: t + h });
-        let inner = slice(&inner, &SliceAttrs { axis: 2, begin: l, end: l + w });
-        prop_assert!(inner.allclose(&x, 0.0));
+        let inner = slice(
+            &padded,
+            &SliceAttrs {
+                axis: 1,
+                begin: t,
+                end: t + h,
+            },
+        );
+        let inner = slice(
+            &inner,
+            &SliceAttrs {
+                axis: 2,
+                begin: l,
+                end: l + w,
+            },
+        );
+        assert!(inner.allclose(&x, 0.0));
     }
+}
 
-    /// Depthwise convolution treats channels independently: permuting a
-    /// single-pixel input's channels permutes the output identically.
-    #[test]
-    fn depthwise_is_channelwise(vals in proptest::collection::vec(-2.0f32..2.0, 4)) {
-        let c = vals.len();
+/// Depthwise convolution treats channels independently: scaling each
+/// channel by its own filter weight.
+#[test]
+fn depthwise_is_channelwise() {
+    let mut rng = Rng::seed_from_u64(0x6e57_0004);
+    for _ in 0..CASES {
+        let c = 4;
+        let vals: Vec<f32> = (0..c).map(|_| rng.range_f32(-2.0, 2.0)).collect();
         let attrs = Conv2dAttrs {
             out_channels: c,
             kernel: Hw::square(1),
@@ -112,8 +166,8 @@ proptest! {
         let bias = vec![0.0; c];
         let x = Tensor::from_vec(Shape::nhwc(1, 1, 1, c), vals.clone());
         let y = conv2d(&x, &weights, &bias, &attrs);
-        for i in 0..c {
-            prop_assert!((y.data()[i] - vals[i] * (i + 1) as f32).abs() < 1e-6);
+        for (i, (&out, &v)) in y.data().iter().zip(&vals).enumerate() {
+            assert!((out - v * (i + 1) as f32).abs() < 1e-6);
         }
     }
 }

@@ -8,14 +8,12 @@
 //! behaviour), strided GWRITE, and the latency-hiding overlap handled by the
 //! timing engine.
 
-use serde::{Deserialize, Serialize};
-
 /// A single PIM (or interleaved GPU) command on one channel.
 ///
 /// `Comp` is run-length encoded: `repeat` consecutive COMP issues at `tCCD`
 /// spacing. The timing engine's fast path is exact with respect to the
 /// expanded form (see `timing::tests::rle_matches_expanded`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PimCommand {
     /// Push `bytes` of input data into global buffer `buffer`.
     Gwrite {
@@ -62,7 +60,7 @@ pub enum PimCommand {
 /// them (whole or split) across PIM channels; the timing engine expands each
 /// block into the canonical `GWRITE* G_ACT (COMP*)* READRES` sequence
 /// (§4.1's "GWRITE-G_ACT-COMP-READRES" order).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CommandBlock {
     /// Input rows processed by this block (each occupies one global buffer;
     /// at most [`crate::PimConfig::num_global_buffers`]).
@@ -106,7 +104,9 @@ impl CommandBlock {
     /// input row.
     pub fn expand(&self) -> Vec<PimCommand> {
         let mut out = Vec::with_capacity(
-            self.total_gwrites() as usize + self.gacts as usize * (1 + self.buffer_rows as usize) + 1,
+            self.total_gwrites() as usize
+                + self.gacts as usize * (1 + self.buffer_rows as usize)
+                + 1,
         );
         for row in 0..self.buffer_rows {
             for _ in 0..self.gwrites_per_row {
@@ -117,9 +117,14 @@ impl CommandBlock {
             }
         }
         for a in 0..self.gacts {
-            out.push(PimCommand::GAct { row: self.row_base + a });
+            out.push(PimCommand::GAct {
+                row: self.row_base + a,
+            });
             for row in 0..self.buffer_rows {
-                out.push(PimCommand::Comp { buffer: row, repeat: self.comps_per_gact });
+                out.push(PimCommand::Comp {
+                    buffer: row,
+                    repeat: self.comps_per_gact,
+                });
             }
         }
         out.push(PimCommand::ReadRes {
@@ -153,9 +158,18 @@ mod tests {
         assert!(matches!(cmds[0], PimCommand::Gwrite { buffer: 0, .. }));
         assert!(matches!(cmds[3], PimCommand::Gwrite { buffer: 3, .. }));
         assert!(matches!(cmds[4], PimCommand::GAct { row: 0 }));
-        assert!(matches!(cmds[5], PimCommand::Comp { buffer: 0, repeat: 8 }));
+        assert!(matches!(
+            cmds[5],
+            PimCommand::Comp {
+                buffer: 0,
+                repeat: 8
+            }
+        ));
         assert!(matches!(cmds[9], PimCommand::GAct { row: 1 }));
-        assert!(matches!(cmds.last(), Some(PimCommand::ReadRes { bytes: 128 })));
+        assert!(matches!(
+            cmds.last(),
+            Some(PimCommand::ReadRes { bytes: 128 })
+        ));
     }
 
     #[test]

@@ -8,10 +8,8 @@
 //! `{tCCD, tRCDRD, tRCDWR, tCL, tRTP, tRAS}`, which matches both the values
 //! and Newton's usage, and document the interpretation here.
 
-use serde::{Deserialize, Serialize};
-
 /// DRAM timing parameters, in command-clock cycles (Table 1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DramTiming {
     /// Column-to-column delay: minimum spacing of consecutive column
     /// operations (COMP issues at this rate).
@@ -64,7 +62,7 @@ impl DramTiming {
 }
 
 /// Per-channel PIM hardware configuration (Table 1).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PimConfig {
     /// DRAM timing parameters.
     pub timing: DramTiming,
@@ -144,7 +142,10 @@ impl PimConfig {
     /// functions \[38] — offloaded layers return *activated* results, so no
     /// GPU epilogue kernel is needed. Used by the extension ablation.
     pub fn aim_like() -> Self {
-        PimConfig { activation_in_pim: true, ..PimConfig::default() }
+        PimConfig {
+            activation_in_pim: true,
+            ..PimConfig::default()
+        }
     }
 
     /// An HBM-PIM-like substrate (Samsung Aquabolt-XL \[37]): HBM2 pseudo
@@ -213,7 +214,7 @@ impl PimConfig {
         if self.banks == 0 {
             return Err("banks must be > 0".into());
         }
-        if self.multipliers_per_bank == 0 || self.column_io_bits % 16 != 0 {
+        if self.multipliers_per_bank == 0 || !self.column_io_bits.is_multiple_of(16) {
             return Err("column I/O must feed whole f16 lanes".into());
         }
         if self.multipliers_per_bank != self.elems_per_column_io() {
@@ -246,7 +247,10 @@ mod tests {
     #[test]
     fn table1_values() {
         let t = DramTiming::default();
-        assert_eq!((t.t_ccd, t.t_rcd_rd, t.t_rcd_wr, t.t_cl, t.t_rtp, t.t_ras), (2, 11, 11, 11, 2, 25));
+        assert_eq!(
+            (t.t_ccd, t.t_rcd_rd, t.t_rcd_wr, t.t_cl, t.t_rtp, t.t_ras),
+            (2, 11, 11, 11, 2, 25)
+        );
         assert_eq!(t.t_rc(), 36);
         // Refresh overhead must stay a single-digit percentage.
         assert!((t.t_rfc as f64 / t.t_refi as f64) < 0.10);
@@ -288,11 +292,16 @@ mod tests {
 
     #[test]
     fn validate_catches_broken_configs() {
-        let mut c = PimConfig::default();
-        c.banks = 0;
+        let c = PimConfig {
+            banks: 0,
+            ..PimConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = PimConfig::default();
-        c.multipliers_per_bank = 8; // mismatched with 256-bit column I/O
+        // Mismatched with 256-bit column I/O.
+        let c = PimConfig {
+            multipliers_per_bank: 8,
+            ..PimConfig::default()
+        };
         assert!(c.validate().is_err());
         let mut c = PimConfig::default();
         c.timing.t_rfc = c.timing.t_refi;

@@ -9,10 +9,9 @@
 
 use crate::config::PimConfig;
 use crate::timing::ChannelStats;
-use serde::{Deserialize, Serialize};
 
 /// Per-event energy constants (nanojoules).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PimEnergyParams {
     /// Energy of one G_ACT (row activation across all banks of a channel).
     pub gact_nj: f64,
@@ -40,7 +39,7 @@ impl Default for PimEnergyParams {
 }
 
 /// Component-wise PIM energy of one channel-merged execution, nanojoules.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct PimEnergyBreakdown {
     /// Row-activation energy (G_ACTs).
     pub activation_nj: f64,
@@ -114,7 +113,12 @@ mod tests {
 
     #[test]
     fn energy_is_positive_and_finite() {
-        let e = pim_energy_nj(&stats(10, 10), &PimConfig::default(), &PimEnergyParams::default(), 1);
+        let e = pim_energy_nj(
+            &stats(10, 10),
+            &PimConfig::default(),
+            &PimEnergyParams::default(),
+            1,
+        );
         assert!(e.is_finite() && e > 0.0);
     }
 
@@ -132,7 +136,10 @@ mod tests {
     fn static_term_scales_with_channels() {
         let cfg = PimConfig::default();
         let p = PimEnergyParams::default();
-        let s = ChannelStats { cycles: 1_000_000, ..ChannelStats::default() };
+        let s = ChannelStats {
+            cycles: 1_000_000,
+            ..ChannelStats::default()
+        };
         let one = pim_energy_nj(&s, &cfg, &p, 1);
         let sixteen = pim_energy_nj(&s, &cfg, &p, 16);
         assert!(sixteen > 10.0 * one);

@@ -53,8 +53,7 @@ pub use memsys::MemorySystem;
 pub use scheduler::{
     estimate_block_cycles, schedule, schedule_refined, split_for_channels, ScheduleGranularity,
 };
-pub use timing::{run_channels, ChannelEngine, ChannelStats};
+pub use timing::{run_channels, run_channels_each, ChannelEngine, ChannelStats};
 pub use trace::{
-    command_to_line, parse_traces, traces_to_text, validate_trace, ParseTraceError,
-    TraceViolation,
+    command_to_line, parse_traces, traces_to_text, validate_trace, ParseTraceError, TraceViolation,
 };

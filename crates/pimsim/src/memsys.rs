@@ -11,10 +11,9 @@ use crate::command::{CommandBlock, PimCommand};
 use crate::config::PimConfig;
 use crate::scheduler::{schedule, ScheduleGranularity};
 use crate::timing::{run_channels, ChannelStats};
-use serde::{Deserialize, Serialize};
 
 /// A GPU memory with a contiguous subset of PIM-enabled channels.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MemorySystem {
     /// Channels serving the GPU as ordinary DRAM.
     pub gpu_channels: usize,
@@ -44,11 +43,7 @@ impl MemorySystem {
     ///
     /// Returns a description if the configuration is inconsistent (no PIM
     /// channels, or an invalid per-channel config).
-    pub fn new(
-        gpu_channels: usize,
-        pim_channels: usize,
-        cfg: PimConfig,
-    ) -> Result<Self, String> {
+    pub fn new(gpu_channels: usize, pim_channels: usize, cfg: PimConfig) -> Result<Self, String> {
         if pim_channels == 0 {
             return Err("a PIM memory system needs at least one PIM channel".into());
         }
@@ -150,8 +145,10 @@ mod tests {
 
     #[test]
     fn invalid_channel_config_rejected() {
-        let mut cfg = PimConfig::default();
-        cfg.banks = 0;
+        let cfg = PimConfig {
+            banks: 0,
+            ..PimConfig::default()
+        };
         assert!(MemorySystem::new(16, 16, cfg).is_err());
     }
 
@@ -159,8 +156,7 @@ mod tests {
     fn layer_runs_and_contention_is_small() {
         let m = MemorySystem::pimflow_default();
         let clean = m.run_layer(&blocks(), ScheduleGranularity::Comp);
-        let noisy =
-            m.run_layer_with_gpu_traffic(&blocks(), ScheduleGranularity::Comp, 512, 64);
+        let noisy = m.run_layer_with_gpu_traffic(&blocks(), ScheduleGranularity::Comp, 512, 64);
         assert!(noisy.cycles >= clean.cycles);
         let slowdown = noisy.cycles as f64 / clean.cycles as f64 - 1.0;
         assert!(slowdown < 0.05, "contention slowdown {slowdown}");

@@ -19,10 +19,9 @@
 
 use crate::command::{CommandBlock, PimCommand};
 use crate::config::PimConfig;
-use serde::{Deserialize, Serialize};
 
 /// How finely blocks may be split across channels.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ScheduleGranularity {
     /// Whole blocks (coarsest, Fig. 6 (1)).
     GAct,
@@ -54,8 +53,8 @@ pub fn estimate_block_cycles(b: &CommandBlock, cfg: &PimConfig) -> u64 {
     };
     let act = b.gacts as u64 * (t.t_rcd_rd as u64).max(t.t_rc() as u64 / 2);
     let comp = b.total_comps() * t.t_ccd as u64;
-    let read =
-        t.t_cl as u64 + (b.readres_bytes as u64 * b.buffer_rows as u64).div_ceil(cfg.io_bytes_per_cycle as u64);
+    let read = t.t_cl as u64
+        + (b.readres_bytes as u64 * b.buffer_rows as u64).div_ceil(cfg.io_bytes_per_cycle as u64);
     gwrite + act + comp + read
 }
 
@@ -67,7 +66,10 @@ fn split_output_columns(block: &CommandBlock, factor: u32) -> Vec<CommandBlock> 
     if factor <= 1 {
         return vec![*block];
     }
-    let factor = factor.min(block.oc_splits as u32).min(block.gacts.max(1)).max(1);
+    let factor = factor
+        .min(block.oc_splits as u32)
+        .min(block.gacts.max(1))
+        .max(1);
     let base_gacts = block.gacts / factor;
     let extra = block.gacts % factor;
     let mut parts = Vec::with_capacity(factor as usize);
@@ -170,7 +172,9 @@ pub fn schedule(
     let mut loads = vec![0u64; channels];
     let mut assignment: Vec<Vec<usize>> = vec![Vec::new(); channels];
     for i in order {
-        let ch = (0..channels).min_by_key(|&c| loads[c]).expect("channels > 0");
+        let ch = (0..channels)
+            .min_by_key(|&c| loads[c])
+            .expect("channels > 0");
         loads[ch] += estimate_block_cycles(&units[i], cfg);
         assignment[ch].push(i);
     }
@@ -218,7 +222,9 @@ pub fn schedule_refined(
     {
         let mut loads = vec![0u64; channels];
         for i in order {
-            let ch = (0..channels).min_by_key(|&c| loads[c]).expect("channels > 0");
+            let ch = (0..channels)
+                .min_by_key(|&c| loads[c])
+                .expect("channels > 0");
             loads[ch] += estimate_block_cycles(&units[i], cfg);
             assignment[ch].push(i);
         }
@@ -234,13 +240,19 @@ pub fn schedule_refined(
         trace
     };
     let measure = |idxs: &[usize]| -> u64 {
-        crate::timing::ChannelEngine::new(*cfg).run(&expand_channel(idxs)).cycles
+        crate::timing::ChannelEngine::new(*cfg)
+            .run(&expand_channel(idxs))
+            .cycles
     };
 
     let mut cycles: Vec<u64> = assignment.iter().map(|a| measure(a)).collect();
     for _ in 0..max_rounds {
-        let slow = (0..channels).max_by_key(|&c| cycles[c]).expect("channels > 0");
-        let fast = (0..channels).min_by_key(|&c| cycles[c]).expect("channels > 0");
+        let slow = (0..channels)
+            .max_by_key(|&c| cycles[c])
+            .expect("channels > 0");
+        let fast = (0..channels)
+            .min_by_key(|&c| cycles[c])
+            .expect("channels > 0");
         if slow == fast || assignment[slow].len() <= 1 {
             break;
         }
@@ -328,7 +340,11 @@ mod tests {
         let cfg = PimConfig::default();
         let blocks = vec![small_layer_block()];
         let mut prev = u64::MAX;
-        for g in [ScheduleGranularity::GAct, ScheduleGranularity::ReadRes, ScheduleGranularity::Comp] {
+        for g in [
+            ScheduleGranularity::GAct,
+            ScheduleGranularity::ReadRes,
+            ScheduleGranularity::Comp,
+        ] {
             let traces = schedule(&blocks, 8, g, &cfg);
             let cycles = run_channels(&cfg, &traces).cycles;
             assert!(
@@ -400,7 +416,10 @@ mod tests {
             });
         }
         for ch in [3usize, 7, 16] {
-            let lpt = run_channels(&cfg, &schedule(&blocks, ch, ScheduleGranularity::GAct, &cfg));
+            let lpt = run_channels(
+                &cfg,
+                &schedule(&blocks, ch, ScheduleGranularity::GAct, &cfg),
+            );
             let refined = run_channels(
                 &cfg,
                 &schedule_refined(&blocks, ch, ScheduleGranularity::GAct, &cfg, 32),

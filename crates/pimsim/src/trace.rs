@@ -35,7 +35,11 @@ pub struct ParseTraceError {
 
 impl fmt::Display for ParseTraceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "trace parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "trace parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -111,7 +115,10 @@ pub fn parse_traces(text: &str) -> Result<Vec<Vec<PimCommand>>, ParseTraceError>
             "GWRITE" => {
                 let buf = parse_field(parts.next().unwrap_or(""), "buf", line_no)?;
                 let bytes = parse_field(parts.next().unwrap_or(""), "bytes", line_no)?;
-                PimCommand::Gwrite { buffer: buf as u8, bytes: bytes as u32 }
+                PimCommand::Gwrite {
+                    buffer: buf as u8,
+                    bytes: bytes as u32,
+                }
             }
             "GACT" => {
                 let row = parse_field(parts.next().unwrap_or(""), "row", line_no)?;
@@ -120,15 +127,22 @@ pub fn parse_traces(text: &str) -> Result<Vec<Vec<PimCommand>>, ParseTraceError>
             "COMP" => {
                 let buf = parse_field(parts.next().unwrap_or(""), "buf", line_no)?;
                 let repeat = parse_field(parts.next().unwrap_or(""), "repeat", line_no)?;
-                PimCommand::Comp { buffer: buf as u8, repeat: repeat as u32 }
+                PimCommand::Comp {
+                    buffer: buf as u8,
+                    repeat: repeat as u32,
+                }
             }
             "READRES" => {
                 let bytes = parse_field(parts.next().unwrap_or(""), "bytes", line_no)?;
-                PimCommand::ReadRes { bytes: bytes as u32 }
+                PimCommand::ReadRes {
+                    bytes: bytes as u32,
+                }
             }
             "GPUBURST" => {
                 let bytes = parse_field(parts.next().unwrap_or(""), "bytes", line_no)?;
-                PimCommand::GpuBurst { bytes: bytes as u32 }
+                PimCommand::GpuBurst {
+                    bytes: bytes as u32,
+                }
             }
             other => {
                 return Err(ParseTraceError {
@@ -138,7 +152,10 @@ pub fn parse_traces(text: &str) -> Result<Vec<Vec<PimCommand>>, ParseTraceError>
             }
         };
         if parts.next().is_some() {
-            return Err(ParseTraceError { line: line_no, message: "trailing tokens".into() });
+            return Err(ParseTraceError {
+                line: line_no,
+                message: "trailing tokens".into(),
+            });
         }
         current.push(cmd);
     }
@@ -191,13 +208,19 @@ impl fmt::Display for TraceViolation {
                 write!(f, "command {index}: COMP before any G_ACT")
             }
             TraceViolation::CompFromEmptyBuffer { index, buffer } => {
-                write!(f, "command {index}: COMP reads never-written buffer {buffer}")
+                write!(
+                    f,
+                    "command {index}: COMP reads never-written buffer {buffer}"
+                )
             }
             TraceViolation::ReadResBeforeComp { index } => {
                 write!(f, "command {index}: READRES before any COMP")
             }
             TraceViolation::GwriteOverflow { index, bytes } => {
-                write!(f, "command {index}: GWRITE of {bytes} B overflows the global buffer")
+                write!(
+                    f,
+                    "command {index}: GWRITE of {bytes} B overflows the global buffer"
+                )
             }
         }
     }
@@ -264,9 +287,15 @@ mod tests {
     fn sample() -> Vec<Vec<PimCommand>> {
         vec![
             vec![
-                PimCommand::Gwrite { buffer: 0, bytes: 128 },
+                PimCommand::Gwrite {
+                    buffer: 0,
+                    bytes: 128,
+                },
                 PimCommand::GAct { row: 3 },
-                PimCommand::Comp { buffer: 0, repeat: 16 },
+                PimCommand::Comp {
+                    buffer: 0,
+                    repeat: 16,
+                },
                 PimCommand::ReadRes { bytes: 64 },
             ],
             vec![PimCommand::GpuBurst { bytes: 512 }],
@@ -327,14 +356,20 @@ mod tests {
     #[test]
     fn validator_rejects_protocol_violations() {
         let cfg = crate::config::PimConfig::default();
-        let comp_first = vec![PimCommand::Comp { buffer: 0, repeat: 1 }];
+        let comp_first = vec![PimCommand::Comp {
+            buffer: 0,
+            repeat: 1,
+        }];
         assert!(matches!(
             validate_trace(&comp_first, &cfg),
             Err(TraceViolation::CompBeforeActivate { .. })
         ));
         let unwritten = vec![
             PimCommand::GAct { row: 0 },
-            PimCommand::Comp { buffer: 0, repeat: 1 },
+            PimCommand::Comp {
+                buffer: 0,
+                repeat: 1,
+            },
         ];
         assert!(matches!(
             validate_trace(&unwritten, &cfg),
@@ -345,12 +380,18 @@ mod tests {
             validate_trace(&read_first, &cfg),
             Err(TraceViolation::ReadResBeforeComp { .. })
         ));
-        let overflow = vec![PimCommand::Gwrite { buffer: 0, bytes: 1 << 20 }];
+        let overflow = vec![PimCommand::Gwrite {
+            buffer: 0,
+            bytes: 1 << 20,
+        }];
         assert!(matches!(
             validate_trace(&overflow, &cfg),
             Err(TraceViolation::GwriteOverflow { .. })
         ));
-        let bad_buffer = vec![PimCommand::Gwrite { buffer: 200, bytes: 8 }];
+        let bad_buffer = vec![PimCommand::Gwrite {
+            buffer: 200,
+            bytes: 8,
+        }];
         assert!(matches!(
             validate_trace(&bad_buffer, &cfg),
             Err(TraceViolation::BufferOutOfRange { .. })

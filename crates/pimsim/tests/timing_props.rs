@@ -1,122 +1,163 @@
-//! Property tests for the DRAM-PIM timing engine and scheduler.
+//! Property tests for the DRAM-PIM timing engine and scheduler, driven by
+//! seeded random cases from `pimflow-rng` (the workspace builds offline, so
+//! `proptest` is not available).
 
 use pimflow_pimsim::{
-    run_channels, schedule, ChannelEngine, CommandBlock, PimCommand, PimConfig,
-    ScheduleGranularity,
+    run_channels, schedule, ChannelEngine, CommandBlock, PimCommand, PimConfig, ScheduleGranularity,
 };
-use proptest::prelude::*;
+use pimflow_rng::Rng;
 
-fn arb_block() -> impl Strategy<Value = CommandBlock> {
-    (
-        1u8..5,
-        1u32..4096,
-        1u16..4,
-        1u32..40,
-        1u32..33,
-        1u32..2048,
-        1u16..17,
-    )
-        .prop_map(|(rows, gw_bytes, gw_per_row, gacts, comps, rr, ocs)| CommandBlock {
-            buffer_rows: rows,
-            gwrite_bytes: gw_bytes,
-            gwrites_per_row: gw_per_row,
-            gacts,
-            comps_per_gact: comps,
-            readres_bytes: rr,
-            oc_splits: ocs,
-            row_base: 0,
-        })
+const CASES: usize = 64;
+
+fn random_block(rng: &mut Rng) -> CommandBlock {
+    CommandBlock {
+        buffer_rows: rng.range_u32(1, 5) as u8,
+        gwrite_bytes: rng.range_u32(1, 4096),
+        gwrites_per_row: rng.range_u32(1, 4) as u16,
+        gacts: rng.range_u32(1, 40),
+        comps_per_gact: rng.range_u32(1, 33),
+        readres_bytes: rng.range_u32(1, 2048),
+        oc_splits: rng.range_u32(1, 17) as u16,
+        row_base: 0,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Run-length-encoded COMP bursts are cycle-exact with their expansion,
-    /// for arbitrary traces.
-    #[test]
-    fn rle_comp_is_exact(repeats in proptest::collection::vec(1u32..50, 1..10)) {
+/// Run-length-encoded COMP bursts are cycle-exact with their expansion,
+/// for arbitrary traces.
+#[test]
+fn rle_comp_is_exact() {
+    let mut rng = Rng::seed_from_u64(0x7151_0001);
+    for _ in 0..CASES {
+        let repeats: Vec<u32> = (0..rng.range_usize(1, 10))
+            .map(|_| rng.range_u32(1, 50))
+            .collect();
         let cfg = PimConfig::default();
-        let mut rle = vec![PimCommand::Gwrite { buffer: 0, bytes: 128 }, PimCommand::GAct { row: 0 }];
+        let mut rle = vec![
+            PimCommand::Gwrite {
+                buffer: 0,
+                bytes: 128,
+            },
+            PimCommand::GAct { row: 0 },
+        ];
         let mut expanded = rle.clone();
         for &r in &repeats {
-            rle.push(PimCommand::Comp { buffer: 0, repeat: r });
+            rle.push(PimCommand::Comp {
+                buffer: 0,
+                repeat: r,
+            });
             for _ in 0..r {
-                expanded.push(PimCommand::Comp { buffer: 0, repeat: 1 });
+                expanded.push(PimCommand::Comp {
+                    buffer: 0,
+                    repeat: 1,
+                });
             }
         }
         rle.push(PimCommand::ReadRes { bytes: 32 });
         expanded.push(PimCommand::ReadRes { bytes: 32 });
         let a = ChannelEngine::new(cfg).run(&rle);
         let b = ChannelEngine::new(cfg).run(&expanded);
-        prop_assert_eq!(a.cycles, b.cycles);
-        prop_assert_eq!(a.comps, b.comps);
-        prop_assert_eq!(a.macs, b.macs);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.comps, b.comps);
+        assert_eq!(a.macs, b.macs);
     }
+}
 
-    /// GWRITE latency hiding never slows a block down.
-    #[test]
-    fn hiding_never_hurts(block in arb_block()) {
+/// GWRITE latency hiding never slows a block down.
+#[test]
+fn hiding_never_hurts() {
+    let mut rng = Rng::seed_from_u64(0x7151_0002);
+    for _ in 0..CASES {
+        let block = random_block(&mut rng);
         let trace = block.expand();
         let hidden = ChannelEngine::new(PimConfig::default()).run(&trace);
-        let mut cfg = PimConfig::default();
-        cfg.gwrite_latency_hiding = false;
+        let cfg = PimConfig {
+            gwrite_latency_hiding: false,
+            ..PimConfig::default()
+        };
         let exposed = ChannelEngine::new(cfg).run(&trace);
-        prop_assert!(hidden.cycles <= exposed.cycles,
-            "hidden {} > exposed {}", hidden.cycles, exposed.cycles);
+        assert!(
+            hidden.cycles <= exposed.cycles,
+            "hidden {} > exposed {}",
+            hidden.cycles,
+            exposed.cycles
+        );
     }
+}
 
-    /// Block expansion preserves command counts exactly.
-    #[test]
-    fn expansion_counts(block in arb_block()) {
+/// Block expansion preserves command counts exactly.
+#[test]
+fn expansion_counts() {
+    let mut rng = Rng::seed_from_u64(0x7151_0003);
+    for _ in 0..CASES {
+        let block = random_block(&mut rng);
         let stats = ChannelEngine::new(PimConfig::default()).run(&block.expand());
-        prop_assert_eq!(stats.comps, block.total_comps());
-        prop_assert_eq!(stats.gwrites, block.total_gwrites());
+        assert_eq!(stats.comps, block.total_comps());
+        assert_eq!(stats.gwrites, block.total_gwrites());
         // Open-row reuse can only reduce issued activations; refreshes may
         // add one controller re-activation each.
-        prop_assert!(stats.gacts <= block.gacts as u64 + stats.refreshes);
-        prop_assert_eq!(stats.readres, 1);
+        assert!(stats.gacts <= block.gacts as u64 + stats.refreshes);
+        assert_eq!(stats.readres, 1);
     }
+}
 
-    /// Scheduling onto any channel count conserves MAC work and yields a
-    /// finish time no less than a perfectly balanced lower bound.
-    #[test]
-    fn schedule_conserves_and_bounds(
-        blocks in proptest::collection::vec(arb_block(), 1..12),
-        channels in 1usize..17,
-        granularity in prop_oneof![
-            Just(ScheduleGranularity::GAct),
-            Just(ScheduleGranularity::ReadRes),
-            Just(ScheduleGranularity::Comp),
-        ],
-    ) {
+/// Scheduling onto any channel count conserves MAC work and yields a
+/// finish time no less than a perfectly balanced lower bound.
+#[test]
+fn schedule_conserves_and_bounds() {
+    let mut rng = Rng::seed_from_u64(0x7151_0004);
+    let granularities = [
+        ScheduleGranularity::GAct,
+        ScheduleGranularity::ReadRes,
+        ScheduleGranularity::Comp,
+    ];
+    for _ in 0..CASES {
+        let blocks: Vec<CommandBlock> = (0..rng.range_usize(1, 12))
+            .map(|_| random_block(&mut rng))
+            .collect();
+        let channels = rng.range_usize(1, 17);
+        let granularity = *rng.pick(&granularities);
         let cfg = PimConfig::default();
         let traces = schedule(&blocks, channels, granularity, &cfg);
-        prop_assert_eq!(traces.len(), channels);
+        assert_eq!(traces.len(), channels);
         let stats = run_channels(&cfg, &traces);
         let min_comps: u64 = blocks.iter().map(|b| b.total_comps()).sum();
-        prop_assert!(stats.comps >= min_comps);
+        assert!(stats.comps >= min_comps);
         // Lower bound: total COMP cycles spread perfectly over channels.
         let lower = min_comps * cfg.timing.t_ccd as u64 / channels as u64;
-        prop_assert!(stats.cycles >= lower / 2, "cycles {} below bound {}", stats.cycles, lower);
+        assert!(
+            stats.cycles >= lower / 2,
+            "cycles {} below bound {}",
+            stats.cycles,
+            lower
+        );
     }
+}
 
-    /// Cycle counts are deterministic.
-    #[test]
-    fn timing_is_deterministic(block in arb_block()) {
+/// Cycle counts are deterministic.
+#[test]
+fn timing_is_deterministic() {
+    let mut rng = Rng::seed_from_u64(0x7151_0005);
+    for _ in 0..CASES {
+        let block = random_block(&mut rng);
         let a = ChannelEngine::new(PimConfig::default()).run(&block.expand());
         let b = ChannelEngine::new(PimConfig::default()).run(&block.expand());
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
     }
+}
 
-    /// Merging parallel channel stats takes the max cycles and sums work.
-    #[test]
-    fn merge_parallel_semantics(b1 in arb_block(), b2 in arb_block()) {
+/// Merging parallel channel stats takes the max cycles and sums work.
+#[test]
+fn merge_parallel_semantics() {
+    let mut rng = Rng::seed_from_u64(0x7151_0006);
+    for _ in 0..CASES {
+        let b1 = random_block(&mut rng);
+        let b2 = random_block(&mut rng);
         let cfg = PimConfig::default();
         let s1 = ChannelEngine::new(cfg).run(&b1.expand());
         let s2 = ChannelEngine::new(cfg).run(&b2.expand());
         let m = s1.merge_parallel(&s2);
-        prop_assert_eq!(m.cycles, s1.cycles.max(s2.cycles));
-        prop_assert_eq!(m.comps, s1.comps + s2.comps);
-        prop_assert_eq!(m.macs, s1.macs + s2.macs);
+        assert_eq!(m.cycles, s1.cycles.max(s2.cycles));
+        assert_eq!(m.comps, s1.comps + s2.comps);
+        assert_eq!(m.macs, s1.macs + s2.macs);
     }
 }

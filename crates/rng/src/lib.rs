@@ -1,0 +1,266 @@
+//! # pimflow-rng
+//!
+//! A small, deterministic, dependency-free pseudo-random number generator
+//! for the PIMFlow workspace. Three distinct consumers share it:
+//!
+//! * **parameter generation** ([`pimflow-kernels`]) — every node's weights
+//!   are regenerated from a 64-bit key, so the generator must be seedable
+//!   and stable across platforms and releases;
+//! * **request streams** (`pimflow-serve`) — Poisson arrivals need
+//!   exponential inter-arrival sampling with replayable seeds;
+//! * **property tests** — the workspace runs with zero network access, so
+//!   randomized tests draw their cases from here instead of `proptest`.
+//!
+//! The core is xoshiro256++ seeded through splitmix64 (the seeding scheme
+//! recommended by the xoshiro authors). Both algorithms are public domain.
+//!
+//! [`pimflow-kernels`]: ../pimflow_kernels/index.html
+
+#![warn(missing_docs)]
+
+/// The splitmix64 mixer: advances `state` and returns the next value.
+///
+/// Used standalone for cheap stateless hashing of seeds/keys and internally
+/// to expand a 64-bit seed into the 256-bit xoshiro state.
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A seedable xoshiro256++ generator.
+///
+/// # Examples
+///
+/// ```
+/// use pimflow_rng::Rng;
+/// let mut a = Rng::seed_from_u64(42);
+/// let mut b = Rng::seed_from_u64(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Creates a generator whose full 256-bit state is expanded from
+    /// `seed` with splitmix64.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Rng { s }
+    }
+
+    /// The next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform `f64` in `[0, 1)` (53 random mantissa bits).
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform `f32` in `[0, 1)` (24 random mantissa bits).
+    pub fn next_f32(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+
+    /// A uniform `u64` in `[0, bound)` via Lemire-style rejection (unbiased).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below() requires a positive bound");
+        let mut wide = (self.next_u64() as u128) * (bound as u128);
+        let mut lo = wide as u64;
+        if lo < bound {
+            // Reject the short residue window to keep the mapping unbiased.
+            let threshold = bound.wrapping_neg() % bound;
+            while lo < threshold {
+                wide = (self.next_u64() as u128) * (bound as u128);
+                lo = wide as u64;
+            }
+        }
+        (wide >> 64) as u64
+    }
+
+    /// A uniform `usize` in the half-open range `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.below((hi - lo) as u64) as usize
+    }
+
+    /// A uniform `u32` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range_u32(&mut self, lo: u32, hi: u32) -> u32 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.below((hi - lo) as u64) as u32
+    }
+
+    /// A uniform `u64` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.below(hi - lo)
+    }
+
+    /// A uniform `f32` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range_f32(&mut self, lo: f32, hi: f32) -> f32 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.next_f32() * (hi - lo)
+    }
+
+    /// A uniform `f64` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.next_f64() * (hi - lo)
+    }
+
+    /// A Bernoulli draw with probability `p` of `true`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// An exponentially distributed value with the given `rate` (mean
+    /// `1/rate`) — the inter-arrival time of a Poisson process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not positive.
+    pub fn exponential(&mut self, rate: f64) -> f64 {
+        assert!(rate > 0.0, "exponential() requires a positive rate");
+        // 1 - U is in (0, 1], so the log is finite.
+        -(1.0 - self.next_f64()).ln() / rate
+    }
+
+    /// Picks a uniformly random element of `items`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.range_usize(0, items.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = Rng::seed_from_u64(7);
+        let mut b = Rng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng::seed_from_u64(1);
+        let mut b = Rng::seed_from_u64(2);
+        assert_ne!((a.next_u64(), a.next_u64()), (b.next_u64(), b.next_u64()));
+    }
+
+    #[test]
+    fn unit_floats_stay_in_range() {
+        let mut r = Rng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let f = r.next_f64();
+            assert!((0.0..1.0).contains(&f));
+            let f = r.next_f32();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn ranges_honor_bounds() {
+        let mut r = Rng::seed_from_u64(4);
+        for _ in 0..10_000 {
+            let v = r.range_usize(3, 17);
+            assert!((3..17).contains(&v));
+            let f = r.range_f32(-2.5, 2.5);
+            assert!((-2.5..2.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn below_covers_all_residues() {
+        let mut r = Rng::seed_from_u64(5);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            seen[r.below(7) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn exponential_mean_matches_rate() {
+        let mut r = Rng::seed_from_u64(6);
+        let rate = 4.0;
+        let n = 50_000;
+        let sum: f64 = (0..n).map(|_| r.exponential(rate)).sum();
+        let mean = sum / n as f64;
+        assert!(
+            (mean - 1.0 / rate).abs() < 0.01,
+            "mean {mean} should approximate {}",
+            1.0 / rate
+        );
+    }
+
+    #[test]
+    fn splitmix_is_stateless_hashable() {
+        let mut s1 = 99u64;
+        let mut s2 = 99u64;
+        assert_eq!(splitmix64(&mut s1), splitmix64(&mut s2));
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn mean_of_unit_draws_is_centered() {
+        let mut r = Rng::seed_from_u64(11);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| r.next_f64()).sum();
+        assert!((sum / n as f64 - 0.5).abs() < 0.005);
+    }
+}

@@ -15,6 +15,12 @@
 //! # Extra: dump per-layer DRAM-PIM command traces / model statistics
 //! pimflow -m=trace -n=<net>
 //! pimflow -m=info  -n=<net>
+//!
+//! # Serving: simulate an inference service in front of the device
+//! pimflow serve --model <net> --policy <p> --rps <r> --duration <s> [--seed <n>]
+//!               [--arrival fixed|poisson] [--trace-file <path>] [--max-batch <n>]
+//!               [--timeout-us <t>] [--cache-size <n>] [--events-out <path>]
+//!               [--report-out <path>]
 //! ```
 //!
 //! `<net>` is one of `toy`, `efficientnet-v1-b0`, `mobilenet-v2`,
@@ -27,6 +33,7 @@ use pimflow::engine::{execute, EngineConfig};
 use pimflow::policy::{evaluate, Policy};
 use pimflow::search::{apply_plan, search, ExecutionPlan, SearchOptions};
 use pimflow_ir::models;
+use pimflow_serve::{parse_trace, ArrivalSpec, ServeConfig};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -87,11 +94,11 @@ fn load_model(net: &Option<String>) -> Result<pimflow_ir::Graph, String> {
     })
 }
 
-fn write_json<T: serde::Serialize>(path: &Path, value: &T) -> Result<(), String> {
+fn write_json<T: pimflow_json::ToJson>(path: &Path, value: &T) -> Result<(), String> {
     if let Some(dir) = path.parent() {
         std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
     }
-    let json = serde_json::to_string_pretty(value).map_err(|e| e.to_string())?;
+    let json = pimflow_json::to_string_pretty(value);
     std::fs::write(path, json).map_err(|e| format!("writing {}: {e}", path.display()))
 }
 
@@ -101,9 +108,15 @@ fn profile(args: &Args) -> Result<(), String> {
     let kind = args.transform.as_deref().unwrap_or("split");
     match kind {
         "split" => {
-            let opts = SearchOptions { allow_pipeline: false, ..Default::default() };
+            let opts = SearchOptions {
+                allow_pipeline: false,
+                ..Default::default()
+            };
             let plan = search(&g, &cfg, &opts);
-            let path = args.out_dir.join("layerwise").join(format!("{}.json", g.name));
+            let path = args
+                .out_dir
+                .join("layerwise")
+                .join(format!("{}.json", g.name));
             write_json(&path, &plan.profiles)?;
             println!(
                 "profiled {} MD-DP candidate layers -> {}",
@@ -121,9 +134,16 @@ fn profile(args: &Args) -> Result<(), String> {
                     (head, c.nodes.len(), cost)
                 })
                 .collect();
-            let path = args.out_dir.join("pipeline").join(format!("{}.json", g.name));
+            let path = args
+                .out_dir
+                .join("pipeline")
+                .join(format!("{}.json", g.name));
             write_json(&path, &rows)?;
-            println!("profiled {} pipelining candidate subgraphs -> {}", rows.len(), path.display());
+            println!(
+                "profiled {} pipelining candidate subgraphs -> {}",
+                rows.len(),
+                path.display()
+            );
         }
         other => return Err(format!("unknown transform `{other}` (use split|pipeline)")),
     }
@@ -208,8 +228,8 @@ fn run(args: &Args) -> Result<(), String> {
     let cfg = args.policy.engine_config();
     let report = match std::fs::read_to_string(&plan_path) {
         Ok(json) => {
-            let plan: ExecutionPlan =
-                serde_json::from_str(&json).map_err(|e| format!("parsing {}: {e}", plan_path.display()))?;
+            let plan: ExecutionPlan = pimflow_json::from_str(&json)
+                .map_err(|e| format!("parsing {}: {e}", plan_path.display()))?;
             println!("using saved plan {}", plan_path.display());
             execute(&apply_plan(&g, &plan), &cfg)
         }
@@ -237,12 +257,195 @@ fn run(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Flags of the `pimflow serve` subcommand, before they are folded into a
+/// [`ServeConfig`].
+#[derive(Debug)]
+struct ServeArgs {
+    cfg: ServeConfig,
+    rps: f64,
+    arrival_kind: String,
+    trace_file: Option<PathBuf>,
+    events_out: Option<PathBuf>,
+    report_out: Option<PathBuf>,
+}
+
+/// Parses `pimflow serve` flags. Accepts both `--flag value` and
+/// `--flag=value` spellings.
+fn parse_serve_args(raw: &[String]) -> Result<ServeArgs, String> {
+    let mut model: Option<String> = None;
+    let mut sa = ServeArgs {
+        cfg: ServeConfig::new("", Policy::Pimflow),
+        rps: 100.0,
+        arrival_kind: "fixed".to_string(),
+        trace_file: None,
+        events_out: None,
+        report_out: None,
+    };
+    let mut it = raw.iter();
+    while let Some(tok) = it.next() {
+        let (key, inline) = match tok.split_once('=') {
+            Some((k, v)) => (k.to_string(), Some(v.to_string())),
+            None => (tok.clone(), None),
+        };
+        let mut value = |flag: &str| -> Result<String, String> {
+            match &inline {
+                Some(v) => Ok(v.clone()),
+                None => it
+                    .next()
+                    .cloned()
+                    .ok_or_else(|| format!("{flag} requires a value")),
+            }
+        };
+        let num = |flag: &str, v: &str| -> Result<f64, String> {
+            v.parse::<f64>()
+                .map_err(|_| format!("{flag} expects a number, got `{v}`"))
+        };
+        let int = |flag: &str, v: &str| -> Result<usize, String> {
+            v.parse::<usize>()
+                .map_err(|_| format!("{flag} expects an integer, got `{v}`"))
+        };
+        match key.as_str() {
+            "--model" | "-n" => model = Some(value(&key)?),
+            "--policy" => {
+                let v = value(&key)?;
+                sa.cfg.policy =
+                    Policy::from_cli(&v).ok_or_else(|| format!("unknown policy `{v}`"))?;
+            }
+            "--rps" => sa.rps = num(&key, &value(&key)?)?,
+            "--arrival" => {
+                let v = value(&key)?;
+                match v.as_str() {
+                    "fixed" | "poisson" | "trace" => sa.arrival_kind = v,
+                    other => {
+                        return Err(format!(
+                            "unknown arrival `{other}` (use fixed|poisson|trace)"
+                        ))
+                    }
+                }
+            }
+            "--trace-file" => sa.trace_file = Some(PathBuf::from(value(&key)?)),
+            "--duration" => sa.cfg.duration_s = num(&key, &value(&key)?)?,
+            "--seed" => sa.cfg.seed = int(&key, &value(&key)?)? as u64,
+            "--max-batch" => sa.cfg.max_batch = int(&key, &value(&key)?)?,
+            "--timeout-us" => sa.cfg.batch_timeout_us = num(&key, &value(&key)?)?,
+            "--cache-size" => sa.cfg.cache_capacity = int(&key, &value(&key)?)?,
+            "--events-out" => sa.events_out = Some(PathBuf::from(value(&key)?)),
+            "--report-out" => sa.report_out = Some(PathBuf::from(value(&key)?)),
+            other => return Err(format!("unknown serve argument `{other}`")),
+        }
+    }
+    sa.cfg.model = model.ok_or("missing --model <net>")?;
+    if sa.rps <= 0.0 {
+        return Err("--rps must be positive".into());
+    }
+    if sa.cfg.duration_s <= 0.0 {
+        return Err("--duration must be positive".into());
+    }
+    sa.cfg.arrival = match sa.arrival_kind.as_str() {
+        "fixed" => ArrivalSpec::Fixed { rps: sa.rps },
+        "poisson" => ArrivalSpec::Poisson { rps: sa.rps },
+        "trace" => {
+            let path = sa
+                .trace_file
+                .as_ref()
+                .ok_or("--arrival trace requires --trace-file <path>")?;
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("reading {}: {e}", path.display()))?;
+            ArrivalSpec::Trace {
+                times_us: parse_trace(&text)?,
+            }
+        }
+        _ => unreachable!("validated above"),
+    };
+    if sa.arrival_kind != "trace" && sa.trace_file.is_some() {
+        return Err("--trace-file requires --arrival trace".into());
+    }
+    Ok(sa)
+}
+
+fn serve(raw: &[String]) -> Result<(), String> {
+    let sa = parse_serve_args(raw)?;
+    let run = pimflow_serve::run(&sa.cfg).map_err(|e| e.to_string())?;
+    let r = &run.report;
+    println!(
+        "serving {} under {} ({} arrival, seed {})",
+        r.model, r.policy, sa.arrival_kind, sa.cfg.seed
+    );
+    println!(
+        "  requests: {} arrived, {} completed in {} batches over {:.1} us",
+        r.counters.arrived, r.counters.completed, r.counters.batches, r.makespan_us
+    );
+    println!("  throughput: {:.1} req/s", r.throughput_rps);
+    println!(
+        "  latency us: p50 {:.1}  p95 {:.1}  p99 {:.1}  mean {:.1}  max {:.1}",
+        r.p50_us, r.p95_us, r.p99_us, r.mean_us, r.max_us
+    );
+    let sizes: Vec<String> = r
+        .batch_sizes
+        .iter()
+        .map(|&(s, n)| format!("{s}x{n}"))
+        .collect();
+    println!("  batch sizes: {}", sizes.join(" "));
+    println!(
+        "  plan cache: {} hits, {} misses ({:.1}% hit rate), {} searches",
+        r.counters.cache_hits,
+        r.counters.cache_misses,
+        r.cache_hit_rate * 100.0,
+        r.counters.search_invocations
+    );
+    if r.pim_channel_utilization.is_empty() {
+        println!("  pim channels: none under this policy");
+    } else {
+        let utils: Vec<String> = r
+            .pim_channel_utilization
+            .iter()
+            .map(|u| format!("{:.1}", u * 100.0))
+            .collect();
+        println!("  pim channel utilization %: {}", utils.join(" "));
+    }
+    println!("  energy: {:.0} uJ", r.energy_uj);
+    if let Some(path) = &sa.events_out {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+        }
+        std::fs::write(path, run.events.to_jsonl())
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        println!(
+            "  event trace ({} events) -> {}",
+            run.events.len(),
+            path.display()
+        );
+    }
+    if let Some(path) = &sa.report_out {
+        write_json(path, r)?;
+        println!("  report -> {}", path.display());
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("serve") {
+        return match serve(&argv[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                eprintln!(
+                    "usage: pimflow serve --model <net> [--policy <p>] [--rps <r>] \
+                     [--arrival fixed|poisson|trace] [--trace-file <path>] [--duration <s>] \
+                     [--seed <n>] [--max-batch <n>] [--timeout-us <t>] [--cache-size <n>] \
+                     [--events-out <path>] [--report-out <path>]"
+                );
+                ExitCode::FAILURE
+            }
+        };
+    }
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!("usage: pimflow -m=<profile|solve|trace|info|run> [-t=<split|pipeline>] -n=<net> [--gpu_only] [--policy=<p>] [--out=<dir>]");
+            eprintln!("       pimflow serve --model <net> [--policy <p>] [--rps <r>] [--duration <s>] ...");
             return ExitCode::FAILURE;
         }
     };

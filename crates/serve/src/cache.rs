@@ -1,0 +1,171 @@
+//! LRU execution-plan cache.
+//!
+//! The execution-mode search (Algorithm 1) is by far the most expensive
+//! step of serving a batch: it profiles every PIM-candidate layer of the
+//! *batched* graph. Its result depends only on the (model, policy, batch
+//! size) triple, so the scheduler memoizes compiled batch profiles behind
+//! this cache and the search runs once per configuration.
+
+use std::collections::HashMap;
+
+/// Cache key: one compiled serving configuration.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    /// Model name (normalized).
+    pub model: String,
+    /// Policy display name.
+    pub policy: String,
+    /// Batch size the plan was compiled for.
+    pub batch: usize,
+}
+
+/// A bounded LRU map from [`PlanKey`] to compiled batch profiles.
+#[derive(Debug, Clone)]
+pub struct PlanCache<V> {
+    capacity: usize,
+    map: HashMap<PlanKey, V>,
+    /// Keys in recency order, least-recent first.
+    order: Vec<PlanKey>,
+    hits: u64,
+    misses: u64,
+}
+
+impl<V> PlanCache<V> {
+    /// Creates a cache holding at most `capacity` plans.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        PlanCache {
+            capacity,
+            map: HashMap::new(),
+            order: Vec::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn touch(&mut self, key: &PlanKey) {
+        if let Some(pos) = self.order.iter().position(|k| k == key) {
+            let k = self.order.remove(pos);
+            self.order.push(k);
+        }
+    }
+
+    /// Looks up `key`, building and inserting the value with `build` on a
+    /// miss (evicting the least-recently-used entry if full). Returns the
+    /// value and whether this was a hit.
+    pub fn get_or_insert_with(&mut self, key: PlanKey, build: impl FnOnce() -> V) -> (&V, bool) {
+        let hit = self.map.contains_key(&key);
+        if hit {
+            self.hits += 1;
+            self.touch(&key);
+        } else {
+            self.misses += 1;
+            if self.map.len() >= self.capacity {
+                let evicted = self.order.remove(0);
+                self.map.remove(&evicted);
+            }
+            self.map.insert(key.clone(), build());
+            self.order.push(key.clone());
+        }
+        (self.map.get(&key).expect("just inserted"), hit)
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses (= build invocations) so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hits as a fraction of all lookups (0.0 before the first lookup).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(batch: usize) -> PlanKey {
+        PlanKey {
+            model: "toy".into(),
+            policy: "PIMFlow".into(),
+            batch,
+        }
+    }
+
+    #[test]
+    fn builds_once_per_key() {
+        let mut c: PlanCache<u32> = PlanCache::new(4);
+        let mut builds = 0;
+        for _ in 0..5 {
+            c.get_or_insert_with(key(2), || {
+                builds += 1;
+                7
+            });
+        }
+        assert_eq!(builds, 1);
+        assert_eq!(c.hits(), 4);
+        assert_eq!(c.misses(), 1);
+        assert!((c.hit_rate() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c: PlanCache<usize> = PlanCache::new(2);
+        c.get_or_insert_with(key(1), || 1);
+        c.get_or_insert_with(key(2), || 2);
+        // Touch 1 so 2 becomes the LRU entry.
+        c.get_or_insert_with(key(1), || unreachable!());
+        c.get_or_insert_with(key(3), || 3);
+        assert_eq!(c.len(), 2);
+        let (_, hit) = c.get_or_insert_with(key(1), || unreachable!());
+        assert!(hit, "batch-1 plan must have survived");
+        let (_, hit) = c.get_or_insert_with(key(3), || unreachable!());
+        assert!(hit, "batch-3 plan must have survived");
+        let (_, hit) = c.get_or_insert_with(key(2), || 2);
+        assert!(!hit, "batch-2 plan must have been evicted");
+    }
+
+    #[test]
+    fn distinct_policies_do_not_collide() {
+        let mut c: PlanCache<&'static str> = PlanCache::new(4);
+        let a = PlanKey {
+            model: "toy".into(),
+            policy: "PIMFlow".into(),
+            batch: 1,
+        };
+        let b = PlanKey {
+            model: "toy".into(),
+            policy: "Baseline".into(),
+            batch: 1,
+        };
+        c.get_or_insert_with(a, || "pimflow");
+        let (v, hit) = c.get_or_insert_with(b, || "baseline");
+        assert!(!hit);
+        assert_eq!(*v, "baseline");
+    }
+}

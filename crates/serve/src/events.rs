@@ -1,0 +1,125 @@
+//! JSONL event-trace exporter.
+//!
+//! Every scheduling decision of a serving run is appended as one compact
+//! JSON object per line: request arrivals, batch dispatches (with the
+//! plan-cache outcome), and batch completions. The encoder is the in-repo
+//! `pimflow-json` writer, whose output is fully deterministic — two runs
+//! with the same seed produce byte-identical traces, which the determinism
+//! tests assert and which makes traces diffable across code changes.
+
+use pimflow_json::Json;
+
+/// Accumulates the JSONL lines of one serving run.
+#[derive(Debug, Clone, Default)]
+pub struct EventLog {
+    lines: Vec<String>,
+}
+
+impl EventLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        EventLog::default()
+    }
+
+    fn push(&mut self, fields: Vec<(&str, Json)>) {
+        self.lines.push(Json::obj(fields).to_string_compact());
+    }
+
+    /// Records a request arrival.
+    pub fn arrival(&mut self, t_us: f64, request: u64) {
+        self.push(vec![
+            ("t_us", Json::Num(t_us)),
+            ("event", Json::Str("arrival".into())),
+            ("request", Json::Num(request as f64)),
+        ]);
+    }
+
+    /// Records a batch dispatch onto the device.
+    pub fn dispatch(&mut self, t_us: f64, batch: u64, requests: &[u64], cache_hit: bool) {
+        self.push(vec![
+            ("t_us", Json::Num(t_us)),
+            ("event", Json::Str("dispatch".into())),
+            ("batch", Json::Num(batch as f64)),
+            (
+                "requests",
+                Json::Arr(requests.iter().map(|&r| Json::Num(r as f64)).collect()),
+            ),
+            (
+                "cache",
+                Json::Str(if cache_hit { "hit" } else { "miss" }.into()),
+            ),
+        ]);
+    }
+
+    /// Records a batch completion.
+    pub fn complete(&mut self, t_us: f64, batch: u64, size: usize, exec_us: f64) {
+        self.push(vec![
+            ("t_us", Json::Num(t_us)),
+            ("event", Json::Str("complete".into())),
+            ("batch", Json::Num(batch as f64)),
+            ("size", Json::Num(size as f64)),
+            ("exec_us", Json::Num(exec_us)),
+        ]);
+    }
+
+    /// Number of events recorded.
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// True when no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+
+    /// The recorded lines, in order.
+    pub fn lines(&self) -> &[String] {
+        &self.lines
+    }
+
+    /// Consumes the log, returning its lines.
+    pub fn into_lines(self) -> Vec<String> {
+        self.lines
+    }
+
+    /// Renders the whole trace as one newline-terminated JSONL document.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for line in &self.lines {
+            out.push_str(line);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_render_one_object_per_line() {
+        let mut log = EventLog::new();
+        log.arrival(0.0, 0);
+        log.dispatch(10.5, 0, &[0, 1], false);
+        log.complete(20.0, 0, 2, 9.5);
+        let text = log.to_jsonl();
+        assert_eq!(text.lines().count(), 3);
+        for line in text.lines() {
+            let parsed = Json::parse(line).unwrap();
+            assert!(parsed.field("event").is_ok(), "line `{line}`");
+        }
+        assert!(text.contains("\"cache\":\"miss\""));
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let build = || {
+            let mut log = EventLog::new();
+            log.arrival(1.25, 3);
+            log.dispatch(2.5, 1, &[3], true);
+            log.to_jsonl()
+        };
+        assert_eq!(build(), build());
+    }
+}

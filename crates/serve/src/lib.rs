@@ -1,0 +1,57 @@
+//! # pimflow-serve
+//!
+//! A deterministic discrete-event **serving simulator** on top of the
+//! PIMFlow compiler and engine: where the rest of the workspace prices one
+//! inference at a time, this crate models an inference *service* in front
+//! of the simulated GPU+PIM device and measures serving-grade metrics —
+//! tail latency under load, throughput, batching behaviour, and PIM
+//! channel utilization.
+//!
+//! The pipeline per run:
+//!
+//! 1. **Arrivals** ([`arrival`]) — a fixed-RPS stream, a Poisson process
+//!    drawn from the workspace's seeded PRNG, or a replayed trace file.
+//! 2. **Dynamic batching** ([`queue`]) — FIFO requests flush into a batch
+//!    at `max_batch` or after a batching timeout.
+//! 3. **Scheduling + plan cache** ([`sim`], [`cache`]) — each batch is
+//!    compiled via [`pimflow::batch::with_batch`] and the execution-mode
+//!    search, memoized in an LRU cache keyed on (model, policy, batch
+//!    size), then priced on [`pimflow::engine::execute`].
+//! 4. **Observability** ([`metrics`], [`events`]) — monotonic counters, a
+//!    streaming log-bucketed latency histogram (p50/p95/p99 within one
+//!    bucket of exact), per-channel utilization, and a byte-deterministic
+//!    JSONL event trace.
+//!
+//! ## Example
+//!
+//! ```
+//! use pimflow::policy::Policy;
+//! use pimflow_serve::{run, ArrivalSpec, ServeConfig};
+//!
+//! let cfg = ServeConfig {
+//!     arrival: ArrivalSpec::Poisson { rps: 2000.0 },
+//!     duration_s: 0.02,
+//!     seed: 42,
+//!     ..ServeConfig::new("toy", Policy::Pimflow)
+//! };
+//! let outcome = run(&cfg).unwrap();
+//! assert_eq!(outcome.report.counters.arrived, outcome.report.counters.completed);
+//! assert!(outcome.report.p99_us >= outcome.report.p50_us);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod arrival;
+pub mod cache;
+pub mod events;
+pub mod metrics;
+pub mod queue;
+pub mod sim;
+
+pub use arrival::{arrival_times_us, parse_trace, ArrivalSpec};
+pub use cache::{PlanCache, PlanKey};
+pub use events::EventLog;
+pub use metrics::{Counters, Histogram};
+pub use queue::{BatchQueue, QueuedRequest};
+pub use sim::{normalize_model_name, run, ServeConfig, ServeError, ServeReport, ServeRun};

@@ -1,0 +1,158 @@
+//! Dynamic batching queue.
+//!
+//! Requests wait in FIFO order until either the batch fills up
+//! (`max_batch`) or the oldest waiting request hits the batching timeout —
+//! the standard dynamic-batching policy of inference servers. The queue is
+//! purely a data structure; the event loop in [`crate::sim`] decides *when*
+//! to consult it, so its behaviour is unit-testable in isolation.
+
+use std::collections::VecDeque;
+
+/// A request waiting to be batched.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueuedRequest {
+    /// Monotonically increasing request id.
+    pub id: u64,
+    /// Arrival time, microseconds from run start.
+    pub arrival_us: f64,
+}
+
+/// FIFO dynamic-batching queue with max-size and timeout flush.
+#[derive(Debug, Clone)]
+pub struct BatchQueue {
+    max_batch: usize,
+    timeout_us: f64,
+    pending: VecDeque<QueuedRequest>,
+}
+
+impl BatchQueue {
+    /// Creates a queue flushing at `max_batch` requests or `timeout_us`
+    /// after the oldest pending arrival, whichever comes first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch == 0` or `timeout_us` is negative/NaN.
+    pub fn new(max_batch: usize, timeout_us: f64) -> Self {
+        assert!(max_batch > 0, "max_batch must be positive");
+        assert!(timeout_us >= 0.0, "timeout must be non-negative");
+        BatchQueue {
+            max_batch,
+            timeout_us,
+            pending: VecDeque::new(),
+        }
+    }
+
+    /// Maximum batch size.
+    pub fn max_batch(&self) -> usize {
+        self.max_batch
+    }
+
+    /// Enqueues a request.
+    pub fn push(&mut self, req: QueuedRequest) {
+        self.pending.push_back(req);
+    }
+
+    /// Number of waiting requests.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True when no requests wait.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Time at which the oldest pending request forces a flush, if any.
+    pub fn flush_deadline_us(&self) -> Option<f64> {
+        self.pending.front().map(|r| r.arrival_us + self.timeout_us)
+    }
+
+    /// Whether a batch should be dispatched at time `now`. `draining` marks
+    /// the end of the run (no further arrivals), where waiting out the
+    /// timeout would only add latency.
+    pub fn ready(&self, now_us: f64, draining: bool) -> bool {
+        if self.pending.is_empty() {
+            return false;
+        }
+        self.pending.len() >= self.max_batch
+            || draining
+            || self.flush_deadline_us().is_some_and(|d| now_us >= d)
+    }
+
+    /// Removes and returns the next batch: up to `max_batch` requests in
+    /// arrival (FIFO) order.
+    pub fn take_batch(&mut self) -> Vec<QueuedRequest> {
+        let n = self.pending.len().min(self.max_batch);
+        self.pending.drain(..n).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(id: u64, t: f64) -> QueuedRequest {
+        QueuedRequest { id, arrival_us: t }
+    }
+
+    #[test]
+    fn flushes_when_batch_fills() {
+        let mut q = BatchQueue::new(3, 1e9);
+        q.push(req(0, 0.0));
+        q.push(req(1, 1.0));
+        assert!(!q.ready(2.0, false), "below max and before timeout");
+        q.push(req(2, 2.0));
+        assert!(q.ready(2.0, false), "max-size flush ignores the timeout");
+        assert_eq!(q.take_batch().len(), 3);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn flushes_on_timeout() {
+        let mut q = BatchQueue::new(8, 100.0);
+        q.push(req(0, 50.0));
+        assert_eq!(q.flush_deadline_us(), Some(150.0));
+        assert!(!q.ready(149.9, false));
+        assert!(q.ready(150.0, false), "timeout flush at deadline");
+        assert_eq!(q.take_batch().len(), 1);
+    }
+
+    #[test]
+    fn timeout_tracks_the_oldest_request() {
+        let mut q = BatchQueue::new(8, 100.0);
+        q.push(req(0, 10.0));
+        q.push(req(1, 90.0));
+        // Deadline comes from request 0, not the newest arrival.
+        assert_eq!(q.flush_deadline_us(), Some(110.0));
+    }
+
+    #[test]
+    fn batches_preserve_fifo_order_and_cap_size() {
+        let mut q = BatchQueue::new(2, 0.0);
+        for i in 0..5 {
+            q.push(req(i, i as f64));
+        }
+        let ids: Vec<u64> = q.take_batch().iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![0, 1]);
+        let ids: Vec<u64> = q.take_batch().iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![2, 3]);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn draining_flushes_partial_batches_immediately() {
+        let mut q = BatchQueue::new(8, 1e9);
+        q.push(req(0, 0.0));
+        assert!(!q.ready(1.0, false));
+        assert!(
+            q.ready(1.0, true),
+            "end-of-run drain must not wait out the timeout"
+        );
+    }
+
+    #[test]
+    fn empty_queue_is_never_ready() {
+        let q = BatchQueue::new(1, 0.0);
+        assert!(!q.ready(1e12, true));
+    }
+}

@@ -1,0 +1,463 @@
+//! The discrete-event serving simulator.
+//!
+//! One serving run wires the pieces together: an arrival stream feeds the
+//! dynamic-batching queue; whenever the (single, serial) simulated
+//! GPU+PIM device is free and the queue is ready, the scheduler takes a
+//! FIFO batch, compiles it through the LRU plan cache — batching the model
+//! with [`pimflow::batch::with_batch`], searching an execution plan once
+//! per (model, policy, batch size), and pricing the batch on the execution
+//! engine — and advances simulated time by the batch latency. Counters,
+//! the latency histogram, per-channel utilization, and the JSONL event
+//! trace are recorded along the way.
+
+use crate::arrival::{arrival_times_us, ArrivalSpec};
+use crate::cache::{PlanCache, PlanKey};
+use crate::events::EventLog;
+use crate::metrics::{Counters, Histogram};
+use crate::queue::{BatchQueue, QueuedRequest};
+use pimflow::batch::with_batch;
+use pimflow::engine::{execute, EngineConfig};
+use pimflow::policy::Policy;
+use pimflow::search::{apply_plan, search};
+use pimflow_ir::models;
+use pimflow_json::json_struct;
+use std::fmt;
+
+/// Configuration of one serving run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// Model name; aliases such as `resnet50` normalize to the zoo's
+    /// canonical `resnet-50` spelling.
+    pub model: String,
+    /// Offloading mechanism the device runs under.
+    pub policy: Policy,
+    /// Arrival stream.
+    pub arrival: ArrivalSpec,
+    /// Run window in seconds (arrivals beyond it are dropped; queued work
+    /// still drains).
+    pub duration_s: f64,
+    /// PRNG seed (Poisson arrivals).
+    pub seed: u64,
+    /// Dynamic batching: maximum batch size.
+    pub max_batch: usize,
+    /// Dynamic batching: flush timeout after the oldest arrival, us.
+    pub batch_timeout_us: f64,
+    /// LRU plan-cache capacity (plans).
+    pub cache_capacity: usize,
+}
+
+impl ServeConfig {
+    /// Default serving parameters for `model` under `policy`: 100 fixed
+    /// RPS for 5 seconds, batches of up to 8 with a 2 ms timeout, 16
+    /// cached plans, seed 0.
+    pub fn new(model: impl Into<String>, policy: Policy) -> Self {
+        ServeConfig {
+            model: model.into(),
+            policy,
+            arrival: ArrivalSpec::Fixed { rps: 100.0 },
+            duration_s: 5.0,
+            seed: 0,
+            max_batch: 8,
+            batch_timeout_us: 2_000.0,
+            cache_capacity: 16,
+        }
+    }
+}
+
+/// Why a serving run could not start.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The model name matched nothing in the zoo, even after normalization.
+    UnknownModel(String),
+    /// The model could not be batched (shape inference failed).
+    Batch(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::UnknownModel(m) => write!(
+                f,
+                "unknown model `{m}` (try: toy, mobilenet-v2, resnet-50, vgg-16, ...)"
+            ),
+            ServeError::Batch(e) => write!(f, "batching the model failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Canonicalizes a model name against the zoo: exact names pass through,
+/// and separator-insensitive aliases (`resnet50`, `ResNet_50`) resolve to
+/// the canonical spelling. Returns `None` for unknown models.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(pimflow_serve::normalize_model_name("resnet50").as_deref(), Some("resnet-50"));
+/// assert_eq!(pimflow_serve::normalize_model_name("toy").as_deref(), Some("toy"));
+/// assert_eq!(pimflow_serve::normalize_model_name("gpt-5"), None);
+/// ```
+pub fn normalize_model_name(name: &str) -> Option<String> {
+    const KNOWN: &[&str] = &[
+        "toy",
+        "efficientnet-v1-b0",
+        "efficientnet-v1-b2",
+        "efficientnet-v1-b4",
+        "efficientnet-v1-b6",
+        "mobilenet-v2",
+        "mnasnet-1.0",
+        "resnet-18",
+        "resnet-34",
+        "resnet-50",
+        "vgg-16",
+        "squeezenet-1.1",
+        "unet-small",
+        "bert-3",
+        "bert-64",
+    ];
+    if models::by_name(name).is_some() {
+        return Some(name.to_string());
+    }
+    let canon = |s: &str| {
+        s.chars()
+            .filter(char::is_ascii_alphanumeric)
+            .collect::<String>()
+            .to_ascii_lowercase()
+    };
+    let target = canon(name);
+    KNOWN
+        .iter()
+        .find(|k| canon(k) == target)
+        .map(|k| k.to_string())
+}
+
+/// Compiled cost of one (model, policy, batch) configuration — the value
+/// the plan cache holds. Everything downstream of the search is
+/// deterministic, so the batch latency is priced once and replayed.
+#[derive(Debug, Clone)]
+struct BatchProfile {
+    latency_us: f64,
+    energy_uj: f64,
+    pim_channel_busy_us: Vec<f64>,
+}
+
+/// Metrics summary of one serving run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// Canonical model name.
+    pub model: String,
+    /// Policy display name.
+    pub policy: String,
+    /// Monotonic counters.
+    pub counters: Counters,
+    /// Time of the last batch completion, microseconds (0 when idle).
+    pub makespan_us: f64,
+    /// Completed requests per second of makespan.
+    pub throughput_rps: f64,
+    /// Median end-to-end request latency, microseconds.
+    pub p50_us: f64,
+    /// 95th-percentile latency, microseconds.
+    pub p95_us: f64,
+    /// 99th-percentile latency, microseconds.
+    pub p99_us: f64,
+    /// Mean latency, microseconds.
+    pub mean_us: f64,
+    /// Worst latency, microseconds.
+    pub max_us: f64,
+    /// Plan-cache hit rate over all dispatches.
+    pub cache_hit_rate: f64,
+    /// `(batch size, batches dispatched)` pairs, ascending.
+    pub batch_sizes: Vec<(usize, u64)>,
+    /// Per-PIM-channel MAC-pipeline busy fraction of the makespan.
+    pub pim_channel_utilization: Vec<f64>,
+    /// Total simulated energy, microjoules.
+    pub energy_uj: f64,
+}
+
+json_struct!(ServeReport {
+    model,
+    policy,
+    counters,
+    makespan_us,
+    throughput_rps,
+    p50_us,
+    p95_us,
+    p99_us,
+    mean_us,
+    max_us,
+    cache_hit_rate,
+    batch_sizes,
+    pim_channel_utilization,
+    energy_uj,
+});
+
+/// A finished serving run: the metrics summary plus the JSONL event trace.
+#[derive(Debug, Clone)]
+pub struct ServeRun {
+    /// Metrics summary.
+    pub report: ServeReport,
+    /// Event trace (one compact JSON object per line).
+    pub events: EventLog,
+}
+
+/// Runs the serving simulation described by `cfg`.
+///
+/// # Errors
+///
+/// Returns [`ServeError`] when the model is unknown or cannot be batched.
+pub fn run(cfg: &ServeConfig) -> Result<ServeRun, ServeError> {
+    let model_name = normalize_model_name(&cfg.model)
+        .ok_or_else(|| ServeError::UnknownModel(cfg.model.clone()))?;
+    let base = models::by_name(&model_name).expect("normalized names resolve");
+    let engine_cfg: EngineConfig = cfg.policy.engine_config();
+    let search_opts = cfg.policy.search_options();
+
+    let arrivals = arrival_times_us(&cfg.arrival, cfg.duration_s, cfg.seed);
+    let mut queue = BatchQueue::new(cfg.max_batch, cfg.batch_timeout_us);
+    let mut cache: PlanCache<BatchProfile> = PlanCache::new(cfg.cache_capacity);
+    let mut events = EventLog::new();
+    let mut hist = Histogram::new();
+    let mut counters = Counters::default();
+    let mut batch_size_counts: Vec<(usize, u64)> = Vec::new();
+    let mut pim_busy_us = vec![0.0f64; engine_cfg.pim_channels];
+    let mut energy_uj = 0.0f64;
+
+    let mut next = 0usize; // index of the next arrival to admit
+    let mut device_free_us = 0.0f64;
+    let mut makespan_us = 0.0f64;
+    let mut now_us = 0.0f64;
+
+    loop {
+        let draining = next >= arrivals.len();
+        if draining && queue.is_empty() {
+            break;
+        }
+
+        // Earliest time the queue can dispatch: the device must be free,
+        // and the queue must be ready (full batch, expired timeout, or
+        // end-of-run drain).
+        let dispatch_at = if queue.is_empty() {
+            f64::INFINITY
+        } else if queue.len() >= queue.max_batch() || draining {
+            now_us.max(device_free_us)
+        } else {
+            let deadline = queue.flush_deadline_us().expect("non-empty queue");
+            now_us.max(device_free_us).max(deadline)
+        };
+
+        // Admit any arrival that happens first (ties go to the arrival so a
+        // request landing exactly at the deadline still joins the batch).
+        if let Some(&t) = arrivals.get(next) {
+            if t <= dispatch_at {
+                now_us = now_us.max(t);
+                let id = next as u64;
+                queue.push(QueuedRequest { id, arrival_us: t });
+                events.arrival(t, id);
+                counters.arrived += 1;
+                next += 1;
+                continue;
+            }
+        }
+
+        // Dispatch one batch.
+        now_us = dispatch_at;
+        debug_assert!(queue.ready(now_us, draining));
+        let batch = queue.take_batch();
+        let size = batch.len();
+        let key = PlanKey {
+            model: model_name.clone(),
+            policy: cfg.policy.name().to_string(),
+            batch: size,
+        };
+        let mut batch_err = None;
+        let (profile, hit) = cache.get_or_insert_with(key, || {
+            counters.search_invocations += search_opts.is_some() as u64;
+            match with_batch(&base, size) {
+                Ok(batched) => {
+                    let report = match &search_opts {
+                        None => execute(&batched, &engine_cfg),
+                        Some(opts) => {
+                            let plan = search(&batched, &engine_cfg, opts);
+                            execute(&apply_plan(&batched, &plan), &engine_cfg)
+                        }
+                    };
+                    BatchProfile {
+                        latency_us: report.total_us,
+                        energy_uj: report.energy_uj,
+                        pim_channel_busy_us: report.pim_channel_busy_us,
+                    }
+                }
+                Err(e) => {
+                    batch_err = Some(ServeError::Batch(e.to_string()));
+                    BatchProfile {
+                        latency_us: 0.0,
+                        energy_uj: 0.0,
+                        pim_channel_busy_us: Vec::new(),
+                    }
+                }
+            }
+        });
+        if let Some(e) = batch_err {
+            return Err(e);
+        }
+        let exec_us = profile.latency_us;
+        energy_uj += profile.energy_uj;
+        for (acc, b) in pim_busy_us.iter_mut().zip(&profile.pim_channel_busy_us) {
+            *acc += b;
+        }
+
+        let batch_id = counters.batches;
+        counters.batches += 1;
+        counters.cache_hits += hit as u64;
+        counters.cache_misses += (!hit) as u64;
+        let ids: Vec<u64> = batch.iter().map(|r| r.id).collect();
+        events.dispatch(now_us, batch_id, &ids, hit);
+
+        let finish_us = now_us + exec_us;
+        device_free_us = finish_us;
+        makespan_us = makespan_us.max(finish_us);
+        for req in &batch {
+            hist.record(finish_us - req.arrival_us);
+            counters.completed += 1;
+        }
+        events.complete(finish_us, batch_id, size, exec_us);
+        match batch_size_counts.binary_search_by_key(&size, |&(s, _)| s) {
+            Ok(i) => batch_size_counts[i].1 += 1,
+            Err(i) => batch_size_counts.insert(i, (size, 1)),
+        }
+    }
+
+    let pim_channel_utilization = pim_busy_us
+        .iter()
+        .map(|&b| {
+            if makespan_us > 0.0 {
+                (b / makespan_us).min(1.0)
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    let report = ServeReport {
+        model: model_name,
+        policy: cfg.policy.name().to_string(),
+        counters,
+        makespan_us,
+        throughput_rps: if makespan_us > 0.0 {
+            counters.completed as f64 / (makespan_us * 1e-6)
+        } else {
+            0.0
+        },
+        p50_us: hist.quantile(0.50),
+        p95_us: hist.quantile(0.95),
+        p99_us: hist.quantile(0.99),
+        mean_us: hist.mean(),
+        max_us: hist.max(),
+        cache_hit_rate: cache.hit_rate(),
+        batch_sizes: batch_size_counts,
+        pim_channel_utilization,
+        energy_uj,
+    };
+    Ok(ServeRun { report, events })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_cfg() -> ServeConfig {
+        ServeConfig {
+            arrival: ArrivalSpec::Fixed { rps: 2000.0 },
+            duration_s: 0.05,
+            ..ServeConfig::new("toy", Policy::Pimflow)
+        }
+    }
+
+    #[test]
+    fn serves_every_request_exactly_once() {
+        let run = run(&toy_cfg()).unwrap();
+        let c = run.report.counters;
+        assert_eq!(c.arrived, 100);
+        assert_eq!(c.completed, 100);
+        assert!(c.batches > 0 && c.batches <= c.arrived);
+        let by_size: u64 = run
+            .report
+            .batch_sizes
+            .iter()
+            .map(|&(s, n)| s as u64 * n)
+            .sum();
+        assert_eq!(by_size, 100, "batch sizes must partition the requests");
+    }
+
+    #[test]
+    fn search_runs_once_per_batch_size() {
+        let run = run(&toy_cfg()).unwrap();
+        let c = run.report.counters;
+        let distinct = run.report.batch_sizes.len() as u64;
+        assert_eq!(
+            c.search_invocations, distinct,
+            "search must run exactly once per (model, policy, batch size)"
+        );
+        assert_eq!(c.cache_misses, distinct);
+        assert_eq!(c.cache_hits + c.cache_misses, c.batches);
+    }
+
+    #[test]
+    fn baseline_policy_never_searches() {
+        let cfg = ServeConfig {
+            policy: Policy::Baseline,
+            ..toy_cfg()
+        };
+        let run = run(&cfg).unwrap();
+        assert_eq!(run.report.counters.search_invocations, 0);
+        assert!(
+            run.report.pim_channel_utilization.is_empty(),
+            "no PIM channels on baseline"
+        );
+    }
+
+    #[test]
+    fn latency_includes_queueing_delay() {
+        // One request, huge timeout window never reached because the run
+        // drains; latency is exec-only. Then a slow second request forces
+        // queueing behind the first batch.
+        let cfg = ServeConfig {
+            arrival: ArrivalSpec::Trace {
+                times_us: vec![0.0, 1.0],
+            },
+            duration_s: 1.0,
+            max_batch: 1,
+            ..ServeConfig::new("toy", Policy::Baseline)
+        };
+        let run = run(&cfg).unwrap();
+        assert_eq!(run.report.counters.batches, 2);
+        // The second request waits for the first batch: max > mean.
+        assert!(run.report.max_us > run.report.mean_us);
+    }
+
+    #[test]
+    fn unknown_model_is_rejected() {
+        let cfg = ServeConfig::new("gpt-5", Policy::Pimflow);
+        assert!(matches!(run(&cfg), Err(ServeError::UnknownModel(_))));
+    }
+
+    #[test]
+    fn pim_channels_are_utilized_under_pimflow() {
+        let run = run(&toy_cfg()).unwrap();
+        let util = &run.report.pim_channel_utilization;
+        assert_eq!(util.len(), 16);
+        assert!(
+            util.iter().any(|&u| u > 0.0),
+            "PIMFlow serving must touch PIM channels"
+        );
+        assert!(util.iter().all(|&u| (0.0..=1.0).contains(&u)));
+    }
+
+    #[test]
+    fn report_serializes() {
+        let run = run(&toy_cfg()).unwrap();
+        let json = pimflow_json::to_string(&run.report);
+        let back: ServeReport = pimflow_json::from_str(&json).unwrap();
+        assert_eq!(run.report, back);
+    }
+}

@@ -62,7 +62,10 @@ fn trace_mode_writes_parseable_traces() {
         assert!(!traces.is_empty());
         found += 1;
     }
-    assert!(found >= 4, "expected traces for every candidate layer, got {found}");
+    assert!(
+        found >= 4,
+        "expected traces for every candidate layer, got {found}"
+    );
     std::fs::remove_dir_all(&dir).ok();
 }
 
@@ -100,4 +103,123 @@ fn policy_selection_works() {
     let (ok, out) = pimflow(&["-m=run", "-n=toy", "--policy=Newton++"], &dir);
     assert!(ok, "{out}");
     assert!(out.contains("Newton++"), "{out}");
+}
+
+#[test]
+fn serve_runs_and_is_deterministic() {
+    let dir = std::env::temp_dir().join(format!("pimflow-serve-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let args = [
+        "serve",
+        "--model",
+        "toy",
+        "--policy",
+        "pimflow",
+        "--arrival",
+        "poisson",
+        "--rps",
+        "2000",
+        "--duration",
+        "0.05",
+        "--seed",
+        "42",
+        "--events-out",
+        "events.jsonl",
+        "--report-out",
+        "report.json",
+    ];
+    let (ok, out1) = pimflow(&args, &dir);
+    assert!(ok, "{out1}");
+    assert!(out1.contains("p50"), "{out1}");
+    assert!(out1.contains("hit rate"), "{out1}");
+    assert!(out1.contains("pim channel utilization"), "{out1}");
+    let events1 = std::fs::read_to_string(dir.join("events.jsonl")).unwrap();
+    assert!(events1.lines().count() > 10);
+    let report = std::fs::read_to_string(dir.join("report.json")).unwrap();
+    assert!(report.contains("throughput_rps"), "{report}");
+
+    // Same seed: byte-identical summary and event trace.
+    let (ok, out2) = pimflow(&args, &dir);
+    assert!(ok, "{out2}");
+    assert_eq!(out1, out2, "serve output must be deterministic");
+    let events2 = std::fs::read_to_string(dir.join("events.jsonl")).unwrap();
+    assert_eq!(events1, events2);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_normalizes_model_aliases() {
+    let dir = std::env::temp_dir();
+    let (ok, out) = pimflow(
+        &[
+            "serve",
+            "--model",
+            "resnet50",
+            "--rps",
+            "200",
+            "--duration",
+            "0.01",
+        ],
+        &dir,
+    );
+    assert!(ok, "{out}");
+    assert!(out.contains("resnet-50"), "{out}");
+}
+
+#[test]
+fn serve_accepts_equals_style_flags() {
+    let dir = std::env::temp_dir();
+    let (ok, out) = pimflow(
+        &[
+            "serve",
+            "--model=toy",
+            "--policy=baseline",
+            "--rps=1000",
+            "--duration=0.01",
+        ],
+        &dir,
+    );
+    assert!(ok, "{out}");
+    assert!(out.contains("Baseline"), "{out}");
+}
+
+#[test]
+fn serve_replays_a_trace_file() {
+    let dir = std::env::temp_dir().join(format!("pimflow-servetrace-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("arrivals.txt"), "# three requests\n0\n100\n250\n").unwrap();
+    let (ok, out) = pimflow(
+        &[
+            "serve",
+            "--model",
+            "toy",
+            "--arrival",
+            "trace",
+            "--trace-file",
+            "arrivals.txt",
+            "--duration",
+            "1",
+        ],
+        &dir,
+    );
+    assert!(ok, "{out}");
+    assert!(out.contains("3 arrived, 3 completed"), "{out}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_rejects_bad_flags() {
+    let dir = std::env::temp_dir();
+    let (ok, out) = pimflow(&["serve", "--model", "toy", "--rps", "-5"], &dir);
+    assert!(!ok);
+    assert!(out.contains("--rps must be positive"), "{out}");
+    let (ok, out) = pimflow(&["serve"], &dir);
+    assert!(!ok);
+    assert!(out.contains("missing --model"), "{out}");
+    let (ok, out) = pimflow(&["serve", "--model", "toy", "--frobnicate"], &dir);
+    assert!(!ok);
+    assert!(out.contains("unknown serve argument"), "{out}");
+    let (ok, out) = pimflow(&["serve", "--model", "gpt-5"], &dir);
+    assert!(!ok);
+    assert!(out.contains("unknown model"), "{out}");
 }

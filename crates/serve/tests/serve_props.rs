@@ -1,0 +1,107 @@
+//! Serving-runtime properties: byte-level determinism of the event trace
+//! and the bounded-error guarantee of the streaming latency histogram.
+
+use pimflow::policy::Policy;
+use pimflow_rng::Rng;
+use pimflow_serve::{run, ArrivalSpec, Histogram, ServeConfig};
+
+fn poisson_cfg(seed: u64) -> ServeConfig {
+    ServeConfig {
+        arrival: ArrivalSpec::Poisson { rps: 3000.0 },
+        duration_s: 0.03,
+        seed,
+        max_batch: 4,
+        ..ServeConfig::new("toy", Policy::Pimflow)
+    }
+}
+
+#[test]
+fn same_seed_yields_identical_jsonl_trace() {
+    let a = run(&poisson_cfg(42)).unwrap();
+    let b = run(&poisson_cfg(42)).unwrap();
+    assert!(!a.events.is_empty());
+    assert_eq!(
+        a.events.to_jsonl(),
+        b.events.to_jsonl(),
+        "same seed must replay byte-identically"
+    );
+    assert_eq!(a.report, b.report);
+}
+
+#[test]
+fn different_seeds_yield_different_traces() {
+    let a = run(&poisson_cfg(1)).unwrap();
+    let b = run(&poisson_cfg(2)).unwrap();
+    assert_ne!(a.events.to_jsonl(), b.events.to_jsonl());
+}
+
+#[test]
+fn fixed_rate_trace_is_seed_independent() {
+    let base = ServeConfig {
+        arrival: ArrivalSpec::Fixed { rps: 1000.0 },
+        duration_s: 0.02,
+        ..ServeConfig::new("toy", Policy::NewtonPlusPlus)
+    };
+    let a = run(&ServeConfig {
+        seed: 5,
+        ..base.clone()
+    })
+    .unwrap();
+    let b = run(&ServeConfig { seed: 6, ..base }).unwrap();
+    assert_eq!(a.events.to_jsonl(), b.events.to_jsonl());
+}
+
+/// Streaming quantiles must land within one geometric bucket of the exact
+/// sort-based quantile, over random latency distributions.
+#[test]
+fn histogram_quantiles_track_exact_within_one_bucket() {
+    const CASES: usize = 48;
+    let mut rng = Rng::seed_from_u64(0x5e7e_0001);
+    for case in 0..CASES {
+        let n = rng.range_usize(10, 2000);
+        let mut samples = Vec::with_capacity(n);
+        let mut h = Histogram::new();
+        for _ in 0..n {
+            // Mix of heavy-tail (exponential) and uniform latencies.
+            let v = if rng.chance(0.5) {
+                rng.exponential(1.0 / 5_000.0)
+            } else {
+                rng.range_f64(10.0, 100_000.0)
+            };
+            samples.push(v);
+            h.record(v);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for q in [0.5, 0.95, 0.99] {
+            // Same nearest-rank definition as the histogram.
+            let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+            let exact = samples[rank - 1];
+            let est = h.quantile(q);
+            let diff = (Histogram::bucket_index(est) - Histogram::bucket_index(exact)).abs();
+            assert!(
+                diff <= 1,
+                "case {case}, q={q}: estimate {est:.1} vs exact {exact:.1} ({diff} buckets apart)"
+            );
+        }
+    }
+}
+
+#[test]
+fn queue_buildup_raises_tail_latency() {
+    // Overload: arrivals far faster than the device can serve. The p99 must
+    // sit well above the p50 (queueing delay accumulates).
+    let cfg = ServeConfig {
+        arrival: ArrivalSpec::Fixed { rps: 20_000.0 },
+        duration_s: 0.01,
+        max_batch: 2,
+        ..ServeConfig::new("toy", Policy::Baseline)
+    };
+    let r = run(&cfg).unwrap().report;
+    assert!(
+        r.p99_us > r.p50_us * 1.5,
+        "p50 {} p99 {}",
+        r.p50_us,
+        r.p99_us
+    );
+    assert_eq!(r.counters.arrived, r.counters.completed);
+}

@@ -14,11 +14,19 @@ use pimflow::search::{apply_plan, search, SearchOptions};
 use pimflow_ir::models;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "efficientnet-v1-b0".into());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "efficientnet-v1-b0".into());
     let model = models::by_name(&name).expect("unknown model");
     let baseline = execute(&model, &EngineConfig::baseline_gpu()).total_us;
-    println!("{} — GPU baseline (32 channels): {baseline:.1} us", model.name);
-    println!("{:>4} {:>4} {:>10} {:>8} {:>9}", "gpu", "pim", "time (us)", "speedup", "offloads");
+    println!(
+        "{} — GPU baseline (32 channels): {baseline:.1} us",
+        model.name
+    );
+    println!(
+        "{:>4} {:>4} {:>10} {:>8} {:>9}",
+        "gpu", "pim", "time (us)", "speedup", "offloads"
+    );
 
     let mut best = (0usize, f64::INFINITY);
     for pim_channels in [0usize, 4, 8, 12, 16, 20, 24, 28] {

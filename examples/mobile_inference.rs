@@ -13,7 +13,9 @@ use pimflow::search::Decision;
 use pimflow_ir::models;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "mobilenet-v2".into());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "mobilenet-v2".into());
     let model = models::by_name(&name).unwrap_or_else(|| {
         eprintln!("unknown model `{name}`; using mobilenet-v2");
         models::mobilenet_v2()
@@ -56,7 +58,9 @@ fn main() {
                 let splits = plan
                     .decisions
                     .iter()
-                    .filter(|(_, d)| matches!(d, Decision::Split { gpu_percent } if *gpu_percent > 0))
+                    .filter(
+                        |(_, d)| matches!(d, Decision::Split { gpu_percent } if *gpu_percent > 0),
+                    )
                     .count();
                 let pipes = plan
                     .decisions

@@ -14,13 +14,19 @@ use pimflow_ir::models;
 use pimflow_kernels::{input_tensors, run_graph};
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "mobilenet-v2".into());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "mobilenet-v2".into());
     let model = models::by_name(&name).expect("unknown model");
     let cfg = EngineConfig::pimflow();
 
     // 1. Enumerate the pipelining candidates.
     let chains = find_chains(&model);
-    println!("{}: {} pipelining candidate subgraphs", model.name, chains.len());
+    println!(
+        "{}: {} pipelining candidate subgraphs",
+        model.name,
+        chains.len()
+    );
     for kind in [PatternKind::PwDw, PatternKind::DwPw, PatternKind::PwDwPw] {
         let matching: Vec<_> = chains.iter().filter(|c| c.pattern == kind).collect();
         if matching.is_empty() {
@@ -39,11 +45,18 @@ fn main() {
                 wins += 1;
             }
         }
-        println!("  {kind:?}: {} chains, pipelining wins {}", matching.len(), wins);
+        println!(
+            "  {kind:?}: {} chains, pipelining wins {}",
+            matching.len(),
+            wins
+        );
     }
 
     // 2. Pipeline the first Type-3 chain and inspect the overlap.
-    let Some(chain) = chains.into_iter().find(|c| c.pattern == PatternKind::PwDwPw) else {
+    let Some(chain) = chains
+        .into_iter()
+        .find(|c| c.pattern == PatternKind::PwDwPw)
+    else {
         println!("no 1x1-DW-1x1 chain in this model");
         return;
     };
@@ -62,14 +75,15 @@ fn main() {
     let report = execute(&transformed, &cfg);
     println!("timeline of the pipelined stage parts:");
     for t in &report.timings {
-        if t.name.starts_with("pl") || t.name.contains("::pl") {
-            if t.finish_us > t.start_us {
-                let device = match t.device {
-                    Placement::Gpu => "GPU",
-                    Placement::Pim => "PIM",
-                };
-                println!("  {:<30} {device} {:8.2}..{:8.2} us", t.name, t.start_us, t.finish_us);
-            }
+        if (t.name.starts_with("pl") || t.name.contains("::pl")) && t.finish_us > t.start_us {
+            let device = match t.device {
+                Placement::Gpu => "GPU",
+                Placement::Pim => "PIM",
+            };
+            println!(
+                "  {:<30} {device} {:8.2}..{:8.2} us",
+                t.name, t.start_us, t.finish_us
+            );
         }
     }
 }

@@ -51,8 +51,14 @@ fn main() {
     let optimized = execute(&transformed, &cfg);
     let gpu_only_same_hw = execute(&model, &cfg);
     let baseline_32ch = execute(&model, &EngineConfig::baseline_gpu());
-    println!("GPU baseline (32 channels): {:8.1} us", baseline_32ch.total_us);
-    println!("GPU-only on 16+16 hardware: {:8.1} us", gpu_only_same_hw.total_us);
+    println!(
+        "GPU baseline (32 channels): {:8.1} us",
+        baseline_32ch.total_us
+    );
+    println!(
+        "GPU-only on 16+16 hardware: {:8.1} us",
+        gpu_only_same_hw.total_us
+    );
     println!(
         "PIMFlow on 16+16 hardware:  {:8.1} us  ({:+.1}% vs GPU-only on the same hardware)",
         optimized.total_us,

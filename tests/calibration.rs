@@ -48,11 +48,18 @@ fn relative_model_costs_are_ordered() {
     // VGG-16 > ResNet-50 > EfficientNet-B0 > MobileNetV2-level costs, as on
     // real hardware.
     let t = |name: &str| {
-        execute(&models::by_name(name).unwrap(), &EngineConfig::baseline_gpu()).total_us
+        execute(
+            &models::by_name(name).unwrap(),
+            &EngineConfig::baseline_gpu(),
+        )
+        .total_us
     };
     let vgg = t("vgg-16");
     let rn = t("resnet-50");
     let enet = t("efficientnet-v1-b0");
     let mbv2 = t("mobilenet-v2");
-    assert!(vgg > rn && rn > enet && enet > mbv2, "{vgg} {rn} {enet} {mbv2}");
+    assert!(
+        vgg > rn && rn > enet && enet > mbv2,
+        "{vgg} {rn} {enet} {mbv2}"
+    );
 }

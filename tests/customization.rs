@@ -60,5 +60,9 @@ fn tiny_unet_transformation_is_numerically_exact() {
     let inputs = input_tensors(&g, 77);
     let a = run_graph(&g, &inputs).unwrap();
     let b = run_graph(&transformed, &inputs).unwrap();
-    assert!(a[0].allclose(&b[0], 1e-4), "diff {}", a[0].max_abs_diff(&b[0]));
+    assert!(
+        a[0].allclose(&b[0], 1e-4),
+        "diff {}",
+        a[0].max_abs_diff(&b[0])
+    );
 }

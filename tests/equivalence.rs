@@ -12,7 +12,9 @@ fn assert_plan_preserves_semantics(g: &Graph, opts: &SearchOptions, tol: f32) {
     let cfg = EngineConfig::pimflow();
     let plan = search(g, &cfg, opts);
     let transformed = apply_plan(g, &plan);
-    transformed.validate().expect("transformed graph is well-formed");
+    transformed
+        .validate()
+        .expect("transformed graph is well-formed");
     let inputs = input_tensors(g, 99);
     let a = run_graph(g, &inputs).expect("original runs");
     let b = run_graph(&transformed, &inputs).expect("transformed runs");
@@ -33,7 +35,11 @@ fn toy_full_flow_is_equivalent() {
 
 #[test]
 fn toy_offload_only_flow_is_equivalent() {
-    let opts = SearchOptions { offload_only: true, allow_pipeline: false, ..Default::default() };
+    let opts = SearchOptions {
+        offload_only: true,
+        allow_pipeline: false,
+        ..Default::default()
+    };
     assert_plan_preserves_semantics(&models::toy(), &opts, 1e-4);
 }
 

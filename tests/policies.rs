@@ -29,7 +29,11 @@ fn all_policies_run_on_all_models() {
     for g in [models::toy(), mini_mobile()] {
         for p in Policy::all() {
             let e = evaluate(&g, p);
-            assert!(e.report.total_us > 0.0 && e.report.total_us.is_finite(), "{p:?} on {}", g.name);
+            assert!(
+                e.report.total_us > 0.0 && e.report.total_us.is_finite(),
+                "{p:?} on {}",
+                g.name
+            );
             assert!(e.report.energy_uj > 0.0);
             assert!(e.conv_layer_us >= 0.0);
         }
@@ -48,10 +52,16 @@ fn mechanism_ordering_matches_the_paper() {
     let md = t(Policy::PimflowMd);
     let pf = t(Policy::Pimflow);
     let tol = 1.02;
-    assert!(newton_pp <= newton_p * tol, "Newton++ {newton_pp} vs Newton+ {newton_p}");
+    assert!(
+        newton_pp <= newton_p * tol,
+        "Newton++ {newton_pp} vs Newton+ {newton_p}"
+    );
     assert!(md <= newton_pp * tol, "md {md} vs Newton++ {newton_pp}");
     assert!(pf <= md * tol, "PIMFlow {pf} vs md {md}");
-    assert!(pf < baseline, "PIMFlow {pf} must beat the baseline {baseline}");
+    assert!(
+        pf < baseline,
+        "PIMFlow {pf} must beat the baseline {baseline}"
+    );
 }
 
 #[test]

@@ -1,6 +1,8 @@
 //! Cross-crate property tests: the transformation passes preserve model
 //! semantics for *arbitrary* layer shapes, ratios, and stage counts, and
 //! the simulator obeys its structural invariants under random workloads.
+//! Cases are drawn from a seeded `pimflow-rng` generator (the workspace
+//! builds offline, so `proptest` is not available).
 
 use pimflow::codegen::{generate_blocks, PimWorkload};
 use pimflow::engine::{execute, EngineConfig};
@@ -8,61 +10,74 @@ use pimflow::passes::{find_chains, pipeline_chain, split_node};
 use pimflow_ir::{ActivationKind, Graph, GraphBuilder, Op, Shape};
 use pimflow_kernels::{input_tensors, run_graph};
 use pimflow_pimsim::{run_channels, schedule, PimConfig, ScheduleGranularity};
-use proptest::prelude::*;
+use pimflow_rng::Rng;
 
-fn outputs_match(a: &Graph, b: &Graph, tol: f32) -> Result<(), TestCaseError> {
+const CASES: usize = 24;
+
+const GRANULARITIES: [ScheduleGranularity; 3] = [
+    ScheduleGranularity::GAct,
+    ScheduleGranularity::ReadRes,
+    ScheduleGranularity::Comp,
+];
+
+fn outputs_match(a: &Graph, b: &Graph, tol: f32) {
     let inputs = input_tensors(a, 4242);
     let xa = run_graph(a, &inputs).expect("original runs");
     let xb = run_graph(b, &inputs).expect("transformed runs");
     for (x, y) in xa.iter().zip(&xb) {
-        prop_assert!(
+        assert!(
             x.allclose(y, tol),
             "outputs differ by {}",
             x.max_abs_diff(y)
         );
     }
-    Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// MD-DP conv splitting is semantics-preserving for arbitrary shapes,
-    /// kernels, strides, and split ratios.
-    #[test]
-    fn mddp_split_preserves_conv_semantics(
-        h in 5usize..14,
-        w in 4usize..10,
-        ic in 1usize..5,
-        oc in 1usize..7,
-        k in prop_oneof![Just(1usize), Just(3), Just(5)],
-        stride in 1usize..3,
-        ratio in (1u32..10).prop_map(|r| r * 10),
-    ) {
+/// MD-DP conv splitting is semantics-preserving for arbitrary shapes,
+/// kernels, strides, and split ratios.
+#[test]
+fn mddp_split_preserves_conv_semantics() {
+    let mut rng = Rng::seed_from_u64(0xc405_0001);
+    let mut checked = 0;
+    while checked < CASES {
+        let h = rng.range_usize(5, 14);
+        let w = rng.range_usize(4, 10);
+        let ic = rng.range_usize(1, 5);
+        let oc = rng.range_usize(1, 7);
+        let k = *rng.pick(&[1usize, 3, 5]);
+        let stride = rng.range_usize(1, 3);
+        let ratio = rng.range_u32(1, 10) * 10;
         let pad = k / 2;
-        prop_assume!(h + 2 * pad >= k && w + 2 * pad >= k);
+        if h + 2 * pad < k || w + 2 * pad < k {
+            continue;
+        }
         let mut b = GraphBuilder::new("p");
         let x = b.input(Shape::nhwc(1, h, w, ic));
         let y = b.conv(x, oc, k, stride, pad);
         let g = b.finish(y);
         // Need at least 2 output rows to split.
         let out_h = g.value(g.outputs()[0]).desc.as_ref().unwrap().shape.h();
-        prop_assume!(out_h >= 2);
+        if out_h < 2 {
+            continue;
+        }
+        checked += 1;
 
         let mut t = g.clone();
         let id = t.node_ids().next().unwrap();
         split_node(&mut t, id, ratio).expect("split applies");
-        outputs_match(&g, &t, 1e-4)?;
+        outputs_match(&g, &t, 1e-4);
     }
+}
 
-    /// Splitting a conv with a fused epilogue keeps the epilogue semantics.
-    #[test]
-    fn mddp_split_with_epilogue_preserves_semantics(
-        h in 6usize..12,
-        ic in 1usize..4,
-        oc in 2usize..6,
-        ratio in (1u32..10).prop_map(|r| r * 10),
-    ) {
+/// Splitting a conv with a fused epilogue keeps the epilogue semantics.
+#[test]
+fn mddp_split_with_epilogue_preserves_semantics() {
+    let mut rng = Rng::seed_from_u64(0xc405_0002);
+    for _ in 0..CASES {
+        let h = rng.range_usize(6, 12);
+        let ic = rng.range_usize(1, 4);
+        let oc = rng.range_usize(2, 6);
+        let ratio = rng.range_u32(1, 10) * 10;
         let mut b = GraphBuilder::new("pe");
         let x = b.input(Shape::nhwc(1, h, h, ic));
         let y = b.conv_act(x, oc, 3, 1, 1, ActivationKind::Relu6);
@@ -73,20 +88,22 @@ proptest! {
             .find(|&i| matches!(t.node(i).op, Op::Conv2d(_)))
             .unwrap();
         split_node(&mut t, id, ratio).expect("split applies");
-        outputs_match(&g, &t, 1e-4)?;
+        outputs_match(&g, &t, 1e-4);
     }
+}
 
-    /// Pipelining a 1x1–DW–1x1 chain is semantics-preserving for arbitrary
-    /// channel widths and stage counts.
-    #[test]
-    fn pipelining_preserves_semantics(
-        h in 6usize..12,
-        w in 4usize..8,
-        ic in 1usize..4,
-        hidden in 2usize..7,
-        oc in 1usize..5,
-        stages in 2usize..4,
-    ) {
+/// Pipelining a 1x1–DW–1x1 chain is semantics-preserving for arbitrary
+/// channel widths and stage counts.
+#[test]
+fn pipelining_preserves_semantics() {
+    let mut rng = Rng::seed_from_u64(0xc405_0003);
+    for _ in 0..CASES {
+        let h = rng.range_usize(6, 12);
+        let w = rng.range_usize(4, 8);
+        let ic = rng.range_usize(1, 4);
+        let hidden = rng.range_usize(2, 7);
+        let oc = rng.range_usize(1, 5);
+        let stages = rng.range_usize(2, 4);
         let mut b = GraphBuilder::new("chain");
         let x = b.input(Shape::nhwc(1, h, w, ic));
         let y = b.conv1x1(x, hidden);
@@ -98,83 +115,100 @@ proptest! {
         let mut t = g.clone();
         let chain = find_chains(&t).into_iter().next().unwrap();
         pipeline_chain(&mut t, &chain, stages).expect("chain pipelines");
-        outputs_match(&g, &t, 1e-4)?;
+        outputs_match(&g, &t, 1e-4);
     }
+}
 
-    /// The command generator covers every MAC of a workload: COMP capacity
-    /// is never below the workload's MAC count, and input rows are covered
-    /// exactly once.
-    #[test]
-    fn codegen_covers_workload(
-        rows in 1usize..600,
-        k in 1usize..3000,
-        oc in 1usize..1200,
-    ) {
-        let w = PimWorkload { rows, k_elems: k, out_channels: oc, strided: false, segments: 1 };
+/// The command generator covers every MAC of a workload: COMP capacity
+/// is never below the workload's MAC count, and input rows are covered
+/// exactly once.
+#[test]
+fn codegen_covers_workload() {
+    let mut rng = Rng::seed_from_u64(0xc405_0004);
+    for _ in 0..CASES {
+        let rows = rng.range_usize(1, 600);
+        let k = rng.range_usize(1, 3000);
+        let oc = rng.range_usize(1, 1200);
+        let w = PimWorkload {
+            rows,
+            k_elems: k,
+            out_channels: oc,
+            strided: false,
+            segments: 1,
+        };
         let cfg = PimConfig::default();
         let blocks = generate_blocks(&w, &cfg);
         let covered: usize = blocks.iter().map(|b| b.buffer_rows as usize).sum();
-        prop_assert_eq!(covered, rows);
+        assert_eq!(covered, rows);
         let comps: u64 = blocks.iter().map(|b| b.total_comps()).sum();
-        prop_assert!(comps * cfg.macs_per_comp() as u64 >= w.macs());
+        assert!(comps * cfg.macs_per_comp() as u64 >= w.macs());
     }
+}
 
-    /// Every trace the code generator + scheduler emit obeys the command
-    /// protocol (buffers written before read, rows activated before COMP,
-    /// results computed before READRES, payloads within buffer capacity).
-    #[test]
-    fn codegen_traces_are_protocol_valid(
-        rows in 1usize..400,
-        k in 1usize..4096,
-        oc in 1usize..2048,
-        channels in 1usize..17,
-        granularity in prop_oneof![
-            Just(ScheduleGranularity::GAct),
-            Just(ScheduleGranularity::ReadRes),
-            Just(ScheduleGranularity::Comp),
-        ],
-    ) {
-        let w = PimWorkload { rows, k_elems: k, out_channels: oc, strided: false, segments: 1 };
+/// Every trace the code generator + scheduler emit obeys the command
+/// protocol (buffers written before read, rows activated before COMP,
+/// results computed before READRES, payloads within buffer capacity).
+#[test]
+fn codegen_traces_are_protocol_valid() {
+    let mut rng = Rng::seed_from_u64(0xc405_0005);
+    for _ in 0..CASES {
+        let rows = rng.range_usize(1, 400);
+        let k = rng.range_usize(1, 4096);
+        let oc = rng.range_usize(1, 2048);
+        let channels = rng.range_usize(1, 17);
+        let granularity = *rng.pick(&GRANULARITIES);
+        let w = PimWorkload {
+            rows,
+            k_elems: k,
+            out_channels: oc,
+            strided: false,
+            segments: 1,
+        };
         let cfg = PimConfig::default();
         let blocks = generate_blocks(&w, &cfg);
         for trace in schedule(&blocks, channels, granularity, &cfg) {
             if let Err(v) = pimflow_pimsim::validate_trace(&trace, &cfg) {
-                prop_assert!(false, "invalid trace for rows={rows} k={k} oc={oc}: {v}");
+                panic!("invalid trace for rows={rows} k={k} oc={oc}: {v}");
             }
         }
     }
+}
 
-    /// The command scheduler conserves work at every granularity and the
-    /// merged cycle count is the max over channels.
-    #[test]
-    fn scheduler_conserves_work(
-        rows in 1usize..200,
-        k in 1usize..1024,
-        oc in 1usize..512,
-        channels in 1usize..17,
-        granularity in prop_oneof![
-            Just(ScheduleGranularity::GAct),
-            Just(ScheduleGranularity::ReadRes),
-            Just(ScheduleGranularity::Comp),
-        ],
-    ) {
-        let w = PimWorkload { rows, k_elems: k, out_channels: oc, strided: false, segments: 1 };
+/// The command scheduler conserves work at every granularity and the
+/// merged cycle count is the max over channels.
+#[test]
+fn scheduler_conserves_work() {
+    let mut rng = Rng::seed_from_u64(0xc405_0006);
+    for _ in 0..CASES {
+        let rows = rng.range_usize(1, 200);
+        let k = rng.range_usize(1, 1024);
+        let oc = rng.range_usize(1, 512);
+        let channels = rng.range_usize(1, 17);
+        let granularity = *rng.pick(&GRANULARITIES);
+        let w = PimWorkload {
+            rows,
+            k_elems: k,
+            out_channels: oc,
+            strided: false,
+            segments: 1,
+        };
         let cfg = PimConfig::default();
         let blocks = generate_blocks(&w, &cfg);
         let comps_expected: u64 = blocks.iter().map(|b| b.total_comps()).sum();
         let traces = schedule(&blocks, channels, granularity, &cfg);
-        prop_assert_eq!(traces.len(), channels);
+        assert_eq!(traces.len(), channels);
         let stats = run_channels(&cfg, &traces);
         // Splitting may only *add* COMPs (reduction-split rounding), never lose them.
-        prop_assert!(stats.comps >= comps_expected);
-        prop_assert!(stats.macs >= w.macs());
+        assert!(stats.comps >= comps_expected);
+        assert!(stats.macs >= w.macs());
     }
+}
 
-    /// The execution engine is monotone in PIM channel count for a fixed
-    /// transformed graph: more PIM channels never slow PIM execution down
-    /// enough to matter (within scheduler-balance noise).
-    #[test]
-    fn engine_total_is_finite_and_positive(seed in 0u64..50) {
+/// The execution engine produces finite, positive latency and energy for
+/// small random graphs.
+#[test]
+fn engine_total_is_finite_and_positive() {
+    for seed in 0u64..CASES as u64 {
         let mut b = GraphBuilder::new("rand");
         let x = b.input(Shape::nhwc(1, 8 + (seed % 5) as usize, 8, 3));
         let y = b.conv_act(x, 8, 3, 1, 1, ActivationKind::Relu);
@@ -184,7 +218,7 @@ proptest! {
         let y = b.dense(y, 10);
         let g = b.finish(y);
         let r = execute(&g, &EngineConfig::pimflow());
-        prop_assert!(r.total_us.is_finite() && r.total_us > 0.0);
-        prop_assert!(r.energy_uj.is_finite() && r.energy_uj > 0.0);
+        assert!(r.total_us.is_finite() && r.total_us > 0.0);
+        assert!(r.energy_uj.is_finite() && r.energy_uj > 0.0);
     }
 }
