@@ -12,7 +12,13 @@ cargo fmt --check
 echo "==> cargo clippy (deny warnings)"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
-echo "==> cargo test"
-cargo test -q --workspace --offline
+# The suite runs twice — sequential and 4-wide worker pool — to exercise
+# the determinism contract: every test (plan bytes, BENCH artifacts,
+# JSONL traces) must pass identically at any PIMFLOW_JOBS width.
+echo "==> cargo test (PIMFLOW_JOBS=1)"
+PIMFLOW_JOBS=1 cargo test -q --workspace --offline
+
+echo "==> cargo test (PIMFLOW_JOBS=4)"
+PIMFLOW_JOBS=4 cargo test -q --workspace --offline
 
 echo "CI OK"

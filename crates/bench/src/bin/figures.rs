@@ -6,7 +6,12 @@
 //!          autotune|portability|contention]
 //! figures csv <dir>      # machine-readable fig9/fig12 matrix
 //! figures serve [dir]    # serving RPS sweep -> <dir>/BENCH_serve.json
+//! figures parallel [dir] # search timing, 1 worker vs PIMFLOW_JOBS
+//!                        #   -> <dir>/BENCH_parallel.json
 //! ```
+//!
+//! `--jobs=<n>` (any position) sets the worker-pool width for the sweeps,
+//! same as the `PIMFLOW_JOBS` environment variable.
 //!
 //! Output is textual (rows/series in the same structure as the paper's
 //! plots); `EXPERIMENTS.md` records the paper-vs-measured comparison.
@@ -326,6 +331,31 @@ fn csv(dir: &str) {
     );
 }
 
+/// Times sequential-vs-parallel search and writes `BENCH_parallel.json`
+/// under `dir`.
+fn parallel_sweep(dir: &str) {
+    use pimflow_bench::parallel_sweep::write_bench_artifact;
+    println!("== Algorithm 1 search: sequential vs worker-pool wall time ==");
+    let (report, path) = write_bench_artifact(std::path::Path::new(dir)).expect("parallel sweep");
+    println!(
+        "  jobs {} (host threads {})",
+        report.jobs, report.host_threads
+    );
+    for m in &report.models {
+        println!(
+            "  {:<22} {:>4} nodes  1 worker {:>8.1}ms  {} workers {:>8.1}ms  {:4.2}x  identical {}",
+            m.model,
+            m.nodes,
+            m.sequential_ms,
+            report.jobs,
+            m.parallel_ms,
+            m.speedup,
+            m.plans_identical
+        );
+    }
+    println!("wrote {}", path.display());
+}
+
 /// Runs the serving RPS sweep and writes `BENCH_serve.json` under `dir`.
 fn serve_sweep(dir: &str) {
     use pimflow_bench::serve_sweep::write_bench_artifact;
@@ -350,17 +380,37 @@ fn serve_sweep(dir: &str) {
 }
 
 fn main() {
-    let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    // Split `--jobs=<n>` (worker-pool width, any position) from the
+    // positional arguments.
+    let mut positional = Vec::new();
+    for arg in std::env::args().skip(1) {
+        if let Some(n) = arg.strip_prefix("--jobs=") {
+            assert!(
+                n.parse::<usize>().is_ok_and(|n| n > 0),
+                "--jobs expects a positive integer, got `{n}`"
+            );
+            std::env::set_var(pimflow_pool::JOBS_ENV_VAR, n);
+        } else {
+            positional.push(arg);
+        }
+    }
+    let which = positional.first().cloned().unwrap_or_else(|| "all".into());
     if which == "csv" {
-        let dir = std::env::args()
-            .nth(2)
+        let dir = positional
+            .get(1)
+            .cloned()
             .unwrap_or_else(|| "pimflow-out".into());
         csv(&dir);
         return;
     }
     if which == "serve" {
-        let dir = std::env::args().nth(2).unwrap_or_else(|| ".".into());
+        let dir = positional.get(1).cloned().unwrap_or_else(|| ".".into());
         serve_sweep(&dir);
+        return;
+    }
+    if which == "parallel" {
+        let dir = positional.get(1).cloned().unwrap_or_else(|| ".".into());
+        parallel_sweep(&dir);
         return;
     }
     let needs_fig9 = matches!(which.as_str(), "all" | "fig9" | "fig12");

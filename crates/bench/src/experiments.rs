@@ -12,6 +12,7 @@ use pimflow_gpusim::{kernel_time_with_launch_us, GpuConfig, KernelProfile};
 use pimflow_ir::analysis::{classify, node_cost, LayerClass};
 use pimflow_ir::{models, Conv2dAttrs, Graph, Shape};
 use pimflow_pimsim::{run_channels, schedule, PimConfig, ScheduleGranularity};
+use pimflow_pool::WorkerPool;
 
 /// Fig. 1: per-class runtime breakdown (left) and arithmetic intensity
 /// (right) for one model.
@@ -152,14 +153,18 @@ pub fn fig8() -> Vec<(usize, f64)> {
 }
 
 /// Fig. 9 + Fig. 12: the main evaluation — all models, all mechanisms.
+///
+/// Each (model, policy) cell is independent, so the sweep fans out over the
+/// `PIMFLOW_JOBS` worker pool; results are collected in cell order, so the
+/// rows match the sequential sweep exactly.
 pub fn fig9() -> Vec<PolicyEvaluation> {
-    let mut out = Vec::new();
+    let mut cells = Vec::new();
     for g in models::evaluated_cnns() {
         for p in Policy::all() {
-            out.push(evaluate(&g, p));
+            cells.push((g.clone(), p));
         }
     }
-    out
+    WorkerPool::from_env().map(&cells, |_, (g, p)| evaluate(g, *p))
 }
 
 /// Fig. 10: layerwise MD-DP breakdown for one model — nodes the search
@@ -188,7 +193,7 @@ pub fn fig11() -> Vec<(String, &'static str, f64)> {
             let mddp: f64 = chain
                 .nodes
                 .iter()
-                .map(|&id| estimate_node_best_us(&g, &cfg, id))
+                .map(|&id| estimate_node_best_us(&g, &cfg, id, &SearchOptions::default()))
                 .sum();
             if mddp <= 0.0 {
                 continue;
@@ -298,12 +303,12 @@ pub fn fig16() -> Vec<(String, f64, f64)> {
         models::mnasnet(),
         models::mnasnet_scaled(1.3),
     ];
-    for g in candidates {
-        let base = execute(&g, &EngineConfig::baseline_gpu()).total_us;
-        let npp = evaluate(&g, Policy::NewtonPlusPlus).report.total_us;
-        let pf = evaluate(&g, Policy::Pimflow).report.total_us;
-        rows.push((g.name.clone(), base / npp, base / pf));
-    }
+    rows.extend(WorkerPool::from_env().map(&candidates, |_, g| {
+        let base = execute(g, &EngineConfig::baseline_gpu()).total_us;
+        let npp = evaluate(g, Policy::NewtonPlusPlus).report.total_us;
+        let pf = evaluate(g, Policy::Pimflow).report.total_us;
+        (g.name.clone(), base / npp, base / pf)
+    }));
     rows
 }
 
@@ -329,25 +334,24 @@ pub fn internode_parallelism() -> Vec<(String, f64)> {
 /// PIMFlow end-to-end time on Newton++ hardware vs AiM-like hardware,
 /// normalized to the GPU baseline.
 pub fn ablation_pim_activation() -> Vec<(String, f64, f64)> {
-    let mut rows = Vec::new();
-    for g in models::evaluated_cnns() {
-        let base = execute(&g, &EngineConfig::baseline_gpu()).total_us;
+    let zoo = models::evaluated_cnns();
+    WorkerPool::from_env().map(&zoo, |_, g| {
+        let base = execute(g, &EngineConfig::baseline_gpu()).total_us;
         let newton = {
             let cfg = EngineConfig::pimflow();
-            let plan = search(&g, &cfg, &SearchOptions::default());
-            execute(&apply_plan(&g, &plan), &cfg).total_us
+            let plan = search(g, &cfg, &SearchOptions::default());
+            execute(&apply_plan(g, &plan), &cfg).total_us
         };
         let aim = {
             let cfg = EngineConfig {
                 pim: PimConfig::aim_like(),
                 ..EngineConfig::pimflow()
             };
-            let plan = search(&g, &cfg, &SearchOptions::default());
-            execute(&apply_plan(&g, &plan), &cfg).total_us
+            let plan = search(g, &cfg, &SearchOptions::default());
+            execute(&apply_plan(g, &plan), &cfg).total_us
         };
-        rows.push((g.name.clone(), base / newton, base / aim));
-    }
-    rows
+        (g.name.clone(), base / newton, base / aim)
+    })
 }
 
 /// Footnote 1 of the paper: finer MD-DP ratio intervals give only marginal
@@ -424,57 +428,58 @@ pub fn crossover_map() -> Vec<(usize, usize, usize, usize, f64, f64)> {
 /// `(model, Newton++ e2e speedup, HBM-PIM e2e speedup)` over the GPU
 /// baseline.
 pub fn portability_hbm_pim() -> Vec<(String, f64, f64)> {
-    let mut rows = Vec::new();
-    for g in models::evaluated_cnns() {
-        let base = execute(&g, &EngineConfig::baseline_gpu()).total_us;
+    let zoo = models::evaluated_cnns();
+    WorkerPool::from_env().map(&zoo, |_, g| {
+        let base = execute(g, &EngineConfig::baseline_gpu()).total_us;
         let run = |pim: PimConfig| -> f64 {
             let cfg = EngineConfig {
                 pim,
                 ..EngineConfig::pimflow()
             };
-            let plan = search(&g, &cfg, &SearchOptions::default());
-            execute(&apply_plan(&g, &plan), &cfg).total_us
+            let plan = search(g, &cfg, &SearchOptions::default());
+            execute(&apply_plan(g, &plan), &cfg).total_us
         };
         let newton = run(PimConfig::newton_plus_plus());
         let hbm = run(PimConfig::hbm_pim_like());
-        rows.push((g.name.clone(), base / newton, base / hbm));
-    }
-    rows
+        (g.name.clone(), base / newton, base / hbm)
+    })
 }
 
 /// Future-work experiment (§9): measured auto-tuning on top of the
 /// Algorithm 1 plan. Returns `(model, DP-plan us, tuned us, gain)`.
 pub fn autotune_gains() -> Vec<(String, f64, f64, f64)> {
     use pimflow::autotune::autotune;
-    let mut rows = Vec::new();
-    for g in models::evaluated_cnns() {
+    let zoo = models::evaluated_cnns();
+    WorkerPool::from_env().map(&zoo, |_, g| {
         let cfg = EngineConfig::pimflow();
-        let plan = search(&g, &cfg, &SearchOptions::default());
-        let result = autotune(&g, &cfg, &plan, 2, 10);
-        rows.push((
+        let plan = search(g, &cfg, &SearchOptions::default());
+        let result = autotune(g, &cfg, &plan, 2, 10);
+        (
             g.name.clone(),
             result.initial_us,
             result.tuned_us,
             result.gain(),
-        ));
-    }
-    rows
+        )
+    })
 }
 
 /// Table 2: the distribution of chosen MD-DP split ratios over all
 /// PIM-candidate layers of the five evaluated models.
 pub fn table2() -> Vec<(u32, f64)> {
-    let mut counts = vec![0usize; 11];
-    let mut total = 0usize;
-    for g in models::evaluated_cnns() {
-        let plan = search(
-            &g,
+    let zoo = models::evaluated_cnns();
+    let plans = WorkerPool::from_env().map(&zoo, |_, g| {
+        search(
+            g,
             &EngineConfig::pimflow(),
             &SearchOptions {
                 allow_pipeline: false,
                 ..Default::default()
             },
-        );
+        )
+    });
+    let mut counts = vec![0usize; 11];
+    let mut total = 0usize;
+    for plan in &plans {
         for p in &plan.profiles {
             counts[(p.best_ratio / 10) as usize] += 1;
             total += 1;

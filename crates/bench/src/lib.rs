@@ -10,4 +10,5 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod parallel_sweep;
 pub mod serve_sweep;

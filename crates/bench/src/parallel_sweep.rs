@@ -1,0 +1,147 @@
+//! Sequential-vs-parallel timing of the Algorithm 1 search.
+//!
+//! Times the execution-mode search of each model twice — once on a
+//! single-worker pool and once on the `PIMFLOW_JOBS`-wide pool — and
+//! checks that the two plans serialize to the same bytes (the worker
+//! pool's determinism contract). `figures parallel` writes the result as
+//! `BENCH_parallel.json`; `host_threads` records how much hardware
+//! parallelism the measurement actually had, so a speedup of ~1.0 on a
+//! single-core host is expected, not a regression.
+
+use pimflow::engine::EngineConfig;
+use pimflow::search::{search_with_pool, SearchOptions};
+use pimflow_ir::models;
+use pimflow_json::json_struct;
+use pimflow_pool::WorkerPool;
+use std::time::Instant;
+
+/// One model's sequential-vs-parallel search timing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelTiming {
+    /// Canonical model name.
+    pub model: String,
+    /// Nodes in the model graph.
+    pub nodes: usize,
+    /// Wall time of the single-worker search, milliseconds.
+    pub sequential_ms: f64,
+    /// Wall time of the pooled search, milliseconds.
+    pub parallel_ms: f64,
+    /// `sequential_ms / parallel_ms`.
+    pub speedup: f64,
+    /// Whether both plans serialized to identical bytes (must be true).
+    pub plans_identical: bool,
+}
+
+json_struct!(ModelTiming {
+    model,
+    nodes,
+    sequential_ms,
+    parallel_ms,
+    speedup,
+    plans_identical,
+});
+
+/// The full timing artifact written to `BENCH_parallel.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParallelReport {
+    /// Worker-pool width used for the parallel runs.
+    pub jobs: usize,
+    /// Hardware threads of the measuring host.
+    pub host_threads: usize,
+    /// One entry per model, in input order.
+    pub models: Vec<ModelTiming>,
+}
+
+json_struct!(ParallelReport {
+    jobs,
+    host_threads,
+    models
+});
+
+/// Models of the default timing sweep.
+pub const DEFAULT_MODELS: [&str; 2] = ["resnet-50", "efficientnet-v1-b0"];
+
+/// Times the search of each named model sequentially and on a `jobs`-wide
+/// pool.
+///
+/// # Panics
+///
+/// Panics on an unknown model name.
+pub fn sweep(model_names: &[&str], jobs: usize) -> ParallelReport {
+    let cfg = EngineConfig::pimflow();
+    let opts = SearchOptions::default();
+    let pool = WorkerPool::new(jobs);
+    let sequential = WorkerPool::sequential();
+    let models = model_names
+        .iter()
+        .map(|name| {
+            let g = models::by_name(name).expect("known model");
+            let t0 = Instant::now();
+            let seq_plan = search_with_pool(&g, &cfg, &opts, &sequential);
+            let sequential_ms = t0.elapsed().as_secs_f64() * 1e3;
+            let t1 = Instant::now();
+            let par_plan = search_with_pool(&g, &cfg, &opts, &pool);
+            let parallel_ms = t1.elapsed().as_secs_f64() * 1e3;
+            ModelTiming {
+                model: g.name.clone(),
+                nodes: g.node_ids().count(),
+                sequential_ms,
+                parallel_ms,
+                speedup: sequential_ms / parallel_ms,
+                plans_identical: pimflow_json::to_string(&seq_plan)
+                    == pimflow_json::to_string(&par_plan),
+            }
+        })
+        .collect();
+    ParallelReport {
+        jobs: pool.jobs(),
+        host_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        models,
+    }
+}
+
+/// Runs the default sweep at the `PIMFLOW_JOBS` pool width and writes
+/// `BENCH_parallel.json` under `dir`. Returns the report and the path
+/// written.
+///
+/// # Errors
+///
+/// Returns a rendered error when the write fails or a parallel plan
+/// diverged from its sequential baseline.
+pub fn write_bench_artifact(
+    dir: &std::path::Path,
+) -> Result<(ParallelReport, std::path::PathBuf), String> {
+    let report = sweep(&DEFAULT_MODELS, WorkerPool::from_env().jobs());
+    if let Some(bad) = report.models.iter().find(|m| !m.plans_identical) {
+        return Err(format!(
+            "parallel search diverged from sequential on {}",
+            bad.model
+        ));
+    }
+    std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+    let path = dir.join("BENCH_parallel.json");
+    std::fs::write(&path, pimflow_json::to_string_pretty(&report))
+        .map_err(|e| format!("writing {}: {e}", path.display()))?;
+    Ok((report, path))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_times_every_model_and_serializes() {
+        // The toy model keeps this test cheap; the zoo-wide identity
+        // property is covered by tests/parallelism.rs.
+        let report = sweep(&["toy"], 4);
+        assert_eq!(report.jobs, 4);
+        assert_eq!(report.models.len(), 1);
+        let m = &report.models[0];
+        assert!(m.plans_identical, "parallel plan diverged on {}", m.model);
+        assert!(m.sequential_ms > 0.0 && m.parallel_ms > 0.0);
+        assert!((m.speedup - m.sequential_ms / m.parallel_ms).abs() < 1e-12);
+        let json = pimflow_json::to_string(&report);
+        let back: ParallelReport = pimflow_json::from_str(&json).unwrap();
+        assert_eq!(report, back);
+    }
+}

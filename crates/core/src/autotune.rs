@@ -62,8 +62,9 @@ fn neighbours(plan: &ExecutionPlan, index: usize, step: u32) -> Vec<ExecutionPla
         .map(|r| {
             let mut p = plan.clone();
             if r == 100 {
-                // Full GPU: the decision disappears.
-                p.decisions.remove(index);
+                // Full GPU: keep the explicit entry so the candidate still
+                // counts in `ratio_distribution`.
+                p.decisions[index].1 = Decision::Gpu;
             } else {
                 p.decisions[index].1 = Decision::Split { gpu_percent: r };
             }

@@ -13,6 +13,13 @@
 //! the same — PIM costs come from command-trace execution on the DRAM-PIM
 //! simulator, GPU costs from the analytical GPU model — and record them in a
 //! serializable profile log, mirroring the artifact's metadata log file.
+//!
+//! The two measurement loops — per-node MD-DP profiling and per-chain
+//! pipeline costing — are embarrassingly parallel and run on a
+//! [`pimflow_pool::WorkerPool`] ([`search_with_pool`]; [`search`] sizes the
+//! pool from `PIMFLOW_JOBS`). Every per-item cost is a pure function of the
+//! graph and config, and results are merged in input order, so a pool of
+//! any width returns a plan byte-identical to the sequential search.
 
 use crate::codegen::{execute_workload, PimWorkload};
 use crate::engine::EngineConfig;
@@ -21,7 +28,8 @@ use crate::placement::Placement;
 use pimflow_gpusim::{kernel_time_with_launch_us, KernelProfile};
 use pimflow_ir::{analysis, Graph, NodeId, Op};
 use pimflow_json::{json_struct, FromJson, Json, JsonError, ToJson};
-use std::collections::HashMap;
+use pimflow_pool::WorkerPool;
+use std::collections::{BTreeMap, HashMap};
 
 /// Which execution modes the search may choose from (varies per offloading
 /// mechanism, §5).
@@ -175,9 +183,15 @@ impl ExecutionPlan {
     }
 
     /// Distribution of chosen MD-DP GPU ratios over PIM-candidate layers
-    /// (Table 2): `(ratio, share)` pairs over 0,10,...,100.
+    /// (Table 2): `(ratio, share)` pairs over the 10% grid 0,10,...,100,
+    /// extended with any off-grid ratio a non-divisor `ratio_step` chose.
+    ///
+    /// Candidates the search left on the GPU carry an explicit
+    /// [`Decision::Gpu`] entry and count toward the 100% bucket, so the
+    /// shares sum to 1 over *all* PIM-candidate layers (pipelined chains
+    /// excluded — they have no single ratio).
     pub fn ratio_distribution(&self) -> Vec<(u32, f64)> {
-        let mut counts: HashMap<u32, usize> = HashMap::new();
+        let mut counts: BTreeMap<u32, usize> = (0..=100).step_by(10).map(|r| (r, 0)).collect();
         let mut total = 0usize;
         for (_, d) in &self.decisions {
             let r = match d {
@@ -188,10 +202,9 @@ impl ExecutionPlan {
             *counts.entry(r).or_insert(0) += 1;
             total += 1;
         }
-        (0..=100)
-            .step_by(10)
-            .map(|r| {
-                let c = counts.get(&r).copied().unwrap_or(0);
+        counts
+            .into_iter()
+            .map(|(r, c)| {
                 (
                     r,
                     if total == 0 {
@@ -205,7 +218,12 @@ impl ExecutionPlan {
     }
 }
 
-/// Shared profiling context (memoizes PIM simulations).
+/// Profiling context (memoizes PIM simulations).
+///
+/// Under the worker pool each worker owns one `Profiler` shard, so workers
+/// never serialize on a shared map. The memo caches values of a pure
+/// function, so shard boundaries and merge order cannot change any cost —
+/// only how often `execute_workload` reruns.
 struct Profiler<'g> {
     graph: &'g Graph,
     cfg: EngineConfig,
@@ -214,11 +232,26 @@ struct Profiler<'g> {
 
 impl<'g> Profiler<'g> {
     fn new(graph: &'g Graph, cfg: &EngineConfig) -> Self {
+        Profiler::with_memo(graph, cfg, HashMap::new())
+    }
+
+    /// A profiler seeded with an existing memo (merged shards of an earlier
+    /// parallel phase).
+    fn with_memo(
+        graph: &'g Graph,
+        cfg: &EngineConfig,
+        pim_memo: HashMap<PimWorkload, f64>,
+    ) -> Self {
         Profiler {
             graph,
             cfg: cfg.clone(),
-            pim_memo: HashMap::new(),
+            pim_memo,
         }
+    }
+
+    /// Consumes the profiler, returning its memo shard for merging.
+    fn into_memo(self) -> HashMap<PimWorkload, f64> {
+        self.pim_memo
     }
 
     /// PIM time of `frac` of node `id`'s rows, microseconds.
@@ -379,13 +412,34 @@ pub fn estimate_chain_pipelined_us(
     p.pipeline_cost(chain, stages.max(2))
 }
 
-/// Estimated best MD-DP time of node `id` (minimum over the 10% ratio grid,
-/// including full offload and full GPU), for harness-level comparisons.
-pub fn estimate_node_best_us(graph: &Graph, cfg: &EngineConfig, id: NodeId) -> f64 {
+/// MD-DP sample grid of `opts`, in ascending order. Both endpoints are
+/// always present: 0 (full offload) and 100 (full GPU) anchor the search
+/// even when `ratio_step` does not divide 100 (step 30 samples
+/// 0,30,60,90,100 — not 0,30,60,90).
+fn ratio_grid(opts: &SearchOptions) -> Vec<u32> {
+    if opts.offload_only {
+        return vec![0, 100];
+    }
+    let mut grid: Vec<u32> = (0..=100).step_by(opts.ratio_step.max(1) as usize).collect();
+    if *grid.last().expect("grid starts at 0") != 100 {
+        grid.push(100);
+    }
+    grid
+}
+
+/// Estimated best MD-DP time of node `id` (minimum over the ratio grid of
+/// `opts`, always including full offload and full GPU), for harness-level
+/// comparisons.
+pub fn estimate_node_best_us(
+    graph: &Graph,
+    cfg: &EngineConfig,
+    id: NodeId,
+    opts: &SearchOptions,
+) -> f64 {
     let mut p = Profiler::new(graph, cfg);
     if graph.is_pim_candidate(id) && cfg.pim_channels > 0 {
-        (0..=100)
-            .step_by(10)
+        ratio_grid(opts)
+            .into_iter()
             .map(|r| p.mddp_cost(id, r))
             .fold(f64::INFINITY, f64::min)
     } else {
@@ -411,16 +465,41 @@ fn solo_gpu_cost(p: &mut Profiler<'_>, id: NodeId, fused_after_conv: bool) -> f6
     p.gpu_time(id, 1.0)
 }
 
-/// Runs the execution mode and task size search over `graph`.
+/// Per-node outcome of the profiling phase (lines 1-7 of Algorithm 1),
+/// computed independently per node so the phase parallelizes.
+struct NodeOutcome {
+    cost: f64,
+    decision: Decision,
+    candidate: bool,
+    profile: Option<LayerProfile>,
+}
+
+/// Runs the execution mode and task size search over `graph`, sizing the
+/// worker pool from `PIMFLOW_JOBS` (see [`search_with_pool`]).
 ///
 /// Returns the chosen plan. Costs are measured with the hardware models in
 /// `cfg`; `opts` restricts the mode space per offloading mechanism.
 pub fn search(graph: &Graph, cfg: &EngineConfig, opts: &SearchOptions) -> ExecutionPlan {
+    search_with_pool(graph, cfg, opts, &WorkerPool::from_env())
+}
+
+/// [`search`] with an explicit worker pool.
+///
+/// The per-node MD-DP profiling and the per-chain pipeline costing fan out
+/// over `pool`; each worker profiles with its own memo shard
+/// (shard-per-worker, so workers never contend on one map) and results are
+/// merged in topological/chain order. The returned plan is bit-identical
+/// for any pool width, including [`WorkerPool::sequential`].
+pub fn search_with_pool(
+    graph: &Graph,
+    cfg: &EngineConfig,
+    opts: &SearchOptions,
+    pool: &WorkerPool,
+) -> ExecutionPlan {
     let order = graph.topo_order().expect("graph must be acyclic");
     let n = order.len();
     let index_of: HashMap<NodeId, usize> =
         order.iter().enumerate().map(|(i, &id)| (id, i)).collect();
-    let mut profiler = Profiler::new(graph, cfg);
 
     // Whether each node fuses into its producer in the all-GPU timeline
     // (mirrors the engine: element-wise ops fuse into any GPU compute
@@ -438,14 +517,22 @@ pub fn search(graph: &Graph, cfg: &EngineConfig, opts: &SearchOptions) -> Execut
         conv_like.insert(id, fusable);
     }
 
-    // Single-node costs: lines 1-7 of Algorithm 1.
-    let mut single_cost = vec![0.0f64; n];
-    let mut single_decision: Vec<Decision> = vec![Decision::Gpu; n];
-    let mut profiles = Vec::new();
-    for (i, &id) in order.iter().enumerate() {
-        let fused = *conv_like.get(&id).unwrap_or(&false);
-        let gpu_only = solo_gpu_cost(&mut profiler, id, fused);
-        if graph.is_pim_candidate(id) && cfg.pim_channels > 0 {
+    // Single-node costs: lines 1-7 of Algorithm 1, one independent task per
+    // node.
+    let (outcomes, shards) = pool.map_with(
+        &order,
+        || Profiler::new(graph, cfg),
+        |profiler, _, &id| {
+            let fused = *conv_like.get(&id).unwrap_or(&false);
+            let gpu_only = solo_gpu_cost(profiler, id, fused);
+            if !(graph.is_pim_candidate(id) && cfg.pim_channels > 0) {
+                return NodeOutcome {
+                    cost: gpu_only,
+                    decision: Decision::Gpu,
+                    candidate: false,
+                    profile: None,
+                };
+            }
             // Nodes whose split axis is degenerate (1x1 spatial convs in
             // squeeze-excite blocks, width-1 FCs) only offer the offload
             // endpoints.
@@ -467,10 +554,10 @@ pub fn search(graph: &Graph, cfg: &EngineConfig, opts: &SearchOptions) -> Execut
                 }
                 _ => false,
             };
-            let ratios: Vec<u32> = if opts.offload_only || !splittable {
+            let ratios: Vec<u32> = if !splittable {
                 vec![0, 100]
             } else {
-                (0..=100).step_by(opts.ratio_step.max(1) as usize).collect()
+                ratio_grid(opts)
             };
             let mut samples = Vec::with_capacity(ratios.len());
             let mut best = (100u32, gpu_only);
@@ -481,29 +568,43 @@ pub fn search(graph: &Graph, cfg: &EngineConfig, opts: &SearchOptions) -> Execut
                     best = (r, t);
                 }
             }
-            profiles.push(LayerProfile {
+            let profile = LayerProfile {
                 name: graph.node(id).name.clone(),
                 samples,
                 best_ratio: best.0,
                 best_us: best.1,
                 gpu_us: gpu_only,
-            });
-            single_cost[i] = best.1;
-            single_decision[i] = if best.0 == 100 {
+            };
+            let decision = if best.0 == 100 {
                 Decision::Gpu
             } else {
                 Decision::Split {
                     gpu_percent: best.0,
                 }
             };
-        } else {
-            single_cost[i] = gpu_only;
-        }
+            NodeOutcome {
+                cost: best.1,
+                decision,
+                candidate: true,
+                profile: Some(profile),
+            }
+        },
+    );
+    // Merge the worker memo shards (worker-index order; contents are pure,
+    // so only recompute rates — never values — depend on the sharding).
+    let mut memo: HashMap<PimWorkload, f64> = HashMap::new();
+    for shard in shards {
+        memo.extend(shard.into_memo());
     }
 
-    // Pipeline candidates: lines 8-15. A chain is usable when its nodes are
-    // contiguous in the topo order (the DP walks that order).
-    let mut chain_options: HashMap<usize, Vec<(Chain, f64)>> = HashMap::new();
+    let profiles: Vec<LayerProfile> = outcomes.iter().filter_map(|o| o.profile.clone()).collect();
+    let single_cost: Vec<f64> = outcomes.iter().map(|o| o.cost).collect();
+
+    // Pipeline candidates: lines 8-15, one independent task per chain. A
+    // chain is usable when its nodes are contiguous in the topo order (the
+    // DP walks that order). Workers start from the node phase's merged
+    // memo, so shared PIM workloads are not re-simulated.
+    let mut chain_list: Vec<(usize, Chain)> = Vec::new();
     if opts.allow_pipeline && cfg.pim_channels > 0 {
         for chain in find_chains(graph) {
             let start = index_of[&chain.nodes[0]];
@@ -512,12 +613,19 @@ pub fn search(graph: &Graph, cfg: &EngineConfig, opts: &SearchOptions) -> Execut
                 .iter()
                 .enumerate()
                 .all(|(k, nid)| index_of[nid] == start + k);
-            if !contiguous {
-                continue;
+            if contiguous {
+                chain_list.push((start, chain));
             }
-            let cost = profiler.pipeline_cost(&chain, opts.pipeline_stages.max(2));
-            chain_options.entry(start).or_default().push((chain, cost));
         }
+    }
+    let (chain_costs, _) = pool.map_with(
+        &chain_list,
+        || Profiler::with_memo(graph, cfg, memo.clone()),
+        |profiler, _, (_, chain)| profiler.pipeline_cost(chain, opts.pipeline_stages.max(2)),
+    );
+    let mut chain_options: HashMap<usize, Vec<(Chain, f64)>> = HashMap::new();
+    for ((start, chain), cost) in chain_list.into_iter().zip(chain_costs) {
+        chain_options.entry(start).or_default().push((chain, cost));
     }
 
     // DP combine: lines 23-28 (suffix form over the topo order).
@@ -578,8 +686,12 @@ pub fn search(graph: &Graph, cfg: &EngineConfig, opts: &SearchOptions) -> Execut
             if matches!(graph.node(id).op, Op::Conv2d(_)) && graph.is_pim_candidate(id) {
                 conv_layer_us += single_cost[i];
             }
-            if single_decision[i] != Decision::Gpu {
-                decisions.push((name, single_decision[i].clone()));
+            // Every profiled candidate gets an explicit decision — GPU
+            // included — so `ratio_distribution` counts the 100% bucket's
+            // real mass (Table 2). Non-candidates always stay on GPU and
+            // are omitted as before.
+            if outcomes[i].candidate {
+                decisions.push((name, outcomes[i].decision.clone()));
             }
             i += 1;
         }
@@ -771,6 +883,120 @@ mod tests {
             .any(|(_, d)| !matches!(d, Decision::Pipeline { .. }))
         {
             assert!((total - 1.0).abs() < 1e-9, "total {total}");
+        }
+    }
+
+    #[test]
+    fn ratio_grid_always_contains_both_endpoints() {
+        // Regression: `(0..=100).step_by(30)` samples 0,30,60,90 and loses
+        // the full-GPU endpoint whenever the step does not divide 100.
+        for step in [7u32, 10, 30, 33, 100] {
+            let opts = SearchOptions {
+                ratio_step: step,
+                ..Default::default()
+            };
+            let grid = ratio_grid(&opts);
+            assert_eq!(*grid.first().unwrap(), 0, "step {step}");
+            assert_eq!(*grid.last().unwrap(), 100, "step {step}");
+            assert!(
+                grid.windows(2).all(|w| w[0] < w[1]),
+                "step {step}: {grid:?}"
+            );
+        }
+        let g = models::toy();
+        let opts = SearchOptions {
+            ratio_step: 30,
+            allow_pipeline: false,
+            ..Default::default()
+        };
+        let plan = search(&g, &pimflow_cfg(), &opts);
+        for p in &plan.profiles {
+            let ratios: Vec<u32> = p.samples.iter().map(|&(r, _)| r).collect();
+            assert!(ratios.contains(&0), "{}: {ratios:?}", p.name);
+            assert!(ratios.contains(&100), "{}: {ratios:?}", p.name);
+        }
+    }
+
+    #[test]
+    fn estimate_node_best_us_respects_ratio_step() {
+        let g = models::toy();
+        let cfg = pimflow_cfg();
+        let fine = SearchOptions::default(); // step 10
+        let coarse = SearchOptions {
+            ratio_step: 50,
+            ..Default::default()
+        };
+        for id in g.node_ids().filter(|&id| g.is_pim_candidate(id)) {
+            let f = estimate_node_best_us(&g, &cfg, id, &fine);
+            let c = estimate_node_best_us(&g, &cfg, id, &coarse);
+            // The fine grid is a superset of the coarse grid, so its
+            // minimum can only be lower.
+            assert!(f <= c + 1e-9, "node {id:?}: fine {f} > coarse {c}");
+        }
+    }
+
+    #[test]
+    fn ratio_distribution_counts_gpu_resident_candidates() {
+        // Regression: candidates the search leaves on the GPU must carry an
+        // explicit Decision::Gpu entry and fill the 100% bucket; they used
+        // to be dropped from `decisions` entirely, so Table 2 shares missed
+        // the bucket's real mass.
+        let g = models::toy();
+        let mut cfg = pimflow_cfg();
+        // Make offloading hopeless: every result-return transfer costs an
+        // eternity, so the best ratio is 100 for every candidate.
+        cfg.transfer_latency_us = 1e9;
+        let opts = SearchOptions {
+            allow_pipeline: false,
+            ..Default::default()
+        };
+        let plan = search(&g, &cfg, &opts);
+        assert!(!plan.profiles.is_empty());
+        assert_eq!(
+            plan.decisions.len(),
+            plan.profiles.len(),
+            "one explicit decision per profiled candidate"
+        );
+        assert!(plan
+            .decisions
+            .iter()
+            .all(|(_, d)| matches!(d, Decision::Gpu)));
+        let dist = plan.ratio_distribution();
+        let total: f64 = dist.iter().map(|(_, s)| s).sum();
+        assert!((total - 1.0).abs() < 1e-9, "total {total}");
+        let full_gpu = dist.iter().find(|&&(r, _)| r == 100).unwrap().1;
+        assert!((full_gpu - 1.0).abs() < 1e-9, "100%% bucket {full_gpu}");
+    }
+
+    #[test]
+    fn off_grid_ratios_still_sum_to_one() {
+        // A non-divisor step picks ratios outside the 10% reporting grid;
+        // the distribution must include them instead of dropping them.
+        let plan = ExecutionPlan {
+            model: "synthetic".into(),
+            decisions: vec![
+                ("a".into(), Decision::Split { gpu_percent: 33 }),
+                ("b".into(), Decision::Gpu),
+            ],
+            profiles: Vec::new(),
+            predicted_us: 1.0,
+            conv_layer_us: 0.0,
+        };
+        let dist = plan.ratio_distribution();
+        let total: f64 = dist.iter().map(|(_, s)| s).sum();
+        assert!((total - 1.0).abs() < 1e-9, "total {total}");
+        assert!(dist.iter().any(|&(r, s)| r == 33 && (s - 0.5).abs() < 1e-9));
+    }
+
+    #[test]
+    fn parallel_pools_match_sequential_on_toy() {
+        let g = models::toy();
+        let opts = SearchOptions::default();
+        let baseline = search_with_pool(&g, &pimflow_cfg(), &opts, &WorkerPool::sequential());
+        let expected = pimflow_json::to_string(&baseline);
+        for jobs in [2usize, 8] {
+            let plan = search_with_pool(&g, &pimflow_cfg(), &opts, &WorkerPool::new(jobs));
+            assert_eq!(pimflow_json::to_string(&plan), expected, "jobs {jobs}");
         }
     }
 

@@ -19,9 +19,13 @@
 //! # Serving: simulate an inference service in front of the device
 //! pimflow serve --model <net> --policy <p> --rps <r> --duration <s> [--seed <n>]
 //!               [--arrival fixed|poisson] [--trace-file <path>] [--max-batch <n>]
-//!               [--timeout-us <t>] [--cache-size <n>] [--events-out <path>]
-//!               [--report-out <path>]
+//!               [--timeout-us <t>] [--cache-size <n>] [--precompile]
+//!               [--events-out <path>] [--report-out <path>]
 //! ```
+//!
+//! Every mode accepts `--jobs=<n>` to set the worker-pool width of the
+//! Algorithm 1 search (equivalent to the `PIMFLOW_JOBS` environment
+//! variable; plans are bit-identical at any width).
 //!
 //! `<net>` is one of `toy`, `efficientnet-v1-b0`, `mobilenet-v2`,
 //! `mnasnet-1.0`, `resnet-50`, `vgg-16` (plus `bert-3`/`bert-64` and the
@@ -75,6 +79,7 @@ fn parse_args() -> Result<Args, String> {
                     Policy::from_cli(&v).ok_or_else(|| format!("unknown policy `{v}`"))?;
             }
             "--out" => args.out_dir = PathBuf::from(value.ok_or("--out requires a value")?),
+            "--jobs" | "-j" => set_jobs(&value.ok_or("--jobs requires a value")?)?,
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
@@ -82,6 +87,21 @@ fn parse_args() -> Result<Args, String> {
         return Err("missing -m=<profile|solve|run>".into());
     }
     Ok(args)
+}
+
+/// Applies `--jobs`: the search and the bench sweeps read the pool width
+/// from `PIMFLOW_JOBS`, so the flag just sets the variable for this
+/// process (results are bit-identical at any width — only wall time
+/// changes).
+fn set_jobs(value: &str) -> Result<(), String> {
+    let n: usize = value
+        .parse()
+        .map_err(|_| format!("--jobs expects a positive integer, got `{value}`"))?;
+    if n == 0 {
+        return Err("--jobs must be at least 1 (unset it for auto)".into());
+    }
+    std::env::set_var(pimflow_pool::JOBS_ENV_VAR, value);
+    Ok(())
 }
 
 fn load_model(net: &Option<String>) -> Result<pimflow_ir::Graph, String> {
@@ -329,6 +349,8 @@ fn parse_serve_args(raw: &[String]) -> Result<ServeArgs, String> {
             "--max-batch" => sa.cfg.max_batch = int(&key, &value(&key)?)?,
             "--timeout-us" => sa.cfg.batch_timeout_us = num(&key, &value(&key)?)?,
             "--cache-size" => sa.cfg.cache_capacity = int(&key, &value(&key)?)?,
+            "--precompile" => sa.cfg.precompile = true,
+            "--jobs" | "-j" => set_jobs(&value(&key)?)?,
             "--events-out" => sa.events_out = Some(PathBuf::from(value(&key)?)),
             "--report-out" => sa.report_out = Some(PathBuf::from(value(&key)?)),
             other => return Err(format!("unknown serve argument `{other}`")),
@@ -434,7 +456,7 @@ fn main() -> ExitCode {
                     "usage: pimflow serve --model <net> [--policy <p>] [--rps <r>] \
                      [--arrival fixed|poisson|trace] [--trace-file <path>] [--duration <s>] \
                      [--seed <n>] [--max-batch <n>] [--timeout-us <t>] [--cache-size <n>] \
-                     [--events-out <path>] [--report-out <path>]"
+                     [--precompile] [--jobs <n>] [--events-out <path>] [--report-out <path>]"
                 );
                 ExitCode::FAILURE
             }

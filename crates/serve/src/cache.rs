@@ -5,6 +5,12 @@
 //! *batched* graph. Its result depends only on the (model, policy, batch
 //! size) triple, so the scheduler memoizes compiled batch profiles behind
 //! this cache and the search runs once per configuration.
+//!
+//! Recency is tracked with a monotonic use-stamp per entry instead of a
+//! position list: a hit is one `HashMap` update (O(1)), and only an
+//! eviction scans for the minimum stamp (O(capacity), on the already-slow
+//! miss path). The old scheme (`Vec::position` + `remove(0)`) paid
+//! O(capacity) on every hit.
 
 use std::collections::HashMap;
 
@@ -19,13 +25,21 @@ pub struct PlanKey {
     pub batch: usize,
 }
 
+/// One cached value plus the stamp of its last use.
+#[derive(Debug, Clone)]
+struct Slot<V> {
+    value: V,
+    last_use: u64,
+}
+
 /// A bounded LRU map from [`PlanKey`] to compiled batch profiles.
 #[derive(Debug, Clone)]
 pub struct PlanCache<V> {
     capacity: usize,
-    map: HashMap<PlanKey, V>,
-    /// Keys in recency order, least-recent first.
-    order: Vec<PlanKey>,
+    map: HashMap<PlanKey, Slot<V>>,
+    /// Monotonic use counter; stamps are unique, so the LRU entry (minimum
+    /// stamp) is unambiguous and eviction is deterministic.
+    tick: u64,
     hits: u64,
     misses: u64,
 }
@@ -41,16 +55,25 @@ impl<V> PlanCache<V> {
         PlanCache {
             capacity,
             map: HashMap::new(),
-            order: Vec::new(),
+            tick: 0,
             hits: 0,
             misses: 0,
         }
     }
 
-    fn touch(&mut self, key: &PlanKey) {
-        if let Some(pos) = self.order.iter().position(|k| k == key) {
-            let k = self.order.remove(pos);
-            self.order.push(k);
+    fn next_tick(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    fn evict_lru(&mut self) {
+        if let Some(key) = self
+            .map
+            .iter()
+            .min_by_key(|(_, slot)| slot.last_use)
+            .map(|(k, _)| k.clone())
+        {
+            self.map.remove(&key);
         }
     }
 
@@ -59,19 +82,54 @@ impl<V> PlanCache<V> {
     /// value and whether this was a hit.
     pub fn get_or_insert_with(&mut self, key: PlanKey, build: impl FnOnce() -> V) -> (&V, bool) {
         let hit = self.map.contains_key(&key);
+        let stamp = self.next_tick();
         if hit {
             self.hits += 1;
-            self.touch(&key);
+            self.map
+                .get_mut(&key)
+                .expect("checked contains_key")
+                .last_use = stamp;
         } else {
             self.misses += 1;
             if self.map.len() >= self.capacity {
-                let evicted = self.order.remove(0);
-                self.map.remove(&evicted);
+                self.evict_lru();
             }
-            self.map.insert(key.clone(), build());
-            self.order.push(key.clone());
+            self.map.insert(
+                key.clone(),
+                Slot {
+                    value: build(),
+                    last_use: stamp,
+                },
+            );
         }
-        (self.map.get(&key).expect("just inserted"), hit)
+        (&self.map.get(&key).expect("just inserted").value, hit)
+    }
+
+    /// Inserts (or replaces) `key` without touching the hit/miss counters —
+    /// the warm-up path for precompiled plans. Evicts the LRU entry when
+    /// inserting a new key into a full cache.
+    pub fn insert(&mut self, key: PlanKey, value: V) {
+        let stamp = self.next_tick();
+        if let Some(slot) = self.map.get_mut(&key) {
+            slot.value = value;
+            slot.last_use = stamp;
+            return;
+        }
+        if self.map.len() >= self.capacity {
+            self.evict_lru();
+        }
+        self.map.insert(
+            key,
+            Slot {
+                value,
+                last_use: stamp,
+            },
+        );
+    }
+
+    /// Maximum number of cached plans.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// Cache hits so far.
@@ -148,6 +206,48 @@ mod tests {
         assert!(hit, "batch-3 plan must have survived");
         let (_, hit) = c.get_or_insert_with(key(2), || 2);
         assert!(!hit, "batch-2 plan must have been evicted");
+    }
+
+    #[test]
+    fn hit_accounting_survives_eviction_of_touched_key() {
+        // Regression for the recency rework: touching a key, evicting it,
+        // and re-inserting it must keep hits/misses exact across the whole
+        // sequence.
+        let mut c: PlanCache<usize> = PlanCache::new(2);
+        c.get_or_insert_with(key(1), || 1); // miss
+        c.get_or_insert_with(key(2), || 2); // miss
+        c.get_or_insert_with(key(1), || unreachable!()); // hit (touch 1)
+        c.get_or_insert_with(key(3), || 3); // miss, evicts 2
+        c.get_or_insert_with(key(2), || 2); // miss, evicts 1 (LRU after touch order 1,3)
+        let (_, hit) = c.get_or_insert_with(key(3), || unreachable!());
+        assert!(hit, "3 was touched after 1");
+        let (_, hit) = c.get_or_insert_with(key(1), || 1); // miss: evicted above
+        assert!(!hit);
+        assert_eq!(c.hits(), 2);
+        assert_eq!(c.misses(), 5);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn insert_warms_without_counting_lookups() {
+        let mut c: PlanCache<usize> = PlanCache::new(2);
+        c.insert(key(1), 10);
+        c.insert(key(2), 20);
+        assert_eq!(c.hits() + c.misses(), 0, "warm-up is not a lookup");
+        let (v, hit) = c.get_or_insert_with(key(1), || unreachable!());
+        assert!(hit);
+        assert_eq!(*v, 10);
+        // Replacing an existing key keeps the size and updates the value.
+        c.insert(key(1), 11);
+        assert_eq!(c.len(), 2);
+        let (v, hit) = c.get_or_insert_with(key(1), || unreachable!());
+        assert!(hit);
+        assert_eq!(*v, 11);
+        // Over-capacity warm-up evicts deterministically (LRU first).
+        c.insert(key(3), 30);
+        assert_eq!(c.len(), 2);
+        let (_, hit) = c.get_or_insert_with(key(2), || 21);
+        assert!(!hit, "batch-2 was least recently used");
     }
 
     #[test]

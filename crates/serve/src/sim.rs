@@ -18,9 +18,10 @@ use crate::queue::{BatchQueue, QueuedRequest};
 use pimflow::batch::with_batch;
 use pimflow::engine::{execute, EngineConfig};
 use pimflow::policy::Policy;
-use pimflow::search::{apply_plan, search};
+use pimflow::search::{apply_plan, search, SearchOptions};
 use pimflow_ir::models;
 use pimflow_json::json_struct;
+use pimflow_pool::WorkerPool;
 use std::fmt;
 
 /// Configuration of one serving run.
@@ -44,6 +45,12 @@ pub struct ServeConfig {
     pub batch_timeout_us: f64,
     /// LRU plan-cache capacity (plans).
     pub cache_capacity: usize,
+    /// Compile plans for every batch size `1..=max_batch` on the worker
+    /// pool before serving starts (width from `PIMFLOW_JOBS`/`--jobs`).
+    /// The serving timeline is unchanged — compilation is host work, not
+    /// simulated time — so every metric except the cache counters matches
+    /// the lazy path; cold-start misses just move off the serving loop.
+    pub precompile: bool,
 }
 
 impl ServeConfig {
@@ -60,6 +67,7 @@ impl ServeConfig {
             max_batch: 8,
             batch_timeout_us: 2_000.0,
             cache_capacity: 16,
+            precompile: false,
         }
     }
 }
@@ -140,6 +148,30 @@ struct BatchProfile {
     latency_us: f64,
     energy_uj: f64,
     pim_channel_busy_us: Vec<f64>,
+}
+
+/// Compiles one batch size: batch the model, search an execution plan (when
+/// the policy has one), and price the batch on the execution engine. Pure
+/// in its inputs, so distinct batch sizes compile in parallel.
+fn compile_batch(
+    base: &pimflow_ir::Graph,
+    size: usize,
+    engine_cfg: &EngineConfig,
+    search_opts: &Option<SearchOptions>,
+) -> Result<BatchProfile, ServeError> {
+    let batched = with_batch(base, size).map_err(|e| ServeError::Batch(e.to_string()))?;
+    let report = match search_opts {
+        None => execute(&batched, engine_cfg),
+        Some(opts) => {
+            let plan = search(&batched, engine_cfg, opts);
+            execute(&apply_plan(&batched, &plan), engine_cfg)
+        }
+    };
+    Ok(BatchProfile {
+        latency_us: report.total_us,
+        energy_uj: report.energy_uj,
+        pim_channel_busy_us: report.pim_channel_busy_us,
+    })
 }
 
 /// Metrics summary of one serving run.
@@ -223,6 +255,29 @@ pub fn run(cfg: &ServeConfig) -> Result<ServeRun, ServeError> {
     let mut pim_busy_us = vec![0.0f64; engine_cfg.pim_channels];
     let mut energy_uj = 0.0f64;
 
+    // Warm the plan cache in parallel: every batch size the dynamic
+    // batcher can produce, compiled as one worker-pool task each, inserted
+    // in ascending-size order (deterministic regardless of pool width).
+    if cfg.precompile {
+        let sizes: Vec<usize> = (1..=cfg.max_batch.max(1)).collect();
+        let pool = WorkerPool::from_env();
+        let compiled = pool.map(&sizes, |_, &size| {
+            compile_batch(&base, size, &engine_cfg, &search_opts)
+        });
+        for (&size, result) in sizes.iter().zip(compiled) {
+            let profile = result?;
+            counters.search_invocations += search_opts.is_some() as u64;
+            cache.insert(
+                PlanKey {
+                    model: model_name.clone(),
+                    policy: cfg.policy.name().to_string(),
+                    batch: size,
+                },
+                profile,
+            );
+        }
+    }
+
     let mut next = 0usize; // index of the next arrival to admit
     let mut device_free_us = 0.0f64;
     let mut makespan_us = 0.0f64;
@@ -273,23 +328,10 @@ pub fn run(cfg: &ServeConfig) -> Result<ServeRun, ServeError> {
         let mut batch_err = None;
         let (profile, hit) = cache.get_or_insert_with(key, || {
             counters.search_invocations += search_opts.is_some() as u64;
-            match with_batch(&base, size) {
-                Ok(batched) => {
-                    let report = match &search_opts {
-                        None => execute(&batched, &engine_cfg),
-                        Some(opts) => {
-                            let plan = search(&batched, &engine_cfg, opts);
-                            execute(&apply_plan(&batched, &plan), &engine_cfg)
-                        }
-                    };
-                    BatchProfile {
-                        latency_us: report.total_us,
-                        energy_uj: report.energy_uj,
-                        pim_channel_busy_us: report.pim_channel_busy_us,
-                    }
-                }
+            match compile_batch(&base, size, &engine_cfg, &search_opts) {
+                Ok(profile) => profile,
                 Err(e) => {
-                    batch_err = Some(ServeError::Batch(e.to_string()));
+                    batch_err = Some(e);
                     BatchProfile {
                         latency_us: 0.0,
                         energy_uj: 0.0,
@@ -451,6 +493,49 @@ mod tests {
             "PIMFlow serving must touch PIM channels"
         );
         assert!(util.iter().all(|&u| (0.0..=1.0).contains(&u)));
+    }
+
+    #[test]
+    fn precompiled_run_matches_lazy_run() {
+        let lazy = run(&toy_cfg()).unwrap();
+        let cfg = ServeConfig {
+            precompile: true,
+            ..toy_cfg()
+        };
+        let warm = run(&cfg).unwrap();
+        // The simulated timeline is identical — compilation happens on the
+        // host, not in simulated time.
+        assert_eq!(lazy.report.p50_us, warm.report.p50_us);
+        assert_eq!(lazy.report.p95_us, warm.report.p95_us);
+        assert_eq!(lazy.report.p99_us, warm.report.p99_us);
+        assert_eq!(lazy.report.mean_us, warm.report.mean_us);
+        assert_eq!(lazy.report.max_us, warm.report.max_us);
+        assert_eq!(lazy.report.makespan_us, warm.report.makespan_us);
+        assert_eq!(lazy.report.energy_uj, warm.report.energy_uj);
+        assert_eq!(lazy.report.batch_sizes, warm.report.batch_sizes);
+        // Traces differ only in the per-dispatch cache outcome field.
+        assert_eq!(
+            lazy.events
+                .to_jsonl()
+                .replace("\"cache\":\"miss\"", "\"cache\":\"hit\""),
+            warm.events.to_jsonl(),
+            "event traces must agree on everything but cache outcomes"
+        );
+        // Parallel precompilation itself is deterministic.
+        let warm2 = run(&cfg).unwrap();
+        assert_eq!(warm.report, warm2.report);
+        assert_eq!(warm.events.to_jsonl(), warm2.events.to_jsonl());
+        // Only the cache accounting differs: every dispatch hits.
+        assert_eq!(warm.report.counters.cache_misses, 0);
+        assert_eq!(
+            warm.report.counters.cache_hits,
+            warm.report.counters.batches
+        );
+        assert_eq!(warm.report.cache_hit_rate, 1.0);
+        assert_eq!(
+            warm.report.counters.search_invocations, cfg.max_batch as u64,
+            "one search per precompiled batch size"
+        );
     }
 
     #[test]

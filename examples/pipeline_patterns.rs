@@ -9,7 +9,7 @@
 use pimflow::engine::{execute, EngineConfig};
 use pimflow::passes::{find_chains, pipeline_chain, PatternKind};
 use pimflow::placement::Placement;
-use pimflow::search::{estimate_chain_pipelined_us, estimate_node_best_us};
+use pimflow::search::{estimate_chain_pipelined_us, estimate_node_best_us, SearchOptions};
 use pimflow_ir::models;
 use pimflow_kernels::{input_tensors, run_graph};
 
@@ -39,7 +39,7 @@ fn main() {
             let mddp: f64 = c
                 .nodes
                 .iter()
-                .map(|&id| estimate_node_best_us(&model, &cfg, id))
+                .map(|&id| estimate_node_best_us(&model, &cfg, id, &SearchOptions::default()))
                 .sum();
             if pipelined < mddp {
                 wins += 1;

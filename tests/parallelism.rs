@@ -1,0 +1,68 @@
+//! Worker-pool determinism contract: the execution plan produced by
+//! `search_with_pool` must be byte-identical (via `pimflow_json`
+//! serialization) at every pool width, for every model of the evaluated
+//! zoo and for non-default search options. The pool only changes *when*
+//! node profiles and chain costs are computed, never their values or the
+//! order they are combined in, so any divergence here is a scheduling
+//! leak into the cost model.
+
+use pimflow::engine::EngineConfig;
+use pimflow::search::{search_with_pool, SearchOptions};
+use pimflow_ir::models;
+use pimflow_pool::WorkerPool;
+
+/// Pool widths exercised against the sequential baseline: the inline path
+/// (1), a partial shard (2), and more workers than some models have
+/// candidate layers (8).
+const WIDTHS: [usize; 3] = [1, 2, 8];
+
+fn assert_widths_match(g: &pimflow_ir::Graph, cfg: &EngineConfig, opts: &SearchOptions) {
+    let baseline = search_with_pool(g, cfg, opts, &WorkerPool::sequential());
+    let expected = pimflow_json::to_string(&baseline);
+    for jobs in WIDTHS {
+        let plan = search_with_pool(g, cfg, opts, &WorkerPool::new(jobs));
+        assert_eq!(
+            pimflow_json::to_string(&plan),
+            expected,
+            "{}: plan diverged at {jobs} workers",
+            g.name
+        );
+    }
+}
+
+#[test]
+fn any_pool_width_reproduces_the_sequential_plan_across_the_zoo() {
+    let cfg = EngineConfig::pimflow();
+    let opts = SearchOptions::default();
+    for g in models::evaluated_cnns() {
+        assert_widths_match(&g, &cfg, &opts);
+    }
+}
+
+#[test]
+fn pool_width_is_invisible_to_non_default_search_options() {
+    let cfg = EngineConfig::pimflow();
+    // A non-divisor ratio step stresses the endpoint-completion fix and
+    // offload-only skips the ratio sweep entirely; both must stay
+    // deterministic under sharded memoization.
+    let coarse = SearchOptions {
+        ratio_step: 30,
+        ..Default::default()
+    };
+    let offload = SearchOptions {
+        offload_only: true,
+        ..Default::default()
+    };
+    let g = models::mobilenet_v2();
+    assert_widths_match(&g, &cfg, &coarse);
+    assert_widths_match(&g, &cfg, &offload);
+}
+
+#[test]
+fn jobs_env_setting_parses_like_the_pool_clamp() {
+    // `PIMFLOW_JOBS` values a CI matrix passes must resolve to the exact
+    // widths the property above exercises.
+    assert_eq!(pimflow_pool::jobs_from_setting(Some("1")), 1);
+    assert_eq!(pimflow_pool::jobs_from_setting(Some("4")), 4);
+    assert_eq!(WorkerPool::new(0).jobs(), 1, "zero clamps to sequential");
+}
