@@ -21,4 +21,13 @@ PIMFLOW_JOBS=1 cargo test -q --workspace --offline
 echo "==> cargo test (PIMFLOW_JOBS=4)"
 PIMFLOW_JOBS=4 cargo test -q --workspace --offline
 
+# A third pass re-runs the fault-resilience contracts under a non-trivial
+# fault seed: the determinism, no-drop, and mask-respecting properties
+# must hold for scenarios other than the default 0xFA17.
+echo "==> cargo test --test resilience (PIMFLOW_FAULTS=20260806)"
+PIMFLOW_FAULTS=20260806 PIMFLOW_JOBS=4 cargo test -q --offline --test resilience
+
+echo "==> cargo doc (deny warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline
+
 echo "CI OK"

@@ -50,8 +50,8 @@ fn bench_engine() {
     let cfg = EngineConfig::pimflow();
     for name in ["mobilenet-v2", "resnet-50", "vgg-16"] {
         let model = models::by_name(name).expect("known model");
-        let plan = search(&model, &cfg, &SearchOptions::default());
-        let transformed = apply_plan(&model, &plan);
+        let plan = search(&model, &cfg, &SearchOptions::default()).expect("zoo models search");
+        let transformed = apply_plan(&model, &plan).expect("plans apply to their graph");
         g.bench(name, || execute(&transformed, &cfg));
     }
     g.finish();

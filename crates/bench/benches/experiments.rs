@@ -39,8 +39,9 @@ fn bench_heavy_slices() {
         let mut cfg = EngineConfig::pimflow();
         cfg.pim_channels = 12;
         cfg.gpu_channels = 20;
-        let plan = search(&mbv2, &cfg, &SearchOptions::default());
-        execute(&apply_plan(&mbv2, &plan), &cfg)
+        let plan = search(&mbv2, &cfg, &SearchOptions::default()).expect("zoo models search");
+        let transformed = apply_plan(&mbv2, &plan).expect("plans apply to their graph");
+        execute(&transformed, &cfg)
     });
     let bert = models::bert_like(64);
     h.bench("fig16_bert64_cell", || evaluate(&bert, Policy::Pimflow));

@@ -8,6 +8,8 @@
 //! figures serve [dir]    # serving RPS sweep -> <dir>/BENCH_serve.json
 //! figures parallel [dir] # search timing, 1 worker vs PIMFLOW_JOBS
 //!                        #   -> <dir>/BENCH_parallel.json
+//! figures resilience [dir] # channel-fault degradation sweep
+//!                          #   -> <dir>/BENCH_resilience.json
 //! ```
 //!
 //! `--jobs=<n>` (any position) sets the worker-pool width for the sweeps,
@@ -319,7 +321,8 @@ fn contention() {
 /// Writes the full evaluation matrix as CSV (for downstream plotting).
 fn csv(dir: &str) {
     use pimflow::evaluation::EvaluationSuite;
-    let suite = EvaluationSuite::run(&pimflow_ir::models::evaluated_cnns(), &Policy::all());
+    let suite = EvaluationSuite::run(&pimflow_ir::models::evaluated_cnns(), &Policy::all())
+        .expect("zoo models evaluate");
     let path = std::path::Path::new(dir).join("fig9_fig12.csv");
     std::fs::create_dir_all(dir).expect("create output directory");
     std::fs::write(&path, suite.to_csv()).expect("write CSV");
@@ -379,6 +382,33 @@ fn serve_sweep(dir: &str) {
     println!("wrote {}", path.display());
 }
 
+/// Runs the fault-resilience sweep and writes `BENCH_resilience.json`
+/// under `dir`.
+fn resilience_sweep(dir: &str) {
+    use pimflow_bench::resilience_sweep::write_bench_artifact;
+    println!("== Fault-resilience sweep (severity x model, seeded channel faults) ==");
+    let (report, path) = write_bench_artifact(std::path::Path::new(dir)).expect("resilience sweep");
+    println!(
+        "  {:>16} {:>5} {:>6} {:>7} {:>9} {:>9} {:>9} {:>7} {:>8}",
+        "model", "sev", "drops", "repairs", "p50 pre", "p50 mid", "p50 post", "gpu%", "Δreplan"
+    );
+    for p in &report.points {
+        println!(
+            "  {:>16} {:>5.2} {:>6} {:>7} {:>9.1} {:>9.1} {:>9.1} {:>6.1}% {:>7.2}%",
+            p.model,
+            p.severity,
+            p.arrived - p.completed,
+            p.repairs,
+            p.p50_before_us,
+            p.p50_during_us,
+            p.p50_after_us,
+            p.gpu_fallback_fraction * 100.0,
+            p.repair_quality_delta * 100.0
+        );
+    }
+    println!("wrote {}", path.display());
+}
+
 fn main() {
     // Split `--jobs=<n>` (worker-pool width, any position) from the
     // positional arguments.
@@ -411,6 +441,11 @@ fn main() {
     if which == "parallel" {
         let dir = positional.get(1).cloned().unwrap_or_else(|| ".".into());
         parallel_sweep(&dir);
+        return;
+    }
+    if which == "resilience" {
+        let dir = positional.get(1).cloned().unwrap_or_else(|| ".".into());
+        resilience_sweep(&dir);
         return;
     }
     let needs_fig9 = matches!(which.as_str(), "all" | "fig9" | "fig12");

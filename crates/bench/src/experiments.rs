@@ -96,14 +96,15 @@ pub fn fig3() -> Vec<(String, Vec<(usize, f64)>)> {
         .map(|g| {
             let base = {
                 let cfg = EngineConfig::baseline_gpu();
-                execute(&g, &cfg).total_us
+                execute(&g, &cfg).expect("zoo models execute").total_us
             };
             let series = [32usize, 24, 16, 12, 8]
                 .into_iter()
                 .map(|ch| {
                     let mut cfg = EngineConfig::baseline_gpu();
                     cfg.gpu_channels = ch;
-                    (ch, execute(&g, &cfg).total_us / base)
+                    let t = execute(&g, &cfg).expect("zoo models execute").total_us;
+                    (ch, t / base)
                 })
                 .collect();
             (g.name.clone(), series)
@@ -164,14 +165,17 @@ pub fn fig9() -> Vec<PolicyEvaluation> {
             cells.push((g.clone(), p));
         }
     }
-    WorkerPool::from_env().map(&cells, |_, (g, p)| evaluate(g, *p))
+    WorkerPool::from_env().map(&cells, |_, (g, p)| {
+        evaluate(g, *p).expect("zoo models evaluate")
+    })
 }
 
 /// Fig. 10: layerwise MD-DP breakdown for one model — nodes the search
 /// chose to split, with their ratio and time normalized to full GPU.
 pub fn fig10(model: &str) -> Vec<(String, u32, f64)> {
     let g = models::by_name(model).expect("known model");
-    let plan = search(&g, &EngineConfig::pimflow(), &SearchOptions::default());
+    let plan =
+        search(&g, &EngineConfig::pimflow(), &SearchOptions::default()).expect("zoo models search");
     plan.profiles
         .iter()
         .filter(|p| p.best_ratio != 100)
@@ -213,15 +217,20 @@ pub fn fig11() -> Vec<(String, &'static str, f64)> {
 /// each split of the 32-channel memory, normalized to the GPU baseline.
 pub fn fig13(model: &str) -> Vec<(usize, f64)> {
     let g = models::by_name(model).expect("known model");
-    let base = execute(&g, &EngineConfig::baseline_gpu()).total_us;
+    let base = execute(&g, &EngineConfig::baseline_gpu())
+        .expect("zoo models execute")
+        .total_us;
     [4usize, 8, 12, 16, 20, 24]
         .into_iter()
         .map(|pim_ch| {
             let mut cfg = EngineConfig::pimflow();
             cfg.pim_channels = pim_ch;
             cfg.gpu_channels = 32 - pim_ch;
-            let plan = search(&g, &cfg, &SearchOptions::default());
-            let t = execute(&apply_plan(&g, &plan), &cfg).total_us;
+            let plan = search(&g, &cfg, &SearchOptions::default()).expect("zoo models search");
+            let transformed = apply_plan(&g, &plan).expect("plans apply to their graph");
+            let t = execute(&transformed, &cfg)
+                .expect("zoo models execute")
+                .total_us;
             (pim_ch, t / base)
         })
         .collect()
@@ -304,9 +313,17 @@ pub fn fig16() -> Vec<(String, f64, f64)> {
         models::mnasnet_scaled(1.3),
     ];
     rows.extend(WorkerPool::from_env().map(&candidates, |_, g| {
-        let base = execute(g, &EngineConfig::baseline_gpu()).total_us;
-        let npp = evaluate(g, Policy::NewtonPlusPlus).report.total_us;
-        let pf = evaluate(g, Policy::Pimflow).report.total_us;
+        let base = execute(g, &EngineConfig::baseline_gpu())
+            .expect("zoo models execute")
+            .total_us;
+        let npp = evaluate(g, Policy::NewtonPlusPlus)
+            .expect("zoo models evaluate")
+            .report
+            .total_us;
+        let pf = evaluate(g, Policy::Pimflow)
+            .expect("zoo models evaluate")
+            .report
+            .total_us;
         (g.name.clone(), base / npp, base / pf)
     }));
     rows
@@ -336,20 +353,21 @@ pub fn internode_parallelism() -> Vec<(String, f64)> {
 pub fn ablation_pim_activation() -> Vec<(String, f64, f64)> {
     let zoo = models::evaluated_cnns();
     WorkerPool::from_env().map(&zoo, |_, g| {
-        let base = execute(g, &EngineConfig::baseline_gpu()).total_us;
-        let newton = {
-            let cfg = EngineConfig::pimflow();
-            let plan = search(g, &cfg, &SearchOptions::default());
-            execute(&apply_plan(g, &plan), &cfg).total_us
+        let base = execute(g, &EngineConfig::baseline_gpu())
+            .expect("zoo models execute")
+            .total_us;
+        let solve = |cfg: &EngineConfig| -> f64 {
+            let plan = search(g, cfg, &SearchOptions::default()).expect("zoo models search");
+            let transformed = apply_plan(g, &plan).expect("plans apply to their graph");
+            execute(&transformed, cfg)
+                .expect("zoo models execute")
+                .total_us
         };
-        let aim = {
-            let cfg = EngineConfig {
-                pim: PimConfig::aim_like(),
-                ..EngineConfig::pimflow()
-            };
-            let plan = search(g, &cfg, &SearchOptions::default());
-            execute(&apply_plan(g, &plan), &cfg).total_us
-        };
+        let newton = solve(&EngineConfig::pimflow());
+        let aim = solve(&EngineConfig {
+            pim: PimConfig::aim_like(),
+            ..EngineConfig::pimflow()
+        });
         (g.name.clone(), base / newton, base / aim)
     })
 }
@@ -367,7 +385,8 @@ pub fn footnote1(model: &str) -> (f64, f64, f64) {
             ratio_step: 10,
             ..Default::default()
         },
-    );
+    )
+    .expect("zoo models search");
     let fine = search(
         &g,
         &cfg,
@@ -375,7 +394,8 @@ pub fn footnote1(model: &str) -> (f64, f64, f64) {
             ratio_step: 2,
             ..Default::default()
         },
-    );
+    )
+    .expect("zoo models search");
     (
         coarse.predicted_us,
         fine.predicted_us,
@@ -430,14 +450,19 @@ pub fn crossover_map() -> Vec<(usize, usize, usize, usize, f64, f64)> {
 pub fn portability_hbm_pim() -> Vec<(String, f64, f64)> {
     let zoo = models::evaluated_cnns();
     WorkerPool::from_env().map(&zoo, |_, g| {
-        let base = execute(g, &EngineConfig::baseline_gpu()).total_us;
+        let base = execute(g, &EngineConfig::baseline_gpu())
+            .expect("zoo models execute")
+            .total_us;
         let run = |pim: PimConfig| -> f64 {
             let cfg = EngineConfig {
                 pim,
                 ..EngineConfig::pimflow()
             };
-            let plan = search(g, &cfg, &SearchOptions::default());
-            execute(&apply_plan(g, &plan), &cfg).total_us
+            let plan = search(g, &cfg, &SearchOptions::default()).expect("zoo models search");
+            let transformed = apply_plan(g, &plan).expect("plans apply to their graph");
+            execute(&transformed, &cfg)
+                .expect("zoo models execute")
+                .total_us
         };
         let newton = run(PimConfig::newton_plus_plus());
         let hbm = run(PimConfig::hbm_pim_like());
@@ -452,8 +477,8 @@ pub fn autotune_gains() -> Vec<(String, f64, f64, f64)> {
     let zoo = models::evaluated_cnns();
     WorkerPool::from_env().map(&zoo, |_, g| {
         let cfg = EngineConfig::pimflow();
-        let plan = search(g, &cfg, &SearchOptions::default());
-        let result = autotune(g, &cfg, &plan, 2, 10);
+        let plan = search(g, &cfg, &SearchOptions::default()).expect("zoo models search");
+        let result = autotune(g, &cfg, &plan, 2, 10).expect("DP plans tune");
         (
             g.name.clone(),
             result.initial_us,
@@ -476,6 +501,7 @@ pub fn table2() -> Vec<(u32, f64)> {
                 ..Default::default()
             },
         )
+        .expect("zoo models search")
     });
     let mut counts = vec![0usize; 11];
     let mut total = 0usize;

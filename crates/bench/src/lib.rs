@@ -11,4 +11,5 @@
 pub mod experiments;
 pub mod harness;
 pub mod parallel_sweep;
+pub mod resilience_sweep;
 pub mod serve_sweep;

@@ -9,7 +9,7 @@
 //! single-core host is expected, not a regression.
 
 use pimflow::engine::EngineConfig;
-use pimflow::search::{search_with_pool, SearchOptions};
+use pimflow::search::{Search, SearchOptions};
 use pimflow_ir::models;
 use pimflow_json::json_struct;
 use pimflow_pool::WorkerPool;
@@ -71,16 +71,23 @@ pub fn sweep(model_names: &[&str], jobs: usize) -> ParallelReport {
     let cfg = EngineConfig::pimflow();
     let opts = SearchOptions::default();
     let pool = WorkerPool::new(jobs);
-    let sequential = WorkerPool::sequential();
     let models = model_names
         .iter()
         .map(|name| {
             let g = models::by_name(name).expect("known model");
             let t0 = Instant::now();
-            let seq_plan = search_with_pool(&g, &cfg, &opts, &sequential);
+            let seq_plan = Search::new(&g, &cfg)
+                .options(opts)
+                .pool(1)
+                .run()
+                .expect("zoo models search");
             let sequential_ms = t0.elapsed().as_secs_f64() * 1e3;
             let t1 = Instant::now();
-            let par_plan = search_with_pool(&g, &cfg, &opts, &pool);
+            let par_plan = Search::new(&g, &cfg)
+                .options(opts)
+                .pool(jobs)
+                .run()
+                .expect("zoo models search");
             let parallel_ms = t1.elapsed().as_secs_f64() * 1e3;
             ModelTiming {
                 model: g.name.clone(),

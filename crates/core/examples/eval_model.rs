@@ -19,7 +19,7 @@ fn main() {
     let mut base_conv = 0.0;
     for p in Policy::all() {
         let t0 = Instant::now();
-        let e = evaluate(&g, p);
+        let e = evaluate(&g, p).expect("model evaluates");
         if p == Policy::Baseline {
             base_e2e = e.report.total_us;
             base_conv = e.conv_layer_us;

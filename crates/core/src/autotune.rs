@@ -39,8 +39,8 @@ impl TuneResult {
 /// Measures a candidate plan end-to-end; returns `None` if the plan cannot
 /// be applied (a perturbed ratio degenerated on a small layer).
 fn measure(graph: &Graph, cfg: &EngineConfig, plan: &ExecutionPlan) -> Option<f64> {
-    let transformed = crate::search::try_apply_plan(graph, plan).ok()?;
-    Some(execute(&transformed, cfg).total_us)
+    let transformed = crate::search::apply_plan(graph, plan).ok()?;
+    Some(execute(&transformed, cfg).ok()?.total_us)
 }
 
 /// Neighbour plans of `plan`: each Split decision nudged by ±`step` and
@@ -78,14 +78,22 @@ fn neighbours(plan: &ExecutionPlan, index: usize, step: u32) -> Vec<ExecutionPla
 /// `rounds` bounds full sweeps over the decisions; `step` is the ratio
 /// nudge in percent (the paper's footnote suggests 2%). The returned plan is
 /// never worse than the input plan under engine measurement.
+///
+/// # Errors
+///
+/// Returns [`crate::Error::NotApplicable`] when the input plan does not
+/// apply to `graph` (plans are only valid for the graph they were computed
+/// on).
 pub fn autotune(
     graph: &Graph,
     cfg: &EngineConfig,
     plan: &ExecutionPlan,
     rounds: usize,
     step: u32,
-) -> TuneResult {
-    let initial_us = measure(graph, cfg, plan).expect("input plan must apply");
+) -> crate::Result<TuneResult> {
+    let initial_us = measure(graph, cfg, plan).ok_or_else(|| {
+        crate::Error::NotApplicable("input plan does not apply to this graph".into())
+    })?;
     let mut best_plan = plan.clone();
     let mut best_us = initial_us;
     let mut evaluations = 1;
@@ -113,12 +121,12 @@ pub fn autotune(
     }
 
     best_plan.predicted_us = best_us;
-    TuneResult {
+    Ok(TuneResult {
         plan: best_plan,
         initial_us,
         tuned_us: best_us,
         evaluations,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -131,14 +139,14 @@ mod tests {
     fn autotune_never_regresses() {
         let g = models::toy();
         let cfg = EngineConfig::pimflow();
-        let plan = search(&g, &cfg, &SearchOptions::default());
-        let result = autotune(&g, &cfg, &plan, 3, 10);
+        let plan = search(&g, &cfg, &SearchOptions::default()).unwrap();
+        let result = autotune(&g, &cfg, &plan, 3, 10).unwrap();
         assert!(result.tuned_us <= result.initial_us + 1e-9);
         assert!(result.evaluations >= 1);
         // The refined plan still applies and still beats the baseline.
-        let t = crate::search::apply_plan(&g, &result.plan);
-        let tuned = execute(&t, &cfg);
-        let base = execute(&g, &EngineConfig::baseline_gpu());
+        let t = crate::search::apply_plan(&g, &result.plan).unwrap();
+        let tuned = execute(&t, &cfg).unwrap();
+        let base = execute(&g, &EngineConfig::baseline_gpu()).unwrap();
         assert!(tuned.total_us < base.total_us);
     }
 
@@ -146,7 +154,7 @@ mod tests {
     fn autotune_can_improve_a_deliberately_bad_plan() {
         let g = models::toy();
         let cfg = EngineConfig::pimflow();
-        let mut plan = search(&g, &cfg, &SearchOptions::default());
+        let mut plan = search(&g, &cfg, &SearchOptions::default()).unwrap();
         // Sabotage: force a lopsided split on the first split decision, or
         // inject one if the search chose endpoints only.
         let mut sabotaged = false;
@@ -167,7 +175,7 @@ mod tests {
             }
         }
         assert!(sabotaged, "toy plan should contain a tunable decision");
-        let result = autotune(&g, &cfg, &plan, 4, 10);
+        let result = autotune(&g, &cfg, &plan, 4, 10).unwrap();
         assert!(
             result.gain() > 0.0,
             "tuner must recover from a bad ratio (gain {})",
@@ -179,9 +187,9 @@ mod tests {
     fn autotune_is_deterministic() {
         let g = models::toy();
         let cfg = EngineConfig::pimflow();
-        let plan = search(&g, &cfg, &SearchOptions::default());
-        let a = autotune(&g, &cfg, &plan, 2, 10);
-        let b = autotune(&g, &cfg, &plan, 2, 10);
+        let plan = search(&g, &cfg, &SearchOptions::default()).unwrap();
+        let a = autotune(&g, &cfg, &plan, 2, 10).unwrap();
+        let b = autotune(&g, &cfg, &plan, 2, 10).unwrap();
         assert_eq!(a.tuned_us, b.tuned_us);
         assert_eq!(a.plan.decisions, b.plan.decisions);
     }

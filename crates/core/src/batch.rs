@@ -81,8 +81,8 @@ mod tests {
     fn larger_batches_cost_more() {
         let g = models::toy();
         let cfg = EngineConfig::pimflow();
-        let t1 = execute(&with_batch(&g, 1).unwrap(), &cfg).total_us;
-        let t8 = execute(&with_batch(&g, 8).unwrap(), &cfg).total_us;
+        let t1 = execute(&with_batch(&g, 1).unwrap(), &cfg).unwrap().total_us;
+        let t8 = execute(&with_batch(&g, 8).unwrap(), &cfg).unwrap().total_us;
         assert!(t8 > t1, "batch-8 {t8:.1}us vs batch-1 {t1:.1}us");
     }
 

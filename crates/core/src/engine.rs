@@ -12,13 +12,87 @@
 //! round-trip), matching the cuDNN/CUTLASS mappings the artifact relies on.
 
 use crate::codegen::{execute_workload_per_channel, PimWorkload};
+use crate::error::Result;
 use crate::memopt::{data_move_bytes, is_data_move};
 use crate::placement::Placement;
 use pimflow_gpusim::{kernel_for_node, GpuConfig, KernelProfile};
 use pimflow_ir::{ActivationKind, Graph, NodeId, Op, ValueId};
 use pimflow_json::json_struct;
-use pimflow_pimsim::{ChannelStats, PimConfig, PimEnergyParams, ScheduleGranularity};
+use pimflow_pimsim::{ChannelStats, FaultPlan, PimConfig, PimEnergyParams, ScheduleGranularity};
 use std::collections::HashMap;
+
+/// Availability mask over the PIM channels: bit `c` set means channel `c`
+/// is up. The default mask reports every channel available; masks only
+/// matter for the first `pim_channels` bits of a configuration.
+///
+/// The mask is the compiler-level view of the fault model: hard-failed
+/// channels are cleared (the search and the engine route no work there),
+/// while stalled or derated channels stay set — they are slow, not gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ChannelMask(u64);
+
+impl Default for ChannelMask {
+    fn default() -> Self {
+        ChannelMask::all()
+    }
+}
+
+impl ChannelMask {
+    /// Every channel available.
+    pub fn all() -> Self {
+        ChannelMask(u64::MAX)
+    }
+
+    /// A mask from raw bits (bit `c` = channel `c` up).
+    pub fn from_bits(bits: u64) -> Self {
+        ChannelMask(bits)
+    }
+
+    /// The mask a [`FaultPlan`] implies for `total` channels: dead channels
+    /// cleared, everything else (including stalled/derated channels) set.
+    pub fn from_fault_plan(plan: &FaultPlan, total: usize) -> Self {
+        let mut mask = ChannelMask::all();
+        for c in 0..total.min(64) {
+            if plan.is_dead(c) {
+                mask = mask.without(c);
+            }
+        }
+        mask
+    }
+
+    /// Raw bit representation.
+    pub fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// Whether channel `c` is up (channels ≥ 64 are always reported up).
+    pub fn is_up(self, c: usize) -> bool {
+        c >= 64 || self.0 & (1 << c) != 0
+    }
+
+    /// This mask with channel `c` marked down.
+    pub fn without(self, c: usize) -> Self {
+        if c >= 64 {
+            self
+        } else {
+            ChannelMask(self.0 & !(1 << c))
+        }
+    }
+
+    /// This mask with channel `c` marked up again.
+    pub fn with(self, c: usize) -> Self {
+        if c >= 64 {
+            self
+        } else {
+            ChannelMask(self.0 | (1 << c))
+        }
+    }
+
+    /// Number of available channels among the first `total`.
+    pub fn count_up(self, total: usize) -> usize {
+        (0..total).filter(|&c| self.is_up(c)).count()
+    }
+}
 
 /// Full system configuration for one execution.
 #[derive(Debug, Clone, PartialEq)]
@@ -31,6 +105,9 @@ pub struct EngineConfig {
     pub gpu_channels: usize,
     /// PIM-enabled memory channels (0 = plain GPU memory).
     pub pim_channels: usize,
+    /// Which of the `pim_channels` channels are currently available.
+    /// Defaults to all; clear bits to model hard channel failures.
+    pub pim_channel_mask: ChannelMask,
     /// PIM command scheduling granularity.
     pub granularity: ScheduleGranularity,
     /// Whether the memory layout optimizer (§4.3.2) is active.
@@ -50,6 +127,7 @@ impl EngineConfig {
             pim: PimConfig::newton_plus_plus(),
             gpu_channels: 32,
             pim_channels: 0,
+            pim_channel_mask: ChannelMask::all(),
             granularity: ScheduleGranularity::Comp,
             memopt: true,
             // The §4.1 memory network connects all 32 channels; a tensor
@@ -76,6 +154,26 @@ impl EngineConfig {
             pim: PimConfig::newton_plus(),
             ..EngineConfig::pimflow()
         }
+    }
+
+    /// This configuration restricted to the channels `mask` reports up.
+    pub fn with_mask(&self, mask: ChannelMask) -> Self {
+        EngineConfig {
+            pim_channel_mask: mask,
+            ..self.clone()
+        }
+    }
+
+    /// PIM channels that are both configured and currently available.
+    pub fn effective_pim_channels(&self) -> usize {
+        self.pim_channel_mask.count_up(self.pim_channels)
+    }
+
+    /// Indices of the available PIM channels, ascending.
+    pub fn available_pim_channels(&self) -> Vec<usize> {
+        (0..self.pim_channels)
+            .filter(|&c| self.pim_channel_mask.is_up(c))
+            .collect()
     }
 }
 
@@ -180,14 +278,24 @@ fn is_heavy_compute(op: &Op) -> bool {
 /// Simulates `graph` under `cfg` and returns the timeline report.
 ///
 /// Node placement follows the `pim::` name prefix set by the transformation
-/// passes; untagged nodes run on the GPU. Nodes tagged for PIM when
-/// `cfg.pim_channels == 0` fall back to the GPU.
+/// passes; untagged nodes run on the GPU. Nodes tagged for PIM when no PIM
+/// channel is configured *and available* (`cfg.effective_pim_channels() ==
+/// 0`) fall back to the GPU; with a partial [`ChannelMask`] the offloaded
+/// work is scheduled over the surviving channels only.
+///
+/// # Errors
+///
+/// Returns [`Error::Graph`](crate::error::Error::Graph) if the graph is
+/// cyclic.
 ///
 /// # Panics
 ///
-/// Panics if the graph is cyclic or shapes are missing.
-pub fn execute(graph: &Graph, cfg: &EngineConfig) -> ExecutionReport {
-    let order = graph.topo_order().expect("graph must be acyclic");
+/// Panics if shapes have not been inferred (an internal invariant: every
+/// graph built through [`pimflow_ir::GraphBuilder`] or the passes has them).
+pub fn execute(graph: &Graph, cfg: &EngineConfig) -> Result<ExecutionReport> {
+    let order = graph.topo_order()?;
+    let effective_channels = cfg.effective_pim_channels();
+    let available = cfg.available_pim_channels();
 
     // Per-value readiness: time available and locations that already hold it.
     #[derive(Clone)]
@@ -244,7 +352,7 @@ pub fn execute(graph: &Graph, cfg: &EngineConfig) -> ExecutionReport {
         // element-wise op whose operand lives in the PIM channels is applied
         // by the PIM logic while results drain — no GPU kernel, no transfer.
         let pim_activation = cfg.pim.activation_in_pim
-            && cfg.pim_channels > 0
+            && effective_channels > 0
             && op_is_fusable(&node.op)
             && node.inputs.len() == 1
             && values
@@ -253,7 +361,8 @@ pub fn execute(graph: &Graph, cfg: &EngineConfig) -> ExecutionReport {
                 .unwrap_or(false);
         if pim_activation {
             device = Placement::Pim;
-        } else if device == Placement::Pim && (cfg.pim_channels == 0 || !is_heavy_compute(&node.op))
+        } else if device == Placement::Pim
+            && (effective_channels == 0 || !is_heavy_compute(&node.op))
         {
             device = Placement::Gpu;
         }
@@ -312,10 +421,12 @@ pub fn execute(graph: &Graph, cfg: &EngineConfig) -> ExecutionReport {
             let (dur, stats, busy_us) = pim_memo
                 .entry(workload)
                 .or_insert_with(|| {
+                    // Only the channels the mask reports up take part; the
+                    // workload is scheduled across the survivors.
                     let (exec, per_channel) = execute_workload_per_channel(
                         &workload,
                         &cfg.pim,
-                        cfg.pim_channels,
+                        effective_channels,
                         cfg.granularity,
                     );
                     let busy_us: Vec<f64> = per_channel
@@ -325,8 +436,12 @@ pub fn execute(graph: &Graph, cfg: &EngineConfig) -> ExecutionReport {
                     (exec.time_us, exec.stats, busy_us)
                 })
                 .clone();
-            for (acc, b) in pim_channel_busy_us.iter_mut().zip(&busy_us) {
-                *acc += b;
+            // Scatter the survivors' busy time back to physical channel
+            // indices; masked-out channels stay at zero.
+            for (slot, b) in busy_us.iter().enumerate() {
+                if let Some(&ch) = available.get(slot) {
+                    pim_channel_busy_us[ch] += b;
+                }
             }
             pim_stats_total = pim_stats_total.merge_parallel(&stats);
             let start = ready.max(pim_free);
@@ -404,7 +519,7 @@ pub fn execute(graph: &Graph, cfg: &EngineConfig) -> ExecutionReport {
         },
         &cfg.pim,
         &PimEnergyParams::default(),
-        cfg.pim_channels,
+        effective_channels,
     ) * 1e-3;
     let transfer_uj = transfer_bytes as f64 * 0.04 * 1e-3; // link I/O energy
     let static_uj = cfg.gpu.static_w * total_us;
@@ -415,7 +530,7 @@ pub fn execute(graph: &Graph, cfg: &EngineConfig) -> ExecutionReport {
         static_uj,
     };
 
-    ExecutionReport {
+    Ok(ExecutionReport {
         total_us,
         energy_uj: energy_breakdown.total_uj(),
         energy_breakdown,
@@ -424,7 +539,7 @@ pub fn execute(graph: &Graph, cfg: &EngineConfig) -> ExecutionReport {
         transfer_bytes,
         pim_channel_busy_us,
         timings,
-    }
+    })
 }
 
 /// GPU-only kernel profile helper re-export for harnesses.
@@ -441,7 +556,7 @@ mod tests {
     #[test]
     fn baseline_executes_toy() {
         let g = models::toy();
-        let r = execute(&g, &EngineConfig::baseline_gpu());
+        let r = execute(&g, &EngineConfig::baseline_gpu()).unwrap();
         assert!(r.total_us > 0.0 && r.total_us.is_finite());
         assert_eq!(r.pim_busy_us, 0.0);
         assert!(r.energy_uj > 0.0);
@@ -450,7 +565,7 @@ mod tests {
     #[test]
     fn fusion_zeroes_epilogue_latency() {
         let g = models::toy();
-        let r = execute(&g, &EngineConfig::baseline_gpu());
+        let r = execute(&g, &EngineConfig::baseline_gpu()).unwrap();
         let relu = r.timing("relu_2").unwrap();
         assert!(relu.fused);
         assert_eq!(relu.start_us, relu.finish_us);
@@ -461,7 +576,7 @@ mod tests {
         let mut g = models::toy();
         let id = g.find_node("conv_3").unwrap();
         split_node(&mut g, id, 0).unwrap();
-        let r = execute(&g, &EngineConfig::pimflow());
+        let r = execute(&g, &EngineConfig::pimflow()).unwrap();
         assert!(r.pim_busy_us > 0.0);
         let t = r.timing("pim::conv_3").unwrap();
         assert_eq!(t.device, Placement::Pim);
@@ -472,7 +587,7 @@ mod tests {
         let mut g = models::toy();
         let id = g.find_node("conv_3").unwrap();
         split_node(&mut g, id, 0).unwrap();
-        let r = execute(&g, &EngineConfig::baseline_gpu());
+        let r = execute(&g, &EngineConfig::baseline_gpu()).unwrap();
         assert_eq!(r.pim_busy_us, 0.0);
     }
 
@@ -481,7 +596,7 @@ mod tests {
         let mut g = models::toy();
         let id = g.find_node("conv_3").unwrap();
         split_node(&mut g, id, 50).unwrap();
-        let r = execute(&g, &EngineConfig::pimflow());
+        let r = execute(&g, &EngineConfig::pimflow()).unwrap();
         let a = r.timing("mddp_a_conv_3").unwrap().clone();
         let b = r.timing("pim::mddp_b_conv_3").unwrap().clone();
         // The two halves must overlap in time (that is the whole point).
@@ -503,7 +618,7 @@ mod tests {
             .find(|c| c.pattern == PatternKind::PwDwPw)
             .unwrap();
         pipeline_chain(&mut g, &chain, 2).unwrap();
-        let r = execute(&g, &EngineConfig::pimflow());
+        let r = execute(&g, &EngineConfig::pimflow()).unwrap();
         assert!(r.pim_busy_us > 0.0);
         assert!(r.gpu_busy_us > 0.0);
     }
@@ -513,10 +628,10 @@ mod tests {
         let mut g = models::toy();
         let id = g.find_node("conv_1").unwrap();
         split_node(&mut g, id, 50).unwrap();
-        let with = execute(&g, &EngineConfig::pimflow());
+        let with = execute(&g, &EngineConfig::pimflow()).unwrap();
         let mut cfg = EngineConfig::pimflow();
         cfg.memopt = false;
-        let without = execute(&g, &cfg);
+        let without = execute(&g, &cfg).unwrap();
         assert!(
             with.total_us < without.total_us,
             "memopt {} vs plain {}",
@@ -528,8 +643,8 @@ mod tests {
     #[test]
     fn report_is_deterministic() {
         let g = models::toy();
-        let a = execute(&g, &EngineConfig::pimflow());
-        let b = execute(&g, &EngineConfig::pimflow());
+        let a = execute(&g, &EngineConfig::pimflow()).unwrap();
+        let b = execute(&g, &EngineConfig::pimflow()).unwrap();
         assert_eq!(a.total_us, b.total_us);
         assert_eq!(a.energy_uj, b.energy_uj);
     }
@@ -537,7 +652,7 @@ mod tests {
     #[test]
     fn timeline_respects_dependencies() {
         let g = models::toy();
-        let r = execute(&g, &EngineConfig::baseline_gpu());
+        let r = execute(&g, &EngineConfig::baseline_gpu()).unwrap();
         for (i, id) in g.topo_order().unwrap().iter().enumerate() {
             let t = &r.timings[i];
             assert_eq!(t.name, g.node(*id).name);
@@ -562,7 +677,7 @@ mod transfer_tests {
         let mut g = models::toy();
         let id = g.find_node("conv_3").unwrap();
         split_node(&mut g, id, 0).unwrap();
-        let r = execute(&g, &EngineConfig::pimflow());
+        let r = execute(&g, &EngineConfig::pimflow()).unwrap();
         let conv_out = g
             .value(g.node(g.find_node("pim::conv_3").unwrap()).output)
             .desc
@@ -595,7 +710,7 @@ mod transfer_tests {
         let mut g = b.finish(z);
         let id = g.find_node("conv_1").unwrap();
         split_node(&mut g, id, 0).unwrap();
-        let r = execute(&g, &EngineConfig::pimflow());
+        let r = execute(&g, &EngineConfig::pimflow()).unwrap();
         let out_bytes = 8 * 8 * 32 * 2u64;
         assert_eq!(r.transfer_bytes, out_bytes, "exactly one crossing");
     }
@@ -610,7 +725,7 @@ mod energy_tests {
     #[test]
     fn breakdown_sums_to_total() {
         let g = models::toy();
-        let r = execute(&g, &EngineConfig::baseline_gpu());
+        let r = execute(&g, &EngineConfig::baseline_gpu()).unwrap();
         assert!((r.energy_breakdown.total_uj() - r.energy_uj).abs() < 1e-9);
         assert_eq!(r.energy_breakdown.pim_dynamic_uj, 0.0, "no PIM in baseline");
         assert!(r.energy_breakdown.static_uj > 0.0);
@@ -621,10 +736,10 @@ mod energy_tests {
         let mut g = models::toy();
         let id = g.find_node("conv_3").unwrap();
         split_node(&mut g, id, 0).unwrap();
-        let r = execute(&g, &EngineConfig::pimflow());
+        let r = execute(&g, &EngineConfig::pimflow()).unwrap();
         assert!(r.energy_breakdown.pim_dynamic_uj > 0.0);
         assert!(r.energy_breakdown.transfer_uj > 0.0);
-        let base = execute(&models::toy(), &EngineConfig::baseline_gpu());
+        let base = execute(&models::toy(), &EngineConfig::baseline_gpu()).unwrap();
         assert!(
             r.energy_breakdown.gpu_dynamic_uj < base.energy_breakdown.gpu_dynamic_uj,
             "offloading must reduce GPU dynamic energy"
@@ -651,14 +766,14 @@ mod aim_tests {
         let id = g.find_node("conv_3").unwrap();
         split_node(&mut g, id, 0).unwrap();
         // Newton++: the relu6 after the offloaded conv is a real GPU kernel.
-        let newton = execute(&g, &EngineConfig::pimflow());
+        let newton = execute(&g, &EngineConfig::pimflow()).unwrap();
         let t = newton.timing("relu6_4").unwrap();
         assert!(
             t.finish_us > t.start_us,
             "epilogue must cost time on Newton++"
         );
         // AiM-like: it is absorbed into the PIM read-out.
-        let aim = execute(&g, &aim_cfg());
+        let aim = execute(&g, &aim_cfg()).unwrap();
         let t = aim.timing("relu6_4").unwrap();
         assert!(t.fused, "epilogue must fuse into PIM drain");
         assert_eq!(t.finish_us, t.start_us);
@@ -670,17 +785,19 @@ mod aim_tests {
         for name in ["toy", "mobilenet-v2"] {
             let g = models::by_name(name).unwrap();
             let plan =
-                crate::search::search(&g, &aim_cfg(), &crate::search::SearchOptions::default());
-            let transformed = crate::search::apply_plan(&g, &plan);
-            let aim = execute(&transformed, &aim_cfg());
+                crate::search::search(&g, &aim_cfg(), &crate::search::SearchOptions::default())
+                    .unwrap();
+            let transformed = crate::search::apply_plan(&g, &plan).unwrap();
+            let aim = execute(&transformed, &aim_cfg()).unwrap();
 
             let plan_n = crate::search::search(
                 &g,
                 &EngineConfig::pimflow(),
                 &crate::search::SearchOptions::default(),
-            );
-            let transformed_n = crate::search::apply_plan(&g, &plan_n);
-            let newton = execute(&transformed_n, &EngineConfig::pimflow());
+            )
+            .unwrap();
+            let transformed_n = crate::search::apply_plan(&g, &plan_n).unwrap();
+            let newton = execute(&transformed_n, &EngineConfig::pimflow()).unwrap();
             assert!(
                 aim.total_us <= newton.total_us * 1.01,
                 "{name}: AiM {:.1} vs Newton++ {:.1}",

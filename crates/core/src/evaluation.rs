@@ -55,10 +55,15 @@ json_struct!(EvaluationSuite { cells });
 impl EvaluationSuite {
     /// Runs `policies` over `models` (the baseline is always evaluated
     /// first per model so the normalizations are well-defined).
-    pub fn run(models: &[Graph], policies: &[Policy]) -> EvaluationSuite {
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`crate::Error`] any `(model, policy)` cell
+    /// produces.
+    pub fn run(models: &[Graph], policies: &[Policy]) -> crate::Result<EvaluationSuite> {
         let mut cells = Vec::new();
         for g in models {
-            let baseline = evaluate(g, Policy::Baseline);
+            let baseline = evaluate(g, Policy::Baseline)?;
             let base_e2e = baseline.report.total_us;
             let base_conv = baseline.conv_layer_us.max(1e-12);
             let base_energy = baseline.report.energy_uj;
@@ -66,7 +71,7 @@ impl EvaluationSuite {
                 let e = if policy == Policy::Baseline {
                     baseline.clone()
                 } else {
-                    evaluate(g, policy)
+                    evaluate(g, policy)?
                 };
                 cells.push(EvaluationCell {
                     model: g.name.clone(),
@@ -80,7 +85,7 @@ impl EvaluationSuite {
                 });
             }
         }
-        EvaluationSuite { cells }
+        Ok(EvaluationSuite { cells })
     }
 
     /// The cell for `(model, policy)`, if present.
@@ -138,6 +143,7 @@ mod tests {
             &[models::toy()],
             &[Policy::Baseline, Policy::NewtonPlusPlus, Policy::Pimflow],
         )
+        .unwrap()
     }
 
     #[test]

@@ -28,16 +28,20 @@
 //!
 //! ```
 //! use pimflow::engine::{execute, EngineConfig};
-//! use pimflow::search::{apply_plan, search, SearchOptions};
+//! use pimflow::search::{apply_plan, Search};
+//!
 //! use pimflow_ir::models;
 //!
+//! # fn main() -> pimflow::error::Result<()> {
 //! let model = models::toy();
 //! let cfg = EngineConfig::pimflow();
-//! let plan = search(&model, &cfg, &SearchOptions::default());
-//! let transformed = apply_plan(&model, &plan);
-//! let report = execute(&transformed, &cfg);
-//! let baseline = execute(&model, &EngineConfig::baseline_gpu());
+//! let plan = Search::new(&model, &cfg).run()?;
+//! let transformed = apply_plan(&model, &plan)?;
+//! let report = execute(&transformed, &cfg)?;
+//! let baseline = execute(&model, &EngineConfig::baseline_gpu())?;
 //! assert!(report.total_us < baseline.total_us);
+//! # Ok(())
+//! # }
 //! ```
 
 #![warn(missing_docs)]
@@ -48,6 +52,7 @@ pub mod backend;
 pub mod batch;
 pub mod codegen;
 pub mod engine;
+pub mod error;
 pub mod evaluation;
 pub mod layout;
 pub mod memopt;
@@ -56,3 +61,5 @@ pub mod placement;
 pub mod policy;
 pub mod report;
 pub mod search;
+
+pub use error::{Error, Result};

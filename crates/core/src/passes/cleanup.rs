@@ -289,8 +289,8 @@ mod tests {
         use crate::engine::EngineConfig;
         use crate::search::{apply_plan, search, SearchOptions};
         let g = models::toy();
-        let plan = search(&g, &EngineConfig::pimflow(), &SearchOptions::default());
-        let mut t = apply_plan(&g, &plan);
+        let plan = search(&g, &EngineConfig::pimflow(), &SearchOptions::default()).unwrap();
+        let mut t = apply_plan(&g, &plan).unwrap();
         let before = t.clone();
         cleanup(&mut t).unwrap();
         t.validate().unwrap();

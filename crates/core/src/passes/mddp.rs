@@ -18,37 +18,16 @@
 use crate::passes::split_util::emit_conv_part;
 use crate::placement::Placement;
 use pimflow_ir::{
-    infer_shapes, ConcatAttrs, DenseAttrs, Graph, GraphError, NodeId, Op, ParamView, SliceAttrs,
-    ValueId,
+    infer_shapes, ConcatAttrs, DenseAttrs, Graph, NodeId, Op, ParamView, SliceAttrs, ValueId,
 };
-use std::error::Error;
-use std::fmt;
 
 /// Errors returned by transformation passes.
-#[derive(Debug)]
-pub enum PassError {
-    /// The target node cannot be transformed this way.
-    NotApplicable(String),
-    /// Graph surgery produced an invalid graph (a bug; surfaced loudly).
-    Graph(GraphError),
-}
-
-impl fmt::Display for PassError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            PassError::NotApplicable(m) => write!(f, "pass not applicable: {m}"),
-            PassError::Graph(e) => write!(f, "graph error after pass: {e}"),
-        }
-    }
-}
-
-impl Error for PassError {}
-
-impl From<GraphError> for PassError {
-    fn from(e: GraphError) -> Self {
-        PassError::Graph(e)
-    }
-}
+///
+/// Historically its own enum; now an alias of the crate-wide
+/// [`Error`](crate::error::Error) so pass-level and engine/search-level
+/// failures share one surface. Variant paths like
+/// `PassError::NotApplicable(..)` keep working through the alias.
+pub type PassError = crate::error::Error;
 
 /// Outcome of [`split_node`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -83,19 +62,23 @@ fn producer_of(graph: &Graph, v: ValueId) -> NodeId {
 /// # Errors
 ///
 /// Returns [`PassError::NotApplicable`] if the node is not a PIM candidate
-/// or is too small to split at the requested ratio.
+/// or is too small to split at the requested ratio, and
+/// [`PassError::BadRatio`] if `gpu_percent > 100`.
 pub fn split_node(
     graph: &mut Graph,
     id: NodeId,
     gpu_percent: u32,
 ) -> Result<SplitOutcome, PassError> {
+    if gpu_percent > 100 {
+        return Err(PassError::BadRatio(gpu_percent));
+    }
     if !graph.is_pim_candidate(id) {
         return Err(PassError::NotApplicable(format!(
             "`{}` is not a PIM-candidate node",
             graph.node(id).name
         )));
     }
-    if gpu_percent >= 100 {
+    if gpu_percent == 100 {
         return Ok(SplitOutcome::AllGpu);
     }
     if gpu_percent == 0 {
@@ -387,6 +370,18 @@ mod tests {
             split_node(&mut t, id, 50),
             Err(PassError::NotApplicable(_))
         ));
+    }
+
+    #[test]
+    fn out_of_range_ratio_is_rejected() {
+        let mut t = models::toy();
+        let id = t.find_node("conv_3").unwrap();
+        assert!(matches!(
+            split_node(&mut t, id, 101),
+            Err(PassError::BadRatio(101))
+        ));
+        // Graph untouched by the rejected call.
+        assert_eq!(t.node_count(), models::toy().node_count());
     }
 
     #[test]

@@ -144,32 +144,37 @@ json_struct!(PolicyEvaluation {
 
 /// Runs the full compile-and-simulate flow for `graph` under `policy`:
 /// search (per the mechanism's mode space), transform, execute.
-pub fn evaluate(graph: &Graph, policy: Policy) -> PolicyEvaluation {
+///
+/// # Errors
+///
+/// Propagates any [`crate::Error`] from the search, the plan application,
+/// or the engine (e.g. a structurally invalid graph).
+pub fn evaluate(graph: &Graph, policy: Policy) -> crate::Result<PolicyEvaluation> {
     let cfg = policy.engine_config();
     match policy.search_options() {
         None => {
-            let report = execute(graph, &cfg);
+            let report = execute(graph, &cfg)?;
             let conv_layer_us = conv_time_from_report(graph, &report);
-            PolicyEvaluation {
+            Ok(PolicyEvaluation {
                 policy,
                 model: graph.name.clone(),
                 plan: None,
                 report,
                 conv_layer_us,
-            }
+            })
         }
         Some(opts) => {
-            let plan = search(graph, &cfg, &opts);
-            let transformed = apply_plan(graph, &plan);
-            let report = execute(&transformed, &cfg);
+            let plan = search(graph, &cfg, &opts)?;
+            let transformed = apply_plan(graph, &plan)?;
+            let report = execute(&transformed, &cfg)?;
             let conv_layer_us = plan.conv_layer_us;
-            PolicyEvaluation {
+            Ok(PolicyEvaluation {
                 policy,
                 model: graph.name.clone(),
                 plan: Some(plan),
                 report,
                 conv_layer_us,
-            }
+            })
         }
     }
 }
@@ -196,7 +201,7 @@ mod tests {
     fn all_policies_evaluate_toy() {
         let g = models::toy();
         for p in Policy::all() {
-            let e = evaluate(&g, p);
+            let e = evaluate(&g, p).unwrap();
             assert!(e.report.total_us > 0.0, "{p:?}");
             assert!(e.conv_layer_us >= 0.0);
         }
@@ -219,8 +224,8 @@ mod tests {
     #[test]
     fn pimflow_never_slower_than_newton_pp_on_toy() {
         let g = models::toy();
-        let npp = evaluate(&g, Policy::NewtonPlusPlus);
-        let pf = evaluate(&g, Policy::Pimflow);
+        let npp = evaluate(&g, Policy::NewtonPlusPlus).unwrap();
+        let pf = evaluate(&g, Policy::Pimflow).unwrap();
         assert!(pf.report.total_us <= npp.report.total_us * 1.01);
     }
 }

@@ -84,7 +84,7 @@ mod tests {
     #[test]
     fn timeline_renders_every_timed_node() {
         let g = models::toy();
-        let r = execute(&g, &EngineConfig::baseline_gpu());
+        let r = execute(&g, &EngineConfig::baseline_gpu()).unwrap();
         let text = render_timeline(&r, 60);
         for t in &r.timings {
             if t.finish_us > t.start_us {
@@ -100,7 +100,7 @@ mod tests {
         let mut g = models::toy();
         let id = g.find_node("conv_3").unwrap();
         split_node(&mut g, id, 0).unwrap();
-        let r = execute(&g, &EngineConfig::pimflow());
+        let r = execute(&g, &EngineConfig::pimflow()).unwrap();
         let text = render_timeline(&r, 60);
         let pim_line = text.lines().find(|l| l.contains("PIM")).expect("PIM row");
         assert!(pim_line.contains('='), "{pim_line}");
@@ -109,7 +109,7 @@ mod tests {
     #[test]
     fn bars_stay_within_axis() {
         let g = models::toy();
-        let r = execute(&g, &EngineConfig::pimflow());
+        let r = execute(&g, &EngineConfig::pimflow()).unwrap();
         let text = render_timeline(&r, 40);
         for line in text.lines().skip(1) {
             if let (Some(open), Some(close)) = (line.find('|'), line.rfind('|')) {

@@ -16,13 +16,26 @@
 //!
 //! The two measurement loops — per-node MD-DP profiling and per-chain
 //! pipeline costing — are embarrassingly parallel and run on a
-//! [`pimflow_pool::WorkerPool`] ([`search_with_pool`]; [`search`] sizes the
-//! pool from `PIMFLOW_JOBS`). Every per-item cost is a pure function of the
+//! [`pimflow_pool::WorkerPool`] (the [`Search`] builder's
+//! [`pool`](Search::pool) knob; [`search`] sizes the pool from
+//! `PIMFLOW_JOBS`). Every per-item cost is a pure function of the
 //! graph and config, and results are merged in input order, so a pool of
 //! any width returns a plan byte-identical to the sequential search.
+//!
+//! ## Fault awareness
+//!
+//! The search honors the [`ChannelMask`] carried by
+//! [`EngineConfig::pim_channel_mask`]: PIM costs are simulated over the
+//! surviving channels only, so a plan computed under a reduced mask already
+//! prices the degraded hardware. When a channel dies *after* a plan was
+//! computed, [`ExecutionPlan::repair`] re-prices the existing decisions
+//! under the new mask — migrating work back to the GPU where the shrunken
+//! PIM capacity no longer pays — without rerunning the full Algorithm-1
+//! grid search.
 
 use crate::codegen::{execute_workload, PimWorkload};
-use crate::engine::EngineConfig;
+use crate::engine::{ChannelMask, EngineConfig};
+use crate::error::Result;
 use crate::passes::pipeline::{find_chains, Chain};
 use crate::placement::Placement;
 use pimflow_gpusim::{kernel_time_with_launch_us, KernelProfile};
@@ -216,6 +229,189 @@ impl ExecutionPlan {
             })
             .collect()
     }
+
+    /// Cheap replan after channel faults: re-prices this plan's decisions
+    /// under `mask` and migrates work back to the GPU wherever the
+    /// shrunken PIM capacity no longer pays, without rerunning the full
+    /// Algorithm-1 grid search.
+    ///
+    /// Kept decisions keep their ratios/stages — only the keep-or-drop
+    /// choice is revisited — so a repair is one sequential cost-model walk
+    /// (deterministic regardless of `PIMFLOW_JOBS`). When the mask leaves
+    /// the effective channel count unchanged the plan is returned as-is.
+    /// The repaired plan's `predicted_us` is never below the original's,
+    /// and never assigns work to a masked-out channel; `profiles` are
+    /// carried over unchanged (they describe the healthy hardware).
+    ///
+    /// Compare against `Search::new(graph, cfg).mask(mask).run()` to
+    /// measure how much plan quality the shortcut gives up.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Error::Graph`] when `graph` has no topological
+    /// order, or [`crate::Error::NotApplicable`] when the plan references
+    /// nodes or chains `graph` does not have.
+    pub fn repair(
+        &self,
+        graph: &Graph,
+        cfg: &EngineConfig,
+        mask: ChannelMask,
+    ) -> Result<ExecutionPlan> {
+        let masked = cfg.with_mask(mask);
+        if masked.effective_pim_channels() == cfg.effective_pim_channels() {
+            return Ok(self.clone());
+        }
+        let order = graph.topo_order()?;
+        let conv_like = fusion_map(graph, &order);
+        let pim_available = masked.effective_pim_channels() > 0;
+        let mut profiler = Profiler::new(graph, &masked);
+        let decided: HashMap<&str, &Decision> = self
+            .decisions
+            .iter()
+            .map(|(n, d)| (n.as_str(), d))
+            .collect();
+        for name in decided.keys() {
+            if graph.find_node(name).is_none() {
+                return Err(crate::Error::NotApplicable(format!(
+                    "plan references unknown node `{name}`"
+                )));
+            }
+        }
+
+        let mut decisions = Vec::new();
+        let mut predicted_us = 0.0f64;
+        let mut conv_layer_us = 0.0f64;
+        let mut i = 0usize;
+        while i < order.len() {
+            let id = order[i];
+            let name = graph.node(id).name.clone();
+            let fused = *conv_like.get(&id).unwrap_or(&false);
+            let candidate = graph.is_pim_candidate(id);
+            let solo = solo_gpu_cost(&mut profiler, id, fused);
+            match decided.get(name.as_str()) {
+                Some(Decision::Pipeline { node_names, stages }) => {
+                    // The search only records contiguous chains, anchored
+                    // at their first node in topo order.
+                    let members: Vec<NodeId> = order
+                        .iter()
+                        .skip(i)
+                        .take(node_names.len())
+                        .copied()
+                        .collect();
+                    let matches = members.len() == node_names.len()
+                        && members
+                            .iter()
+                            .zip(node_names)
+                            .all(|(&nid, n)| &graph.node(nid).name == n);
+                    if !matches {
+                        return Err(crate::Error::NotApplicable(format!(
+                            "plan references unknown chain at `{name}`"
+                        )));
+                    }
+                    let chain = find_chains(graph)
+                        .into_iter()
+                        .find(|c| c.nodes == members)
+                        .ok_or_else(|| {
+                            crate::Error::NotApplicable(format!(
+                                "plan references unknown chain at `{name}`"
+                            ))
+                        })?;
+                    let gpu_cost: f64 = chain
+                        .nodes
+                        .iter()
+                        .map(|&nid| {
+                            let f = *conv_like.get(&nid).unwrap_or(&false);
+                            solo_gpu_cost(&mut profiler, nid, f)
+                        })
+                        .sum();
+                    let chain_cost = if pim_available {
+                        profiler.pipeline_cost(&chain, (*stages).max(2))
+                    } else {
+                        f64::INFINITY
+                    };
+                    if chain_cost < gpu_cost {
+                        let rider_cost: f64 = chain
+                            .nodes
+                            .iter()
+                            .filter(|nid| {
+                                !(matches!(graph.node(**nid).op, Op::Conv2d(_))
+                                    && graph.is_pim_candidate(**nid))
+                            })
+                            .map(|&nid| {
+                                let f = *conv_like.get(&nid).unwrap_or(&false);
+                                solo_gpu_cost(&mut profiler, nid, f)
+                            })
+                            .sum();
+                        predicted_us += chain_cost;
+                        conv_layer_us += (chain_cost - rider_cost).max(0.0);
+                        decisions.push((
+                            name,
+                            Decision::Pipeline {
+                                node_names: node_names.clone(),
+                                stages: *stages,
+                            },
+                        ));
+                    } else {
+                        // Dissolve the chain: every member falls back to
+                        // its GPU-resident cost.
+                        predicted_us += gpu_cost;
+                        for &nid in &chain.nodes {
+                            if graph.is_pim_candidate(nid) {
+                                let f = *conv_like.get(&nid).unwrap_or(&false);
+                                let c = solo_gpu_cost(&mut profiler, nid, f);
+                                if matches!(graph.node(nid).op, Op::Conv2d(_)) {
+                                    conv_layer_us += c;
+                                }
+                                decisions.push((graph.node(nid).name.clone(), Decision::Gpu));
+                            }
+                        }
+                    }
+                    i += chain.nodes.len();
+                    continue;
+                }
+                Some(Decision::Split { gpu_percent }) => {
+                    let split_cost = if pim_available && candidate {
+                        profiler.mddp_cost(id, *gpu_percent)
+                    } else {
+                        f64::INFINITY
+                    };
+                    let (cost, decision) = if split_cost < solo {
+                        (
+                            split_cost,
+                            Decision::Split {
+                                gpu_percent: *gpu_percent,
+                            },
+                        )
+                    } else {
+                        (solo, Decision::Gpu)
+                    };
+                    predicted_us += cost;
+                    if matches!(graph.node(id).op, Op::Conv2d(_)) && candidate {
+                        conv_layer_us += cost;
+                    }
+                    decisions.push((name, decision));
+                }
+                Some(Decision::Gpu) | None => {
+                    predicted_us += solo;
+                    if matches!(graph.node(id).op, Op::Conv2d(_)) && candidate {
+                        conv_layer_us += solo;
+                    }
+                    if decided.contains_key(name.as_str()) {
+                        decisions.push((name, Decision::Gpu));
+                    }
+                }
+            }
+            i += 1;
+        }
+
+        Ok(ExecutionPlan {
+            model: self.model.clone(),
+            decisions,
+            profiles: self.profiles.clone(),
+            predicted_us,
+            conv_layer_us,
+        })
+    }
 }
 
 /// Profiling context (memoizes PIM simulations).
@@ -227,6 +423,9 @@ impl ExecutionPlan {
 struct Profiler<'g> {
     graph: &'g Graph,
     cfg: EngineConfig,
+    /// Channels actually available under the config's mask (min 1 so the
+    /// cost model stays total; callers gate offload on the real count).
+    pim_channels_eff: usize,
     pim_memo: HashMap<PimWorkload, f64>,
 }
 
@@ -244,6 +443,7 @@ impl<'g> Profiler<'g> {
     ) -> Self {
         Profiler {
             graph,
+            pim_channels_eff: cfg.effective_pim_channels().max(1),
             cfg: cfg.clone(),
             pim_memo,
         }
@@ -254,14 +454,17 @@ impl<'g> Profiler<'g> {
         self.pim_memo
     }
 
-    /// PIM time of `frac` of node `id`'s rows, microseconds.
+    /// PIM time of `frac` of node `id`'s rows, microseconds, over the
+    /// channels the mask reports available.
     fn pim_time(&mut self, id: NodeId, frac: f64) -> f64 {
         let mut w = PimWorkload::from_node(self.graph, id);
         w.rows = ((w.rows as f64 * frac).round() as usize).max(1);
         let cfg = &self.cfg;
-        *self.pim_memo.entry(w).or_insert_with(|| {
-            execute_workload(&w, &cfg.pim, cfg.pim_channels.max(1), cfg.granularity).time_us
-        })
+        let channels = self.pim_channels_eff;
+        *self
+            .pim_memo
+            .entry(w)
+            .or_insert_with(|| execute_workload(&w, &cfg.pim, channels, cfg.granularity).time_us)
     }
 
     /// GPU time of `frac` of node `id`'s rows (standalone launch),
@@ -437,7 +640,7 @@ pub fn estimate_node_best_us(
     opts: &SearchOptions,
 ) -> f64 {
     let mut p = Profiler::new(graph, cfg);
-    if graph.is_pim_candidate(id) && cfg.pim_channels > 0 {
+    if graph.is_pim_candidate(id) && cfg.effective_pim_channels() > 0 {
         ratio_grid(opts)
             .into_iter()
             .map(|r| p.mddp_cost(id, r))
@@ -474,38 +677,110 @@ struct NodeOutcome {
     profile: Option<LayerProfile>,
 }
 
-/// Runs the execution mode and task size search over `graph`, sizing the
-/// worker pool from `PIMFLOW_JOBS` (see [`search_with_pool`]).
+/// Builder for the execution mode and task size search (Algorithm 1).
 ///
-/// Returns the chosen plan. Costs are measured with the hardware models in
-/// `cfg`; `opts` restricts the mode space per offloading mechanism.
-pub fn search(graph: &Graph, cfg: &EngineConfig, opts: &SearchOptions) -> ExecutionPlan {
-    search_with_pool(graph, cfg, opts, &WorkerPool::from_env())
+/// Replaces the historical `search` / `search_with_pool` free-function
+/// pair with one entry point:
+///
+/// ```
+/// use pimflow::engine::EngineConfig;
+/// use pimflow::search::{Search, SearchOptions};
+/// use pimflow_ir::models;
+///
+/// # fn main() -> pimflow::error::Result<()> {
+/// let graph = models::toy();
+/// let cfg = EngineConfig::pimflow();
+/// let plan = Search::new(&graph, &cfg)
+///     .options(SearchOptions::default())
+///     .pool(2)
+///     .run()?;
+/// assert!(plan.predicted_us > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// Unset knobs keep their defaults: [`SearchOptions::default`] for the
+/// mode space, a [`WorkerPool`] sized from `PIMFLOW_JOBS` for the
+/// measurement loops, and the channel mask already carried by the config.
+#[derive(Debug)]
+pub struct Search<'g> {
+    graph: &'g Graph,
+    cfg: EngineConfig,
+    opts: SearchOptions,
+    pool: Option<WorkerPool>,
 }
 
-/// [`search`] with an explicit worker pool.
-///
-/// The per-node MD-DP profiling and the per-chain pipeline costing fan out
-/// over `pool`; each worker profiles with its own memo shard
-/// (shard-per-worker, so workers never contend on one map) and results are
-/// merged in topological/chain order. The returned plan is bit-identical
-/// for any pool width, including [`WorkerPool::sequential`].
-pub fn search_with_pool(
-    graph: &Graph,
-    cfg: &EngineConfig,
-    opts: &SearchOptions,
-    pool: &WorkerPool,
-) -> ExecutionPlan {
-    let order = graph.topo_order().expect("graph must be acyclic");
-    let n = order.len();
-    let index_of: HashMap<NodeId, usize> =
-        order.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+impl<'g> Search<'g> {
+    /// Starts a search over `graph` with the hardware models in `cfg`.
+    pub fn new(graph: &'g Graph, cfg: &EngineConfig) -> Self {
+        Search {
+            graph,
+            cfg: cfg.clone(),
+            opts: SearchOptions::default(),
+            pool: None,
+        }
+    }
 
-    // Whether each node fuses into its producer in the all-GPU timeline
-    // (mirrors the engine: element-wise ops fuse into any GPU compute
-    // kernel; only data-movement views and graph inputs break fusion).
+    /// Restricts the mode space per offloading mechanism (§5).
+    pub fn options(mut self, opts: SearchOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Fans the measurement loops out over `jobs` workers (1 = run
+    /// sequentially on the caller's thread). Without this knob the pool is
+    /// sized from `PIMFLOW_JOBS`. Any width returns a byte-identical plan.
+    pub fn pool(mut self, jobs: usize) -> Self {
+        self.pool = Some(if jobs <= 1 {
+            WorkerPool::sequential()
+        } else {
+            WorkerPool::new(jobs)
+        });
+        self
+    }
+
+    /// Overrides the channel-availability mask of the config: PIM costs
+    /// are simulated over the surviving channels only, and offload is
+    /// disabled entirely when no channel survives.
+    pub fn mask(mut self, mask: ChannelMask) -> Self {
+        self.cfg = self.cfg.with_mask(mask);
+        self
+    }
+
+    /// Runs Algorithm 1 and returns the chosen plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Error::Graph`] when `graph` is structurally
+    /// invalid (e.g. cyclic) and no topological order exists.
+    pub fn run(self) -> Result<ExecutionPlan> {
+        let pool = self.pool.unwrap_or_else(WorkerPool::from_env);
+        run_search(self.graph, &self.cfg, &self.opts, &pool)
+    }
+}
+
+/// Runs the execution mode and task size search over `graph`, sizing the
+/// worker pool from `PIMFLOW_JOBS`. Shorthand for
+/// `Search::new(graph, cfg).options(*opts).run()` — use the [`Search`]
+/// builder to pin the pool width or override the channel mask.
+///
+/// Costs are measured with the hardware models in `cfg`; `opts` restricts
+/// the mode space per offloading mechanism.
+///
+/// # Errors
+///
+/// Returns [`crate::Error::Graph`] when `graph` has no topological order.
+pub fn search(graph: &Graph, cfg: &EngineConfig, opts: &SearchOptions) -> Result<ExecutionPlan> {
+    Search::new(graph, cfg).options(*opts).run()
+}
+
+/// Whether each node fuses into its producer in the all-GPU timeline
+/// (mirrors the engine: element-wise ops fuse into any GPU compute kernel;
+/// only data-movement views and graph inputs break fusion). Shared by the
+/// full search and by [`ExecutionPlan::repair`].
+fn fusion_map(graph: &Graph, order: &[NodeId]) -> HashMap<NodeId, bool> {
     let mut conv_like: HashMap<NodeId, bool> = HashMap::new();
-    for &id in &order {
+    for &id in order {
         let node = graph.node(id);
         let after_kernel = node
             .inputs
@@ -516,6 +791,28 @@ pub fn search_with_pool(
         let fusable = crate::engine::op_is_fusable(&node.op) && after_kernel;
         conv_like.insert(id, fusable);
     }
+    conv_like
+}
+
+/// The search body behind the [`Search`] builder.
+///
+/// The per-node MD-DP profiling and the per-chain pipeline costing fan out
+/// over `pool`; each worker profiles with its own memo shard
+/// (shard-per-worker, so workers never contend on one map) and results are
+/// merged in topological/chain order. The returned plan is bit-identical
+/// for any pool width, including [`WorkerPool::sequential`].
+fn run_search(
+    graph: &Graph,
+    cfg: &EngineConfig,
+    opts: &SearchOptions,
+    pool: &WorkerPool,
+) -> Result<ExecutionPlan> {
+    let order = graph.topo_order()?;
+    let n = order.len();
+    let index_of: HashMap<NodeId, usize> =
+        order.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+    let conv_like = fusion_map(graph, &order);
+    let pim_available = cfg.effective_pim_channels() > 0;
 
     // Single-node costs: lines 1-7 of Algorithm 1, one independent task per
     // node.
@@ -525,7 +822,7 @@ pub fn search_with_pool(
         |profiler, _, &id| {
             let fused = *conv_like.get(&id).unwrap_or(&false);
             let gpu_only = solo_gpu_cost(profiler, id, fused);
-            if !(graph.is_pim_candidate(id) && cfg.pim_channels > 0) {
+            if !(graph.is_pim_candidate(id) && pim_available) {
                 return NodeOutcome {
                     cost: gpu_only,
                     decision: Decision::Gpu,
@@ -605,7 +902,7 @@ pub fn search_with_pool(
     // DP walks that order). Workers start from the node phase's merged
     // memo, so shared PIM workloads are not re-simulated.
     let mut chain_list: Vec<(usize, Chain)> = Vec::new();
-    if opts.allow_pipeline && cfg.pim_channels > 0 {
+    if opts.allow_pipeline && pim_available {
         for chain in find_chains(graph) {
             let start = index_of[&chain.nodes[0]];
             let contiguous = chain
@@ -697,13 +994,13 @@ pub fn search_with_pool(
         }
     }
 
-    ExecutionPlan {
+    Ok(ExecutionPlan {
         model: graph.name.clone(),
         decisions,
         profiles,
         predicted_us: t[0],
         conv_layer_us,
-    }
+    })
 }
 
 /// Applies `plan` to a fresh copy of `graph`, returning the transformed
@@ -711,13 +1008,10 @@ pub fn search_with_pool(
 ///
 /// # Errors
 ///
-/// Returns [`crate::passes::PassError`] if the plan references nodes that
-/// do not exist in `graph` or a decision cannot be applied (plans are only
-/// valid for the graph they were computed on).
-pub fn try_apply_plan(
-    graph: &Graph,
-    plan: &ExecutionPlan,
-) -> Result<Graph, crate::passes::PassError> {
+/// Returns [`crate::Error::NotApplicable`] if the plan references nodes
+/// that do not exist in `graph` or a decision cannot be applied (plans are
+/// only valid for the graph they were computed on).
+pub fn apply_plan(graph: &Graph, plan: &ExecutionPlan) -> Result<Graph> {
     use crate::passes::PassError;
     let mut out = graph.clone();
     for (name, decision) in &plan.decisions {
@@ -751,15 +1045,11 @@ pub fn try_apply_plan(
     Ok(out)
 }
 
-/// Applies `plan` to a fresh copy of `graph`, returning the transformed
-/// graph ready for the execution engine.
-///
-/// # Panics
-///
-/// Panics if the plan cannot be applied; use [`try_apply_plan`] to handle
-/// that gracefully.
-pub fn apply_plan(graph: &Graph, plan: &ExecutionPlan) -> Graph {
-    try_apply_plan(graph, plan).unwrap_or_else(|e| panic!("applying plan: {e}"))
+/// Former name of the fallible [`apply_plan`]; both have returned
+/// `Result` since the core API became panic-free.
+#[deprecated(since = "0.2.0", note = "renamed to `apply_plan`")]
+pub fn try_apply_plan(graph: &Graph, plan: &ExecutionPlan) -> Result<Graph> {
+    apply_plan(graph, plan)
 }
 
 #[cfg(test)]
@@ -776,7 +1066,7 @@ mod tests {
     #[test]
     fn search_produces_offload_decisions_for_toy() {
         let g = models::toy();
-        let plan = search(&g, &pimflow_cfg(), &SearchOptions::default());
+        let plan = search(&g, &pimflow_cfg(), &SearchOptions::default()).unwrap();
         assert!(
             !plan.decisions.is_empty(),
             "toy model should offload something"
@@ -788,7 +1078,7 @@ mod tests {
     #[test]
     fn profiles_have_eleven_samples_at_default_step() {
         let g = models::toy();
-        let plan = search(&g, &pimflow_cfg(), &SearchOptions::default());
+        let plan = search(&g, &pimflow_cfg(), &SearchOptions::default()).unwrap();
         for p in &plan.profiles {
             assert_eq!(p.samples.len(), 11, "{}", p.name);
         }
@@ -802,7 +1092,7 @@ mod tests {
             allow_pipeline: false,
             ..Default::default()
         };
-        let plan = search(&g, &pimflow_cfg(), &opts);
+        let plan = search(&g, &pimflow_cfg(), &opts).unwrap();
         for (_, d) in &plan.decisions {
             match d {
                 Decision::Split { gpu_percent } => assert_eq!(*gpu_percent, 0),
@@ -815,8 +1105,8 @@ mod tests {
     #[test]
     fn plan_applies_and_preserves_semantics() {
         let g = models::toy();
-        let plan = search(&g, &pimflow_cfg(), &SearchOptions::default());
-        let transformed = apply_plan(&g, &plan);
+        let plan = search(&g, &pimflow_cfg(), &SearchOptions::default()).unwrap();
+        let transformed = apply_plan(&g, &plan).unwrap();
         transformed.validate().unwrap();
         let inputs = input_tensors(&g, 5);
         let a = run_graph(&g, &inputs).unwrap();
@@ -831,10 +1121,10 @@ mod tests {
     #[test]
     fn plan_execution_beats_gpu_baseline_on_toy() {
         let g = models::toy();
-        let plan = search(&g, &pimflow_cfg(), &SearchOptions::default());
-        let transformed = apply_plan(&g, &plan);
-        let base = execute(&g, &EngineConfig::baseline_gpu());
-        let opt = execute(&transformed, &pimflow_cfg());
+        let plan = search(&g, &pimflow_cfg(), &SearchOptions::default()).unwrap();
+        let transformed = apply_plan(&g, &plan).unwrap();
+        let base = execute(&g, &EngineConfig::baseline_gpu()).unwrap();
+        let opt = execute(&transformed, &pimflow_cfg()).unwrap();
         assert!(
             opt.total_us < base.total_us,
             "PIMFlow {:.1}us vs baseline {:.1}us",
@@ -846,15 +1136,15 @@ mod tests {
     #[test]
     fn search_is_deterministic() {
         let g = models::toy();
-        let a = search(&g, &pimflow_cfg(), &SearchOptions::default());
-        let b = search(&g, &pimflow_cfg(), &SearchOptions::default());
+        let a = search(&g, &pimflow_cfg(), &SearchOptions::default()).unwrap();
+        let b = search(&g, &pimflow_cfg(), &SearchOptions::default()).unwrap();
         assert_eq!(a, b);
     }
 
     #[test]
     fn dp_never_worse_than_all_gpu() {
         let g = models::toy();
-        let plan = search(&g, &pimflow_cfg(), &SearchOptions::default());
+        let plan = search(&g, &pimflow_cfg(), &SearchOptions::default()).unwrap();
         let all_gpu: f64 = {
             let mut p = Profiler::new(&g, &pimflow_cfg());
             let order = g.topo_order().unwrap();
@@ -874,7 +1164,7 @@ mod tests {
     #[test]
     fn ratio_distribution_sums_to_one() {
         let g = models::toy();
-        let plan = search(&g, &pimflow_cfg(), &SearchOptions::default());
+        let plan = search(&g, &pimflow_cfg(), &SearchOptions::default()).unwrap();
         let dist = plan.ratio_distribution();
         let total: f64 = dist.iter().map(|(_, s)| s).sum();
         if plan
@@ -909,7 +1199,7 @@ mod tests {
             allow_pipeline: false,
             ..Default::default()
         };
-        let plan = search(&g, &pimflow_cfg(), &opts);
+        let plan = search(&g, &pimflow_cfg(), &opts).unwrap();
         for p in &plan.profiles {
             let ratios: Vec<u32> = p.samples.iter().map(|&(r, _)| r).collect();
             assert!(ratios.contains(&0), "{}: {ratios:?}", p.name);
@@ -950,7 +1240,7 @@ mod tests {
             allow_pipeline: false,
             ..Default::default()
         };
-        let plan = search(&g, &cfg, &opts);
+        let plan = search(&g, &cfg, &opts).unwrap();
         assert!(!plan.profiles.is_empty());
         assert_eq!(
             plan.decisions.len(),
@@ -992,18 +1282,94 @@ mod tests {
     fn parallel_pools_match_sequential_on_toy() {
         let g = models::toy();
         let opts = SearchOptions::default();
-        let baseline = search_with_pool(&g, &pimflow_cfg(), &opts, &WorkerPool::sequential());
+        let baseline = Search::new(&g, &pimflow_cfg())
+            .options(opts)
+            .pool(1)
+            .run()
+            .unwrap();
         let expected = pimflow_json::to_string(&baseline);
         for jobs in [2usize, 8] {
-            let plan = search_with_pool(&g, &pimflow_cfg(), &opts, &WorkerPool::new(jobs));
+            let plan = Search::new(&g, &pimflow_cfg())
+                .options(opts)
+                .pool(jobs)
+                .run()
+                .unwrap();
             assert_eq!(pimflow_json::to_string(&plan), expected, "jobs {jobs}");
         }
     }
 
     #[test]
+    fn masked_out_search_keeps_everything_on_gpu() {
+        let g = models::toy();
+        let cfg = pimflow_cfg();
+        let plan = Search::new(&g, &cfg)
+            .mask(ChannelMask::from_bits(0))
+            .run()
+            .unwrap();
+        assert!(plan
+            .decisions
+            .iter()
+            .all(|(_, d)| matches!(d, Decision::Gpu)));
+    }
+
+    #[test]
+    fn repair_with_full_mask_is_identity() {
+        let g = models::toy();
+        let cfg = pimflow_cfg();
+        let plan = search(&g, &cfg, &SearchOptions::default()).unwrap();
+        let repaired = plan.repair(&g, &cfg, ChannelMask::all()).unwrap();
+        assert_eq!(
+            pimflow_json::to_string(&plan),
+            pimflow_json::to_string(&repaired)
+        );
+    }
+
+    #[test]
+    fn repair_never_beats_the_original_prediction() {
+        let g = models::toy();
+        let cfg = pimflow_cfg();
+        let plan = search(&g, &cfg, &SearchOptions::default()).unwrap();
+        // Kill all but one channel.
+        let mask = ChannelMask::from_bits(0b1);
+        let repaired = plan.repair(&g, &cfg, mask).unwrap();
+        assert!(
+            repaired.predicted_us >= plan.predicted_us - 1e-9,
+            "repaired {} < original {}",
+            repaired.predicted_us,
+            plan.predicted_us
+        );
+    }
+
+    #[test]
+    fn repair_under_empty_mask_falls_back_to_gpu_everywhere() {
+        let g = models::toy();
+        let cfg = pimflow_cfg();
+        let plan = search(&g, &cfg, &SearchOptions::default()).unwrap();
+        let repaired = plan.repair(&g, &cfg, ChannelMask::from_bits(0)).unwrap();
+        assert!(repaired
+            .decisions
+            .iter()
+            .all(|(_, d)| matches!(d, Decision::Gpu)));
+        // A plan with zero PIM work must execute without touching PIM.
+        let transformed = apply_plan(&g, &repaired).unwrap();
+        let report = execute(&transformed, &cfg.with_mask(ChannelMask::from_bits(0))).unwrap();
+        assert!(report.pim_channel_busy_us.iter().all(|&b| b == 0.0));
+    }
+
+    #[test]
+    fn repair_rejects_plans_for_other_graphs() {
+        let g = models::toy();
+        let cfg = pimflow_cfg();
+        let mut plan = search(&g, &cfg, &SearchOptions::default()).unwrap();
+        plan.decisions.push(("no-such-node".into(), Decision::Gpu));
+        let err = plan.repair(&g, &cfg, ChannelMask::from_bits(0b1));
+        assert!(matches!(err, Err(crate::Error::NotApplicable(_))));
+    }
+
+    #[test]
     fn plan_serializes_roundtrip() {
         let g = models::toy();
-        let plan = search(&g, &pimflow_cfg(), &SearchOptions::default());
+        let plan = search(&g, &pimflow_cfg(), &SearchOptions::default()).unwrap();
         let json = pimflow_json::to_string(&plan);
         let back: ExecutionPlan = pimflow_json::from_str(&json).unwrap();
         assert_eq!(plan.model, back.model);

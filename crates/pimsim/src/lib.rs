@@ -41,6 +41,7 @@
 pub mod command;
 pub mod config;
 pub mod energy;
+pub mod fault;
 pub mod memsys;
 pub mod scheduler;
 pub mod timing;
@@ -49,11 +50,15 @@ pub mod trace;
 pub use command::{CommandBlock, PimCommand};
 pub use config::{DramTiming, PimConfig};
 pub use energy::{pim_energy_breakdown, pim_energy_nj, PimEnergyBreakdown, PimEnergyParams};
+pub use fault::{ChannelFault, FaultKind, FaultPlan};
 pub use memsys::MemorySystem;
 pub use scheduler::{
-    estimate_block_cycles, schedule, schedule_refined, split_for_channels, ScheduleGranularity,
+    estimate_block_cycles, schedule, schedule_refined, schedule_with_faults, split_for_channels,
+    ScheduleGranularity,
 };
-pub use timing::{run_channels, run_channels_each, ChannelEngine, ChannelStats};
+pub use timing::{
+    run_channels, run_channels_each, run_channels_each_with_faults, ChannelEngine, ChannelStats,
+};
 pub use trace::{
     command_to_line, parse_traces, traces_to_text, validate_trace, ParseTraceError, TraceViolation,
 };

@@ -19,6 +19,7 @@
 
 use crate::command::{CommandBlock, PimCommand};
 use crate::config::PimConfig;
+use crate::fault::FaultPlan;
 
 /// How finely blocks may be split across channels.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -164,34 +165,60 @@ pub fn schedule(
     granularity: ScheduleGranularity,
     cfg: &PimConfig,
 ) -> Vec<Vec<PimCommand>> {
+    schedule_with_faults(blocks, channels, granularity, cfg, &FaultPlan::healthy())
+}
+
+/// Fault-aware variant of [`schedule`]: dead channels receive empty traces,
+/// derated channels are LPT-weighted by their remaining bandwidth so the
+/// balanced makespan accounts for their slower bus, and a channel with a
+/// pending stall is pre-loaded with the stall's duration (pessimistically
+/// assuming the freeze lands inside the layer).
+///
+/// The returned vector always has `channels` entries so trace index `i`
+/// still corresponds to physical channel `i`.
+///
+/// # Panics
+///
+/// Panics if `channels == 0` or the plan leaves no channel alive.
+pub fn schedule_with_faults(
+    blocks: &[CommandBlock],
+    channels: usize,
+    granularity: ScheduleGranularity,
+    cfg: &PimConfig,
+    plan: &FaultPlan,
+) -> Vec<Vec<PimCommand>> {
     assert!(channels > 0, "need at least one PIM channel");
-    let units = split_for_channels(blocks, channels, granularity);
+    let alive = plan.alive_channels(channels);
+    assert!(!alive.is_empty(), "need at least one live PIM channel");
+    let units = split_for_channels(blocks, alive.len(), granularity);
     let mut order: Vec<usize> = (0..units.len()).collect();
     order.sort_by_key(|&i| std::cmp::Reverse(estimate_block_cycles(&units[i], cfg)));
 
-    let mut loads = vec![0u64; channels];
-    let mut assignment: Vec<Vec<usize>> = vec![Vec::new(); channels];
+    // LPT over the live channels only, with per-channel weighting: a block
+    // on a derated channel costs proportionally more, and a pending stall
+    // counts as load the channel must drain before it can help.
+    let mut loads: Vec<u64> = alive
+        .iter()
+        .map(|&ch| plan.stall(ch).map_or(0, |(_, duration)| duration))
+        .collect();
+    let mut assignment: Vec<Vec<usize>> = vec![Vec::new(); alive.len()];
     for i in order {
-        let ch = (0..channels)
-            .min_by_key(|&c| loads[c])
-            .expect("channels > 0");
-        loads[ch] += estimate_block_cycles(&units[i], cfg);
-        assignment[ch].push(i);
+        let slot = (0..alive.len()).min_by_key(|&s| loads[s]).expect("alive");
+        let est = estimate_block_cycles(&units[i], cfg);
+        loads[slot] += est * 100 / plan.derate_percent(alive[slot]) as u64;
+        assignment[slot].push(i);
     }
 
-    assignment
-        .into_iter()
-        .map(|idxs| {
-            let mut trace = Vec::new();
-            // Preserve original program order within a channel.
-            let mut idxs = idxs;
-            idxs.sort_unstable();
-            for i in idxs {
-                trace.extend(units[i].expand());
-            }
-            trace
-        })
-        .collect()
+    let mut traces: Vec<Vec<PimCommand>> = vec![Vec::new(); channels];
+    for (slot, mut idxs) in assignment.into_iter().enumerate() {
+        // Preserve original program order within a channel.
+        idxs.sort_unstable();
+        let trace = &mut traces[alive[slot]];
+        for i in idxs {
+            trace.extend(units[i].expand());
+        }
+    }
+    traces
 }
 
 /// Measurement-guided refinement of [`schedule`]: simulate the LPT
@@ -396,6 +423,84 @@ mod tests {
     #[should_panic(expected = "at least one PIM channel")]
     fn zero_channels_panics() {
         schedule(&[], 0, ScheduleGranularity::GAct, &PimConfig::default());
+    }
+
+    #[test]
+    fn dead_channels_receive_no_work() {
+        use crate::fault::{ChannelFault, FaultKind};
+        let cfg = PimConfig::default();
+        let blocks = vec![small_layer_block(); 12];
+        let plan = FaultPlan::healthy()
+            .with(ChannelFault {
+                channel: 0,
+                kind: FaultKind::Dead,
+            })
+            .with(ChannelFault {
+                channel: 3,
+                kind: FaultKind::Dead,
+            });
+        let traces = schedule_with_faults(&blocks, 4, ScheduleGranularity::GAct, &cfg, &plan);
+        assert_eq!(traces.len(), 4, "trace index must stay = channel index");
+        assert!(traces[0].is_empty() && traces[3].is_empty());
+        assert!(!traces[1].is_empty() && !traces[2].is_empty());
+        // All work lands on the survivors.
+        let merged = crate::timing::run_channels_each_with_faults(&cfg, &traces, &plan)
+            .iter()
+            .fold(crate::timing::ChannelStats::default(), |acc, s| {
+                acc.merge_parallel(s)
+            });
+        let expected: u64 = blocks.iter().map(|b| b.total_comps()).sum();
+        assert_eq!(merged.comps, expected);
+    }
+
+    #[test]
+    fn derated_channel_gets_less_work() {
+        use crate::fault::{ChannelFault, FaultKind};
+        let cfg = PimConfig::default();
+        let blocks = vec![small_layer_block(); 32];
+        let plan = FaultPlan::healthy().with(ChannelFault {
+            channel: 0,
+            kind: FaultKind::Derate { percent: 25 },
+        });
+        let traces = schedule_with_faults(&blocks, 4, ScheduleGranularity::GAct, &cfg, &plan);
+        let slow = traces[0].len();
+        let healthy_min = traces[1..].iter().map(Vec::len).min().unwrap();
+        assert!(
+            slow < healthy_min,
+            "derated channel got {slow} cmds, healthy min {healthy_min}"
+        );
+    }
+
+    #[test]
+    fn healthy_fault_plan_matches_plain_schedule() {
+        let cfg = PimConfig::default();
+        let blocks = vec![small_layer_block(); 9];
+        let plain = schedule(&blocks, 4, ScheduleGranularity::Comp, &cfg);
+        let faulty = schedule_with_faults(
+            &blocks,
+            4,
+            ScheduleGranularity::Comp,
+            &cfg,
+            &FaultPlan::healthy(),
+        );
+        assert_eq!(plain, faulty);
+    }
+
+    #[test]
+    #[should_panic(expected = "live PIM channel")]
+    fn all_dead_panics() {
+        use crate::fault::{ChannelFault, FaultKind};
+        let plan = FaultPlan::healthy().with(ChannelFault {
+            channel: 0,
+            kind: FaultKind::Dead,
+        });
+        schedule_with_faults(
+            &[],
+            1,
+            ScheduleGranularity::GAct,
+            &PimConfig::default(),
+            &plan,
+        );
     }
 
     #[test]

@@ -43,6 +43,8 @@ pub struct ChannelStats {
     pub comp_busy_cycles: u64,
     /// All-bank refreshes serviced.
     pub refreshes: u64,
+    /// Cycles lost to injected transient stalls (fault model).
+    pub stall_cycles: u64,
 }
 
 impl ChannelStats {
@@ -71,6 +73,7 @@ impl ChannelStats {
             gpu_burst_bytes: self.gpu_burst_bytes + other.gpu_burst_bytes,
             comp_busy_cycles: self.comp_busy_cycles + other.comp_busy_cycles,
             refreshes: self.refreshes + other.refreshes,
+            stall_cycles: self.stall_cycles + other.stall_cycles,
         }
     }
 }
@@ -88,6 +91,10 @@ pub struct ChannelEngine {
     open_row: Option<u32>,
     next_refresh: u64,
     stats: ChannelStats,
+    /// Remaining I/O bandwidth as a percentage of nominal (fault model).
+    derate_percent: u32,
+    /// Pending transient stall as `(start_cycle, duration_cycles)`.
+    stall: Option<(u64, u64)>,
 }
 
 impl ChannelEngine {
@@ -109,6 +116,36 @@ impl ChannelEngine {
                 u64::MAX
             },
             stats: ChannelStats::default(),
+            derate_percent: 100,
+            stall: None,
+        }
+    }
+
+    /// Creates an engine carrying the fault condition `plan` assigns to
+    /// `channel`: derated I/O slows bus transfers, a scheduled stall freezes
+    /// the channel once its clock reaches the start cycle. A `Dead` fault is
+    /// the scheduler's responsibility (no work may be routed here); the
+    /// engine treats it like a healthy channel so an empty trace still
+    /// yields zeroed stats.
+    pub fn with_fault(cfg: PimConfig, plan: &crate::fault::FaultPlan, channel: usize) -> Self {
+        let mut engine = ChannelEngine::new(cfg);
+        engine.derate_percent = plan.derate_percent(channel);
+        engine.stall = plan.stall(channel);
+        engine
+    }
+
+    /// Applies the scheduled stall if the clock has reached its start.
+    /// Fires at most once: the stall is consumed when it triggers.
+    fn service_stall(&mut self) {
+        if let Some((start, duration)) = self.stall {
+            if self.clock >= start {
+                self.clock += duration;
+                self.last_comp_end = self.last_comp_end.max(self.clock);
+                self.act_ready = self.act_ready.max(self.clock);
+                self.bus_free = self.bus_free.max(self.clock);
+                self.stats.stall_cycles += duration;
+                self.stall = None;
+            }
         }
     }
 
@@ -137,7 +174,9 @@ impl ChannelEngine {
     }
 
     fn io_cycles(&self, bytes: u32) -> u64 {
-        (bytes as u64).div_ceil(self.cfg.io_bytes_per_cycle as u64)
+        let nominal = (bytes as u64).div_ceil(self.cfg.io_bytes_per_cycle as u64);
+        // Bandwidth derating stretches every bus transfer proportionally.
+        (nominal * 100).div_ceil(self.derate_percent.clamp(1, 100) as u64)
     }
 
     /// Executes one command, advancing the channel state.
@@ -147,6 +186,7 @@ impl ChannelEngine {
     /// Panics if a `Gwrite`/`Comp` names a buffer index outside the
     /// configured number of global buffers.
     pub fn execute(&mut self, cmd: &PimCommand) {
+        self.service_stall();
         self.service_refresh();
         let t = self.cfg.timing;
         match *cmd {
@@ -258,8 +298,21 @@ impl ChannelEngine {
         self.finish()
     }
 
-    /// Returns the statistics, closing out any in-flight bus transfer.
+    /// Returns the statistics, closing out any in-flight bus transfer and
+    /// any stall that lands inside the trace's active window.
     pub fn finish(mut self) -> ChannelStats {
+        let end = self.clock.max(self.bus_free);
+        if let Some((start, duration)) = self.stall {
+            // The stall began while the channel was still active (e.g.
+            // during the final bus drain): the channel cannot retire its
+            // last transfer until the freeze passes.
+            if end > 0 && start < end {
+                self.clock = end + duration;
+                self.bus_free = self.clock;
+                self.stats.stall_cycles += duration;
+                self.stall = None;
+            }
+        }
         self.stats.cycles = self.clock.max(self.bus_free);
         self.stats
     }
@@ -283,9 +336,34 @@ pub fn run_channels(cfg: &PimConfig, traces: &[Vec<PimCommand>]) -> ChannelStats
 /// utilization fold these themselves instead of using the merged view of
 /// [`run_channels`].
 pub fn run_channels_each(cfg: &PimConfig, traces: &[Vec<PimCommand>]) -> Vec<ChannelStats> {
+    run_channels_each_with_faults(cfg, traces, &crate::fault::FaultPlan::healthy())
+}
+
+/// Fault-aware variant of [`run_channels_each`]: channel `i` runs under the
+/// fault condition `plan` assigns to it (bandwidth derating, transient
+/// stalls). Dead channels must carry empty traces — route work around them
+/// with [`crate::scheduler::schedule_with_faults`] first.
+///
+/// # Panics
+///
+/// Panics if a dead channel was given a non-empty trace; that is a
+/// scheduling bug, not a runtime condition.
+pub fn run_channels_each_with_faults(
+    cfg: &PimConfig,
+    traces: &[Vec<PimCommand>],
+    plan: &crate::fault::FaultPlan,
+) -> Vec<ChannelStats> {
     traces
         .iter()
-        .map(|t| ChannelEngine::new(*cfg).run(t))
+        .enumerate()
+        .map(|(ch, t)| {
+            assert!(
+                !plan.is_dead(ch) || t.is_empty(),
+                "dead channel {ch} was scheduled {} commands",
+                t.len()
+            );
+            ChannelEngine::with_fault(*cfg, plan, ch).run(t)
+        })
         .collect()
 }
 
@@ -543,6 +621,111 @@ mod tests {
         ]);
         let overhead = with.cycles as f64 / without.cycles as f64 - 1.0;
         assert!(overhead > 0.0 && overhead < 0.10, "overhead {overhead}");
+    }
+
+    #[test]
+    fn derated_channel_pays_longer_transfers() {
+        use crate::fault::{ChannelFault, FaultKind, FaultPlan};
+        let trace = vec![
+            PimCommand::Gwrite {
+                buffer: 0,
+                bytes: 4096,
+            },
+            PimCommand::GAct { row: 0 },
+            PimCommand::Comp {
+                buffer: 0,
+                repeat: 4,
+            },
+            PimCommand::ReadRes { bytes: 2048 },
+        ];
+        let plan = FaultPlan::healthy().with(ChannelFault {
+            channel: 0,
+            kind: FaultKind::Derate { percent: 50 },
+        });
+        let healthy = ChannelEngine::new(cfg()).run(&trace);
+        let derated = ChannelEngine::with_fault(cfg(), &plan, 0).run(&trace);
+        assert!(
+            derated.cycles > healthy.cycles,
+            "derated {} <= healthy {}",
+            derated.cycles,
+            healthy.cycles
+        );
+        assert_eq!(derated.comps, healthy.comps, "work must be conserved");
+    }
+
+    #[test]
+    fn stall_adds_exactly_its_duration_when_it_fires() {
+        use crate::fault::{ChannelFault, FaultKind, FaultPlan};
+        let trace = vec![
+            PimCommand::GAct { row: 0 },
+            PimCommand::Comp {
+                buffer: 0,
+                repeat: 100,
+            },
+            PimCommand::ReadRes { bytes: 64 },
+        ];
+        let healthy = ChannelEngine::new(cfg()).run(&trace);
+        let plan = FaultPlan::healthy().with(ChannelFault {
+            channel: 0,
+            kind: FaultKind::Stall {
+                start_cycle: 10,
+                duration_cycles: 500,
+            },
+        });
+        let stalled = ChannelEngine::with_fault(cfg(), &plan, 0).run(&trace);
+        assert_eq!(stalled.stall_cycles, 500);
+        assert_eq!(stalled.cycles, healthy.cycles + 500);
+        assert_eq!(stalled.comps, healthy.comps);
+    }
+
+    #[test]
+    fn stall_past_the_trace_never_fires() {
+        use crate::fault::{ChannelFault, FaultKind, FaultPlan};
+        let trace = vec![PimCommand::GAct { row: 0 }];
+        let plan = FaultPlan::healthy().with(ChannelFault {
+            channel: 0,
+            kind: FaultKind::Stall {
+                start_cycle: 1_000_000,
+                duration_cycles: 500,
+            },
+        });
+        let stats = ChannelEngine::with_fault(cfg(), &plan, 0).run(&trace);
+        assert_eq!(stats.stall_cycles, 0);
+    }
+
+    #[test]
+    fn faults_only_touch_their_channel() {
+        use crate::fault::{ChannelFault, FaultKind, FaultPlan};
+        let trace = vec![
+            PimCommand::Gwrite {
+                buffer: 0,
+                bytes: 1024,
+            },
+            PimCommand::GAct { row: 0 },
+            PimCommand::Comp {
+                buffer: 0,
+                repeat: 16,
+            },
+        ];
+        let plan = FaultPlan::healthy().with(ChannelFault {
+            channel: 1,
+            kind: FaultKind::Derate { percent: 25 },
+        });
+        let per = run_channels_each_with_faults(&cfg(), &[trace.clone(), trace.clone()], &plan);
+        let healthy = ChannelEngine::new(cfg()).run(&trace);
+        assert_eq!(per[0], healthy, "channel 0 must be unaffected");
+        assert!(per[1].cycles > healthy.cycles);
+    }
+
+    #[test]
+    #[should_panic(expected = "dead channel")]
+    fn dead_channel_with_work_is_a_scheduling_bug() {
+        use crate::fault::{ChannelFault, FaultKind, FaultPlan};
+        let plan = FaultPlan::healthy().with(ChannelFault {
+            channel: 0,
+            kind: FaultKind::Dead,
+        });
+        run_channels_each_with_faults(&cfg(), &[vec![PimCommand::GAct { row: 0 }]], &plan);
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //! pimflow serve --model <net> --policy <p> --rps <r> --duration <s> [--seed <n>]
 //!               [--arrival fixed|poisson] [--trace-file <path>] [--max-batch <n>]
 //!               [--timeout-us <t>] [--cache-size <n>] [--precompile]
+//!               [--faults <severity>] [--fault-seed <n>] [--measure-replan]
 //!               [--events-out <path>] [--report-out <path>]
 //! ```
 //!
@@ -37,7 +38,7 @@ use pimflow::engine::{execute, EngineConfig};
 use pimflow::policy::{evaluate, Policy};
 use pimflow::search::{apply_plan, search, ExecutionPlan, SearchOptions};
 use pimflow_ir::models;
-use pimflow_serve::{parse_trace, ArrivalSpec, ServeConfig};
+use pimflow_serve::{parse_trace, ArrivalSpec, FaultScenario, ServeConfig};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -132,7 +133,7 @@ fn profile(args: &Args) -> Result<(), String> {
                 allow_pipeline: false,
                 ..Default::default()
             };
-            let plan = search(&g, &cfg, &opts);
+            let plan = search(&g, &cfg, &opts).map_err(|e| e.to_string())?;
             let path = args
                 .out_dir
                 .join("layerwise")
@@ -177,7 +178,7 @@ fn solve(args: &Args) -> Result<(), String> {
         .policy
         .search_options()
         .ok_or("the baseline policy has nothing to solve")?;
-    let plan = search(&g, &cfg, &opts);
+    let plan = search(&g, &cfg, &opts).map_err(|e| e.to_string())?;
     let path = args.out_dir.join("plans").join(format!("{}.json", g.name));
     write_json(&path, &plan)?;
     println!(
@@ -235,7 +236,7 @@ fn info(args: &Args) -> Result<(), String> {
 fn run(args: &Args) -> Result<(), String> {
     let g = load_model(&args.net)?;
     if args.gpu_only {
-        let report = execute(&g, &EngineConfig::baseline_gpu());
+        let report = execute(&g, &EngineConfig::baseline_gpu()).map_err(|e| e.to_string())?;
         println!(
             "{} on GPU baseline (32 channels): {:.1} us, {:.0} uJ",
             g.name, report.total_us, report.energy_uj
@@ -251,11 +252,12 @@ fn run(args: &Args) -> Result<(), String> {
             let plan: ExecutionPlan = pimflow_json::from_str(&json)
                 .map_err(|e| format!("parsing {}: {e}", plan_path.display()))?;
             println!("using saved plan {}", plan_path.display());
-            execute(&apply_plan(&g, &plan), &cfg)
+            let transformed = apply_plan(&g, &plan).map_err(|e| e.to_string())?;
+            execute(&transformed, &cfg).map_err(|e| e.to_string())?
         }
-        Err(_) => evaluate(&g, args.policy).report,
+        Err(_) => evaluate(&g, args.policy).map_err(|e| e.to_string())?.report,
     };
-    let base = execute(&g, &EngineConfig::baseline_gpu());
+    let base = execute(&g, &EngineConfig::baseline_gpu()).map_err(|e| e.to_string())?;
     println!(
         "{} under {}: {:.1} us ({:.2}x over GPU baseline), {:.0} uJ ({:.2}x)",
         g.name,
@@ -287,6 +289,8 @@ struct ServeArgs {
     trace_file: Option<PathBuf>,
     events_out: Option<PathBuf>,
     report_out: Option<PathBuf>,
+    fault_severity: f64,
+    fault_seed: Option<u64>,
 }
 
 /// Parses `pimflow serve` flags. Accepts both `--flag value` and
@@ -300,6 +304,8 @@ fn parse_serve_args(raw: &[String]) -> Result<ServeArgs, String> {
         trace_file: None,
         events_out: None,
         report_out: None,
+        fault_severity: 0.0,
+        fault_seed: None,
     };
     let mut it = raw.iter();
     while let Some(tok) = it.next() {
@@ -350,6 +356,15 @@ fn parse_serve_args(raw: &[String]) -> Result<ServeArgs, String> {
             "--timeout-us" => sa.cfg.batch_timeout_us = num(&key, &value(&key)?)?,
             "--cache-size" => sa.cfg.cache_capacity = int(&key, &value(&key)?)?,
             "--precompile" => sa.cfg.precompile = true,
+            "--faults" => {
+                let v = value(&key)?;
+                sa.fault_severity = num(&key, &v)?;
+                if !(0.0..=1.0).contains(&sa.fault_severity) {
+                    return Err(format!("--faults expects a severity in [0, 1], got `{v}`"));
+                }
+            }
+            "--fault-seed" => sa.fault_seed = Some(int(&key, &value(&key)?)? as u64),
+            "--measure-replan" => sa.cfg.measure_replan = true,
             "--jobs" | "-j" => set_jobs(&value(&key)?)?,
             "--events-out" => sa.events_out = Some(PathBuf::from(value(&key)?)),
             "--report-out" => sa.report_out = Some(PathBuf::from(value(&key)?)),
@@ -381,6 +396,24 @@ fn parse_serve_args(raw: &[String]) -> Result<ServeArgs, String> {
     };
     if sa.arrival_kind != "trace" && sa.trace_file.is_some() {
         return Err("--trace-file requires --arrival trace".into());
+    }
+    if sa.fault_severity > 0.0 {
+        // Seed precedence: --fault-seed, then PIMFLOW_FAULTS, then the run
+        // seed — so CI can pin a fault scenario without editing commands.
+        let seed = match sa.fault_seed {
+            Some(s) => s,
+            None => match std::env::var("PIMFLOW_FAULTS") {
+                Ok(v) => v
+                    .parse::<u64>()
+                    .map_err(|_| format!("PIMFLOW_FAULTS expects an integer seed, got `{v}`"))?,
+                Err(_) => sa.cfg.seed,
+            },
+        };
+        let channels = sa.cfg.policy.engine_config().pim_channels;
+        sa.cfg.faults =
+            FaultScenario::from_seed(seed, channels, sa.fault_severity, sa.cfg.duration_s);
+    } else if sa.fault_seed.is_some() {
+        return Err("--fault-seed requires --faults <severity>".into());
     }
     Ok(sa)
 }
@@ -426,6 +459,27 @@ fn serve(raw: &[String]) -> Result<(), String> {
         println!("  pim channel utilization %: {}", utils.join(" "));
     }
     println!("  energy: {:.0} uJ", r.energy_uj);
+    if !sa.cfg.faults.is_none() {
+        println!(
+            "  faults: {} transitions, {} retries, {} plan repairs",
+            r.counters.fault_events, r.counters.retries, r.counters.repairs
+        );
+        println!(
+            "  latency by phase us: before p50 {:.1} p99 {:.1} | during p50 {:.1} p99 {:.1} | after p50 {:.1} p99 {:.1}",
+            r.p50_before_us, r.p99_before_us, r.p50_during_us, r.p99_during_us,
+            r.p50_after_us, r.p99_after_us
+        );
+        println!(
+            "  gpu fallback: {:.1}% of requests served all-GPU",
+            r.gpu_fallback_fraction * 100.0
+        );
+        if sa.cfg.measure_replan {
+            println!(
+                "  repair vs full replan: {:+.2}% predicted latency",
+                r.repair_quality_delta * 100.0
+            );
+        }
+    }
     if let Some(path) = &sa.events_out {
         if let Some(dir) = path.parent() {
             std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
@@ -456,7 +510,9 @@ fn main() -> ExitCode {
                     "usage: pimflow serve --model <net> [--policy <p>] [--rps <r>] \
                      [--arrival fixed|poisson|trace] [--trace-file <path>] [--duration <s>] \
                      [--seed <n>] [--max-batch <n>] [--timeout-us <t>] [--cache-size <n>] \
-                     [--precompile] [--jobs <n>] [--events-out <path>] [--report-out <path>]"
+                     [--precompile] [--faults <severity>] [--fault-seed <n>] \
+                     [--measure-replan] [--jobs <n>] [--events-out <path>] \
+                     [--report-out <path>]"
                 );
                 ExitCode::FAILURE
             }

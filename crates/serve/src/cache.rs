@@ -23,6 +23,11 @@ pub struct PlanKey {
     pub policy: String,
     /// Batch size the plan was compiled for.
     pub batch: usize,
+    /// Channel-availability mask bits the plan was compiled under
+    /// ([`ChannelMask::bits`](pimflow::engine::ChannelMask::bits)). Plans
+    /// priced for degraded hardware must not be served once channels
+    /// recover, so the mask is part of the identity.
+    pub mask: u64,
 }
 
 /// One cached value plus the stamp of its last use.
@@ -127,6 +132,12 @@ impl<V> PlanCache<V> {
         );
     }
 
+    /// Looks up `key` without touching recency or the hit/miss counters —
+    /// the fault-repair path inspects existing entries this way.
+    pub fn peek(&self, key: &PlanKey) -> Option<&V> {
+        self.map.get(key).map(|slot| &slot.value)
+    }
+
     /// Maximum number of cached plans.
     pub fn capacity(&self) -> usize {
         self.capacity
@@ -172,6 +183,7 @@ mod tests {
             model: "toy".into(),
             policy: "PIMFlow".into(),
             batch,
+            mask: u64::MAX,
         }
     }
 
@@ -257,15 +269,34 @@ mod tests {
             model: "toy".into(),
             policy: "PIMFlow".into(),
             batch: 1,
+            mask: u64::MAX,
         };
         let b = PlanKey {
             model: "toy".into(),
             policy: "Baseline".into(),
             batch: 1,
+            mask: u64::MAX,
         };
         c.get_or_insert_with(a, || "pimflow");
         let (v, hit) = c.get_or_insert_with(b, || "baseline");
         assert!(!hit);
         assert_eq!(*v, "baseline");
+    }
+
+    #[test]
+    fn distinct_masks_do_not_collide() {
+        let mut c: PlanCache<&'static str> = PlanCache::new(4);
+        let healthy = key(1);
+        let degraded = PlanKey {
+            mask: !0b1,
+            ..key(1)
+        };
+        c.get_or_insert_with(healthy.clone(), || "healthy");
+        let (v, hit) = c.get_or_insert_with(degraded.clone(), || "degraded");
+        assert!(!hit, "degraded hardware must not reuse the healthy plan");
+        assert_eq!(*v, "degraded");
+        assert_eq!(c.peek(&healthy), Some(&"healthy"));
+        assert_eq!(c.peek(&degraded), Some(&"degraded"));
+        assert_eq!(c.hits() + c.misses(), 2, "peek is not a lookup");
     }
 }

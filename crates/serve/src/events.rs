@@ -62,6 +62,29 @@ impl EventLog {
         ]);
     }
 
+    /// Records a channel availability transition (fault injection).
+    pub fn fault(&mut self, t_us: f64, channel: usize, up: bool) {
+        self.push(vec![
+            ("t_us", Json::Num(t_us)),
+            ("event", Json::Str("fault".into())),
+            ("channel", Json::Num(channel as f64)),
+            ("up", Json::Bool(up)),
+        ]);
+    }
+
+    /// Records an in-flight batch aborted by a channel failure and
+    /// re-dispatched on a degraded plan. `wasted_us` is the execution time
+    /// lost to the abort.
+    pub fn retry(&mut self, t_us: f64, batch: u64, channel: usize, wasted_us: f64) {
+        self.push(vec![
+            ("t_us", Json::Num(t_us)),
+            ("event", Json::Str("retry".into())),
+            ("batch", Json::Num(batch as f64)),
+            ("channel", Json::Num(channel as f64)),
+            ("wasted_us", Json::Num(wasted_us)),
+        ]);
+    }
+
     /// Number of events recorded.
     pub fn len(&self) -> usize {
         self.lines.len()

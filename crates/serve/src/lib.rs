@@ -21,6 +21,10 @@
 //!    streaming log-bucketed latency histogram (p50/p95/p99 within one
 //!    bucket of exact), per-channel utilization, and a byte-deterministic
 //!    JSONL event trace.
+//! 5. **Fault injection** ([`fault`]) — seeded channel failure/recovery
+//!    scenarios replayed on the serving timeline; cached plans are
+//!    repaired onto the degraded channel mask, in-flight batches retried,
+//!    and per-phase (before/during/after) degradation metrics reported.
 //!
 //! ## Example
 //!
@@ -45,6 +49,7 @@
 pub mod arrival;
 pub mod cache;
 pub mod events;
+pub mod fault;
 pub mod metrics;
 pub mod queue;
 pub mod sim;
@@ -52,6 +57,7 @@ pub mod sim;
 pub use arrival::{arrival_times_us, parse_trace, ArrivalSpec};
 pub use cache::{PlanCache, PlanKey};
 pub use events::EventLog;
+pub use fault::{FaultEvent, FaultScenario};
 pub use metrics::{Counters, Histogram};
 pub use queue::{BatchQueue, QueuedRequest};
 pub use sim::{normalize_model_name, run, ServeConfig, ServeError, ServeReport, ServeRun};

@@ -26,6 +26,12 @@ pub struct Counters {
     pub cache_misses: u64,
     /// Times `pimflow::search::search` actually ran.
     pub search_invocations: u64,
+    /// Channel availability transitions replayed from the fault scenario.
+    pub fault_events: u64,
+    /// In-flight batches aborted by a channel failure and re-dispatched.
+    pub retries: u64,
+    /// Cached plans repaired (`ExecutionPlan::repair`) after a failure.
+    pub repairs: u64,
 }
 
 json_struct!(Counters {
@@ -34,7 +40,10 @@ json_struct!(Counters {
     batches,
     cache_hits,
     cache_misses,
-    search_invocations
+    search_invocations,
+    fault_events,
+    retries,
+    repairs
 });
 
 /// Geometric bucket growth: 8 buckets per doubling.

@@ -5,23 +5,38 @@
 //! GPU+PIM device is free and the queue is ready, the scheduler takes a
 //! FIFO batch, compiles it through the LRU plan cache — batching the model
 //! with [`pimflow::batch::with_batch`], searching an execution plan once
-//! per (model, policy, batch size), and pricing the batch on the execution
-//! engine — and advances simulated time by the batch latency. Counters,
-//! the latency histogram, per-channel utilization, and the JSONL event
-//! trace are recorded along the way.
+//! per (model, policy, batch size, channel mask), and pricing the batch on
+//! the execution engine — and advances simulated time by the batch
+//! latency. Counters, the latency histogram, per-channel utilization, and
+//! the JSONL event trace are recorded along the way.
+//!
+//! ## Fault injection
+//!
+//! A [`FaultScenario`] replays channel failures on the simulated
+//! timeline. On a channel-down transition the scheduler folds the change
+//! into its [`ChannelMask`], *repairs* every cached plan onto the degraded
+//! mask ([`pimflow::search::ExecutionPlan::repair`] — a cheap re-pricing
+//! walk, not a full Algorithm-1 search), and aborts + retries any
+//! in-flight batch that was using the failed channel. Requests are never
+//! dropped: a retried batch finishes on the degraded plan, paying the
+//! wasted execution time in its latency. Recoveries switch future
+//! dispatches back to the healthy plans (masks are part of the cache key,
+//! so degraded plans never leak into healthy serving).
 
 use crate::arrival::{arrival_times_us, ArrivalSpec};
 use crate::cache::{PlanCache, PlanKey};
 use crate::events::EventLog;
+use crate::fault::FaultScenario;
 use crate::metrics::{Counters, Histogram};
 use crate::queue::{BatchQueue, QueuedRequest};
 use pimflow::batch::with_batch;
-use pimflow::engine::{execute, EngineConfig};
+use pimflow::engine::{execute, ChannelMask, EngineConfig, ExecutionReport};
 use pimflow::policy::Policy;
-use pimflow::search::{apply_plan, search, SearchOptions};
+use pimflow::search::{apply_plan, search, ExecutionPlan, SearchOptions};
 use pimflow_ir::models;
 use pimflow_json::json_struct;
 use pimflow_pool::WorkerPool;
+use std::collections::BTreeSet;
 use std::fmt;
 
 /// Configuration of one serving run.
@@ -51,12 +66,19 @@ pub struct ServeConfig {
     /// simulated time — so every metric except the cache counters matches
     /// the lazy path; cold-start misses just move off the serving loop.
     pub precompile: bool,
+    /// Channel failures/recoveries to replay during the run.
+    pub faults: FaultScenario,
+    /// After each plan repair, also run the full Algorithm-1 search under
+    /// the degraded mask and record the plan-quality gap (the
+    /// `repair_quality_delta` report field). Costs one extra search per
+    /// repair; off by default.
+    pub measure_replan: bool,
 }
 
 impl ServeConfig {
     /// Default serving parameters for `model` under `policy`: 100 fixed
     /// RPS for 5 seconds, batches of up to 8 with a 2 ms timeout, 16
-    /// cached plans, seed 0.
+    /// cached plans, seed 0, no faults.
     pub fn new(model: impl Into<String>, policy: Policy) -> Self {
         ServeConfig {
             model: model.into(),
@@ -68,17 +90,21 @@ impl ServeConfig {
             batch_timeout_us: 2_000.0,
             cache_capacity: 16,
             precompile: false,
+            faults: FaultScenario::none(),
+            measure_replan: false,
         }
     }
 }
 
-/// Why a serving run could not start.
+/// Why a serving run could not start or finish.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ServeError {
     /// The model name matched nothing in the zoo, even after normalization.
     UnknownModel(String),
     /// The model could not be batched (shape inference failed).
     Batch(String),
+    /// The compiler pipeline (search / plan application / engine) failed.
+    Compile(String),
 }
 
 impl fmt::Display for ServeError {
@@ -89,6 +115,7 @@ impl fmt::Display for ServeError {
                 "unknown model `{m}` (try: toy, mobilenet-v2, resnet-50, vgg-16, ...)"
             ),
             ServeError::Batch(e) => write!(f, "batching the model failed: {e}"),
+            ServeError::Compile(e) => write!(f, "compiling a batch failed: {e}"),
         }
     }
 }
@@ -140,17 +167,48 @@ pub fn normalize_model_name(name: &str) -> Option<String> {
         .map(|k| k.to_string())
 }
 
-/// Compiled cost of one (model, policy, batch) configuration — the value
-/// the plan cache holds. Everything downstream of the search is
-/// deterministic, so the batch latency is priced once and replayed.
+/// Compiled cost of one (model, policy, batch, mask) configuration — the
+/// value the plan cache holds. Everything downstream of the search is
+/// deterministic, so the batch latency is priced once and replayed. The
+/// plan itself is kept so channel failures can repair it instead of
+/// re-running the search.
 #[derive(Debug, Clone)]
 struct BatchProfile {
     latency_us: f64,
     energy_uj: f64,
     pim_channel_busy_us: Vec<f64>,
+    plan: Option<ExecutionPlan>,
 }
 
-/// Compiles one batch size: batch the model, search an execution plan (when
+impl BatchProfile {
+    fn from_report(report: ExecutionReport, plan: Option<ExecutionPlan>) -> Self {
+        BatchProfile {
+            latency_us: report.total_us,
+            energy_uj: report.energy_uj,
+            pim_channel_busy_us: report.pim_channel_busy_us,
+            plan,
+        }
+    }
+
+    /// Whether this batch keeps failed channel `ch` busy — i.e. whether a
+    /// failure of `ch` mid-flight forces a retry.
+    fn uses_channel(&self, ch: usize) -> bool {
+        self.pim_channel_busy_us.get(ch).copied().unwrap_or(0.0) > 0.0
+    }
+
+    /// Whether the batch runs entirely on the GPU (the fallback the
+    /// degradation metrics track).
+    fn gpu_only(&self) -> bool {
+        self.pim_channel_busy_us.iter().all(|&b| b == 0.0)
+    }
+}
+
+fn compile_err(e: impl fmt::Display) -> ServeError {
+    ServeError::Compile(e.to_string())
+}
+
+/// Compiles one batch size under `engine_cfg` (whose channel mask is
+/// honored by the search): batch the model, search an execution plan (when
 /// the policy has one), and price the batch on the execution engine. Pure
 /// in its inputs, so distinct batch sizes compile in parallel.
 fn compile_batch(
@@ -160,18 +218,48 @@ fn compile_batch(
     search_opts: &Option<SearchOptions>,
 ) -> Result<BatchProfile, ServeError> {
     let batched = with_batch(base, size).map_err(|e| ServeError::Batch(e.to_string()))?;
-    let report = match search_opts {
-        None => execute(&batched, engine_cfg),
-        Some(opts) => {
-            let plan = search(&batched, engine_cfg, opts);
-            execute(&apply_plan(&batched, &plan), engine_cfg)
+    match search_opts {
+        None => {
+            let report = execute(&batched, engine_cfg).map_err(compile_err)?;
+            Ok(BatchProfile::from_report(report, None))
         }
-    };
-    Ok(BatchProfile {
-        latency_us: report.total_us,
-        energy_uj: report.energy_uj,
-        pim_channel_busy_us: report.pim_channel_busy_us,
-    })
+        Some(opts) => {
+            let plan = search(&batched, engine_cfg, opts).map_err(compile_err)?;
+            let transformed = apply_plan(&batched, &plan).map_err(compile_err)?;
+            let report = execute(&transformed, engine_cfg).map_err(compile_err)?;
+            Ok(BatchProfile::from_report(report, Some(plan)))
+        }
+    }
+}
+
+/// Repairs one cached profile from `old_mask` onto `new_mask`: re-prices
+/// the kept plan with [`ExecutionPlan::repair`] (no grid search) and
+/// re-executes the transformed graph under the degraded config.
+fn repair_batch(
+    base: &pimflow_ir::Graph,
+    size: usize,
+    engine_cfg: &EngineConfig,
+    source: &BatchProfile,
+    old_mask: ChannelMask,
+    new_mask: ChannelMask,
+) -> Result<BatchProfile, ServeError> {
+    let batched = with_batch(base, size).map_err(|e| ServeError::Batch(e.to_string()))?;
+    let masked_cfg = engine_cfg.with_mask(new_mask);
+    match &source.plan {
+        None => {
+            let report = execute(&batched, &masked_cfg).map_err(compile_err)?;
+            Ok(BatchProfile::from_report(report, None))
+        }
+        Some(plan) => {
+            let source_cfg = engine_cfg.with_mask(old_mask);
+            let repaired = plan
+                .repair(&batched, &source_cfg, new_mask)
+                .map_err(compile_err)?;
+            let transformed = apply_plan(&batched, &repaired).map_err(compile_err)?;
+            let report = execute(&transformed, &masked_cfg).map_err(compile_err)?;
+            Ok(BatchProfile::from_report(report, Some(repaired)))
+        }
+    }
 }
 
 /// Metrics summary of one serving run.
@@ -205,6 +293,28 @@ pub struct ServeReport {
     pub pim_channel_utilization: Vec<f64>,
     /// Total simulated energy, microjoules.
     pub energy_uj: f64,
+    /// Median latency of requests completing before the first failure
+    /// (equals `p50_us` when the run has no faults).
+    pub p50_before_us: f64,
+    /// p99 of requests completing before the first failure.
+    pub p99_before_us: f64,
+    /// Median latency of requests completing while ≥ 1 channel is down.
+    pub p50_during_us: f64,
+    /// p99 of requests completing while ≥ 1 channel is down.
+    pub p99_during_us: f64,
+    /// Median latency of requests completing after full recovery.
+    pub p50_after_us: f64,
+    /// p99 of requests completing after full recovery.
+    pub p99_after_us: f64,
+    /// Fraction of completed requests served by an all-GPU batch (PIM
+    /// fully evicted by faults — or never used by the policy).
+    pub gpu_fallback_fraction: f64,
+    /// Mean relative plan-quality gap of repair vs full replan,
+    /// `(repair.predicted_us - replan.predicted_us) / replan.predicted_us`
+    /// averaged over repairs. Only populated with
+    /// [`ServeConfig::measure_replan`]; 0 means repair matched the full
+    /// search.
+    pub repair_quality_delta: f64,
 }
 
 json_struct!(ServeReport {
@@ -222,6 +332,14 @@ json_struct!(ServeReport {
     batch_sizes,
     pim_channel_utilization,
     energy_uj,
+    p50_before_us,
+    p99_before_us,
+    p50_during_us,
+    p99_during_us,
+    p50_after_us,
+    p99_after_us,
+    gpu_fallback_fraction,
+    repair_quality_delta,
 });
 
 /// A finished serving run: the metrics summary plus the JSONL event trace.
@@ -233,31 +351,134 @@ pub struct ServeRun {
     pub events: EventLog,
 }
 
+/// Everything the fault-repair path needs to mutate, bundled so the event
+/// loop can hand it around without a dozen arguments.
+struct RepairCtx<'a> {
+    base: &'a pimflow_ir::Graph,
+    model: &'a str,
+    policy: &'a str,
+    engine_cfg: &'a EngineConfig,
+    search_opts: &'a Option<SearchOptions>,
+    measure_replan: bool,
+    compiled_sizes: BTreeSet<usize>,
+    repair_delta_sum: f64,
+    repair_delta_count: u64,
+}
+
+impl RepairCtx<'_> {
+    fn key(&self, size: usize, mask: ChannelMask) -> PlanKey {
+        PlanKey {
+            model: self.model.to_string(),
+            policy: self.policy.to_string(),
+            batch: size,
+            mask: mask.bits(),
+        }
+    }
+
+    /// On a channel-down transition, migrate every cached plan onto the
+    /// new mask via the cheap repair path (sizes ascending, so the walk is
+    /// deterministic). Healthy entries stay cached under their own mask
+    /// for when the channel recovers.
+    fn repair_all(
+        &mut self,
+        cache: &mut PlanCache<BatchProfile>,
+        counters: &mut Counters,
+        old_mask: ChannelMask,
+        new_mask: ChannelMask,
+    ) -> Result<(), ServeError> {
+        let sizes: Vec<usize> = self.compiled_sizes.iter().copied().collect();
+        for size in sizes {
+            if cache.peek(&self.key(size, new_mask)).is_some() {
+                continue;
+            }
+            let Some(source) = cache.peek(&self.key(size, old_mask)).cloned() else {
+                continue;
+            };
+            let repaired = repair_batch(
+                self.base,
+                size,
+                self.engine_cfg,
+                &source,
+                old_mask,
+                new_mask,
+            )?;
+            counters.repairs += 1;
+            if self.measure_replan {
+                if let (Some(opts), Some(repaired_plan)) = (self.search_opts, &repaired.plan) {
+                    let batched = with_batch(self.base, size)
+                        .map_err(|e| ServeError::Batch(e.to_string()))?;
+                    let replanned = search(&batched, &self.engine_cfg.with_mask(new_mask), opts)
+                        .map_err(compile_err)?;
+                    counters.search_invocations += 1;
+                    let denom = replanned.predicted_us.max(1e-12);
+                    self.repair_delta_sum +=
+                        (repaired_plan.predicted_us - replanned.predicted_us) / denom;
+                    self.repair_delta_count += 1;
+                }
+            }
+            cache.insert(self.key(size, new_mask), repaired);
+        }
+        Ok(())
+    }
+}
+
+/// Latency phase of a request relative to the fault window.
+fn phase_of(finish_us: f64, window: Option<(f64, f64)>) -> usize {
+    match window {
+        None => 0,
+        Some((start, _)) if finish_us < start => 0,
+        Some((_, end)) if finish_us <= end => 1,
+        Some(_) => 2,
+    }
+}
+
 /// Runs the serving simulation described by `cfg`.
 ///
 /// # Errors
 ///
-/// Returns [`ServeError`] when the model is unknown or cannot be batched.
+/// Returns [`ServeError`] when the model is unknown, cannot be batched, or
+/// a batch fails to compile.
 pub fn run(cfg: &ServeConfig) -> Result<ServeRun, ServeError> {
     let model_name = normalize_model_name(&cfg.model)
         .ok_or_else(|| ServeError::UnknownModel(cfg.model.clone()))?;
     let base = models::by_name(&model_name).expect("normalized names resolve");
     let engine_cfg: EngineConfig = cfg.policy.engine_config();
     let search_opts = cfg.policy.search_options();
+    let policy_name = cfg.policy.name().to_string();
 
     let arrivals = arrival_times_us(&cfg.arrival, cfg.duration_s, cfg.seed);
     let mut queue = BatchQueue::new(cfg.max_batch, cfg.batch_timeout_us);
     let mut cache: PlanCache<BatchProfile> = PlanCache::new(cfg.cache_capacity);
     let mut events = EventLog::new();
     let mut hist = Histogram::new();
+    // Latency phases relative to the fault window: before / during / after.
+    let mut phase_hists = [Histogram::new(), Histogram::new(), Histogram::new()];
+    let fault_window = cfg.faults.degraded_window_us();
     let mut counters = Counters::default();
     let mut batch_size_counts: Vec<(usize, u64)> = Vec::new();
     let mut pim_busy_us = vec![0.0f64; engine_cfg.pim_channels];
     let mut energy_uj = 0.0f64;
+    let mut completed_gpu_only = 0u64;
+
+    let mut repair = RepairCtx {
+        base: &base,
+        model: &model_name,
+        policy: &policy_name,
+        engine_cfg: &engine_cfg,
+        search_opts: &search_opts,
+        measure_replan: cfg.measure_replan,
+        compiled_sizes: BTreeSet::new(),
+        repair_delta_sum: 0.0,
+        repair_delta_count: 0,
+    };
+    let mut current_mask = ChannelMask::all();
+    let mut fault_idx = 0usize;
 
     // Warm the plan cache in parallel: every batch size the dynamic
     // batcher can produce, compiled as one worker-pool task each, inserted
     // in ascending-size order (deterministic regardless of pool width).
+    // Precompilation targets the healthy mask; degraded plans are derived
+    // by repair when faults arrive.
     if cfg.precompile {
         let sizes: Vec<usize> = (1..=cfg.max_batch.max(1)).collect();
         let pool = WorkerPool::from_env();
@@ -267,14 +488,8 @@ pub fn run(cfg: &ServeConfig) -> Result<ServeRun, ServeError> {
         for (&size, result) in sizes.iter().zip(compiled) {
             let profile = result?;
             counters.search_invocations += search_opts.is_some() as u64;
-            cache.insert(
-                PlanKey {
-                    model: model_name.clone(),
-                    policy: cfg.policy.name().to_string(),
-                    batch: size,
-                },
-                profile,
-            );
+            repair.compiled_sizes.insert(size);
+            cache.insert(repair.key(size, current_mask), profile);
         }
     }
 
@@ -301,6 +516,29 @@ pub fn run(cfg: &ServeConfig) -> Result<ServeRun, ServeError> {
             now_us.max(device_free_us).max(deadline)
         };
 
+        // Replay any fault transition that fires before the next arrival
+        // or dispatch, so dispatches always compile against the current
+        // mask. Down-transitions repair the cached plans immediately.
+        if let Some(e) = cfg.faults.events.get(fault_idx) {
+            let arrival_horizon = arrivals.get(next).copied().unwrap_or(f64::INFINITY);
+            if e.at_us <= dispatch_at.min(arrival_horizon) {
+                let old_mask = current_mask;
+                current_mask = if e.up {
+                    current_mask.with(e.channel)
+                } else {
+                    current_mask.without(e.channel)
+                };
+                counters.fault_events += 1;
+                events.fault(e.at_us, e.channel, e.up);
+                if !e.up && current_mask != old_mask {
+                    repair.repair_all(&mut cache, &mut counters, old_mask, current_mask)?;
+                }
+                now_us = now_us.max(e.at_us);
+                fault_idx += 1;
+                continue;
+            }
+        }
+
         // Admit any arrival that happens first (ties go to the arrival so a
         // request landing exactly at the deadline still joins the batch).
         if let Some(&t) = arrivals.get(next) {
@@ -315,20 +553,21 @@ pub fn run(cfg: &ServeConfig) -> Result<ServeRun, ServeError> {
             }
         }
 
-        // Dispatch one batch.
+        // Dispatch one batch under the current mask.
         now_us = dispatch_at;
         debug_assert!(queue.ready(now_us, draining));
         let batch = queue.take_batch();
         let size = batch.len();
-        let key = PlanKey {
-            model: model_name.clone(),
-            policy: cfg.policy.name().to_string(),
-            batch: size,
-        };
+        let key = repair.key(size, current_mask);
         let mut batch_err = None;
         let (profile, hit) = cache.get_or_insert_with(key, || {
             counters.search_invocations += search_opts.is_some() as u64;
-            match compile_batch(&base, size, &engine_cfg, &search_opts) {
+            match compile_batch(
+                &base,
+                size,
+                &engine_cfg.with_mask(current_mask),
+                &search_opts,
+            ) {
                 Ok(profile) => profile,
                 Err(e) => {
                     batch_err = Some(e);
@@ -336,6 +575,7 @@ pub fn run(cfg: &ServeConfig) -> Result<ServeRun, ServeError> {
                         latency_us: 0.0,
                         energy_uj: 0.0,
                         pim_channel_busy_us: Vec::new(),
+                        plan: None,
                     }
                 }
             }
@@ -343,11 +583,8 @@ pub fn run(cfg: &ServeConfig) -> Result<ServeRun, ServeError> {
         if let Some(e) = batch_err {
             return Err(e);
         }
-        let exec_us = profile.latency_us;
-        energy_uj += profile.energy_uj;
-        for (acc, b) in pim_busy_us.iter_mut().zip(&profile.pim_channel_busy_us) {
-            *acc += b;
-        }
+        let mut profile = profile.clone();
+        repair.compiled_sizes.insert(size);
 
         let batch_id = counters.batches;
         counters.batches += 1;
@@ -356,12 +593,82 @@ pub fn run(cfg: &ServeConfig) -> Result<ServeRun, ServeError> {
         let ids: Vec<u64> = batch.iter().map(|r| r.id).collect();
         events.dispatch(now_us, batch_id, &ids, hit);
 
-        let finish_us = now_us + exec_us;
+        // Fly the batch, replaying fault transitions that land inside its
+        // execution window. A failure of a channel this batch is using
+        // aborts it; the batch re-dispatches immediately on the degraded
+        // plan, paying the wasted time. Requests are never dropped.
+        let mut start_us = now_us;
+        let mut exec_us = profile.latency_us;
+        let mut finish_us = start_us + exec_us;
+        energy_uj += profile.energy_uj;
+        while let Some(e) = cfg.faults.events.get(fault_idx) {
+            if e.at_us >= finish_us {
+                break;
+            }
+            let old_mask = current_mask;
+            current_mask = if e.up {
+                current_mask.with(e.channel)
+            } else {
+                current_mask.without(e.channel)
+            };
+            counters.fault_events += 1;
+            events.fault(e.at_us, e.channel, e.up);
+            fault_idx += 1;
+            if e.up || current_mask == old_mask {
+                continue; // recoveries never interrupt a running batch
+            }
+            repair.repair_all(&mut cache, &mut counters, old_mask, current_mask)?;
+            if !profile.uses_channel(e.channel) {
+                continue; // the failed channel was idle for this batch
+            }
+            // Abort and retry on the degraded plan.
+            let wasted = e.at_us - start_us;
+            counters.retries += 1;
+            events.retry(e.at_us, batch_id, e.channel, wasted);
+            let key = repair.key(size, current_mask);
+            let mut retry_err = None;
+            let (next_profile, _) = cache.get_or_insert_with(key, || {
+                counters.search_invocations += search_opts.is_some() as u64;
+                match compile_batch(
+                    &base,
+                    size,
+                    &engine_cfg.with_mask(current_mask),
+                    &search_opts,
+                ) {
+                    Ok(profile) => profile,
+                    Err(e) => {
+                        retry_err = Some(e);
+                        BatchProfile {
+                            latency_us: 0.0,
+                            energy_uj: 0.0,
+                            pim_channel_busy_us: Vec::new(),
+                            plan: None,
+                        }
+                    }
+                }
+            });
+            if let Some(e) = retry_err {
+                return Err(e);
+            }
+            profile = next_profile.clone();
+            start_us = e.at_us;
+            exec_us = profile.latency_us;
+            finish_us = start_us + exec_us;
+            energy_uj += profile.energy_uj;
+        }
+
+        for (acc, b) in pim_busy_us.iter_mut().zip(&profile.pim_channel_busy_us) {
+            *acc += b;
+        }
         device_free_us = finish_us;
         makespan_us = makespan_us.max(finish_us);
+        let phase = phase_of(finish_us, fault_window);
         for req in &batch {
-            hist.record(finish_us - req.arrival_us);
+            let latency = finish_us - req.arrival_us;
+            hist.record(latency);
+            phase_hists[phase].record(latency);
             counters.completed += 1;
+            completed_gpu_only += profile.gpu_only() as u64;
         }
         events.complete(finish_us, batch_id, size, exec_us);
         match batch_size_counts.binary_search_by_key(&size, |&(s, _)| s) {
@@ -380,9 +687,15 @@ pub fn run(cfg: &ServeConfig) -> Result<ServeRun, ServeError> {
             }
         })
         .collect();
+    let repair_quality_delta = if repair.repair_delta_count > 0 {
+        repair.repair_delta_sum / repair.repair_delta_count as f64
+    } else {
+        0.0
+    };
+    drop(repair);
     let report = ServeReport {
         model: model_name,
-        policy: cfg.policy.name().to_string(),
+        policy: policy_name,
         counters,
         makespan_us,
         throughput_rps: if makespan_us > 0.0 {
@@ -399,6 +712,18 @@ pub fn run(cfg: &ServeConfig) -> Result<ServeRun, ServeError> {
         batch_sizes: batch_size_counts,
         pim_channel_utilization,
         energy_uj,
+        p50_before_us: phase_hists[0].quantile(0.50),
+        p99_before_us: phase_hists[0].quantile(0.99),
+        p50_during_us: phase_hists[1].quantile(0.50),
+        p99_during_us: phase_hists[1].quantile(0.99),
+        p50_after_us: phase_hists[2].quantile(0.50),
+        p99_after_us: phase_hists[2].quantile(0.99),
+        gpu_fallback_fraction: if counters.completed > 0 {
+            completed_gpu_only as f64 / counters.completed as f64
+        } else {
+            0.0
+        },
+        repair_quality_delta,
     };
     Ok(ServeRun { report, events })
 }
@@ -412,6 +737,15 @@ mod tests {
             arrival: ArrivalSpec::Fixed { rps: 2000.0 },
             duration_s: 0.05,
             ..ServeConfig::new("toy", Policy::Pimflow)
+        }
+    }
+
+    /// A scenario that reliably interrupts the toy run: most channels die
+    /// early in the window, all recover before it ends.
+    fn stormy_cfg() -> ServeConfig {
+        ServeConfig {
+            faults: FaultScenario::from_seed(0xFA17, 16, 1.0, 0.05),
+            ..toy_cfg()
         }
     }
 
@@ -544,5 +878,73 @@ mod tests {
         let json = pimflow_json::to_string(&run.report);
         let back: ServeReport = pimflow_json::from_str(&json).unwrap();
         assert_eq!(run.report, back);
+    }
+
+    #[test]
+    fn faultless_runs_report_empty_fault_metrics() {
+        let run = run(&toy_cfg()).unwrap();
+        let r = &run.report;
+        assert_eq!(r.counters.fault_events, 0);
+        assert_eq!(r.counters.retries, 0);
+        assert_eq!(r.counters.repairs, 0);
+        assert_eq!(
+            r.p50_before_us, r.p50_us,
+            "no faults: everything is `before`"
+        );
+        assert_eq!(r.p50_during_us, 0.0);
+        assert_eq!(r.p50_after_us, 0.0);
+        assert_eq!(r.repair_quality_delta, 0.0);
+        assert_eq!(r.gpu_fallback_fraction, 0.0, "PIMFlow batches use PIM");
+    }
+
+    #[test]
+    fn mid_stream_failures_drop_no_requests() {
+        let run = run(&stormy_cfg()).unwrap();
+        let c = run.report.counters;
+        assert_eq!(c.arrived, c.completed, "faults must not drop requests");
+        assert!(c.fault_events > 0, "the storm must actually land");
+        assert!(c.repairs > 0, "down transitions must repair cached plans");
+        assert!(
+            run.report.p50_during_us > 0.0,
+            "some requests must complete inside the fault window"
+        );
+    }
+
+    #[test]
+    fn fault_runs_are_deterministic() {
+        let a = run(&stormy_cfg()).unwrap();
+        let b = run(&stormy_cfg()).unwrap();
+        assert_eq!(a.report, b.report);
+        assert_eq!(a.events.to_jsonl(), b.events.to_jsonl());
+    }
+
+    #[test]
+    fn retried_batches_pay_the_wasted_time() {
+        // A run where a retry happened must not be faster than the healthy
+        // run: degraded plans are never better and aborts waste time.
+        let healthy = run(&toy_cfg()).unwrap();
+        let stormy = run(&stormy_cfg()).unwrap();
+        if stormy.report.counters.retries > 0 {
+            assert!(stormy.report.makespan_us >= healthy.report.makespan_us - 1e-6);
+        }
+        let jsonl = stormy.events.to_jsonl();
+        assert!(jsonl.contains("\"event\":\"fault\""));
+    }
+
+    #[test]
+    fn measure_replan_records_a_quality_delta() {
+        let cfg = ServeConfig {
+            measure_replan: true,
+            ..stormy_cfg()
+        };
+        let run = run(&cfg).unwrap();
+        assert!(run.report.counters.repairs > 0);
+        // Repair can only lose quality relative to the full search (both
+        // are cost-model predictions, so the gap is one-sided).
+        assert!(
+            run.report.repair_quality_delta >= -1e-9,
+            "delta {}",
+            run.report.repair_quality_delta
+        );
     }
 }

@@ -18,7 +18,9 @@ fn main() {
         .nth(1)
         .unwrap_or_else(|| "efficientnet-v1-b0".into());
     let model = models::by_name(&name).expect("unknown model");
-    let baseline = execute(&model, &EngineConfig::baseline_gpu()).total_us;
+    let baseline = execute(&model, &EngineConfig::baseline_gpu())
+        .expect("zoo models execute")
+        .total_us;
     println!(
         "{} — GPU baseline (32 channels): {baseline:.1} us",
         model.name
@@ -34,10 +36,14 @@ fn main() {
         cfg.pim_channels = pim_channels;
         cfg.gpu_channels = 32 - pim_channels;
         let (time, offloads) = if pim_channels == 0 {
-            (execute(&model, &cfg).total_us, 0)
+            let t = execute(&model, &cfg).expect("zoo models execute").total_us;
+            (t, 0)
         } else {
-            let plan = search(&model, &cfg, &SearchOptions::default());
-            let t = execute(&apply_plan(&model, &plan), &cfg).total_us;
+            let plan = search(&model, &cfg, &SearchOptions::default()).expect("zoo models search");
+            let transformed = apply_plan(&model, &plan).expect("plans apply to their graph");
+            let t = execute(&transformed, &cfg)
+                .expect("zoo models execute")
+                .total_us;
             (t, plan.decisions.len())
         };
         println!(

@@ -34,7 +34,7 @@ fn main() {
     let mut base_e2e = 0.0;
     let mut base_conv = 0.0;
     for policy in Policy::all() {
-        let e = evaluate(&model, policy);
+        let e = evaluate(&model, policy).expect("zoo models evaluate");
         if policy == Policy::Baseline {
             base_e2e = e.report.total_us;
             base_conv = e.conv_layer_us;

@@ -72,7 +72,7 @@ fn main() {
     println!("max output difference: {:.2e}", a[0].max_abs_diff(&b[0]));
 
     // 3. Timeline: stage parts overlap across GPU and PIM.
-    let report = execute(&transformed, &cfg);
+    let report = execute(&transformed, &cfg).expect("transformed graph executes");
     println!("timeline of the pipelined stage parts:");
     for t in &report.timings {
         if (t.name.starts_with("pl") || t.name.contains("::pl")) && t.finish_us > t.start_us {

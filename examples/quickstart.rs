@@ -17,21 +17,21 @@ use pimflow::search::{apply_plan, search, SearchOptions};
 use pimflow_ir::models;
 use pimflow_kernels::{input_tensors, run_graph};
 
-fn main() {
+fn main() -> pimflow::Result<()> {
     // 1. The input model: an ONNX-like graph from the model zoo.
     let model = models::toy();
     println!("model: {model}");
 
     // 2. Search for the optimal execution mode per layer.
     let cfg = EngineConfig::pimflow();
-    let plan = search(&model, &cfg, &SearchOptions::default());
+    let plan = search(&model, &cfg, &SearchOptions::default())?;
     println!("search decisions:");
     for (node, decision) in &plan.decisions {
         println!("  {node}: {decision:?}");
     }
 
     // 3. Apply the PIM-aware graph transformations.
-    let transformed = apply_plan(&model, &plan);
+    let transformed = apply_plan(&model, &plan)?;
 
     // 4. The transformed graph computes exactly the same function.
     let inputs = input_tensors(&model, 2024);
@@ -42,8 +42,8 @@ fn main() {
     assert!(diff < 1e-4, "transformation must preserve semantics");
 
     // 5. Simulate: GPU baseline (32 channels) vs PIMFlow (16 GPU + 16 PIM).
-    let baseline = execute(&model, &EngineConfig::baseline_gpu());
-    let pimflow_run = execute(&transformed, &cfg);
+    let baseline = execute(&model, &EngineConfig::baseline_gpu())?;
+    let pimflow_run = execute(&transformed, &cfg)?;
     println!(
         "GPU baseline: {:8.1} us   {:8.0} uJ",
         baseline.total_us, baseline.energy_uj
@@ -54,4 +54,5 @@ fn main() {
         pimflow_run.energy_uj,
         baseline.total_us / pimflow_run.total_us
     );
+    Ok(())
 }

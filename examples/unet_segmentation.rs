@@ -31,7 +31,7 @@ fn main() {
     );
 
     let cfg = EngineConfig::pimflow();
-    let plan = search(&model, &cfg, &SearchOptions::default());
+    let plan = search(&model, &cfg, &SearchOptions::default()).expect("zoo models search");
     let offloads = plan
         .decisions
         .iter()
@@ -47,10 +47,10 @@ fn main() {
         println!("  {name}: {d:?}");
     }
 
-    let transformed = apply_plan(&model, &plan);
-    let optimized = execute(&transformed, &cfg);
-    let gpu_only_same_hw = execute(&model, &cfg);
-    let baseline_32ch = execute(&model, &EngineConfig::baseline_gpu());
+    let transformed = apply_plan(&model, &plan).expect("plans apply to their graph");
+    let optimized = execute(&transformed, &cfg).expect("zoo models execute");
+    let gpu_only_same_hw = execute(&model, &cfg).expect("zoo models execute");
+    let baseline_32ch = execute(&model, &EngineConfig::baseline_gpu()).expect("zoo models execute");
     println!(
         "GPU baseline (32 channels): {:8.1} us",
         baseline_32ch.total_us

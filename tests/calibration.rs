@@ -19,7 +19,9 @@ fn gpu_baseline_times_are_plausible() {
     ];
     for (name, lo, hi) in expectations {
         let g = models::by_name(name).unwrap();
-        let t = execute(&g, &EngineConfig::baseline_gpu()).total_us;
+        let t = execute(&g, &EngineConfig::baseline_gpu())
+            .expect("zoo models execute")
+            .total_us;
         assert!(
             (lo..hi).contains(&t),
             "{name}: {t:.0} us outside the plausible [{lo}, {hi}] bracket"
@@ -32,7 +34,7 @@ fn vgg_fc_layers_are_a_meaningful_share() {
     // VGG-16's FC layers are the classic PIM showcase: they must be a
     // double-digit share of baseline inference (real hardware: ~15-25%).
     let g = models::vgg16();
-    let r = execute(&g, &EngineConfig::baseline_gpu());
+    let r = execute(&g, &EngineConfig::baseline_gpu()).expect("zoo models execute");
     let fc_time: f64 = g
         .node_ids()
         .filter(|&id| matches!(g.node(id).op, pimflow_ir::Op::Dense(_)))
@@ -52,6 +54,7 @@ fn relative_model_costs_are_ordered() {
             &models::by_name(name).unwrap(),
             &EngineConfig::baseline_gpu(),
         )
+        .expect("zoo models execute")
         .total_us
     };
     let vgg = t("vgg-16");

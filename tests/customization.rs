@@ -11,12 +11,12 @@ use pimflow_kernels::{input_tensors, run_graph};
 fn full_flow_helps(name: &str) {
     let g = models::by_name(name).unwrap();
     let cfg = EngineConfig::pimflow();
-    let plan = search(&g, &cfg, &SearchOptions::default());
+    let plan = search(&g, &cfg, &SearchOptions::default()).unwrap();
     assert!(!plan.decisions.is_empty(), "{name}: nothing offloaded");
-    let transformed = apply_plan(&g, &plan);
+    let transformed = apply_plan(&g, &plan).unwrap();
     transformed.validate().unwrap();
-    let optimized = execute(&transformed, &cfg);
-    let baseline = execute(&g, &EngineConfig::baseline_gpu());
+    let optimized = execute(&transformed, &cfg).unwrap();
+    let baseline = execute(&g, &EngineConfig::baseline_gpu()).unwrap();
     assert!(
         optimized.total_us < baseline.total_us,
         "{name}: PIMFlow {:.1}us vs baseline {:.1}us",
@@ -38,11 +38,11 @@ fn unet_flow_works_and_never_hurts() {
     // hardware itself, enabling PIMFlow never loses to GPU-only execution.
     let g = models::by_name("unet-small").unwrap();
     let cfg = EngineConfig::pimflow();
-    let plan = search(&g, &cfg, &SearchOptions::default());
-    let transformed = apply_plan(&g, &plan);
+    let plan = search(&g, &cfg, &SearchOptions::default()).unwrap();
+    let transformed = apply_plan(&g, &plan).unwrap();
     transformed.validate().unwrap();
-    let optimized = execute(&transformed, &cfg);
-    let gpu_only_same_hw = execute(&g, &cfg);
+    let optimized = execute(&transformed, &cfg).unwrap();
+    let gpu_only_same_hw = execute(&g, &cfg).unwrap();
     assert!(
         optimized.total_us <= gpu_only_same_hw.total_us * 1.01,
         "PIMFlow {:.1}us vs GPU-only(16ch) {:.1}us",
@@ -55,8 +55,8 @@ fn unet_flow_works_and_never_hurts() {
 fn tiny_unet_transformation_is_numerically_exact() {
     let g = models::unet(8, 2, 1);
     let cfg = EngineConfig::pimflow();
-    let plan = search(&g, &cfg, &SearchOptions::default());
-    let transformed = apply_plan(&g, &plan);
+    let plan = search(&g, &cfg, &SearchOptions::default()).unwrap();
+    let transformed = apply_plan(&g, &plan).unwrap();
     let inputs = input_tensors(&g, 77);
     let a = run_graph(&g, &inputs).unwrap();
     let b = run_graph(&transformed, &inputs).unwrap();

@@ -10,8 +10,8 @@ use pimflow_kernels::{input_tensors, run_graph};
 
 fn assert_plan_preserves_semantics(g: &Graph, opts: &SearchOptions, tol: f32) {
     let cfg = EngineConfig::pimflow();
-    let plan = search(g, &cfg, opts);
-    let transformed = apply_plan(g, &plan);
+    let plan = search(g, &cfg, opts).expect("search succeeds on valid graphs");
+    let transformed = apply_plan(g, &plan).expect("plan applies to its own graph");
     transformed
         .validate()
         .expect("transformed graph is well-formed");

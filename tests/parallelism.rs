@@ -1,5 +1,5 @@
-//! Worker-pool determinism contract: the execution plan produced by
-//! `search_with_pool` must be byte-identical (via `pimflow_json`
+//! Worker-pool determinism contract: the execution plan produced by the
+//! `Search` builder must be byte-identical (via `pimflow_json`
 //! serialization) at every pool width, for every model of the evaluated
 //! zoo and for non-default search options. The pool only changes *when*
 //! node profiles and chain costs are computed, never their values or the
@@ -7,7 +7,7 @@
 //! leak into the cost model.
 
 use pimflow::engine::EngineConfig;
-use pimflow::search::{search_with_pool, SearchOptions};
+use pimflow::search::{Search, SearchOptions};
 use pimflow_ir::models;
 use pimflow_pool::WorkerPool;
 
@@ -17,10 +17,18 @@ use pimflow_pool::WorkerPool;
 const WIDTHS: [usize; 3] = [1, 2, 8];
 
 fn assert_widths_match(g: &pimflow_ir::Graph, cfg: &EngineConfig, opts: &SearchOptions) {
-    let baseline = search_with_pool(g, cfg, opts, &WorkerPool::sequential());
+    let baseline = Search::new(g, cfg)
+        .options(*opts)
+        .pool(1)
+        .run()
+        .expect("zoo models search");
     let expected = pimflow_json::to_string(&baseline);
     for jobs in WIDTHS {
-        let plan = search_with_pool(g, cfg, opts, &WorkerPool::new(jobs));
+        let plan = Search::new(g, cfg)
+            .options(*opts)
+            .pool(jobs)
+            .run()
+            .expect("zoo models search");
         assert_eq!(
             pimflow_json::to_string(&plan),
             expected,

@@ -28,7 +28,7 @@ fn mini_mobile() -> pimflow_ir::Graph {
 fn all_policies_run_on_all_models() {
     for g in [models::toy(), mini_mobile()] {
         for p in Policy::all() {
-            let e = evaluate(&g, p);
+            let e = evaluate(&g, p).unwrap();
             assert!(
                 e.report.total_us > 0.0 && e.report.total_us.is_finite(),
                 "{p:?} on {}",
@@ -45,7 +45,7 @@ fn mechanism_ordering_matches_the_paper() {
     // Fig. 9's qualitative ordering: each added capability can only help
     // (within a small engine-vs-search estimation tolerance).
     let g = mini_mobile();
-    let t = |p: Policy| evaluate(&g, p).report.total_us;
+    let t = |p: Policy| evaluate(&g, p).unwrap().report.total_us;
     let baseline = t(Policy::Baseline);
     let newton_p = t(Policy::NewtonPlus);
     let newton_pp = t(Policy::NewtonPlusPlus);
@@ -68,16 +68,16 @@ fn mechanism_ordering_matches_the_paper() {
 fn pim_mechanisms_save_energy_on_mobile_blocks() {
     // Fig. 12: reduced execution time leads to lower energy.
     let g = mini_mobile();
-    let base = evaluate(&g, Policy::Baseline).report.energy_uj;
-    let pf = evaluate(&g, Policy::Pimflow).report.energy_uj;
+    let base = evaluate(&g, Policy::Baseline).unwrap().report.energy_uj;
+    let pf = evaluate(&g, Policy::Pimflow).unwrap().report.energy_uj;
     assert!(pf < base, "PIMFlow energy {pf} vs baseline {base}");
 }
 
 #[test]
 fn evaluation_is_deterministic() {
     let g = mini_mobile();
-    let a = evaluate(&g, Policy::Pimflow);
-    let b = evaluate(&g, Policy::Pimflow);
+    let a = evaluate(&g, Policy::Pimflow).unwrap();
+    let b = evaluate(&g, Policy::Pimflow).unwrap();
     assert_eq!(a.report.total_us, b.report.total_us);
     assert_eq!(a.plan, b.plan);
 }
@@ -85,7 +85,7 @@ fn evaluation_is_deterministic() {
 #[test]
 fn baseline_uses_no_pim() {
     let g = models::toy();
-    let e = evaluate(&g, Policy::Baseline);
+    let e = evaluate(&g, Policy::Baseline).unwrap();
     assert_eq!(e.report.pim_busy_us, 0.0);
     assert_eq!(e.report.transfer_bytes, 0);
 }

@@ -217,7 +217,7 @@ fn engine_total_is_finite_and_positive() {
         let y = b.flatten(y);
         let y = b.dense(y, 10);
         let g = b.finish(y);
-        let r = execute(&g, &EngineConfig::pimflow());
+        let r = execute(&g, &EngineConfig::pimflow()).unwrap();
         assert!(r.total_us.is_finite() && r.total_us > 0.0);
         assert!(r.energy_uj.is_finite() && r.energy_uj > 0.0);
     }

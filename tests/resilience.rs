@@ -1,0 +1,192 @@
+//! Fault-resilience contracts across the stack: plan repair must be
+//! deterministic at every worker-pool width, a no-op on healthy hardware,
+//! mask-respecting and never optimistic for arbitrary seeded fault masks,
+//! and the serving runtime must replay a seeded mid-stream fault scenario
+//! byte-identically (report and JSONL trace) while dropping nothing.
+//!
+//! The fault seed honors the `PIMFLOW_FAULTS` environment variable (the
+//! knob the CI matrix turns) and falls back to a fixed constant, so a
+//! plain `cargo test` run is reproducible and a seeded CI run stresses a
+//! different scenario.
+
+use pimflow::engine::{execute, ChannelMask, EngineConfig};
+use pimflow::policy::Policy;
+use pimflow::search::{apply_plan, Search, SearchOptions};
+use pimflow_ir::models;
+use pimflow_rng::Rng;
+use pimflow_serve::{run, ArrivalSpec, FaultScenario, ServeConfig};
+
+/// Fault seed: `PIMFLOW_FAULTS` when set (the CI matrix knob), else fixed.
+fn fault_seed() -> u64 {
+    match std::env::var("PIMFLOW_FAULTS") {
+        Ok(v) => v
+            .parse()
+            .unwrap_or_else(|_| panic!("PIMFLOW_FAULTS must be an integer seed, got `{v}`")),
+        Err(_) => 0xFA17,
+    }
+}
+
+/// A deterministic degraded mask drawn from the fault seed: knocks out
+/// `downs` distinct channels, never the whole pool.
+fn seeded_mask(rng: &mut Rng, pim_channels: usize, downs: usize) -> ChannelMask {
+    let mut mask = ChannelMask::all();
+    let mut taken = 0;
+    while taken < downs.min(pim_channels - 1) {
+        let c = rng.below(pim_channels as u64) as usize;
+        if mask.is_up(c) {
+            mask = mask.without(c);
+            taken += 1;
+        }
+    }
+    mask
+}
+
+#[test]
+fn repair_is_deterministic_at_every_pool_width() {
+    let cfg = EngineConfig::pimflow();
+    let g = models::mobilenet_v2();
+    let plan = Search::new(&g, &cfg)
+        .options(SearchOptions::default())
+        .pool(1)
+        .run()
+        .expect("zoo models search");
+    let mut rng = Rng::seed_from_u64(fault_seed());
+    let mask = seeded_mask(&mut rng, cfg.pim_channels, cfg.pim_channels / 2);
+    let repaired = plan.repair(&g, &cfg, mask).expect("repair succeeds");
+    let expected = pimflow_json::to_string(&repaired);
+    // Repair is sequential by contract, but the *input* plan comes from
+    // the pooled search: the whole pipeline must be width-invariant.
+    for jobs in [2usize, 8] {
+        let p = Search::new(&g, &cfg)
+            .options(SearchOptions::default())
+            .pool(jobs)
+            .run()
+            .expect("zoo models search");
+        let r = p.repair(&g, &cfg, mask).expect("repair succeeds");
+        assert_eq!(
+            pimflow_json::to_string(&r),
+            expected,
+            "repaired plan diverged at {jobs} workers"
+        );
+    }
+    // Searching directly under the degraded mask is equally
+    // width-invariant (the full-replan path the runtime compares against).
+    let direct = Search::new(&g, &cfg)
+        .options(SearchOptions::default())
+        .mask(mask)
+        .pool(1)
+        .run()
+        .expect("masked search");
+    for jobs in [2usize, 8] {
+        let d = Search::new(&g, &cfg)
+            .options(SearchOptions::default())
+            .mask(mask)
+            .pool(jobs)
+            .run()
+            .expect("masked search");
+        assert_eq!(
+            pimflow_json::to_string(&d),
+            pimflow_json::to_string(&direct),
+            "masked search diverged at {jobs} workers"
+        );
+    }
+}
+
+#[test]
+fn repair_with_the_full_mask_is_a_no_op() {
+    let cfg = EngineConfig::pimflow();
+    let g = models::squeezenet();
+    let plan = Search::new(&g, &cfg)
+        .options(SearchOptions::default())
+        .pool(1)
+        .run()
+        .expect("zoo models search");
+    let repaired = plan
+        .repair(&g, &cfg, ChannelMask::all())
+        .expect("repair succeeds");
+    assert_eq!(
+        pimflow_json::to_string(&plan),
+        pimflow_json::to_string(&repaired),
+        "healthy-mask repair must return the plan unchanged"
+    );
+    // Masking only channels beyond the configured pool is equally healthy.
+    let beyond = ChannelMask::all().without(63);
+    assert!(cfg.pim_channels <= 63, "test assumes a <64-channel pool");
+    let repaired = plan.repair(&g, &cfg, beyond).expect("repair succeeds");
+    assert_eq!(
+        pimflow_json::to_string(&plan),
+        pimflow_json::to_string(&repaired)
+    );
+}
+
+/// For arbitrary seeded fault masks: the repaired plan executes without
+/// touching any masked-out channel, and its predicted latency is never
+/// better than the healthy plan's (losing channels cannot speed you up).
+#[test]
+fn repaired_plans_respect_the_mask_and_are_never_optimistic() {
+    let cfg = EngineConfig::pimflow();
+    let mut rng = Rng::seed_from_u64(fault_seed() ^ 0x5eed);
+    for model in ["toy", "squeezenet-1.1"] {
+        let g = models::by_name(model).expect("known model");
+        let plan = Search::new(&g, &cfg)
+            .options(SearchOptions::default())
+            .pool(1)
+            .run()
+            .expect("zoo models search");
+        for _ in 0..4 {
+            let downs = 1 + rng.below(cfg.pim_channels as u64 - 1) as usize;
+            let mask = seeded_mask(&mut rng, cfg.pim_channels, downs);
+            let repaired = plan.repair(&g, &cfg, mask).expect("repair succeeds");
+            assert!(
+                repaired.predicted_us >= plan.predicted_us - 1e-9,
+                "{model}: repair under {downs} downed channels predicted \
+                 {:.3} us, better than the healthy {:.3} us",
+                repaired.predicted_us,
+                plan.predicted_us
+            );
+            let transformed = apply_plan(&g, &repaired).expect("repaired plan applies");
+            let report = execute(&transformed, &cfg.with_mask(mask)).expect("masked execute");
+            for (ch, busy) in report.pim_channel_busy_us.iter().enumerate() {
+                assert!(
+                    mask.is_up(ch) || *busy == 0.0,
+                    "{model}: masked-out channel {ch} accumulated {busy} us of work"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn seeded_fault_serving_replays_byte_identically_and_drops_nothing() {
+    let seed = fault_seed();
+    let policy = Policy::Pimflow;
+    let pool = policy.engine_config().pim_channels;
+    let cfg = ServeConfig {
+        arrival: ArrivalSpec::Poisson { rps: 2000.0 },
+        duration_s: 0.05,
+        seed,
+        faults: FaultScenario::from_seed(seed, pool, 1.0, 0.05),
+        measure_replan: true,
+        ..ServeConfig::new("toy".to_string(), policy)
+    };
+    let a = run(&cfg).expect("serve run");
+    assert!(
+        a.report.counters.fault_events > 0,
+        "scenario must inject at least one transition"
+    );
+    assert_eq!(
+        a.report.counters.arrived, a.report.counters.completed,
+        "mid-stream faults must not drop requests"
+    );
+    let b = run(&cfg).expect("serve run");
+    assert_eq!(
+        pimflow_json::to_string(&a.report),
+        pimflow_json::to_string(&b.report),
+        "serve report diverged between identical seeded runs"
+    );
+    assert_eq!(
+        a.events.to_jsonl(),
+        b.events.to_jsonl(),
+        "JSONL event trace diverged between identical seeded runs"
+    );
+}
