@@ -27,6 +27,15 @@ PIMFLOW_JOBS=4 cargo test -q --workspace --offline
 echo "==> cargo test --test resilience (PIMFLOW_FAULTS=20260806)"
 PIMFLOW_FAULTS=20260806 PIMFLOW_JOBS=4 cargo test -q --offline --test resilience
 
+# The cost-cache smoke sweep must show warm searches no slower than cold
+# (meets_speedup_floor) and byte-identical warm plans; it exercises the
+# figures binary end to end on CI-sized models.
+echo "==> figures costcache --smoke"
+tmpdir="$(mktemp -d)"
+cargo run -q --offline -p pimflow-bench --bin figures -- costcache "$tmpdir" --smoke
+grep -q '"meets_speedup_floor": true' "$tmpdir/BENCH_costcache.json"
+rm -rf "$tmpdir"
+
 echo "==> cargo doc (deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline
 

@@ -10,10 +10,13 @@
 //!                        #   -> <dir>/BENCH_parallel.json
 //! figures resilience [dir] # channel-fault degradation sweep
 //!                          #   -> <dir>/BENCH_resilience.json
+//! figures costcache [dir]  # cold-vs-warm cost-cache search timing
+//!                          #   -> <dir>/BENCH_costcache.json
 //! ```
 //!
 //! `--jobs=<n>` (any position) sets the worker-pool width for the sweeps,
-//! same as the `PIMFLOW_JOBS` environment variable.
+//! same as the `PIMFLOW_JOBS` environment variable. `--smoke` restricts
+//! `costcache` to the small models (the CI configuration).
 //!
 //! Output is textual (rows/series in the same structure as the paper's
 //! plots); `EXPERIMENTS.md` records the paper-vs-measured comparison.
@@ -409,10 +412,48 @@ fn resilience_sweep(dir: &str) {
     println!("wrote {}", path.display());
 }
 
+/// Runs the cold-vs-warm cost-cache sweep and writes `BENCH_costcache.json`
+/// under `dir`.
+fn cost_cache_sweep(dir: &str, smoke: bool) {
+    use pimflow_bench::cost_cache_sweep::write_bench_artifact;
+    println!("== Algorithm 1 search: cold vs warm cost cache ==");
+    let (report, path) =
+        write_bench_artifact(std::path::Path::new(dir), smoke).expect("cost-cache sweep");
+    println!(
+        "  jobs {} (host threads {})",
+        report.jobs, report.host_threads
+    );
+    for m in &report.models {
+        println!(
+            "  {:<22} {:>4} nodes  cold {:>8.1}ms  warm {:>8.1}ms  {:5.1}x  hit rate {:5.1}%  {} entries",
+            m.model,
+            m.nodes,
+            m.cold_ms,
+            m.warm_ms,
+            m.speedup,
+            m.warm_hit_rate * 100.0,
+            m.entries
+        );
+    }
+    println!(
+        "  batch sweep ({}): shared {} entries vs independent {}",
+        report.batch_model, report.shared_total_entries, report.independent_total_entries
+    );
+    for p in &report.batch_points {
+        println!(
+            "    batch {:>2}: alone {:>5} entries, shared cache now {:>5}",
+            p.batch, p.independent_entries, p.shared_entries_after
+        );
+    }
+    println!("  meets_speedup_floor: {}", report.meets_speedup_floor);
+    println!("wrote {}", path.display());
+}
+
 fn main() {
-    // Split `--jobs=<n>` (worker-pool width, any position) from the
-    // positional arguments.
+    // Split `--jobs=<n>` (worker-pool width, any position) and `--smoke`
+    // from the positional arguments.
     let mut positional = Vec::new();
+    let mut smoke = false;
     for arg in std::env::args().skip(1) {
         if let Some(n) = arg.strip_prefix("--jobs=") {
             assert!(
@@ -420,6 +461,8 @@ fn main() {
                 "--jobs expects a positive integer, got `{n}`"
             );
             std::env::set_var(pimflow_pool::JOBS_ENV_VAR, n);
+        } else if arg == "--smoke" {
+            smoke = true;
         } else {
             positional.push(arg);
         }
@@ -446,6 +489,11 @@ fn main() {
     if which == "resilience" {
         let dir = positional.get(1).cloned().unwrap_or_else(|| ".".into());
         resilience_sweep(&dir);
+        return;
+    }
+    if which == "costcache" {
+        let dir = positional.get(1).cloned().unwrap_or_else(|| ".".into());
+        cost_cache_sweep(&dir, smoke);
         return;
     }
     let needs_fig9 = matches!(which.as_str(), "all" | "fig9" | "fig12");

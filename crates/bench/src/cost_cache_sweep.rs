@@ -1,0 +1,271 @@
+//! Cold-vs-warm timing of the Algorithm 1 search under the cost cache.
+//!
+//! Each model is searched twice against one [`CostCache`]: the first (cold)
+//! run pays every DRAM-PIM schedule simulation, the second (warm) run
+//! answers every cost query from the shared table. The two plans must
+//! serialize to the same bytes — the cache's byte-identity contract. A
+//! batch sweep then measures cross-batch sharing: batching scales workload
+//! rows linearly while the MD-DP ratio grid scales them fractionally, so
+//! different batch sizes fold onto common [`WorkloadKey`]s and one shared
+//! cache stays smaller than per-batch caches. `figures costcache` writes
+//! the result as `BENCH_costcache.json`.
+//!
+//! [`WorkloadKey`]: pimflow::costcache::WorkloadKey
+
+use pimflow::batch::with_batch;
+use pimflow::costcache::CostCache;
+use pimflow::engine::EngineConfig;
+use pimflow::search::{Search, SearchOptions};
+use pimflow_ir::models;
+use pimflow_json::json_struct;
+use pimflow_pool::WorkerPool;
+use std::time::Instant;
+
+/// One model's cold-vs-warm search timing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelCacheTiming {
+    /// Canonical model name.
+    pub model: String,
+    /// Nodes in the model graph.
+    pub nodes: usize,
+    /// Wall time of the cold (empty-cache) search, milliseconds.
+    pub cold_ms: f64,
+    /// Wall time of the warm (fully-cached) re-search, milliseconds.
+    pub warm_ms: f64,
+    /// `cold_ms / warm_ms`.
+    pub speedup: f64,
+    /// Whether cold and warm plans serialized to identical bytes (must be
+    /// true — the cache may not change what the search decides).
+    pub plans_identical: bool,
+    /// Cost-cache hits of the warm run.
+    pub warm_hits: u64,
+    /// Cost-cache misses of the warm run (0 for a deterministic search).
+    pub warm_misses: u64,
+    /// `warm_hits / (warm_hits + warm_misses)`.
+    pub warm_hit_rate: f64,
+    /// Distinct workload entries the model's search needs.
+    pub entries: u64,
+}
+
+json_struct!(ModelCacheTiming {
+    model,
+    nodes,
+    cold_ms,
+    warm_ms,
+    speedup,
+    plans_identical,
+    warm_hits,
+    warm_misses,
+    warm_hit_rate,
+    entries,
+});
+
+/// Cross-batch sharing at one batch size of the batch sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchSharePoint {
+    /// Batch size searched.
+    pub batch: usize,
+    /// Entries a fresh cache needs for this batch size alone.
+    pub independent_entries: u64,
+    /// Cumulative entries of the shared cache after this batch size.
+    pub shared_entries_after: u64,
+}
+
+json_struct!(BatchSharePoint {
+    batch,
+    independent_entries,
+    shared_entries_after,
+});
+
+/// The full artifact written to `BENCH_costcache.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostCacheReport {
+    /// Worker-pool width of the searches.
+    pub jobs: usize,
+    /// Hardware threads of the measuring host.
+    pub host_threads: usize,
+    /// One entry per model, in input order.
+    pub models: Vec<ModelCacheTiming>,
+    /// Model of the batch sweep.
+    pub batch_model: String,
+    /// One entry per batch size, ascending.
+    pub batch_points: Vec<BatchSharePoint>,
+    /// Final size of the cache shared across every batch size.
+    pub shared_total_entries: u64,
+    /// Sum of the per-batch fresh-cache sizes.
+    pub independent_total_entries: u64,
+    /// True when every model's warm run was at least as fast as its cold
+    /// run (speedup >= 1.0) — the property CI asserts.
+    pub meets_speedup_floor: bool,
+}
+
+json_struct!(CostCacheReport {
+    jobs,
+    host_threads,
+    models,
+    batch_model,
+    batch_points,
+    shared_total_entries,
+    independent_total_entries,
+    meets_speedup_floor,
+});
+
+/// Models of the full timing sweep: `resnet-50` is the repeated-block
+/// showcase (identical bottlenecks fold onto few workload keys), the other
+/// two cover depthwise-heavy and plain-residual topologies.
+pub const DEFAULT_MODELS: [&str; 3] = ["resnet-50", "efficientnet-v1-b0", "mobilenet-v2"];
+
+/// Batch sizes of the cross-batch sharing sweep.
+pub const DEFAULT_BATCH_SIZES: [usize; 3] = [1, 2, 4];
+
+/// Times a cold and a warm search of each named model on a `jobs`-wide
+/// pool, then runs the cross-batch sharing sweep on `batch_model`.
+///
+/// # Panics
+///
+/// Panics on an unknown model name.
+pub fn sweep(
+    model_names: &[&str],
+    batch_model: &str,
+    batch_sizes: &[usize],
+    jobs: usize,
+) -> CostCacheReport {
+    let cfg = EngineConfig::pimflow();
+    let opts = SearchOptions::default();
+    let model_rows: Vec<ModelCacheTiming> = model_names
+        .iter()
+        .map(|name| {
+            let g = models::by_name(name).expect("known model");
+            let cache = CostCache::new();
+            let t0 = Instant::now();
+            let cold_plan = Search::new(&g, &cfg)
+                .options(opts)
+                .pool(jobs)
+                .cache(&cache)
+                .run()
+                .expect("zoo models search");
+            let cold_ms = t0.elapsed().as_secs_f64() * 1e3;
+            let before_warm = cache.counters();
+            let t1 = Instant::now();
+            let warm_plan = Search::new(&g, &cfg)
+                .options(opts)
+                .pool(jobs)
+                .cache(&cache)
+                .run()
+                .expect("zoo models search");
+            let warm_ms = t1.elapsed().as_secs_f64() * 1e3;
+            let after_warm = cache.counters();
+            let warm_hits = after_warm.hits - before_warm.hits;
+            let warm_misses = after_warm.misses - before_warm.misses;
+            ModelCacheTiming {
+                model: g.name.clone(),
+                nodes: g.node_ids().count(),
+                cold_ms,
+                warm_ms,
+                speedup: cold_ms / warm_ms,
+                plans_identical: pimflow_json::to_string(&cold_plan)
+                    == pimflow_json::to_string(&warm_plan),
+                warm_hits,
+                warm_misses,
+                warm_hit_rate: if warm_hits + warm_misses > 0 {
+                    warm_hits as f64 / (warm_hits + warm_misses) as f64
+                } else {
+                    0.0
+                },
+                entries: after_warm.entries,
+            }
+        })
+        .collect();
+
+    let base = models::by_name(batch_model).expect("known batch model");
+    let shared = CostCache::new();
+    let mut batch_points = Vec::new();
+    let mut independent_total = 0u64;
+    for &size in batch_sizes {
+        let batched = with_batch(&base, size).expect("zoo models batch");
+        let solo = CostCache::new();
+        Search::new(&batched, &cfg)
+            .options(opts)
+            .pool(jobs)
+            .cache(&solo)
+            .run()
+            .expect("zoo models search");
+        Search::new(&batched, &cfg)
+            .options(opts)
+            .pool(jobs)
+            .cache(&shared)
+            .run()
+            .expect("zoo models search");
+        independent_total += solo.counters().entries;
+        batch_points.push(BatchSharePoint {
+            batch: size,
+            independent_entries: solo.counters().entries,
+            shared_entries_after: shared.counters().entries,
+        });
+    }
+
+    let meets_speedup_floor = model_rows.iter().all(|m| m.speedup >= 1.0);
+    CostCacheReport {
+        jobs,
+        host_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        models: model_rows,
+        batch_model: base.name.clone(),
+        batch_points,
+        shared_total_entries: shared.counters().entries,
+        independent_total_entries: independent_total,
+        meets_speedup_floor,
+    }
+}
+
+/// Runs the sweep at the `PIMFLOW_JOBS` pool width and writes
+/// `BENCH_costcache.json` under `dir`. `smoke` restricts the sweep to the
+/// small models (CI-sized); the committed artifact uses the full set.
+/// Returns the report and the path written.
+///
+/// # Errors
+///
+/// Returns a rendered error when the write fails or a warm plan diverged
+/// from its cold baseline.
+pub fn write_bench_artifact(
+    dir: &std::path::Path,
+    smoke: bool,
+) -> Result<(CostCacheReport, std::path::PathBuf), String> {
+    let jobs = WorkerPool::from_env().jobs();
+    let report = if smoke {
+        sweep(&["toy", "mobilenet-v2"], "toy", &[1, 2], jobs)
+    } else {
+        sweep(&DEFAULT_MODELS, "mobilenet-v2", &DEFAULT_BATCH_SIZES, jobs)
+    };
+    if let Some(bad) = report.models.iter().find(|m| !m.plans_identical) {
+        return Err(format!("warm search diverged from cold on {}", bad.model));
+    }
+    std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+    let path = dir.join("BENCH_costcache.json");
+    std::fs::write(&path, pimflow_json::to_string_pretty(&report))
+        .map_err(|e| format!("writing {}: {e}", path.display()))?;
+    Ok((report, path))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_reports_full_warm_hit_rate_and_sharing() {
+        let report = sweep(&["toy"], "toy", &[1, 2], 2);
+        assert_eq!(report.jobs, 2);
+        assert_eq!(report.models.len(), 1);
+        let m = &report.models[0];
+        assert!(m.plans_identical, "warm plan diverged on {}", m.model);
+        assert!(m.entries > 0);
+        assert_eq!(m.warm_misses, 0, "a warm re-search must be all hits");
+        assert_eq!(m.warm_hit_rate, 1.0);
+        // Batch sweep: the shared cache never exceeds the independent sum
+        // and batch 2 reuses batch-1 entries (rows scale linearly).
+        assert_eq!(report.batch_points.len(), 2);
+        assert!(report.shared_total_entries < report.independent_total_entries);
+        let json = pimflow_json::to_string(&report);
+        let back: CostCacheReport = pimflow_json::from_str(&json).unwrap();
+        assert_eq!(report, back);
+    }
+}

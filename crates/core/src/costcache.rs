@@ -1,0 +1,442 @@
+//! Canonical workload interning and the cross-search cost cache.
+//!
+//! Algorithm 1 prices every `(node, ratio, split/pipeline)` candidate on
+//! the simulated hardware, and CNN zoos repeat identical layer shapes
+//! pervasively — ResNet's stacked blocks, the EfficientNet family, the
+//! batch sweep of `pimflow serve --precompile`. Historically the only memo
+//! was a per-search `HashMap` inside the search's profiler, discarded when
+//! the search returned, so serving and the bench sweeps re-simulated the
+//! same workloads thousands of times.
+//!
+//! This module makes the memo a first-class, shareable artifact:
+//!
+//! * [`WorkloadKey`] — the canonical identity of one PIM cost query: the
+//!   folded shape fingerprint ([`PimWorkload`], which already encodes op
+//!   kind, split ratio and batch via its row count) plus every engine-config
+//!   field that affects the PIM estimate (effective channel count, raw
+//!   [`ChannelMask`](crate::engine::ChannelMask) bits, command scheduling
+//!   granularity, and the full [`PimConfig`] fingerprint).
+//! * [`pim_cost_us`] — the PIM schedule estimate as a *pure function* of a
+//!   key: same key, same microseconds, always.
+//! * [`CostTable`] — an interned read-only table: keys become dense `u32`
+//!   ids (via [`pimflow_ir::Interner`]) indexing a parallel cost vector.
+//! * [`CostCache`] — the shared, read-mostly cache: cloning it is an `Arc`
+//!   clone, [`snapshot`](CostCache::snapshot) hands workers an immutable
+//!   base table, and [`merge`](CostCache::merge) folds their per-worker
+//!   [`MemoShard`]s back in at the same deterministic points where the
+//!   search's memo shards have always merged.
+//!
+//! ## Determinism contract
+//!
+//! Plans are unaffected by caching because [`pim_cost_us`] is pure: a cache
+//! changes only *recompute rates*, never values. Counters are defined so
+//! they are scheduling-invariant too: a shard records only its total
+//! `lookups` (a pure function of graph/options/mask) and the entries it had
+//! to compute; at each merge, `misses` grows by the number of keys *newly
+//! inserted* into the shared table and `hits` by `lookups − newly
+//! inserted`. Total misses therefore telescope to `final entries − initial
+//! entries`, so [`counters`](CostCache::counters) read after any set of
+//! searches completes is byte-identical at every pool width — duplicate
+//! simulations by racing workers are deliberately invisible. See DESIGN.md
+//! §4.9 for what is deliberately *excluded* from the key (the GPU model,
+//! whose analytic queries are orders of magnitude cheaper than a PIM
+//! command-trace simulation).
+
+use crate::codegen::{execute_workload, PimWorkload};
+use crate::engine::EngineConfig;
+use pimflow_ir::Interner;
+use pimflow_json::json_struct;
+use pimflow_pimsim::{PimConfig, ScheduleGranularity};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Canonical identity of one PIM cost query.
+///
+/// [`PimWorkload`] is the folded shape/attr fingerprint (the MD-DP ratio
+/// and the batch size both fold into `rows`, so a batch-2 layer at a 50%
+/// split shares its key with the batch-1 layer at 100% — exactly the reuse
+/// the serving precompile sweep exploits); the remaining fields pin every
+/// engine-config input of the PIM schedule estimate. The raw mask bits are
+/// part of the key even though the estimate only depends on the channel
+/// *count*: entries priced under one failure pattern must never leak into
+/// another (see `tests/cost_cache.rs`), and the conservative key makes that
+/// isolation structural.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WorkloadKey {
+    /// Folded workload shape (rows already scaled by ratio and batch).
+    pub workload: PimWorkload,
+    /// Effective PIM channel count the estimate runs over (min 1, mirroring
+    /// the search profiler's total cost model).
+    pub channels: u32,
+    /// Raw channel-availability mask bits
+    /// ([`ChannelMask::bits`](crate::engine::ChannelMask::bits)).
+    pub mask_bits: u64,
+    /// Command scheduling granularity of the estimate.
+    pub granularity: ScheduleGranularity,
+    /// [`PimConfig::fingerprint`] of the priced hardware.
+    pub pim_fingerprint: u64,
+}
+
+impl WorkloadKey {
+    /// Builds the key for pricing `workload` under `cfg`.
+    pub fn new(workload: PimWorkload, cfg: &EngineConfig) -> Self {
+        WorkloadKey {
+            workload,
+            channels: cfg.effective_pim_channels().max(1) as u32,
+            mask_bits: cfg.pim_channel_mask.bits(),
+            granularity: cfg.granularity,
+            pim_fingerprint: cfg.pim.fingerprint(),
+        }
+    }
+}
+
+/// The PIM schedule estimate as a pure function of its [`WorkloadKey`]:
+/// microseconds to execute the keyed workload over the keyed channel count
+/// at the keyed granularity. `pim` must be the config the key was built
+/// from (checked in debug builds via the fingerprint).
+pub fn pim_cost_us(key: &WorkloadKey, pim: &PimConfig) -> f64 {
+    debug_assert_eq!(
+        key.pim_fingerprint,
+        pim.fingerprint(),
+        "workload key priced under a different PimConfig"
+    );
+    execute_workload(&key.workload, pim, key.channels as usize, key.granularity).time_us
+}
+
+/// Hit/miss/entry counters of a cost cache, as surfaced in
+/// `ExecutionReport` and `ServeReport`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Lookups answered from the cache (shard or shared table).
+    pub hits: u64,
+    /// Lookups that had to run the PIM simulator.
+    pub misses: u64,
+    /// Distinct workload keys in the table.
+    pub entries: u64,
+}
+
+json_struct!(CacheCounters {
+    hits,
+    misses,
+    entries,
+});
+
+impl CacheCounters {
+    /// Hits as a fraction of all lookups (0.0 before the first lookup).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// One worker's unsynchronized memo shard: the keys it had to price itself
+/// during a search phase, plus its total lookup count. Produced by the
+/// search profiler, consumed by [`CostCache::merge`].
+#[derive(Debug, Default)]
+pub struct MemoShard {
+    entries: HashMap<WorkloadKey, f64>,
+    lookups: u64,
+}
+
+impl MemoShard {
+    /// An empty shard.
+    pub fn new() -> Self {
+        MemoShard::default()
+    }
+
+    /// Records one cost query against this shard (hit or miss alike).
+    pub(crate) fn count_lookup(&mut self) {
+        self.lookups += 1;
+    }
+
+    /// The cost this shard computed for `key`, if any.
+    pub(crate) fn get(&self, key: &WorkloadKey) -> Option<f64> {
+        self.entries.get(key).copied()
+    }
+
+    /// Stores a freshly computed cost.
+    pub(crate) fn insert(&mut self, key: WorkloadKey, cost: f64) {
+        self.entries.insert(key, cost);
+    }
+
+    /// Number of keys this shard computed itself.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the shard computed nothing (every lookup was a hit).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total cost queries the shard answered.
+    pub fn lookups(&self) -> u64 {
+        self.lookups
+    }
+}
+
+/// An immutable interned cost table: each distinct [`WorkloadKey`] gets a
+/// dense `u32` id indexing a parallel cost vector. Snapshots are shared
+/// read-only across worker threads via `Arc`.
+#[derive(Debug, Clone, Default)]
+pub struct CostTable {
+    keys: Interner<WorkloadKey>,
+    costs: Vec<f64>,
+}
+
+impl CostTable {
+    /// The cached cost of `key`, if present.
+    pub fn get(&self, key: &WorkloadKey) -> Option<f64> {
+        self.keys.get(key).map(|id| self.costs[id as usize])
+    }
+
+    /// Inserts `key` if absent; returns whether it was newly inserted.
+    /// Existing entries are never overwritten — costs are values of a pure
+    /// function, so a duplicate carries the same number.
+    fn insert_if_missing(&mut self, key: WorkloadKey, cost: f64) -> bool {
+        let before = self.keys.len();
+        let id = self.keys.intern(key);
+        if id as usize == before {
+            self.costs.push(cost);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Distinct keys in the table.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True when nothing has been cached.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+}
+
+/// Shared state behind a [`CostCache`] handle.
+#[derive(Debug, Default)]
+struct CacheState {
+    snapshot: Arc<CostTable>,
+    hits: u64,
+    misses: u64,
+}
+
+/// The shared, read-mostly, cross-search PIM cost cache.
+///
+/// Cloning the handle is an `Arc` clone — every clone reads and feeds the
+/// same table. Workers never lock it on the hot path: a search phase takes
+/// one [`snapshot`](CostCache::snapshot) up front, each worker resolves
+/// lookups against its private shard and the snapshot, and the shards merge
+/// back under one short lock when the phase ends (the same points where the
+/// search's memo shards have always merged). The cache persists across
+/// `Search::run` calls, which is where the cross-search speedup comes from.
+#[derive(Debug, Clone, Default)]
+pub struct CostCache {
+    inner: Arc<Mutex<CacheState>>,
+}
+
+impl CostCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        CostCache::default()
+    }
+
+    /// The current immutable table. Lookups against a snapshot never block
+    /// and never observe later merges — a later merge republishes a new
+    /// `Arc`, it does not mutate tables already handed out.
+    pub fn snapshot(&self) -> Arc<CostTable> {
+        self.inner
+            .lock()
+            .expect("cost cache lock poisoned")
+            .snapshot
+            .clone()
+    }
+
+    /// Folds worker shards into the shared table and updates the counters.
+    ///
+    /// `misses` grows by the number of keys newly inserted, `hits` by the
+    /// shards' total lookups minus that — so after any set of searches
+    /// completes the counters are independent of pool width and scheduling
+    /// (duplicate computations by racing workers count as hits, because the
+    /// table gained nothing from them).
+    pub fn merge(&self, shards: impl IntoIterator<Item = MemoShard>) {
+        let shards: Vec<MemoShard> = shards.into_iter().collect();
+        let lookups: u64 = shards.iter().map(|s| s.lookups).sum();
+        if lookups == 0 && shards.iter().all(|s| s.is_empty()) {
+            return;
+        }
+        let mut state = self.inner.lock().expect("cost cache lock poisoned");
+        let mut added = 0u64;
+        if shards.iter().any(|s| !s.is_empty()) {
+            let mut table = (*state.snapshot).clone();
+            for shard in shards {
+                for (key, cost) in shard.entries {
+                    if table.insert_if_missing(key, cost) {
+                        added += 1;
+                    }
+                }
+            }
+            state.snapshot = Arc::new(table);
+        }
+        state.misses += added;
+        state.hits += lookups - added;
+    }
+
+    /// Current hit/miss/entry counters.
+    pub fn counters(&self) -> CacheCounters {
+        let state = self.inner.lock().expect("cost cache lock poisoned");
+        CacheCounters {
+            hits: state.hits,
+            misses: state.misses,
+            entries: state.snapshot.len() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn workload(rows: usize) -> PimWorkload {
+        PimWorkload {
+            rows,
+            k_elems: 64,
+            out_channels: 32,
+            strided: false,
+            segments: 1,
+        }
+    }
+
+    fn key(rows: usize, cfg: &EngineConfig) -> WorkloadKey {
+        WorkloadKey::new(workload(rows), cfg)
+    }
+
+    #[test]
+    fn key_separates_masks_and_configs() {
+        let cfg = EngineConfig::pimflow();
+        let a = key(100, &cfg);
+        assert_eq!(a, key(100, &cfg), "same inputs, same key");
+        // Same surviving channel count, different failure pattern: the raw
+        // bits keep the keys apart.
+        let m1 = cfg.with_mask(crate::engine::ChannelMask::all().without(0));
+        let m2 = cfg.with_mask(crate::engine::ChannelMask::all().without(1));
+        let k1 = key(100, &m1);
+        let k2 = key(100, &m2);
+        assert_eq!(k1.channels, k2.channels);
+        assert_ne!(k1, k2);
+        // A different PIM substrate changes the fingerprint component.
+        let hbm = EngineConfig {
+            pim: pimflow_pimsim::PimConfig::hbm_pim_like(),
+            ..cfg.clone()
+        };
+        assert_ne!(a, key(100, &hbm));
+        // And the workload itself matters.
+        assert_ne!(a, key(101, &cfg));
+    }
+
+    #[test]
+    fn pim_cost_is_pure_in_the_key() {
+        let cfg = EngineConfig::pimflow();
+        let k = key(196, &cfg);
+        let a = pim_cost_us(&k, &cfg.pim);
+        let b = pim_cost_us(&k, &cfg.pim);
+        assert!(a > 0.0);
+        assert_eq!(a.to_bits(), b.to_bits(), "bitwise reproducible");
+        let direct =
+            execute_workload(&k.workload, &cfg.pim, k.channels as usize, k.granularity).time_us;
+        assert_eq!(a.to_bits(), direct.to_bits());
+    }
+
+    #[test]
+    fn merge_counts_newly_inserted_as_misses() {
+        let cfg = EngineConfig::pimflow();
+        let cache = CostCache::new();
+        let mut shard = MemoShard::new();
+        for rows in [10, 20] {
+            shard.count_lookup();
+            shard.insert(key(rows, &cfg), rows as f64);
+        }
+        shard.count_lookup(); // a third lookup answered by the shard itself
+        cache.merge([shard]);
+        assert_eq!(
+            cache.counters(),
+            CacheCounters {
+                hits: 1,
+                misses: 2,
+                entries: 2
+            }
+        );
+        // A second search re-looking-up the same keys computes nothing.
+        let mut warm = MemoShard::new();
+        warm.count_lookup();
+        warm.count_lookup();
+        cache.merge([warm]);
+        assert_eq!(
+            cache.counters(),
+            CacheCounters {
+                hits: 3,
+                misses: 2,
+                entries: 2
+            }
+        );
+    }
+
+    #[test]
+    fn racing_duplicates_count_as_hits() {
+        // Two workers computed the same key in their private shards: the
+        // table gains one entry, so one of the two counts as a hit — the
+        // totals cannot depend on which worker "won".
+        let cfg = EngineConfig::pimflow();
+        let cache = CostCache::new();
+        let mut a = MemoShard::new();
+        a.count_lookup();
+        a.insert(key(50, &cfg), 1.25);
+        let mut b = MemoShard::new();
+        b.count_lookup();
+        b.insert(key(50, &cfg), 1.25);
+        cache.merge([a, b]);
+        assert_eq!(
+            cache.counters(),
+            CacheCounters {
+                hits: 1,
+                misses: 1,
+                entries: 1
+            }
+        );
+    }
+
+    #[test]
+    fn snapshots_are_immutable() {
+        let cfg = EngineConfig::pimflow();
+        let cache = CostCache::new();
+        let before = cache.snapshot();
+        let mut shard = MemoShard::new();
+        shard.count_lookup();
+        shard.insert(key(7, &cfg), 3.5);
+        cache.merge([shard]);
+        assert!(before.is_empty(), "old snapshot must not see the merge");
+        let after = cache.snapshot();
+        assert_eq!(after.len(), 1);
+        assert_eq!(after.get(&key(7, &cfg)), Some(3.5));
+        assert_eq!(after.get(&key(8, &cfg)), None);
+    }
+
+    #[test]
+    fn clones_share_one_table() {
+        let cfg = EngineConfig::pimflow();
+        let cache = CostCache::new();
+        let alias = cache.clone();
+        let mut shard = MemoShard::new();
+        shard.count_lookup();
+        shard.insert(key(11, &cfg), 9.0);
+        alias.merge([shard]);
+        assert_eq!(cache.counters().entries, 1);
+        assert_eq!(cache.snapshot().get(&key(11, &cfg)), Some(9.0));
+    }
+}

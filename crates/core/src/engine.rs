@@ -12,6 +12,7 @@
 //! round-trip), matching the cuDNN/CUTLASS mappings the artifact relies on.
 
 use crate::codegen::{execute_workload_per_channel, PimWorkload};
+use crate::costcache::CacheCounters;
 use crate::error::Result;
 use crate::memopt::{data_move_bytes, is_data_move};
 use crate::placement::Placement;
@@ -230,6 +231,12 @@ pub struct ExecutionReport {
     /// MAC-pipeline busy time of each PIM channel, microseconds (length
     /// `cfg.pim_channels`; empty when no PIM channels are configured).
     pub pim_channel_busy_us: Vec<f64>,
+    /// Hit/miss/entry counters of the engine's per-execution PIM workload
+    /// memo: repeated blocks (identical [`PimWorkload`]s) are simulated once
+    /// and every further occurrence is a hit. This memo is local to one
+    /// `execute` call — unlike the search-side [`crate::costcache::CostCache`]
+    /// it also carries per-channel stats, so it is not shared across runs.
+    pub cost_cache: CacheCounters,
     /// Per-node timeline in execution order.
     pub timings: Vec<NodeTiming>,
 }
@@ -255,6 +262,7 @@ json_struct!(ExecutionReport {
     pim_busy_us,
     transfer_bytes,
     pim_channel_busy_us,
+    cost_cache,
     timings,
 });
 
@@ -334,6 +342,8 @@ pub fn execute(graph: &Graph, cfg: &EngineConfig) -> Result<ExecutionReport> {
     let mut timings = Vec::with_capacity(order.len());
     let mut pim_channel_busy_us = vec![0.0f64; cfg.pim_channels];
     let mut pim_memo: HashMap<PimWorkload, (f64, ChannelStats, Vec<f64>)> = HashMap::new();
+    let mut memo_hits = 0u64;
+    let mut memo_misses = 0u64;
     // Device that produced each value (for fusion decisions).
     let mut produced_on_gpu_conv: HashMap<ValueId, bool> = HashMap::new();
 
@@ -418,9 +428,13 @@ pub fn execute(graph: &Graph, cfg: &EngineConfig) -> Result<ExecutionReport> {
             }
         } else if device == Placement::Pim {
             let workload = PimWorkload::from_node(graph, id);
-            let (dur, stats, busy_us) = pim_memo
-                .entry(workload)
-                .or_insert_with(|| {
+            let (dur, stats, busy_us) = match pim_memo.get(&workload) {
+                Some(cached) => {
+                    memo_hits += 1;
+                    cached.clone()
+                }
+                None => {
+                    memo_misses += 1;
                     // Only the channels the mask reports up take part; the
                     // workload is scheduled across the survivors.
                     let (exec, per_channel) = execute_workload_per_channel(
@@ -433,9 +447,11 @@ pub fn execute(graph: &Graph, cfg: &EngineConfig) -> Result<ExecutionReport> {
                         .iter()
                         .map(|s| cfg.pim.cycles_to_ns(s.comp_busy_cycles) * 1e-3)
                         .collect();
-                    (exec.time_us, exec.stats, busy_us)
-                })
-                .clone();
+                    let entry = (exec.time_us, exec.stats, busy_us);
+                    pim_memo.insert(workload, entry.clone());
+                    entry
+                }
+            };
             // Scatter the survivors' busy time back to physical channel
             // indices; masked-out channels stay at zero.
             for (slot, b) in busy_us.iter().enumerate() {
@@ -538,6 +554,11 @@ pub fn execute(graph: &Graph, cfg: &EngineConfig) -> Result<ExecutionReport> {
         pim_busy_us: pim_busy,
         transfer_bytes,
         pim_channel_busy_us,
+        cost_cache: CacheCounters {
+            hits: memo_hits,
+            misses: memo_misses,
+            entries: pim_memo.len() as u64,
+        },
         timings,
     })
 }
@@ -638,6 +659,25 @@ mod tests {
             with.total_us,
             without.total_us
         );
+    }
+
+    #[test]
+    fn pim_memo_counters_account_for_every_offloaded_node() {
+        let mut g = models::toy();
+        let id = g.find_node("conv_3").unwrap();
+        split_node(&mut g, id, 0).unwrap();
+        let r = execute(&g, &EngineConfig::pimflow()).unwrap();
+        let pim_nodes = r
+            .timings
+            .iter()
+            .filter(|t| t.device == Placement::Pim && !t.fused)
+            .count() as u64;
+        assert!(pim_nodes > 0);
+        assert_eq!(r.cost_cache.hits + r.cost_cache.misses, pim_nodes);
+        assert_eq!(r.cost_cache.entries, r.cost_cache.misses);
+        // GPU-only execution touches the memo not at all.
+        let base = execute(&models::toy(), &EngineConfig::baseline_gpu()).unwrap();
+        assert_eq!(base.cost_cache, CacheCounters::default());
     }
 
     #[test]

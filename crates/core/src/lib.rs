@@ -51,6 +51,7 @@ pub mod autotune;
 pub mod backend;
 pub mod batch;
 pub mod codegen;
+pub mod costcache;
 pub mod engine;
 pub mod error;
 pub mod evaluation;

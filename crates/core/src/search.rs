@@ -22,6 +22,20 @@
 //! graph and config, and results are merged in input order, so a pool of
 //! any width returns a plan byte-identical to the sequential search.
 //!
+//! ## Cost caching
+//!
+//! PIM cost queries flow through a two-tier cache: each worker resolves
+//! lookups against its private, unsynchronized [`MemoShard`] backed by an
+//! immutable snapshot of a shared [`CostCache`] table, and shards merge
+//! back at the end of each phase — the same deterministic points where the
+//! per-search memo shards have always merged. By default every search uses
+//! a private scratch cache (exactly the historical behaviour); pass a
+//! long-lived cache via [`Search::cache`] to reuse PIM simulations across
+//! `run` calls — repeated-block models, batch sweeps, and the serving
+//! precompile path then skip most of their simulator work. Cached and
+//! uncached searches return byte-identical plans at any pool width, because
+//! the cache memoizes a pure function ([`crate::costcache::pim_cost_us`]).
+//!
 //! ## Fault awareness
 //!
 //! The search honors the [`ChannelMask`] carried by
@@ -33,7 +47,8 @@
 //! PIM capacity no longer pays — without rerunning the full Algorithm-1
 //! grid search.
 
-use crate::codegen::{execute_workload, PimWorkload};
+use crate::codegen::PimWorkload;
+use crate::costcache::{pim_cost_us, CostCache, CostTable, MemoShard, WorkloadKey};
 use crate::engine::{ChannelMask, EngineConfig};
 use crate::error::Result;
 use crate::passes::pipeline::{find_chains, Chain};
@@ -43,6 +58,7 @@ use pimflow_ir::{analysis, Graph, NodeId, Op};
 use pimflow_json::{json_struct, FromJson, Json, JsonError, ToJson};
 use pimflow_pool::WorkerPool;
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 /// Which execution modes the search may choose from (varies per offloading
 /// mechanism, §5).
@@ -257,6 +273,27 @@ impl ExecutionPlan {
         cfg: &EngineConfig,
         mask: ChannelMask,
     ) -> Result<ExecutionPlan> {
+        self.repair_with_cache(graph, cfg, mask, None)
+    }
+
+    /// [`repair`](ExecutionPlan::repair) backed by a shared [`CostCache`]:
+    /// workloads already priced under the repair mask (by an earlier search
+    /// or repair) are reused, and this repair's fresh simulations are
+    /// merged back. The serving runtime repairs every cached plan through
+    /// one cache, so plans for different batch sizes share the re-pricing
+    /// work. Passing `None` uses a private scratch memo; the repaired plan
+    /// is byte-identical either way.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`repair`](ExecutionPlan::repair).
+    pub fn repair_with_cache(
+        &self,
+        graph: &Graph,
+        cfg: &EngineConfig,
+        mask: ChannelMask,
+        cache: Option<&CostCache>,
+    ) -> Result<ExecutionPlan> {
         let masked = cfg.with_mask(mask);
         if masked.effective_pim_channels() == cfg.effective_pim_channels() {
             return Ok(self.clone());
@@ -264,7 +301,10 @@ impl ExecutionPlan {
         let order = graph.topo_order()?;
         let conv_like = fusion_map(graph, &order);
         let pim_available = masked.effective_pim_channels() > 0;
-        let mut profiler = Profiler::new(graph, &masked);
+        let mut profiler = match cache {
+            Some(c) => Profiler::with_base(graph, &masked, c.snapshot()),
+            None => Profiler::new(graph, &masked),
+        };
         let decided: HashMap<&str, &Decision> = self
             .decisions
             .iter()
@@ -404,6 +444,9 @@ impl ExecutionPlan {
             i += 1;
         }
 
+        if let Some(c) = cache {
+            c.merge([profiler.into_shard()]);
+        }
         Ok(ExecutionPlan {
             model: self.model.clone(),
             decisions,
@@ -414,44 +457,54 @@ impl ExecutionPlan {
     }
 }
 
-/// Profiling context (memoizes PIM simulations).
+/// Profiling context (memoizes PIM simulations through the two-tier cost
+/// cache).
 ///
-/// Under the worker pool each worker owns one `Profiler` shard, so workers
-/// never serialize on a shared map. The memo caches values of a pure
-/// function, so shard boundaries and merge order cannot change any cost —
-/// only how often `execute_workload` reruns.
+/// Under the worker pool each worker owns one `Profiler`, so workers never
+/// serialize on a shared map: lookups resolve against the worker's private
+/// [`MemoShard`], then the immutable base snapshot, and only misses run the
+/// simulator. The cache memoizes values of a pure function, so shard
+/// boundaries and merge order cannot change any cost — only how often the
+/// simulator reruns.
 struct Profiler<'g> {
     graph: &'g Graph,
     cfg: EngineConfig,
     /// Channels actually available under the config's mask (min 1 so the
     /// cost model stays total; callers gate offload on the real count).
     pim_channels_eff: usize,
-    pim_memo: HashMap<PimWorkload, f64>,
+    /// Key components shared by every lookup this profiler makes,
+    /// precomputed so the hot path builds keys without re-hashing the
+    /// config.
+    mask_bits: u64,
+    pim_fingerprint: u64,
+    /// Immutable snapshot of the shared cross-search table.
+    base: Arc<CostTable>,
+    /// Private shard: keys this profiler had to price itself.
+    shard: MemoShard,
 }
 
 impl<'g> Profiler<'g> {
     fn new(graph: &'g Graph, cfg: &EngineConfig) -> Self {
-        Profiler::with_memo(graph, cfg, HashMap::new())
+        Profiler::with_base(graph, cfg, Arc::default())
     }
 
-    /// A profiler seeded with an existing memo (merged shards of an earlier
-    /// parallel phase).
-    fn with_memo(
-        graph: &'g Graph,
-        cfg: &EngineConfig,
-        pim_memo: HashMap<PimWorkload, f64>,
-    ) -> Self {
+    /// A profiler backed by a snapshot of the shared cost table (taken at
+    /// the start of the current search phase).
+    fn with_base(graph: &'g Graph, cfg: &EngineConfig, base: Arc<CostTable>) -> Self {
         Profiler {
             graph,
             pim_channels_eff: cfg.effective_pim_channels().max(1),
+            mask_bits: cfg.pim_channel_mask.bits(),
+            pim_fingerprint: cfg.pim.fingerprint(),
             cfg: cfg.clone(),
-            pim_memo,
+            base,
+            shard: MemoShard::new(),
         }
     }
 
     /// Consumes the profiler, returning its memo shard for merging.
-    fn into_memo(self) -> HashMap<PimWorkload, f64> {
-        self.pim_memo
+    fn into_shard(self) -> MemoShard {
+        self.shard
     }
 
     /// PIM time of `frac` of node `id`'s rows, microseconds, over the
@@ -459,12 +512,23 @@ impl<'g> Profiler<'g> {
     fn pim_time(&mut self, id: NodeId, frac: f64) -> f64 {
         let mut w = PimWorkload::from_node(self.graph, id);
         w.rows = ((w.rows as f64 * frac).round() as usize).max(1);
-        let cfg = &self.cfg;
-        let channels = self.pim_channels_eff;
-        *self
-            .pim_memo
-            .entry(w)
-            .or_insert_with(|| execute_workload(&w, &cfg.pim, channels, cfg.granularity).time_us)
+        let key = WorkloadKey {
+            workload: w,
+            channels: self.pim_channels_eff as u32,
+            mask_bits: self.mask_bits,
+            granularity: self.cfg.granularity,
+            pim_fingerprint: self.pim_fingerprint,
+        };
+        self.shard.count_lookup();
+        if let Some(t) = self.shard.get(&key) {
+            return t;
+        }
+        if let Some(t) = self.base.get(&key) {
+            return t;
+        }
+        let t = pim_cost_us(&key, &self.cfg.pim);
+        self.shard.insert(key, t);
+        t
     }
 
     /// GPU time of `frac` of node `id`'s rows (standalone launch),
@@ -708,6 +772,7 @@ pub struct Search<'g> {
     cfg: EngineConfig,
     opts: SearchOptions,
     pool: Option<WorkerPool>,
+    cache: Option<CostCache>,
 }
 
 impl<'g> Search<'g> {
@@ -718,6 +783,7 @@ impl<'g> Search<'g> {
             cfg: cfg.clone(),
             opts: SearchOptions::default(),
             pool: None,
+            cache: None,
         }
     }
 
@@ -747,6 +813,18 @@ impl<'g> Search<'g> {
         self
     }
 
+    /// Backs this search with a long-lived [`CostCache`]: PIM simulations
+    /// whose [`WorkloadKey`] is already in the cache are reused instead of
+    /// rerun, and this search's fresh results are merged back for later
+    /// callers. The handle is cheap to clone (`Arc`). Without this knob the
+    /// search uses a private scratch cache, which behaves exactly like the
+    /// historical per-search memo. The resulting plan is byte-identical
+    /// either way.
+    pub fn cache(mut self, cache: &CostCache) -> Self {
+        self.cache = Some(cache.clone());
+        self
+    }
+
     /// Runs Algorithm 1 and returns the chosen plan.
     ///
     /// # Errors
@@ -755,7 +833,15 @@ impl<'g> Search<'g> {
     /// invalid (e.g. cyclic) and no topological order exists.
     pub fn run(self) -> Result<ExecutionPlan> {
         let pool = self.pool.unwrap_or_else(WorkerPool::from_env);
-        run_search(self.graph, &self.cfg, &self.opts, &pool)
+        let scratch;
+        let cache = match &self.cache {
+            Some(c) => c,
+            None => {
+                scratch = CostCache::new();
+                &scratch
+            }
+        };
+        run_search(self.graph, &self.cfg, &self.opts, &pool, cache)
     }
 }
 
@@ -799,13 +885,17 @@ fn fusion_map(graph: &Graph, order: &[NodeId]) -> HashMap<NodeId, bool> {
 /// The per-node MD-DP profiling and the per-chain pipeline costing fan out
 /// over `pool`; each worker profiles with its own memo shard
 /// (shard-per-worker, so workers never contend on one map) and results are
-/// merged in topological/chain order. The returned plan is bit-identical
-/// for any pool width, including [`WorkerPool::sequential`].
+/// merged in topological/chain order. Both phases read an immutable
+/// snapshot of `cache` and merge their shards back when the phase ends —
+/// the chain phase's snapshot therefore already contains every workload the
+/// node phase priced. The returned plan is bit-identical for any pool
+/// width, including [`WorkerPool::sequential`], and for any cache state.
 fn run_search(
     graph: &Graph,
     cfg: &EngineConfig,
     opts: &SearchOptions,
     pool: &WorkerPool,
+    cache: &CostCache,
 ) -> Result<ExecutionPlan> {
     let order = graph.topo_order()?;
     let n = order.len();
@@ -816,9 +906,10 @@ fn run_search(
 
     // Single-node costs: lines 1-7 of Algorithm 1, one independent task per
     // node.
+    let base = cache.snapshot();
     let (outcomes, shards) = pool.map_with(
         &order,
-        || Profiler::new(graph, cfg),
+        || Profiler::with_base(graph, cfg, base.clone()),
         |profiler, _, &id| {
             let fused = *conv_like.get(&id).unwrap_or(&false);
             let gpu_only = solo_gpu_cost(profiler, id, fused);
@@ -887,20 +978,19 @@ fn run_search(
             }
         },
     );
-    // Merge the worker memo shards (worker-index order; contents are pure,
-    // so only recompute rates — never values — depend on the sharding).
-    let mut memo: HashMap<PimWorkload, f64> = HashMap::new();
-    for shard in shards {
-        memo.extend(shard.into_memo());
-    }
+    // Merge the worker memo shards into the shared table (worker-index
+    // order; contents are pure, so only recompute rates — never values —
+    // depend on the sharding).
+    cache.merge(shards.into_iter().map(Profiler::into_shard));
 
     let profiles: Vec<LayerProfile> = outcomes.iter().filter_map(|o| o.profile.clone()).collect();
     let single_cost: Vec<f64> = outcomes.iter().map(|o| o.cost).collect();
 
     // Pipeline candidates: lines 8-15, one independent task per chain. A
     // chain is usable when its nodes are contiguous in the topo order (the
-    // DP walks that order). Workers start from the node phase's merged
-    // memo, so shared PIM workloads are not re-simulated.
+    // DP walks that order). Workers start from a fresh snapshot that
+    // already contains the node phase's merged shards, so shared PIM
+    // workloads are not re-simulated.
     let mut chain_list: Vec<(usize, Chain)> = Vec::new();
     if opts.allow_pipeline && pim_available {
         for chain in find_chains(graph) {
@@ -915,11 +1005,16 @@ fn run_search(
             }
         }
     }
-    let (chain_costs, _) = pool.map_with(
+    let base = cache.snapshot();
+    let (chain_costs, chain_shards) = pool.map_with(
         &chain_list,
-        || Profiler::with_memo(graph, cfg, memo.clone()),
+        || Profiler::with_base(graph, cfg, base.clone()),
         |profiler, _, (_, chain)| profiler.pipeline_cost(chain, opts.pipeline_stages.max(2)),
     );
+    // The chain phase used to discard its shards; merging them means a
+    // later cached search (or the serving precompile sweep) reuses the
+    // pipeline workloads too.
+    cache.merge(chain_shards.into_iter().map(Profiler::into_shard));
     let mut chain_options: HashMap<usize, Vec<(Chain, f64)>> = HashMap::new();
     for ((start, chain), cost) in chain_list.into_iter().zip(chain_costs) {
         chain_options.entry(start).or_default().push((chain, cost));
@@ -1296,6 +1391,59 @@ mod tests {
                 .unwrap();
             assert_eq!(pimflow_json::to_string(&plan), expected, "jobs {jobs}");
         }
+    }
+
+    #[test]
+    fn cached_search_matches_cold_and_reuses_entries() {
+        let g = models::toy();
+        let cold = search(&g, &pimflow_cfg(), &SearchOptions::default()).unwrap();
+        let cache = crate::costcache::CostCache::new();
+        let warm1 = Search::new(&g, &pimflow_cfg()).cache(&cache).run().unwrap();
+        let after_first = cache.counters();
+        assert!(after_first.entries > 0, "search must populate the cache");
+        assert!(after_first.misses > 0);
+        let warm2 = Search::new(&g, &pimflow_cfg()).cache(&cache).run().unwrap();
+        let after_second = cache.counters();
+        let expected = pimflow_json::to_string(&cold);
+        assert_eq!(pimflow_json::to_string(&warm1), expected);
+        assert_eq!(pimflow_json::to_string(&warm2), expected);
+        assert_eq!(
+            after_second.entries, after_first.entries,
+            "a repeat search must add no entries"
+        );
+        assert_eq!(after_second.misses, after_first.misses);
+        assert!(after_second.hits > after_first.hits);
+    }
+
+    #[test]
+    fn cached_repair_matches_uncached_repair() {
+        let g = models::toy();
+        let cfg = pimflow_cfg();
+        let plan = search(&g, &cfg, &SearchOptions::default()).unwrap();
+        let mask = ChannelMask::from_bits(0b11);
+        let plain = plan.repair(&g, &cfg, mask).unwrap();
+        let cache = crate::costcache::CostCache::new();
+        let cached = plan
+            .repair_with_cache(&g, &cfg, mask, Some(&cache))
+            .unwrap();
+        assert_eq!(
+            pimflow_json::to_string(&plain),
+            pimflow_json::to_string(&cached)
+        );
+        let first = cache.counters();
+        assert!(first.entries > 0, "repair must feed the cache");
+        // A second repair under the same mask is answered from the table.
+        let again = plan
+            .repair_with_cache(&g, &cfg, mask, Some(&cache))
+            .unwrap();
+        assert_eq!(
+            pimflow_json::to_string(&plain),
+            pimflow_json::to_string(&again)
+        );
+        let second = cache.counters();
+        assert_eq!(second.entries, first.entries);
+        assert_eq!(second.misses, first.misses);
+        assert!(second.hits > first.hits);
     }
 
     #[test]

@@ -77,6 +77,38 @@ impl GpuConfig {
     pub fn mem_bandwidth(&self, channels: usize) -> f64 {
         channels as f64 * self.gbps_per_channel * 1e9 * self.mem_efficiency
     }
+
+    /// A 64-bit FNV-1a fingerprint over every model parameter — the GPU
+    /// analogue of `PimConfig::fingerprint`. `kernel_time_*` is a pure
+    /// function of `(KernelProfile, GpuConfig, channels)`, so the
+    /// fingerprint identifies the config side of that function; the
+    /// cost-cache layer records it for provenance (the GPU model is cheap
+    /// enough that its queries are deliberately *not* cached — see
+    /// DESIGN.md). Floats hash by bit pattern.
+    pub fn fingerprint(&self) -> u64 {
+        let words: [u64; 11] = [
+            self.sm_count as u64,
+            self.clock_ghz.to_bits(),
+            self.flops_per_sm_clock.to_bits(),
+            self.total_channels as u64,
+            self.gbps_per_channel.to_bits(),
+            self.mem_efficiency.to_bits(),
+            self.kernel_launch_us.to_bits(),
+            self.dynamic_pj_per_flop.to_bits(),
+            self.dram_pj_per_byte.to_bits(),
+            self.static_w.to_bits(),
+            // Version tag for the analytical pricing model itself.
+            1,
+        ];
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for w in words {
+            for byte in w.to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        h
+    }
 }
 
 #[cfg(test)]
@@ -93,6 +125,19 @@ mod tests {
     fn bandwidth_scales_with_channels() {
         let c = GpuConfig::rtx2060_like();
         assert!((c.mem_bandwidth(32) / c.mem_bandwidth(16) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fingerprint_separates_presets() {
+        let r = GpuConfig::rtx2060_like();
+        let t = GpuConfig::titan_v_like();
+        assert_eq!(r.fingerprint(), GpuConfig::rtx2060_like().fingerprint());
+        assert_ne!(r.fingerprint(), t.fingerprint());
+        let tweaked = GpuConfig {
+            mem_efficiency: 0.76,
+            ..r
+        };
+        assert_ne!(r.fingerprint(), tweaked.fingerprint());
     }
 
     #[test]

@@ -1,0 +1,129 @@
+//! A generic value interner: maps equal values to small dense `u32` ids.
+//!
+//! The cost-cache layer in the `pimflow` core crate interns canonical
+//! workload keys so that per-search memo shards and the shared cross-search
+//! table can refer to workloads by a compact id instead of re-hashing the
+//! full key on every secondary lookup. The interner is deliberately
+//! append-only — ids are never invalidated — which is what makes snapshots
+//! of an interned table safe to share across worker threads.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// An append-only map from values to dense `u32` ids.
+///
+/// Ids are assigned in first-insertion order starting at `0`, so they can
+/// double as indices into a parallel `Vec` of associated data.
+///
+/// ## Example
+///
+/// ```
+/// use pimflow_ir::intern::Interner;
+///
+/// let mut i = Interner::new();
+/// let a = i.intern("conv3x3");
+/// let b = i.intern("conv1x1");
+/// assert_eq!(i.intern("conv3x3"), a, "re-interning is idempotent");
+/// assert_ne!(a, b);
+/// assert_eq!(i.resolve(b), &"conv1x1");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Interner<T> {
+    ids: HashMap<T, u32>,
+    items: Vec<T>,
+}
+
+impl<T: Eq + Hash + Clone> Interner<T> {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Interner {
+            ids: HashMap::new(),
+            items: Vec::new(),
+        }
+    }
+
+    /// Returns the id of `value`, inserting it if unseen.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `u32::MAX` distinct values are interned.
+    pub fn intern(&mut self, value: T) -> u32 {
+        if let Some(&id) = self.ids.get(&value) {
+            return id;
+        }
+        let id = u32::try_from(self.items.len()).expect("interner overflow");
+        self.items.push(value.clone());
+        self.ids.insert(value, id);
+        id
+    }
+
+    /// Returns the id of `value` without inserting, or `None` if unseen.
+    pub fn get(&self, value: &T) -> Option<u32> {
+        self.ids.get(value).copied()
+    }
+
+    /// Returns the value interned under `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not returned by this interner.
+    pub fn resolve(&self, id: u32) -> &T {
+        &self.items[id as usize]
+    }
+
+    /// Number of distinct values interned.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+impl<T: Eq + Hash + Clone> Default for Interner<T> {
+    fn default() -> Self {
+        Interner::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_dense_and_stable() {
+        let mut i = Interner::new();
+        assert!(i.is_empty());
+        let ids: Vec<u32> = (0..10).map(|n| i.intern(n * 7)).collect();
+        assert_eq!(
+            ids,
+            (0..10).collect::<Vec<u32>>(),
+            "dense first-insertion order"
+        );
+        assert_eq!(i.len(), 10);
+        // Re-interning returns the original id and does not grow the table.
+        assert_eq!(i.intern(21), 3);
+        assert_eq!(i.len(), 10);
+    }
+
+    #[test]
+    fn get_does_not_insert() {
+        let mut i = Interner::new();
+        assert_eq!(i.get(&"x"), None);
+        assert!(i.is_empty());
+        let id = i.intern("x");
+        assert_eq!(i.get(&"x"), Some(id));
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn resolve_roundtrips() {
+        let mut i = Interner::new();
+        for s in ["a", "b", "c"] {
+            let id = i.intern(s);
+            assert_eq!(i.resolve(id), &s);
+        }
+    }
+}

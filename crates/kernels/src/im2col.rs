@@ -8,6 +8,31 @@
 
 use crate::tensor::Tensor;
 use pimflow_ir::{Conv2dAttrs, Shape};
+use std::fmt;
+
+/// Errors from malformed kernel inputs, the fallible counterpart of the
+/// executor's [`ExecError`](crate::ExecError): validation that used to
+/// panic now reports what was wrong with the operands.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KernelError {
+    /// Operand shapes are inconsistent (wrong rank, mismatched inner
+    /// dimension, ...).
+    ShapeMismatch(String),
+    /// The operation is valid but outside what the reference kernel
+    /// implements (e.g. grouped convolution in `im2col`).
+    Unsupported(String),
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::ShapeMismatch(m) => write!(f, "shape mismatch: {m}"),
+            KernelError::Unsupported(m) => write!(f, "unsupported: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}
 
 /// Dimensions of a lowered convolution, as consumed by the DRAM-PIM code
 /// generator: the filter matrix is `[k_elems, out_channels]` resident in the
@@ -72,17 +97,23 @@ pub fn lowered_dims(input_shape: &Shape, attrs: &Conv2dAttrs) -> LoweredConv {
 }
 
 /// Materializes the lowered input matrix `[rows, k_elems]` for a regular
-/// (groups = 1) convolution over a batch-1 NHWC input.
+/// (groups = 1) convolution over an NHWC input. Batched inputs are lowered
+/// image by image: image `b` occupies rows `b * OH * OW ..`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on depthwise attrs or batch != 1 (tests only need batch 1, the
-/// paper's inference setting).
-pub fn im2col(x: &Tensor, attrs: &Conv2dAttrs) -> Tensor {
-    assert_eq!(attrs.groups, 1, "im2col supports regular conv only");
-    assert_eq!(x.shape().n(), 1, "im2col supports batch 1");
+/// Returns [`KernelError::Unsupported`] for grouped (depthwise) attrs —
+/// lowering interleaves all input channels into one row, which only makes
+/// sense when every filter sees every channel.
+pub fn im2col(x: &Tensor, attrs: &Conv2dAttrs) -> Result<Tensor, KernelError> {
+    if attrs.groups != 1 {
+        return Err(KernelError::Unsupported(format!(
+            "im2col supports regular conv only (groups = {})",
+            attrs.groups
+        )));
+    }
     let dims = lowered_dims(x.shape(), attrs);
-    let (ih, iw, ic) = (x.shape().h(), x.shape().w(), x.shape().c());
+    let (n, ih, iw, ic) = (x.shape().n(), x.shape().h(), x.shape().w(), x.shape().c());
     let oh = pimflow_ir::shape_infer::conv_out_extent(
         ih,
         attrs.kernel.h,
@@ -100,57 +131,100 @@ pub fn im2col(x: &Tensor, attrs: &Conv2dAttrs) -> Tensor {
     let mut m = Tensor::zeros(Shape::rf(dims.rows, dims.k_elems));
     let xd = x.data();
     let md = m.data_mut();
-    for oy in 0..oh {
-        for ox in 0..ow {
-            let row = oy * ow + ox;
-            for ky in 0..attrs.kernel.h {
-                let iy = (oy * attrs.stride.h + ky) as isize - attrs.padding.h as isize;
-                for kx in 0..attrs.kernel.w {
-                    let ix = (ox * attrs.stride.w + kx) as isize - attrs.padding.w as isize;
-                    for ci in 0..ic {
-                        let col = (ky * attrs.kernel.w + kx) * ic + ci;
-                        let v = if iy >= 0 && (iy as usize) < ih && ix >= 0 && (ix as usize) < iw {
-                            xd[((iy as usize) * iw + ix as usize) * ic + ci]
-                        } else {
-                            0.0
-                        };
-                        md[row * dims.k_elems + col] = v;
+    for b in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = (b * oh + oy) * ow + ox;
+                for ky in 0..attrs.kernel.h {
+                    let iy = (oy * attrs.stride.h + ky) as isize - attrs.padding.h as isize;
+                    for kx in 0..attrs.kernel.w {
+                        let ix = (ox * attrs.stride.w + kx) as isize - attrs.padding.w as isize;
+                        for ci in 0..ic {
+                            let col = (ky * attrs.kernel.w + kx) * ic + ci;
+                            let v =
+                                if iy >= 0 && (iy as usize) < ih && ix >= 0 && (ix as usize) < iw {
+                                    xd[(((b * ih) + iy as usize) * iw + ix as usize) * ic + ci]
+                                } else {
+                                    0.0
+                                };
+                            md[row * dims.k_elems + col] = v;
+                        }
                     }
                 }
             }
         }
     }
-    m
+    Ok(m)
 }
 
-/// Plain GEMM: `[m, k] x [k, n] -> [m, n]` (used to check the lowering).
-pub fn gemm(a: &Tensor, b: &Tensor) -> Tensor {
-    assert_eq!(a.shape().rank(), 2);
-    assert_eq!(b.shape().rank(), 2);
-    let (m, k) = (a.shape().n(), a.shape().c());
-    let (k2, n) = (b.shape().n(), b.shape().c());
-    assert_eq!(k, k2, "gemm inner dimension mismatch");
-    let mut out = Tensor::zeros(Shape::rf(m, n));
-    let (ad, bd) = (a.data(), b.data());
-    let od = out.data_mut();
-    for i in 0..m {
-        for kk in 0..k {
-            let av = ad[i * k + kk];
-            if av == 0.0 {
-                continue;
-            }
-            for j in 0..n {
-                od[i * n + j] += av * bd[kk * n + j];
+/// Columns of `b` touched per k-block before moving down the k dimension.
+/// 64 f32 rows of a typical `n` keep the hot `b` slice and the output row
+/// in L1/L2 together (cache blocking, the CPU analogue of the shared-memory
+/// tiling every GPU GEMM uses).
+const GEMM_K_BLOCK: usize = 64;
+
+/// The shared accumulation core of [`gemm`] and the conv fast path:
+/// `out[m, n] += a[m, k] x b[k, n]`, blocked over the k dimension.
+///
+/// `k` advances in ascending order for every output element (the blocks
+/// are ascending and `kk` ascends within a block), so the float
+/// accumulation order — and therefore the result, bit for bit — matches
+/// the naive `i, k, j` loop nest. Zero entries of `a` are skipped; with
+/// finite operands that only ever changes the sign of a zero sum.
+pub(crate) fn gemm_accumulate(ad: &[f32], bd: &[f32], od: &mut [f32], k: usize, n: usize) {
+    let m = od.len() / n.max(1);
+    for kb in (0..k).step_by(GEMM_K_BLOCK) {
+        let k_end = (kb + GEMM_K_BLOCK).min(k);
+        for i in 0..m {
+            let a_row = &ad[i * k..(i + 1) * k];
+            let o_row = &mut od[i * n..(i + 1) * n];
+            for kk in kb..k_end {
+                let av = a_row[kk];
+                if av == 0.0 {
+                    continue;
+                }
+                let b_row = &bd[kk * n..(kk + 1) * n];
+                for (o, &bv) in o_row.iter_mut().zip(b_row) {
+                    *o += av * bv;
+                }
             }
         }
     }
-    out
+}
+
+/// GEMM: `[m, k] x [k, n] -> [m, n]`, blocked over the k dimension for
+/// cache locality (bit-identical to the naive triple loop — see
+/// `gemm_accumulate`). Checks the lowering identity and backs the
+/// `conv2d` fast path.
+///
+/// # Errors
+///
+/// Returns [`KernelError::ShapeMismatch`] if either operand is not 2-D or
+/// the inner dimensions disagree.
+pub fn gemm(a: &Tensor, b: &Tensor) -> Result<Tensor, KernelError> {
+    if a.shape().rank() != 2 || b.shape().rank() != 2 {
+        return Err(KernelError::ShapeMismatch(format!(
+            "gemm operands must be 2-D, got {} and {}",
+            a.shape(),
+            b.shape()
+        )));
+    }
+    let (m, k) = (a.shape().n(), a.shape().c());
+    let (k2, n) = (b.shape().n(), b.shape().c());
+    if k != k2 {
+        return Err(KernelError::ShapeMismatch(format!(
+            "gemm inner dimension mismatch: [{m}, {k}] x [{k2}, {n}]"
+        )));
+    }
+    let mut out = Tensor::zeros(Shape::rf(m, n));
+    gemm_accumulate(a.data(), b.data(), out.data_mut(), k, n);
+    Ok(out)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ops::conv2d;
+    use crate::ops::conv2d_direct;
     use pimflow_ir::Hw;
 
     #[test]
@@ -179,7 +253,9 @@ mod tests {
 
     #[test]
     fn im2col_gemm_equals_direct_conv() {
-        // The fundamental lowering identity the PIM mapping relies on.
+        // The fundamental lowering identity the PIM mapping relies on —
+        // checked for batch 1 and for a batched input (each image lowered
+        // to its own row block).
         let attrs = Conv2dAttrs {
             out_channels: 5,
             kernel: Hw::square(3),
@@ -187,23 +263,73 @@ mod tests {
             padding: Hw::square(1),
             groups: 1,
         };
-        let x = Tensor::from_fn(Shape::nhwc(1, 9, 7, 3), |i| {
-            ((i * 31 + 7) % 17) as f32 * 0.1 - 0.8
-        });
         let k_elems = 3 * 3 * 3;
         let w: Vec<f32> = (0..k_elems * 5)
             .map(|i| ((i * 13 + 5) % 11) as f32 * 0.05 - 0.25)
             .collect();
         let bias = vec![0.0; 5];
+        for batch in [1, 3] {
+            let x = Tensor::from_fn(Shape::nhwc(batch, 9, 7, 3), |i| {
+                ((i * 31 + 7) % 17) as f32 * 0.1 - 0.8
+            });
+            let direct = conv2d_direct(&x, &w, &bias, &attrs);
+            let lowered = im2col(&x, &attrs).unwrap();
+            let w_mat = Tensor::from_vec(Shape::rf(k_elems, 5), w.clone());
+            let via_gemm = gemm(&lowered, &w_mat).unwrap();
 
-        let direct = conv2d(&x, &w, &bias, &attrs);
-        let lowered = im2col(&x, &attrs);
-        let w_mat = Tensor::from_vec(Shape::rf(k_elems, 5), w);
-        let via_gemm = gemm(&lowered, &w_mat);
+            // Reshape direct output [n,oh,ow,oc] to [rows, oc].
+            let rows = batch * direct.shape().h() * direct.shape().w();
+            assert_eq!(lowered.shape().n(), rows);
+            let direct2 = Tensor::from_vec(Shape::rf(rows, 5), direct.data().to_vec());
+            assert!(via_gemm.allclose(&direct2, 1e-4), "batch {batch}");
+        }
+    }
 
-        // Reshape direct output [1,oh,ow,oc] to [rows, oc] for comparison.
-        let rows = direct.shape().h() * direct.shape().w();
-        let direct2 = Tensor::from_vec(Shape::rf(rows, 5), direct.data().to_vec());
-        assert!(via_gemm.allclose(&direct2, 1e-4));
+    #[test]
+    fn blocked_gemm_is_bit_identical_to_naive() {
+        // k > GEMM_K_BLOCK so blocking actually splits the loop.
+        let (m, k, n) = (7, 2 * GEMM_K_BLOCK + 13, 9);
+        let a = Tensor::from_fn(Shape::rf(m, k), |i| ((i * 29 + 3) % 23) as f32 * 0.07 - 0.7);
+        let b = Tensor::from_fn(Shape::rf(k, n), |i| {
+            ((i * 17 + 11) % 19) as f32 * 0.09 - 0.8
+        });
+        let blocked = gemm(&a, &b).unwrap();
+        let (ad, bd) = (a.data(), b.data());
+        let mut naive = vec![0.0f32; m * n];
+        for i in 0..m {
+            for kk in 0..k {
+                for j in 0..n {
+                    naive[i * n + j] += ad[i * k + kk] * bd[kk * n + j];
+                }
+            }
+        }
+        assert_eq!(blocked.data(), &naive[..], "accumulation order must match");
+    }
+
+    #[test]
+    fn gemm_rejects_malformed_operands() {
+        let a = Tensor::zeros(Shape::rf(2, 3));
+        let b = Tensor::zeros(Shape::rf(4, 5));
+        assert!(matches!(gemm(&a, &b), Err(KernelError::ShapeMismatch(_))));
+        let four_d = Tensor::zeros(Shape::nhwc(1, 2, 3, 4));
+        assert!(matches!(
+            gemm(&four_d, &b),
+            Err(KernelError::ShapeMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn im2col_rejects_grouped_conv() {
+        let x = Tensor::zeros(Shape::nhwc(1, 4, 4, 8));
+        let attrs = Conv2dAttrs {
+            out_channels: 8,
+            kernel: Hw::square(3),
+            stride: Hw::square(1),
+            padding: Hw::square(1),
+            groups: 8,
+        };
+        let err = im2col(&x, &attrs).unwrap_err();
+        assert!(matches!(err, KernelError::Unsupported(_)));
+        assert!(err.to_string().contains("groups"));
     }
 }

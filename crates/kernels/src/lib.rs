@@ -32,6 +32,6 @@ pub mod params;
 pub mod tensor;
 
 pub use executor::{input_tensors, run_graph, ExecError};
-pub use im2col::{gemm, im2col, lowered_dims, LoweredConv};
+pub use im2col::{gemm, im2col, lowered_dims, KernelError, LoweredConv};
 pub use params::{param_vec, ParamRole};
 pub use tensor::Tensor;

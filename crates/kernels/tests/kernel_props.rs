@@ -4,7 +4,7 @@
 //! offline, so `proptest` is not available).
 
 use pimflow_ir::{Conv2dAttrs, Hw, PadAttrs, Shape, SliceAttrs};
-use pimflow_kernels::ops::{concat, conv2d, pad, slice};
+use pimflow_kernels::ops::{concat, conv2d, conv2d_direct, pad, slice};
 use pimflow_kernels::{gemm, im2col, Tensor};
 use pimflow_rng::Rng;
 
@@ -23,6 +23,7 @@ fn im2col_gemm_equals_direct_conv() {
     let mut rng = Rng::seed_from_u64(0x6e57_0001);
     let mut checked = 0;
     while checked < CASES {
+        let n = rng.range_usize(1, 4);
         let h = rng.range_usize(3, 10);
         let w = rng.range_usize(3, 10);
         let ic = rng.range_usize(1, 4);
@@ -34,7 +35,7 @@ fn im2col_gemm_equals_direct_conv() {
             continue;
         }
         checked += 1;
-        let x = random_tensor(&mut rng, Shape::nhwc(1, h, w, ic));
+        let x = random_tensor(&mut rng, Shape::nhwc(n, h, w, ic));
         let wts: Vec<f32> = (0..k * k * ic * oc)
             .map(|_| rng.range_f32(-1.0, 1.0))
             .collect();
@@ -46,17 +47,22 @@ fn im2col_gemm_equals_direct_conv() {
             groups: 1,
         };
         let bias = vec![0.0; oc];
-        let direct = conv2d(&x, &wts, &bias, &attrs);
-        let lowered = im2col(&x, &attrs);
-        let w_mat = Tensor::from_vec(Shape::rf(k * k * ic, oc), wts);
-        let via_gemm = gemm(&lowered, &w_mat);
-        let rows = direct.shape().h() * direct.shape().w();
+        // conv2d_direct is the oracle: conv2d itself routes through the
+        // same im2col + GEMM being checked here.
+        let direct = conv2d_direct(&x, &wts, &bias, &attrs);
+        let lowered = im2col(&x, &attrs).unwrap();
+        let w_mat = Tensor::from_vec(Shape::rf(k * k * ic, oc), wts.clone());
+        let via_gemm = gemm(&lowered, &w_mat).unwrap();
+        let rows = n * direct.shape().h() * direct.shape().w();
         let direct2 = Tensor::from_vec(Shape::rf(rows, oc), direct.data().to_vec());
         assert!(
             via_gemm.allclose(&direct2, 1e-3),
             "diff {}",
             via_gemm.max_abs_diff(&direct2)
         );
+        // And the fast path agrees with the oracle end to end.
+        let fast = conv2d(&x, &wts, &bias, &attrs);
+        assert!(fast.allclose(&direct, 0.0));
     }
 }
 

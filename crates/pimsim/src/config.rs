@@ -208,6 +208,41 @@ impl PimConfig {
         cycles as f64 / self.clock_ghz
     }
 
+    /// A 64-bit FNV-1a fingerprint over every field that affects timing —
+    /// i.e. all of them. Two configs fingerprint equal iff they price
+    /// workloads identically, so the cost-cache layer can use the
+    /// fingerprint as the config component of a workload key without
+    /// hauling the full struct around. Floats hash by bit pattern.
+    pub fn fingerprint(&self) -> u64 {
+        let t = &self.timing;
+        let words: [u64; 21] = [
+            t.t_ccd as u64,
+            t.t_rcd_rd as u64,
+            t.t_rcd_wr as u64,
+            t.t_cl as u64,
+            t.t_rtp as u64,
+            t.t_ras as u64,
+            t.t_rp as u64,
+            t.t_refi as u64,
+            t.t_rfc as u64,
+            self.banks as u64,
+            self.multipliers_per_bank as u64,
+            self.column_ios_per_row as u64,
+            self.column_io_bits as u64,
+            self.global_buffer_bytes as u64,
+            self.num_global_buffers as u64,
+            self.gwrite_latency_hiding as u64,
+            self.strided_gwrite as u64,
+            self.activation_in_pim as u64,
+            self.clock_ghz.to_bits(),
+            self.io_bytes_per_cycle as u64,
+            // Version tag: bump when the *pricing model* changes meaning
+            // without a field changing (keeps stale fingerprints apart).
+            1,
+        ];
+        fnv1a64(&words)
+    }
+
     /// Checks configuration invariants; returns a description of the first
     /// violation. All built-in presets validate.
     pub fn validate(&self) -> Result<(), String> {
@@ -238,6 +273,18 @@ impl PimConfig {
         }
         Ok(())
     }
+}
+
+/// 64-bit FNV-1a over a word sequence (each word fed little-endian).
+fn fnv1a64(words: &[u64]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for w in words {
+        for byte in w.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
 }
 
 #[cfg(test)]
@@ -315,6 +362,38 @@ mod tests {
         assert!(c.activation_in_pim);
         assert!(c.clock_ghz < PimConfig::default().clock_ghz);
         assert_eq!(c.macs_per_comp(), 256);
+    }
+
+    #[test]
+    fn fingerprint_separates_presets_and_is_stable() {
+        let presets = [
+            PimConfig::default(),
+            PimConfig::newton_plus(),
+            PimConfig::aim_like(),
+            PimConfig::hbm_pim_like(),
+        ];
+        for (i, a) in presets.iter().enumerate() {
+            // Equal configs fingerprint equal (pure function of the fields).
+            let copy = *a;
+            assert_eq!(a.fingerprint(), copy.fingerprint());
+            for b in presets.iter().skip(i + 1) {
+                assert_ne!(a.fingerprint(), b.fingerprint(), "presets must not collide");
+            }
+        }
+        // Newton++ is the default configuration.
+        assert_eq!(
+            PimConfig::newton_plus_plus().fingerprint(),
+            PimConfig::default().fingerprint()
+        );
+        // Any single field flip must change the fingerprint.
+        let mut c = PimConfig::default();
+        c.timing.t_ccd += 1;
+        assert_ne!(c.fingerprint(), PimConfig::default().fingerprint());
+        let c = PimConfig {
+            clock_ghz: 1.75 + 1e-9,
+            ..PimConfig::default()
+        };
+        assert_ne!(c.fingerprint(), PimConfig::default().fingerprint());
     }
 
     #[test]

@@ -30,9 +30,10 @@ use crate::fault::FaultScenario;
 use crate::metrics::{Counters, Histogram};
 use crate::queue::{BatchQueue, QueuedRequest};
 use pimflow::batch::with_batch;
+use pimflow::costcache::{CacheCounters, CostCache};
 use pimflow::engine::{execute, ChannelMask, EngineConfig, ExecutionReport};
 use pimflow::policy::Policy;
-use pimflow::search::{apply_plan, search, ExecutionPlan, SearchOptions};
+use pimflow::search::{apply_plan, ExecutionPlan, Search, SearchOptions};
 use pimflow_ir::models;
 use pimflow_json::json_struct;
 use pimflow_pool::WorkerPool;
@@ -209,13 +210,18 @@ fn compile_err(e: impl fmt::Display) -> ServeError {
 
 /// Compiles one batch size under `engine_cfg` (whose channel mask is
 /// honored by the search): batch the model, search an execution plan (when
-/// the policy has one), and price the batch on the execution engine. Pure
-/// in its inputs, so distinct batch sizes compile in parallel.
+/// the policy has one), and price the batch on the execution engine. The
+/// search reads and feeds `cost_cache`, so PIM timings profiled for one
+/// batch size are reused by every other size that folds to the same
+/// [`pimflow::costcache::WorkloadKey`]. Pure in its inputs (the cache only
+/// memoizes pure cost-model queries), so distinct batch sizes compile in
+/// parallel — even against one shared live cache.
 fn compile_batch(
     base: &pimflow_ir::Graph,
     size: usize,
     engine_cfg: &EngineConfig,
     search_opts: &Option<SearchOptions>,
+    cost_cache: &CostCache,
 ) -> Result<BatchProfile, ServeError> {
     let batched = with_batch(base, size).map_err(|e| ServeError::Batch(e.to_string()))?;
     match search_opts {
@@ -224,7 +230,11 @@ fn compile_batch(
             Ok(BatchProfile::from_report(report, None))
         }
         Some(opts) => {
-            let plan = search(&batched, engine_cfg, opts).map_err(compile_err)?;
+            let plan = Search::new(&batched, engine_cfg)
+                .options(*opts)
+                .cache(cost_cache)
+                .run()
+                .map_err(compile_err)?;
             let transformed = apply_plan(&batched, &plan).map_err(compile_err)?;
             let report = execute(&transformed, engine_cfg).map_err(compile_err)?;
             Ok(BatchProfile::from_report(report, Some(plan)))
@@ -242,6 +252,7 @@ fn repair_batch(
     source: &BatchProfile,
     old_mask: ChannelMask,
     new_mask: ChannelMask,
+    cost_cache: &CostCache,
 ) -> Result<BatchProfile, ServeError> {
     let batched = with_batch(base, size).map_err(|e| ServeError::Batch(e.to_string()))?;
     let masked_cfg = engine_cfg.with_mask(new_mask);
@@ -253,7 +264,7 @@ fn repair_batch(
         Some(plan) => {
             let source_cfg = engine_cfg.with_mask(old_mask);
             let repaired = plan
-                .repair(&batched, &source_cfg, new_mask)
+                .repair_with_cache(&batched, &source_cfg, new_mask, Some(cost_cache))
                 .map_err(compile_err)?;
             let transformed = apply_plan(&batched, &repaired).map_err(compile_err)?;
             let report = execute(&transformed, &masked_cfg).map_err(compile_err)?;
@@ -315,6 +326,11 @@ pub struct ServeReport {
     /// [`ServeConfig::measure_replan`]; 0 means repair matched the full
     /// search.
     pub repair_quality_delta: f64,
+    /// Hit/miss/entry counters of the run-wide cost cache every search in
+    /// this run (precompile, lazy compiles, retries, repairs, replan
+    /// measurements) shared. Hits are PIM workload timings reused instead
+    /// of re-simulated. Deterministic at any worker-pool width.
+    pub cost_cache: CacheCounters,
 }
 
 json_struct!(ServeReport {
@@ -340,6 +356,7 @@ json_struct!(ServeReport {
     p99_after_us,
     gpu_fallback_fraction,
     repair_quality_delta,
+    cost_cache,
 });
 
 /// A finished serving run: the metrics summary plus the JSONL event trace.
@@ -359,6 +376,7 @@ struct RepairCtx<'a> {
     policy: &'a str,
     engine_cfg: &'a EngineConfig,
     search_opts: &'a Option<SearchOptions>,
+    cost_cache: &'a CostCache,
     measure_replan: bool,
     compiled_sizes: BTreeSet<usize>,
     repair_delta_sum: f64,
@@ -401,13 +419,17 @@ impl RepairCtx<'_> {
                 &source,
                 old_mask,
                 new_mask,
+                self.cost_cache,
             )?;
             counters.repairs += 1;
             if self.measure_replan {
                 if let (Some(opts), Some(repaired_plan)) = (self.search_opts, &repaired.plan) {
                     let batched = with_batch(self.base, size)
                         .map_err(|e| ServeError::Batch(e.to_string()))?;
-                    let replanned = search(&batched, &self.engine_cfg.with_mask(new_mask), opts)
+                    let replanned = Search::new(&batched, &self.engine_cfg.with_mask(new_mask))
+                        .options(*opts)
+                        .cache(self.cost_cache)
+                        .run()
                         .map_err(compile_err)?;
                     counters.search_invocations += 1;
                     let denom = replanned.predicted_us.max(1e-12);
@@ -459,6 +481,9 @@ pub fn run(cfg: &ServeConfig) -> Result<ServeRun, ServeError> {
     let mut pim_busy_us = vec![0.0f64; engine_cfg.pim_channels];
     let mut energy_uj = 0.0f64;
     let mut completed_gpu_only = 0u64;
+    // One cost cache for the whole run: precompile, lazy compiles, retry
+    // compiles, repairs, and replan measurements all share PIM timings.
+    let cost_cache = CostCache::new();
 
     let mut repair = RepairCtx {
         base: &base,
@@ -466,6 +491,7 @@ pub fn run(cfg: &ServeConfig) -> Result<ServeRun, ServeError> {
         policy: &policy_name,
         engine_cfg: &engine_cfg,
         search_opts: &search_opts,
+        cost_cache: &cost_cache,
         measure_replan: cfg.measure_replan,
         compiled_sizes: BTreeSet::new(),
         repair_delta_sum: 0.0,
@@ -483,7 +509,7 @@ pub fn run(cfg: &ServeConfig) -> Result<ServeRun, ServeError> {
         let sizes: Vec<usize> = (1..=cfg.max_batch.max(1)).collect();
         let pool = WorkerPool::from_env();
         let compiled = pool.map(&sizes, |_, &size| {
-            compile_batch(&base, size, &engine_cfg, &search_opts)
+            compile_batch(&base, size, &engine_cfg, &search_opts, &cost_cache)
         });
         for (&size, result) in sizes.iter().zip(compiled) {
             let profile = result?;
@@ -567,6 +593,7 @@ pub fn run(cfg: &ServeConfig) -> Result<ServeRun, ServeError> {
                 size,
                 &engine_cfg.with_mask(current_mask),
                 &search_opts,
+                &cost_cache,
             ) {
                 Ok(profile) => profile,
                 Err(e) => {
@@ -634,6 +661,7 @@ pub fn run(cfg: &ServeConfig) -> Result<ServeRun, ServeError> {
                     size,
                     &engine_cfg.with_mask(current_mask),
                     &search_opts,
+                    &cost_cache,
                 ) {
                     Ok(profile) => profile,
                     Err(e) => {
@@ -724,6 +752,7 @@ pub fn run(cfg: &ServeConfig) -> Result<ServeRun, ServeError> {
             0.0
         },
         repair_quality_delta,
+        cost_cache: cost_cache.counters(),
     };
     Ok(ServeRun { report, events })
 }
@@ -869,6 +898,51 @@ mod tests {
         assert_eq!(
             warm.report.counters.search_invocations, cfg.max_batch as u64,
             "one search per precompiled batch size"
+        );
+        // The run-wide cost cache was exercised and its counters are
+        // deterministic even though precompilation shares one live cache
+        // across parallel workers.
+        assert!(warm.report.cost_cache.entries > 0);
+        assert!(warm.report.cost_cache.hits > 0);
+        assert_eq!(warm.report.cost_cache, warm2.report.cost_cache);
+    }
+
+    #[test]
+    fn precompile_shares_cost_entries_across_batch_sizes() {
+        // Batching scales PIM workload rows linearly and the MD-DP ratio
+        // grid scales them fractionally, so batch 2 at ratio r/2 folds to
+        // the same WorkloadKey as batch 1 at ratio r: one shared cache must
+        // end up strictly smaller than two independent ones.
+        let base = models::by_name("toy").unwrap();
+        let engine_cfg: EngineConfig = Policy::Pimflow.engine_config();
+        let opts = Policy::Pimflow.search_options();
+
+        let solo1 = CostCache::new();
+        compile_batch(&base, 1, &engine_cfg, &opts, &solo1).unwrap();
+        let solo2 = CostCache::new();
+        compile_batch(&base, 2, &engine_cfg, &opts, &solo2).unwrap();
+        let independent = solo1.counters().entries + solo2.counters().entries;
+
+        let shared = CostCache::new();
+        compile_batch(&base, 1, &engine_cfg, &opts, &shared).unwrap();
+        let after_first = shared.counters();
+        compile_batch(&base, 2, &engine_cfg, &opts, &shared).unwrap();
+        let after_both = shared.counters();
+
+        assert_eq!(
+            after_first,
+            solo1.counters(),
+            "first compile sees a cold cache"
+        );
+        assert!(
+            after_both.entries < independent,
+            "batch sizes must share cost entries: shared {} vs independent {}",
+            after_both.entries,
+            independent
+        );
+        assert!(
+            after_both.hits > after_first.hits,
+            "the second batch size must hit entries profiled by the first"
         );
     }
 
