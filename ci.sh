@@ -27,6 +27,15 @@ PIMFLOW_JOBS=4 cargo test -q --workspace --offline
 echo "==> cargo test --test resilience (PIMFLOW_FAULTS=20260806)"
 PIMFLOW_FAULTS=20260806 PIMFLOW_JOBS=4 cargo test -q --offline --test resilience
 
+# The executor smoke sweep must show parallel execution byte-identical to
+# sequential and no slower than it (floor waived on single-thread hosts,
+# recorded via host_threads in the artifact).
+echo "==> figures exec --smoke"
+tmpdir="$(mktemp -d)"
+PIMFLOW_JOBS=4 cargo run -q --offline -p pimflow-bench --bin figures -- exec "$tmpdir" --smoke
+grep -q '"meets_speedup_floor": true' "$tmpdir/BENCH_exec.json"
+rm -rf "$tmpdir"
+
 # The cost-cache smoke sweep must show warm searches no slower than cold
 # (meets_speedup_floor) and byte-identical warm plans; it exercises the
 # figures binary end to end on CI-sized models.

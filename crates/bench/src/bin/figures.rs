@@ -12,6 +12,8 @@
 //!                          #   -> <dir>/BENCH_resilience.json
 //! figures costcache [dir]  # cold-vs-warm cost-cache search timing
 //!                          #   -> <dir>/BENCH_costcache.json
+//! figures exec [dir]       # sequential-vs-parallel graph execution
+//!                          #   -> <dir>/BENCH_exec.json
 //! ```
 //!
 //! `--jobs=<n>` (any position) sets the worker-pool width for the sweeps,
@@ -449,6 +451,39 @@ fn cost_cache_sweep(dir: &str, smoke: bool) {
     println!("wrote {}", path.display());
 }
 
+/// Runs the executor timing sweep and writes `BENCH_exec.json` under
+/// `dir`.
+fn exec_sweep(dir: &str, smoke: bool) {
+    use pimflow_bench::exec_sweep::write_bench_artifact;
+    println!("== Graph execution: sequential vs wave-scheduled worker pool ==");
+    let (report, path) =
+        write_bench_artifact(std::path::Path::new(dir), smoke).expect("exec sweep");
+    println!(
+        "  jobs {} (host threads {})",
+        report.jobs, report.host_threads
+    );
+    for m in &report.models {
+        println!(
+            "  {:<22} {:>4} nodes/{:>3} waves  1 worker {:>8.1}ms  {} workers {:>8.1}ms  {:4.2}x  \
+             peak {:>6.1} MiB vs retained {:>6.1} MiB ({:4.2}x)  identical {}",
+            m.model,
+            m.nodes,
+            m.waves,
+            m.sequential_ms,
+            report.jobs,
+            m.parallel_ms,
+            m.speedup,
+            m.peak_live_bytes as f64 / (1 << 20) as f64,
+            m.retained_bytes as f64 / (1 << 20) as f64,
+            m.peak_reduction,
+            m.outputs_identical
+        );
+    }
+    println!("  meets_speedup_floor: {}", report.meets_speedup_floor);
+    println!("  meets_memory_floor: {}", report.meets_memory_floor);
+    println!("wrote {}", path.display());
+}
+
 fn main() {
     // Split `--jobs=<n>` (worker-pool width, any position) and `--smoke`
     // from the positional arguments.
@@ -494,6 +529,11 @@ fn main() {
     if which == "costcache" {
         let dir = positional.get(1).cloned().unwrap_or_else(|| ".".into());
         cost_cache_sweep(&dir, smoke);
+        return;
+    }
+    if which == "exec" {
+        let dir = positional.get(1).cloned().unwrap_or_else(|| ".".into());
+        exec_sweep(&dir, smoke);
         return;
     }
     let needs_fig9 = matches!(which.as_str(), "all" | "fig9" | "fig12");

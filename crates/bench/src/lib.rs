@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 
 pub mod cost_cache_sweep;
+pub mod exec_sweep;
 pub mod experiments;
 pub mod harness;
 pub mod parallel_sweep;

@@ -21,6 +21,9 @@ pub enum Error {
     Graph(GraphError),
     /// A split ratio outside the valid `0..=100` GPU-percent range.
     BadRatio(u32),
+    /// The reference executor failed while running a graph (malformed
+    /// inputs, kernel operand mismatch).
+    Execution(String),
 }
 
 impl fmt::Display for Error {
@@ -31,6 +34,7 @@ impl fmt::Display for Error {
             Error::BadRatio(p) => {
                 write!(f, "gpu percent {p} is outside the valid range 0..=100")
             }
+            Error::Execution(m) => write!(f, "execution error: {m}"),
         }
     }
 }

@@ -6,7 +6,7 @@
 //!   used for the runtime breakdown (Fig. 1 left);
 //! * inter-node parallelism statistics (observation 1 of §3).
 
-use crate::graph::{Graph, NodeId};
+use crate::graph::{Graph, GraphError, NodeId, ValueId};
 use crate::ops::{Op, PoolKind};
 use std::collections::HashSet;
 
@@ -234,48 +234,84 @@ pub fn profile_model(graph: &Graph) -> ModelProfile {
     ModelProfile { rows }
 }
 
+/// Value liveness over a topological execution order.
+///
+/// This is the planning half of the executor's tensor arena: from it the
+/// executor knows, for every value, how many input slots still read it
+/// (`use_counts`), whether it must survive to the end of the run
+/// (`sticky` — graph outputs), and the step after which its buffer can be
+/// recycled (`last_use`). All vectors are indexed by
+/// [`ValueId::index`](crate::graph::ValueId::index).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Liveness {
+    /// The topological node order the analysis is computed over.
+    pub order: Vec<NodeId>,
+    /// How many node-input slots read each value. A node consuming the
+    /// same value twice contributes two uses, so an executor decrementing
+    /// once per input slot reaches zero exactly at the value's death.
+    pub use_counts: Vec<usize>,
+    /// True for values that must outlive the whole run (graph outputs).
+    pub sticky: Vec<bool>,
+    /// Position in `order` of the last node reading each value, or `None`
+    /// if no live node reads it.
+    pub last_use: Vec<Option<usize>>,
+}
+
+impl Liveness {
+    /// Step at which a value's buffer dies: its last use, or `birth` when
+    /// nothing reads it (a dead-on-arrival intermediate). Sticky values
+    /// never die; callers must check [`Liveness::sticky`] first.
+    pub fn death_step(&self, v: ValueId, birth: usize) -> usize {
+        self.last_use[v.index()].unwrap_or(birth)
+    }
+}
+
+/// Computes [`Liveness`] for `graph` over its deterministic topological
+/// order.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Cycle`] if the graph is cyclic.
+pub fn liveness(graph: &Graph) -> Result<Liveness, GraphError> {
+    let order = graph.topo_order()?;
+    let n_values = graph.value_count();
+    let mut use_counts = vec![0usize; n_values];
+    let mut last_use = vec![None; n_values];
+    for (step, &id) in order.iter().enumerate() {
+        for &input in &graph.node(id).inputs {
+            use_counts[input.index()] += 1;
+            last_use[input.index()] = Some(step);
+        }
+    }
+    let mut sticky = vec![false; n_values];
+    for &out in graph.outputs() {
+        sticky[out.index()] = true;
+    }
+    Ok(Liveness {
+        order,
+        use_counts,
+        sticky,
+        last_use,
+    })
+}
+
 /// Peak activation memory of a single inference, in bytes.
 ///
-/// Computes liveness over the topological order: a value is live from its
-/// producer until its last consumer. This is the number the GPU-PIM dual
-/// configuration must respect — §3 argues the split-channel design achieves
-/// PIM acceleration "without sacrificing GPU performance and increasing
-/// DRAM size", i.e. the same activation footprint.
+/// Computes [`liveness`] over the topological order: a value is live from
+/// its producer until its last consumer (graph outputs stay live to the
+/// end). This is the number the GPU-PIM dual configuration must respect —
+/// §3 argues the split-channel design achieves PIM acceleration "without
+/// sacrificing GPU performance and increasing DRAM size", i.e. the same
+/// activation footprint. It is also the floor the executor's tensor arena
+/// is tested against.
 ///
 /// # Panics
 ///
-/// Panics if shapes have not been inferred or the graph is cyclic.
+/// Panics if the graph is cyclic. Values without inferred shapes count as
+/// zero bytes.
 pub fn peak_activation_bytes(graph: &Graph) -> u64 {
-    let order = graph.topo_order().expect("graph must be acyclic");
-    let pos: std::collections::HashMap<NodeId, usize> =
-        order.iter().enumerate().map(|(i, &id)| (id, i)).collect();
-
-    // Death position of each value: after its last consumer runs.
-    let mut deaths: std::collections::HashMap<crate::graph::ValueId, usize> =
-        std::collections::HashMap::new();
-    let mut births: std::collections::HashMap<crate::graph::ValueId, usize> =
-        std::collections::HashMap::new();
-    for &input in graph.inputs() {
-        births.insert(input, 0);
-    }
-    for (&v, _) in births.clone().iter() {
-        deaths.insert(v, 0);
-    }
-    for &id in &order {
-        let node = graph.node(id);
-        births.insert(node.output, pos[&id]);
-        deaths.insert(node.output, pos[&id]);
-        for &input in &node.inputs {
-            let d = deaths.entry(input).or_insert(0);
-            *d = (*d).max(pos[&id]);
-        }
-    }
-    // Graph outputs stay live to the end.
-    for &out in graph.outputs() {
-        deaths.insert(out, order.len());
-    }
-
-    let bytes_of = |v: crate::graph::ValueId| -> u64 {
+    let lv = liveness(graph).expect("graph must be acyclic");
+    let bytes_of = |v: ValueId| -> u64 {
         graph
             .value(v)
             .desc
@@ -283,15 +319,29 @@ pub fn peak_activation_bytes(graph: &Graph) -> u64 {
             .map(|d| d.size_bytes() as u64)
             .unwrap_or(0)
     };
-    let mut peak = 0u64;
-    for step in 0..order.len() {
-        let mut live = 0u64;
-        for (&v, &b) in &births {
-            if b <= step && deaths.get(&v).copied().unwrap_or(0) >= step {
-                live += bytes_of(v);
-            }
+
+    // Values released after each step (sticky values never release).
+    let mut deaths_at: Vec<Vec<ValueId>> = vec![Vec::new(); lv.order.len()];
+    let mut release = |v: ValueId, birth: usize| {
+        if !lv.sticky[v.index()] && !deaths_at.is_empty() {
+            deaths_at[lv.death_step(v, birth)].push(v);
         }
+    };
+    for &input in graph.inputs() {
+        release(input, 0);
+    }
+    for (step, &id) in lv.order.iter().enumerate() {
+        release(graph.node(id).output, step);
+    }
+
+    let mut live: u64 = graph.inputs().iter().map(|&v| bytes_of(v)).sum();
+    let mut peak = 0u64;
+    for (step, &id) in lv.order.iter().enumerate() {
+        live += bytes_of(graph.node(id).output);
         peak = peak.max(live);
+        for &dead in &deaths_at[step] {
+            live -= bytes_of(dead);
+        }
     }
     peak
 }
@@ -468,6 +518,40 @@ mod tests {
         crate::shape_infer::infer_shapes(&mut g).unwrap();
         let tensor = 8 * 8 * 4 * 2u64;
         assert_eq!(peak_activation_bytes(&g), 3 * tensor);
+    }
+
+    #[test]
+    fn liveness_counts_uses_and_marks_outputs_sticky() {
+        let mut g = Graph::new("res");
+        let x = g.add_input("x", Shape::nhwc(1, 8, 8, 4), crate::tensor::DataType::F16);
+        let a = g.add_node("a", Op::Activation(ActivationKind::Relu), vec![x]);
+        let b = g.add_node("b", Op::Activation(ActivationKind::Relu), vec![a]);
+        let c = g.add_node("c", Op::Add, vec![b, x]);
+        g.mark_output(c);
+        let lv = liveness(&g).unwrap();
+        assert_eq!(lv.order.len(), 3);
+        // x feeds `a` and `c`; a.out feeds `b`; c.out feeds nothing.
+        assert_eq!(lv.use_counts[x.index()], 2);
+        assert_eq!(lv.use_counts[a.index()], 1);
+        assert_eq!(lv.use_counts[c.index()], 0);
+        // x's last reader is `c` at step 2; a.out dies at step 1.
+        assert_eq!(lv.last_use[x.index()], Some(2));
+        assert_eq!(lv.last_use[a.index()], Some(1));
+        assert_eq!(lv.last_use[c.index()], None);
+        assert_eq!(lv.death_step(c, 2), 2);
+        assert!(lv.sticky[c.index()]);
+        assert!(!lv.sticky[x.index()]);
+        assert!(!lv.sticky[b.index()]);
+    }
+
+    #[test]
+    fn same_value_consumed_twice_counts_two_uses() {
+        let mut g = Graph::new("dup");
+        let x = g.add_input("x", Shape::nhwc(1, 4, 4, 2), crate::tensor::DataType::F16);
+        let y = g.add_node("double", Op::Add, vec![x, x]);
+        g.mark_output(y);
+        let lv = liveness(&g).unwrap();
+        assert_eq!(lv.use_counts[x.index()], 2);
     }
 
     #[test]

@@ -106,6 +106,34 @@ pub fn lowered_dims(input_shape: &Shape, attrs: &Conv2dAttrs) -> LoweredConv {
 /// lowering interleaves all input channels into one row, which only makes
 /// sense when every filter sees every channel.
 pub fn im2col(x: &Tensor, attrs: &Conv2dAttrs) -> Result<Tensor, KernelError> {
+    let dims = lowered_dims(x.shape(), attrs);
+    let mut buf = Vec::new();
+    im2col_rows(x, attrs, 0, dims.rows, &mut buf)?;
+    Ok(Tensor::from_vec(Shape::rf(dims.rows, dims.k_elems), buf))
+}
+
+/// Materializes only rows `row_begin..row_end` of the lowered input matrix
+/// into `out` (cleared and refilled; a reusable scratch buffer). Row `r` of
+/// the full matrix corresponds to output position `(b, oy, ox)` with
+/// `r = (b * OH + oy) * OW + ox` — exactly the rows the executor streams
+/// block by block through the GEMM instead of materializing the whole
+/// `[rows, k_elems]` matrix, and the unit the intra-op row sharding hands
+/// to each worker.
+///
+/// # Errors
+///
+/// Returns [`KernelError::Unsupported`] for grouped (depthwise) attrs.
+///
+/// # Panics
+///
+/// Panics if the row range is out of bounds for the lowered matrix.
+pub fn im2col_rows(
+    x: &Tensor,
+    attrs: &Conv2dAttrs,
+    row_begin: usize,
+    row_end: usize,
+    out: &mut Vec<f32>,
+) -> Result<(), KernelError> {
     if attrs.groups != 1 {
         return Err(KernelError::Unsupported(format!(
             "im2col supports regular conv only (groups = {})",
@@ -113,7 +141,12 @@ pub fn im2col(x: &Tensor, attrs: &Conv2dAttrs) -> Result<Tensor, KernelError> {
         )));
     }
     let dims = lowered_dims(x.shape(), attrs);
-    let (n, ih, iw, ic) = (x.shape().n(), x.shape().h(), x.shape().w(), x.shape().c());
+    assert!(
+        row_begin <= row_end && row_end <= dims.rows,
+        "invalid lowered row range {row_begin}..{row_end} of {}",
+        dims.rows
+    );
+    let (ih, iw, ic) = (x.shape().h(), x.shape().w(), x.shape().c());
     let oh = pimflow_ir::shape_infer::conv_out_extent(
         ih,
         attrs.kernel.h,
@@ -128,33 +161,31 @@ pub fn im2col(x: &Tensor, attrs: &Conv2dAttrs) -> Result<Tensor, KernelError> {
         attrs.padding.w,
     )
     .unwrap();
-    let mut m = Tensor::zeros(Shape::rf(dims.rows, dims.k_elems));
+    out.clear();
+    out.resize((row_end - row_begin) * dims.k_elems, 0.0);
     let xd = x.data();
-    let md = m.data_mut();
-    for b in 0..n {
-        for oy in 0..oh {
-            for ox in 0..ow {
-                let row = (b * oh + oy) * ow + ox;
-                for ky in 0..attrs.kernel.h {
-                    let iy = (oy * attrs.stride.h + ky) as isize - attrs.padding.h as isize;
-                    for kx in 0..attrs.kernel.w {
-                        let ix = (ox * attrs.stride.w + kx) as isize - attrs.padding.w as isize;
-                        for ci in 0..ic {
-                            let col = (ky * attrs.kernel.w + kx) * ic + ci;
-                            let v =
-                                if iy >= 0 && (iy as usize) < ih && ix >= 0 && (ix as usize) < iw {
-                                    xd[(((b * ih) + iy as usize) * iw + ix as usize) * ic + ci]
-                                } else {
-                                    0.0
-                                };
-                            md[row * dims.k_elems + col] = v;
-                        }
-                    }
+    for row in row_begin..row_end {
+        let ox = row % ow;
+        let oy = (row / ow) % oh;
+        let b = row / (ow * oh);
+        let base = (row - row_begin) * dims.k_elems;
+        for ky in 0..attrs.kernel.h {
+            let iy = (oy * attrs.stride.h + ky) as isize - attrs.padding.h as isize;
+            if iy < 0 || iy as usize >= ih {
+                continue;
+            }
+            for kx in 0..attrs.kernel.w {
+                let ix = (ox * attrs.stride.w + kx) as isize - attrs.padding.w as isize;
+                if ix < 0 || ix as usize >= iw {
+                    continue;
                 }
+                let src = (((b * ih) + iy as usize) * iw + ix as usize) * ic;
+                let dst = base + (ky * attrs.kernel.w + kx) * ic;
+                out[dst..dst + ic].copy_from_slice(&xd[src..src + ic]);
             }
         }
     }
-    Ok(m)
+    Ok(())
 }
 
 /// Columns of `b` touched per k-block before moving down the k dimension.
@@ -272,7 +303,7 @@ mod tests {
             let x = Tensor::from_fn(Shape::nhwc(batch, 9, 7, 3), |i| {
                 ((i * 31 + 7) % 17) as f32 * 0.1 - 0.8
             });
-            let direct = conv2d_direct(&x, &w, &bias, &attrs);
+            let direct = conv2d_direct(&x, &w, &bias, &attrs).unwrap();
             let lowered = im2col(&x, &attrs).unwrap();
             let w_mat = Tensor::from_vec(Shape::rf(k_elems, 5), w.clone());
             let via_gemm = gemm(&lowered, &w_mat).unwrap();
@@ -304,6 +335,35 @@ mod tests {
             }
         }
         assert_eq!(blocked.data(), &naive[..], "accumulation order must match");
+    }
+
+    #[test]
+    fn im2col_rows_matches_full_lowering() {
+        let attrs = Conv2dAttrs {
+            out_channels: 4,
+            kernel: Hw::square(3),
+            stride: Hw::square(2),
+            padding: Hw::square(1),
+            groups: 1,
+        };
+        let x = Tensor::from_fn(Shape::nhwc(2, 7, 6, 3), |i| {
+            ((i * 19 + 5) % 11) as f32 - 4.0
+        });
+        let full = im2col(&x, &attrs).unwrap();
+        let k = full.shape().c();
+        let rows = full.shape().n();
+        let mut scratch = Vec::new();
+        for (begin, end) in [(0, rows), (0, 1), (rows - 1, rows), (3, 11), (5, 5)] {
+            im2col_rows(&x, &attrs, begin, end, &mut scratch).unwrap();
+            assert_eq!(
+                &scratch[..],
+                &full.data()[begin * k..end * k],
+                "rows {begin}..{end}"
+            );
+        }
+        // The scratch buffer is cleared between calls, not appended to.
+        im2col_rows(&x, &attrs, 0, 2, &mut scratch).unwrap();
+        assert_eq!(scratch.len(), 2 * k);
     }
 
     #[test]

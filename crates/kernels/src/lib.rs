@@ -29,9 +29,14 @@ pub mod executor;
 pub mod im2col;
 pub mod ops;
 pub mod params;
+pub mod schedule;
 pub mod tensor;
 
-pub use executor::{input_tensors, run_graph, ExecError};
-pub use im2col::{gemm, im2col, lowered_dims, KernelError, LoweredConv};
-pub use params::{param_vec, ParamRole};
+pub use executor::{
+    input_tensors, run_graph, run_graph_with, ExecError, ExecOptions, ExecOutput, ExecStats,
+    MemoryMode,
+};
+pub use im2col::{gemm, im2col, im2col_rows, lowered_dims, KernelError, LoweredConv};
+pub use params::{param_cols, param_vec, ParamRole};
+pub use schedule::{Arena, ExecPlan};
 pub use tensor::Tensor;

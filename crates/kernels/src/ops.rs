@@ -2,77 +2,341 @@
 //!
 //! These are deliberately straightforward loop nests: they are the
 //! correctness oracle for the transformation passes, not a fast runtime.
+//!
+//! Each operator comes in up to three flavours:
+//!
+//! * the plain allocating form (`conv2d`, `pool`, ...) — validates its
+//!   operands and returns `Result`, the public oracle API;
+//! * an `_into` form writing into a caller-provided (zero-filled) output —
+//!   what the executor's tensor arena calls so freed buffers get recycled
+//!   instead of reallocated;
+//! * for the heavy kernels, a *sharded* form over a row or channel range
+//!   ([`conv2d_rows_into`], [`conv2d_direct_channels_into`],
+//!   [`dense_rows_into`]) — the unit of intra-op parallelism. Each output
+//!   element's floating-point accumulation order is independent of the
+//!   sharding, so any split produces bit-identical results.
 
-use crate::im2col::{gemm_accumulate, im2col, lowered_dims};
+use crate::im2col::{gemm_accumulate, im2col_rows, lowered_dims, KernelError};
 use crate::tensor::Tensor;
+use pimflow_ir::shape_infer::conv_out_extent;
 use pimflow_ir::{ActivationKind, Conv2dAttrs, PadAttrs, PoolAttrs, PoolKind, Shape, SliceAttrs};
+use std::ops::Range;
+
+/// Lowered rows streamed through the GEMM per block: bounds the im2col
+/// scratch to `CONV_ROW_BLOCK * k_elems` floats instead of the whole
+/// lowered matrix, while keeping each GEMM call large enough to amortize
+/// its k-blocking.
+pub const CONV_ROW_BLOCK: usize = 128;
+
+fn shape_err(msg: impl Into<String>) -> KernelError {
+    KernelError::ShapeMismatch(msg.into())
+}
+
+/// Output shape of a convolution over `in_shape`, with the operand
+/// validation that used to live in asserts.
+///
+/// # Errors
+///
+/// Returns [`KernelError::ShapeMismatch`] if the input is not 4-D or the
+/// kernel does not fit, and [`KernelError::Unsupported`] for grouped
+/// convolutions that are not depthwise.
+pub fn conv2d_out_shape(in_shape: &Shape, attrs: &Conv2dAttrs) -> Result<Shape, KernelError> {
+    if in_shape.rank() != 4 {
+        return Err(shape_err(format!(
+            "conv input must be NHWC, got {in_shape}"
+        )));
+    }
+    let ic = in_shape.c();
+    if attrs.groups > 1 && !attrs.is_depthwise_for(ic) {
+        return Err(KernelError::Unsupported(format!(
+            "grouped conv (groups = {}, ic = {ic}, oc = {}) is not depthwise",
+            attrs.groups, attrs.out_channels
+        )));
+    }
+    let oh = conv_out_extent(
+        in_shape.h(),
+        attrs.kernel.h,
+        attrs.stride.h,
+        attrs.padding.h,
+    )
+    .ok_or_else(|| {
+        shape_err(format!(
+            "kernel {} does not fit input {in_shape}",
+            attrs.kernel
+        ))
+    })?;
+    let ow = conv_out_extent(
+        in_shape.w(),
+        attrs.kernel.w,
+        attrs.stride.w,
+        attrs.padding.w,
+    )
+    .ok_or_else(|| {
+        shape_err(format!(
+            "kernel {} does not fit input {in_shape}",
+            attrs.kernel
+        ))
+    })?;
+    Ok(Shape::nhwc(in_shape.n(), oh, ow, attrs.out_channels))
+}
+
+/// Output shape of a spatial pooling over `in_shape`.
+///
+/// # Errors
+///
+/// Returns [`KernelError::ShapeMismatch`] if the input is not 4-D or the
+/// window does not fit.
+pub fn pool_out_shape(in_shape: &Shape, attrs: &PoolAttrs) -> Result<Shape, KernelError> {
+    if in_shape.rank() != 4 {
+        return Err(shape_err(format!(
+            "pool input must be NHWC, got {in_shape}"
+        )));
+    }
+    let oh = conv_out_extent(
+        in_shape.h(),
+        attrs.kernel.h,
+        attrs.stride.h,
+        attrs.padding.h,
+    )
+    .ok_or_else(|| {
+        shape_err(format!(
+            "window {} does not fit input {in_shape}",
+            attrs.kernel
+        ))
+    })?;
+    let ow = conv_out_extent(
+        in_shape.w(),
+        attrs.kernel.w,
+        attrs.stride.w,
+        attrs.padding.w,
+    )
+    .ok_or_else(|| {
+        shape_err(format!(
+            "window {} does not fit input {in_shape}",
+            attrs.kernel
+        ))
+    })?;
+    Ok(Shape::nhwc(in_shape.n(), oh, ow, in_shape.c()))
+}
+
+fn check_conv_params(
+    x: &Tensor,
+    weights: &[f32],
+    bias: &[f32],
+    attrs: &Conv2dAttrs,
+) -> Result<Shape, KernelError> {
+    let out_shape = conv2d_out_shape(x.shape(), attrs)?;
+    let ic = x.shape().c();
+    let expect_w = if attrs.groups > 1 {
+        attrs.kernel.h * attrs.kernel.w * ic
+    } else {
+        attrs.kernel.h * attrs.kernel.w * ic * attrs.out_channels
+    };
+    if weights.len() != expect_w {
+        return Err(shape_err(format!(
+            "conv weight length {} (expected {expect_w})",
+            weights.len()
+        )));
+    }
+    if bias.len() != attrs.out_channels {
+        return Err(shape_err(format!(
+            "conv bias length {} (expected {})",
+            bias.len(),
+            attrs.out_channels
+        )));
+    }
+    Ok(out_shape)
+}
 
 /// 2-D convolution over an NHWC input.
 ///
 /// Weight layout: `[kh][kw][ic_per_group][oc]` flattened row-major for
 /// regular convolution and `[kh][kw][c]` for depthwise.
 ///
-/// Regular (groups = 1) convolutions take the im2col + blocked-GEMM fast
-/// path: the lowered row layout `(ky, kx, ci)` matches the weight layout,
-/// and the GEMM accumulates `k` in ascending order, so the accumulation
-/// sequence per output element is exactly the direct loop nest's
+/// Regular (groups = 1) convolutions stream [`CONV_ROW_BLOCK`]-row blocks
+/// of the lowered input through the blocked GEMM ([`conv2d_rows_into`]):
+/// the lowered row layout `(ky, kx, ci)` matches the weight layout and the
+/// GEMM accumulates `k` in ascending order, so the accumulation sequence
+/// per output element is exactly the direct loop nest's
 /// ([`conv2d_direct`] stays available as the oracle). Depthwise
-/// convolutions fall through to the direct nest.
+/// convolutions take the per-channel direct nest
+/// ([`conv2d_direct_channels_into`]).
+///
+/// # Errors
+///
+/// Returns [`KernelError`] if shapes/lengths are inconsistent with `attrs`.
+pub fn conv2d(
+    x: &Tensor,
+    weights: &[f32],
+    bias: &[f32],
+    attrs: &Conv2dAttrs,
+) -> Result<Tensor, KernelError> {
+    let out_shape = check_conv_params(x, weights, bias, attrs)?;
+    let mut out = Tensor::zeros(out_shape);
+    conv2d_into(x, weights, bias, attrs, &mut out)?;
+    Ok(out)
+}
+
+/// Fills a pre-allocated, correctly-shaped output (validation already done
+/// by [`check_conv_params`] / the executor's shape pass).
+pub(crate) fn conv2d_into(
+    x: &Tensor,
+    weights: &[f32],
+    bias: &[f32],
+    attrs: &Conv2dAttrs,
+    out: &mut Tensor,
+) -> Result<(), KernelError> {
+    if attrs.groups > 1 {
+        // The full channel range writes the output layout directly.
+        let c = x.shape().c();
+        conv2d_direct_channels_into(x, weights, bias, attrs, 0..c, out.data_mut());
+        Ok(())
+    } else {
+        let rows = out.shape().n() * out.shape().h() * out.shape().w();
+        let mut scratch = Vec::new();
+        conv2d_rows_into(
+            x,
+            weights,
+            bias,
+            attrs,
+            0..rows,
+            &mut scratch,
+            out.data_mut(),
+        )
+    }
+}
+
+/// Computes lowered rows `rows` of a regular (groups = 1) convolution into
+/// `out` (length `rows.len() * out_channels`, the contiguous slice of the
+/// NHWC output covering those rows). `scratch` is the caller's reusable
+/// im2col buffer — per-worker scratch under intra-op sharding.
+///
+/// Streams [`CONV_ROW_BLOCK`] rows at a time: bias-seed, lower, GEMM. The
+/// per-element accumulation order (`k` ascending) is independent of both
+/// the block size and the row range, so any sharding of the row space is
+/// bit-identical to the unsharded run.
+///
+/// # Errors
+///
+/// Returns [`KernelError::Unsupported`] for grouped attrs.
 ///
 /// # Panics
 ///
-/// Panics if shapes/lengths are inconsistent with `attrs`.
-pub fn conv2d(x: &Tensor, weights: &[f32], bias: &[f32], attrs: &Conv2dAttrs) -> Tensor {
-    if attrs.groups > 1 {
-        return conv2d_direct(x, weights, bias, attrs);
-    }
-    let (n, ic) = (x.shape().n(), x.shape().c());
-    let oc = attrs.out_channels;
-    assert_eq!(
-        weights.len(),
-        attrs.kernel.h * attrs.kernel.w * ic * oc,
-        "conv weight length"
-    );
-    assert_eq!(bias.len(), oc, "bias length");
+/// Panics if `out` does not match the row range or the range is out of
+/// bounds.
+pub fn conv2d_rows_into(
+    x: &Tensor,
+    weights: &[f32],
+    bias: &[f32],
+    attrs: &Conv2dAttrs,
+    rows: Range<usize>,
+    scratch: &mut Vec<f32>,
+    out: &mut [f32],
+) -> Result<(), KernelError> {
     let dims = lowered_dims(x.shape(), attrs);
-    let oh = (x.shape().h() + 2 * attrs.padding.h - attrs.kernel.h) / attrs.stride.h + 1;
-    let ow = (x.shape().w() + 2 * attrs.padding.w - attrs.kernel.w) / attrs.stride.w + 1;
-    let lowered = im2col(x, attrs).expect("groups == 1 is the supported case");
-    let mut out = Tensor::zeros(Shape::nhwc(n, oh, ow, oc));
-    let od = out.data_mut();
-    // Direct conv starts each accumulator at the bias; seed the output
-    // rows the same way so the fast path reproduces it bit for bit.
-    for row in od.chunks_exact_mut(oc) {
-        row.copy_from_slice(bias);
+    let oc = attrs.out_channels;
+    assert_eq!(out.len(), rows.len() * oc, "conv output slice length");
+    let mut begin = rows.start;
+    while begin < rows.end {
+        let end = (begin + CONV_ROW_BLOCK).min(rows.end);
+        im2col_rows(x, attrs, begin, end, scratch)?;
+        let block = &mut out[(begin - rows.start) * oc..(end - rows.start) * oc];
+        // Direct conv starts each accumulator at the bias; seed the output
+        // rows the same way so this path reproduces it bit for bit.
+        for row in block.chunks_exact_mut(oc) {
+            row.copy_from_slice(bias);
+        }
+        gemm_accumulate(scratch, weights, block, dims.k_elems, oc);
+        begin = end;
     }
-    gemm_accumulate(lowered.data(), weights, od, dims.k_elems, oc);
-    out
+    Ok(())
+}
+
+/// Computes channels `channels` of a depthwise convolution into `out`, laid
+/// out `[n * oh * ow, channels.len()]` (channel-local). For the full
+/// channel range this *is* the NHWC output layout; for a sub-range the
+/// caller scatters the chunk into the final tensor. Each output element is
+/// accumulated independently (`ky`, `kx` ascending), so channel sharding is
+/// bit-identical to the full nest.
+///
+/// # Panics
+///
+/// Panics if `out` does not match the channel range, the range is out of
+/// bounds, or `attrs` is not depthwise for the input.
+pub fn conv2d_direct_channels_into(
+    x: &Tensor,
+    weights: &[f32],
+    bias: &[f32],
+    attrs: &Conv2dAttrs,
+    channels: Range<usize>,
+    out: &mut [f32],
+) {
+    let (n, ih, iw, ic) = (x.shape().n(), x.shape().h(), x.shape().w(), x.shape().c());
+    let (kh, kw) = (attrs.kernel.h, attrs.kernel.w);
+    let (sh, sw) = (attrs.stride.h, attrs.stride.w);
+    let (ph, pw) = (attrs.padding.h, attrs.padding.w);
+    assert!(
+        attrs.is_depthwise_for(ic),
+        "channel sharding is depthwise-only"
+    );
+    assert!(channels.end <= ic, "channel range out of bounds");
+    let oh = (ih + 2 * ph - kh) / sh + 1;
+    let ow = (iw + 2 * pw - kw) / sw + 1;
+    let width = channels.len();
+    assert_eq!(
+        out.len(),
+        n * oh * ow * width,
+        "depthwise output slice length"
+    );
+    let xd = x.data();
+    for b in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let out_base = ((b * oh + oy) * ow + ox) * width;
+                for (local, co) in channels.clone().enumerate() {
+                    let mut acc = bias[co];
+                    for ky in 0..kh {
+                        let iy = (oy * sh + ky) as isize - ph as isize;
+                        if iy < 0 || iy as usize >= ih {
+                            continue;
+                        }
+                        for kx in 0..kw {
+                            let ix = (ox * sw + kx) as isize - pw as isize;
+                            if ix < 0 || ix as usize >= iw {
+                                continue;
+                            }
+                            let in_base = ((b * ih + iy as usize) * iw + ix as usize) * ic;
+                            acc += xd[in_base + co] * weights[(ky * kw + kx) * ic + co];
+                        }
+                    }
+                    out[out_base + local] = acc;
+                }
+            }
+        }
+    }
 }
 
 /// Direct (naive loop nest) 2-D convolution — the numerical oracle the
-/// im2col fast path in [`conv2d`] is validated against.
+/// streaming im2col path in [`conv2d`] is validated against.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if shapes/lengths are inconsistent with `attrs`.
-pub fn conv2d_direct(x: &Tensor, weights: &[f32], bias: &[f32], attrs: &Conv2dAttrs) -> Tensor {
+/// Returns [`KernelError`] if shapes/lengths are inconsistent with `attrs`.
+pub fn conv2d_direct(
+    x: &Tensor,
+    weights: &[f32],
+    bias: &[f32],
+    attrs: &Conv2dAttrs,
+) -> Result<Tensor, KernelError> {
+    let out_shape = check_conv_params(x, weights, bias, attrs)?;
     let (n, ih, iw, ic) = (x.shape().n(), x.shape().h(), x.shape().w(), x.shape().c());
     let (kh, kw) = (attrs.kernel.h, attrs.kernel.w);
     let (sh, sw) = (attrs.stride.h, attrs.stride.w);
     let (ph, pw) = (attrs.padding.h, attrs.padding.w);
     let oc = attrs.out_channels;
     let depthwise = attrs.groups > 1;
-    if depthwise {
-        assert!(attrs.is_depthwise_for(ic), "unsupported grouped conv");
-        assert_eq!(weights.len(), kh * kw * ic, "depthwise weight length");
-    } else {
-        assert_eq!(weights.len(), kh * kw * ic * oc, "conv weight length");
-    }
-    assert_eq!(bias.len(), oc, "bias length");
-
-    let oh = (ih + 2 * ph - kh) / sh + 1;
-    let ow = (iw + 2 * pw - kw) / sw + 1;
-    let mut out = Tensor::zeros(Shape::nhwc(n, oh, ow, oc));
+    let (oh, ow) = (out_shape.h(), out_shape.w());
+    let mut out = Tensor::zeros(out_shape);
     let xd = x.data();
     let od = out.data_mut();
     for b in 0..n {
@@ -107,38 +371,84 @@ pub fn conv2d_direct(x: &Tensor, weights: &[f32], bias: &[f32], attrs: &Conv2dAt
             }
         }
     }
-    out
+    Ok(out)
 }
 
 /// Fully-connected layer: `y = x W + b` with `W` laid out `[in][out]`.
 ///
+/// # Errors
+///
+/// Returns [`KernelError::ShapeMismatch`] if shapes/lengths are
+/// inconsistent.
+pub fn dense(
+    x: &Tensor,
+    weights: &[f32],
+    bias: &[f32],
+    out_features: usize,
+) -> Result<Tensor, KernelError> {
+    if x.shape().rank() != 2 {
+        return Err(shape_err(format!(
+            "dense input must be 2-D, got {}",
+            x.shape()
+        )));
+    }
+    let (rows, in_f) = (x.shape().n(), x.shape().c());
+    if weights.len() != in_f * out_features {
+        return Err(shape_err(format!(
+            "dense weight length {} (expected {})",
+            weights.len(),
+            in_f * out_features
+        )));
+    }
+    if bias.len() != out_features {
+        return Err(shape_err(format!(
+            "dense bias length {} (expected {out_features})",
+            bias.len()
+        )));
+    }
+    let mut out = Tensor::zeros(Shape::rf(rows, out_features));
+    dense_rows_into(x, weights, bias, out_features, 0..rows, out.data_mut());
+    Ok(out)
+}
+
+/// Computes output rows `rows` of a dense layer into `out` (length
+/// `rows.len() * out_features`, the contiguous slice of the `[rows, out]`
+/// output). Accumulation per element ascends the input features, identical
+/// at any row sharding.
+///
 /// # Panics
 ///
-/// Panics if shapes/lengths are inconsistent.
-pub fn dense(x: &Tensor, weights: &[f32], bias: &[f32], out_features: usize) -> Tensor {
-    assert_eq!(x.shape().rank(), 2, "dense input must be 2-D");
-    let (rows, in_f) = (x.shape().n(), x.shape().c());
-    assert_eq!(weights.len(), in_f * out_features, "dense weight length");
-    assert_eq!(bias.len(), out_features, "bias length");
-    let mut out = Tensor::zeros(Shape::rf(rows, out_features));
+/// Panics if `out` does not match the row range.
+pub fn dense_rows_into(
+    x: &Tensor,
+    weights: &[f32],
+    bias: &[f32],
+    out_features: usize,
+    rows: Range<usize>,
+    out: &mut [f32],
+) {
+    let in_f = x.shape().c();
+    assert_eq!(
+        out.len(),
+        rows.len() * out_features,
+        "dense output slice length"
+    );
     let xd = x.data();
-    let od = out.data_mut();
-    for r in 0..rows {
+    for (local, r) in rows.enumerate() {
         for o in 0..out_features {
             let mut acc = bias[o];
             for i in 0..in_f {
                 acc += xd[r * in_f + i] * weights[i * out_features + o];
             }
-            od[r * out_features + o] = acc;
+            out[local * out_features + o] = acc;
         }
     }
-    out
 }
 
-/// Applies a unary activation element-wise (softmax is applied row-wise over
-/// the last dimension).
-pub fn activation(x: &Tensor, kind: ActivationKind) -> Tensor {
-    let mut out = x.clone();
+/// Applies a unary activation element-wise, in place (softmax is applied
+/// row-wise over the last dimension). The executor uses this to overwrite a
+/// dying input buffer instead of allocating a fresh one.
+pub fn activation_inplace(out: &mut Tensor, kind: ActivationKind) {
     match kind {
         ActivationKind::Relu => {
             for v in out.data_mut() {
@@ -173,8 +483,8 @@ pub fn activation(x: &Tensor, kind: ActivationKind) -> Tensor {
             }
         }
         ActivationKind::Softmax => {
-            let c = x.shape().c();
-            let rows = x.shape().numel() / c;
+            let c = out.shape().c();
+            let rows = out.shape().numel() / c;
             let d = out.data_mut();
             for r in 0..rows {
                 let row = &mut d[r * c..(r + 1) * c];
@@ -190,51 +500,75 @@ pub fn activation(x: &Tensor, kind: ActivationKind) -> Tensor {
             }
         }
     }
+}
+
+/// Applies a unary activation element-wise (softmax is applied row-wise over
+/// the last dimension).
+pub fn activation(x: &Tensor, kind: ActivationKind) -> Tensor {
+    let mut out = x.clone();
+    activation_inplace(&mut out, kind);
     out
+}
+
+/// Element-wise addition, accumulating `b` into `a`.
+///
+/// # Errors
+///
+/// Returns [`KernelError::ShapeMismatch`] if shapes differ.
+pub fn add_assign(a: &mut Tensor, b: &Tensor) -> Result<(), KernelError> {
+    if a.shape() != b.shape() {
+        return Err(shape_err(format!(
+            "add operands {} vs {}",
+            a.shape(),
+            b.shape()
+        )));
+    }
+    for (o, &v) in a.data_mut().iter_mut().zip(b.data()) {
+        *o += v;
+    }
+    Ok(())
 }
 
 /// Element-wise addition.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if shapes differ.
-pub fn add(a: &Tensor, b: &Tensor) -> Tensor {
-    assert_eq!(a.shape(), b.shape(), "add shape mismatch");
+/// Returns [`KernelError::ShapeMismatch`] if shapes differ.
+pub fn add(a: &Tensor, b: &Tensor) -> Result<Tensor, KernelError> {
     let mut out = a.clone();
-    for (o, &v) in out.data_mut().iter_mut().zip(b.data()) {
-        *o += v;
-    }
-    out
+    add_assign(&mut out, b)?;
+    Ok(out)
 }
 
-/// Element-wise multiplication with optional `[N,1,1,C]` broadcast of `b`.
+/// Element-wise multiplication of `b` into `a`, with optional `[N,1,1,C]`
+/// broadcast of `b`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if shapes are incompatible.
-pub fn mul(a: &Tensor, b: &Tensor) -> Tensor {
+/// Returns [`KernelError::ShapeMismatch`] if shapes are incompatible.
+pub fn mul_assign(a: &mut Tensor, b: &Tensor) -> Result<(), KernelError> {
     if a.shape() == b.shape() {
-        let mut out = a.clone();
-        for (o, &v) in out.data_mut().iter_mut().zip(b.data()) {
+        for (o, &v) in a.data_mut().iter_mut().zip(b.data()) {
             *o *= v;
         }
-        return out;
+        return Ok(());
     }
     // Broadcast path: b is [N,1,1,C].
-    assert_eq!(a.shape().rank(), 4, "broadcast mul needs NHWC");
-    assert_eq!(b.shape().rank(), 4, "broadcast mul needs NHWC");
-    assert_eq!(
-        (b.shape().h(), b.shape().w()),
-        (1, 1),
-        "mul operand not broadcastable"
-    );
-    assert_eq!(a.shape().c(), b.shape().c(), "mul channel mismatch");
-    assert_eq!(a.shape().n(), b.shape().n(), "mul batch mismatch");
-    let c = a.shape().c();
-    let mut out = a.clone();
+    if a.shape().rank() != 4
+        || b.shape().rank() != 4
+        || (b.shape().h(), b.shape().w()) != (1, 1)
+        || a.shape().c() != b.shape().c()
+        || a.shape().n() != b.shape().n()
+    {
+        return Err(shape_err(format!(
+            "mul operands {} vs {} (not equal, not [N,1,1,C] broadcast)",
+            a.shape(),
+            b.shape()
+        )));
+    }
+    let (n, h, w, c) = (a.shape().n(), a.shape().h(), a.shape().w(), a.shape().c());
     let bd = b.data();
-    let (n, h, w) = (a.shape().n(), a.shape().h(), a.shape().w());
-    let od = out.data_mut();
+    let od = a.data_mut();
     for bi in 0..n {
         for i in 0..h * w {
             for ci in 0..c {
@@ -242,7 +576,34 @@ pub fn mul(a: &Tensor, b: &Tensor) -> Tensor {
             }
         }
     }
-    out
+    Ok(())
+}
+
+/// Element-wise multiplication with optional `[N,1,1,C]` broadcast of `b`.
+///
+/// # Errors
+///
+/// Returns [`KernelError::ShapeMismatch`] if shapes are incompatible.
+pub fn mul(a: &Tensor, b: &Tensor) -> Result<Tensor, KernelError> {
+    let mut out = a.clone();
+    mul_assign(&mut out, b)?;
+    Ok(out)
+}
+
+/// Inference-mode batch normalization in place:
+/// `x[i] = x[i] * scale[c] + shift[c]`.
+///
+/// # Panics
+///
+/// Panics if parameter lengths do not match the channel count.
+pub fn batch_norm_assign(x: &mut Tensor, scale: &[f32], shift: &[f32]) {
+    let c = x.shape().c();
+    assert_eq!(scale.len(), c, "bn scale length");
+    assert_eq!(shift.len(), c, "bn shift length");
+    for (i, v) in x.data_mut().iter_mut().enumerate() {
+        let ci = i % c;
+        *v = *v * scale[ci] + shift[ci];
+    }
 }
 
 /// Inference-mode batch normalization: `y = x * scale[c] + shift[c]`.
@@ -251,26 +612,30 @@ pub fn mul(a: &Tensor, b: &Tensor) -> Tensor {
 ///
 /// Panics if parameter lengths do not match the channel count.
 pub fn batch_norm(x: &Tensor, scale: &[f32], shift: &[f32]) -> Tensor {
-    let c = x.shape().c();
-    assert_eq!(scale.len(), c, "bn scale length");
-    assert_eq!(shift.len(), c, "bn shift length");
     let mut out = x.clone();
-    for (i, v) in out.data_mut().iter_mut().enumerate() {
-        let ci = i % c;
-        *v = *v * scale[ci] + shift[ci];
-    }
+    batch_norm_assign(&mut out, scale, shift);
     out
 }
 
 /// Spatial pooling.
-pub fn pool(x: &Tensor, attrs: &PoolAttrs) -> Tensor {
+///
+/// # Errors
+///
+/// Returns [`KernelError::ShapeMismatch`] if the input is not 4-D or the
+/// window does not fit.
+pub fn pool(x: &Tensor, attrs: &PoolAttrs) -> Result<Tensor, KernelError> {
+    let mut out = Tensor::zeros(pool_out_shape(x.shape(), attrs)?);
+    pool_into(x, attrs, &mut out);
+    Ok(out)
+}
+
+/// Fills a pre-allocated pooling output (shape already validated).
+pub(crate) fn pool_into(x: &Tensor, attrs: &PoolAttrs, out: &mut Tensor) {
     let (n, ih, iw, c) = (x.shape().n(), x.shape().h(), x.shape().w(), x.shape().c());
     let (kh, kw) = (attrs.kernel.h, attrs.kernel.w);
     let (sh, sw) = (attrs.stride.h, attrs.stride.w);
     let (ph, pw) = (attrs.padding.h, attrs.padding.w);
-    let oh = (ih + 2 * ph - kh) / sh + 1;
-    let ow = (iw + 2 * pw - kw) / sw + 1;
-    let mut out = Tensor::zeros(Shape::nhwc(n, oh, ow, c));
+    let (oh, ow) = (out.shape().h(), out.shape().w());
     let xd = x.data();
     let od = out.data_mut();
     for b in 0..n {
@@ -315,13 +680,19 @@ pub fn pool(x: &Tensor, attrs: &PoolAttrs) -> Tensor {
             }
         }
     }
-    out
 }
 
 /// Global average pooling: NHWC -> `[N,1,1,C]`.
 pub fn global_avg_pool(x: &Tensor) -> Tensor {
-    let (n, h, w, c) = (x.shape().n(), x.shape().h(), x.shape().w(), x.shape().c());
+    let (n, c) = (x.shape().n(), x.shape().c());
     let mut out = Tensor::zeros(Shape::nhwc(n, 1, 1, c));
+    gap_into(x, &mut out);
+    out
+}
+
+/// Fills a pre-allocated, **zero-filled** GAP output (it accumulates).
+pub(crate) fn gap_into(x: &Tensor, out: &mut Tensor) {
+    let (n, h, w, c) = (x.shape().n(), x.shape().h(), x.shape().w(), x.shape().c());
     let xd = x.data();
     let od = out.data_mut();
     for b in 0..n {
@@ -335,7 +706,6 @@ pub fn global_avg_pool(x: &Tensor) -> Tensor {
     for v in od {
         *v *= inv;
     }
-    out
 }
 
 /// Zero-pads the spatial dimensions of an NHWC tensor.
@@ -343,6 +713,13 @@ pub fn pad(x: &Tensor, attrs: &PadAttrs) -> Tensor {
     let (n, h, w, c) = (x.shape().n(), x.shape().h(), x.shape().w(), x.shape().c());
     let (oh, ow) = (h + attrs.extra_h(), w + attrs.extra_w());
     let mut out = Tensor::zeros(Shape::nhwc(n, oh, ow, c));
+    pad_into(x, attrs, &mut out);
+    out
+}
+
+/// Fills a pre-allocated, **zero-filled** pad output (borders stay zero).
+pub(crate) fn pad_into(x: &Tensor, attrs: &PadAttrs, out: &mut Tensor) {
+    let (n, h, w, c) = (x.shape().n(), x.shape().h(), x.shape().w(), x.shape().c());
     for b in 0..n {
         for y in 0..h {
             for xx in 0..w {
@@ -353,7 +730,6 @@ pub fn pad(x: &Tensor, attrs: &PadAttrs) -> Tensor {
             }
         }
     }
-    out
 }
 
 /// Slices along a single axis.
@@ -368,9 +744,15 @@ pub fn slice(x: &Tensor, attrs: &SliceAttrs) -> Tensor {
         attrs.end <= shape.dim(attrs.axis) && !attrs.is_empty(),
         "invalid slice range"
     );
-    let out_shape = shape.with_dim(attrs.axis, attrs.len());
-    let mut out = Tensor::zeros(out_shape.clone());
-    let mut idx = vec![0usize; shape.rank()];
+    let mut out = Tensor::zeros(shape.with_dim(attrs.axis, attrs.len()));
+    slice_into(x, attrs, &mut out);
+    out
+}
+
+/// Fills a pre-allocated slice output.
+pub(crate) fn slice_into(x: &Tensor, attrs: &SliceAttrs, out: &mut Tensor) {
+    let out_shape = out.shape().clone();
+    let mut idx = vec![0usize; out_shape.rank()];
     let total = out_shape.numel();
     for lin in 0..total {
         // Decode lin into out-coordinates.
@@ -383,21 +765,56 @@ pub fn slice(x: &Tensor, attrs: &SliceAttrs) -> Tensor {
         src[attrs.axis] += attrs.begin;
         out.data_mut()[lin] = x.get(&src);
     }
-    out
+}
+
+/// Shape of the concatenation of `shapes` along `axis`.
+///
+/// # Errors
+///
+/// Returns [`KernelError::ShapeMismatch`] if no inputs are given, the axis
+/// is out of range, or the inputs disagree on any other dimension.
+pub fn concat_out_shape(shapes: &[&Shape], axis: usize) -> Result<Shape, KernelError> {
+    let first = *shapes
+        .first()
+        .ok_or_else(|| shape_err("concat needs inputs"))?;
+    if axis >= first.rank() {
+        return Err(shape_err(format!(
+            "concat axis {axis} out of range for {first}"
+        )));
+    }
+    let mut total_axis = 0;
+    for s in shapes {
+        if s.rank() != first.rank() {
+            return Err(shape_err(format!("concat rank mismatch: {first} vs {s}")));
+        }
+        for ax in 0..first.rank() {
+            if ax != axis && s.dim(ax) != first.dim(ax) {
+                return Err(shape_err(format!(
+                    "concat inputs {first} vs {s} differ outside axis {axis}"
+                )));
+            }
+        }
+        total_axis += s.dim(axis);
+    }
+    Ok(first.with_dim(axis, total_axis))
 }
 
 /// Concatenates tensors along a single axis.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if fewer than one input is given or shapes are incompatible.
-pub fn concat(inputs: &[&Tensor], axis: usize) -> Tensor {
-    assert!(!inputs.is_empty(), "concat needs inputs");
-    let first = inputs[0].shape();
-    let total_axis: usize = inputs.iter().map(|t| t.shape().dim(axis)).sum();
-    let out_shape = first.with_dim(axis, total_axis);
-    let mut out = Tensor::zeros(out_shape.clone());
-    let rank = out_shape.rank();
+/// Returns [`KernelError::ShapeMismatch`] if no inputs are given or shapes
+/// are incompatible.
+pub fn concat(inputs: &[&Tensor], axis: usize) -> Result<Tensor, KernelError> {
+    let shapes: Vec<&Shape> = inputs.iter().map(|t| t.shape()).collect();
+    let mut out = Tensor::zeros(concat_out_shape(&shapes, axis)?);
+    concat_into(inputs, axis, &mut out);
+    Ok(out)
+}
+
+/// Fills a pre-allocated concat output (shape already validated).
+pub(crate) fn concat_into(inputs: &[&Tensor], axis: usize, out: &mut Tensor) {
+    let rank = out.shape().rank();
     let mut axis_offset = 0;
     for t in inputs {
         let s = t.shape();
@@ -416,7 +833,6 @@ pub fn concat(inputs: &[&Tensor], axis: usize) -> Tensor {
         }
         axis_offset += s.dim(axis);
     }
-    out
 }
 
 /// Nearest-neighbour upsampling of an NHWC tensor by `factor`.
@@ -428,6 +844,13 @@ pub fn upsample(x: &Tensor, factor: usize) -> Tensor {
     assert!(factor >= 1, "upsample factor must be >= 1");
     let (n, h, w, c) = (x.shape().n(), x.shape().h(), x.shape().w(), x.shape().c());
     let mut out = Tensor::zeros(Shape::nhwc(n, h * factor, w * factor, c));
+    upsample_into(x, factor, &mut out);
+    out
+}
+
+/// Fills a pre-allocated upsample output.
+pub(crate) fn upsample_into(x: &Tensor, factor: usize, out: &mut Tensor) {
+    let (n, h, w, c) = (x.shape().n(), x.shape().h(), x.shape().w(), x.shape().c());
     for b in 0..n {
         for oy in 0..h * factor {
             for ox in 0..w * factor {
@@ -438,7 +861,6 @@ pub fn upsample(x: &Tensor, factor: usize) -> Tensor {
             }
         }
     }
-    out
 }
 
 /// Flattens to `[N, rest]`.
@@ -463,7 +885,7 @@ mod tests {
         let x = seq_tensor(Shape::nhwc(1, 3, 3, 2));
         let w = vec![1.0, 0.0, 0.0, 1.0]; // [ic=2][oc=2] identity
         let b = vec![0.0, 0.0];
-        let y = conv2d(&x, &w, &b, &Conv2dAttrs::pointwise(2));
+        let y = conv2d(&x, &w, &b, &Conv2dAttrs::pointwise(2)).unwrap();
         assert!(y.allclose(&x, 1e-6));
     }
 
@@ -479,7 +901,7 @@ mod tests {
             padding: Hw::square(0),
             groups: 1,
         };
-        let y = conv2d(&x, &w, &[1.0], &attrs);
+        let y = conv2d(&x, &w, &[1.0], &attrs).unwrap();
         let expect = 1.0 * 0.5 + -2.0 + 3.0 * 2.0 + 4.0 * 0.25 + 1.0;
         assert!((y.data()[0] - expect).abs() < 1e-6);
     }
@@ -495,7 +917,7 @@ mod tests {
             groups: 1,
         };
         let w = vec![1.0; 9];
-        let y = conv2d(&x, &w, &[0.0], &attrs);
+        let y = conv2d(&x, &w, &[0.0], &attrs).unwrap();
         assert_eq!(y.shape(), &Shape::nhwc(1, 1, 1, 1));
         assert!((y.data()[0] - 3.0).abs() < 1e-6);
     }
@@ -510,19 +932,22 @@ mod tests {
             padding: Hw::square(0),
             groups: 2,
         };
-        let y = conv2d(&x, &[10.0, 100.0], &[0.0, 0.0], &attrs);
+        let y = conv2d(&x, &[10.0, 100.0], &[0.0, 0.0], &attrs).unwrap();
         assert_eq!(y.data(), &[20.0, 500.0]);
     }
 
     #[test]
     fn conv_fast_path_matches_direct_oracle() {
-        // im2col + blocked GEMM vs the naive loop nest, across batch,
-        // stride, padding, and kernel-size variations.
+        // Streaming im2col + blocked GEMM vs the naive loop nest, across
+        // batch, stride, padding, and kernel-size variations. The first
+        // case has more lowered rows than CONV_ROW_BLOCK when scaled up,
+        // so also run one large case that actually spans multiple blocks.
         for (batch, h, w, ic, oc, k, s, p) in [
             (1, 6, 6, 3, 4, 3, 1, 1),
             (2, 9, 7, 3, 5, 3, 2, 1),
             (3, 5, 5, 2, 3, 1, 1, 0),
             (1, 8, 8, 4, 6, 5, 2, 2),
+            (2, 17, 13, 3, 4, 3, 1, 1), // 2*17*13 = 442 rows > CONV_ROW_BLOCK
         ] {
             let attrs = Conv2dAttrs {
                 out_channels: oc,
@@ -536,8 +961,8 @@ mod tests {
                 .map(|i| ((i * 7 + 3) % 13) as f32 * 0.1 - 0.6)
                 .collect();
             let bias: Vec<f32> = (0..oc).map(|i| i as f32 * 0.5 - 1.0).collect();
-            let fast = conv2d(&x, &wts, &bias, &attrs);
-            let direct = conv2d_direct(&x, &wts, &bias, &attrs);
+            let fast = conv2d(&x, &wts, &bias, &attrs).unwrap();
+            let direct = conv2d_direct(&x, &wts, &bias, &attrs).unwrap();
             assert_eq!(fast.shape(), direct.shape());
             assert!(
                 fast.allclose(&direct, 0.0),
@@ -548,11 +973,172 @@ mod tests {
     }
 
     #[test]
+    fn conv_row_sharding_is_bit_identical() {
+        let attrs = Conv2dAttrs {
+            out_channels: 5,
+            kernel: Hw::square(3),
+            stride: Hw::square(1),
+            padding: Hw::square(1),
+            groups: 1,
+        };
+        let x = seq_tensor(Shape::nhwc(1, 11, 9, 3));
+        let wts: Vec<f32> = (0..3 * 3 * 3 * 5)
+            .map(|i| ((i * 5 + 1) % 17) as f32 * 0.07 - 0.5)
+            .collect();
+        let bias = vec![0.25; 5];
+        let whole = conv2d(&x, &wts, &bias, &attrs).unwrap();
+        let rows = 11 * 9;
+        let oc = 5;
+        let mut sharded = vec![0.0f32; rows * oc];
+        let mut scratch = Vec::new();
+        for r in pimflow_pool::chunk_ranges(rows, 3) {
+            let out = &mut sharded[r.start * oc..r.end * oc];
+            conv2d_rows_into(&x, &wts, &bias, &attrs, r, &mut scratch, out).unwrap();
+        }
+        assert_eq!(whole.data(), &sharded[..]);
+    }
+
+    #[test]
+    fn depthwise_channel_sharding_is_bit_identical() {
+        let attrs = Conv2dAttrs {
+            out_channels: 6,
+            kernel: Hw::square(3),
+            stride: Hw::square(2),
+            padding: Hw::square(1),
+            groups: 6,
+        };
+        let x = seq_tensor(Shape::nhwc(2, 9, 7, 6));
+        let wts: Vec<f32> = (0..3 * 3 * 6)
+            .map(|i| ((i * 11 + 3) % 7) as f32 * 0.2 - 0.6)
+            .collect();
+        let bias: Vec<f32> = (0..6).map(|i| i as f32 * 0.1).collect();
+        let whole = conv2d(&x, &wts, &bias, &attrs).unwrap();
+        let (oh, ow) = (whole.shape().h(), whole.shape().w());
+        let spatial = 2 * oh * ow;
+        let mut scattered = vec![0.0f32; spatial * 6];
+        for r in pimflow_pool::chunk_ranges(6, 4) {
+            let width = r.len();
+            let mut chunk = vec![0.0f32; spatial * width];
+            conv2d_direct_channels_into(&x, &wts, &bias, &attrs, r.clone(), &mut chunk);
+            for row in 0..spatial {
+                for (local, co) in r.clone().enumerate() {
+                    scattered[row * 6 + co] = chunk[row * width + local];
+                }
+            }
+        }
+        assert_eq!(whole.data(), &scattered[..]);
+    }
+
+    #[test]
+    fn dense_row_sharding_is_bit_identical() {
+        let x = seq_tensor(Shape::rf(7, 12));
+        let wts: Vec<f32> = (0..12 * 5)
+            .map(|i| ((i * 3 + 2) % 9) as f32 * 0.11 - 0.4)
+            .collect();
+        let bias = vec![0.5; 5];
+        let whole = dense(&x, &wts, &bias, 5).unwrap();
+        let mut sharded = [0.0f32; 7 * 5];
+        for r in pimflow_pool::chunk_ranges(7, 2) {
+            let out = &mut sharded[r.start * 5..r.end * 5];
+            dense_rows_into(&x, &wts, &bias, 5, r, out);
+        }
+        assert_eq!(whole.data(), &sharded[..]);
+    }
+
+    #[test]
+    fn conv_rejects_bad_operands() {
+        let x = seq_tensor(Shape::nhwc(1, 4, 4, 3));
+        let attrs = Conv2dAttrs::pointwise(2);
+        // Wrong weight length.
+        assert!(matches!(
+            conv2d(&x, &[0.0; 5], &[0.0; 2], &attrs),
+            Err(KernelError::ShapeMismatch(_))
+        ));
+        // Wrong bias length.
+        assert!(matches!(
+            conv2d(&x, &[0.0; 6], &[0.0; 3], &attrs),
+            Err(KernelError::ShapeMismatch(_))
+        ));
+        // Kernel larger than padded input.
+        let big = Conv2dAttrs {
+            out_channels: 2,
+            kernel: Hw::square(9),
+            stride: Hw::square(1),
+            padding: Hw::square(0),
+            groups: 1,
+        };
+        assert!(matches!(
+            conv2d(&x, &[0.0; 9 * 9 * 3 * 2], &[0.0; 2], &big),
+            Err(KernelError::ShapeMismatch(_))
+        ));
+        // Grouped but not depthwise.
+        let grouped = Conv2dAttrs {
+            out_channels: 6,
+            kernel: Hw::square(1),
+            stride: Hw::square(1),
+            padding: Hw::square(0),
+            groups: 3,
+        };
+        assert!(matches!(
+            conv2d(&x, &[0.0; 3], &[0.0; 6], &grouped),
+            Err(KernelError::Unsupported(_))
+        ));
+        // Non-NHWC input.
+        let flat = seq_tensor(Shape::rf(2, 8));
+        assert!(matches!(
+            conv2d(&flat, &[0.0; 6], &[0.0; 2], &attrs),
+            Err(KernelError::ShapeMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn pool_rejects_oversized_window() {
+        let x = seq_tensor(Shape::nhwc(1, 4, 4, 2));
+        let attrs = PoolAttrs {
+            kind: PoolKind::Max,
+            kernel: Hw::square(7),
+            stride: Hw::square(1),
+            padding: Hw::square(0),
+        };
+        assert!(matches!(
+            pool(&x, &attrs),
+            Err(KernelError::ShapeMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn add_rejects_shape_mismatch() {
+        let a = seq_tensor(Shape::rf(2, 3));
+        let b = seq_tensor(Shape::rf(3, 2));
+        assert!(matches!(add(&a, &b), Err(KernelError::ShapeMismatch(_))));
+    }
+
+    #[test]
+    fn mul_rejects_non_broadcastable() {
+        let a = seq_tensor(Shape::nhwc(1, 2, 2, 3));
+        let b = seq_tensor(Shape::nhwc(1, 2, 1, 3));
+        assert!(matches!(mul(&a, &b), Err(KernelError::ShapeMismatch(_))));
+    }
+
+    #[test]
+    fn concat_rejects_incompatible_inputs() {
+        let a = seq_tensor(Shape::nhwc(1, 2, 2, 3));
+        let b = seq_tensor(Shape::nhwc(1, 3, 2, 3));
+        // Inputs differ on a non-concat axis.
+        assert!(matches!(
+            concat(&[&a, &b], 3),
+            Err(KernelError::ShapeMismatch(_))
+        ));
+        // Empty input list.
+        assert!(matches!(concat(&[], 0), Err(KernelError::ShapeMismatch(_))));
+    }
+
+    #[test]
     fn dense_matches_matvec() {
         let x = Tensor::from_vec(Shape::rf(1, 3), vec![1.0, 2.0, 3.0]);
         // W [3][2] row-major by input.
         let w = vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0];
-        let y = dense(&x, &w, &[0.5, -0.5], 2);
+        let y = dense(&x, &w, &[0.5, -0.5], 2).unwrap();
         assert_eq!(y.data(), &[1.0 + 3.0 + 0.5, 2.0 + 3.0 - 0.5]);
     }
 
@@ -583,7 +1169,7 @@ mod tests {
     fn mul_broadcasts_se_scale() {
         let x = Tensor::from_vec(Shape::nhwc(1, 1, 2, 2), vec![1.0, 2.0, 3.0, 4.0]);
         let s = Tensor::from_vec(Shape::nhwc(1, 1, 1, 2), vec![10.0, 0.5]);
-        let y = mul(&x, &s);
+        let y = mul(&x, &s).unwrap();
         assert_eq!(y.data(), &[10.0, 1.0, 30.0, 2.0]);
     }
 
@@ -603,7 +1189,7 @@ mod tests {
             stride: Hw::square(2),
             padding: Hw::square(0),
         };
-        assert_eq!(pool(&x, &attrs).data(), &[7.0]);
+        assert_eq!(pool(&x, &attrs).unwrap().data(), &[7.0]);
     }
 
     #[test]
@@ -625,7 +1211,7 @@ mod tests {
                 end: 6,
             },
         );
-        let y = concat(&[&a, &b], 1);
+        let y = concat(&[&a, &b], 1).unwrap();
         assert!(y.allclose(&x, 0.0));
     }
 

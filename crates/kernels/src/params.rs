@@ -9,7 +9,7 @@
 use pimflow_rng::Rng;
 
 /// Distinguishes the different parameter tensors of one node.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ParamRole {
     /// Convolution filters / dense weight matrix.
     Weight,
@@ -32,6 +32,22 @@ impl ParamRole {
     }
 }
 
+fn role_rng(key: u64, role: ParamRole) -> Rng {
+    let seed = key
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(role.salt().wrapping_mul(0xD1B5_4A32_D192_ED03));
+    Rng::seed_from_u64(seed)
+}
+
+fn draw(rng: &mut Rng, role: ParamRole, scale: f32) -> f32 {
+    match role {
+        // Batch-norm scale must stay away from zero to avoid collapsing
+        // activations; draw from [0.5, 1.5].
+        ParamRole::BnScale => rng.range_f32(0.5, 1.5),
+        _ => rng.range_f32(-scale, scale),
+    }
+}
+
 /// Generates `len` deterministic parameter values for `(key, role)`.
 ///
 /// Values are drawn uniformly from `[-s, s]` where `s = 1/sqrt(fan_in + 1)`,
@@ -39,17 +55,51 @@ impl ParamRole {
 /// Xavier/Glorot initialization — the executor only needs well-conditioned
 /// numbers, not trained accuracy).
 pub fn param_vec(key: u64, role: ParamRole, len: usize, fan_in: usize) -> Vec<f32> {
-    let seed = key
-        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-        .wrapping_add(role.salt().wrapping_mul(0xD1B5_4A32_D192_ED03));
-    let mut rng = Rng::seed_from_u64(seed);
+    let mut rng = role_rng(key, role);
     let scale = 1.0 / ((fan_in as f32) + 1.0).sqrt();
-    match role {
-        // Batch-norm scale must stay away from zero to avoid collapsing
-        // activations; draw from [0.5, 1.5].
-        ParamRole::BnScale => (0..len).map(|_| rng.range_f32(0.5, 1.5)).collect(),
-        _ => (0..len).map(|_| rng.range_f32(-scale, scale)).collect(),
+    (0..len).map(|_| draw(&mut rng, role, scale)).collect()
+}
+
+/// Generates columns `begin..end` of each of the `rows` rows of the
+/// row-major `[rows, row_len]` parameter matrix for `(key, role)` — the
+/// values are bit-identical to generating the full matrix with
+/// [`param_vec`]`(key, role, rows * row_len, fan_in)` and slicing those
+/// columns out, but only `rows * (end - begin)` values are ever
+/// materialized: the generator *skips* over the unused stream positions.
+///
+/// This is how the executor realizes a [`ParamView`] for a node split
+/// along its output axis without allocating the original node's whole
+/// weight matrix.
+///
+/// [`ParamView`]: pimflow_ir::graph::ParamView
+///
+/// # Panics
+///
+/// Panics unless `begin <= end <= row_len`.
+pub fn param_cols(
+    key: u64,
+    role: ParamRole,
+    rows: usize,
+    row_len: usize,
+    begin: usize,
+    end: usize,
+    fan_in: usize,
+) -> Vec<f32> {
+    assert!(
+        begin <= end && end <= row_len,
+        "invalid column window {begin}..{end} of {row_len}"
+    );
+    let mut rng = role_rng(key, role);
+    let scale = 1.0 / ((fan_in as f32) + 1.0).sqrt();
+    let mut out = Vec::with_capacity(rows * (end - begin));
+    for _ in 0..rows {
+        rng.skip(begin);
+        for _ in begin..end {
+            out.push(draw(&mut rng, role, scale));
+        }
+        rng.skip(row_len - end);
     }
+    out
 }
 
 #[cfg(test)]
@@ -82,6 +132,36 @@ mod tests {
         for v in param_vec(7, ParamRole::BnScale, 64, 1) {
             assert!((0.5..=1.5).contains(&v));
         }
+    }
+
+    #[test]
+    fn param_cols_equals_materialize_and_slice() {
+        // The equality contract with the old sliced-params path: for every
+        // role, generating only a column window must reproduce exactly the
+        // values of the full matrix at those positions.
+        let (rows, row_len, fan_in) = (7, 12, 9);
+        for role in [
+            ParamRole::Weight,
+            ParamRole::Bias,
+            ParamRole::BnScale,
+            ParamRole::BnShift,
+        ] {
+            let full = param_vec(42, role, rows * row_len, fan_in);
+            for (begin, end) in [(0, row_len), (0, 5), (5, 12), (3, 9), (4, 4)] {
+                let mut sliced = Vec::new();
+                for r in 0..rows {
+                    sliced.extend_from_slice(&full[r * row_len + begin..r * row_len + end]);
+                }
+                let cols = param_cols(42, role, rows, row_len, begin, end, fan_in);
+                assert_eq!(cols, sliced, "role {role:?} window {begin}..{end}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid column window")]
+    fn param_cols_rejects_inverted_window() {
+        param_cols(1, ParamRole::Weight, 2, 8, 6, 3, 8);
     }
 
     #[test]

@@ -1,0 +1,203 @@
+//! Wave scheduling and buffer recycling for the graph executor.
+//!
+//! [`ExecPlan`] partitions a graph's deterministic topological order into
+//! *waves* — maximal sets of nodes whose inputs were all produced in
+//! earlier waves. Nodes within a wave are mutually independent, so the
+//! executor can evaluate them concurrently and merge results by index
+//! without changing any output bit. The wave structure depends only on the
+//! graph, never on the worker count, which is what makes the executor's
+//! memory accounting width-invariant.
+//!
+//! [`Arena`] is the size-bucketed free list that backs the executor's
+//! liveness-based memory plan: buffers of tensors that died at a wave
+//! boundary are parked here and handed back out for same-sized outputs of
+//! later waves, zeroed, instead of hitting the allocator again.
+
+use pimflow_ir::analysis::{liveness, Liveness};
+use pimflow_ir::{Graph, GraphError, NodeId};
+use std::collections::HashMap;
+
+/// A wave-partitioned execution schedule plus the liveness facts the
+/// executor's memory plan consumes.
+#[derive(Debug, Clone)]
+pub struct ExecPlan {
+    /// Dependency levels of the topological order: every node in
+    /// `waves[i]` depends only on graph inputs and nodes in `waves[..i]`.
+    /// Within a wave, nodes keep their topological (ascending id) order.
+    pub waves: Vec<Vec<NodeId>>,
+    /// Per-value use counts, stickiness, and last-use steps.
+    pub liveness: Liveness,
+}
+
+impl ExecPlan {
+    /// Builds the schedule for `graph`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::Cycle`] if the graph has a cycle.
+    pub fn new(graph: &Graph) -> Result<ExecPlan, GraphError> {
+        let liveness = liveness(graph)?;
+        // Level of a value: 0 for graph inputs, 1 + producing node's wave
+        // for node outputs. A node's wave is the max of its input levels.
+        let mut value_level = vec![0usize; graph.value_count()];
+        let mut waves: Vec<Vec<NodeId>> = Vec::new();
+        for &id in &liveness.order {
+            let node = graph.node(id);
+            let wave = node
+                .inputs
+                .iter()
+                .map(|v| value_level[v.index()])
+                .max()
+                .unwrap_or(0);
+            if wave == waves.len() {
+                waves.push(Vec::new());
+            }
+            waves[wave].push(id);
+            value_level[node.output.index()] = wave + 1;
+        }
+        Ok(ExecPlan { waves, liveness })
+    }
+
+    /// Total number of scheduled nodes.
+    pub fn node_count(&self) -> usize {
+        self.liveness.order.len()
+    }
+}
+
+/// Size-bucketed free list recycling tensor buffers.
+///
+/// Buckets are keyed by *exact* element count: reusing a buffer for a
+/// differently-sized tensor would make reuse opportunities depend on
+/// allocation order, and the executor promises its statistics are
+/// identical at every worker width. Returned buffers are zero-filled, the
+/// same state [`crate::Tensor::zeros`] provides, so the executor's
+/// fill-style kernels can rely on zeroed output.
+#[derive(Debug, Default)]
+pub struct Arena {
+    buckets: HashMap<usize, Vec<Vec<f32>>>,
+    /// Buffers handed out from a bucket instead of freshly allocated.
+    pub reuses: u64,
+    /// Buffers that had to be freshly allocated.
+    pub allocs: u64,
+}
+
+impl Arena {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Arena::default()
+    }
+
+    /// Returns a zero-filled buffer of exactly `numel` elements, recycled
+    /// if a same-sized buffer has been [`give`](Arena::give)n back.
+    pub fn take(&mut self, numel: usize) -> Vec<f32> {
+        if let Some(mut buf) = self.buckets.get_mut(&numel).and_then(Vec::pop) {
+            self.reuses += 1;
+            buf.clear();
+            buf.resize(numel, 0.0);
+            buf
+        } else {
+            self.allocs += 1;
+            vec![0.0; numel]
+        }
+    }
+
+    /// Parks a dead tensor's buffer for reuse. Zero-capacity buffers are
+    /// dropped — nothing to recycle.
+    pub fn give(&mut self, buf: Vec<f32>) {
+        if buf.capacity() > 0 {
+            self.buckets.entry(buf.len()).or_default().push(buf);
+        }
+    }
+
+    /// Bytes currently parked in the free list.
+    pub fn held_bytes(&self) -> usize {
+        self.buckets
+            .iter()
+            .map(|(numel, bufs)| numel * bufs.len() * std::mem::size_of::<f32>())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pimflow_ir::{GraphBuilder, Shape};
+
+    #[test]
+    fn chain_gets_one_node_per_wave() {
+        let mut b = GraphBuilder::new("t");
+        let x = b.input(Shape::nhwc(1, 8, 8, 3));
+        let c1 = b.conv(x, 4, 3, 1, 1);
+        let r = b.relu(c1);
+        let c2 = b.conv(r, 4, 3, 1, 1);
+        let g = b.finish(c2);
+        let plan = ExecPlan::new(&g).unwrap();
+        assert_eq!(plan.waves.len(), 3);
+        assert!(plan.waves.iter().all(|w| w.len() == 1));
+        assert_eq!(plan.node_count(), 3);
+    }
+
+    #[test]
+    fn parallel_branches_share_a_wave() {
+        // x -> (a, b) -> add: branches are independent, so they land in
+        // the same wave; the add waits for both.
+        let mut b = GraphBuilder::new("t");
+        let x = b.input(Shape::nhwc(1, 8, 8, 4));
+        let l = b.conv1x1(x, 4);
+        let r = b.conv1x1(x, 4);
+        let join = b.add(l, r);
+        let g = b.finish(join);
+        let plan = ExecPlan::new(&g).unwrap();
+        assert_eq!(plan.waves.len(), 2);
+        assert_eq!(plan.waves[0].len(), 2);
+        assert_eq!(plan.waves[1].len(), 1);
+    }
+
+    #[test]
+    fn waves_respect_uneven_depths() {
+        // One branch is deeper: the join's wave is max(depths) + 1.
+        let mut b = GraphBuilder::new("t");
+        let x = b.input(Shape::nhwc(1, 8, 8, 4));
+        let shallow = b.conv1x1(x, 4);
+        let d1 = b.conv1x1(x, 4);
+        let d2 = b.relu(d1);
+        let join = b.add(shallow, d2);
+        let g = b.finish(join);
+        let plan = ExecPlan::new(&g).unwrap();
+        assert_eq!(plan.waves.len(), 3);
+        assert_eq!(plan.waves[0].len(), 2); // shallow, d1
+        assert_eq!(plan.waves[1].len(), 1); // d2
+        assert_eq!(plan.waves[2].len(), 1); // join
+    }
+
+    #[test]
+    fn arena_recycles_exact_sizes_only() {
+        let mut a = Arena::new();
+        let b1 = a.take(16);
+        assert_eq!(a.allocs, 1);
+        a.give(b1);
+        assert_eq!(a.held_bytes(), 16 * 4);
+        // Different size: no reuse.
+        let b2 = a.take(32);
+        assert_eq!((a.allocs, a.reuses), (2, 0));
+        a.give(b2);
+        // Same size: reused and zeroed.
+        let mut b3 = a.take(16);
+        assert_eq!((a.allocs, a.reuses), (2, 1));
+        assert!(b3.iter().all(|&v| v == 0.0));
+        b3[0] = 5.0;
+        a.give(b3);
+        let b4 = a.take(16);
+        assert!(
+            b4.iter().all(|&v| v == 0.0),
+            "recycled buffer must be zeroed"
+        );
+    }
+
+    #[test]
+    fn arena_ignores_empty_buffers() {
+        let mut a = Arena::new();
+        a.give(Vec::new());
+        assert_eq!(a.held_bytes(), 0);
+    }
+}

@@ -73,6 +73,18 @@ impl Tensor {
         &mut self.data
     }
 
+    /// Consumes the tensor and returns its backing buffer — the handoff
+    /// point into the executor's arena, which recycles freed buffers
+    /// instead of letting the allocator see them.
+    pub fn into_data(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Resident size of the tensor's payload in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f32>()
+    }
+
     /// Linear index of a multi-dimensional coordinate.
     ///
     /// # Panics
@@ -188,6 +200,15 @@ mod tests {
     #[should_panic(expected = "out of bounds")]
     fn oob_panics() {
         Tensor::zeros(Shape::rf(2, 3)).get(&[2, 0]);
+    }
+
+    #[test]
+    fn into_data_and_size_bytes_round_trip() {
+        let t = Tensor::from_fn(Shape::nhwc(1, 2, 2, 3), |i| i as f32);
+        assert_eq!(t.size_bytes(), 12 * 4);
+        let data = t.into_data();
+        assert_eq!(data.len(), 12);
+        assert_eq!(data[7], 7.0);
     }
 
     #[test]

@@ -49,7 +49,7 @@ fn im2col_gemm_equals_direct_conv() {
         let bias = vec![0.0; oc];
         // conv2d_direct is the oracle: conv2d itself routes through the
         // same im2col + GEMM being checked here.
-        let direct = conv2d_direct(&x, &wts, &bias, &attrs);
+        let direct = conv2d_direct(&x, &wts, &bias, &attrs).unwrap();
         let lowered = im2col(&x, &attrs).unwrap();
         let w_mat = Tensor::from_vec(Shape::rf(k * k * ic, oc), wts.clone());
         let via_gemm = gemm(&lowered, &w_mat).unwrap();
@@ -61,7 +61,7 @@ fn im2col_gemm_equals_direct_conv() {
             via_gemm.max_abs_diff(&direct2)
         );
         // And the fast path agrees with the oracle end to end.
-        let fast = conv2d(&x, &wts, &bias, &attrs);
+        let fast = conv2d(&x, &wts, &bias, &attrs).unwrap();
         assert!(fast.allclose(&direct, 0.0));
     }
 }
@@ -93,7 +93,7 @@ fn slice_concat_data_roundtrip() {
                 end: h,
             },
         );
-        let y = concat(&[&a, &b], 1);
+        let y = concat(&[&a, &b], 1).unwrap();
         assert!(y.allclose(&x, 0.0));
     }
 }
@@ -171,7 +171,7 @@ fn depthwise_is_channelwise() {
         let weights: Vec<f32> = (0..c).map(|i| (i + 1) as f32).collect();
         let bias = vec![0.0; c];
         let x = Tensor::from_vec(Shape::nhwc(1, 1, 1, c), vals.clone());
-        let y = conv2d(&x, &weights, &bias, &attrs);
+        let y = conv2d(&x, &weights, &bias, &attrs).unwrap();
         for (i, (&out, &v)) in y.data().iter().zip(&vals).enumerate() {
             assert!((out - v * (i + 1) as f32).abs() < 1e-6);
         }

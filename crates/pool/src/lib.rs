@@ -32,8 +32,10 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
+use std::sync::Mutex;
 
 /// Hard cap on pool width: far above any real machine, it only bounds
 /// accidental `PIMFLOW_JOBS=999999` thread explosions.
@@ -179,6 +181,129 @@ impl WorkerPool {
             .collect();
         (results, states)
     }
+
+    /// Like [`map_with`](WorkerPool::map_with), but the pool takes the
+    /// items *by value*: each item is handed to exactly one worker, which
+    /// consumes it. This is how the graph executor ships pre-allocated
+    /// output tensors into workers that fill them in place.
+    ///
+    /// The determinism contract is unchanged — results come back in input
+    /// order, states in worker-index order.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first worker panic after all workers have joined.
+    pub fn map_consume_with<T, R, S>(
+        &self,
+        items: Vec<T>,
+        init: impl Fn() -> S + Sync,
+        f: impl Fn(&mut S, usize, T) -> R + Sync,
+    ) -> (Vec<R>, Vec<S>)
+    where
+        T: Send,
+        R: Send,
+        S: Send,
+    {
+        let workers = self.jobs.min(items.len()).max(1);
+        if workers == 1 {
+            let mut state = init();
+            let results = items
+                .into_iter()
+                .enumerate()
+                .map(|(i, item)| f(&mut state, i, item))
+                .collect();
+            return (results, vec![state]);
+        }
+
+        // Each index is claimed exactly once via the atomic counter, so the
+        // mutex around each slot is uncontended — it only exists to move the
+        // item out through a shared reference.
+        let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, R)>();
+        let mut out: Vec<Option<R>> = (0..slots.len()).map(|_| None).collect();
+        let states = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let tx = tx.clone();
+                    let next = &next;
+                    let slots = &slots;
+                    let init = &init;
+                    let f = &f;
+                    scope.spawn(move || {
+                        let mut state = init();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= slots.len() {
+                                break;
+                            }
+                            let item = slots[i]
+                                .lock()
+                                .expect("slot lock")
+                                .take()
+                                .expect("each slot consumed once");
+                            let r = f(&mut state, i, item);
+                            if tx.send((i, r)).is_err() {
+                                break;
+                            }
+                        }
+                        state
+                    })
+                })
+                .collect();
+            drop(tx);
+            while let Ok((i, r)) = rx.recv() {
+                out[i] = Some(r);
+            }
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(state) => state,
+                    Err(panic) => std::panic::resume_unwind(panic),
+                })
+                .collect::<Vec<S>>()
+        });
+        let results = out
+            .into_iter()
+            .map(|slot| slot.expect("one result per item"))
+            .collect();
+        (results, states)
+    }
+
+    /// Stateless sibling of [`map_consume_with`](WorkerPool::map_consume_with).
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first worker panic after all workers have joined.
+    pub fn map_consume<T, R>(&self, items: Vec<T>, f: impl Fn(usize, T) -> R + Sync) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+    {
+        self.map_consume_with(items, || (), |(), i, item| f(i, item))
+            .0
+    }
+}
+
+/// Splits `0..n` into at most `parts` contiguous, near-equal ranges (the
+/// first `n % parts` ranges are one longer). Returns fewer than `parts`
+/// ranges when `n < parts`, and no ranges when `n == 0` — never an empty
+/// range. Used to shard the rows/channels of a single kernel across
+/// workers while keeping each worker's slice contiguous.
+pub fn chunk_ranges(n: usize, parts: usize) -> Vec<Range<usize>> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let parts = parts.clamp(1, n);
+    let mut out = Vec::with_capacity(parts);
+    let (base, extra) = (n / parts, n % parts);
+    let mut begin = 0;
+    for i in 0..parts {
+        let len = base + usize::from(i < extra);
+        out.push(begin..begin + len);
+        begin += len;
+    }
+    out
 }
 
 impl Default for WorkerPool {
@@ -271,6 +396,63 @@ mod tests {
             })
         });
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn map_consume_preserves_input_order_at_any_width() {
+        // Boxed items prove values are truly moved, not copied.
+        let expected: Vec<u64> = (0..97).map(|x| x * 3).collect();
+        for jobs in [1usize, 2, 5, 16] {
+            let items: Vec<Box<u64>> = (0..97).map(Box::new).collect();
+            let got = WorkerPool::new(jobs).map_consume(items, |_, b| *b * 3);
+            assert_eq!(got, expected, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn map_consume_with_hands_each_item_to_one_worker() {
+        let items: Vec<usize> = (0..64).collect();
+        let (results, states) = WorkerPool::new(4).map_consume_with(
+            items,
+            Vec::new,
+            |seen: &mut Vec<usize>, i, item| {
+                seen.push(item);
+                assert_eq!(i, item);
+                item
+            },
+        );
+        assert_eq!(results, (0..64).collect::<Vec<_>>());
+        let mut all: Vec<usize> = states.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_consume_handles_empty_input() {
+        let items: Vec<u32> = Vec::new();
+        assert!(WorkerPool::new(8).map_consume(items, |_, x| x).is_empty());
+    }
+
+    #[test]
+    fn chunk_ranges_cover_exactly_once() {
+        for n in [0usize, 1, 2, 7, 64, 100] {
+            for parts in [1usize, 2, 3, 8, 200] {
+                let ranges = chunk_ranges(n, parts);
+                assert!(ranges.len() <= parts);
+                assert!(ranges.iter().all(|r| !r.is_empty()), "n={n} parts={parts}");
+                let mut covered = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, covered, "contiguous");
+                    covered = r.end;
+                }
+                assert_eq!(covered, n, "n={n} parts={parts}");
+                if n > 0 {
+                    let max = ranges.iter().map(|r| r.len()).max().unwrap();
+                    let min = ranges.iter().map(|r| r.len()).min().unwrap();
+                    assert!(max - min <= 1, "near-equal split");
+                }
+            }
+        }
     }
 
     #[test]

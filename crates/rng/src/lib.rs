@@ -75,6 +75,24 @@ impl Rng {
         result
     }
 
+    /// Advances the generator by `n` steps without producing values.
+    ///
+    /// Equivalent to calling [`next_u64`](Rng::next_u64) `n` times and
+    /// discarding the results, but skips the result computation — the
+    /// parameter generator uses this to jump over the columns of a weight
+    /// matrix it does not need while staying on the exact same stream.
+    pub fn skip(&mut self, n: usize) {
+        for _ in 0..n {
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+        }
+    }
+
     /// A uniform `f64` in `[0, 1)` (53 random mantissa bits).
     pub fn next_f64(&mut self) -> f64 {
         (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
@@ -246,6 +264,23 @@ mod tests {
             "mean {mean} should approximate {}",
             1.0 / rate
         );
+    }
+
+    #[test]
+    fn skip_matches_discarded_draws() {
+        let mut a = Rng::seed_from_u64(21);
+        let mut b = Rng::seed_from_u64(21);
+        a.skip(7);
+        for _ in 0..7 {
+            b.next_u64();
+        }
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        // skip(0) is a no-op.
+        let before = a.clone();
+        a.skip(0);
+        assert_eq!(a, before);
     }
 
     #[test]

@@ -4,9 +4,14 @@
 //! reference executor.
 
 use pimflow::engine::EngineConfig;
+use pimflow::evaluation::verify_equivalence;
 use pimflow::search::{apply_plan, search, SearchOptions};
 use pimflow_ir::{models, ActivationKind, Graph, GraphBuilder, Shape};
-use pimflow_kernels::{input_tensors, run_graph};
+
+/// Worker widths every equivalence case is verified at: the executor
+/// promises byte-identical outputs at any `--jobs` setting, so the suite
+/// exercises sequential, narrow, and wide pools.
+const JOBS_WIDTHS: [usize; 2] = [1, 4];
 
 fn assert_plan_preserves_semantics(g: &Graph, opts: &SearchOptions, tol: f32) {
     let cfg = EngineConfig::pimflow();
@@ -15,17 +20,24 @@ fn assert_plan_preserves_semantics(g: &Graph, opts: &SearchOptions, tol: f32) {
     transformed
         .validate()
         .expect("transformed graph is well-formed");
-    let inputs = input_tensors(g, 99);
-    let a = run_graph(g, &inputs).expect("original runs");
-    let b = run_graph(&transformed, &inputs).expect("transformed runs");
-    for (x, y) in a.iter().zip(&b) {
+    let mut diffs = Vec::new();
+    for jobs in JOBS_WIDTHS {
+        let report = verify_equivalence(g, &transformed, 99, Some(jobs))
+            .expect("both graphs run on the reference executor");
         assert!(
-            x.allclose(y, tol),
-            "{}: outputs differ by {}",
+            report.within(tol),
+            "{} at {jobs} jobs: outputs differ by {}",
             g.name,
-            x.max_abs_diff(y)
+            report.max_abs_diff
         );
+        diffs.push(report.max_abs_diff);
     }
+    // The numerical comparison itself must not depend on the pool width.
+    assert!(
+        diffs.windows(2).all(|w| w[0] == w[1]),
+        "{}: transformation diff varies with worker width: {diffs:?}",
+        g.name
+    );
 }
 
 #[test]

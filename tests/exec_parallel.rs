@@ -1,0 +1,191 @@
+//! Cross-crate integration: the wave-scheduled parallel executor and its
+//! liveness-based tensor arena never change results.
+//!
+//! The executor's contract is strict: for a fixed `(graph, inputs)` the
+//! output bytes are identical at every worker width and under every
+//! [`MemoryMode`], and the memory counters (peak bytes, drops, steals,
+//! arena reuse) are identical at every width. These tests enforce the
+//! contract across the model zoo, across transformed (split + pipelined)
+//! graphs, and across a seeded family of random graphs.
+
+use pimflow::engine::EngineConfig;
+use pimflow::search::{apply_plan, search, SearchOptions};
+use pimflow_ir::{models, ActivationKind, Graph, GraphBuilder, Shape};
+use pimflow_kernels::{input_tensors, run_graph_with, ExecOptions, ExecOutput, MemoryMode};
+use pimflow_rng::Rng;
+
+const WIDTHS: [usize; 3] = [1, 2, 8];
+
+fn run(g: &Graph, seed: u64, jobs: usize, memory: MemoryMode) -> ExecOutput {
+    let inputs = input_tensors(g, seed);
+    run_graph_with(
+        g,
+        &inputs,
+        &ExecOptions {
+            jobs: Some(jobs),
+            memory,
+        },
+    )
+    .expect("zoo graphs execute")
+}
+
+/// Asserts the executor contract for one graph: byte-identical outputs at
+/// every width and memory mode, width-invariant memory counters.
+fn assert_width_and_mode_invariant(g: &Graph, seed: u64) {
+    let baseline = run(g, seed, 1, MemoryMode::Arena);
+    for &jobs in &WIDTHS[1..] {
+        let wide = run(g, seed, jobs, MemoryMode::Arena);
+        for (a, b) in baseline.outputs.iter().zip(&wide.outputs) {
+            assert_eq!(
+                a.data(),
+                b.data(),
+                "{}: outputs must be byte-identical at {jobs} jobs",
+                g.name
+            );
+        }
+        let (s1, sw) = (&baseline.stats, &wide.stats);
+        assert_eq!(s1.peak_live_bytes, sw.peak_live_bytes, "{}", g.name);
+        assert_eq!(s1.retained_bytes, sw.retained_bytes, "{}", g.name);
+        assert_eq!(s1.dropped_tensors, sw.dropped_tensors, "{}", g.name);
+        assert_eq!(s1.stolen_buffers, sw.stolen_buffers, "{}", g.name);
+        assert_eq!(s1.arena_reuses, sw.arena_reuses, "{}", g.name);
+        assert_eq!(s1.arena_allocs, sw.arena_allocs, "{}", g.name);
+        assert_eq!(s1.waves, sw.waves, "{}", g.name);
+    }
+    for memory in [MemoryMode::Retain, MemoryMode::Drop] {
+        let other = run(g, seed, 2, memory);
+        for (a, b) in baseline.outputs.iter().zip(&other.outputs) {
+            assert_eq!(
+                a.data(),
+                b.data(),
+                "{}: outputs must not depend on {memory:?}",
+                g.name
+            );
+        }
+    }
+}
+
+#[test]
+fn zoo_outputs_are_width_and_mode_invariant() {
+    for g in [
+        models::toy(),
+        models::mobilenet_v2_scaled(0.35),
+        models::unet_small(),
+        models::bert_like(4),
+    ] {
+        assert_width_and_mode_invariant(&g, 42);
+    }
+}
+
+#[test]
+fn transformed_graphs_are_width_invariant() {
+    // Split (MD-DP) and pipelined graphs exercise Slice/Concat twins and
+    // shared weight keys — the param-cache path.
+    let g = models::toy();
+    let cfg = EngineConfig::pimflow();
+    for opts in [
+        SearchOptions::default(),
+        SearchOptions {
+            offload_only: true,
+            allow_pipeline: true,
+            pipeline_stages: 2,
+            ..Default::default()
+        },
+    ] {
+        let plan = search(&g, &cfg, &opts).expect("search succeeds");
+        let transformed = apply_plan(&g, &plan).expect("plan applies");
+        assert_width_and_mode_invariant(&transformed, 17);
+    }
+}
+
+#[test]
+fn arena_cuts_peak_memory_on_resnet50() {
+    // The acceptance bar: peak live bytes with the liveness plan must sit
+    // far below the sum of all intermediates a retain-everything executor
+    // holds (resnet-50 is ~180 tensors deep with small late layers).
+    let g = models::by_name("resnet-50").expect("zoo has resnet-50");
+    let out = run(&g, 3, 1, MemoryMode::Arena);
+    let s = &out.stats;
+    assert!(s.dropped_tensors + s.stolen_buffers > 100, "{s:?}");
+    assert!(s.arena_reuses > 0, "residual towers must recycle buffers");
+    assert!(
+        s.peak_live_bytes * 4 <= s.retained_bytes,
+        "liveness plan too weak: peak {} vs retained {}",
+        s.peak_live_bytes,
+        s.retained_bytes
+    );
+}
+
+/// Builds a random-but-valid CNN from a seeded RNG: conv/depthwise/pool
+/// trunk with residual adds and a slice/concat fork, closed by
+/// gap/flatten/dense/softmax.
+fn random_graph(seed: u64) -> Graph {
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(format!("random-{seed}"));
+    let c0 = 2 + rng.range_usize(0, 4);
+    let hw = 8 + 2 * rng.range_usize(0, 4);
+    let x = b.input(Shape::nhwc(1, hw, hw, c0));
+    let mut y = x;
+    let mut channels = c0;
+    let layers = 3 + rng.range_usize(0, 4);
+    for _ in 0..layers {
+        match rng.range_usize(0, 6) {
+            0 => {
+                let oc = 2 + rng.range_usize(0, 6);
+                let k = [1, 3][rng.range_usize(0, 2)];
+                y = b.conv(y, oc, k, 1, k / 2);
+                channels = oc;
+            }
+            1 => {
+                y = b.dwconv(y, channels, 3, 1, 1);
+            }
+            2 => {
+                y = b.bn(y);
+            }
+            3 => {
+                let kind = [
+                    ActivationKind::Relu,
+                    ActivationKind::Relu6,
+                    ActivationKind::Swish,
+                ][rng.range_usize(0, 3)];
+                y = match kind {
+                    ActivationKind::Relu => b.relu(y),
+                    ActivationKind::Relu6 => b.relu6(y),
+                    _ => {
+                        let s = b.identity(y);
+                        let m = b.conv1x1(s, channels);
+                        b.add(m, s)
+                    }
+                };
+            }
+            4 => {
+                // Residual fork: a 1x1 branch re-joined by add — two nodes
+                // in one wave, one value consumed twice.
+                let branch = b.conv1x1(y, channels);
+                let branch = b.relu(branch);
+                y = b.add(branch, y);
+            }
+            _ => {
+                // Channel fork: two 1x1 projections concatenated — the
+                // Slice/Concat data-movement path.
+                let left = b.conv1x1(y, channels);
+                let right = b.conv1x1(y, channels.max(2) / 2);
+                y = b.concat(vec![left, right], 3);
+                channels += channels.max(2) / 2;
+            }
+        }
+    }
+    let y = b.gap(y);
+    let y = b.flatten(y);
+    let y = b.dense(y, 5);
+    let y = b.softmax(y);
+    b.finish(y)
+}
+
+#[test]
+fn random_graphs_keep_the_contract() {
+    for case in 0..8u64 {
+        let g = random_graph(0x5EED_0000 + case);
+        assert_width_and_mode_invariant(&g, 100 + case);
+    }
+}
