@@ -45,6 +45,19 @@ cargo run -q --offline -p pimflow-bench --bin figures -- costcache "$tmpdir" --s
 grep -q '"meets_speedup_floor": true' "$tmpdir/BENCH_costcache.json"
 rm -rf "$tmpdir"
 
+# The fleet smoke sweep runs the multi-tenant simulator end to end. All
+# three invariants are simulated-time properties (no wall-clock), so they
+# must hold unconditionally: no admitted request is dropped on a healthy
+# fleet, the SLO-aware router beats round-robin on worst-tenant p99 at
+# >=1 swept load point, and seeded node failures lose zero requests.
+echo "==> figures fleet --smoke"
+tmpdir="$(mktemp -d)"
+PIMFLOW_JOBS=4 cargo run -q --offline -p pimflow-bench --bin figures -- fleet "$tmpdir" --smoke
+grep -q '"zero_drops_on_healthy_fleet": true' "$tmpdir/BENCH_fleet.json"
+grep -q '"slo_router_beats_round_robin": true' "$tmpdir/BENCH_fleet.json"
+grep -q '"zero_drops_under_node_faults": true' "$tmpdir/BENCH_fleet.json"
+rm -rf "$tmpdir"
+
 echo "==> cargo doc (deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline
 

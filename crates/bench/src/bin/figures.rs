@@ -14,6 +14,8 @@
 //!                          #   -> <dir>/BENCH_costcache.json
 //! figures exec [dir]       # sequential-vs-parallel graph execution
 //!                          #   -> <dir>/BENCH_exec.json
+//! figures fleet [dir]      # multi-tenant fleet: routers, node faults,
+//!                          #   autoscaling -> <dir>/BENCH_fleet.json
 //! ```
 //!
 //! `--jobs=<n>` (any position) sets the worker-pool width for the sweeps,
@@ -484,6 +486,75 @@ fn exec_sweep(dir: &str, smoke: bool) {
     println!("wrote {}", path.display());
 }
 
+/// Runs the fleet benchmark and writes `BENCH_fleet.json` under `dir`.
+fn fleet_sweep(dir: &str, smoke: bool) {
+    use pimflow_bench::fleet_sweep::write_bench_artifact;
+    println!("== Multi-tenant fleet: router comparison, node faults, autoscaling ==");
+    let (report, path) =
+        write_bench_artifact(std::path::Path::new(dir), smoke).expect("fleet sweep");
+    println!(
+        "  fleet: {} big + {} edge nodes ({} ch), {} tenants, loads {:?} req/s",
+        report.big_nodes,
+        report.edge_nodes,
+        report.edge_channels,
+        report.tenants,
+        report.rps_points
+    );
+    println!(
+        "  {:>7} {:>13} {:>9} {:>9} {:>12} {:>7} {:>11} {:>7}",
+        "rps", "router", "p50 us", "p99 us", "worst-t p99", "util", "thru req/s", "dropped"
+    );
+    for p in &report.routers {
+        println!(
+            "  {:>7.0} {:>13} {:>9.1} {:>9.1} {:>12.1} {:>6.1}% {:>11.1} {:>7}",
+            p.rps,
+            p.router,
+            p.p50_us,
+            p.p99_us,
+            p.worst_tenant_p99_us,
+            p.fleet_utilization * 100.0,
+            p.throughput_rps,
+            p.dropped
+        );
+    }
+    println!("  per-tenant (slo-aware run):");
+    for t in &report.tenant_points {
+        println!(
+            "    {:>6}: {:>6} arrived {:>6} done {:>5} rejected  p50 {:>9.1}  p99 {:>9.1} us",
+            t.name, t.arrived, t.completed, t.rejected, t.p50_us, t.p99_us
+        );
+    }
+    println!(
+        "  faults: {} transitions, {} rerouted, {} aborted batches, {} of {} served, {} dropped",
+        report.faults.node_fault_events,
+        report.faults.rerouted,
+        report.faults.aborted_batches,
+        report.faults.completed,
+        report.faults.admitted,
+        report.faults.dropped
+    );
+    println!(
+        "  autoscale: {} scale-ups, {} scale-downs, {} completed, {} dropped",
+        report.autoscale.scale_ups,
+        report.autoscale.scale_downs,
+        report.autoscale.completed,
+        report.autoscale.dropped
+    );
+    println!(
+        "  zero_drops_on_healthy_fleet: {}",
+        report.zero_drops_on_healthy_fleet
+    );
+    println!(
+        "  slo_router_beats_round_robin: {}",
+        report.slo_router_beats_round_robin
+    );
+    println!(
+        "  zero_drops_under_node_faults: {}",
+        report.zero_drops_under_node_faults
+    );
+    println!("wrote {}", path.display());
+}
+
 fn main() {
     // Split `--jobs=<n>` (worker-pool width, any position) and `--smoke`
     // from the positional arguments.
@@ -534,6 +605,11 @@ fn main() {
     if which == "exec" {
         let dir = positional.get(1).cloned().unwrap_or_else(|| ".".into());
         exec_sweep(&dir, smoke);
+        return;
+    }
+    if which == "fleet" {
+        let dir = positional.get(1).cloned().unwrap_or_else(|| ".".into());
+        fleet_sweep(&dir, smoke);
         return;
     }
     let needs_fig9 = matches!(which.as_str(), "all" | "fig9" | "fig12");

@@ -11,6 +11,7 @@
 pub mod cost_cache_sweep;
 pub mod exec_sweep;
 pub mod experiments;
+pub mod fleet_sweep;
 pub mod harness;
 pub mod parallel_sweep;
 pub mod resilience_sweep;

@@ -19,8 +19,16 @@
 //! # Serving: simulate an inference service in front of the device
 //! pimflow serve --model <net> --policy <p> --rps <r> --duration <s> [--seed <n>]
 //!               [--arrival fixed|poisson] [--trace-file <path>] [--max-batch <n>]
-//!               [--timeout-us <t>] [--cache-size <n>] [--precompile]
+//!               [--timeout-us <t>] [--plan-cache-cap <n>] [--precompile]
 //!               [--faults <severity>] [--fault-seed <n>] [--measure-replan]
+//!               [--events-out <path>] [--report-out <path>]
+//!
+//! # Fleet: simulate a multi-tenant fleet of PIM-GPU nodes behind a router
+//! pimflow fleet --model <net> [--nodes <n>] [--edge-nodes <n>] [--tenants <n>]
+//!               [--rps <total>] [--traffic poisson|fixed|diurnal|bursty]
+//!               [--router rr|least-loaded|slo] [--duration <s>] [--seed <n>]
+//!               [--rate-limit <rps>] [--shed-depth <n>] [--autoscale]
+//!               [--standby <n>] [--faults <severity>] [--fault-seed <n>]
 //!               [--events-out <path>] [--report-out <path>]
 //! ```
 //!
@@ -37,6 +45,7 @@
 use pimflow::engine::{execute, EngineConfig};
 use pimflow::policy::{evaluate, Policy};
 use pimflow::search::{apply_plan, search, ExecutionPlan, SearchOptions};
+use pimflow_fleet::{run_fleet, FleetConfig, NodeClass, RouterPolicy, TenantSpec, TrafficSpec};
 use pimflow_ir::models;
 use pimflow_serve::{parse_trace, ArrivalSpec, FaultScenario, ServeConfig};
 use std::path::{Path, PathBuf};
@@ -354,7 +363,17 @@ fn parse_serve_args(raw: &[String]) -> Result<ServeArgs, String> {
             "--seed" => sa.cfg.seed = int(&key, &value(&key)?)? as u64,
             "--max-batch" => sa.cfg.max_batch = int(&key, &value(&key)?)?,
             "--timeout-us" => sa.cfg.batch_timeout_us = num(&key, &value(&key)?)?,
-            "--cache-size" => sa.cfg.cache_capacity = int(&key, &value(&key)?)?,
+            // `--plan-cache-cap` is the canonical spelling (matching the
+            // PIMFLOW_PLAN_CACHE_CAP variable); `--cache-size` stays as an
+            // alias for older scripts.
+            "--plan-cache-cap" | "--cache-size" => {
+                let v = value(&key)?;
+                let n = int(&key, &v)?;
+                if n == 0 {
+                    return Err(format!("{key} must be at least 1"));
+                }
+                sa.cfg.cache_capacity = n;
+            }
             "--precompile" => sa.cfg.precompile = true,
             "--faults" => {
                 let v = value(&key)?;
@@ -499,8 +518,309 @@ fn serve(raw: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Flags of the `pimflow fleet` subcommand, before they are folded into a
+/// [`FleetConfig`].
+#[derive(Debug)]
+struct FleetArgs {
+    cfg: FleetConfig,
+    model: String,
+    tenants: usize,
+    rps: f64,
+    alpha: f64,
+    traffic_kind: String,
+    rate_limit: f64,
+    burst: usize,
+    edge_nodes: usize,
+    edge_channels: usize,
+    fault_severity: f64,
+    fault_seed: Option<u64>,
+    events_out: Option<PathBuf>,
+    report_out: Option<PathBuf>,
+}
+
+/// Parses `pimflow fleet` flags. Accepts both `--flag value` and
+/// `--flag=value` spellings.
+fn parse_fleet_args(raw: &[String]) -> Result<FleetArgs, String> {
+    let mut nodes = 4usize;
+    let mut fa = FleetArgs {
+        cfg: FleetConfig::new(4, Vec::new()),
+        model: String::new(),
+        tenants: 4,
+        rps: 4_000.0,
+        alpha: 1.2,
+        traffic_kind: "poisson".to_string(),
+        rate_limit: 0.0,
+        burst: 4,
+        edge_nodes: 0,
+        edge_channels: 8,
+        fault_severity: 0.0,
+        fault_seed: None,
+        events_out: None,
+        report_out: None,
+    };
+    let mut it = raw.iter();
+    while let Some(tok) = it.next() {
+        let (key, inline) = match tok.split_once('=') {
+            Some((k, v)) => (k.to_string(), Some(v.to_string())),
+            None => (tok.clone(), None),
+        };
+        let mut value = |flag: &str| -> Result<String, String> {
+            match &inline {
+                Some(v) => Ok(v.clone()),
+                None => it
+                    .next()
+                    .cloned()
+                    .ok_or_else(|| format!("{flag} requires a value")),
+            }
+        };
+        let num = |flag: &str, v: &str| -> Result<f64, String> {
+            v.parse::<f64>()
+                .map_err(|_| format!("{flag} expects a number, got `{v}`"))
+        };
+        let int = |flag: &str, v: &str| -> Result<usize, String> {
+            v.parse::<usize>()
+                .map_err(|_| format!("{flag} expects an integer, got `{v}`"))
+        };
+        match key.as_str() {
+            "--model" | "-n" => fa.model = value(&key)?,
+            "--nodes" => nodes = int(&key, &value(&key)?)?,
+            "--edge-nodes" => fa.edge_nodes = int(&key, &value(&key)?)?,
+            "--edge-channels" => fa.edge_channels = int(&key, &value(&key)?)?,
+            "--tenants" => fa.tenants = int(&key, &value(&key)?)?,
+            "--rps" => fa.rps = num(&key, &value(&key)?)?,
+            "--alpha" => fa.alpha = num(&key, &value(&key)?)?,
+            "--traffic" => {
+                let v = value(&key)?;
+                match v.as_str() {
+                    "poisson" | "fixed" | "diurnal" | "bursty" => fa.traffic_kind = v,
+                    other => {
+                        return Err(format!(
+                            "unknown traffic `{other}` (use poisson|fixed|diurnal|bursty)"
+                        ))
+                    }
+                }
+            }
+            "--router" => {
+                let v = value(&key)?;
+                fa.cfg.router = RouterPolicy::from_cli(&v)
+                    .ok_or_else(|| format!("unknown router `{v}` (use rr|least-loaded|slo)"))?;
+            }
+            "--duration" => fa.cfg.duration_s = num(&key, &value(&key)?)?,
+            "--seed" => fa.cfg.seed = int(&key, &value(&key)?)? as u64,
+            "--max-batch" => fa.cfg.max_batch = int(&key, &value(&key)?)?,
+            "--timeout-us" => fa.cfg.batch_timeout_us = num(&key, &value(&key)?)?,
+            "--plan-cache-cap" => {
+                let v = value(&key)?;
+                let n = int(&key, &v)?;
+                if n == 0 {
+                    return Err("--plan-cache-cap must be at least 1".into());
+                }
+                fa.cfg.plan_cache_cap = n;
+            }
+            "--rate-limit" => fa.rate_limit = num(&key, &value(&key)?)?,
+            "--burst" => fa.burst = int(&key, &value(&key)?)?,
+            "--shed-depth" => fa.cfg.admission.shed_queue_depth = int(&key, &value(&key)?)?,
+            "--autoscale" => fa.cfg.autoscale.enabled = true,
+            "--standby" => fa.cfg.initial_standby = int(&key, &value(&key)?)?,
+            "--faults" => {
+                let v = value(&key)?;
+                fa.fault_severity = num(&key, &v)?;
+                if !(0.0..=1.0).contains(&fa.fault_severity) {
+                    return Err(format!("--faults expects a severity in [0, 1], got `{v}`"));
+                }
+            }
+            "--fault-seed" => fa.fault_seed = Some(int(&key, &value(&key)?)? as u64),
+            "--precompile" => fa.cfg.precompile = true,
+            "--jobs" | "-j" => set_jobs(&value(&key)?)?,
+            "--events-out" => fa.events_out = Some(PathBuf::from(value(&key)?)),
+            "--report-out" => fa.report_out = Some(PathBuf::from(value(&key)?)),
+            other => return Err(format!("unknown fleet argument `{other}`")),
+        }
+    }
+    if fa.model.is_empty() {
+        return Err("missing --model <net>".into());
+    }
+    if fa.rps <= 0.0 {
+        return Err("--rps must be positive".into());
+    }
+    if fa.tenants == 0 {
+        return Err("--tenants must be at least 1".into());
+    }
+    if fa.cfg.duration_s <= 0.0 {
+        return Err("--duration must be positive".into());
+    }
+
+    // Node classes: `--nodes` full-size PIMFlow nodes, plus an optional
+    // heterogeneous tier of `--edge-nodes` with fewer PIM channels.
+    let mut classes = vec![NodeClass::new("node", Policy::Pimflow, nodes)];
+    if fa.edge_nodes > 0 {
+        classes.push(NodeClass {
+            pim_channels: Some(fa.edge_channels.max(1)),
+            ..NodeClass::new("edge", Policy::Pimflow, fa.edge_nodes)
+        });
+    }
+    fa.cfg.classes = classes;
+
+    // Tenants: a heavy-tailed Zipf(alpha) split of the total offered rate,
+    // with each tenant's share wrapped in the requested stream shape.
+    let duration = fa.cfg.duration_s;
+    fa.cfg.tenants = pimflow_fleet::zipf_weights(fa.tenants, fa.alpha)
+        .into_iter()
+        .enumerate()
+        .map(|(i, w)| {
+            let share = fa.rps * w;
+            let traffic = match fa.traffic_kind.as_str() {
+                "fixed" => TrafficSpec::Fixed { rps: share },
+                "poisson" => TrafficSpec::Poisson { rps: share },
+                "diurnal" => TrafficSpec::Diurnal {
+                    mean_rps: share,
+                    amplitude: 0.8,
+                    period_s: duration,
+                },
+                "bursty" => TrafficSpec::Bursty {
+                    base_rps: share * 0.5,
+                    burst_rps: share * 2.5,
+                    mean_dwell_s: duration / 10.0,
+                },
+                _ => unreachable!("validated above"),
+            };
+            TenantSpec {
+                rate_limit_rps: fa.rate_limit,
+                burst: fa.burst,
+                ..TenantSpec::new(format!("t{i}"), &fa.model, traffic)
+            }
+        })
+        .collect();
+
+    if fa.fault_severity > 0.0 {
+        // Same seed precedence as `serve`: --fault-seed, then
+        // PIMFLOW_FAULTS, then the run seed — but replayed at *node*
+        // granularity (a down event fails a whole node).
+        let seed = match fa.fault_seed {
+            Some(s) => s,
+            None => match std::env::var("PIMFLOW_FAULTS") {
+                Ok(v) => v
+                    .parse::<u64>()
+                    .map_err(|_| format!("PIMFLOW_FAULTS expects an integer seed, got `{v}`"))?,
+                Err(_) => fa.cfg.seed,
+            },
+        };
+        fa.cfg.node_faults = FaultScenario::from_seed(
+            seed,
+            fa.cfg.node_count(),
+            fa.fault_severity,
+            fa.cfg.duration_s,
+        );
+    } else if fa.fault_seed.is_some() {
+        return Err("--fault-seed requires --faults <severity>".into());
+    }
+    fa.cfg.validate()?;
+    Ok(fa)
+}
+
+fn fleet(raw: &[String]) -> Result<(), String> {
+    let fa = parse_fleet_args(raw)?;
+    let out = run_fleet(&fa.cfg).map_err(|e| e.to_string())?;
+    let r = &out.report;
+    println!(
+        "fleet of {} nodes ({} standby), {} tenants on {}, {} router, seed {}",
+        fa.cfg.node_count(),
+        fa.cfg.initial_standby,
+        r.tenants.len(),
+        fa.model,
+        r.router,
+        r.seed
+    );
+    println!(
+        "  requests: {} arrived, {} admitted, {} completed, {} rejected, {} dropped",
+        r.arrived, r.admitted, r.completed, r.rejected, r.dropped
+    );
+    println!(
+        "  throughput {:.1} req/s over {:.1} us makespan, fleet utilization {:.1}%",
+        r.throughput_rps,
+        r.makespan_us,
+        r.fleet_utilization * 100.0
+    );
+    println!(
+        "  latency us: p50 {:.1}  p99 {:.1}  mean {:.1}  max {:.1}",
+        r.p50_us, r.p99_us, r.mean_us, r.max_us
+    );
+    if r.node_fault_events > 0 || r.rerouted > 0 {
+        println!(
+            "  faults: {} node transitions, {} requests rerouted",
+            r.node_fault_events, r.rerouted
+        );
+    }
+    if r.scale_ups > 0 || r.scale_downs > 0 {
+        println!(
+            "  autoscaler: {} scale-ups, {} scale-downs",
+            r.scale_ups, r.scale_downs
+        );
+    }
+    for t in &r.tenants {
+        println!(
+            "  tenant {:>6}: {:>5} arrived {:>5} done {:>4} rejected | p50 {:>8.1} p99 {:>8.1} us",
+            t.name,
+            t.arrived,
+            t.completed,
+            t.rejected_rate_limited + t.rejected_shed + t.rejected_unavailable,
+            t.p50_us,
+            t.p99_us
+        );
+    }
+    for n in &r.nodes {
+        println!(
+            "  node {:>2} ({:>4}, {}): {:>4} batches {:>5} reqs, busy {:.1}% , cache hit {:.0}%, {}",
+            n.node,
+            n.class,
+            n.policy,
+            n.batches,
+            n.completed,
+            n.utilization * 100.0,
+            n.cache_hit_rate * 100.0,
+            n.final_state
+        );
+    }
+    if let Some(path) = &fa.events_out {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+        }
+        std::fs::write(path, out.events.to_jsonl())
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        println!(
+            "  event trace ({} events) -> {}",
+            out.events.len(),
+            path.display()
+        );
+    }
+    if let Some(path) = &fa.report_out {
+        write_json(path, r)?;
+        println!("  report -> {}", path.display());
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("fleet") {
+        return match fleet(&argv[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                eprintln!(
+                    "usage: pimflow fleet --model <net> [--nodes <n>] [--edge-nodes <n>] \
+                     [--edge-channels <c>] [--tenants <n>] [--rps <total>] [--alpha <a>] \
+                     [--traffic poisson|fixed|diurnal|bursty] [--router rr|least-loaded|slo] \
+                     [--duration <s>] [--seed <n>] [--max-batch <n>] [--timeout-us <t>] \
+                     [--plan-cache-cap <n>] [--rate-limit <rps>] [--burst <n>] \
+                     [--shed-depth <n>] [--autoscale] [--standby <n>] [--faults <severity>] \
+                     [--fault-seed <n>] [--precompile] [--jobs <n>] [--events-out <path>] \
+                     [--report-out <path>]"
+                );
+                ExitCode::FAILURE
+            }
+        };
+    }
     if argv.first().map(String::as_str) == Some("serve") {
         return match serve(&argv[1..]) {
             Ok(()) => ExitCode::SUCCESS,
@@ -509,7 +829,7 @@ fn main() -> ExitCode {
                 eprintln!(
                     "usage: pimflow serve --model <net> [--policy <p>] [--rps <r>] \
                      [--arrival fixed|poisson|trace] [--trace-file <path>] [--duration <s>] \
-                     [--seed <n>] [--max-batch <n>] [--timeout-us <t>] [--cache-size <n>] \
+                     [--seed <n>] [--max-batch <n>] [--timeout-us <t>] [--plan-cache-cap <n>] \
                      [--precompile] [--faults <severity>] [--fault-seed <n>] \
                      [--measure-replan] [--jobs <n>] [--events-out <path>] \
                      [--report-out <path>]"
@@ -524,6 +844,7 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             eprintln!("usage: pimflow -m=<profile|solve|trace|info|run> [-t=<split|pipeline>] -n=<net> [--gpu_only] [--policy=<p>] [--out=<dir>]");
             eprintln!("       pimflow serve --model <net> [--policy <p>] [--rps <r>] [--duration <s>] ...");
+            eprintln!("       pimflow fleet --model <net> [--nodes <n>] [--tenants <n>] [--router rr|least-loaded|slo] ...");
             return ExitCode::FAILURE;
         }
     };

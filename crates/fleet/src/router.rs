@@ -1,0 +1,144 @@
+//! Request routing across fleet nodes.
+//!
+//! The router is a pure function from a load snapshot to a node choice, so
+//! each policy is unit-testable without running a simulation, and the event
+//! loop stays deterministic: candidates are always presented in ascending
+//! node-id order and every tie breaks toward the lower id.
+
+use crate::config::RouterPolicy;
+
+/// Load snapshot of one eligible (active, accepting) node at routing time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeLoad {
+    /// Node id.
+    pub node: usize,
+    /// Requests queued across all of the node's model queues.
+    pub queue_depth: usize,
+    /// Predicted time until the node would finish one more request:
+    /// remaining in-flight execution plus a per-class service-time
+    /// estimate for everything queued, microseconds. Only the SLO-aware
+    /// policy reads it.
+    pub est_finish_us: f64,
+}
+
+/// Picks a node for one request from `candidates` (non-empty, ascending
+/// node id). `rr_cursor` is the round-robin rotation state, advanced only
+/// by [`RouterPolicy::RoundRobin`].
+///
+/// # Panics
+///
+/// Panics if `candidates` is empty — eligibility is the caller's job.
+pub fn route(policy: RouterPolicy, rr_cursor: &mut usize, candidates: &[NodeLoad]) -> usize {
+    assert!(
+        !candidates.is_empty(),
+        "route() needs at least one candidate"
+    );
+    match policy {
+        RouterPolicy::RoundRobin => {
+            let pick = candidates[*rr_cursor % candidates.len()].node;
+            *rr_cursor += 1;
+            pick
+        }
+        RouterPolicy::LeastLoaded => {
+            candidates
+                .iter()
+                .min_by_key(|c| (c.queue_depth, c.node))
+                .expect("non-empty")
+                .node
+        }
+        RouterPolicy::SloAware => {
+            candidates
+                .iter()
+                .min_by(|a, b| {
+                    a.est_finish_us
+                        .partial_cmp(&b.est_finish_us)
+                        .expect("finite estimates")
+                        .then(a.node.cmp(&b.node))
+                })
+                .expect("non-empty")
+                .node
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn loads() -> Vec<NodeLoad> {
+        vec![
+            NodeLoad {
+                node: 0,
+                queue_depth: 5,
+                est_finish_us: 900.0,
+            },
+            NodeLoad {
+                node: 2,
+                queue_depth: 1,
+                est_finish_us: 1_500.0,
+            },
+            NodeLoad {
+                node: 3,
+                queue_depth: 1,
+                est_finish_us: 200.0,
+            },
+        ]
+    }
+
+    #[test]
+    fn round_robin_rotates_through_candidates() {
+        let mut cursor = 0;
+        let picks: Vec<usize> = (0..6)
+            .map(|_| route(RouterPolicy::RoundRobin, &mut cursor, &loads()))
+            .collect();
+        assert_eq!(picks, vec![0, 2, 3, 0, 2, 3]);
+    }
+
+    #[test]
+    fn least_loaded_picks_shallowest_queue_lowest_id() {
+        let mut cursor = 0;
+        // Nodes 2 and 3 tie on depth 1: the lower id wins.
+        assert_eq!(route(RouterPolicy::LeastLoaded, &mut cursor, &loads()), 2);
+        assert_eq!(cursor, 0, "only round-robin advances the cursor");
+    }
+
+    #[test]
+    fn slo_aware_picks_earliest_predicted_finish() {
+        let mut cursor = 0;
+        // Node 3 finishes soonest even though node 2 ties it on depth.
+        assert_eq!(route(RouterPolicy::SloAware, &mut cursor, &loads()), 3);
+        // A deep-queued fast node can beat a shallow slow node — that is
+        // the point of predicting latency instead of counting requests.
+        let hetero = vec![
+            NodeLoad {
+                node: 0,
+                queue_depth: 4,
+                est_finish_us: 400.0,
+            },
+            NodeLoad {
+                node: 1,
+                queue_depth: 1,
+                est_finish_us: 2_000.0,
+            },
+        ];
+        assert_eq!(route(RouterPolicy::SloAware, &mut cursor, &hetero), 0);
+        assert_eq!(route(RouterPolicy::LeastLoaded, &mut cursor, &hetero), 1);
+    }
+
+    #[test]
+    fn single_candidate_always_wins() {
+        let solo = vec![NodeLoad {
+            node: 7,
+            queue_depth: 100,
+            est_finish_us: 1e9,
+        }];
+        let mut cursor = 3;
+        for p in [
+            RouterPolicy::RoundRobin,
+            RouterPolicy::LeastLoaded,
+            RouterPolicy::SloAware,
+        ] {
+            assert_eq!(route(p, &mut cursor, &solo), 7);
+        }
+    }
+}

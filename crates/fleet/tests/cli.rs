@@ -223,3 +223,109 @@ fn serve_rejects_bad_flags() {
     assert!(!ok);
     assert!(out.contains("unknown model"), "{out}");
 }
+
+#[test]
+fn fleet_runs_and_is_deterministic() {
+    let dir = std::env::temp_dir().join(format!("pimflow-fleet-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let args = [
+        "fleet",
+        "--model",
+        "toy",
+        "--nodes",
+        "3",
+        "--tenants",
+        "3",
+        "--rps",
+        "3000",
+        "--router",
+        "slo",
+        "--duration",
+        "0.05",
+        "--seed",
+        "7",
+        "--events-out",
+        "fleet-events.jsonl",
+        "--report-out",
+        "fleet-report.json",
+    ];
+    let (ok, out1) = pimflow(&args, &dir);
+    assert!(ok, "{out1}");
+    assert!(out1.contains("slo-aware"), "{out1}");
+    assert!(out1.contains("0 dropped"), "{out1}");
+    assert!(out1.contains("tenant"), "{out1}");
+    let events1 = std::fs::read_to_string(dir.join("fleet-events.jsonl")).unwrap();
+    assert!(events1.lines().count() > 10);
+    let report = std::fs::read_to_string(dir.join("fleet-report.json")).unwrap();
+    assert!(report.contains("fleet_utilization"), "{report}");
+    assert!(report.contains("\"dropped\": 0"), "{report}");
+
+    // Same seed: byte-identical summary and event trace.
+    let (ok, out2) = pimflow(&args, &dir);
+    assert!(ok, "{out2}");
+    assert_eq!(out1, out2, "fleet output must be deterministic");
+    let events2 = std::fs::read_to_string(dir.join("fleet-events.jsonl")).unwrap();
+    assert_eq!(events1, events2);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn fleet_survives_node_faults_without_drops() {
+    let dir = std::env::temp_dir();
+    let (ok, out) = pimflow(
+        &[
+            "fleet",
+            "--model=toy",
+            "--nodes=3",
+            "--tenants=2",
+            "--rps=2000",
+            "--duration=0.03",
+            "--faults=0.5",
+            "--fault-seed=11",
+        ],
+        &dir,
+    );
+    assert!(ok, "{out}");
+    assert!(out.contains("node transitions"), "{out}");
+    assert!(out.contains("0 dropped"), "{out}");
+}
+
+#[test]
+fn fleet_rejects_bad_flags() {
+    let dir = std::env::temp_dir();
+    let (ok, out) = pimflow(&["fleet", "--model", "toy", "--rps", "-5"], &dir);
+    assert!(!ok);
+    assert!(out.contains("--rps must be positive"), "{out}");
+    let (ok, out) = pimflow(&["fleet"], &dir);
+    assert!(!ok);
+    assert!(out.contains("missing --model"), "{out}");
+    let (ok, out) = pimflow(&["fleet", "--model", "toy", "--frobnicate"], &dir);
+    assert!(!ok);
+    assert!(out.contains("unknown fleet argument"), "{out}");
+    let (ok, out) = pimflow(&["fleet", "--model", "toy", "--router", "random"], &dir);
+    assert!(!ok);
+    assert!(out.contains("unknown router"), "{out}");
+    let (ok, out) = pimflow(&["fleet", "--model", "toy", "--plan-cache-cap", "0"], &dir);
+    assert!(!ok);
+    assert!(out.contains("--plan-cache-cap must be at least 1"), "{out}");
+}
+
+#[test]
+fn serve_plan_cache_cap_flag_works() {
+    let dir = std::env::temp_dir();
+    let (ok, out) = pimflow(
+        &[
+            "serve",
+            "--model=toy",
+            "--rps=1000",
+            "--duration=0.02",
+            "--plan-cache-cap=1",
+        ],
+        &dir,
+    );
+    assert!(ok, "{out}");
+    assert!(out.contains("hit rate"), "{out}");
+    let (ok, out) = pimflow(&["serve", "--model=toy", "--plan-cache-cap=0"], &dir);
+    assert!(!ok);
+    assert!(out.contains("--plan-cache-cap must be at least 1"), "{out}");
+}

@@ -1,0 +1,268 @@
+//! # pimflow-metrics
+//!
+//! Shared streaming-metrics primitives for the PIMFlow workspace. Both the
+//! single-node serving simulator (`pimflow-serve`) and the fleet simulator
+//! (`pimflow-fleet`) track end-to-end request latencies; this crate holds
+//! the one histogram implementation they share instead of each carrying a
+//! copy.
+//!
+//! The histogram is log-bucketed (geometric buckets growing by 2^(1/8) ≈
+//! 9% per bucket), so it answers p50/p95/p99 queries in O(buckets) with
+//! bounded relative error and O(1) memory per recorded value — the standard
+//! shape for streaming latency tracking. Quantiles are interpolated
+//! log-linearly *within* the bucket holding the nearest-rank sample and
+//! clamped to the observed min/max, so they are guaranteed to land within
+//! one bucket of the exact (sort-based) quantile — which the cross-crate
+//! property tests assert — and degenerate edge cases (a single sample,
+//! `q = 0`, `q = 1`) return exact observed values instead of a bucket
+//! representative.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::collections::BTreeMap;
+
+/// Geometric bucket growth: 8 buckets per doubling.
+const BUCKETS_PER_DOUBLING: f64 = 8.0;
+
+/// Non-positive samples are clamped to this floor before bucketing, so they
+/// land in a real bucket instead of -inf.
+const POSITIVE_FLOOR: f64 = 1e-9;
+
+/// A streaming latency histogram with geometric buckets.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: BTreeMap<i64, u64>,
+    count: u64,
+    sum: f64,
+    max: f64,
+    /// Smallest and largest *recorded representations* (values after the
+    /// positive clamp). Quantile estimates are clamped into this range so
+    /// interpolation can never overshoot the data at the bucket edges.
+    min_rec: f64,
+    max_rec: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: BTreeMap::new(),
+            count: 0,
+            sum: 0.0,
+            max: 0.0,
+            min_rec: f64::INFINITY,
+            max_rec: 0.0,
+        }
+    }
+}
+
+/// Bucket index of a positive value.
+fn bucket_of(v: f64) -> i64 {
+    (v.max(POSITIVE_FLOOR).log2() * BUCKETS_PER_DOUBLING).floor() as i64
+}
+
+/// Lower edge of bucket `i`.
+fn bucket_lo(i: i64) -> f64 {
+    (i as f64 / BUCKETS_PER_DOUBLING).exp2()
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one sample (microseconds; non-positive values clamp to the
+    /// smallest bucket).
+    pub fn record(&mut self, v_us: f64) {
+        let rec = v_us.max(POSITIVE_FLOOR);
+        *self.buckets.entry(bucket_of(v_us)).or_insert(0) += 1;
+        self.count += 1;
+        self.sum += v_us.max(0.0);
+        self.max = self.max.max(v_us);
+        self.min_rec = self.min_rec.min(rec);
+        self.max_rec = self.max_rec.max(rec);
+    }
+
+    /// Merges another histogram into this one (used to aggregate per-tenant
+    /// or per-node histograms into a fleet-wide view).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (&i, &c) in &other.buckets {
+            *self.buckets.entry(i).or_insert(0) += c;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+        self.min_rec = self.min_rec.min(other.min_rec);
+        self.max_rec = self.max_rec.max(other.max_rec);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of recorded samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Largest recorded sample (0.0 when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Streaming quantile estimate. The `q`-quantile sample is located by
+    /// nearest rank; the estimate interpolates log-linearly within that
+    /// sample's bucket (midpoint-of-rank convention) and is clamped to the
+    /// observed range, so `quantile(0.0)` and `quantile(1.0)` return the
+    /// exact observed extremes and a single-sample histogram reports the
+    /// sample itself at every `q`. Returns 0.0 when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} out of range");
+        if self.count == 0 {
+            return 0.0;
+        }
+        if q == 0.0 {
+            return self.min_rec;
+        }
+        if q == 1.0 {
+            return self.max_rec;
+        }
+        // Nearest-rank: the k-th smallest sample, 1-based.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (&i, &c) in &self.buckets {
+            let before = seen;
+            seen += c;
+            if seen >= rank {
+                // Position of the rank within this bucket, mapped to the
+                // middle of its equal-mass slice so the estimate stays
+                // strictly inside the bucket (the old representative was
+                // the fixed geometric midpoint, which over- or under-shot
+                // at bucket edges).
+                let f = ((rank - before) as f64 - 0.5) / c as f64;
+                let est = bucket_lo(i) * (f / BUCKETS_PER_DOUBLING).exp2();
+                return est.clamp(self.min_rec, self.max_rec);
+            }
+        }
+        self.max_rec
+    }
+
+    /// Index of the bucket a value falls into (exposed so tests can assert
+    /// the one-bucket error bound).
+    pub fn bucket_index(v: f64) -> i64 {
+        bucket_of(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_of_uniform_ramp() {
+        let mut h = Histogram::new();
+        for i in 1..=1000 {
+            h.record(i as f64);
+        }
+        assert_eq!(h.count(), 1000);
+        // The estimate must sit within one bucket (±~9%) of the truth.
+        for (q, exact) in [(0.5, 500.0), (0.95, 950.0), (0.99, 990.0)] {
+            let est = h.quantile(q);
+            let diff = (Histogram::bucket_index(est) - Histogram::bucket_index(exact)).abs();
+            assert!(diff <= 1, "q={q}: est {est} vs exact {exact}");
+        }
+    }
+
+    #[test]
+    fn single_sample_is_exact_at_every_quantile() {
+        let mut h = Histogram::new();
+        h.record(123.0);
+        for q in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            assert_eq!(h.quantile(q), 123.0, "q={q}");
+        }
+        assert_eq!(h.max(), 123.0);
+        assert_eq!(h.mean(), 123.0);
+    }
+
+    #[test]
+    fn extreme_quantiles_return_observed_extremes() {
+        let mut h = Histogram::new();
+        for v in [10.0, 20.0, 40.0, 80.0, 160.0] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), 10.0);
+        assert_eq!(h.quantile(1.0), 160.0);
+        // Interior quantiles never escape the observed range either.
+        for i in 1..100 {
+            let q = i as f64 / 100.0;
+            let est = h.quantile(q);
+            assert!((10.0..=160.0).contains(&est), "q={q}: {est}");
+        }
+    }
+
+    #[test]
+    fn quantile_is_monotone_in_q() {
+        let mut h = Histogram::new();
+        let mut x = 3.0f64;
+        for _ in 0..500 {
+            x = (x * 1.13) % 10_000.0 + 1.0;
+            h.record(x);
+        }
+        let mut prev = 0.0;
+        for i in 0..=100 {
+            let est = h.quantile(i as f64 / 100.0);
+            assert!(est >= prev, "quantiles must be monotone: {est} < {prev}");
+            prev = est;
+        }
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn non_positive_samples_clamp() {
+        let mut h = Histogram::new();
+        h.record(0.0);
+        h.record(-5.0);
+        assert_eq!(h.count(), 2);
+        assert!(h.quantile(0.5) > 0.0);
+    }
+
+    #[test]
+    fn merge_matches_recording_everything_into_one() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut whole = Histogram::new();
+        for i in 1..=100 {
+            let v = (i * 37 % 1000) as f64 + 1.0;
+            if i % 2 == 0 {
+                a.record(v)
+            } else {
+                b.record(v)
+            }
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.mean(), whole.mean());
+        assert_eq!(a.max(), whole.max());
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(a.quantile(q), whole.quantile(q), "q={q}");
+        }
+    }
+}

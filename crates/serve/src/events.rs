@@ -25,6 +25,19 @@ impl EventLog {
         self.lines.push(Json::obj(fields).to_string_compact());
     }
 
+    /// Records an arbitrary event with caller-supplied fields, rendered
+    /// after the standard `t_us`/`event` pair. The fleet simulator uses
+    /// this to tag its trace with node/tenant context without this crate
+    /// having to know about fleets.
+    pub fn record(&mut self, t_us: f64, event: &str, fields: Vec<(&str, Json)>) {
+        let mut all = vec![
+            ("t_us", Json::Num(t_us)),
+            ("event", Json::Str(event.into())),
+        ];
+        all.extend(fields);
+        self.push(all);
+    }
+
     /// Records a request arrival.
     pub fn arrival(&mut self, t_us: f64, request: u64) {
         self.push(vec![

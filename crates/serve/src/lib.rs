@@ -51,13 +51,18 @@ pub mod cache;
 pub mod events;
 pub mod fault;
 pub mod metrics;
+pub mod profile;
 pub mod queue;
 pub mod sim;
 
 pub use arrival::{arrival_times_us, parse_trace, ArrivalSpec};
-pub use cache::{PlanCache, PlanKey};
+pub use cache::{
+    plan_cache_cap_from_env, plan_cache_cap_from_setting, PlanCache, PlanKey,
+    DEFAULT_PLAN_CACHE_CAP, PLAN_CACHE_CAP_ENV_VAR,
+};
 pub use events::EventLog;
 pub use fault::{FaultEvent, FaultScenario};
 pub use metrics::{Counters, Histogram};
+pub use profile::{compile_batch, repair_batch, BatchProfile};
 pub use queue::{BatchQueue, QueuedRequest};
 pub use sim::{normalize_model_name, run, ServeConfig, ServeError, ServeReport, ServeRun};

@@ -1,15 +1,14 @@
 //! Serving observability: monotonic counters and streaming latency
 //! histograms.
 //!
-//! The histogram is log-bucketed (geometric buckets growing by 2^(1/8) ≈
-//! 9% per bucket), so it answers p50/p95/p99 queries in O(buckets) with
-//! bounded relative error and O(1) memory per recorded value — the standard
-//! shape for streaming latency tracking. Quantiles are guaranteed to land
-//! within one bucket of the exact (sort-based) quantile, which the
-//! cross-crate property tests assert.
+//! The latency [`Histogram`] lives in the shared [`pimflow_metrics`] crate
+//! (the fleet simulator tracks per-tenant latencies with the same
+//! implementation); this module re-exports it next to the serve-specific
+//! [`Counters`].
 
 use pimflow_json::json_struct;
-use std::collections::BTreeMap;
+
+pub use pimflow_metrics::Histogram;
 
 /// Monotonic serving counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -45,141 +44,3 @@ json_struct!(Counters {
     retries,
     repairs
 });
-
-/// Geometric bucket growth: 8 buckets per doubling.
-const BUCKETS_PER_DOUBLING: f64 = 8.0;
-
-/// A streaming latency histogram with geometric buckets.
-#[derive(Debug, Clone, Default)]
-pub struct Histogram {
-    buckets: BTreeMap<i64, u64>,
-    count: u64,
-    sum: f64,
-    max: f64,
-}
-
-/// Bucket index of a positive value.
-fn bucket_of(v: f64) -> i64 {
-    // Clamp to a positive floor so zero-latency samples land in a real
-    // bucket instead of -inf.
-    (v.max(1e-9).log2() * BUCKETS_PER_DOUBLING).floor() as i64
-}
-
-/// Geometric midpoint of bucket `i` — the histogram's representative value.
-fn bucket_mid(i: i64) -> f64 {
-    ((i as f64 + 0.5) / BUCKETS_PER_DOUBLING).exp2()
-}
-
-impl Histogram {
-    /// Creates an empty histogram.
-    pub fn new() -> Self {
-        Histogram::default()
-    }
-
-    /// Records one sample (microseconds; non-positive values clamp to the
-    /// smallest bucket).
-    pub fn record(&mut self, v_us: f64) {
-        *self.buckets.entry(bucket_of(v_us)).or_insert(0) += 1;
-        self.count += 1;
-        self.sum += v_us.max(0.0);
-        self.max = self.max.max(v_us);
-    }
-
-    /// Samples recorded.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Mean of recorded samples (0.0 when empty).
-    pub fn mean(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.sum / self.count as f64
-        }
-    }
-
-    /// Largest recorded sample (0.0 when empty).
-    pub fn max(&self) -> f64 {
-        self.max
-    }
-
-    /// Streaming quantile estimate: the representative value of the bucket
-    /// holding the `q`-quantile sample (nearest-rank). Returns 0.0 when
-    /// empty.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `q` is outside `[0, 1]`.
-    pub fn quantile(&self, q: f64) -> f64 {
-        assert!((0.0..=1.0).contains(&q), "quantile {q} out of range");
-        if self.count == 0 {
-            return 0.0;
-        }
-        // Nearest-rank: the k-th smallest sample, 1-based.
-        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
-        let mut seen = 0u64;
-        for (&i, &c) in &self.buckets {
-            seen += c;
-            if seen >= rank {
-                return bucket_mid(i);
-            }
-        }
-        bucket_mid(*self.buckets.keys().next_back().expect("non-empty"))
-    }
-
-    /// Index of the bucket a value falls into (exposed so tests can assert
-    /// the one-bucket error bound).
-    pub fn bucket_index(v: f64) -> i64 {
-        bucket_of(v)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn quantiles_of_uniform_ramp() {
-        let mut h = Histogram::new();
-        for i in 1..=1000 {
-            h.record(i as f64);
-        }
-        assert_eq!(h.count(), 1000);
-        // Representative must sit within one bucket (±~9%) of the truth.
-        for (q, exact) in [(0.5, 500.0), (0.95, 950.0), (0.99, 990.0)] {
-            let est = h.quantile(q);
-            let diff = (Histogram::bucket_index(est) - Histogram::bucket_index(exact)).abs();
-            assert!(diff <= 1, "q={q}: est {est} vs exact {exact}");
-        }
-    }
-
-    #[test]
-    fn single_sample_dominates_every_quantile() {
-        let mut h = Histogram::new();
-        h.record(123.0);
-        for q in [0.0, 0.5, 1.0] {
-            let est = h.quantile(q);
-            assert!((est / 123.0 - 1.0).abs() < 0.1, "q={q}: {est}");
-        }
-        assert_eq!(h.max(), 123.0);
-        assert_eq!(h.mean(), 123.0);
-    }
-
-    #[test]
-    fn empty_histogram_reports_zero() {
-        let h = Histogram::new();
-        assert_eq!(h.quantile(0.5), 0.0);
-        assert_eq!(h.mean(), 0.0);
-        assert_eq!(h.count(), 0);
-    }
-
-    #[test]
-    fn non_positive_samples_clamp() {
-        let mut h = Histogram::new();
-        h.record(0.0);
-        h.record(-5.0);
-        assert_eq!(h.count(), 2);
-        assert!(h.quantile(0.5) > 0.0);
-    }
-}

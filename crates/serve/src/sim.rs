@@ -24,16 +24,17 @@
 //! so degraded plans never leak into healthy serving).
 
 use crate::arrival::{arrival_times_us, ArrivalSpec};
-use crate::cache::{PlanCache, PlanKey};
+use crate::cache::{plan_cache_cap_from_env, PlanCache, PlanKey};
 use crate::events::EventLog;
 use crate::fault::FaultScenario;
 use crate::metrics::{Counters, Histogram};
+use crate::profile::{compile_batch, compile_err, repair_batch, BatchProfile};
 use crate::queue::{BatchQueue, QueuedRequest};
 use pimflow::batch::with_batch;
 use pimflow::costcache::{CacheCounters, CostCache};
-use pimflow::engine::{execute, ChannelMask, EngineConfig, ExecutionReport};
+use pimflow::engine::{ChannelMask, EngineConfig};
 use pimflow::policy::Policy;
-use pimflow::search::{apply_plan, ExecutionPlan, Search, SearchOptions};
+use pimflow::search::{Search, SearchOptions};
 use pimflow_ir::models;
 use pimflow_json::json_struct;
 use pimflow_pool::WorkerPool;
@@ -59,7 +60,9 @@ pub struct ServeConfig {
     pub max_batch: usize,
     /// Dynamic batching: flush timeout after the oldest arrival, us.
     pub batch_timeout_us: f64,
-    /// LRU plan-cache capacity (plans).
+    /// LRU plan-cache capacity (plans). [`ServeConfig::new`] reads the
+    /// default from the `PIMFLOW_PLAN_CACHE_CAP` environment variable (16
+    /// when unset); the CLI `--plan-cache-cap` flag overrides both.
     pub cache_capacity: usize,
     /// Compile plans for every batch size `1..=max_batch` on the worker
     /// pool before serving starts (width from `PIMFLOW_JOBS`/`--jobs`).
@@ -78,8 +81,9 @@ pub struct ServeConfig {
 
 impl ServeConfig {
     /// Default serving parameters for `model` under `policy`: 100 fixed
-    /// RPS for 5 seconds, batches of up to 8 with a 2 ms timeout, 16
-    /// cached plans, seed 0, no faults.
+    /// RPS for 5 seconds, batches of up to 8 with a 2 ms timeout, seed 0,
+    /// no faults, and a plan-cache capacity of 16 unless overridden by the
+    /// `PIMFLOW_PLAN_CACHE_CAP` environment variable.
     pub fn new(model: impl Into<String>, policy: Policy) -> Self {
         ServeConfig {
             model: model.into(),
@@ -89,7 +93,7 @@ impl ServeConfig {
             seed: 0,
             max_batch: 8,
             batch_timeout_us: 2_000.0,
-            cache_capacity: 16,
+            cache_capacity: plan_cache_cap_from_env(),
             precompile: false,
             faults: FaultScenario::none(),
             measure_replan: false,
@@ -166,111 +170,6 @@ pub fn normalize_model_name(name: &str) -> Option<String> {
         .iter()
         .find(|k| canon(k) == target)
         .map(|k| k.to_string())
-}
-
-/// Compiled cost of one (model, policy, batch, mask) configuration — the
-/// value the plan cache holds. Everything downstream of the search is
-/// deterministic, so the batch latency is priced once and replayed. The
-/// plan itself is kept so channel failures can repair it instead of
-/// re-running the search.
-#[derive(Debug, Clone)]
-struct BatchProfile {
-    latency_us: f64,
-    energy_uj: f64,
-    pim_channel_busy_us: Vec<f64>,
-    plan: Option<ExecutionPlan>,
-}
-
-impl BatchProfile {
-    fn from_report(report: ExecutionReport, plan: Option<ExecutionPlan>) -> Self {
-        BatchProfile {
-            latency_us: report.total_us,
-            energy_uj: report.energy_uj,
-            pim_channel_busy_us: report.pim_channel_busy_us,
-            plan,
-        }
-    }
-
-    /// Whether this batch keeps failed channel `ch` busy — i.e. whether a
-    /// failure of `ch` mid-flight forces a retry.
-    fn uses_channel(&self, ch: usize) -> bool {
-        self.pim_channel_busy_us.get(ch).copied().unwrap_or(0.0) > 0.0
-    }
-
-    /// Whether the batch runs entirely on the GPU (the fallback the
-    /// degradation metrics track).
-    fn gpu_only(&self) -> bool {
-        self.pim_channel_busy_us.iter().all(|&b| b == 0.0)
-    }
-}
-
-fn compile_err(e: impl fmt::Display) -> ServeError {
-    ServeError::Compile(e.to_string())
-}
-
-/// Compiles one batch size under `engine_cfg` (whose channel mask is
-/// honored by the search): batch the model, search an execution plan (when
-/// the policy has one), and price the batch on the execution engine. The
-/// search reads and feeds `cost_cache`, so PIM timings profiled for one
-/// batch size are reused by every other size that folds to the same
-/// [`pimflow::costcache::WorkloadKey`]. Pure in its inputs (the cache only
-/// memoizes pure cost-model queries), so distinct batch sizes compile in
-/// parallel — even against one shared live cache.
-fn compile_batch(
-    base: &pimflow_ir::Graph,
-    size: usize,
-    engine_cfg: &EngineConfig,
-    search_opts: &Option<SearchOptions>,
-    cost_cache: &CostCache,
-) -> Result<BatchProfile, ServeError> {
-    let batched = with_batch(base, size).map_err(|e| ServeError::Batch(e.to_string()))?;
-    match search_opts {
-        None => {
-            let report = execute(&batched, engine_cfg).map_err(compile_err)?;
-            Ok(BatchProfile::from_report(report, None))
-        }
-        Some(opts) => {
-            let plan = Search::new(&batched, engine_cfg)
-                .options(*opts)
-                .cache(cost_cache)
-                .run()
-                .map_err(compile_err)?;
-            let transformed = apply_plan(&batched, &plan).map_err(compile_err)?;
-            let report = execute(&transformed, engine_cfg).map_err(compile_err)?;
-            Ok(BatchProfile::from_report(report, Some(plan)))
-        }
-    }
-}
-
-/// Repairs one cached profile from `old_mask` onto `new_mask`: re-prices
-/// the kept plan with [`ExecutionPlan::repair`] (no grid search) and
-/// re-executes the transformed graph under the degraded config.
-fn repair_batch(
-    base: &pimflow_ir::Graph,
-    size: usize,
-    engine_cfg: &EngineConfig,
-    source: &BatchProfile,
-    old_mask: ChannelMask,
-    new_mask: ChannelMask,
-    cost_cache: &CostCache,
-) -> Result<BatchProfile, ServeError> {
-    let batched = with_batch(base, size).map_err(|e| ServeError::Batch(e.to_string()))?;
-    let masked_cfg = engine_cfg.with_mask(new_mask);
-    match &source.plan {
-        None => {
-            let report = execute(&batched, &masked_cfg).map_err(compile_err)?;
-            Ok(BatchProfile::from_report(report, None))
-        }
-        Some(plan) => {
-            let source_cfg = engine_cfg.with_mask(old_mask);
-            let repaired = plan
-                .repair_with_cache(&batched, &source_cfg, new_mask, Some(cost_cache))
-                .map_err(compile_err)?;
-            let transformed = apply_plan(&batched, &repaired).map_err(compile_err)?;
-            let report = execute(&transformed, &masked_cfg).map_err(compile_err)?;
-            Ok(BatchProfile::from_report(report, Some(repaired)))
-        }
-    }
 }
 
 /// Metrics summary of one serving run.
@@ -598,12 +497,7 @@ pub fn run(cfg: &ServeConfig) -> Result<ServeRun, ServeError> {
                 Ok(profile) => profile,
                 Err(e) => {
                     batch_err = Some(e);
-                    BatchProfile {
-                        latency_us: 0.0,
-                        energy_uj: 0.0,
-                        pim_channel_busy_us: Vec::new(),
-                        plan: None,
-                    }
+                    BatchProfile::empty()
                 }
             }
         });
@@ -666,12 +560,7 @@ pub fn run(cfg: &ServeConfig) -> Result<ServeRun, ServeError> {
                     Ok(profile) => profile,
                     Err(e) => {
                         retry_err = Some(e);
-                        BatchProfile {
-                            latency_us: 0.0,
-                            energy_uj: 0.0,
-                            pim_channel_busy_us: Vec::new(),
-                            plan: None,
-                        }
+                        BatchProfile::empty()
                     }
                 }
             });
@@ -838,6 +727,45 @@ mod tests {
         assert_eq!(run.report.counters.batches, 2);
         // The second request waits for the first batch: max > mean.
         assert!(run.report.max_us > run.report.mean_us);
+    }
+
+    #[test]
+    fn small_plan_cache_evicts_and_recompiles() {
+        // Arrival spacing that alternates batch sizes 2, 1, 2, 1: a
+        // capacity-1 cache thrashes (every dispatch misses) while a roomy
+        // cache compiles each size once — and the simulated timeline is
+        // identical either way, because compilation is host work.
+        let base = ServeConfig {
+            arrival: ArrivalSpec::Trace {
+                times_us: vec![0.0, 1.0, 50_000.0, 100_000.0, 100_001.0, 150_000.0],
+            },
+            duration_s: 1.0,
+            max_batch: 2,
+            ..ServeConfig::new("toy", Policy::Pimflow)
+        };
+        let roomy = run(&ServeConfig {
+            cache_capacity: 16,
+            ..base.clone()
+        })
+        .unwrap();
+        let tiny = run(&ServeConfig {
+            cache_capacity: 1,
+            ..base
+        })
+        .unwrap();
+        assert_eq!(roomy.report.batch_sizes, vec![(1, 2), (2, 2)]);
+        assert_eq!(roomy.report.counters.cache_misses, 2);
+        assert_eq!(tiny.report.counters.cache_misses, 4, "capacity 1 thrashes");
+        assert!(
+            tiny.report.counters.search_invocations > roomy.report.counters.search_invocations,
+            "evictions force recompiles"
+        );
+        assert_eq!(roomy.report.makespan_us, tiny.report.makespan_us);
+        assert_eq!(roomy.report.p50_us, tiny.report.p50_us);
+        assert_eq!(
+            roomy.report.counters.completed,
+            tiny.report.counters.completed
+        );
     }
 
     #[test]
