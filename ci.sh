@@ -58,6 +58,21 @@ grep -q '"slo_router_beats_round_robin": true' "$tmpdir/BENCH_fleet.json"
 grep -q '"zero_drops_under_node_faults": true' "$tmpdir/BENCH_fleet.json"
 rm -rf "$tmpdir"
 
+# The kernel smoke sweep benches the scalar oracle against the
+# register-blocked micro-kernel and must pass the numerical tolerance
+# gate on every config (the Welch ACCEPT/REJECT verdicts are recorded
+# in the artifact but are host-dependent, so CI only asserts accuracy).
+echo "==> figures kernels --smoke"
+tmpdir="$(mktemp -d)"
+cargo run -q --offline -p pimflow-bench --bin figures -- kernels "$tmpdir" --smoke
+grep -q '"tolerance_check_passed": true' "$tmpdir/BENCH_kernels.json"
+rm -rf "$tmpdir"
+
+# Re-run the kernel suite with the scalar oracle forced on: the exact
+# path must stay byte-identical at any worker-pool width.
+echo "==> cargo test -p pimflow-kernels (PIMFLOW_EXACT_KERNELS=1)"
+PIMFLOW_EXACT_KERNELS=1 PIMFLOW_JOBS=2 cargo test -q --offline -p pimflow-kernels
+
 echo "==> cargo doc (deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline
 

@@ -16,6 +16,8 @@
 //!                          #   -> <dir>/BENCH_exec.json
 //! figures fleet [dir]      # multi-tenant fleet: routers, node faults,
 //!                          #   autoscaling -> <dir>/BENCH_fleet.json
+//! figures kernels [dir]    # scalar-vs-microkernel GEMM with Welch
+//!                          #   p-values -> <dir>/BENCH_kernels.json
 //! ```
 //!
 //! `--jobs=<n>` (any position) sets the worker-pool width for the sweeps,
@@ -555,6 +557,58 @@ fn fleet_sweep(dir: &str, smoke: bool) {
     println!("wrote {}", path.display());
 }
 
+/// Runs the kernel comparison sweep and writes `BENCH_kernels.json`
+/// under `dir`.
+fn kernel_sweep(dir: &str, smoke: bool) {
+    use pimflow_bench::kernel_sweep::write_bench_artifact;
+    println!("== GEMM kernels: scalar oracle vs register-blocked micro-kernel ==");
+    let (report, path) =
+        write_bench_artifact(std::path::Path::new(dir), smoke).expect("kernel sweep");
+    println!(
+        "  host threads {}  jobs {}  samples/config {}  alpha {}",
+        report.host_threads, report.jobs, report.samples_per_config, report.alpha
+    );
+    println!(
+        "  {:<26} {:>6} {:>5} {:>5} {:>14} {:>14} {:>8} {:>10} {:>7}",
+        "config", "m", "k", "n", "scalar µs", "micro µs", "speedup", "p-value", "verdict"
+    );
+    for row in &report.configs {
+        let c = &row.comparison;
+        println!(
+            "  {:<26} {:>6} {:>5} {:>5} {:>8.1} ± {:<5.1} {:>8.1} ± {:<5.1} {:>7.2}x {:>10.3e} {:>7}",
+            row.config,
+            row.m,
+            row.k,
+            row.n,
+            c.baseline_mean,
+            c.baseline_stddev,
+            c.candidate_mean,
+            c.candidate_stddev,
+            c.speedup,
+            c.p_value,
+            c.decision
+        );
+    }
+    println!("  probe counters (one instrumented run per path):");
+    for p in &report.probes {
+        println!(
+            "    {:<20} called {:>6} times, took {:>10.1}µs ({:>8.2}µs on average)",
+            p.function, p.calls, p.total_us, p.us_per_call
+        );
+    }
+    println!(
+        "  tolerance_check_passed: {}",
+        report.tolerance_check_passed
+    );
+    println!(
+        "  accepted {} / rejected {} of {} configs",
+        report.accepted,
+        report.rejected,
+        report.configs.len()
+    );
+    println!("wrote {}", path.display());
+}
+
 fn main() {
     // Split `--jobs=<n>` (worker-pool width, any position) and `--smoke`
     // from the positional arguments.
@@ -610,6 +664,11 @@ fn main() {
     if which == "fleet" {
         let dir = positional.get(1).cloned().unwrap_or_else(|| ".".into());
         fleet_sweep(&dir, smoke);
+        return;
+    }
+    if which == "kernels" {
+        let dir = positional.get(1).cloned().unwrap_or_else(|| ".".into());
+        kernel_sweep(&dir, smoke);
         return;
     }
     let needs_fig9 = matches!(which.as_str(), "all" | "fig9" | "fig12");

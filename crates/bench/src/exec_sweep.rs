@@ -142,6 +142,7 @@ pub fn sweep(
                     &ExecOptions {
                         jobs: Some(width),
                         memory: MemoryMode::Arena,
+                        gemm: None,
                     },
                 )
                 .expect("zoo models execute")

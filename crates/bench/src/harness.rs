@@ -3,9 +3,13 @@
 //! The workspace builds with zero network access, so Criterion is not
 //! available; this module provides the small slice of it the bench targets
 //! need: named groups, adaptive iteration counts, and a median-of-samples
-//! report printed to stdout. Bench binaries keep `harness = false` in the
-//! manifest and drive a [`Group`] from `main`.
+//! report printed to stdout — now with variance accounting: every row
+//! carries mean ± stddev, and [`Group::bench_pair`] prints a Welch-t-test
+//! p-value column with the ACCEPT/REJECT verdict from [`crate::stats`].
+//! Bench binaries keep `harness = false` in the manifest and drive a
+//! [`Group`] from `main`.
 
+use crate::stats;
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
@@ -14,12 +18,36 @@ use std::time::{Duration, Instant};
 pub struct Measurement {
     /// `group/name` label.
     pub label: String,
-    /// Median time per iteration.
+    /// Median time per iteration (midpoint of ranks for even counts,
+    /// consistent with the `pimflow-metrics` percentile interpolation).
     pub median: Duration,
     /// Minimum observed time per iteration.
     pub min: Duration,
+    /// Mean time per iteration across samples.
+    pub mean: Duration,
+    /// Sample standard deviation of the per-iteration times.
+    pub stddev: Duration,
+    /// Per-sample mean iteration times, in microseconds, sorted ascending
+    /// — the raw input for Welch comparisons against another measurement.
+    pub sample_us: Vec<f64>,
     /// Iterations per sample.
     pub iters_per_sample: u32,
+}
+
+/// Midpoint-of-ranks median of a sorted slice: the middle element for odd
+/// counts, the average of the two middle elements for even counts.
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+pub fn median_us(sorted: &[f64]) -> f64 {
+    assert!(!sorted.is_empty(), "median of an empty sample set");
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
 }
 
 /// A named collection of benchmarks, mirroring Criterion's `benchmark_group`.
@@ -42,43 +70,142 @@ impl Group {
     }
 
     /// Sets the number of timed samples per benchmark.
+    ///
+    /// # Panics
+    ///
+    /// Panics below two samples — a single sample has no variance, so the
+    /// statistical report would be degenerate.
     pub fn sample_size(&mut self, samples: usize) -> &mut Self {
-        self.samples = samples.max(2);
+        assert!(samples >= 2, "need >= 2 samples for variance accounting");
+        self.samples = samples;
         self
     }
 
-    /// Times `f`, printing one line with the median per-iteration cost.
-    pub fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) {
-        // Calibrate: run once to estimate cost, then pick an iteration
-        // count that fills roughly one target window per sample.
-        let start = Instant::now();
-        black_box(f());
-        let once = start.elapsed().max(Duration::from_nanos(1));
-        let iters = (self.target.as_nanos() / once.as_nanos()).clamp(1, 10_000) as u32;
+    /// Sets the wall-time window each sample aims to fill (default
+    /// ~100 ms); the calibrated iteration count scales to it.
+    pub fn target(&mut self, target: Duration) -> &mut Self {
+        self.target = target;
+        self
+    }
 
-        let mut per_iter: Vec<Duration> = Vec::with_capacity(self.samples);
+    /// Times `f` without printing, returning the measurement. Used by
+    /// sweeps that render their own report.
+    pub fn measure<R>(&mut self, name: &str, mut f: impl FnMut() -> R) -> Measurement {
+        // Calibrate by doubling: grow the batch until one batch crosses
+        // 1 ms of wall time, so the per-iteration estimate rests on a
+        // measurably non-zero window instead of a clamped single run.
+        let mut calib: u64 = 1;
+        let (batch, batch_iters) = loop {
+            let start = Instant::now();
+            for _ in 0..calib {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) {
+                break (elapsed, calib);
+            }
+            calib *= 2;
+        };
+        // Scale the calibrated rate to fill one target window per sample.
+        // A single iteration that already exceeds the window runs once.
+        let iters = ((self.target.as_nanos() * u128::from(batch_iters)) / batch.as_nanos())
+            .clamp(1, 10_000) as u32;
+
+        let mut sample_us: Vec<f64> = Vec::with_capacity(self.samples);
         for _ in 0..self.samples {
             let start = Instant::now();
             for _ in 0..iters {
                 black_box(f());
             }
-            per_iter.push(start.elapsed() / iters);
+            sample_us.push(start.elapsed().as_secs_f64() * 1e6 / f64::from(iters));
         }
-        per_iter.sort();
-        let median = per_iter[per_iter.len() / 2];
-        let min = per_iter[0];
-        let label = format!("{}/{}", self.name, name);
-        println!("{label:<48} median {median:>12.2?}  min {min:>12.2?}  ({iters} iters/sample)");
-        self.results.push(Measurement {
-            label,
-            median,
-            min,
+        sample_us.sort_by(f64::total_cmp);
+        let mean_us = stats::mean(&sample_us);
+        let stddev_us = stats::stddev(&sample_us);
+        Measurement {
+            label: format!("{}/{}", self.name, name),
+            median: Duration::from_secs_f64(median_us(&sample_us) / 1e6),
+            min: Duration::from_secs_f64(sample_us[0] / 1e6),
+            mean: Duration::from_secs_f64(mean_us / 1e6),
+            stddev: Duration::from_secs_f64(stddev_us / 1e6),
+            sample_us,
             iters_per_sample: iters,
-        });
+        }
+    }
+
+    /// Times `f`, printing one line with median, mean ± stddev, and the
+    /// minimum per-iteration cost.
+    pub fn bench<R>(&mut self, name: &str, f: impl FnMut() -> R) {
+        let m = self.measure(name, f);
+        println!(
+            "{:<48} median {:>12.2?}  mean {:>12.2?} ± {:<10.2?}  min {:>12.2?}  ({} iters/sample)",
+            m.label, m.median, m.mean, m.stddev, m.min, m.iters_per_sample
+        );
+        self.results.push(m);
+    }
+
+    /// Times a baseline and a candidate back to back and prints one
+    /// comparison row carrying the Welch p-value column and the
+    /// ACCEPT/REJECT verdict (see [`stats::compare_lower_is_better`]).
+    /// Both measurements are also recorded in the group's results.
+    pub fn bench_pair<R1, R2>(
+        &mut self,
+        name: &str,
+        baseline: impl FnMut() -> R1,
+        candidate: impl FnMut() -> R2,
+    ) -> stats::Comparison {
+        let base = self.measure(&format!("{name}/baseline"), baseline);
+        let cand = self.measure(&format!("{name}/candidate"), candidate);
+        let cmp = stats::compare_lower_is_better(&base.sample_us, &cand.sample_us);
+        println!(
+            "{:<48} {:>9.1}µs ± {:<7.1} vs {:>9.1}µs ± {:<7.1}  speedup {:>5.2}x  p={:<9.3e} {}",
+            format!("{}/{}", self.name, name),
+            cmp.baseline_mean,
+            cmp.baseline_stddev,
+            cmp.candidate_mean,
+            cmp.candidate_stddev,
+            cmp.speedup,
+            cmp.p_value,
+            cmp.decision,
+        );
+        self.results.push(base);
+        self.results.push(cand);
+        cmp
     }
 
     /// Finishes the group and returns its measurements.
     pub fn finish(self) -> Vec<Measurement> {
         self.results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_is_midpoint_of_ranks() {
+        assert_eq!(median_us(&[1.0, 2.0, 9.0]), 2.0);
+        // Even counts average the two middle elements — the old harness
+        // reported the upper-middle element (3.0) here.
+        assert_eq!(median_us(&[1.0, 2.0, 3.0, 10.0]), 2.5);
+        assert_eq!(median_us(&[5.0]), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = ">= 2 samples")]
+    fn single_sample_groups_are_rejected() {
+        Group::new("g").sample_size(1);
+    }
+
+    #[test]
+    fn measure_fills_summary_fields() {
+        let mut g = Group::new("test");
+        g.sample_size(4);
+        let m = g.measure("spin", || black_box((0..512).sum::<u64>()));
+        assert_eq!(m.sample_us.len(), 4);
+        assert!(m.sample_us.windows(2).all(|w| w[0] <= w[1]), "sorted");
+        assert!(m.min <= m.median && m.min <= m.mean);
+        assert!(m.iters_per_sample >= 1);
     }
 }

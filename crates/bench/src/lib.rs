@@ -13,6 +13,8 @@ pub mod exec_sweep;
 pub mod experiments;
 pub mod fleet_sweep;
 pub mod harness;
+pub mod kernel_sweep;
 pub mod parallel_sweep;
 pub mod resilience_sweep;
 pub mod serve_sweep;
+pub mod stats;

@@ -34,6 +34,7 @@
 //! so every counter in [`ExecStats`] is independent of the worker width.
 
 use crate::im2col::KernelError;
+use crate::microkernel::{pack_b, GemmPath, PackedB};
 use crate::ops;
 use crate::params::{param_cols, param_vec, ParamRole};
 use crate::schedule::{Arena, ExecPlan};
@@ -109,6 +110,13 @@ pub struct ExecOptions {
     pub jobs: Option<usize>,
     /// Intermediate-tensor policy; defaults to [`MemoryMode::Arena`].
     pub memory: MemoryMode,
+    /// GEMM kernel path for conv and dense nodes. `None` reads the
+    /// `PIMFLOW_EXACT_KERNELS` environment variable (defaulting to the
+    /// register-blocked [`GemmPath::Fast`] micro-kernel); `Some` pins the
+    /// path explicitly. Either path is byte-identical to itself at every
+    /// worker width; [`GemmPath::Exact`] additionally reproduces the
+    /// pre-micro-kernel executor bit for bit.
+    pub gemm: Option<GemmPath>,
 }
 
 /// Counters describing one [`run_graph_with`] call.
@@ -226,6 +234,10 @@ enum Kind {
     Conv {
         w: Arc<Vec<f32>>,
         b: Arc<Vec<f32>>,
+        /// Weight matrix packed for the micro-kernel, built once at staging
+        /// and shared by every row block and sharded worker. `None` on the
+        /// exact path.
+        packed: Option<Arc<PackedB>>,
     },
     Depthwise {
         w: Arc<Vec<f32>>,
@@ -234,6 +246,8 @@ enum Kind {
     Dense {
         w: Arc<Vec<f32>>,
         b: Arc<Vec<f32>>,
+        /// See [`Kind::Conv::packed`].
+        packed: Option<Arc<PackedB>>,
     },
     Bn {
         scale: Arc<Vec<f32>>,
@@ -305,6 +319,7 @@ fn stage<'g>(
     id: pimflow_ir::NodeId,
     env: &[Option<Tensor>],
     cache: &mut ParamCache,
+    gemm: GemmPath,
 ) -> Result<Staged<'g>, ExecError> {
     let node = graph.node(id);
     let shape_of = |i: usize| -> &Shape {
@@ -333,8 +348,10 @@ fn stage<'g>(
                 let fan_in = a.kernel.h * a.kernel.w * ic;
                 let (w, b) =
                     sliced_params(cache, key, fan_in, a.out_channels, node.param_view.as_ref());
+                let packed =
+                    (gemm == GemmPath::Fast).then(|| Arc::new(pack_b(&w, fan_in, a.out_channels)));
                 let macs = out_shape.numel() * fan_in;
-                (out_shape, Kind::Conv { w, b }, macs)
+                (out_shape, Kind::Conv { w, b, packed }, macs)
             }
         }
         Op::Dense(a) => {
@@ -346,9 +363,11 @@ fn stage<'g>(
             }
             let in_f = xs.c();
             let (w, b) = sliced_params(cache, key, in_f, a.out_features, node.param_view.as_ref());
+            let packed =
+                (gemm == GemmPath::Fast).then(|| Arc::new(pack_b(&w, in_f, a.out_features)));
             let out_shape = Shape::rf(xs.n(), a.out_features);
             let macs = out_shape.numel() * in_f;
-            (out_shape, Kind::Dense { w, b }, macs)
+            (out_shape, Kind::Dense { w, b, packed }, macs)
         }
         Op::BatchNorm => {
             let c = xs.c();
@@ -529,11 +548,30 @@ impl Runner {
         let node = s.node;
         let in0 = node.inputs[0];
         match (&node.op, &s.kind) {
-            (Op::Conv2d(a), Kind::Conv { w, b }) => {
+            (Op::Conv2d(a), Kind::Conv { w, b, packed }) => {
                 let mut out = self.alloc(&s.out_shape);
                 let rows = s.out_shape.numel() / a.out_channels;
                 let x = self.env[in0.index()].as_ref().expect("live input");
-                ops::conv2d_rows_into(x, w, b, a, 0..rows, &mut self.scratch, out.data_mut())?;
+                match packed {
+                    Some(p) => ops::conv2d_rows_packed(
+                        x,
+                        p,
+                        b,
+                        a,
+                        0..rows,
+                        &mut self.scratch,
+                        out.data_mut(),
+                    )?,
+                    None => ops::conv2d_rows_into(
+                        x,
+                        w,
+                        b,
+                        a,
+                        0..rows,
+                        &mut self.scratch,
+                        out.data_mut(),
+                    )?,
+                }
                 self.insert(node.output, out);
             }
             (Op::Conv2d(a), Kind::Depthwise { w, b }) => {
@@ -543,10 +581,20 @@ impl Runner {
                 ops::conv2d_direct_channels_into(x, w, b, a, 0..c, out.data_mut());
                 self.insert(node.output, out);
             }
-            (Op::Dense(a), Kind::Dense { w, b }) => {
+            (Op::Dense(a), Kind::Dense { w, b, packed }) => {
                 let mut out = self.alloc(&s.out_shape);
                 let x = self.env[in0.index()].as_ref().expect("live input");
-                ops::dense_rows_into(x, w, b, a.out_features, 0..s.out_shape.n(), out.data_mut());
+                match packed {
+                    Some(p) => ops::dense_rows_packed(x, p, b, 0..s.out_shape.n(), out.data_mut()),
+                    None => ops::dense_rows_into(
+                        x,
+                        w,
+                        b,
+                        a.out_features,
+                        0..s.out_shape.n(),
+                        out.data_mut(),
+                    ),
+                }
                 self.insert(node.output, out);
             }
             (Op::BatchNorm, Kind::Bn { scale, shift }) => {
@@ -660,25 +708,32 @@ impl Runner {
             .as_ref()
             .expect("live input");
         match (&node.op, &s.kind) {
-            (Op::Conv2d(a), Kind::Conv { w, b }) => {
+            (Op::Conv2d(a), Kind::Conv { w, b, packed }) => {
                 let (w, b) = (w.as_slice(), b.as_slice());
+                let packed = packed.as_deref();
                 let oc = a.out_channels;
                 let rows = s.out_shape.numel() / oc;
                 let items = split_rows(out.data_mut(), rows, oc, pool.jobs());
-                let (results, _) =
-                    pool.map_consume_with(items, Vec::new, |scratch, _i, (r, slice)| {
-                        ops::conv2d_rows_into(x, w, b, a, r, scratch, slice)
-                    });
+                let (results, _) = pool.map_consume_with(
+                    items,
+                    Vec::new,
+                    |scratch, _i, (r, slice)| match packed {
+                        Some(p) => ops::conv2d_rows_packed(x, p, b, a, r, scratch, slice),
+                        None => ops::conv2d_rows_into(x, w, b, a, r, scratch, slice),
+                    },
+                );
                 for r in results {
                     r?;
                 }
             }
-            (Op::Dense(a), Kind::Dense { w, b }) => {
+            (Op::Dense(a), Kind::Dense { w, b, packed }) => {
                 let (w, b) = (w.as_slice(), b.as_slice());
+                let packed = packed.as_deref();
                 let of = a.out_features;
                 let items = split_rows(out.data_mut(), s.out_shape.n(), of, pool.jobs());
-                pool.map_consume(items, |_i, (r, slice)| {
-                    ops::dense_rows_into(x, w, b, of, r, slice)
+                pool.map_consume(items, |_i, (r, slice)| match packed {
+                    Some(p) => ops::dense_rows_packed(x, p, b, r, slice),
+                    None => ops::dense_rows_into(x, w, b, of, r, slice),
                 });
             }
             (Op::Conv2d(a), Kind::Depthwise { w, b }) => {
@@ -722,24 +777,42 @@ impl Runner {
             let (results, _) = pool.map_consume_with(items, Vec::new, |scratch, _i, (s, out)| {
                 let x = env[s.node.inputs[0].index()].as_ref().expect("live input");
                 match (&s.node.op, &s.kind) {
-                    (Op::Conv2d(a), Kind::Conv { w, b }) => {
+                    (Op::Conv2d(a), Kind::Conv { w, b, packed }) => {
                         let rows = s.out_shape.numel() / a.out_channels;
-                        ops::conv2d_rows_into(x, w, b, a, 0..rows, scratch, out.data_mut())
+                        match packed {
+                            Some(p) => ops::conv2d_rows_packed(
+                                x,
+                                p,
+                                b,
+                                a,
+                                0..rows,
+                                scratch,
+                                out.data_mut(),
+                            ),
+                            None => {
+                                ops::conv2d_rows_into(x, w, b, a, 0..rows, scratch, out.data_mut())
+                            }
+                        }
                     }
                     (Op::Conv2d(a), Kind::Depthwise { w, b }) => {
                         let c = s.out_shape.c();
                         ops::conv2d_direct_channels_into(x, w, b, a, 0..c, out.data_mut());
                         Ok(())
                     }
-                    (Op::Dense(a), Kind::Dense { w, b }) => {
-                        ops::dense_rows_into(
-                            x,
-                            w,
-                            b,
-                            a.out_features,
-                            0..s.out_shape.n(),
-                            out.data_mut(),
-                        );
+                    (Op::Dense(a), Kind::Dense { w, b, packed }) => {
+                        match packed {
+                            Some(p) => {
+                                ops::dense_rows_packed(x, p, b, 0..s.out_shape.n(), out.data_mut())
+                            }
+                            None => ops::dense_rows_into(
+                                x,
+                                w,
+                                b,
+                                a.out_features,
+                                0..s.out_shape.n(),
+                                out.data_mut(),
+                            ),
+                        }
                         Ok(())
                     }
                     _ => unreachable!("only heavy kernels run node-parallel"),
@@ -780,6 +853,9 @@ fn split_rows(
 ///
 /// Outputs are byte-identical for every `jobs` width and every
 /// [`MemoryMode`]; only wall-clock time and the memory counters change.
+/// Switching [`GemmPath`] changes conv/dense outputs within
+/// [`crate::tolerance::Tolerance::kernel_default`] (the fast path
+/// reassociates the bias addition); each path is itself width-invariant.
 ///
 /// # Errors
 ///
@@ -828,6 +904,7 @@ pub fn run_graph_with(
         Some(j) => WorkerPool::new(j),
         None => WorkerPool::from_env(),
     };
+    let gemm = opts.gemm.unwrap_or_else(GemmPath::from_env);
     let mut cache = ParamCache::new(graph, &plan.liveness.order);
     let mut runner = Runner {
         mode: opts.memory,
@@ -859,7 +936,7 @@ pub fn run_graph_with(
     for wave in &plan.waves {
         let staged: Vec<Staged<'_>> = wave
             .iter()
-            .map(|&id| stage(graph, id, &runner.env, &mut cache))
+            .map(|&id| stage(graph, id, &runner.env, &mut cache, gemm))
             .collect::<Result<_, _>>()?;
         let heavy_idx: Vec<usize> = staged
             .iter()
@@ -969,6 +1046,7 @@ mod tests {
             &ExecOptions {
                 jobs: Some(jobs),
                 memory,
+                gemm: None,
             },
         )
         .unwrap()

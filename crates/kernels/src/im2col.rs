@@ -6,6 +6,8 @@
 //! lowering itself; the PIM code generator consumes only its *dimensions*,
 //! while tests use the full matrices to prove `conv == im2col x GEMM`.
 
+use crate::microkernel::{self, Epilogue, GemmPath};
+use crate::probe::{self, ProbePoint};
 use crate::tensor::Tensor;
 use pimflow_ir::{Conv2dAttrs, Shape};
 use std::fmt;
@@ -134,6 +136,7 @@ pub fn im2col_rows(
     row_end: usize,
     out: &mut Vec<f32>,
 ) -> Result<(), KernelError> {
+    let _probe = probe::span(ProbePoint::Im2colRows);
     if attrs.groups != 1 {
         return Err(KernelError::Unsupported(format!(
             "im2col supports regular conv only (groups = {})",
@@ -194,16 +197,26 @@ pub fn im2col_rows(
 /// tiling every GPU GEMM uses).
 const GEMM_K_BLOCK: usize = 64;
 
-/// The shared accumulation core of [`gemm`] and the conv fast path:
-/// `out[m, n] += a[m, k] x b[k, n]`, blocked over the k dimension.
+/// The scalar oracle core shared by [`gemm`]'s exact path and the exact
+/// conv path: `out[m, n] += a[m, k] x b[k, n]`, blocked over the k
+/// dimension.
 ///
 /// `k` advances in ascending order for every output element (the blocks
 /// are ascending and `kk` ascends within a block), so the float
 /// accumulation order — and therefore the result, bit for bit — matches
-/// the naive `i, k, j` loop nest. Zero entries of `a` are skipped; with
-/// finite operands that only ever changes the sign of a zero sum.
+/// the naive `i, k, j` loop nest. Every product is accumulated, including
+/// zero ones: an earlier `av == 0.0` skip diverged from the naive loop on
+/// signed zeros (a `-0.0` accumulator survived the skip where the naive
+/// loop's `+ 0.0` flushed it to `+0.0`), breaking the bit-identity claim.
+///
+/// Callers guarantee `n > 0` ([`gemm`] rejects zero-dimension operands and
+/// `conv2d_out_shape` rejects zero output channels), so the former
+/// `n.max(1)` guard — which silently computed a wrong `m` for degenerate
+/// inputs — is gone.
 pub(crate) fn gemm_accumulate(ad: &[f32], bd: &[f32], od: &mut [f32], k: usize, n: usize) {
-    let m = od.len() / n.max(1);
+    let _probe = probe::span(ProbePoint::GemmScalar);
+    debug_assert!(n > 0, "gemm_accumulate callers reject n == 0");
+    let m = od.len() / n;
     for kb in (0..k).step_by(GEMM_K_BLOCK) {
         let k_end = (kb + GEMM_K_BLOCK).min(k);
         for i in 0..m {
@@ -211,9 +224,6 @@ pub(crate) fn gemm_accumulate(ad: &[f32], bd: &[f32], od: &mut [f32], k: usize, 
             let o_row = &mut od[i * n..(i + 1) * n];
             for kk in kb..k_end {
                 let av = a_row[kk];
-                if av == 0.0 {
-                    continue;
-                }
                 let b_row = &bd[kk * n..(kk + 1) * n];
                 for (o, &bv) in o_row.iter_mut().zip(b_row) {
                     *o += av * bv;
@@ -223,16 +233,28 @@ pub(crate) fn gemm_accumulate(ad: &[f32], bd: &[f32], od: &mut [f32], k: usize, 
     }
 }
 
-/// GEMM: `[m, k] x [k, n] -> [m, n]`, blocked over the k dimension for
-/// cache locality (bit-identical to the naive triple loop — see
-/// `gemm_accumulate`). Checks the lowering identity and backs the
-/// `conv2d` fast path.
+/// GEMM: `[m, k] x [k, n] -> [m, n]`, bit-identical to the naive triple
+/// loop on **both** paths: the default [`GemmPath::Fast`] register-blocked
+/// micro-kernel accumulates each element's products in ascending `k` order
+/// (see [`crate::microkernel`]), and the [`GemmPath::Exact`] scalar loop is
+/// the k-blocked oracle (`gemm_accumulate`). The path is read from
+/// `PIMFLOW_EXACT_KERNELS`; use [`gemm_with`] to pin it.
 ///
 /// # Errors
 ///
-/// Returns [`KernelError::ShapeMismatch`] if either operand is not 2-D or
-/// the inner dimensions disagree.
+/// Returns [`KernelError::ShapeMismatch`] if either operand is not 2-D, the
+/// inner dimensions disagree, or any dimension is zero.
 pub fn gemm(a: &Tensor, b: &Tensor) -> Result<Tensor, KernelError> {
+    gemm_with(a, b, GemmPath::from_env())
+}
+
+/// [`gemm`] with an explicit [`GemmPath`] instead of the environment
+/// lookup.
+///
+/// # Errors
+///
+/// Same contract as [`gemm`].
+pub fn gemm_with(a: &Tensor, b: &Tensor, path: GemmPath) -> Result<Tensor, KernelError> {
     if a.shape().rank() != 2 || b.shape().rank() != 2 {
         return Err(KernelError::ShapeMismatch(format!(
             "gemm operands must be 2-D, got {} and {}",
@@ -247,8 +269,19 @@ pub fn gemm(a: &Tensor, b: &Tensor) -> Result<Tensor, KernelError> {
             "gemm inner dimension mismatch: [{m}, {k}] x [{k2}, {n}]"
         )));
     }
+    if m == 0 || k == 0 || n == 0 {
+        return Err(KernelError::ShapeMismatch(format!(
+            "gemm operands must have non-zero dimensions: [{m}, {k}] x [{k}, {n}]"
+        )));
+    }
     let mut out = Tensor::zeros(Shape::rf(m, n));
-    gemm_accumulate(a.data(), b.data(), out.data_mut(), k, n);
+    match path {
+        GemmPath::Fast => {
+            let packed = microkernel::pack_b(b.data(), k, n);
+            microkernel::gemm_packed(a.data(), &packed, out.data_mut(), Epilogue::None);
+        }
+        GemmPath::Exact => gemm_accumulate(a.data(), b.data(), out.data_mut(), k, n),
+    }
     Ok(out)
 }
 
@@ -376,6 +409,66 @@ mod tests {
             gemm(&four_d, &b),
             Err(KernelError::ShapeMismatch(_))
         ));
+    }
+
+    #[test]
+    fn gemm_rejects_zero_dimension_operands() {
+        // Formerly the scalar core papered over n == 0 with an `n.max(1)`
+        // guard (computing a bogus m from a zero-sized output); degenerate
+        // operands are now a surfaced error on both paths.
+        for (m, k, n) in [(0, 3, 4), (2, 0, 4), (2, 3, 0)] {
+            let a = Tensor::zeros(Shape::rf(m, k));
+            let b = Tensor::zeros(Shape::rf(k, n));
+            for path in [GemmPath::Fast, GemmPath::Exact] {
+                let err = gemm_with(&a, &b, path).unwrap_err();
+                assert!(
+                    matches!(&err, KernelError::ShapeMismatch(m) if m.contains("non-zero")),
+                    "({m}, {k}, {n}) via {path:?}: {err}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_preserves_signed_zero_sums() {
+        // Regression: the old `av == 0.0` skip in gemm_accumulate left a
+        // `-0.0` accumulator untouched where the naive loop's `+ 0.0`
+        // flushes it to `+0.0` — so the "bit-identical" claim was false
+        // exactly on signed zeros. A row of `-0.0` against any B must now
+        // produce `+0.0` (IEEE: -0.0 * x + 0.0 * y ... sums to +0.0) on
+        // both paths.
+        let a = Tensor::from_vec(Shape::rf(1, 3), vec![-0.0, -0.0, -0.0]);
+        let b = Tensor::from_fn(Shape::rf(3, 4), |i| i as f32 + 1.0);
+        for path in [GemmPath::Fast, GemmPath::Exact] {
+            let out = gemm_with(&a, &b, path).unwrap();
+            let mut naive = vec![0.0f32; 4];
+            for kk in 0..3 {
+                for (j, cell) in naive.iter_mut().enumerate() {
+                    *cell += a.data()[kk] * b.data()[kk * 4 + j];
+                }
+            }
+            for (got, want) in out.data().iter().zip(&naive) {
+                assert_eq!(
+                    got.to_bits(),
+                    want.to_bits(),
+                    "{path:?}: {got} vs naive {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fast_and_exact_paths_are_bit_identical_for_plain_gemm() {
+        // Epilogue-free GEMM accumulates in the same per-element order on
+        // both paths, so even the micro-kernel is bit-identical here.
+        let (m, k, n) = (13, 2 * GEMM_K_BLOCK + 5, 11);
+        let a = Tensor::from_fn(Shape::rf(m, k), |i| ((i * 29 + 3) % 23) as f32 * 0.07 - 0.7);
+        let b = Tensor::from_fn(Shape::rf(k, n), |i| {
+            ((i * 17 + 11) % 19) as f32 * 0.09 - 0.8
+        });
+        let fast = gemm_with(&a, &b, GemmPath::Fast).unwrap();
+        let exact = gemm_with(&a, &b, GemmPath::Exact).unwrap();
+        assert_eq!(fast.data(), exact.data());
     }
 
     #[test]

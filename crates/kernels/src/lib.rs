@@ -27,16 +27,21 @@
 
 pub mod executor;
 pub mod im2col;
+pub mod microkernel;
 pub mod ops;
 pub mod params;
+pub mod probe;
 pub mod schedule;
 pub mod tensor;
+pub mod tolerance;
 
 pub use executor::{
     input_tensors, run_graph, run_graph_with, ExecError, ExecOptions, ExecOutput, ExecStats,
     MemoryMode,
 };
 pub use im2col::{gemm, im2col, im2col_rows, lowered_dims, KernelError, LoweredConv};
+pub use microkernel::{pack_b, Epilogue, GemmPath, PackedB};
 pub use params::{param_cols, param_vec, ParamRole};
 pub use schedule::{Arena, ExecPlan};
 pub use tensor::Tensor;
+pub use tolerance::{ulp_distance, Tolerance, ToleranceError, ToleranceReport};

@@ -1,0 +1,499 @@
+//! Register-blocked, cache-tiled GEMM micro-kernels.
+//!
+//! The scalar k-blocked loop in [`mod@crate::im2col`] walks the output row
+//! through memory once per `k` step — a load and a store per FLOP pair. The
+//! micro-kernel here instead holds an `MR x NR` accumulator tile in
+//! registers for the whole k extent, streams a packed copy of `B` whose
+//! panels are laid out in exactly the order the inner loop consumes them,
+//! and only touches the output when a tile is complete (BLIS-style
+//! `jc -> pc -> ic -> jr -> ir` blocking, scaled down to the shapes a CNN
+//! reference executor sees).
+//!
+//! # Numerical contract
+//!
+//! Per output element the products are accumulated in ascending `k` order,
+//! spilled exactly (an f32 round-trips through memory unchanged) at [`KC`]
+//! panel boundaries. Consequences, both tested:
+//!
+//! * with [`Epilogue::None`] the result is **bit-identical** to the naive
+//!   `i, k, j` triple loop — the blocking reorders memory traffic, not the
+//!   per-element float additions;
+//! * with a bias epilogue ([`Epilogue::Bias`] / [`Epilogue::BiasRelu`]) the
+//!   bias joins *after* the products instead of seeding the accumulator, so
+//!   results differ from the bias-seeded oracle by one reassociated
+//!   addition — within [`crate::tolerance::Tolerance::kernel_default`], the
+//!   documented fast-path tolerance.
+//!
+//! Either way the accumulation order of an output element depends only on
+//! its row contents and column, never on which row range a caller asked
+//! for, so intra-op row sharding stays **byte-identical at any
+//! `PIMFLOW_JOBS` width** (the same contract the scalar path had).
+
+use crate::probe::{self, ProbePoint};
+
+/// Rows per register tile. Four accumulator rows of [`NR`] f32 lanes fit in
+/// xmm registers alongside a packed-B vector on a baseline x86-64 target
+/// (and in NEON registers on aarch64).
+pub const MR: usize = 4;
+
+/// Columns per register tile — the unrolled f32 lanes of the accumulator.
+/// Packed-B panels are padded to this width so the inner loop is always a
+/// fixed-trip-count, auto-vectorizable lane loop.
+pub const NR: usize = 8;
+
+/// k extent per cache panel: a `KC x NR` packed-B panel (8 KiB) stays in L1
+/// while an `MR x KC` slab of `A` streams against it.
+pub const KC: usize = 256;
+
+/// Rows per L2 block: bounds the working set of `A` rows revisited per
+/// packed-B panel to `MC x KC` floats.
+pub const MC: usize = 64;
+
+/// Which path a GEMM-backed kernel takes.
+///
+/// `Fast` is the register-blocked micro-kernel (default); `Exact` demotes
+/// to the scalar k-blocked loop, which is bit-identical to the naive triple
+/// loop and to the bias-seeded direct-convolution oracle. Selected per call
+/// site, or process-wide via the `PIMFLOW_EXACT_KERNELS` environment
+/// variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GemmPath {
+    /// Register-blocked micro-kernel; outputs within the documented
+    /// tolerance of the oracle (bit-identical for epilogue-free GEMM).
+    #[default]
+    Fast,
+    /// Scalar oracle loop: byte-identical to the pre-micro-kernel executor
+    /// at every worker width.
+    Exact,
+}
+
+/// Environment variable forcing the exact scalar path process-wide.
+pub const EXACT_ENV_VAR: &str = "PIMFLOW_EXACT_KERNELS";
+
+impl GemmPath {
+    /// Reads the path from `PIMFLOW_EXACT_KERNELS` (`1`/`true` selects
+    /// [`GemmPath::Exact`]); anything else — including unset — selects
+    /// [`GemmPath::Fast`].
+    pub fn from_env() -> Self {
+        Self::parse(std::env::var(EXACT_ENV_VAR).ok().as_deref())
+    }
+
+    /// The parse behind [`GemmPath::from_env`], separated so tests cover it
+    /// without racing on the process environment.
+    fn parse(value: Option<&str>) -> Self {
+        match value {
+            Some(v) if v == "1" || v.eq_ignore_ascii_case("true") => GemmPath::Exact,
+            _ => GemmPath::Fast,
+        }
+    }
+}
+
+/// What the micro-kernel does to a finished accumulator tile before the
+/// store. Fused into the tile loop so conv/dense epilogues cost no extra
+/// pass over the output.
+#[derive(Debug, Clone, Copy)]
+pub enum Epilogue<'a> {
+    /// Store the raw products sum (plain GEMM).
+    None,
+    /// Add `bias[column]` to every element (conv / dense).
+    Bias(&'a [f32]),
+    /// Add `bias[column]`, then clamp at zero (conv + ReLU fused).
+    BiasRelu(&'a [f32]),
+}
+
+/// `B` repacked into [`NR`]-wide column panels, padded with zeros to a
+/// whole panel: panel `j` holds columns `j*NR ..` as `k` rows of `NR`
+/// contiguous lanes — the exact order the micro-kernel's inner loop reads.
+///
+/// Packing costs one pass over `B` and is reused across every row block of
+/// a call (and, in the executor, across all im2col panels *and* all
+/// workers of a sharded convolution — the pack happens once per node at
+/// staging time).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackedB {
+    k: usize,
+    n: usize,
+    panels: Vec<f32>,
+}
+
+impl PackedB {
+    /// Inner (reduction) dimension of the packed matrix.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Column count of the packed matrix (unpadded).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// One `k x NR` panel of packed columns.
+    fn panel(&self, j: usize) -> &[f32] {
+        &self.panels[j * self.k * NR..(j + 1) * self.k * NR]
+    }
+}
+
+/// Packs a row-major `[k, n]` matrix into [`NR`]-wide panels.
+///
+/// # Panics
+///
+/// Panics if `b.len() != k * n`.
+pub fn pack_b(b: &[f32], k: usize, n: usize) -> PackedB {
+    let _probe = probe::span(ProbePoint::PackB);
+    assert_eq!(b.len(), k * n, "pack_b operand length");
+    let panels_n = n.div_ceil(NR).max(1);
+    let mut panels = vec![0.0f32; panels_n * k * NR];
+    for j in 0..panels_n {
+        let col0 = j * NR;
+        let width = NR.min(n - col0.min(n));
+        let panel = &mut panels[j * k * NR..(j + 1) * k * NR];
+        for kk in 0..k {
+            let src = &b[kk * n + col0..kk * n + col0 + width];
+            panel[kk * NR..kk * NR + width].copy_from_slice(src);
+        }
+    }
+    PackedB { k, n, panels }
+}
+
+/// Register-blocked GEMM over a packed `B`:
+/// `out[m, n] = epilogue(a[m, k] x b[k, n])` with `m = out.len() / b.n()`.
+///
+/// `a` is the row-major left operand (`m * k` floats, read in place — the
+/// im2col scratch or a dense input). `out` is overwritten, not accumulated
+/// into; the epilogue is fused into the final store.
+///
+/// # Panics
+///
+/// Panics if operand lengths are inconsistent, `b.n() == 0`, or an epilogue
+/// bias length differs from `b.n()`.
+pub fn gemm_packed(a: &[f32], b: &PackedB, out: &mut [f32], epilogue: Epilogue<'_>) {
+    let _probe = probe::span(ProbePoint::GemmMicrokernel);
+    let (k, n) = (b.k, b.n);
+    assert!(n > 0, "gemm_packed needs at least one output column");
+    let m = out.len() / n;
+    assert_eq!(out.len(), m * n, "gemm_packed output length");
+    assert_eq!(a.len(), m * k, "gemm_packed left operand length");
+    if let Epilogue::Bias(bias) | Epilogue::BiasRelu(bias) = epilogue {
+        assert_eq!(bias.len(), n, "gemm_packed bias length");
+    }
+    let kc_blocks = k.div_ceil(KC).max(1);
+    for pc in 0..kc_blocks {
+        let kb = pc * KC;
+        let kw = KC.min(k - kb);
+        let first = pc == 0;
+        // Only the final k panel applies the epilogue.
+        let ep = if pc + 1 == kc_blocks {
+            epilogue
+        } else {
+            Epilogue::None
+        };
+        for ic in (0..m).step_by(MC) {
+            let mw = MC.min(m - ic);
+            for jr in 0..n.div_ceil(NR) {
+                let col0 = jr * NR;
+                let nw = NR.min(n - col0);
+                let panel = &b.panel(jr)[kb * NR..(kb + kw) * NR];
+                for ir in (0..mw).step_by(MR) {
+                    let row0 = ic + ir;
+                    let rw = MR.min(mw - ir);
+                    if rw == MR && nw == NR {
+                        tile_full(a, k, kb, kw, row0, panel, out, n, col0, first, ep);
+                    } else {
+                        tile(TileArgs {
+                            a,
+                            k,
+                            kb,
+                            kw,
+                            row0,
+                            rw,
+                            panel,
+                            out,
+                            n,
+                            col0,
+                            nw,
+                            first,
+                            epilogue: ep,
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Operands of one register tile, bundled to keep the call site readable.
+struct TileArgs<'a, 'e> {
+    a: &'a [f32],
+    /// Row stride of `a` (the full reduction extent).
+    k: usize,
+    /// First k index of this panel.
+    kb: usize,
+    /// k steps in this panel.
+    kw: usize,
+    /// First output row of the tile.
+    row0: usize,
+    /// Rows in the tile (`<= MR`).
+    rw: usize,
+    /// Packed-B panel slice for this k range (`kw * NR` floats).
+    panel: &'a [f32],
+    out: &'a mut [f32],
+    /// Row stride of `out` (total columns).
+    n: usize,
+    /// First output column of the tile.
+    col0: usize,
+    /// Columns in the tile (`<= NR`).
+    nw: usize,
+    /// First k panel: accumulators start at zero instead of reloading.
+    first: bool,
+    epilogue: Epilogue<'e>,
+}
+
+/// The full `MR x NR` register tile — the hot kernel. Every loop has a
+/// constant trip count and every operand is a pre-sliced zip (no index
+/// arithmetic or bounds checks inside the k loop), so the accumulator
+/// stays in vector registers for the whole panel. Same accumulation order
+/// as [`tile`]; only the remainder handling is gone.
+///
+/// `inline(never)` is load-bearing: inlined into `gemm_packed` next to the
+/// generic [`tile`], the merged body overwhelms the register allocator and
+/// the accumulator spills to the stack every k step (~6x slower). As an
+/// outlined function the accumulator stays in vector registers.
+#[inline(never)]
+#[allow(clippy::too_many_arguments)]
+fn tile_full(
+    a: &[f32],
+    k: usize,
+    kb: usize,
+    kw: usize,
+    row0: usize,
+    panel: &[f32],
+    out: &mut [f32],
+    n: usize,
+    col0: usize,
+    first: bool,
+    epilogue: Epilogue<'_>,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    if !first {
+        for (i, row) in acc.iter_mut().enumerate() {
+            let base = (row0 + i) * n + col0;
+            row.copy_from_slice(&out[base..base + NR]);
+        }
+    }
+    let arow = |i: usize| &a[(row0 + i) * k + kb..][..kw];
+    let (r0, r1, r2, r3) = (arow(0), arow(1), arow(2), arow(3));
+    // Pure slice-iterator zips (no `take`, no indexing): std specializes
+    // these to one counted loop with no bounds checks, which is what lets
+    // the accumulator live in registers instead of spilling every k step.
+    let rows = r0.iter().zip(r1).zip(r2.iter().zip(r3));
+    for (lanes, ((a0, a1), (a2, a3))) in panel.chunks_exact(NR).zip(rows) {
+        let (a0, a1, a2, a3) = (*a0, *a1, *a2, *a3);
+        // Ascending k order per element, identical to the naive loop.
+        for j in 0..NR {
+            acc[0][j] += a0 * lanes[j];
+        }
+        for j in 0..NR {
+            acc[1][j] += a1 * lanes[j];
+        }
+        for j in 0..NR {
+            acc[2][j] += a2 * lanes[j];
+        }
+        for j in 0..NR {
+            acc[3][j] += a3 * lanes[j];
+        }
+    }
+    match epilogue {
+        Epilogue::None => {}
+        Epilogue::Bias(bias) => {
+            let b: &[f32; NR] = bias[col0..col0 + NR].try_into().expect("NR bias lanes");
+            for row in &mut acc {
+                for j in 0..NR {
+                    row[j] += b[j];
+                }
+            }
+        }
+        Epilogue::BiasRelu(bias) => {
+            let b: &[f32; NR] = bias[col0..col0 + NR].try_into().expect("NR bias lanes");
+            for row in &mut acc {
+                for j in 0..NR {
+                    row[j] = (row[j] + b[j]).max(0.0);
+                }
+            }
+        }
+    }
+    for (i, row) in acc.iter().enumerate() {
+        let base = (row0 + i) * n + col0;
+        out[base..base + NR].copy_from_slice(row);
+    }
+}
+
+/// One `rw x nw` accumulator tile: load the partial sums unless this is the
+/// first k panel, accumulate `kw` steps in ascending k order across all
+/// [`NR`] lanes (padding lanes compute zeros and are never stored), apply
+/// the epilogue, store `nw` columns. Remainder tiles only — full tiles take
+/// [`tile_full`]. Outlined for the same register-pressure reason.
+#[inline(never)]
+fn tile(args: TileArgs<'_, '_>) {
+    let TileArgs {
+        a,
+        k,
+        kb,
+        kw,
+        row0,
+        rw,
+        panel,
+        out,
+        n,
+        col0,
+        nw,
+        first,
+        epilogue,
+    } = args;
+    let mut acc = [[0.0f32; NR]; MR];
+    if !first {
+        for (i, row) in acc.iter_mut().enumerate().take(rw) {
+            let base = (row0 + i) * n + col0;
+            row[..nw].copy_from_slice(&out[base..base + nw]);
+        }
+    }
+    for kk in 0..kw {
+        let lanes: &[f32; NR] = panel[kk * NR..(kk + 1) * NR].try_into().expect("NR lanes");
+        for (i, row) in acc.iter_mut().enumerate().take(rw) {
+            // Per element the products join in ascending k order — the same
+            // reduction order as the naive triple loop; the tile only
+            // reorders memory traffic.
+            let av = a[(row0 + i) * k + kb + kk];
+            for (o, &bv) in row.iter_mut().zip(lanes) {
+                *o += av * bv;
+            }
+        }
+    }
+    match epilogue {
+        Epilogue::None => {}
+        Epilogue::Bias(bias) => {
+            for row in acc.iter_mut().take(rw) {
+                for (o, &bv) in row.iter_mut().zip(&bias[col0..col0 + nw]) {
+                    *o += bv;
+                }
+            }
+        }
+        Epilogue::BiasRelu(bias) => {
+            for row in acc.iter_mut().take(rw) {
+                for (o, &bv) in row.iter_mut().zip(&bias[col0..col0 + nw]) {
+                    *o = (*o + bv).max(0.0);
+                }
+            }
+        }
+    }
+    for (i, row) in acc.iter().enumerate().take(rw) {
+        let base = (row0 + i) * n + col0;
+        out[base..base + nw].copy_from_slice(&row[..nw]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for kk in 0..k {
+                for j in 0..n {
+                    out[i * n + j] += a[i * k + kk] * b[kk * n + j];
+                }
+            }
+        }
+        out
+    }
+
+    fn operands(m: usize, k: usize, n: usize) -> (Vec<f32>, Vec<f32>) {
+        let a: Vec<f32> = (0..m * k)
+            .map(|i| ((i * 29 + 3) % 23) as f32 * 0.07 - 0.7)
+            .collect();
+        let b: Vec<f32> = (0..k * n)
+            .map(|i| ((i * 17 + 11) % 19) as f32 * 0.09 - 0.8)
+            .collect();
+        (a, b)
+    }
+
+    #[test]
+    fn packed_gemm_without_epilogue_is_bit_identical_to_naive() {
+        // Shapes hitting every remainder: M % MR, N % NR, K < KC, K > KC,
+        // and degenerate single-row/single-column cases.
+        for (m, k, n) in [
+            (1, 1, 1),
+            (MR, 3, NR),
+            (MR + 1, 7, NR + 3),
+            (MC + 5, KC + 13, 2 * NR + 1),
+            (3, KC, 5),
+            (17, 2 * KC + 9, 19),
+        ] {
+            let (a, b) = operands(m, k, n);
+            let packed = pack_b(&b, k, n);
+            let mut out = vec![0.0f32; m * n];
+            gemm_packed(&a, &packed, &mut out, Epilogue::None);
+            let want = naive(&a, &b, m, k, n);
+            assert_eq!(out, want, "m={m} k={k} n={n}");
+        }
+    }
+
+    #[test]
+    fn bias_relu_epilogue_matches_bias_then_relu() {
+        let (m, k, n) = (9, 33, 11);
+        let (a, b) = operands(m, k, n);
+        let bias: Vec<f32> = (0..n).map(|i| i as f32 * 0.3 - 1.5).collect();
+        let packed = pack_b(&b, k, n);
+        let mut biased = vec![0.0f32; m * n];
+        gemm_packed(&a, &packed, &mut biased, Epilogue::Bias(&bias));
+        let mut fused = vec![0.0f32; m * n];
+        gemm_packed(&a, &packed, &mut fused, Epilogue::BiasRelu(&bias));
+        for (f, b) in fused.iter().zip(&biased) {
+            assert_eq!(*f, b.max(0.0), "relu must clamp the biased value");
+        }
+    }
+
+    #[test]
+    fn packing_is_reused_across_row_blocks() {
+        // Calling gemm_packed over disjoint row blocks of A with one packed
+        // B reproduces the single whole-matrix call byte for byte — the
+        // property the conv fast path's im2col streaming relies on.
+        let (m, k, n) = (37, 50, 13);
+        let (a, b) = operands(m, k, n);
+        let bias: Vec<f32> = (0..n).map(|i| i as f32 * 0.11 - 0.4).collect();
+        let packed = pack_b(&b, k, n);
+        let mut whole = vec![0.0f32; m * n];
+        gemm_packed(&a, &packed, &mut whole, Epilogue::Bias(&bias));
+        let mut blocked = vec![0.0f32; m * n];
+        for (begin, end) in [(0usize, 5usize), (5, 6), (6, 30), (30, 37)] {
+            gemm_packed(
+                &a[begin * k..end * k],
+                &packed,
+                &mut blocked[begin * n..end * n],
+                Epilogue::Bias(&bias),
+            );
+        }
+        assert_eq!(whole, blocked);
+    }
+
+    #[test]
+    fn exact_env_var_selects_the_scalar_path() {
+        // The parse is tested directly — mutating the process environment
+        // would race other tests in this binary.
+        assert_eq!(GemmPath::parse(None), GemmPath::Fast);
+        assert_eq!(GemmPath::parse(Some("0")), GemmPath::Fast);
+        assert_eq!(GemmPath::parse(Some("")), GemmPath::Fast);
+        assert_eq!(GemmPath::parse(Some("1")), GemmPath::Exact);
+        assert_eq!(GemmPath::parse(Some("true")), GemmPath::Exact);
+        assert_eq!(GemmPath::parse(Some("TRUE")), GemmPath::Exact);
+        assert_eq!(GemmPath::default(), GemmPath::Fast);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one output column")]
+    fn zero_column_packed_gemm_panics() {
+        let packed = pack_b(&[], 3, 0);
+        let mut out = [0.0f32; 0];
+        gemm_packed(&[0.0; 9], &packed, &mut out, Epilogue::None);
+    }
+}

@@ -17,6 +17,8 @@
 //!   sharding, so any split produces bit-identical results.
 
 use crate::im2col::{gemm_accumulate, im2col_rows, lowered_dims, KernelError};
+use crate::microkernel::{self, Epilogue, GemmPath, PackedB};
+use crate::probe::{self, ProbePoint};
 use crate::tensor::Tensor;
 use pimflow_ir::shape_infer::conv_out_extent;
 use pimflow_ir::{ActivationKind, Conv2dAttrs, PadAttrs, PoolAttrs, PoolKind, Shape, SliceAttrs};
@@ -45,6 +47,11 @@ pub fn conv2d_out_shape(in_shape: &Shape, attrs: &Conv2dAttrs) -> Result<Shape, 
         return Err(shape_err(format!(
             "conv input must be NHWC, got {in_shape}"
         )));
+    }
+    if attrs.out_channels == 0 {
+        // Downstream GEMM cores divide by the column count; a zero-channel
+        // conv is a malformed graph, not a valid empty computation.
+        return Err(shape_err("conv out_channels must be non-zero"));
     }
     let ic = in_shape.c();
     if attrs.groups > 1 && !attrs.is_depthwise_for(ic) {
@@ -154,13 +161,18 @@ fn check_conv_params(
 /// regular convolution and `[kh][kw][c]` for depthwise.
 ///
 /// Regular (groups = 1) convolutions stream [`CONV_ROW_BLOCK`]-row blocks
-/// of the lowered input through the blocked GEMM ([`conv2d_rows_into`]):
-/// the lowered row layout `(ky, kx, ci)` matches the weight layout and the
-/// GEMM accumulates `k` in ascending order, so the accumulation sequence
-/// per output element is exactly the direct loop nest's
-/// ([`conv2d_direct`] stays available as the oracle). Depthwise
-/// convolutions take the per-channel direct nest
-/// ([`conv2d_direct_channels_into`]).
+/// of the lowered input through a GEMM. The path is chosen by
+/// [`GemmPath`] (read from `PIMFLOW_EXACT_KERNELS`; pin it with
+/// [`conv2d_with`]): [`GemmPath::Fast`] packs the weight matrix once and
+/// runs the register-blocked micro-kernel with a fused bias epilogue
+/// ([`conv2d_rows_packed`]) — within
+/// [`crate::tolerance::Tolerance::kernel_default`] of the oracle, the bias
+/// joining after the products instead of seeding them; [`GemmPath::Exact`]
+/// bias-seeds and runs the scalar loop ([`conv2d_rows_into`]),
+/// bit-identical to [`conv2d_direct`]. Both paths are bit-identical to
+/// themselves at any intra-op row sharding. Depthwise convolutions take
+/// the per-channel direct nest ([`conv2d_direct_channels_into`]) on either
+/// path.
 ///
 /// # Errors
 ///
@@ -171,9 +183,25 @@ pub fn conv2d(
     bias: &[f32],
     attrs: &Conv2dAttrs,
 ) -> Result<Tensor, KernelError> {
+    conv2d_with(x, weights, bias, attrs, GemmPath::from_env())
+}
+
+/// [`conv2d`] with an explicit [`GemmPath`] instead of the environment
+/// lookup.
+///
+/// # Errors
+///
+/// Same contract as [`conv2d`].
+pub fn conv2d_with(
+    x: &Tensor,
+    weights: &[f32],
+    bias: &[f32],
+    attrs: &Conv2dAttrs,
+    path: GemmPath,
+) -> Result<Tensor, KernelError> {
     let out_shape = check_conv_params(x, weights, bias, attrs)?;
     let mut out = Tensor::zeros(out_shape);
-    conv2d_into(x, weights, bias, attrs, &mut out)?;
+    conv2d_into(x, weights, bias, attrs, path, &mut out)?;
     Ok(out)
 }
 
@@ -184,6 +212,7 @@ pub(crate) fn conv2d_into(
     weights: &[f32],
     bias: &[f32],
     attrs: &Conv2dAttrs,
+    path: GemmPath,
     out: &mut Tensor,
 ) -> Result<(), KernelError> {
     if attrs.groups > 1 {
@@ -194,15 +223,30 @@ pub(crate) fn conv2d_into(
     } else {
         let rows = out.shape().n() * out.shape().h() * out.shape().w();
         let mut scratch = Vec::new();
-        conv2d_rows_into(
-            x,
-            weights,
-            bias,
-            attrs,
-            0..rows,
-            &mut scratch,
-            out.data_mut(),
-        )
+        match path {
+            GemmPath::Fast => {
+                let dims = lowered_dims(x.shape(), attrs);
+                let packed = microkernel::pack_b(weights, dims.k_elems, dims.out_channels);
+                conv2d_rows_packed(
+                    x,
+                    &packed,
+                    bias,
+                    attrs,
+                    0..rows,
+                    &mut scratch,
+                    out.data_mut(),
+                )
+            }
+            GemmPath::Exact => conv2d_rows_into(
+                x,
+                weights,
+                bias,
+                attrs,
+                0..rows,
+                &mut scratch,
+                out.data_mut(),
+            ),
+        }
     }
 }
 
@@ -233,6 +277,7 @@ pub fn conv2d_rows_into(
     scratch: &mut Vec<f32>,
     out: &mut [f32],
 ) -> Result<(), KernelError> {
+    let _probe = probe::span(ProbePoint::ConvRowsExact);
     let dims = lowered_dims(x.shape(), attrs);
     let oc = attrs.out_channels;
     assert_eq!(out.len(), rows.len() * oc, "conv output slice length");
@@ -247,6 +292,54 @@ pub fn conv2d_rows_into(
             row.copy_from_slice(bias);
         }
         gemm_accumulate(scratch, weights, block, dims.k_elems, oc);
+        begin = end;
+    }
+    Ok(())
+}
+
+/// Fast-path counterpart of [`conv2d_rows_into`]: streams the same
+/// [`CONV_ROW_BLOCK`]-row im2col blocks through the register-blocked
+/// micro-kernel against a pre-packed weight matrix
+/// ([`microkernel::pack_b`] of the `[k_elems, oc]` filter), with the bias
+/// fused into the store epilogue.
+///
+/// The pack is taken by reference so the executor builds it **once per
+/// node** at staging time and shares it across every row block and every
+/// sharded worker. Per output element the products accumulate in ascending
+/// `k` order and the bias joins last — independent of the row range, so
+/// sharding stays bit-identical; relative to the bias-seeded oracle the
+/// one reassociated addition is bounded by
+/// [`crate::tolerance::Tolerance::kernel_default`].
+///
+/// # Errors
+///
+/// Returns [`KernelError::Unsupported`] for grouped attrs.
+///
+/// # Panics
+///
+/// Panics if the pack's dimensions disagree with `attrs`, `out` does not
+/// match the row range, or the range is out of bounds.
+pub fn conv2d_rows_packed(
+    x: &Tensor,
+    packed: &PackedB,
+    bias: &[f32],
+    attrs: &Conv2dAttrs,
+    rows: Range<usize>,
+    scratch: &mut Vec<f32>,
+    out: &mut [f32],
+) -> Result<(), KernelError> {
+    let _probe = probe::span(ProbePoint::ConvRowsFast);
+    let dims = lowered_dims(x.shape(), attrs);
+    let oc = attrs.out_channels;
+    assert_eq!(packed.k(), dims.k_elems, "packed weight k dimension");
+    assert_eq!(packed.n(), oc, "packed weight column count");
+    assert_eq!(out.len(), rows.len() * oc, "conv output slice length");
+    let mut begin = rows.start;
+    while begin < rows.end {
+        let end = (begin + CONV_ROW_BLOCK).min(rows.end);
+        im2col_rows(x, attrs, begin, end, scratch)?;
+        let block = &mut out[(begin - rows.start) * oc..(end - rows.start) * oc];
+        microkernel::gemm_packed(scratch, packed, block, Epilogue::Bias(bias));
         begin = end;
     }
     Ok(())
@@ -271,6 +364,7 @@ pub fn conv2d_direct_channels_into(
     channels: Range<usize>,
     out: &mut [f32],
 ) {
+    let _probe = probe::span(ProbePoint::DepthwiseDirect);
     let (n, ih, iw, ic) = (x.shape().n(), x.shape().h(), x.shape().w(), x.shape().c());
     let (kh, kw) = (attrs.kernel.h, attrs.kernel.w);
     let (sh, sw) = (attrs.stride.h, attrs.stride.w);
@@ -376,21 +470,46 @@ pub fn conv2d_direct(
 
 /// Fully-connected layer: `y = x W + b` with `W` laid out `[in][out]`.
 ///
+/// Routed by [`GemmPath`] (read from `PIMFLOW_EXACT_KERNELS`; pin it with
+/// [`dense_with`]): [`GemmPath::Fast`] packs `W` and runs the
+/// register-blocked micro-kernel with the bias fused into the epilogue
+/// ([`dense_rows_packed`]); [`GemmPath::Exact`] runs the bias-seeded
+/// scalar nest ([`dense_rows_into`]).
+///
 /// # Errors
 ///
 /// Returns [`KernelError::ShapeMismatch`] if shapes/lengths are
-/// inconsistent.
+/// inconsistent or `out_features` is zero.
 pub fn dense(
     x: &Tensor,
     weights: &[f32],
     bias: &[f32],
     out_features: usize,
 ) -> Result<Tensor, KernelError> {
+    dense_with(x, weights, bias, out_features, GemmPath::from_env())
+}
+
+/// [`dense`] with an explicit [`GemmPath`] instead of the environment
+/// lookup.
+///
+/// # Errors
+///
+/// Same contract as [`dense`].
+pub fn dense_with(
+    x: &Tensor,
+    weights: &[f32],
+    bias: &[f32],
+    out_features: usize,
+    path: GemmPath,
+) -> Result<Tensor, KernelError> {
     if x.shape().rank() != 2 {
         return Err(shape_err(format!(
             "dense input must be 2-D, got {}",
             x.shape()
         )));
+    }
+    if out_features == 0 {
+        return Err(shape_err("dense out_features must be non-zero"));
     }
     let (rows, in_f) = (x.shape().n(), x.shape().c());
     if weights.len() != in_f * out_features {
@@ -407,7 +526,13 @@ pub fn dense(
         )));
     }
     let mut out = Tensor::zeros(Shape::rf(rows, out_features));
-    dense_rows_into(x, weights, bias, out_features, 0..rows, out.data_mut());
+    match path {
+        GemmPath::Fast => {
+            let packed = microkernel::pack_b(weights, in_f, out_features);
+            dense_rows_packed(x, &packed, bias, 0..rows, out.data_mut());
+        }
+        GemmPath::Exact => dense_rows_into(x, weights, bias, out_features, 0..rows, out.data_mut()),
+    }
     Ok(out)
 }
 
@@ -427,6 +552,7 @@ pub fn dense_rows_into(
     rows: Range<usize>,
     out: &mut [f32],
 ) {
+    let _probe = probe::span(ProbePoint::DenseRowsExact);
     let in_f = x.shape().c();
     assert_eq!(
         out.len(),
@@ -443,6 +569,36 @@ pub fn dense_rows_into(
             out[local * out_features + o] = acc;
         }
     }
+}
+
+/// Fast-path counterpart of [`dense_rows_into`] over a pre-packed weight
+/// matrix: the register-blocked micro-kernel with the bias fused into the
+/// store epilogue. Same sharding contract (per-element accumulation order
+/// independent of the row range); same tolerance contract vs the
+/// bias-seeded oracle as [`conv2d_rows_packed`].
+///
+/// # Panics
+///
+/// Panics if the pack's `k` differs from the input feature count or `out`
+/// does not match the row range.
+pub fn dense_rows_packed(
+    x: &Tensor,
+    packed: &PackedB,
+    bias: &[f32],
+    rows: Range<usize>,
+    out: &mut [f32],
+) {
+    let _probe = probe::span(ProbePoint::DenseRowsFast);
+    let in_f = x.shape().c();
+    let out_features = packed.n();
+    assert_eq!(packed.k(), in_f, "packed weight k dimension");
+    assert_eq!(
+        out.len(),
+        rows.len() * out_features,
+        "dense output slice length"
+    );
+    let xd = &x.data()[rows.start * in_f..rows.end * in_f];
+    microkernel::gemm_packed(xd, packed, out, Epilogue::Bias(bias));
 }
 
 /// Applies a unary activation element-wise, in place (softmax is applied
@@ -938,10 +1094,12 @@ mod tests {
 
     #[test]
     fn conv_fast_path_matches_direct_oracle() {
-        // Streaming im2col + blocked GEMM vs the naive loop nest, across
-        // batch, stride, padding, and kernel-size variations. The first
-        // case has more lowered rows than CONV_ROW_BLOCK when scaled up,
-        // so also run one large case that actually spans multiple blocks.
+        // Streaming im2col + GEMM vs the naive loop nest, across batch,
+        // stride, padding, and kernel-size variations (one case spans
+        // multiple CONV_ROW_BLOCKs). The exact path must be bit-identical;
+        // the micro-kernel path reassociates the bias addition and must be
+        // within the documented kernel tolerance.
+        let tol = crate::tolerance::Tolerance::kernel_default();
         for (batch, h, w, ic, oc, k, s, p) in [
             (1, 6, 6, 3, 4, 3, 1, 1),
             (2, 9, 7, 3, 5, 3, 2, 1),
@@ -961,15 +1119,87 @@ mod tests {
                 .map(|i| ((i * 7 + 3) % 13) as f32 * 0.1 - 0.6)
                 .collect();
             let bias: Vec<f32> = (0..oc).map(|i| i as f32 * 0.5 - 1.0).collect();
-            let fast = conv2d(&x, &wts, &bias, &attrs).unwrap();
             let direct = conv2d_direct(&x, &wts, &bias, &attrs).unwrap();
-            assert_eq!(fast.shape(), direct.shape());
+
+            let exact = conv2d_with(&x, &wts, &bias, &attrs, GemmPath::Exact).unwrap();
+            assert_eq!(exact.shape(), direct.shape());
             assert!(
-                fast.allclose(&direct, 0.0),
-                "fast path must be bit-compatible: max diff {}",
-                fast.max_abs_diff(&direct)
+                exact.allclose(&direct, 0.0),
+                "exact path must be bit-identical: max diff {}",
+                exact.max_abs_diff(&direct)
             );
+
+            let fast = conv2d_with(&x, &wts, &bias, &attrs, GemmPath::Fast).unwrap();
+            assert_eq!(fast.shape(), direct.shape());
+            tol.check(fast.data(), direct.data())
+                .unwrap_or_else(|e| panic!("fast path outside tolerance: {e}"));
         }
+    }
+
+    #[test]
+    fn conv_fast_path_row_sharding_is_bit_identical() {
+        // The micro-kernel path must keep the sharding contract the scalar
+        // path had: any split of the row space reproduces the unsharded
+        // run byte for byte, sharing one packed weight matrix.
+        let attrs = Conv2dAttrs {
+            out_channels: 5,
+            kernel: Hw::square(3),
+            stride: Hw::square(1),
+            padding: Hw::square(1),
+            groups: 1,
+        };
+        let x = seq_tensor(Shape::nhwc(1, 11, 9, 3));
+        let wts: Vec<f32> = (0..3 * 3 * 3 * 5)
+            .map(|i| ((i * 5 + 1) % 17) as f32 * 0.07 - 0.5)
+            .collect();
+        let bias = vec![0.25; 5];
+        let whole = conv2d_with(&x, &wts, &bias, &attrs, GemmPath::Fast).unwrap();
+        let dims = lowered_dims(x.shape(), &attrs);
+        let packed = microkernel::pack_b(&wts, dims.k_elems, dims.out_channels);
+        let rows = 11 * 9;
+        let oc = 5;
+        for shards in [2, 3, 7] {
+            let mut sharded = vec![0.0f32; rows * oc];
+            let mut scratch = Vec::new();
+            for r in pimflow_pool::chunk_ranges(rows, shards) {
+                let out = &mut sharded[r.start * oc..r.end * oc];
+                conv2d_rows_packed(&x, &packed, &bias, &attrs, r, &mut scratch, out).unwrap();
+            }
+            assert_eq!(whole.data(), &sharded[..], "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn dense_fast_path_matches_oracle_and_shards_identically() {
+        let x = seq_tensor(Shape::rf(13, 21));
+        let wts: Vec<f32> = (0..21 * 9)
+            .map(|i| ((i * 3 + 2) % 9) as f32 * 0.11 - 0.4)
+            .collect();
+        let bias: Vec<f32> = (0..9).map(|i| i as f32 * 0.2 - 0.7).collect();
+        let exact = dense_with(&x, &wts, &bias, 9, GemmPath::Exact).unwrap();
+        let fast = dense_with(&x, &wts, &bias, 9, GemmPath::Fast).unwrap();
+        crate::tolerance::Tolerance::kernel_default()
+            .check(fast.data(), exact.data())
+            .unwrap_or_else(|e| panic!("dense fast path outside tolerance: {e}"));
+        let packed = microkernel::pack_b(&wts, 21, 9);
+        let mut sharded = vec![0.0f32; 13 * 9];
+        for r in pimflow_pool::chunk_ranges(13, 4) {
+            let out = &mut sharded[r.start * 9..r.end * 9];
+            dense_rows_packed(&x, &packed, &bias, r, out);
+        }
+        assert_eq!(fast.data(), &sharded[..]);
+    }
+
+    #[test]
+    fn conv_rejects_zero_out_channels() {
+        let x = seq_tensor(Shape::nhwc(1, 4, 4, 3));
+        let attrs = Conv2dAttrs::pointwise(0);
+        let err = conv2d(&x, &[], &[], &attrs).unwrap_err();
+        assert!(
+            matches!(&err, KernelError::ShapeMismatch(m) if m.contains("non-zero")),
+            "{err}"
+        );
+        assert!(dense(&seq_tensor(Shape::rf(2, 3)), &[], &[], 0).is_err());
     }
 
     #[test]
@@ -986,7 +1216,7 @@ mod tests {
             .map(|i| ((i * 5 + 1) % 17) as f32 * 0.07 - 0.5)
             .collect();
         let bias = vec![0.25; 5];
-        let whole = conv2d(&x, &wts, &bias, &attrs).unwrap();
+        let whole = conv2d_with(&x, &wts, &bias, &attrs, GemmPath::Exact).unwrap();
         let rows = 11 * 9;
         let oc = 5;
         let mut sharded = vec![0.0f32; rows * oc];
@@ -1036,7 +1266,7 @@ mod tests {
             .map(|i| ((i * 3 + 2) % 9) as f32 * 0.11 - 0.4)
             .collect();
         let bias = vec![0.5; 5];
-        let whole = dense(&x, &wts, &bias, 5).unwrap();
+        let whole = dense_with(&x, &wts, &bias, 5, GemmPath::Exact).unwrap();
         let mut sharded = [0.0f32; 7 * 5];
         for r in pimflow_pool::chunk_ranges(7, 2) {
             let out = &mut sharded[r.start * 5..r.end * 5];

@@ -1,0 +1,252 @@
+//! ULP- and relative-tolerance comparison for fast-path kernel outputs.
+//!
+//! The micro-kernel ([`crate::microkernel`]) reassociates the bias addition
+//! relative to the bias-seeded scalar oracle, so the old byte-identity
+//! assertions become *tolerance-checked* assertions: outputs must agree to
+//! within a documented combined bound. This module is that bound.
+//!
+//! A comparison passes when **either** criterion holds per element:
+//!
+//! * absolute/relative: `|a - b| <= max(abs, rel * max(|a|, |b|))`, the
+//!   classic `allclose` shape — robust near zero via the absolute floor;
+//! * ULP distance: the two bit patterns are at most `max_ulps` ordered
+//!   float representations apart — scale-free, robust far from zero.
+//!
+//! NaNs never compare equal; two infinities of the same sign do.
+
+use std::fmt;
+
+/// A combined absolute / relative / ULP tolerance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tolerance {
+    /// Absolute floor: differences below this always pass.
+    pub abs: f32,
+    /// Relative bound, scaled by the larger magnitude.
+    pub rel: f32,
+    /// Maximum ULP distance that passes regardless of the bounds above.
+    pub max_ulps: u32,
+}
+
+impl Tolerance {
+    /// The documented fast-path contract: what the micro-kernel GEMM and
+    /// conv paths may deviate from the scalar oracle by. One reassociated
+    /// bias addition moves a sum at most a few ULPs, so the budget is tight
+    /// (16 ULPs) with small floors for near-zero sums.
+    pub fn kernel_default() -> Self {
+        Tolerance {
+            abs: 1e-6,
+            rel: 1e-5,
+            max_ulps: 16,
+        }
+    }
+
+    /// The whole-graph contract for fast-vs-exact executor comparisons:
+    /// one reassociated bias addition per conv/dense layer compounds
+    /// through network depth and through nonlinearities (softmax/swish
+    /// exponentials amplify input deltas), so the end-to-end budget is a
+    /// couple of orders looser than the per-kernel one. Measured drift on
+    /// the zoo (mobilenet-v2, unet, bert-like) stays around `1e-5`
+    /// relative; the bound leaves one order of headroom.
+    pub fn end_to_end() -> Self {
+        Tolerance {
+            abs: 1e-5,
+            rel: 1e-4,
+            max_ulps: 4096,
+        }
+    }
+
+    /// Exact comparison: bit equality only (signed zeros differ).
+    pub fn exact() -> Self {
+        Tolerance {
+            abs: 0.0,
+            rel: 0.0,
+            max_ulps: 0,
+        }
+    }
+
+    /// True when `a` and `b` agree within this tolerance. NaNs never match
+    /// (even bitwise); with every bound at zero this degenerates to bit
+    /// equality, so [`Tolerance::exact`] distinguishes `0.0` from `-0.0`.
+    pub fn matches(&self, a: f32, b: f32) -> bool {
+        if a.is_nan() || b.is_nan() {
+            return false;
+        }
+        if a.to_bits() == b.to_bits() {
+            return true;
+        }
+        let bound = self.abs.max(self.rel * a.abs().max(b.abs()));
+        // `bound > 0.0` keeps the degenerate all-zero tolerance from
+        // accepting 0.0 vs -0.0 through `diff <= 0.0`.
+        if bound > 0.0 && (a - b).abs() <= bound {
+            return true;
+        }
+        self.max_ulps > 0 && ulp_distance(a, b) <= self.max_ulps as u64
+    }
+
+    /// Compares two slices, returning the first violation as
+    /// `Err(`[`ToleranceError`]`)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ToleranceError`] describing the worst offending element if
+    /// lengths differ or any element pair violates the tolerance.
+    pub fn check(&self, got: &[f32], want: &[f32]) -> Result<ToleranceReport, ToleranceError> {
+        if got.len() != want.len() {
+            return Err(ToleranceError {
+                index: usize::MAX,
+                got: f32::NAN,
+                want: f32::NAN,
+                ulps: u64::MAX,
+                message: format!("length mismatch: {} vs {}", got.len(), want.len()),
+            });
+        }
+        let mut report = ToleranceReport::default();
+        for (i, (&g, &w)) in got.iter().zip(want).enumerate() {
+            if !self.matches(g, w) {
+                return Err(ToleranceError {
+                    index: i,
+                    got: g,
+                    want: w,
+                    ulps: ulp_distance(g, w),
+                    message: format!(
+                        "element {i}: {g} vs {w} ({} ulps, |diff| {})",
+                        ulp_distance(g, w),
+                        (g - w).abs()
+                    ),
+                });
+            }
+            report.observe(g, w);
+        }
+        Ok(report)
+    }
+}
+
+/// The worst deviations seen by a passing [`Tolerance::check`] — what the
+/// bench artifacts record so the tolerance contract is auditable.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ToleranceReport {
+    /// Largest absolute difference observed.
+    pub max_abs_diff: f32,
+    /// Largest ULP distance observed.
+    pub max_ulps: u64,
+}
+
+impl ToleranceReport {
+    fn observe(&mut self, a: f32, b: f32) {
+        if a.to_bits() == b.to_bits() {
+            return;
+        }
+        self.max_abs_diff = self.max_abs_diff.max((a - b).abs());
+        self.max_ulps = self.max_ulps.max(ulp_distance(a, b));
+    }
+
+    /// Folds another report into this one (per-config aggregation).
+    pub fn merge(&mut self, other: &ToleranceReport) {
+        self.max_abs_diff = self.max_abs_diff.max(other.max_abs_diff);
+        self.max_ulps = self.max_ulps.max(other.max_ulps);
+    }
+}
+
+/// A tolerance violation: which element, by how much.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ToleranceError {
+    /// Index of the offending element (`usize::MAX` for length mismatch).
+    pub index: usize,
+    /// Fast-path value.
+    pub got: f32,
+    /// Oracle value.
+    pub want: f32,
+    /// ULP distance between the two.
+    pub ulps: u64,
+    message: String,
+}
+
+impl fmt::Display for ToleranceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tolerance violation: {}", self.message)
+    }
+}
+
+impl std::error::Error for ToleranceError {}
+
+/// Distance between two floats in units of least precision: how many
+/// representable `f32` values lie between them on the ordered number line.
+/// `+0.0` and `-0.0` are one apart in this metric (their lexicographic
+/// bit encodings are adjacent); NaN against anything is `u64::MAX`.
+pub fn ulp_distance(a: f32, b: f32) -> u64 {
+    if a.is_nan() || b.is_nan() {
+        return u64::MAX;
+    }
+    // Map the float bit pattern onto a monotone integer line: positive
+    // floats keep their bits, negative floats are mirrored below zero
+    // (`-0.0` lands at -1, adjacent to `+0.0` at 0).
+    fn ordered(x: f32) -> i64 {
+        let bits = x.to_bits();
+        if bits & 0x8000_0000 != 0 {
+            -1 - (bits & 0x7fff_ffff) as i64
+        } else {
+            bits as i64
+        }
+    }
+    ordered(a).abs_diff(ordered(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ulp_distance_counts_representable_steps() {
+        assert_eq!(ulp_distance(1.0, 1.0), 0);
+        assert_eq!(ulp_distance(1.0, f32::from_bits(1.0f32.to_bits() + 1)), 1);
+        assert_eq!(ulp_distance(1.0, f32::from_bits(1.0f32.to_bits() + 9)), 9);
+        // Signed zeros are adjacent on the ordered line.
+        assert_eq!(ulp_distance(0.0, -0.0), 1);
+        // Crossing zero accumulates both sides.
+        let tiny = f32::from_bits(3); // 3 ulps above +0.0
+        let neg_tiny = -tiny;
+        assert_eq!(ulp_distance(tiny, neg_tiny), 7);
+        assert_eq!(ulp_distance(f32::NAN, 1.0), u64::MAX);
+    }
+
+    #[test]
+    fn kernel_tolerance_accepts_reassociation_noise() {
+        let tol = Tolerance::kernel_default();
+        let a = 123.456f32;
+        let b = f32::from_bits(a.to_bits() + 3);
+        assert!(tol.matches(a, b));
+        assert!(tol.matches(0.0, 1e-7)); // under the absolute floor
+        assert!(tol.matches(0.0, -0.0));
+        assert!(!tol.matches(1.0, 1.001)); // 0.1% is far outside
+        assert!(!tol.matches(f32::NAN, f32::NAN));
+    }
+
+    #[test]
+    fn exact_tolerance_is_bit_equality() {
+        let tol = Tolerance::exact();
+        assert!(tol.matches(2.5, 2.5));
+        assert!(tol.matches(f32::INFINITY, f32::INFINITY));
+        assert!(!tol.matches(0.0, -0.0), "signed zeros differ bitwise");
+    }
+
+    #[test]
+    fn check_reports_worst_case_and_first_violation() {
+        let tol = Tolerance::kernel_default();
+        let want = [1.0f32, 2.0, 3.0];
+        let close = [
+            1.0,
+            f32::from_bits(2.0f32.to_bits() + 2),
+            f32::from_bits(3.0f32.to_bits() + 5),
+        ];
+        let report = tol.check(&close, &want).unwrap();
+        assert_eq!(report.max_ulps, 5);
+        assert!(report.max_abs_diff > 0.0);
+
+        let far = [1.0f32, 2.5, 3.0];
+        let err = tol.check(&far, &want).unwrap_err();
+        assert_eq!(err.index, 1);
+        assert!(err.to_string().contains("element 1"));
+
+        assert!(tol.check(&[1.0], &want).is_err());
+    }
+}

@@ -4,8 +4,10 @@
 //! offline, so `proptest` is not available).
 
 use pimflow_ir::{Conv2dAttrs, Hw, PadAttrs, Shape, SliceAttrs};
+use pimflow_kernels::im2col::gemm_with;
+use pimflow_kernels::microkernel::{gemm_packed, KC, MC, MR, NR};
 use pimflow_kernels::ops::{concat, conv2d, conv2d_direct, pad, slice};
-use pimflow_kernels::{gemm, im2col, Tensor};
+use pimflow_kernels::{gemm, im2col, pack_b, Epilogue, GemmPath, Tensor, Tolerance};
 use pimflow_rng::Rng;
 
 const CASES: usize = 32;
@@ -150,6 +152,181 @@ fn pad_slice_recovery() {
             },
         );
         assert!(inner.allclose(&x, 0.0));
+    }
+}
+
+/// Draws a GEMM dimension that is biased toward the blocking remainders:
+/// values below the block size, exactly at it, and just past it all occur.
+fn blocked_dim(rng: &mut Rng, block: usize) -> usize {
+    match rng.range_usize(0, 4) {
+        0 => rng.range_usize(1, block),         // strictly inside one block
+        1 => block + rng.range_usize(0, 2),     // at / one past the edge
+        2 => rng.range_usize(1, 2 * block + 2), // spans the boundary
+        _ => 2 * block + rng.range_usize(1, block), // several blocks deep
+    }
+}
+
+fn naive_gemm(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for kk in 0..k {
+            let av = a[i * k + kk];
+            for j in 0..n {
+                out[i * n + j] += av * b[kk * n + j];
+            }
+        }
+    }
+    out
+}
+
+/// The tentpole contract, plain-GEMM half: with no epilogue, the
+/// register-blocked micro-kernel is **bit-identical** to the scalar oracle
+/// and to a naive triple loop, across shapes that exercise every remainder
+/// (`M < MR`, `N < NR`, `K < KC`, and multi-block cases past `MC`/`KC`).
+#[test]
+fn microkernel_gemm_is_bit_identical_to_scalar_oracle() {
+    let mut rng = Rng::seed_from_u64(0x6e57_0005);
+    for case in 0..CASES {
+        // Cap the largest axis per case so the multi-block draws stay fast.
+        let m = if case % 3 == 0 {
+            blocked_dim(&mut rng, MC)
+        } else {
+            blocked_dim(&mut rng, MR)
+        };
+        let k = if case % 3 == 1 {
+            blocked_dim(&mut rng, KC)
+        } else {
+            rng.range_usize(1, 48)
+        };
+        let n = blocked_dim(&mut rng, NR);
+        let a = random_tensor(&mut rng, Shape::rf(m, k));
+        let b = random_tensor(&mut rng, Shape::rf(k, n));
+        let fast = gemm_with(&a, &b, GemmPath::Fast).unwrap();
+        let exact = gemm_with(&a, &b, GemmPath::Exact).unwrap();
+        assert_eq!(
+            fast.data(),
+            exact.data(),
+            "plain GEMM must be bit-identical across paths at ({m},{k},{n})"
+        );
+        let naive = naive_gemm(a.data(), b.data(), m, k, n);
+        assert_eq!(
+            fast.data(),
+            &naive[..],
+            "micro-kernel diverged from the naive loop at ({m},{k},{n})"
+        );
+    }
+}
+
+/// The tentpole contract, epilogue half: the fused bias(+relu) epilogue
+/// adds bias *after* the products (the oracle seeds with it), so the fused
+/// result is tolerance-checked — within [`Tolerance::kernel_default`] of a
+/// bias-seeded naive oracle — never byte-compared.
+#[test]
+fn fused_epilogue_stays_within_kernel_tolerance_of_seeded_oracle() {
+    let mut rng = Rng::seed_from_u64(0x6e57_0006);
+    let tol = Tolerance::kernel_default();
+    for _ in 0..CASES {
+        let m = blocked_dim(&mut rng, MR);
+        let k = rng.range_usize(1, 64);
+        let n = blocked_dim(&mut rng, NR);
+        let a: Vec<f32> = (0..m * k).map(|_| rng.range_f32(-2.0, 2.0)).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.range_f32(-2.0, 2.0)).collect();
+        let bias: Vec<f32> = (0..n).map(|_| rng.range_f32(-1.0, 1.0)).collect();
+        let relu = rng.range_usize(0, 2) == 1;
+
+        // Bias-seeded oracle, the accumulation order the scalar path uses.
+        let mut want = vec![0.0f32; m * n];
+        for i in 0..m {
+            want[i * n..(i + 1) * n].copy_from_slice(&bias);
+        }
+        for i in 0..m {
+            for kk in 0..k {
+                let av = a[i * k + kk];
+                for j in 0..n {
+                    want[i * n + j] += av * b[kk * n + j];
+                }
+            }
+        }
+        if relu {
+            for v in &mut want {
+                *v = v.max(0.0);
+            }
+        }
+
+        let packed = pack_b(&b, k, n);
+        let mut got = vec![0.0f32; m * n];
+        let epilogue = if relu {
+            Epilogue::BiasRelu(&bias)
+        } else {
+            Epilogue::Bias(&bias)
+        };
+        gemm_packed(&a, &packed, &mut got, epilogue);
+        tol.check(&got, &want).unwrap_or_else(|e| {
+            panic!("fused epilogue drifted past tolerance at ({m},{k},{n}) relu={relu}: {e}")
+        });
+    }
+}
+
+/// One packed B serves every im2col row batch: splitting the lowered
+/// matrix into arbitrary row blocks and pushing each through the shared
+/// pack reproduces the one-shot product byte-for-byte, and stays within
+/// tolerance of the direct-convolution oracle.
+#[test]
+fn batched_im2col_panels_reuse_one_pack() {
+    let mut rng = Rng::seed_from_u64(0x6e57_0007);
+    let tol = Tolerance::kernel_default();
+    let mut checked = 0;
+    while checked < CASES / 2 {
+        let h = rng.range_usize(3, 9);
+        let w = rng.range_usize(3, 9);
+        let ic = rng.range_usize(1, 4);
+        let oc = rng.range_usize(1, 12);
+        let k = rng.range_usize(1, 4);
+        if h < k || w < k {
+            continue;
+        }
+        checked += 1;
+        let attrs = Conv2dAttrs {
+            out_channels: oc,
+            kernel: Hw::square(k),
+            stride: Hw::square(1),
+            padding: Hw::square(0),
+            groups: 1,
+        };
+        let x = random_tensor(&mut rng, Shape::nhwc(1, h, w, ic));
+        let wts: Vec<f32> = (0..k * k * ic * oc)
+            .map(|_| rng.range_f32(-1.0, 1.0))
+            .collect();
+        let lowered = im2col(&x, &attrs).unwrap();
+        let rows = lowered.shape().dim(0);
+        let kk = lowered.shape().dim(1);
+
+        let packed = pack_b(&wts, kk, oc);
+        let mut whole = vec![0.0f32; rows * oc];
+        gemm_packed(lowered.data(), &packed, &mut whole, Epilogue::None);
+
+        // Same pack, arbitrary row batches.
+        let mut batched = vec![0.0f32; rows * oc];
+        let mut row = 0;
+        while row < rows {
+            let take = (1 + rng.range_usize(0, rows)).min(rows - row);
+            gemm_packed(
+                &lowered.data()[row * kk..(row + take) * kk],
+                &packed,
+                &mut batched[row * oc..(row + take) * oc],
+                Epilogue::None,
+            );
+            row += take;
+        }
+        assert_eq!(
+            whole, batched,
+            "row-batched GEMM over a shared pack must be byte-identical"
+        );
+
+        let bias = vec![0.0; oc];
+        let direct = conv2d_direct(&x, &wts, &bias, &attrs).unwrap();
+        tol.check(&batched, direct.data())
+            .unwrap_or_else(|e| panic!("packed conv drifted from direct oracle: {e}"));
     }
 }
 

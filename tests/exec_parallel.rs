@@ -11,12 +11,14 @@
 use pimflow::engine::EngineConfig;
 use pimflow::search::{apply_plan, search, SearchOptions};
 use pimflow_ir::{models, ActivationKind, Graph, GraphBuilder, Shape};
-use pimflow_kernels::{input_tensors, run_graph_with, ExecOptions, ExecOutput, MemoryMode};
+use pimflow_kernels::{
+    input_tensors, run_graph_with, ExecOptions, ExecOutput, GemmPath, MemoryMode, Tolerance,
+};
 use pimflow_rng::Rng;
 
 const WIDTHS: [usize; 3] = [1, 2, 8];
 
-fn run(g: &Graph, seed: u64, jobs: usize, memory: MemoryMode) -> ExecOutput {
+fn run_path(g: &Graph, seed: u64, jobs: usize, memory: MemoryMode, gemm: GemmPath) -> ExecOutput {
     let inputs = input_tensors(g, seed);
     run_graph_with(
         g,
@@ -24,44 +26,60 @@ fn run(g: &Graph, seed: u64, jobs: usize, memory: MemoryMode) -> ExecOutput {
         &ExecOptions {
             jobs: Some(jobs),
             memory,
+            gemm: Some(gemm),
         },
     )
     .expect("zoo graphs execute")
 }
 
 /// Asserts the executor contract for one graph: byte-identical outputs at
-/// every width and memory mode, width-invariant memory counters.
+/// every width and memory mode — on **both** GEMM paths (the micro-kernel
+/// fast path and the scalar exact oracle) — with width-invariant memory
+/// counters, and the two paths within the documented kernel tolerance of
+/// each other.
 fn assert_width_and_mode_invariant(g: &Graph, seed: u64) {
-    let baseline = run(g, seed, 1, MemoryMode::Arena);
-    for &jobs in &WIDTHS[1..] {
-        let wide = run(g, seed, jobs, MemoryMode::Arena);
-        for (a, b) in baseline.outputs.iter().zip(&wide.outputs) {
-            assert_eq!(
-                a.data(),
-                b.data(),
-                "{}: outputs must be byte-identical at {jobs} jobs",
-                g.name
-            );
+    let mut per_path = Vec::new();
+    for gemm in [GemmPath::Fast, GemmPath::Exact] {
+        let baseline = run_path(g, seed, 1, MemoryMode::Arena, gemm);
+        for &jobs in &WIDTHS[1..] {
+            let wide = run_path(g, seed, jobs, MemoryMode::Arena, gemm);
+            for (a, b) in baseline.outputs.iter().zip(&wide.outputs) {
+                assert_eq!(
+                    a.data(),
+                    b.data(),
+                    "{}: {gemm:?} outputs must be byte-identical at {jobs} jobs",
+                    g.name
+                );
+            }
+            let (s1, sw) = (&baseline.stats, &wide.stats);
+            assert_eq!(s1.peak_live_bytes, sw.peak_live_bytes, "{}", g.name);
+            assert_eq!(s1.retained_bytes, sw.retained_bytes, "{}", g.name);
+            assert_eq!(s1.dropped_tensors, sw.dropped_tensors, "{}", g.name);
+            assert_eq!(s1.stolen_buffers, sw.stolen_buffers, "{}", g.name);
+            assert_eq!(s1.arena_reuses, sw.arena_reuses, "{}", g.name);
+            assert_eq!(s1.arena_allocs, sw.arena_allocs, "{}", g.name);
+            assert_eq!(s1.waves, sw.waves, "{}", g.name);
         }
-        let (s1, sw) = (&baseline.stats, &wide.stats);
-        assert_eq!(s1.peak_live_bytes, sw.peak_live_bytes, "{}", g.name);
-        assert_eq!(s1.retained_bytes, sw.retained_bytes, "{}", g.name);
-        assert_eq!(s1.dropped_tensors, sw.dropped_tensors, "{}", g.name);
-        assert_eq!(s1.stolen_buffers, sw.stolen_buffers, "{}", g.name);
-        assert_eq!(s1.arena_reuses, sw.arena_reuses, "{}", g.name);
-        assert_eq!(s1.arena_allocs, sw.arena_allocs, "{}", g.name);
-        assert_eq!(s1.waves, sw.waves, "{}", g.name);
+        for memory in [MemoryMode::Retain, MemoryMode::Drop] {
+            let other = run_path(g, seed, 2, memory, gemm);
+            for (a, b) in baseline.outputs.iter().zip(&other.outputs) {
+                assert_eq!(
+                    a.data(),
+                    b.data(),
+                    "{}: {gemm:?} outputs must not depend on {memory:?}",
+                    g.name
+                );
+            }
+        }
+        per_path.push(baseline);
     }
-    for memory in [MemoryMode::Retain, MemoryMode::Drop] {
-        let other = run(g, seed, 2, memory);
-        for (a, b) in baseline.outputs.iter().zip(&other.outputs) {
-            assert_eq!(
-                a.data(),
-                b.data(),
-                "{}: outputs must not depend on {memory:?}",
-                g.name
-            );
-        }
+    // Fast vs exact: per-layer reassociation compounds through depth, so
+    // whole-graph outputs are held to the end-to-end tolerance tier.
+    let tol = Tolerance::end_to_end();
+    for (fast, exact) in per_path[0].outputs.iter().zip(&per_path[1].outputs) {
+        tol.check(fast.data(), exact.data()).unwrap_or_else(|e| {
+            panic!("{}: fast path drifted past tolerance vs exact: {e}", g.name)
+        });
     }
 }
 
@@ -104,7 +122,7 @@ fn arena_cuts_peak_memory_on_resnet50() {
     // far below the sum of all intermediates a retain-everything executor
     // holds (resnet-50 is ~180 tensors deep with small late layers).
     let g = models::by_name("resnet-50").expect("zoo has resnet-50");
-    let out = run(&g, 3, 1, MemoryMode::Arena);
+    let out = run_path(&g, 3, 1, MemoryMode::Arena, GemmPath::Fast);
     let s = &out.stats;
     assert!(s.dropped_tensors + s.stolen_buffers > 100, "{s:?}");
     assert!(s.arena_reuses > 0, "residual towers must recycle buffers");
