@@ -58,6 +58,24 @@ grep -q '"slo_router_beats_round_robin": true' "$tmpdir/BENCH_fleet.json"
 grep -q '"zero_drops_under_node_faults": true' "$tmpdir/BENCH_fleet.json"
 rm -rf "$tmpdir"
 
+# The backend smoke sweep pins the ISA refactor's core contract: Newton
+# timing through the typed-ISA interpreter is bit-identical to the legacy
+# command-trace path (plans byte-identical across pool widths, compiled
+# programs survive the text round-trip), and mixed per-layer placement
+# never loses to a single-backend plan.
+echo "==> figures backends --smoke"
+tmpdir="$(mktemp -d)"
+cargo run -q --offline -p pimflow-bench --bin figures -- backends "$tmpdir" --smoke
+grep -q '"newton_interpreter_bit_identical": true' "$tmpdir/BENCH_backends.json"
+grep -q '"mixed_no_worse_anywhere": true' "$tmpdir/BENCH_backends.json"
+rm -rf "$tmpdir"
+
+# The mixed-backend search contracts (determinism across widths, crossbar
+# placement on deep reductions, JSON compatibility) re-run at a 2-wide
+# pool to exercise the sharded cost cache with backend-tagged keys.
+echo "==> cargo test --test isa (PIMFLOW_JOBS=2)"
+PIMFLOW_JOBS=2 cargo test -q --offline --test isa
+
 # The kernel smoke sweep benches the scalar oracle against the
 # register-blocked micro-kernel and must pass the numerical tolerance
 # gate on every config (the Welch ACCEPT/REJECT verdicts are recorded

@@ -5,7 +5,7 @@
 use pimflow::codegen::{execute_workload, generate_blocks, PimWorkload};
 use pimflow_bench::harness::Group;
 use pimflow_ir::{Conv2dAttrs, Shape};
-use pimflow_pimsim::{run_channels, schedule, PimConfig, ScheduleGranularity};
+use pimflow_pimsim::{run_channels, schedule, PimConfig, RunOptions, ScheduleGranularity};
 
 fn representative_workloads() -> Vec<(&'static str, PimWorkload)> {
     vec![
@@ -44,8 +44,8 @@ fn bench_scheduler() {
         ("comp", ScheduleGranularity::Comp),
     ] {
         g.bench(name, || {
-            let traces = schedule(&blocks, 16, granularity, &cfg);
-            run_channels(&cfg, &traces)
+            let traces = schedule(&blocks, 16, granularity, &cfg, &RunOptions::new());
+            run_channels(&cfg, &traces, RunOptions::new())
         });
     }
     g.finish();

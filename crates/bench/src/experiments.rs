@@ -11,7 +11,7 @@ use pimflow::search::{apply_plan, search, SearchOptions};
 use pimflow_gpusim::{kernel_time_with_launch_us, GpuConfig, KernelProfile};
 use pimflow_ir::analysis::{classify, node_cost, LayerClass};
 use pimflow_ir::{models, Conv2dAttrs, Graph, Shape};
-use pimflow_pimsim::{run_channels, schedule, PimConfig, ScheduleGranularity};
+use pimflow_pimsim::{run_channels, schedule, PimConfig, RunOptions, ScheduleGranularity};
 use pimflow_pool::WorkerPool;
 
 /// Fig. 1: per-class runtime breakdown (left) and arithmetic intensity
@@ -128,8 +128,8 @@ pub fn fig6() -> Vec<(&'static str, u64)> {
     ]
     .into_iter()
     .map(|(name, g)| {
-        let traces = schedule(&blocks, 16, g, &cfg);
-        (name, run_channels(&cfg, &traces).cycles)
+        let traces = schedule(&blocks, 16, g, &cfg, &RunOptions::new());
+        (name, run_channels(&cfg, &traces, RunOptions::new()).cycles)
     })
     .collect()
 }

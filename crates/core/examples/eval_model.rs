@@ -24,7 +24,7 @@ fn main() {
             base_e2e = e.report.total_us;
             base_conv = e.conv_layer_us;
         }
-        let splits = e.plan.as_ref().map(|pl| pl.decisions.iter().filter(|(_,d)| matches!(d, pimflow::search::Decision::Split{gpu_percent} if *gpu_percent>0)).count()).unwrap_or(0);
+        let splits = e.plan.as_ref().map(|pl| pl.decisions.iter().filter(|(_,d)| matches!(d, pimflow::search::Decision::Split{gpu_percent, ..} if *gpu_percent>0)).count()).unwrap_or(0);
         let pipes = e
             .plan
             .as_ref()

@@ -47,7 +47,11 @@ fn measure(graph: &Graph, cfg: &EngineConfig, plan: &ExecutionPlan) -> Option<f6
 /// flipped to the offload endpoints.
 fn neighbours(plan: &ExecutionPlan, index: usize, step: u32) -> Vec<ExecutionPlan> {
     let (_, decision) = &plan.decisions[index];
-    let Decision::Split { gpu_percent } = decision else {
+    let Decision::Split {
+        gpu_percent,
+        backend,
+    } = decision
+    else {
         return Vec::new();
     };
     let mut ratios = Vec::new();
@@ -66,7 +70,10 @@ fn neighbours(plan: &ExecutionPlan, index: usize, step: u32) -> Vec<ExecutionPla
                 // counts in `ratio_distribution`.
                 p.decisions[index].1 = Decision::Gpu;
             } else {
-                p.decisions[index].1 = Decision::Split { gpu_percent: r };
+                p.decisions[index].1 = Decision::Split {
+                    gpu_percent: r,
+                    backend: *backend,
+                };
             }
             p
         })
@@ -159,7 +166,7 @@ mod tests {
         // inject one if the search chose endpoints only.
         let mut sabotaged = false;
         for (_, d) in plan.decisions.iter_mut() {
-            if let Decision::Split { gpu_percent } = d {
+            if let Decision::Split { gpu_percent, .. } = d {
                 *gpu_percent = 90;
                 sabotaged = true;
                 break;
@@ -168,9 +175,12 @@ mod tests {
         if !sabotaged {
             // Turn a full offload into a bad split.
             if let Some((_, d)) = plan.decisions.iter_mut().find(|(n, d)| {
-                matches!(d, Decision::Split { gpu_percent: 0 }) && n.contains("conv")
+                matches!(d, Decision::Split { gpu_percent: 0, .. }) && n.contains("conv")
             }) {
-                *d = Decision::Split { gpu_percent: 90 };
+                *d = Decision::Split {
+                    gpu_percent: 90,
+                    backend: pimflow_isa::BackendKind::Newton,
+                };
                 sabotaged = true;
             }
         }

@@ -10,10 +10,11 @@
 
 use pimflow_gpusim::GpuConfig;
 use pimflow_ir::{Conv2dAttrs, Graph, NodeId, Op, Shape};
+use pimflow_isa::IsaProgram;
 use pimflow_kernels::lowered_dims;
 use pimflow_pimsim::{
-    pim_energy_nj, run_channels_each, schedule, ChannelStats, CommandBlock, PimConfig,
-    PimEnergyParams, ScheduleGranularity,
+    lift_traces, pim_energy_nj, schedule, ChannelStats, CommandBlock, NewtonInterpreter, PimConfig,
+    PimEnergyParams, RunOptions, ScheduleGranularity,
 };
 
 /// A PIM-offloadable workload in lowered (matrix) form.
@@ -139,6 +140,26 @@ pub fn generate_blocks(w: &PimWorkload, cfg: &PimConfig) -> Vec<CommandBlock> {
     blocks
 }
 
+/// Compiles a workload into a typed ISA program: generate the command
+/// blocks, schedule them over `channels` channels, and lift the scheduled
+/// traces into `pimflow-isa` form. This is the artifact backends carry —
+/// interpreting it under [`NewtonInterpreter`] reproduces the legacy
+/// trace timing bit-exactly (lift and lower are exact inverses).
+///
+/// # Panics
+///
+/// Panics if `channels == 0`.
+pub fn generate_program(
+    w: &PimWorkload,
+    cfg: &PimConfig,
+    channels: usize,
+    granularity: ScheduleGranularity,
+) -> IsaProgram {
+    let blocks = generate_blocks(w, cfg);
+    let traces = schedule(&blocks, channels, granularity, cfg, &RunOptions::new());
+    lift_traces(&traces)
+}
+
 /// Result of executing a PIM workload on the simulator.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PimExecution {
@@ -177,12 +198,11 @@ pub fn execute_workload_per_channel(
     channels: usize,
     granularity: ScheduleGranularity,
 ) -> (PimExecution, Vec<ChannelStats>) {
-    let blocks = generate_blocks(w, cfg);
-    let traces = schedule(&blocks, channels, granularity, cfg);
-    let per_channel = run_channels_each(cfg, &traces);
-    let stats = per_channel
-        .iter()
-        .fold(ChannelStats::default(), |acc, s| acc.merge_parallel(s));
+    let program = generate_program(w, cfg, channels, granularity);
+    let mut per_channel = Vec::with_capacity(channels);
+    let mut collect = |_: usize, s: &ChannelStats| per_channel.push(*s);
+    let stats =
+        NewtonInterpreter::new(cfg).run(&program, RunOptions::new().on_channel(&mut collect));
     let energy_uj = pim_energy_nj(&stats, cfg, &PimEnergyParams::default(), channels) * 1e-3;
     let exec = PimExecution {
         time_us: cfg.cycles_to_ns(stats.cycles) * 1e-3,

@@ -45,6 +45,7 @@
 use crate::codegen::{execute_workload, PimWorkload};
 use crate::engine::EngineConfig;
 use pimflow_ir::Interner;
+use pimflow_isa::{crossbar, BackendKind, CrossbarConfig};
 use pimflow_json::json_struct;
 use pimflow_pimsim::{PimConfig, ScheduleGranularity};
 use std::collections::HashMap;
@@ -65,6 +66,10 @@ use std::sync::{Arc, Mutex};
 pub struct WorkloadKey {
     /// Folded workload shape (rows already scaled by ratio and batch).
     pub workload: PimWorkload,
+    /// Which PIM hardware model prices this key. Newton and crossbar costs
+    /// for the same shape are different pure functions, so the discriminant
+    /// keeps their entries structurally apart in one shared table.
+    pub backend: BackendKind,
     /// Effective PIM channel count the estimate runs over (min 1, mirroring
     /// the search profiler's total cost model).
     pub channels: u32,
@@ -73,19 +78,38 @@ pub struct WorkloadKey {
     pub mask_bits: u64,
     /// Command scheduling granularity of the estimate.
     pub granularity: ScheduleGranularity,
-    /// [`PimConfig::fingerprint`] of the priced hardware.
+    /// Fingerprint of the priced hardware model:
+    /// [`PimConfig::fingerprint`] for Newton keys,
+    /// [`CrossbarConfig::fingerprint`] for crossbar keys.
     pub pim_fingerprint: u64,
 }
 
 impl WorkloadKey {
-    /// Builds the key for pricing `workload` under `cfg`.
+    /// Builds the Newton key for pricing `workload` under `cfg`.
     pub fn new(workload: PimWorkload, cfg: &EngineConfig) -> Self {
         WorkloadKey {
             workload,
+            backend: BackendKind::Newton,
             channels: cfg.effective_pim_channels().max(1) as u32,
             mask_bits: cfg.pim_channel_mask.bits(),
             granularity: cfg.granularity,
             pim_fingerprint: cfg.pim.fingerprint(),
+        }
+    }
+
+    /// Builds the crossbar key for pricing `workload` under `cfg` on the
+    /// `xbar` array model. Channel count and mask bits are shared with the
+    /// Newton key (the same physical channels host either engine); the
+    /// fingerprint pins the crossbar geometry and timing instead of the
+    /// DRAM timing.
+    pub fn crossbar(workload: PimWorkload, cfg: &EngineConfig, xbar: &CrossbarConfig) -> Self {
+        WorkloadKey {
+            workload,
+            backend: BackendKind::Crossbar,
+            channels: cfg.effective_pim_channels().max(1) as u32,
+            mask_bits: cfg.pim_channel_mask.bits(),
+            granularity: cfg.granularity,
+            pim_fingerprint: xbar.fingerprint(),
         }
     }
 }
@@ -96,11 +120,43 @@ impl WorkloadKey {
 /// from (checked in debug builds via the fingerprint).
 pub fn pim_cost_us(key: &WorkloadKey, pim: &PimConfig) -> f64 {
     debug_assert_eq!(
+        key.backend,
+        BackendKind::Newton,
+        "Newton pricer, crossbar key"
+    );
+    debug_assert_eq!(
         key.pim_fingerprint,
         pim.fingerprint(),
         "workload key priced under a different PimConfig"
     );
     execute_workload(&key.workload, pim, key.channels as usize, key.granularity).time_us
+}
+
+/// The crossbar schedule estimate as a pure function of its
+/// [`WorkloadKey`]: microseconds to run the keyed workload weight-stationary
+/// over the keyed channel count. The crossbar lowering is insensitive to
+/// `strided`/`segments` — weights are pre-programmed into the arrays, so
+/// there is no GWRITE stream for layout to shape — which only widens the
+/// key reuse; the key still carries them for structural parity with Newton.
+/// `xbar` must be the config the key was built from (checked in debug
+/// builds via the fingerprint).
+pub fn crossbar_cost_us(key: &WorkloadKey, xbar: &CrossbarConfig) -> f64 {
+    debug_assert_eq!(
+        key.backend,
+        BackendKind::Crossbar,
+        "crossbar pricer, Newton key"
+    );
+    debug_assert_eq!(
+        key.pim_fingerprint,
+        xbar.fingerprint(),
+        "workload key priced under a different CrossbarConfig"
+    );
+    let shape = crossbar::MatmulShape {
+        rows: key.workload.rows,
+        k_elems: key.workload.k_elems,
+        out_channels: key.workload.out_channels,
+    };
+    crossbar::estimate_shape_us(&shape, key.channels as usize, xbar)
 }
 
 /// Hit/miss/entry counters of a cost cache, as surfaced in
@@ -338,6 +394,33 @@ mod tests {
         assert_ne!(a, key(100, &hbm));
         // And the workload itself matters.
         assert_ne!(a, key(101, &cfg));
+        // A crossbar key for the same shape never collides with Newton.
+        let xbar = CrossbarConfig::pimcomp_like();
+        let xk = WorkloadKey::crossbar(workload(100), &cfg, &xbar);
+        assert_eq!(xk.backend, BackendKind::Crossbar);
+        assert_ne!(a, xk);
+    }
+
+    #[test]
+    fn crossbar_cost_is_pure_and_layout_insensitive() {
+        let cfg = EngineConfig::pimflow();
+        let xbar = CrossbarConfig::pimcomp_like();
+        let k = WorkloadKey::crossbar(workload(196), &cfg, &xbar);
+        let a = crossbar_cost_us(&k, &xbar);
+        let b = crossbar_cost_us(&k, &xbar);
+        assert!(a > 0.0);
+        assert_eq!(a.to_bits(), b.to_bits(), "bitwise reproducible");
+        // Weight-stationary arrays see no input-layout difference.
+        let strided = WorkloadKey::crossbar(
+            PimWorkload {
+                strided: true,
+                segments: 4,
+                ..workload(196)
+            },
+            &cfg,
+            &xbar,
+        );
+        assert_eq!(a.to_bits(), crossbar_cost_us(&strided, &xbar).to_bits());
     }
 
     #[test]

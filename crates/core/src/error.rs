@@ -8,6 +8,7 @@
 //! error surface.
 
 use pimflow_ir::GraphError;
+use pimflow_pimsim::ConfigError;
 use std::fmt;
 
 /// Why a `pimflow` operation could not produce a result.
@@ -24,6 +25,8 @@ pub enum Error {
     /// The reference executor failed while running a graph (malformed
     /// inputs, kernel operand mismatch).
     Execution(String),
+    /// A PIM hardware configuration violated one of its invariants.
+    Config(ConfigError),
 }
 
 impl fmt::Display for Error {
@@ -35,6 +38,7 @@ impl fmt::Display for Error {
                 write!(f, "gpu percent {p} is outside the valid range 0..=100")
             }
             Error::Execution(m) => write!(f, "execution error: {m}"),
+            Error::Config(e) => write!(f, "invalid PIM configuration: {e}"),
         }
     }
 }
@@ -43,6 +47,7 @@ impl std::error::Error for Error {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             Error::Graph(e) => Some(e),
+            Error::Config(e) => Some(e),
             _ => None,
         }
     }
@@ -51,6 +56,12 @@ impl std::error::Error for Error {
 impl From<GraphError> for Error {
     fn from(e: GraphError) -> Self {
         Error::Graph(e)
+    }
+}
+
+impl From<ConfigError> for Error {
+    fn from(e: ConfigError) -> Self {
+        Error::Config(e)
     }
 }
 
@@ -76,5 +87,13 @@ mod tests {
         let e = Error::from(GraphError::Dangling("value".into()));
         assert!(e.source().is_some());
         assert!(Error::BadRatio(101).source().is_none());
+    }
+
+    #[test]
+    fn config_errors_map_and_expose_their_source() {
+        use std::error::Error as _;
+        let e = Error::from(ConfigError::NoPimChannels);
+        assert!(e.to_string().contains("PIM channel"));
+        assert!(e.source().is_some());
     }
 }

@@ -64,3 +64,4 @@ pub mod report;
 pub mod search;
 
 pub use error::{Error, Result};
+pub use pimflow_isa::{BackendKind, CrossbarConfig};

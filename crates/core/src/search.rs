@@ -48,13 +48,16 @@
 //! grid search.
 
 use crate::codegen::PimWorkload;
-use crate::costcache::{pim_cost_us, CostCache, CostTable, MemoShard, WorkloadKey};
+use crate::costcache::{
+    crossbar_cost_us, pim_cost_us, CostCache, CostTable, MemoShard, WorkloadKey,
+};
 use crate::engine::{ChannelMask, EngineConfig};
 use crate::error::Result;
 use crate::passes::pipeline::{find_chains, Chain};
 use crate::placement::Placement;
 use pimflow_gpusim::{kernel_time_with_launch_us, KernelProfile};
 use pimflow_ir::{analysis, Graph, NodeId, Op};
+use pimflow_isa::{BackendKind, CrossbarConfig};
 use pimflow_json::{json_struct, FromJson, Json, JsonError, ToJson};
 use pimflow_pool::WorkerPool;
 use std::collections::{BTreeMap, HashMap};
@@ -96,6 +99,11 @@ pub enum Decision {
     Split {
         /// Percent of work on the GPU.
         gpu_percent: u32,
+        /// PIM hardware model the offloaded slice is priced (and would
+        /// execute) on. Always [`BackendKind::Newton`] unless the search
+        /// ran with a crossbar in its
+        /// [`PimBackendSet`](crate::engine::PimBackendSet).
+        backend: BackendKind,
     },
     /// Pipeline the chain starting here over `node_names` with this many
     /// stages.
@@ -145,10 +153,18 @@ impl ToJson for Decision {
     fn to_json(&self) -> Json {
         match self {
             Decision::Gpu => Json::Str("Gpu".into()),
-            Decision::Split { gpu_percent } => Json::obj(vec![(
-                "Split",
-                Json::obj(vec![("gpu_percent", gpu_percent.to_json())]),
-            )]),
+            Decision::Split {
+                gpu_percent,
+                backend,
+            } => {
+                // Legacy plans carry no backend field; emitting it only for
+                // non-Newton splits keeps Newton-only plan JSON byte-stable.
+                let mut fields = vec![("gpu_percent", gpu_percent.to_json())];
+                if *backend != BackendKind::Newton {
+                    fields.push(("backend", Json::Str(backend.name().into())));
+                }
+                Json::obj(vec![("Split", Json::obj(fields))])
+            }
             Decision::Pipeline { node_names, stages } => Json::obj(vec![(
                 "Pipeline",
                 Json::obj(vec![
@@ -167,9 +183,21 @@ impl FromJson for Decision {
             Json::Obj(fields) if fields.len() == 1 => {
                 let (tag, payload) = &fields[0];
                 match tag.as_str() {
-                    "Split" => Ok(Decision::Split {
-                        gpu_percent: u32::from_json(payload.field("gpu_percent")?)?,
-                    }),
+                    "Split" => {
+                        let backend = match payload.field("backend") {
+                            Ok(j) => {
+                                let name = String::from_json(j)?;
+                                BackendKind::from_name(&name).ok_or_else(|| {
+                                    JsonError::msg(format!("unknown PIM backend `{name}`"))
+                                })?
+                            }
+                            Err(_) => BackendKind::Newton,
+                        };
+                        Ok(Decision::Split {
+                            gpu_percent: u32::from_json(payload.field("gpu_percent")?)?,
+                            backend,
+                        })
+                    }
                     "Pipeline" => Ok(Decision::Pipeline {
                         node_names: Vec::from_json(payload.field("node_names")?)?,
                         stages: usize::from_json(payload.field("stages")?)?,
@@ -225,7 +253,7 @@ impl ExecutionPlan {
         for (_, d) in &self.decisions {
             let r = match d {
                 Decision::Gpu => 100,
-                Decision::Split { gpu_percent } => *gpu_percent,
+                Decision::Split { gpu_percent, .. } => *gpu_percent,
                 Decision::Pipeline { .. } => continue,
             };
             *counts.entry(r).or_insert(0) += 1;
@@ -409,9 +437,17 @@ impl ExecutionPlan {
                     i += chain.nodes.len();
                     continue;
                 }
-                Some(Decision::Split { gpu_percent }) => {
+                Some(Decision::Split {
+                    gpu_percent,
+                    backend,
+                }) => {
                     let split_cost = if pim_available && candidate {
-                        profiler.mddp_cost(id, *gpu_percent)
+                        // Re-price on the backend the plan chose: repair
+                        // migrates work, it does not re-run the backend
+                        // search.
+                        profiler
+                            .mddp_cost_pinned(id, *gpu_percent, Some(*backend))
+                            .0
                     } else {
                         f64::INFINITY
                     };
@@ -420,6 +456,7 @@ impl ExecutionPlan {
                             split_cost,
                             Decision::Split {
                                 gpu_percent: *gpu_percent,
+                                backend: *backend,
                             },
                         )
                     } else {
@@ -477,6 +514,12 @@ struct Profiler<'g> {
     /// config.
     mask_bits: u64,
     pim_fingerprint: u64,
+    /// Crossbar model (copied out of the config's backend set so lookups
+    /// need no re-match), with its fingerprint; `None` under `NewtonOnly`.
+    xbar: Option<CrossbarConfig>,
+    xbar_fingerprint: u64,
+    /// Whether the backend set admits Newton placements.
+    newton_allowed: bool,
     /// Immutable snapshot of the shared cross-search table.
     base: Arc<CostTable>,
     /// Private shard: keys this profiler had to price itself.
@@ -491,11 +534,15 @@ impl<'g> Profiler<'g> {
     /// A profiler backed by a snapshot of the shared cost table (taken at
     /// the start of the current search phase).
     fn with_base(graph: &'g Graph, cfg: &EngineConfig, base: Arc<CostTable>) -> Self {
+        let xbar = cfg.pim_backends.crossbar().copied();
         Profiler {
             graph,
             pim_channels_eff: cfg.effective_pim_channels().max(1),
             mask_bits: cfg.pim_channel_mask.bits(),
             pim_fingerprint: cfg.pim.fingerprint(),
+            xbar,
+            xbar_fingerprint: xbar.map(|x| x.fingerprint()).unwrap_or(0),
+            newton_allowed: cfg.pim_backends.allows_newton(),
             cfg: cfg.clone(),
             base,
             shard: MemoShard::new(),
@@ -514,6 +561,7 @@ impl<'g> Profiler<'g> {
         w.rows = ((w.rows as f64 * frac).round() as usize).max(1);
         let key = WorkloadKey {
             workload: w,
+            backend: BackendKind::Newton,
             channels: self.pim_channels_eff as u32,
             mask_bits: self.mask_bits,
             granularity: self.cfg.granularity,
@@ -529,6 +577,63 @@ impl<'g> Profiler<'g> {
         let t = pim_cost_us(&key, &self.cfg.pim);
         self.shard.insert(key, t);
         t
+    }
+
+    /// Crossbar time of `frac` of node `id`'s rows, microseconds, through
+    /// the same two-tier memo as [`Profiler::pim_time`]. Only callable when
+    /// the backend set carries a crossbar config.
+    fn crossbar_time(&mut self, id: NodeId, frac: f64) -> f64 {
+        let xbar = self.xbar.expect("crossbar time without a crossbar model");
+        let mut w = PimWorkload::from_node(self.graph, id);
+        w.rows = ((w.rows as f64 * frac).round() as usize).max(1);
+        let key = WorkloadKey {
+            workload: w,
+            backend: BackendKind::Crossbar,
+            channels: self.pim_channels_eff as u32,
+            mask_bits: self.mask_bits,
+            granularity: self.cfg.granularity,
+            pim_fingerprint: self.xbar_fingerprint,
+        };
+        self.shard.count_lookup();
+        if let Some(t) = self.shard.get(&key) {
+            return t;
+        }
+        if let Some(t) = self.base.get(&key) {
+            return t;
+        }
+        let t = crossbar_cost_us(&key, &xbar);
+        self.shard.insert(key, t);
+        t
+    }
+
+    /// PIM-side time of `frac` of node `id`: the pinned backend's time, or
+    /// — unpinned — the cheapest over the configured backend set with the
+    /// model that achieved it. Under `NewtonOnly` the unpinned path is
+    /// exactly one Newton lookup: the historical cost (and cache-counter)
+    /// behaviour, bit for bit.
+    fn pim_time_pick(
+        &mut self,
+        id: NodeId,
+        frac: f64,
+        pin: Option<BackendKind>,
+    ) -> (f64, BackendKind) {
+        match pin {
+            Some(BackendKind::Newton) => (self.pim_time(id, frac), BackendKind::Newton),
+            Some(BackendKind::Crossbar) => (self.crossbar_time(id, frac), BackendKind::Crossbar),
+            None => match (self.newton_allowed, self.xbar.is_some()) {
+                (true, false) => (self.pim_time(id, frac), BackendKind::Newton),
+                (false, _) => (self.crossbar_time(id, frac), BackendKind::Crossbar),
+                (true, true) => {
+                    let n = self.pim_time(id, frac);
+                    let x = self.crossbar_time(id, frac);
+                    if x < n {
+                        (x, BackendKind::Crossbar)
+                    } else {
+                        (n, BackendKind::Newton)
+                    }
+                }
+            },
+        }
     }
 
     /// GPU time of `frac` of node `id`'s rows (standalone launch),
@@ -590,22 +695,41 @@ impl<'g> Profiler<'g> {
     }
 
     /// MD-DP cost of node `id` at `gpu_percent`, including the epilogue
-    /// de-fusion penalty on the PIM slice.
+    /// de-fusion penalty on the PIM slice, over the configured backend set.
     fn mddp_cost(&mut self, id: NodeId, gpu_percent: u32) -> f64 {
+        self.mddp_cost_pinned(id, gpu_percent, None).0
+    }
+
+    /// [`Profiler::mddp_cost`] with the choice of PIM backend exposed —
+    /// and, when `pin` is set, forced (the repair path re-prices a plan's
+    /// recorded backend instead of re-searching). At `gpu_percent == 100`
+    /// no PIM model is consulted and the reported backend is the Newton
+    /// placeholder.
+    fn mddp_cost_pinned(
+        &mut self,
+        id: NodeId,
+        gpu_percent: u32,
+        pin: Option<BackendKind>,
+    ) -> (f64, BackendKind) {
         match gpu_percent {
-            100 => self.gpu_time(id, 1.0),
+            100 => (self.gpu_time(id, 1.0), BackendKind::Newton),
             0 => {
-                self.pim_time(id, 1.0) + self.transfer_out(id, 1.0) + self.defusion_penalty(id, 1.0)
+                let (pim, backend) = self.pim_time_pick(id, 1.0, pin);
+                (
+                    pim + self.transfer_out(id, 1.0) + self.defusion_penalty(id, 1.0),
+                    backend,
+                )
             }
             r => {
                 let f = r as f64 / 100.0;
                 let gpu = self.gpu_time(id, f);
-                let pim = self.pim_time(id, 1.0 - f) + self.transfer_out(id, 1.0 - f);
+                let (pim_raw, backend) = self.pim_time_pick(id, 1.0 - f, pin);
+                let pim = pim_raw + self.transfer_out(id, 1.0 - f);
                 // The de-fused epilogue is a GPU kernel: it serializes on
                 // the GPU stream after the GPU part (and after the PIM
                 // results arrive), so it adds to the critical path rather
                 // than overlapping it.
-                gpu.max(pim) + self.defusion_penalty(id, 1.0 - f)
+                (gpu.max(pim) + self.defusion_penalty(id, 1.0 - f), backend)
             }
         }
     }
@@ -948,12 +1072,12 @@ fn run_search(
                 ratio_grid(opts)
             };
             let mut samples = Vec::with_capacity(ratios.len());
-            let mut best = (100u32, gpu_only);
+            let mut best = (100u32, gpu_only, BackendKind::Newton);
             for r in ratios {
-                let t = profiler.mddp_cost(id, r);
+                let (t, backend) = profiler.mddp_cost_pinned(id, r, None);
                 samples.push((r, t));
                 if t < best.1 {
-                    best = (r, t);
+                    best = (r, t, backend);
                 }
             }
             let profile = LayerProfile {
@@ -968,6 +1092,7 @@ fn run_search(
             } else {
                 Decision::Split {
                     gpu_percent: best.0,
+                    backend: best.2,
                 }
             };
             NodeOutcome {
@@ -991,8 +1116,11 @@ fn run_search(
     // DP walks that order). Workers start from a fresh snapshot that
     // already contains the node phase's merged shards, so shared PIM
     // workloads are not re-simulated.
+    // Pipeline stages stream their inputs through the global buffers, so
+    // chains are priced (and would execute) on the Newton model only; a
+    // crossbar-only backend set has no pipelining to offer.
     let mut chain_list: Vec<(usize, Chain)> = Vec::new();
-    if opts.allow_pipeline && pim_available {
+    if opts.allow_pipeline && pim_available && cfg.pim_backends.allows_newton() {
         for chain in find_chains(graph) {
             let start = index_of[&chain.nodes[0]];
             let contiguous = chain
@@ -1112,7 +1240,7 @@ pub fn apply_plan(graph: &Graph, plan: &ExecutionPlan) -> Result<Graph> {
     for (name, decision) in &plan.decisions {
         match decision {
             Decision::Gpu => {}
-            Decision::Split { gpu_percent } => {
+            Decision::Split { gpu_percent, .. } => {
                 let id = out.find_node(name).ok_or_else(|| {
                     PassError::NotApplicable(format!("plan references unknown node `{name}`"))
                 })?;
@@ -1190,7 +1318,7 @@ mod tests {
         let plan = search(&g, &pimflow_cfg(), &opts).unwrap();
         for (_, d) in &plan.decisions {
             match d {
-                Decision::Split { gpu_percent } => assert_eq!(*gpu_percent, 0),
+                Decision::Split { gpu_percent, .. } => assert_eq!(*gpu_percent, 0),
                 Decision::Gpu => {}
                 Decision::Pipeline { .. } => panic!("pipeline disabled"),
             }
@@ -1360,7 +1488,13 @@ mod tests {
         let plan = ExecutionPlan {
             model: "synthetic".into(),
             decisions: vec![
-                ("a".into(), Decision::Split { gpu_percent: 33 }),
+                (
+                    "a".into(),
+                    Decision::Split {
+                        gpu_percent: 33,
+                        backend: BackendKind::Newton,
+                    },
+                ),
                 ("b".into(), Decision::Gpu),
             ],
             profiles: Vec::new(),

@@ -1,0 +1,80 @@
+//! Backend identity and the interpreter contract.
+
+use crate::inst::IsaProgram;
+use std::fmt;
+
+/// Which hardware model interprets a program.
+///
+/// This is the discriminant the compiler keys on: the cost cache separates
+/// entries per backend, and the per-layer search records which backend a
+/// split decision priced. The default is [`BackendKind::Newton`], the
+/// paper's GDDR6 DRAM-PIM — plans that never mention a backend mean
+/// Newton, which keeps historical plan serializations byte-stable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BackendKind {
+    /// Newton-style GDDR6 DRAM-PIM: inputs stream over the bus (GWRITE),
+    /// MACs run at tCCD against activated DRAM rows.
+    #[default]
+    Newton,
+    /// Crossbar compute-in-array (PIMCOMP-style): weights are programmed
+    /// into resistive arrays once, inputs apply through DACs, a whole
+    /// matrix-vector product costs one analog cycle per tile wave.
+    Crossbar,
+}
+
+impl BackendKind {
+    /// Stable lower-case name used in serialized plans and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::Newton => "newton",
+            BackendKind::Crossbar => "crossbar",
+        }
+    }
+
+    /// Inverse of [`name`](BackendKind::name).
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "newton" => Some(BackendKind::Newton),
+            "crossbar" => Some(BackendKind::Crossbar),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A hardware model that can execute (time) an [`IsaProgram`].
+///
+/// Interpreters are pure: the same program yields the same time on every
+/// call and every platform, which is what lets interpreted costs live in
+/// the cross-search cost cache.
+pub trait Interpreter {
+    /// The backend this interpreter models.
+    fn backend(&self) -> BackendKind;
+
+    /// Simulated wall-clock microseconds to execute `program`.
+    fn interpret_us(&self, program: &IsaProgram) -> f64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip() {
+        for kind in [BackendKind::Newton, BackendKind::Crossbar] {
+            assert_eq!(BackendKind::from_name(kind.name()), Some(kind));
+            assert_eq!(format!("{kind}"), kind.name());
+        }
+        assert_eq!(BackendKind::from_name("tpu"), None);
+    }
+
+    #[test]
+    fn default_is_newton() {
+        assert_eq!(BackendKind::default(), BackendKind::Newton);
+    }
+}

@@ -1,0 +1,262 @@
+//! The instruction set and the per-channel program container.
+
+use std::error::Error;
+use std::fmt;
+
+/// One typed PIM instruction.
+///
+/// The vocabulary is the greatest common divisor of the DRAM-PIM devices
+/// the workspace models: stage an input tile near the banks, select a
+/// weight row, burst multiply-accumulates against a staged buffer, drain
+/// accumulated results, and synchronize channels between ops. Every
+/// backend interprets the same five data-path ops; only their costs (and
+/// which ones are free) differ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PimInst {
+    /// Stage `bytes` of input into near-bank buffer `buffer`.
+    ///
+    /// Newton lowers this to a GWRITE over the channel bus; a crossbar
+    /// backend loads the DAC input registers instead (weights stay
+    /// stationary in the array).
+    BufWrite {
+        /// Destination buffer index.
+        buffer: u8,
+        /// Payload size in bytes.
+        bytes: u32,
+    },
+    /// Activate weight row `row` for the following MAC bursts.
+    RowActivate {
+        /// Row index within the bank group.
+        row: u32,
+    },
+    /// Issue `repeat` back-to-back MAC operations reading buffer `buffer`.
+    MacBurst {
+        /// Source buffer of the staged inputs.
+        buffer: u8,
+        /// Number of consecutive MAC operations.
+        repeat: u32,
+    },
+    /// Drain `bytes` of accumulated results back over the channel bus.
+    Drain {
+        /// Result payload size in bytes.
+        bytes: u32,
+    },
+    /// Ordinary host (GPU) memory traffic occupying the channel bus — the
+    /// contention term, not a PIM operation.
+    HostBurst {
+        /// Burst size in bytes.
+        bytes: u32,
+    },
+    /// Inter-op barrier: instructions after it start only once every
+    /// channel has finished the instructions before it.
+    Barrier,
+}
+
+/// Structural errors of a program as a whole (single instructions are
+/// checked by [`crate::validate::validate_program`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProgramError {
+    /// Channels disagree on how many [`PimInst::Barrier`]s they contain,
+    /// so the rendezvous the barriers describe cannot happen.
+    UnbalancedBarriers {
+        /// First channel whose barrier count differs from channel 0's.
+        channel: usize,
+        /// Barriers on that channel.
+        have: usize,
+        /// Barriers on channel 0.
+        want: usize,
+    },
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramError::UnbalancedBarriers {
+                channel,
+                have,
+                want,
+            } => write!(
+                f,
+                "channel {channel} has {have} barriers, channel 0 has {want}"
+            ),
+        }
+    }
+}
+
+impl Error for ProgramError {}
+
+/// A typed PIM program: one instruction stream per memory channel.
+///
+/// A program is the unit a backend compiles and an [`Interpreter`] times.
+/// Within a channel, instructions execute in order; across channels, only
+/// [`PimInst::Barrier`]s order execution.
+///
+/// [`Interpreter`]: crate::backend::Interpreter
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct IsaProgram {
+    channels: Vec<Vec<PimInst>>,
+}
+
+impl IsaProgram {
+    /// An empty program over `channels` channels.
+    pub fn new(channels: usize) -> Self {
+        IsaProgram {
+            channels: vec![Vec::new(); channels],
+        }
+    }
+
+    /// Wraps per-channel instruction streams into a program.
+    pub fn from_channels(channels: Vec<Vec<PimInst>>) -> Self {
+        IsaProgram { channels }
+    }
+
+    /// The per-channel instruction streams, in channel order.
+    pub fn channels(&self) -> &[Vec<PimInst>] {
+        &self.channels
+    }
+
+    /// Number of channels the program spans.
+    pub fn num_channels(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Total instruction count over all channels.
+    pub fn len(&self) -> usize {
+        self.channels.iter().map(Vec::len).sum()
+    }
+
+    /// Whether the program contains no instructions at all.
+    pub fn is_empty(&self) -> bool {
+        self.channels.iter().all(Vec::is_empty)
+    }
+
+    /// Appends one instruction to `channel`'s stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `channel` is out of range.
+    pub fn push(&mut self, channel: usize, inst: PimInst) {
+        self.channels[channel].push(inst);
+    }
+
+    /// Appends a [`PimInst::Barrier`] to every channel.
+    pub fn barrier(&mut self) {
+        for ch in &mut self.channels {
+            ch.push(PimInst::Barrier);
+        }
+    }
+
+    /// Links `other` after this program with a separating barrier — the
+    /// inter-op composition: the next op's instructions wait for every
+    /// channel to finish the current op's.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the channel counts differ.
+    pub fn append(&mut self, other: &IsaProgram) {
+        assert_eq!(
+            self.num_channels(),
+            other.num_channels(),
+            "cannot link programs over different channel counts"
+        );
+        self.barrier();
+        for (ch, stream) in self.channels.iter_mut().zip(other.channels.iter()) {
+            ch.extend_from_slice(stream);
+        }
+    }
+
+    /// Splits each channel's stream at its barriers: element `e` of the
+    /// result holds, per channel, the instruction slice of epoch `e`
+    /// (barriers themselves excluded). A barrier-free program is a single
+    /// epoch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProgramError::UnbalancedBarriers`] when the channels
+    /// disagree on the number of barriers.
+    pub fn epochs(&self) -> Result<Vec<Vec<&[PimInst]>>, ProgramError> {
+        let count = |ch: &[PimInst]| ch.iter().filter(|i| matches!(i, PimInst::Barrier)).count();
+        let want = self.channels.first().map(|c| count(c)).unwrap_or(0);
+        for (channel, ch) in self.channels.iter().enumerate() {
+            let have = count(ch);
+            if have != want {
+                return Err(ProgramError::UnbalancedBarriers {
+                    channel,
+                    have,
+                    want,
+                });
+            }
+        }
+        let mut epochs: Vec<Vec<&[PimInst]>> = vec![Vec::new(); want + 1];
+        for ch in &self.channels {
+            let mut start = 0usize;
+            let mut epoch = 0usize;
+            for (i, inst) in ch.iter().enumerate() {
+                if matches!(inst, PimInst::Barrier) {
+                    epochs[epoch].push(&ch[start..i]);
+                    start = i + 1;
+                    epoch += 1;
+                }
+            }
+            epochs[epoch].push(&ch[start..]);
+        }
+        Ok(epochs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_len() {
+        let mut p = IsaProgram::new(2);
+        p.push(0, PimInst::RowActivate { row: 1 });
+        p.push(1, PimInst::Drain { bytes: 4 });
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+        assert_eq!(p.num_channels(), 2);
+    }
+
+    #[test]
+    fn append_inserts_barrier_between_ops() {
+        let mut a = IsaProgram::from_channels(vec![vec![PimInst::RowActivate { row: 0 }]]);
+        let b = IsaProgram::from_channels(vec![vec![PimInst::Drain { bytes: 8 }]]);
+        a.append(&b);
+        assert_eq!(
+            a.channels()[0],
+            vec![
+                PimInst::RowActivate { row: 0 },
+                PimInst::Barrier,
+                PimInst::Drain { bytes: 8 },
+            ]
+        );
+    }
+
+    #[test]
+    fn epochs_split_at_barriers() {
+        let mut p = IsaProgram::new(2);
+        p.push(0, PimInst::RowActivate { row: 0 });
+        p.barrier();
+        p.push(1, PimInst::Drain { bytes: 8 });
+        let epochs = p.epochs().unwrap();
+        assert_eq!(epochs.len(), 2);
+        assert_eq!(epochs[0][0], &[PimInst::RowActivate { row: 0 }][..]);
+        assert!(epochs[0][1].is_empty());
+        assert!(epochs[1][0].is_empty());
+        assert_eq!(epochs[1][1], &[PimInst::Drain { bytes: 8 }][..]);
+    }
+
+    #[test]
+    fn unbalanced_barriers_detected() {
+        let p = IsaProgram::from_channels(vec![vec![PimInst::Barrier], vec![]]);
+        assert_eq!(
+            p.epochs(),
+            Err(ProgramError::UnbalancedBarriers {
+                channel: 1,
+                have: 0,
+                want: 1
+            })
+        );
+    }
+}

@@ -8,6 +8,66 @@
 //! `{tCCD, tRCDRD, tRCDWR, tCL, tRTP, tRAS}`, which matches both the values
 //! and Newton's usage, and document the interpretation here.
 
+use std::error::Error;
+use std::fmt;
+
+/// A violated configuration invariant.
+///
+/// Every way a [`PimConfig`] (or the memory system built from one) can be
+/// inconsistent has its own variant, so callers can match on the failure
+/// instead of parsing prose. The `Display` text states the invariant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `banks == 0`.
+    NoBanks,
+    /// Zero multipliers, or a column I/O width that is not a whole number
+    /// of f16 lanes.
+    FractionalLanes,
+    /// Multipliers per bank disagree with the f16 lanes one column I/O
+    /// delivers.
+    MultiplierLaneMismatch {
+        /// Configured multipliers per bank.
+        multipliers: usize,
+        /// f16 elements per column I/O.
+        lanes: usize,
+    },
+    /// A global buffer too small for a single element, or none configured.
+    BufferTooSmall,
+    /// Clock is zero, negative, or not finite.
+    NonPositiveClock,
+    /// `io_bytes_per_cycle == 0`.
+    NoChannelIo,
+    /// `tRFC >= tREFI`: the channel would refresh longer than the refresh
+    /// interval itself.
+    RefreshTooLong,
+    /// A memory system was asked for zero PIM channels.
+    NoPimChannels,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::NoBanks => f.write_str("banks must be > 0"),
+            ConfigError::FractionalLanes => f.write_str("column I/O must feed whole f16 lanes"),
+            ConfigError::MultiplierLaneMismatch { multipliers, lanes } => write!(
+                f,
+                "multipliers/bank ({multipliers}) must match elements per column I/O ({lanes})"
+            ),
+            ConfigError::BufferTooSmall => {
+                f.write_str("global buffers must hold at least one element")
+            }
+            ConfigError::NonPositiveClock => f.write_str("clock must be positive"),
+            ConfigError::NoChannelIo => f.write_str("channel I/O width must be > 0"),
+            ConfigError::RefreshTooLong => f.write_str("tRFC must be far below tREFI"),
+            ConfigError::NoPimChannels => {
+                f.write_str("a PIM memory system needs at least one PIM channel")
+            }
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
 /// DRAM timing parameters, in command-clock cycles (Table 1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DramTiming {
@@ -243,33 +303,36 @@ impl PimConfig {
         fnv1a64(&words)
     }
 
-    /// Checks configuration invariants; returns a description of the first
-    /// violation. All built-in presets validate.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Checks configuration invariants; returns the first violation as a
+    /// typed [`ConfigError`]. All built-in presets validate.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ConfigError`] variant naming the broken invariant.
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if self.banks == 0 {
-            return Err("banks must be > 0".into());
+            return Err(ConfigError::NoBanks);
         }
         if self.multipliers_per_bank == 0 || !self.column_io_bits.is_multiple_of(16) {
-            return Err("column I/O must feed whole f16 lanes".into());
+            return Err(ConfigError::FractionalLanes);
         }
         if self.multipliers_per_bank != self.elems_per_column_io() {
-            return Err(format!(
-                "multipliers/bank ({}) must match elements per column I/O ({})",
-                self.multipliers_per_bank,
-                self.elems_per_column_io()
-            ));
+            return Err(ConfigError::MultiplierLaneMismatch {
+                multipliers: self.multipliers_per_bank,
+                lanes: self.elems_per_column_io(),
+            });
         }
         if self.global_buffer_bytes < 2 || self.num_global_buffers == 0 {
-            return Err("global buffers must hold at least one element".into());
+            return Err(ConfigError::BufferTooSmall);
         }
         if !(self.clock_ghz.is_finite() && self.clock_ghz > 0.0) {
-            return Err("clock must be positive".into());
+            return Err(ConfigError::NonPositiveClock);
         }
         if self.io_bytes_per_cycle == 0 {
-            return Err("channel I/O width must be > 0".into());
+            return Err(ConfigError::NoChannelIo);
         }
         if self.timing.t_refi != 0 && self.timing.t_rfc >= self.timing.t_refi {
-            return Err("tRFC must be far below tREFI".into());
+            return Err(ConfigError::RefreshTooLong);
         }
         Ok(())
     }
@@ -343,16 +406,22 @@ mod tests {
             banks: 0,
             ..PimConfig::default()
         };
-        assert!(c.validate().is_err());
+        assert_eq!(c.validate(), Err(ConfigError::NoBanks));
         // Mismatched with 256-bit column I/O.
         let c = PimConfig {
             multipliers_per_bank: 8,
             ..PimConfig::default()
         };
-        assert!(c.validate().is_err());
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::MultiplierLaneMismatch {
+                multipliers: 8,
+                lanes: 16
+            })
+        );
         let mut c = PimConfig::default();
         c.timing.t_rfc = c.timing.t_refi;
-        assert!(c.validate().is_err());
+        assert_eq!(c.validate(), Err(ConfigError::RefreshTooLong));
     }
 
     #[test]

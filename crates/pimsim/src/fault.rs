@@ -5,9 +5,11 @@
 //! transiently (thermal throttling, error-recovery storms), or lose
 //! bandwidth (link retraining to a lower rate). A [`FaultPlan`] describes
 //! such conditions deterministically so the scheduler can route work around
-//! dead channels ([`crate::scheduler::schedule_with_faults`]) and the timing
-//! engine can charge the stall/derate cost to the channels that survive
-//! ([`crate::timing::run_channels_each_with_faults`]).
+//! dead channels and the timing engine can charge the stall/derate cost to
+//! the channels that survive — attach a plan to the
+//! [`RunOptions`](crate::timing::RunOptions) passed to
+//! [`schedule`](crate::scheduler::schedule) and
+//! [`run_channels`](crate::timing::run_channels).
 //!
 //! Plans are value types: constructing one never touches global state, and
 //! [`FaultPlan::from_seed`] derives the same plan from the same seed on

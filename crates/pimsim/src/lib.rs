@@ -14,7 +14,8 @@
 //!
 //! ```
 //! use pimflow_pimsim::{
-//!     schedule, run_channels, CommandBlock, PimConfig, ScheduleGranularity,
+//!     schedule, run_channels, CommandBlock, PimConfig, RunOptions,
+//!     ScheduleGranularity,
 //! };
 //!
 //! // A small 1x1-conv-like tile: 4 input rows sharing one filter pass.
@@ -29,11 +30,21 @@
 //!     row_base: 0,
 //! };
 //! let cfg = PimConfig::default();
-//! let traces = schedule(&[block], 4, ScheduleGranularity::Comp, &cfg);
-//! let stats = run_channels(&cfg, &traces);
+//! let traces = schedule(
+//!     &[block],
+//!     4,
+//!     ScheduleGranularity::Comp,
+//!     &cfg,
+//!     &RunOptions::new(),
+//! );
+//! let stats = run_channels(&cfg, &traces, RunOptions::new());
 //! assert!(stats.cycles > 0);
 //! assert_eq!(stats.comps, 2 * 8 * 4);
 //! ```
+//!
+//! The same traces lift into the typed `pimflow-isa` program form via
+//! [`lift_traces`], where [`NewtonInterpreter`] gives them exactly the
+//! timing above — the simulator is the Newton *interpretation* of the ISA.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -42,23 +53,22 @@ pub mod command;
 pub mod config;
 pub mod energy;
 pub mod fault;
+pub mod interp;
 pub mod memsys;
 pub mod scheduler;
 pub mod timing;
 pub mod trace;
 
 pub use command::{CommandBlock, PimCommand};
-pub use config::{DramTiming, PimConfig};
+pub use config::{ConfigError, DramTiming, PimConfig};
 pub use energy::{pim_energy_breakdown, pim_energy_nj, PimEnergyBreakdown, PimEnergyParams};
 pub use fault::{ChannelFault, FaultKind, FaultPlan};
+pub use interp::{lift_traces, NewtonInterpreter};
 pub use memsys::MemorySystem;
 pub use scheduler::{
-    estimate_block_cycles, schedule, schedule_refined, schedule_with_faults, split_for_channels,
-    ScheduleGranularity,
+    estimate_block_cycles, schedule, schedule_refined, split_for_channels, ScheduleGranularity,
 };
-pub use timing::{
-    run_channels, run_channels_each, run_channels_each_with_faults, ChannelEngine, ChannelStats,
-};
+pub use timing::{run_channels, ChannelEngine, ChannelStats, RunOptions};
 pub use trace::{
     command_to_line, parse_traces, traces_to_text, validate_trace, ParseTraceError, TraceViolation,
 };

@@ -8,9 +8,9 @@
 //! as a first-class operation.
 
 use crate::command::{CommandBlock, PimCommand};
-use crate::config::PimConfig;
+use crate::config::{ConfigError, PimConfig};
 use crate::scheduler::{schedule, ScheduleGranularity};
-use crate::timing::{run_channels, ChannelStats};
+use crate::timing::{run_channels, ChannelStats, RunOptions};
 
 /// A GPU memory with a contiguous subset of PIM-enabled channels.
 #[derive(Debug, Clone, PartialEq)]
@@ -41,11 +41,16 @@ impl MemorySystem {
     ///
     /// # Errors
     ///
-    /// Returns a description if the configuration is inconsistent (no PIM
-    /// channels, or an invalid per-channel config).
-    pub fn new(gpu_channels: usize, pim_channels: usize, cfg: PimConfig) -> Result<Self, String> {
+    /// Returns [`ConfigError::NoPimChannels`] when `pim_channels == 0`, or
+    /// whatever [`PimConfig::validate`] rejects about the per-channel
+    /// config.
+    pub fn new(
+        gpu_channels: usize,
+        pim_channels: usize,
+        cfg: PimConfig,
+    ) -> Result<Self, ConfigError> {
         if pim_channels == 0 {
-            return Err("a PIM memory system needs at least one PIM channel".into());
+            return Err(ConfigError::NoPimChannels);
         }
         cfg.validate()?;
         Ok(MemorySystem {
@@ -67,8 +72,14 @@ impl MemorySystem {
         blocks: &[CommandBlock],
         granularity: ScheduleGranularity,
     ) -> ChannelStats {
-        let traces = schedule(blocks, self.pim_channels, granularity, &self.cfg);
-        run_channels(&self.cfg, &traces)
+        let traces = schedule(
+            blocks,
+            self.pim_channels,
+            granularity,
+            &self.cfg,
+            &RunOptions::new(),
+        );
+        run_channels(&self.cfg, &traces, RunOptions::new())
     }
 
     /// Executes one layer while ordinary GPU traffic shares the controller:
@@ -86,7 +97,13 @@ impl MemorySystem {
         burst_every: usize,
     ) -> ChannelStats {
         assert!(burst_every > 0, "burst interval must be positive");
-        let traces = schedule(blocks, self.pim_channels, granularity, &self.cfg);
+        let traces = schedule(
+            blocks,
+            self.pim_channels,
+            granularity,
+            &self.cfg,
+            &RunOptions::new(),
+        );
         let noisy: Vec<Vec<PimCommand>> = traces
             .iter()
             .map(|t| {
@@ -100,7 +117,7 @@ impl MemorySystem {
                 out
             })
             .collect();
-        run_channels(&self.cfg, &noisy)
+        run_channels(&self.cfg, &noisy, RunOptions::new())
     }
 
     /// Cycles to move `bytes` between the channel groups over the memory
@@ -140,7 +157,10 @@ mod tests {
 
     #[test]
     fn zero_pim_channels_rejected() {
-        assert!(MemorySystem::new(32, 0, PimConfig::default()).is_err());
+        assert_eq!(
+            MemorySystem::new(32, 0, PimConfig::default()).unwrap_err(),
+            ConfigError::NoPimChannels
+        );
     }
 
     #[test]
@@ -149,7 +169,10 @@ mod tests {
             banks: 0,
             ..PimConfig::default()
         };
-        assert!(MemorySystem::new(16, 16, cfg).is_err());
+        assert_eq!(
+            MemorySystem::new(16, 16, cfg).unwrap_err(),
+            ConfigError::NoBanks
+        );
     }
 
     #[test]

@@ -20,6 +20,7 @@
 use crate::command::{CommandBlock, PimCommand};
 use crate::config::PimConfig;
 use crate::fault::FaultPlan;
+use crate::timing::RunOptions;
 
 /// How finely blocks may be split across channels.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -156,38 +157,36 @@ pub fn split_for_channels(
 /// Assignment is longest-processing-time greedy on the per-block cycle
 /// estimate, which keeps channel loads balanced without simulating twice.
 ///
+/// With a [`FaultPlan`] attached to `opts`, dead channels receive empty
+/// traces, derated channels are LPT-weighted by their remaining bandwidth
+/// so the balanced makespan accounts for their slower bus, and a channel
+/// with a pending stall is pre-loaded with the stall's duration
+/// (pessimistically assuming the freeze lands inside the layer). The
+/// per-channel callback, if any, is ignored here — it belongs to
+/// [`run_channels`](crate::timing::run_channels).
+///
+/// The returned vector always has `channels` entries so trace index `i`
+/// always corresponds to physical channel `i`.
+///
 /// # Panics
 ///
-/// Panics if `channels == 0`.
+/// Panics if `channels == 0` or the plan leaves no channel alive.
 pub fn schedule(
     blocks: &[CommandBlock],
     channels: usize,
     granularity: ScheduleGranularity,
     cfg: &PimConfig,
-) -> Vec<Vec<PimCommand>> {
-    schedule_with_faults(blocks, channels, granularity, cfg, &FaultPlan::healthy())
-}
-
-/// Fault-aware variant of [`schedule`]: dead channels receive empty traces,
-/// derated channels are LPT-weighted by their remaining bandwidth so the
-/// balanced makespan accounts for their slower bus, and a channel with a
-/// pending stall is pre-loaded with the stall's duration (pessimistically
-/// assuming the freeze lands inside the layer).
-///
-/// The returned vector always has `channels` entries so trace index `i`
-/// still corresponds to physical channel `i`.
-///
-/// # Panics
-///
-/// Panics if `channels == 0` or the plan leaves no channel alive.
-pub fn schedule_with_faults(
-    blocks: &[CommandBlock],
-    channels: usize,
-    granularity: ScheduleGranularity,
-    cfg: &PimConfig,
-    plan: &FaultPlan,
+    opts: &RunOptions<'_>,
 ) -> Vec<Vec<PimCommand>> {
     assert!(channels > 0, "need at least one PIM channel");
+    let healthy;
+    let plan = match opts.faults {
+        Some(p) => p,
+        None => {
+            healthy = FaultPlan::healthy();
+            &healthy
+        }
+    };
     let alive = plan.alive_channels(channels);
     assert!(!alive.is_empty(), "need at least one live PIM channel");
     let units = split_for_channels(blocks, alive.len(), granularity);
@@ -324,7 +323,7 @@ pub fn schedule_refined(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::timing::run_channels;
+    use crate::timing::{run_channels, RunOptions};
 
     fn small_layer_block() -> CommandBlock {
         // A 1x1-conv-like block: tiny filter, few G_ACTs, lots of splittable
@@ -372,8 +371,8 @@ mod tests {
             ScheduleGranularity::ReadRes,
             ScheduleGranularity::Comp,
         ] {
-            let traces = schedule(&blocks, 8, g, &cfg);
-            let cycles = run_channels(&cfg, &traces).cycles;
+            let traces = schedule(&blocks, 8, g, &cfg, &RunOptions::new());
+            let cycles = run_channels(&cfg, &traces, RunOptions::new()).cycles;
             assert!(
                 cycles <= prev,
                 "granularity {g:?} slower: {cycles} > {prev}"
@@ -381,8 +380,28 @@ mod tests {
             prev = cycles;
         }
         // And the finest must be strictly better than the coarsest here.
-        let coarse = run_channels(&cfg, &schedule(&blocks, 8, ScheduleGranularity::GAct, &cfg));
-        let fine = run_channels(&cfg, &schedule(&blocks, 8, ScheduleGranularity::Comp, &cfg));
+        let coarse = run_channels(
+            &cfg,
+            &schedule(
+                &blocks,
+                8,
+                ScheduleGranularity::GAct,
+                &cfg,
+                &RunOptions::new(),
+            ),
+            RunOptions::new(),
+        );
+        let fine = run_channels(
+            &cfg,
+            &schedule(
+                &blocks,
+                8,
+                ScheduleGranularity::Comp,
+                &cfg,
+                &RunOptions::new(),
+            ),
+            RunOptions::new(),
+        );
         assert!(fine.cycles < coarse.cycles);
     }
 
@@ -390,8 +409,28 @@ mod tests {
     fn large_layers_are_unaffected_by_granularity() {
         let cfg = PimConfig::default();
         let blocks = vec![small_layer_block(); 64];
-        let a = run_channels(&cfg, &schedule(&blocks, 8, ScheduleGranularity::GAct, &cfg));
-        let b = run_channels(&cfg, &schedule(&blocks, 8, ScheduleGranularity::Comp, &cfg));
+        let a = run_channels(
+            &cfg,
+            &schedule(
+                &blocks,
+                8,
+                ScheduleGranularity::GAct,
+                &cfg,
+                &RunOptions::new(),
+            ),
+            RunOptions::new(),
+        );
+        let b = run_channels(
+            &cfg,
+            &schedule(
+                &blocks,
+                8,
+                ScheduleGranularity::Comp,
+                &cfg,
+                &RunOptions::new(),
+            ),
+            RunOptions::new(),
+        );
         assert_eq!(a.cycles, b.cycles);
         assert_eq!(a.comps, b.comps);
     }
@@ -400,8 +439,14 @@ mod tests {
     fn work_is_conserved_at_gact_granularity() {
         let cfg = PimConfig::default();
         let blocks = vec![small_layer_block(); 10];
-        let traces = schedule(&blocks, 4, ScheduleGranularity::GAct, &cfg);
-        let merged = run_channels(&cfg, &traces);
+        let traces = schedule(
+            &blocks,
+            4,
+            ScheduleGranularity::GAct,
+            &cfg,
+            &RunOptions::new(),
+        );
+        let merged = run_channels(&cfg, &traces, RunOptions::new());
         let serial: u64 = blocks.iter().map(|b| b.total_comps()).sum();
         assert_eq!(merged.comps, serial);
     }
@@ -412,8 +457,14 @@ mod tests {
         let blocks = vec![small_layer_block(); 32];
         let mut prev = u64::MAX;
         for ch in [1usize, 2, 4, 8, 16] {
-            let traces = schedule(&blocks, ch, ScheduleGranularity::Comp, &cfg);
-            let cycles = run_channels(&cfg, &traces).cycles;
+            let traces = schedule(
+                &blocks,
+                ch,
+                ScheduleGranularity::Comp,
+                &cfg,
+                &RunOptions::new(),
+            );
+            let cycles = run_channels(&cfg, &traces, RunOptions::new()).cycles;
             assert!(cycles <= prev, "{ch} channels slower: {cycles} > {prev}");
             prev = cycles;
         }
@@ -422,7 +473,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one PIM channel")]
     fn zero_channels_panics() {
-        schedule(&[], 0, ScheduleGranularity::GAct, &PimConfig::default());
+        schedule(
+            &[],
+            0,
+            ScheduleGranularity::GAct,
+            &PimConfig::default(),
+            &RunOptions::new(),
+        );
     }
 
     #[test]
@@ -439,16 +496,18 @@ mod tests {
                 channel: 3,
                 kind: FaultKind::Dead,
             });
-        let traces = schedule_with_faults(&blocks, 4, ScheduleGranularity::GAct, &cfg, &plan);
+        let traces = schedule(
+            &blocks,
+            4,
+            ScheduleGranularity::GAct,
+            &cfg,
+            &RunOptions::new().faults(&plan),
+        );
         assert_eq!(traces.len(), 4, "trace index must stay = channel index");
         assert!(traces[0].is_empty() && traces[3].is_empty());
         assert!(!traces[1].is_empty() && !traces[2].is_empty());
         // All work lands on the survivors.
-        let merged = crate::timing::run_channels_each_with_faults(&cfg, &traces, &plan)
-            .iter()
-            .fold(crate::timing::ChannelStats::default(), |acc, s| {
-                acc.merge_parallel(s)
-            });
+        let merged = run_channels(&cfg, &traces, RunOptions::new().faults(&plan));
         let expected: u64 = blocks.iter().map(|b| b.total_comps()).sum();
         assert_eq!(merged.comps, expected);
     }
@@ -462,7 +521,13 @@ mod tests {
             channel: 0,
             kind: FaultKind::Derate { percent: 25 },
         });
-        let traces = schedule_with_faults(&blocks, 4, ScheduleGranularity::GAct, &cfg, &plan);
+        let traces = schedule(
+            &blocks,
+            4,
+            ScheduleGranularity::GAct,
+            &cfg,
+            &RunOptions::new().faults(&plan),
+        );
         let slow = traces[0].len();
         let healthy_min = traces[1..].iter().map(Vec::len).min().unwrap();
         assert!(
@@ -475,13 +540,20 @@ mod tests {
     fn healthy_fault_plan_matches_plain_schedule() {
         let cfg = PimConfig::default();
         let blocks = vec![small_layer_block(); 9];
-        let plain = schedule(&blocks, 4, ScheduleGranularity::Comp, &cfg);
-        let faulty = schedule_with_faults(
+        let plain = schedule(
             &blocks,
             4,
             ScheduleGranularity::Comp,
             &cfg,
-            &FaultPlan::healthy(),
+            &RunOptions::new(),
+        );
+        let healthy = FaultPlan::healthy();
+        let faulty = schedule(
+            &blocks,
+            4,
+            ScheduleGranularity::Comp,
+            &cfg,
+            &RunOptions::new().faults(&healthy),
         );
         assert_eq!(plain, faulty);
     }
@@ -494,12 +566,12 @@ mod tests {
             channel: 0,
             kind: FaultKind::Dead,
         });
-        schedule_with_faults(
+        schedule(
             &[],
             1,
             ScheduleGranularity::GAct,
             &PimConfig::default(),
-            &plan,
+            &RunOptions::new().faults(&plan),
         );
     }
 
@@ -523,11 +595,19 @@ mod tests {
         for ch in [3usize, 7, 16] {
             let lpt = run_channels(
                 &cfg,
-                &schedule(&blocks, ch, ScheduleGranularity::GAct, &cfg),
+                &schedule(
+                    &blocks,
+                    ch,
+                    ScheduleGranularity::GAct,
+                    &cfg,
+                    &RunOptions::new(),
+                ),
+                RunOptions::new(),
             );
             let refined = run_channels(
                 &cfg,
                 &schedule_refined(&blocks, ch, ScheduleGranularity::GAct, &cfg, 32),
+                RunOptions::new(),
             );
             assert!(
                 refined.cycles <= lpt.cycles,
@@ -544,7 +624,7 @@ mod tests {
         let cfg = PimConfig::default();
         let blocks = vec![small_layer_block(); 9];
         let traces = schedule_refined(&blocks, 4, ScheduleGranularity::Comp, &cfg, 16);
-        let stats = run_channels(&cfg, &traces);
+        let stats = run_channels(&cfg, &traces, RunOptions::new());
         let expected: u64 = blocks.iter().map(|b| b.total_comps()).sum();
         assert!(stats.comps >= expected);
     }

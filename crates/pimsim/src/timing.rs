@@ -17,6 +17,63 @@
 
 use crate::command::PimCommand;
 use crate::config::PimConfig;
+use crate::fault::FaultPlan;
+use std::fmt;
+
+/// Options shared by the scheduling and timing entry points: an optional
+/// fault plan and an optional per-channel statistics callback.
+///
+/// The default options mean "every channel healthy, merged stats only":
+///
+/// ```
+/// use pimflow_pimsim::{run_channels, PimConfig, PimCommand, RunOptions};
+/// let traces = vec![vec![PimCommand::GAct { row: 0 }]];
+/// let stats = run_channels(&PimConfig::default(), &traces, RunOptions::new());
+/// assert_eq!(stats.gacts, 1);
+/// ```
+///
+/// Callers needing per-channel detail register a callback instead of a
+/// second entry point; callers simulating degraded hardware attach a
+/// [`FaultPlan`]. The same struct parameterizes
+/// [`schedule`](crate::scheduler::schedule) (which reads only the fault
+/// plan, to route work off dead channels).
+#[derive(Default)]
+pub struct RunOptions<'a> {
+    pub(crate) faults: Option<&'a FaultPlan>,
+    pub(crate) on_channel: Option<ChannelCallback<'a>>,
+}
+
+/// Per-channel statistics callback, invoked in channel order before merging.
+type ChannelCallback<'a> = &'a mut dyn FnMut(usize, &ChannelStats);
+
+impl fmt::Debug for RunOptions<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RunOptions")
+            .field("faults", &self.faults)
+            .field("on_channel", &self.on_channel.as_ref().map(|_| ".."))
+            .finish()
+    }
+}
+
+impl<'a> RunOptions<'a> {
+    /// Healthy channels, no callback.
+    pub fn new() -> Self {
+        RunOptions::default()
+    }
+
+    /// Runs (and schedules) under the fault conditions in `plan`.
+    pub fn faults(mut self, plan: &'a FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Invokes `callback` with each channel's own statistics (in channel
+    /// order) before they are merged.
+    pub fn on_channel(mut self, callback: &'a mut dyn FnMut(usize, &ChannelStats)) -> Self {
+        self.on_channel = Some(callback);
+        self
+    }
+}
 
 /// Execution statistics of one channel trace.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -55,6 +112,27 @@ impl ChannelStats {
             0.0
         } else {
             self.comp_busy_cycles as f64 / self.cycles as f64
+        }
+    }
+
+    /// Merges two phases' statistics that ran back to back: cycle counts
+    /// add (the second phase starts only after the first finished), as do
+    /// all work counters. Used by the ISA interpreter to compose
+    /// barrier-separated epochs.
+    pub fn merge_sequential(&self, other: &ChannelStats) -> ChannelStats {
+        ChannelStats {
+            cycles: self.cycles + other.cycles,
+            gacts: self.gacts + other.gacts,
+            comps: self.comps + other.comps,
+            gwrites: self.gwrites + other.gwrites,
+            readres: self.readres + other.readres,
+            macs: self.macs + other.macs,
+            gwrite_bytes: self.gwrite_bytes + other.gwrite_bytes,
+            readres_bytes: self.readres_bytes + other.readres_bytes,
+            gpu_burst_bytes: self.gpu_burst_bytes + other.gpu_burst_bytes,
+            comp_busy_cycles: self.comp_busy_cycles + other.comp_busy_cycles,
+            refreshes: self.refreshes + other.refreshes,
+            stall_cycles: self.stall_cycles + other.stall_cycles,
         }
     }
 
@@ -325,46 +403,49 @@ impl ChannelEngine {
 
 /// Runs one trace per channel and returns the merged statistics; the
 /// `cycles` field is the maximum over channels (channels run in parallel).
-pub fn run_channels(cfg: &PimConfig, traces: &[Vec<PimCommand>]) -> ChannelStats {
-    run_channels_each(cfg, traces)
-        .iter()
-        .fold(ChannelStats::default(), |acc, s| acc.merge_parallel(s))
-}
-
-/// Runs one trace per channel and returns each channel's own statistics
-/// (index `i` corresponds to `traces[i]`); callers needing per-channel
-/// utilization fold these themselves instead of using the merged view of
-/// [`run_channels`].
-pub fn run_channels_each(cfg: &PimConfig, traces: &[Vec<PimCommand>]) -> Vec<ChannelStats> {
-    run_channels_each_with_faults(cfg, traces, &crate::fault::FaultPlan::healthy())
-}
-
-/// Fault-aware variant of [`run_channels_each`]: channel `i` runs under the
-/// fault condition `plan` assigns to it (bandwidth derating, transient
-/// stalls). Dead channels must carry empty traces — route work around them
-/// with [`crate::scheduler::schedule_with_faults`] first.
+///
+/// `opts` carries the optional extras: with a [`FaultPlan`] attached,
+/// channel `i` runs under the fault condition the plan assigns to it
+/// (bandwidth derating, transient stalls); with a callback attached, each
+/// channel's own statistics are delivered (in channel order) before the
+/// merge. Dead channels must carry empty traces — route work around them
+/// with [`crate::scheduler::schedule`] under the same options first.
 ///
 /// # Panics
 ///
 /// Panics if a dead channel was given a non-empty trace; that is a
 /// scheduling bug, not a runtime condition.
-pub fn run_channels_each_with_faults(
+pub fn run_channels(
     cfg: &PimConfig,
     traces: &[Vec<PimCommand>],
-    plan: &crate::fault::FaultPlan,
-) -> Vec<ChannelStats> {
-    traces
-        .iter()
-        .enumerate()
-        .map(|(ch, t)| {
-            assert!(
-                !plan.is_dead(ch) || t.is_empty(),
-                "dead channel {ch} was scheduled {} commands",
-                t.len()
-            );
-            ChannelEngine::with_fault(*cfg, plan, ch).run(t)
-        })
-        .collect()
+    opts: RunOptions<'_>,
+) -> ChannelStats {
+    let RunOptions {
+        faults,
+        mut on_channel,
+    } = opts;
+    let healthy;
+    let plan = match faults {
+        Some(p) => p,
+        None => {
+            healthy = FaultPlan::healthy();
+            &healthy
+        }
+    };
+    let mut merged = ChannelStats::default();
+    for (ch, t) in traces.iter().enumerate() {
+        assert!(
+            !plan.is_dead(ch) || t.is_empty(),
+            "dead channel {ch} was scheduled {} commands",
+            t.len()
+        );
+        let stats = ChannelEngine::with_fault(*cfg, plan, ch).run(t);
+        if let Some(cb) = on_channel.as_mut() {
+            cb(ch, &stats);
+        }
+        merged = merged.merge_parallel(&stats);
+    }
+    merged
 }
 
 #[cfg(test)]
@@ -549,7 +630,7 @@ mod tests {
                 repeat: 1000,
             },
         ];
-        let merged = run_channels(&cfg(), &[short.clone(), long.clone()]);
+        let merged = run_channels(&cfg(), &[short.clone(), long.clone()], RunOptions::new());
         let long_alone = ChannelEngine::new(cfg()).run(&long);
         assert_eq!(merged.cycles, long_alone.cycles);
         assert_eq!(merged.comps, 1001);
@@ -711,7 +792,13 @@ mod tests {
             channel: 1,
             kind: FaultKind::Derate { percent: 25 },
         });
-        let per = run_channels_each_with_faults(&cfg(), &[trace.clone(), trace.clone()], &plan);
+        let mut per = Vec::new();
+        let mut collect = |_: usize, s: &ChannelStats| per.push(*s);
+        run_channels(
+            &cfg(),
+            &[trace.clone(), trace.clone()],
+            RunOptions::new().faults(&plan).on_channel(&mut collect),
+        );
         let healthy = ChannelEngine::new(cfg()).run(&trace);
         assert_eq!(per[0], healthy, "channel 0 must be unaffected");
         assert!(per[1].cycles > healthy.cycles);
@@ -725,7 +812,29 @@ mod tests {
             channel: 0,
             kind: FaultKind::Dead,
         });
-        run_channels_each_with_faults(&cfg(), &[vec![PimCommand::GAct { row: 0 }]], &plan);
+        run_channels(
+            &cfg(),
+            &[vec![PimCommand::GAct { row: 0 }]],
+            RunOptions::new().faults(&plan),
+        );
+    }
+
+    #[test]
+    fn sequential_merge_adds_cycles_parallel_merge_maxes() {
+        let a = ChannelStats {
+            cycles: 100,
+            comps: 5,
+            ..ChannelStats::default()
+        };
+        let b = ChannelStats {
+            cycles: 40,
+            comps: 3,
+            ..ChannelStats::default()
+        };
+        let seq = a.merge_sequential(&b);
+        assert_eq!((seq.cycles, seq.comps), (140, 8));
+        let par = a.merge_parallel(&b);
+        assert_eq!((par.cycles, par.comps), (100, 8));
     }
 
     #[test]

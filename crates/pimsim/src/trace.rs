@@ -401,11 +401,15 @@ mod tests {
     #[test]
     fn replayed_trace_times_identically() {
         use crate::config::PimConfig;
-        use crate::timing::run_channels;
+        use crate::timing::{run_channels, RunOptions};
         let traces = sample();
         let cfg = PimConfig::default();
-        let direct = run_channels(&cfg, &traces);
-        let replayed = run_channels(&cfg, &parse_traces(&traces_to_text(&traces)).unwrap());
+        let direct = run_channels(&cfg, &traces, RunOptions::new());
+        let replayed = run_channels(
+            &cfg,
+            &parse_traces(&traces_to_text(&traces)).unwrap(),
+            RunOptions::new(),
+        );
         assert_eq!(direct, replayed);
     }
 }

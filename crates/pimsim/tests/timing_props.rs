@@ -3,7 +3,8 @@
 //! `proptest` is not available).
 
 use pimflow_pimsim::{
-    run_channels, schedule, ChannelEngine, CommandBlock, PimCommand, PimConfig, ScheduleGranularity,
+    run_channels, schedule, ChannelEngine, CommandBlock, PimCommand, PimConfig, RunOptions,
+    ScheduleGranularity,
 };
 use pimflow_rng::Rng;
 
@@ -117,9 +118,9 @@ fn schedule_conserves_and_bounds() {
         let channels = rng.range_usize(1, 17);
         let granularity = *rng.pick(&granularities);
         let cfg = PimConfig::default();
-        let traces = schedule(&blocks, channels, granularity, &cfg);
+        let traces = schedule(&blocks, channels, granularity, &cfg, &RunOptions::new());
         assert_eq!(traces.len(), channels);
-        let stats = run_channels(&cfg, &traces);
+        let stats = run_channels(&cfg, &traces, RunOptions::new());
         let min_comps: u64 = blocks.iter().map(|b| b.total_comps()).sum();
         assert!(stats.comps >= min_comps);
         // Lower bound: total COMP cycles spread perfectly over channels.

@@ -53,13 +53,13 @@ fn main() {
                 let offloads = plan
                     .decisions
                     .iter()
-                    .filter(|(_, d)| matches!(d, Decision::Split { gpu_percent: 0 }))
+                    .filter(|(_, d)| matches!(d, Decision::Split { gpu_percent: 0, .. }))
                     .count();
                 let splits = plan
                     .decisions
                     .iter()
                     .filter(
-                        |(_, d)| matches!(d, Decision::Split { gpu_percent } if *gpu_percent > 0),
+                        |(_, d)| matches!(d, Decision::Split { gpu_percent, .. } if *gpu_percent > 0),
                     )
                     .count();
                 let pipes = plan

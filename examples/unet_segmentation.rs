@@ -35,12 +35,12 @@ fn main() {
     let offloads = plan
         .decisions
         .iter()
-        .filter(|(_, d)| matches!(d, Decision::Split { gpu_percent: 0 }))
+        .filter(|(_, d)| matches!(d, Decision::Split { gpu_percent: 0, .. }))
         .count();
     let splits = plan
         .decisions
         .iter()
-        .filter(|(_, d)| matches!(d, Decision::Split { gpu_percent } if *gpu_percent > 0))
+        .filter(|(_, d)| matches!(d, Decision::Split { gpu_percent, .. } if *gpu_percent > 0))
         .count();
     println!("search decisions: {offloads} full offloads, {splits} MD-DP splits");
     for (name, d) in plan.decisions.iter().take(8) {

@@ -13,7 +13,13 @@ use pimflow_ir::models;
 fn foreign_plan() -> ExecutionPlan {
     ExecutionPlan {
         model: "not-this-model".into(),
-        decisions: vec![("no_such_node".into(), Decision::Split { gpu_percent: 0 })],
+        decisions: vec![(
+            "no_such_node".into(),
+            Decision::Split {
+                gpu_percent: 0,
+                backend: Default::default(),
+            },
+        )],
         profiles: Vec::new(),
         predicted_us: 1.0,
         conv_layer_us: 1.0,
@@ -47,7 +53,13 @@ fn out_of_range_split_ratios_are_rejected() {
         .map(|id| g.node(id).name.clone())
         .expect("toy has a PIM candidate");
     let plan = ExecutionPlan {
-        decisions: vec![(conv, Decision::Split { gpu_percent: 250 })],
+        decisions: vec![(
+            conv,
+            Decision::Split {
+                gpu_percent: 250,
+                backend: Default::default(),
+            },
+        )],
         ..foreign_plan()
     };
     let err = apply_plan(&g, &plan).unwrap_err();

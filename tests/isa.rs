@@ -1,0 +1,219 @@
+//! Cross-crate contracts of the typed PIM ISA layer.
+//!
+//! Three properties hold the refactor together:
+//!
+//! 1. **Golden encoding** — the textual mnemonic of every instruction is
+//!    pinned byte for byte, so serialized programs stay replayable across
+//!    releases.
+//! 2. **Interpreter identity** — for seeded random workloads, lowering to
+//!    the ISA, encoding to text, decoding, and interpreting on the Newton
+//!    engine reports exactly the statistics of running the scheduled
+//!    command traces directly. The ISA is a lens over the simulator, not a
+//!    second cost model.
+//! 3. **Backend search** — the mixed Newton/crossbar search is
+//!    deterministic across pool widths, actually uses the crossbar where
+//!    deep reductions favour it, and never loses to a single-backend plan.
+
+use pimflow::engine::{EngineConfig, PimBackendSet};
+use pimflow::search::{Decision, Search, SearchOptions};
+use pimflow::{BackendKind, CrossbarConfig};
+use pimflow_ir::models;
+use pimflow_isa::{inst_to_line, parse_program, program_to_text, PimInst, PROGRAM_HEADER};
+use pimflow_pimsim::{
+    lift_traces, run_channels, schedule, CommandBlock, NewtonInterpreter, PimConfig, RunOptions,
+    ScheduleGranularity,
+};
+use pimflow_rng::Rng;
+
+/// Every mnemonic of the v1 text format, pinned byte for byte.
+#[test]
+fn golden_isa_text_encoding() {
+    let cases = [
+        (
+            PimInst::BufWrite {
+                buffer: 2,
+                bytes: 256,
+            },
+            "BUFWRITE buf=2 bytes=256",
+        ),
+        (PimInst::RowActivate { row: 7 }, "ROWACT row=7"),
+        (
+            PimInst::MacBurst {
+                buffer: 1,
+                repeat: 16,
+            },
+            "MACBURST buf=1 repeat=16",
+        ),
+        (PimInst::Drain { bytes: 64 }, "DRAIN bytes=64"),
+        (PimInst::HostBurst { bytes: 512 }, "HOSTBURST bytes=512"),
+        (PimInst::Barrier, "BARRIER"),
+    ];
+    for (inst, line) in &cases {
+        assert_eq!(inst_to_line(inst), *line);
+    }
+    assert_eq!(PROGRAM_HEADER, "# pimflow pim-isa v1");
+    let program = pimflow_isa::IsaProgram::from_channels(vec![
+        vec![
+            PimInst::BufWrite {
+                buffer: 2,
+                bytes: 256,
+            },
+            PimInst::Barrier,
+        ],
+        vec![PimInst::RowActivate { row: 7 }, PimInst::Barrier],
+    ]);
+    assert_eq!(
+        program_to_text(&program),
+        "# pimflow pim-isa v1 channel=0\n\
+         BUFWRITE buf=2 bytes=256\n\
+         BARRIER\n\
+         # pimflow pim-isa v1 channel=1\n\
+         ROWACT row=7\n\
+         BARRIER\n"
+    );
+}
+
+fn random_blocks(rng: &mut Rng) -> Vec<CommandBlock> {
+    (0..rng.range_usize(1, 8))
+        .map(|_| CommandBlock {
+            buffer_rows: rng.range_u32(1, 4) as u8,
+            gwrite_bytes: rng.range_u32(32, 512),
+            gwrites_per_row: rng.range_u32(1, 3) as u16,
+            gacts: rng.range_u32(1, 12),
+            comps_per_gact: rng.range_u32(1, 24),
+            readres_bytes: rng.range_u32(16, 256),
+            oc_splits: rng.range_u32(1, 8) as u16,
+            row_base: rng.range_u32(0, 64),
+        })
+        .collect()
+}
+
+/// Lower → encode → decode → interpret equals direct legacy timing, for
+/// seeded random workloads over every scheduling granularity and several
+/// channel counts.
+#[test]
+fn interpreted_isa_matches_direct_timing_on_random_workloads() {
+    let cfg = PimConfig::default();
+    let mut rng = Rng::seed_from_u64(0x1517_c0de);
+    for trial in 0..24 {
+        let blocks = random_blocks(&mut rng);
+        let channels = [1, 2, 4, 16][trial % 4];
+        let granularity = [
+            ScheduleGranularity::GAct,
+            ScheduleGranularity::ReadRes,
+            ScheduleGranularity::Comp,
+        ][trial % 3];
+        let traces = schedule(&blocks, channels, granularity, &cfg, &RunOptions::new());
+        let direct = run_channels(&cfg, &traces, RunOptions::new());
+        let program = lift_traces(&traces);
+        let decoded = parse_program(&program_to_text(&program)).expect("emitted program parses");
+        assert_eq!(decoded, program, "text round-trip must be exact");
+        let interpreted = NewtonInterpreter::new(&cfg).run(&decoded, RunOptions::new());
+        assert_eq!(
+            interpreted, direct,
+            "trial {trial}: ISA interpretation diverged from direct run"
+        );
+    }
+}
+
+/// Newton-only plans are byte-identical whether the search routes costs
+/// through the ISA at pool width 1 or 2 — the width-invariance the
+/// refactor must preserve.
+#[test]
+fn newton_plans_are_width_invariant() {
+    let g = models::toy();
+    let cfg = EngineConfig::pimflow();
+    let opts = SearchOptions::default();
+    let plans: Vec<String> = [1usize, 2]
+        .iter()
+        .map(|&w| {
+            let plan = Search::new(&g, &cfg)
+                .options(opts)
+                .pool(w)
+                .run()
+                .expect("toy search");
+            pimflow_json::to_string(&plan)
+        })
+        .collect();
+    assert_eq!(plans[0], plans[1]);
+}
+
+/// The mixed-backend search is deterministic across pool widths, routes
+/// vgg-16's deep FC reductions to the crossbar, and never loses to the
+/// Newton-only plan. Split decisions survive the plan JSON round-trip with
+/// their backend tag; Newton-only plans keep the legacy JSON shape.
+#[test]
+fn mixed_backend_search_is_deterministic_and_no_worse() {
+    let g = models::by_name("vgg-16").expect("zoo model");
+    let opts = SearchOptions::default();
+    let newton_cfg = EngineConfig::pimflow();
+    let mixed_cfg = EngineConfig {
+        pim_backends: PimBackendSet::Mixed(CrossbarConfig::pimcomp_like()),
+        ..EngineConfig::pimflow()
+    };
+    let run = |cfg: &EngineConfig, w: usize| {
+        Search::new(&g, cfg)
+            .options(opts)
+            .pool(w)
+            .run()
+            .expect("vgg search")
+    };
+    let mixed_1 = run(&mixed_cfg, 1);
+    let mixed_2 = run(&mixed_cfg, 2);
+    assert_eq!(
+        pimflow_json::to_string(&mixed_1),
+        pimflow_json::to_string(&mixed_2),
+        "mixed search must be pool-width invariant"
+    );
+    let newton = run(&newton_cfg, 2);
+    assert!(
+        mixed_1.predicted_us <= newton.predicted_us,
+        "mixed ({}) searches a superset of Newton-only ({})",
+        mixed_1.predicted_us,
+        newton.predicted_us
+    );
+    let crossbar_splits = mixed_1
+        .decisions
+        .iter()
+        .filter(|(_, d)| {
+            matches!(
+                d,
+                Decision::Split {
+                    backend: BackendKind::Crossbar,
+                    ..
+                }
+            )
+        })
+        .count();
+    assert!(
+        crossbar_splits > 0,
+        "vgg-16's FC layers must land on the crossbar"
+    );
+    // Round-trip: backend tags survive; legacy Newton splits stay tagless.
+    let json = pimflow_json::to_string(&mixed_1);
+    let back: pimflow::search::ExecutionPlan = pimflow_json::from_str(&json).unwrap();
+    assert_eq!(back, mixed_1);
+    assert!(
+        json.contains("\"backend\": \"crossbar\"") || json.contains("\"backend\":\"crossbar\"")
+    );
+    let newton_json = pimflow_json::to_string(&newton);
+    assert!(
+        !newton_json.contains("backend"),
+        "Newton-only plan JSON must stay byte-stable with pre-ISA plans"
+    );
+}
+
+/// A hand-written legacy plan document (no backend field) decodes to
+/// Newton splits.
+#[test]
+fn legacy_split_json_defaults_to_newton() {
+    let json = r#"{"Split": {"gpu_percent": 40}}"#;
+    let d: Decision = pimflow_json::from_str(json).unwrap();
+    assert_eq!(
+        d,
+        Decision::Split {
+            gpu_percent: 40,
+            backend: BackendKind::Newton,
+        }
+    );
+}

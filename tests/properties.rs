@@ -9,7 +9,7 @@ use pimflow::engine::{execute, EngineConfig};
 use pimflow::passes::{find_chains, pipeline_chain, split_node};
 use pimflow_ir::{ActivationKind, Graph, GraphBuilder, Op, Shape};
 use pimflow_kernels::{input_tensors, run_graph};
-use pimflow_pimsim::{run_channels, schedule, PimConfig, ScheduleGranularity};
+use pimflow_pimsim::{run_channels, schedule, PimConfig, RunOptions, ScheduleGranularity};
 use pimflow_rng::Rng;
 
 const CASES: usize = 24;
@@ -166,7 +166,7 @@ fn codegen_traces_are_protocol_valid() {
         };
         let cfg = PimConfig::default();
         let blocks = generate_blocks(&w, &cfg);
-        for trace in schedule(&blocks, channels, granularity, &cfg) {
+        for trace in schedule(&blocks, channels, granularity, &cfg, &RunOptions::new()) {
             if let Err(v) = pimflow_pimsim::validate_trace(&trace, &cfg) {
                 panic!("invalid trace for rows={rows} k={k} oc={oc}: {v}");
             }
@@ -195,9 +195,9 @@ fn scheduler_conserves_work() {
         let cfg = PimConfig::default();
         let blocks = generate_blocks(&w, &cfg);
         let comps_expected: u64 = blocks.iter().map(|b| b.total_comps()).sum();
-        let traces = schedule(&blocks, channels, granularity, &cfg);
+        let traces = schedule(&blocks, channels, granularity, &cfg, &RunOptions::new());
         assert_eq!(traces.len(), channels);
-        let stats = run_channels(&cfg, &traces);
+        let stats = run_channels(&cfg, &traces, RunOptions::new());
         // Splitting may only *add* COMPs (reduction-split rounding), never lose them.
         assert!(stats.comps >= comps_expected);
         assert!(stats.macs >= w.macs());
