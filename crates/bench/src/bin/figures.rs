@@ -20,6 +20,8 @@
 //!                          #   autoscaling -> <dir>/BENCH_fleet.json
 //! figures kernels [dir]    # scalar-vs-microkernel GEMM with Welch
 //!                          #   p-values -> <dir>/BENCH_kernels.json
+//! figures fusion [dir]     # unfused vs joint fusion search: traffic
+//!                          #   reduction -> <dir>/BENCH_fusion.json
 //! ```
 //!
 //! `--jobs=<n>` (any position) sets the worker-pool width for the sweeps,
@@ -498,6 +500,56 @@ fn backend_sweep(dir: &str, smoke: bool) {
     println!("wrote {}", path.display());
 }
 
+/// Runs the fusion-group search sweep and writes `BENCH_fusion.json`
+/// under `dir`.
+fn fusion_sweep(dir: &str, smoke: bool) {
+    use pimflow_bench::fusion_sweep::write_bench_artifact;
+    println!("== Fusion-group search: unfused vs joint fusion x split x backend ==");
+    let (report, path) =
+        write_bench_artifact(std::path::Path::new(dir), smoke).expect("fusion sweep");
+    println!(
+        "  jobs {} (host threads {}), identity probed at widths {:?}",
+        report.jobs, report.host_threads, report.probed_widths
+    );
+    for m in &report.models {
+        println!(
+            "  {:<22} {:>4} nodes  groups {:>2} ({:>2} layers)  unfused {:>9.1}us  fused {:>9.1}us  \
+             traffic {:>10} -> {:>10} B (-{:>4.1}%)  never-worse {}",
+            m.model,
+            m.nodes,
+            m.fused_groups,
+            m.fused_layers,
+            m.unfused_predicted_us,
+            m.fused_predicted_us,
+            m.unfused_traffic_bytes,
+            m.fused_traffic_bytes,
+            m.traffic_reduction_pct,
+            m.fused_never_worse
+        );
+    }
+    println!("  fused_never_worse: {}", report.fused_never_worse);
+    println!(
+        "  models_with_traffic_reduction: {} of {} ({} B total)",
+        report.models_with_traffic_reduction,
+        report.models.len(),
+        report.total_traffic_reduction_bytes
+    );
+    let wc = &report.search_wall_clock;
+    println!(
+        "  search wall-clock on {}: unfused {:.0}us vs fused {:.0}us (p={:.3}) — overhead {}",
+        report.wall_clock_model,
+        wc.baseline_mean,
+        wc.candidate_mean,
+        wc.p_value,
+        if report.search_overhead_significant {
+            "significant"
+        } else {
+            "not significant"
+        }
+    );
+    println!("wrote {}", path.display());
+}
+
 /// Runs the executor timing sweep and writes `BENCH_exec.json` under
 /// `dir`.
 fn exec_sweep(dir: &str, smoke: bool) {
@@ -717,6 +769,11 @@ fn main() {
     if which == "kernels" {
         let dir = positional.get(1).cloned().unwrap_or_else(|| ".".into());
         kernel_sweep(&dir, smoke);
+        return;
+    }
+    if which == "fusion" {
+        let dir = positional.get(1).cloned().unwrap_or_else(|| ".".into());
+        fusion_sweep(&dir, smoke);
         return;
     }
     let needs_fig9 = matches!(which.as_str(), "all" | "fig9" | "fig12");

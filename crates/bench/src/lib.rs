@@ -13,6 +13,7 @@ pub mod cost_cache_sweep;
 pub mod exec_sweep;
 pub mod experiments;
 pub mod fleet_sweep;
+pub mod fusion_sweep;
 pub mod harness;
 pub mod kernel_sweep;
 pub mod parallel_sweep;

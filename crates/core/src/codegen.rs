@@ -10,7 +10,7 @@
 
 use pimflow_gpusim::GpuConfig;
 use pimflow_ir::{Conv2dAttrs, Graph, NodeId, Op, Shape};
-use pimflow_isa::IsaProgram;
+use pimflow_isa::{FusedRole, IsaProgram};
 use pimflow_kernels::lowered_dims;
 use pimflow_pimsim::{
     lift_traces, pim_energy_nj, schedule, ChannelStats, CommandBlock, NewtonInterpreter, PimConfig,
@@ -160,6 +160,21 @@ pub fn generate_program(
     lift_traces(&traces)
 }
 
+/// Like [`generate_program`], but lowered for a fusion-group member: the
+/// bus crossings `role` elides (the input staging of a fused consumer, the
+/// result drain of a fused producer) become `BANKFEED`s, so intermediate
+/// activations stay resident near the banks. `FusedRole::Standalone`
+/// produces exactly [`generate_program`]'s output.
+pub fn generate_fused_program(
+    w: &PimWorkload,
+    cfg: &PimConfig,
+    channels: usize,
+    granularity: ScheduleGranularity,
+    role: FusedRole,
+) -> IsaProgram {
+    role.rewrite_program(&generate_program(w, cfg, channels, granularity))
+}
+
 /// Result of executing a PIM workload on the simulator.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PimExecution {
@@ -186,6 +201,22 @@ pub fn execute_workload(
     execute_workload_per_channel(w, cfg, channels, granularity).0
 }
 
+/// Compiles and executes a workload lowered for fusion-group role `role`
+/// (see [`generate_fused_program`]). `Standalone` is [`execute_workload`].
+///
+/// # Panics
+///
+/// Panics if `channels == 0`.
+pub fn execute_workload_fused(
+    w: &PimWorkload,
+    cfg: &PimConfig,
+    channels: usize,
+    granularity: ScheduleGranularity,
+    role: FusedRole,
+) -> PimExecution {
+    execute_workload_fused_per_channel(w, cfg, channels, granularity, role).0
+}
+
 /// Like [`execute_workload`] but also returns each channel's own statistics
 /// (index = channel), for per-channel utilization accounting.
 ///
@@ -198,7 +229,22 @@ pub fn execute_workload_per_channel(
     channels: usize,
     granularity: ScheduleGranularity,
 ) -> (PimExecution, Vec<ChannelStats>) {
-    let program = generate_program(w, cfg, channels, granularity);
+    execute_workload_fused_per_channel(w, cfg, channels, granularity, FusedRole::Standalone)
+}
+
+/// Role-aware variant of [`execute_workload_per_channel`].
+///
+/// # Panics
+///
+/// Panics if `channels == 0`.
+pub fn execute_workload_fused_per_channel(
+    w: &PimWorkload,
+    cfg: &PimConfig,
+    channels: usize,
+    granularity: ScheduleGranularity,
+    role: FusedRole,
+) -> (PimExecution, Vec<ChannelStats>) {
+    let program = generate_fused_program(w, cfg, channels, granularity, role);
     let mut per_channel = Vec::with_capacity(channels);
     let mut collect = |_: usize, s: &ChannelStats| per_channel.push(*s);
     let stats =

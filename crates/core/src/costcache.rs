@@ -42,10 +42,10 @@
 //! whose analytic queries are orders of magnitude cheaper than a PIM
 //! command-trace simulation).
 
-use crate::codegen::{execute_workload, PimWorkload};
+use crate::codegen::{execute_workload_fused, PimWorkload};
 use crate::engine::EngineConfig;
 use pimflow_ir::Interner;
-use pimflow_isa::{crossbar, BackendKind, CrossbarConfig};
+use pimflow_isa::{crossbar, BackendKind, CrossbarConfig, FusedRole};
 use pimflow_json::json_struct;
 use pimflow_pimsim::{PimConfig, ScheduleGranularity};
 use std::collections::HashMap;
@@ -82,6 +82,11 @@ pub struct WorkloadKey {
     /// [`PimConfig::fingerprint`] for Newton keys,
     /// [`CrossbarConfig::fingerprint`] for crossbar keys.
     pub pim_fingerprint: u64,
+    /// Fusion-group role of the lowering ([`FusedRole::Standalone`] for
+    /// every unfused query). Fused roles elide bus crossings, so the same
+    /// shape prices differently per role — the discriminant keeps the four
+    /// pure functions structurally apart in one shared table.
+    pub fused: FusedRole,
 }
 
 impl WorkloadKey {
@@ -94,6 +99,7 @@ impl WorkloadKey {
             mask_bits: cfg.pim_channel_mask.bits(),
             granularity: cfg.granularity,
             pim_fingerprint: cfg.pim.fingerprint(),
+            fused: FusedRole::Standalone,
         }
     }
 
@@ -110,6 +116,15 @@ impl WorkloadKey {
             mask_bits: cfg.pim_channel_mask.bits(),
             granularity: cfg.granularity,
             pim_fingerprint: xbar.fingerprint(),
+            fused: FusedRole::Standalone,
+        }
+    }
+
+    /// The same key re-rolled for fusion-group role `role`.
+    pub fn with_role(self, role: FusedRole) -> Self {
+        WorkloadKey {
+            fused: role,
+            ..self
         }
     }
 }
@@ -129,7 +144,14 @@ pub fn pim_cost_us(key: &WorkloadKey, pim: &PimConfig) -> f64 {
         pim.fingerprint(),
         "workload key priced under a different PimConfig"
     );
-    execute_workload(&key.workload, pim, key.channels as usize, key.granularity).time_us
+    execute_workload_fused(
+        &key.workload,
+        pim,
+        key.channels as usize,
+        key.granularity,
+        key.fused,
+    )
+    .time_us
 }
 
 /// The crossbar schedule estimate as a pure function of its
@@ -156,7 +178,7 @@ pub fn crossbar_cost_us(key: &WorkloadKey, xbar: &CrossbarConfig) -> f64 {
         k_elems: key.workload.k_elems,
         out_channels: key.workload.out_channels,
     };
-    crossbar::estimate_shape_us(&shape, key.channels as usize, xbar)
+    crossbar::estimate_shape_us_fused(&shape, key.channels as usize, xbar, key.fused)
 }
 
 /// Hit/miss/entry counters of a cost cache, as surfaced in
@@ -431,9 +453,31 @@ mod tests {
         let b = pim_cost_us(&k, &cfg.pim);
         assert!(a > 0.0);
         assert_eq!(a.to_bits(), b.to_bits(), "bitwise reproducible");
-        let direct =
-            execute_workload(&k.workload, &cfg.pim, k.channels as usize, k.granularity).time_us;
+        let direct = crate::codegen::execute_workload(
+            &k.workload,
+            &cfg.pim,
+            k.channels as usize,
+            k.granularity,
+        )
+        .time_us;
         assert_eq!(a.to_bits(), direct.to_bits());
+    }
+
+    #[test]
+    fn fused_roles_get_their_own_entries_and_cheaper_io() {
+        let cfg = EngineConfig::pimflow();
+        let base = key(196, &cfg);
+        for role in [FusedRole::Head, FusedRole::Middle, FusedRole::Tail] {
+            let fused = base.with_role(role);
+            assert_ne!(base, fused, "role must separate keys");
+            let standalone_us = pim_cost_us(&base, &cfg.pim);
+            let fused_us = pim_cost_us(&fused, &cfg.pim);
+            assert!(
+                fused_us <= standalone_us,
+                "{role:?}: fused {fused_us} > standalone {standalone_us}"
+            );
+        }
+        assert_eq!(base.with_role(FusedRole::Standalone), base);
     }
 
     #[test]

@@ -11,14 +11,14 @@
 //! a GPU convolution or GEMM are epilogue-fused (no launch, no extra DRAM
 //! round-trip), matching the cuDNN/CUTLASS mappings the artifact relies on.
 
-use crate::codegen::{execute_workload_per_channel, PimWorkload};
+use crate::codegen::{execute_workload_fused_per_channel, PimWorkload};
 use crate::costcache::CacheCounters;
 use crate::error::Result;
 use crate::memopt::{data_move_bytes, is_data_move};
-use crate::placement::Placement;
+use crate::placement::{parse_fused, FusedNodeRole, Placement};
 use pimflow_gpusim::{kernel_for_node, GpuConfig, KernelProfile};
 use pimflow_ir::{ActivationKind, Graph, NodeId, Op, ValueId};
-use pimflow_isa::CrossbarConfig;
+use pimflow_isa::{CrossbarConfig, FusedRole};
 use pimflow_json::json_struct;
 use pimflow_pimsim::{ChannelStats, FaultPlan, PimConfig, PimEnergyParams, ScheduleGranularity};
 use std::collections::HashMap;
@@ -268,8 +268,14 @@ pub struct ExecutionReport {
     pub gpu_busy_us: f64,
     /// Cycles the PIM stream was busy.
     pub pim_busy_us: f64,
-    /// Bytes moved across the GPU/PIM channel boundary.
+    /// Bytes moved across the GPU/PIM channel boundary (PIM → GPU result
+    /// returns over the memory network).
     pub transfer_bytes: u64,
+    /// Bytes of host-resident operands fetched into the PIM channels
+    /// (GPU → PIM, the GWRITE payloads). Together with `transfer_bytes`
+    /// this is the total host↔PIM traffic of the execution — the metric
+    /// fusion groups exist to shrink.
+    pub host_to_pim_bytes: u64,
     /// MAC-pipeline busy time of each PIM channel, microseconds (length
     /// `cfg.pim_channels`; empty when no PIM channels are configured).
     pub pim_channel_busy_us: Vec<f64>,
@@ -303,6 +309,7 @@ json_struct!(ExecutionReport {
     gpu_busy_us,
     pim_busy_us,
     transfer_bytes,
+    host_to_pim_bytes,
     pim_channel_busy_us,
     cost_cache,
     timings,
@@ -379,11 +386,13 @@ pub fn execute(graph: &Graph, cfg: &EngineConfig) -> Result<ExecutionReport> {
     let mut gpu_busy = 0.0f64;
     let mut pim_busy = 0.0f64;
     let mut transfer_bytes = 0u64;
+    let mut host_to_pim_bytes = 0u64;
     let mut gpu_dynamic_uj = 0.0f64;
     let mut pim_stats_total = ChannelStats::default();
     let mut timings = Vec::with_capacity(order.len());
     let mut pim_channel_busy_us = vec![0.0f64; cfg.pim_channels];
-    let mut pim_memo: HashMap<PimWorkload, (f64, ChannelStats, Vec<f64>)> = HashMap::new();
+    let mut pim_memo: HashMap<(PimWorkload, FusedRole), (f64, ChannelStats, Vec<f64>)> =
+        HashMap::new();
     let mut memo_hits = 0u64;
     let mut memo_misses = 0u64;
     // Device that produced each value (for fusion decisions).
@@ -400,6 +409,7 @@ pub fn execute(graph: &Graph, cfg: &EngineConfig) -> Result<ExecutionReport> {
             .map(|d| d.size_bytes() as u64)
             .unwrap_or(0);
         let mut device = Placement::of_name(&node.name);
+        let fused_role = parse_fused(&node.name).map(|(_, role, _)| role);
         // AiM-style in-PIM activation (extension ablation): a single-input
         // element-wise op whose operand lives in the PIM channels is applied
         // by the PIM logic while results drain — no GPU kernel, no transfer.
@@ -411,7 +421,20 @@ pub fn execute(graph: &Graph, cfg: &EngineConfig) -> Result<ExecutionReport> {
                 .get(&node.inputs[0])
                 .map(|s| s.at_pim && !s.at_gpu)
                 .unwrap_or(false);
-        if pim_activation {
+        // Fusion-group rider: an element-wise node between two fused heavy
+        // layers is applied near the banks during the BANKFEED hand-off —
+        // no kernel, no bus crossing. Unlike the AiM ablation this needs no
+        // special activation hardware flag; it is what the fused lowering
+        // means.
+        let fused_rider = fused_role == Some(FusedNodeRole::Rider)
+            && effective_channels > 0
+            && op_is_fusable(&node.op)
+            && node.inputs.len() == 1
+            && values
+                .get(&node.inputs[0])
+                .map(|s| s.at_pim)
+                .unwrap_or(false);
+        if pim_activation || fused_rider {
             device = Placement::Pim;
         } else if device == Placement::Pim
             && (effective_channels == 0 || !is_heavy_compute(&node.op))
@@ -431,6 +454,7 @@ pub fn execute(graph: &Graph, cfg: &EngineConfig) -> Result<ExecutionReport> {
                 Placement::Pim => {
                     if !state.at_pim {
                         t += cfg.transfer_latency_us;
+                        host_to_pim_bytes += state.bytes;
                         state.at_pim = true;
                     }
                 }
@@ -450,8 +474,10 @@ pub fn execute(graph: &Graph, cfg: &EngineConfig) -> Result<ExecutionReport> {
         // Node cost.
         let profile = kernel_for_node(graph, id);
         let mut fused = false;
-        let (start, finish) = if pim_activation {
-            // Applied by the PIM activation units during READRES drain.
+        let (start, finish) = if pim_activation || fused_rider {
+            // Applied by the PIM activation units during READRES drain
+            // (AiM ablation), or near the banks during the BANKFEED
+            // hand-off (fusion-group rider).
             fused = true;
             (ready, ready)
         } else if is_data_move(graph, id) {
@@ -470,7 +496,11 @@ pub fn execute(graph: &Graph, cfg: &EngineConfig) -> Result<ExecutionReport> {
             }
         } else if device == Placement::Pim {
             let workload = PimWorkload::from_node(graph, id);
-            let (dur, stats, busy_us) = match pim_memo.get(&workload) {
+            // Fused heavy members lower under their group role: the
+            // memo key carries the role because the rewritten program
+            // prices differently from the standalone one.
+            let role = fused_role.map(FusedNodeRole::isa_role).unwrap_or_default();
+            let (dur, stats, busy_us) = match pim_memo.get(&(workload, role)) {
                 Some(cached) => {
                     memo_hits += 1;
                     cached.clone()
@@ -479,18 +509,19 @@ pub fn execute(graph: &Graph, cfg: &EngineConfig) -> Result<ExecutionReport> {
                     memo_misses += 1;
                     // Only the channels the mask reports up take part; the
                     // workload is scheduled across the survivors.
-                    let (exec, per_channel) = execute_workload_per_channel(
+                    let (exec, per_channel) = execute_workload_fused_per_channel(
                         &workload,
                         &cfg.pim,
                         effective_channels,
                         cfg.granularity,
+                        role,
                     );
                     let busy_us: Vec<f64> = per_channel
                         .iter()
                         .map(|s| cfg.pim.cycles_to_ns(s.comp_busy_cycles) * 1e-3)
                         .collect();
                     let entry = (exec.time_us, exec.stats, busy_us);
-                    pim_memo.insert(workload, entry.clone());
+                    pim_memo.insert((workload, role), entry.clone());
                     entry
                 }
             };
@@ -595,6 +626,7 @@ pub fn execute(graph: &Graph, cfg: &EngineConfig) -> Result<ExecutionReport> {
         gpu_busy_us: gpu_busy,
         pim_busy_us: pim_busy,
         transfer_bytes,
+        host_to_pim_bytes,
         pim_channel_busy_us,
         cost_cache: CacheCounters {
             hits: memo_hits,

@@ -1,0 +1,244 @@
+//! Fusion-group pass: keep inter-layer activations near the banks.
+//!
+//! A fusion group is a producer→consumer run of PIM-eligible heavy layers
+//! (non-depthwise convs and FC layers, the [`Graph::is_pim_candidate`]
+//! set) connected through single-input element-wise riders. When the
+//! whole run executes on the PIM side, the intermediate activations never
+//! need to cross the channel bus: the producer's result `DRAIN` and the
+//! consumer's input staging `BUFWRITE` collapse into `BANKFEED`s (see
+//! [`pimflow_isa::FusedRole`]), and the riders between them are applied
+//! near the banks during the hand-off.
+//!
+//! The pass itself is a pure placement transformation: it renames the
+//! group members with [`crate::placement::fused_tag`] tags
+//! (`pim::fuse.<gid>.<role>::<base>`) and changes no dataflow, so a fused
+//! graph is numerically identical to the original by construction. The
+//! engine and the cost model read the tags to price the fused lowering;
+//! Algorithm 1 decides where fusing pays (see
+//! [`Decision::Fused`](crate::search::Decision::Fused)).
+
+use crate::passes::mddp::PassError;
+use crate::passes::pipeline::{is_chain_elementwise, linear_run_by};
+use crate::placement::{fused_tag, FusedNodeRole, PIM_PREFIX};
+use pimflow_ir::{Graph, NodeId};
+use std::collections::HashSet;
+
+/// A fusion candidate: a linear run of PIM-eligible heavy layers and the
+/// element-wise riders between them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FusionGroup {
+    /// All group nodes in order (heavy layers and riders).
+    pub nodes: Vec<NodeId>,
+    /// The heavy layers only, in order (at least two).
+    pub heavy: Vec<NodeId>,
+}
+
+/// True for layers that can anchor or extend a fusion group: the PIM
+/// candidates (non-depthwise, ungrouped convs and FC layers). Depthwise
+/// convs, pools, and multi-input ops terminate a group.
+pub fn is_fusion_heavy(graph: &Graph, id: NodeId) -> bool {
+    graph.is_pim_candidate(id)
+}
+
+/// Finds all fusion candidates: maximal linear runs of two or more heavy
+/// layers, scanned in topological order through the same linear-run
+/// walker the pipelining pass uses. Runs claimed by an earlier group do
+/// not start a new scan, so the returned groups are disjoint.
+pub fn find_fusion_groups(graph: &Graph) -> Vec<FusionGroup> {
+    let mut groups = Vec::new();
+    let Ok(order) = graph.topo_order() else {
+        return groups;
+    };
+    let mut claimed: HashSet<NodeId> = HashSet::new();
+    for &start in &order {
+        if claimed.contains(&start) || !is_fusion_heavy(graph, start) {
+            continue;
+        }
+        let (nodes, heavy) = linear_run_by(graph, start, usize::MAX, is_fusion_heavy);
+        if heavy.len() < 2 {
+            continue;
+        }
+        claimed.extend(nodes.iter().copied());
+        groups.push(FusionGroup { nodes, heavy });
+    }
+    groups
+}
+
+/// Marks `group`'s members as fusion group `gid`: the first heavy layer
+/// becomes the head, the last the tail, interior heavy layers middles,
+/// and the element-wise nodes between them riders. The transformation is
+/// rename-only — dataflow, shapes, and numerics are untouched.
+///
+/// # Errors
+///
+/// Returns [`PassError::NotApplicable`] when the group has fewer than two
+/// heavy layers, a member is already placed (tagged `pim::`), a listed
+/// rider is not element-wise, or a heavy member is not in the node list.
+pub fn fuse_group(graph: &mut Graph, group: &FusionGroup, gid: usize) -> Result<(), PassError> {
+    if group.heavy.len() < 2 {
+        return Err(PassError::NotApplicable(
+            "fusion group needs at least two heavy layers".into(),
+        ));
+    }
+    let heavy: HashSet<NodeId> = group.heavy.iter().copied().collect();
+    for &id in &group.heavy {
+        if !group.nodes.contains(&id) {
+            return Err(PassError::NotApplicable(
+                "fusion group heavy layer missing from its node list".into(),
+            ));
+        }
+    }
+    for &id in &group.nodes {
+        let node = graph.node(id);
+        if node.name.starts_with(PIM_PREFIX) {
+            return Err(PassError::NotApplicable(format!(
+                "node `{}` is already placed",
+                node.name
+            )));
+        }
+        if !heavy.contains(&id) && !is_chain_elementwise(&node.op) {
+            return Err(PassError::NotApplicable(format!(
+                "fusion rider `{}` is not element-wise",
+                node.name
+            )));
+        }
+    }
+    let first = group.heavy[0];
+    let last = *group.heavy.last().expect("checked above");
+    for &id in &group.nodes {
+        let role = if !heavy.contains(&id) {
+            FusedNodeRole::Rider
+        } else if id == first {
+            FusedNodeRole::Head
+        } else if id == last {
+            FusedNodeRole::Tail
+        } else {
+            FusedNodeRole::Middle
+        };
+        let tagged = fused_tag(gid, role, &graph.node(id).name);
+        graph.node_mut(id).name = tagged;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::{parse_fused, Placement};
+    use pimflow_ir::{models, GraphBuilder, Shape};
+    use pimflow_kernels::{input_tensors, run_graph};
+
+    #[test]
+    fn toy_has_one_group_over_the_leading_convs() {
+        let g = models::toy();
+        let groups = find_fusion_groups(&g);
+        assert_eq!(groups.len(), 1, "{groups:?}");
+        let names: Vec<&str> = groups[0]
+            .nodes
+            .iter()
+            .map(|&id| g.node(id).name.as_str())
+            .collect();
+        assert_eq!(names, ["conv_1", "relu_2", "conv_3"]);
+        assert_eq!(groups[0].heavy.len(), 2);
+    }
+
+    #[test]
+    fn depthwise_and_pool_terminate_groups() {
+        // pw -> dw -> pw: the dw conv is not fusion-heavy and not
+        // element-wise, so no group spans it.
+        let mut b = GraphBuilder::new("block");
+        let x = b.input(Shape::nhwc(1, 8, 8, 8));
+        let y = b.conv1x1(x, 16);
+        let y = b.dwconv(y, 16, 3, 1, 1);
+        let y = b.conv1x1(y, 8);
+        let g = b.finish(y);
+        assert!(find_fusion_groups(&g).is_empty());
+    }
+
+    #[test]
+    fn fanout_terminates_groups() {
+        // conv -> conv where the intermediate also feeds a residual Add:
+        // the fan-out means the activation must leave the PIM side anyway.
+        let mut b = GraphBuilder::new("res");
+        let x = b.input(Shape::nhwc(1, 8, 8, 16));
+        let y = b.conv1x1(x, 16);
+        let z = b.conv1x1(y, 16);
+        let w = b.add(z, y);
+        let g = b.finish(w);
+        assert!(find_fusion_groups(&g).is_empty());
+    }
+
+    #[test]
+    fn groups_are_disjoint_and_maximal() {
+        // conv -> relu -> conv -> relu -> conv: one group of three heavy
+        // layers, not two overlapping pairs.
+        let mut b = GraphBuilder::new("deep");
+        let x = b.input(Shape::nhwc(1, 8, 8, 4));
+        let y = b.conv1x1(x, 8);
+        let y = b.relu(y);
+        let y = b.conv1x1(y, 8);
+        let y = b.relu(y);
+        let y = b.conv1x1(y, 4);
+        let g = b.finish(y);
+        let groups = find_fusion_groups(&g);
+        assert_eq!(groups.len(), 1, "{groups:?}");
+        assert_eq!(groups[0].heavy.len(), 3);
+        assert_eq!(groups[0].nodes.len(), 5);
+    }
+
+    #[test]
+    fn fuse_group_is_rename_only_and_preserves_numerics() {
+        let original = models::toy();
+        let mut fused = original.clone();
+        let group = find_fusion_groups(&fused).into_iter().next().unwrap();
+        fuse_group(&mut fused, &group, 0).unwrap();
+        // Placement tags landed with the right roles.
+        let roles: Vec<_> = group
+            .nodes
+            .iter()
+            .map(|&id| parse_fused(&fused.node(id).name).unwrap())
+            .collect();
+        assert_eq!(
+            roles[0],
+            (0, crate::placement::FusedNodeRole::Head, "conv_1")
+        );
+        assert_eq!(
+            roles[1],
+            (0, crate::placement::FusedNodeRole::Rider, "relu_2")
+        );
+        assert_eq!(
+            roles[2],
+            (0, crate::placement::FusedNodeRole::Tail, "conv_3")
+        );
+        for &id in &group.nodes {
+            assert_eq!(Placement::of_name(&fused.node(id).name), Placement::Pim);
+        }
+        // Rename-only: outputs are bit-identical.
+        let inputs = input_tensors(&original, 11);
+        let a = run_graph(&original, &inputs).unwrap();
+        let b = run_graph(&fused, &inputs).unwrap();
+        assert_eq!(a[0].max_abs_diff(&b[0]), 0.0);
+    }
+
+    #[test]
+    fn fuse_group_rejects_degenerate_groups() {
+        let mut g = models::toy();
+        let id = g.find_node("conv_1").unwrap();
+        let solo = FusionGroup {
+            nodes: vec![id],
+            heavy: vec![id],
+        };
+        assert!(matches!(
+            fuse_group(&mut g, &solo, 0),
+            Err(PassError::NotApplicable(_))
+        ));
+        // Double-fusing the same nodes is rejected: they are already
+        // placed.
+        let group = find_fusion_groups(&g).into_iter().next().unwrap();
+        fuse_group(&mut g, &group, 0).unwrap();
+        assert!(matches!(
+            fuse_group(&mut g, &group, 1),
+            Err(PassError::NotApplicable(_))
+        ));
+    }
+}

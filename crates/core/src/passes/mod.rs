@@ -2,10 +2,12 @@
 //! canonicalizations.
 
 pub mod cleanup;
+pub mod fusion;
 pub mod mddp;
 pub mod pipeline;
 pub mod split_util;
 
 pub use cleanup::cleanup;
+pub use fusion::{find_fusion_groups, fuse_group, is_fusion_heavy, FusionGroup};
 pub use mddp::{split_node, PassError, SplitOutcome};
 pub use pipeline::{find_chains, pipeline_chain, Chain, PatternKind};

@@ -61,7 +61,9 @@ pub struct Chain {
 }
 
 /// True for nodes that ride along inside a chain (row-local element-wise).
-fn is_chain_elementwise(op: &Op) -> bool {
+/// Shared by the pipelining pass and the fusion-group pass — the two
+/// consumers of the linear-run scanner below.
+pub(crate) fn is_chain_elementwise(op: &Op) -> bool {
     matches!(op, Op::BatchNorm)
         || matches!(
             op,
@@ -71,7 +73,7 @@ fn is_chain_elementwise(op: &Op) -> bool {
 
 /// The single consumer of `id`'s output, if it has exactly one and that
 /// consumer uses it as its only input.
-fn sole_linear_successor(graph: &Graph, id: NodeId) -> Option<NodeId> {
+pub(crate) fn sole_linear_successor(graph: &Graph, id: NodeId) -> Option<NodeId> {
     let consumers = graph.successors(id);
     if consumers.len() != 1 {
         return None;
@@ -83,52 +85,69 @@ fn sole_linear_successor(graph: &Graph, id: NodeId) -> Option<NodeId> {
     Some(next)
 }
 
-/// Walks forward from `start`, collecting the linear run of chain nodes:
-/// convs separated by element-wise nodes. Stops at the first node that is
-/// neither, has multiple consumers, or has multiple inputs.
-fn linear_run(graph: &Graph, start: NodeId, max_convs: usize) -> (Vec<NodeId>, Vec<NodeId>) {
+/// Walks forward from `start`, collecting the linear run of nodes the
+/// `is_heavy` predicate accepts, separated by element-wise riders. Stops
+/// at the first node that is neither, has multiple consumers, or has
+/// multiple inputs, and trims trailing riders so the run ends at a heavy
+/// node. Returns `(all nodes, heavy nodes)` in order.
+///
+/// This is the one chain scanner in the codebase: the pipelining pass
+/// instantiates it with "any conv" (then classifies the skeleton against
+/// the [`PatternKind`]s), the fusion pass with "PIM-eligible heavy layer".
+pub(crate) fn linear_run_by(
+    graph: &Graph,
+    start: NodeId,
+    max_heavy: usize,
+    is_heavy: impl Fn(&Graph, NodeId) -> bool,
+) -> (Vec<NodeId>, Vec<NodeId>) {
     let mut nodes = vec![start];
-    let mut convs = vec![start];
+    let mut heavy = vec![start];
     let mut cur = start;
     while let Some(next) = sole_linear_successor(graph, cur) {
-        let op = &graph.node(next).op;
-        if matches!(op, Op::Conv2d(_)) {
-            if convs.len() == max_convs {
+        if is_heavy(graph, next) {
+            if heavy.len() == max_heavy {
                 break;
             }
             nodes.push(next);
-            convs.push(next);
-        } else if is_chain_elementwise(op) {
+            heavy.push(next);
+        } else if is_chain_elementwise(&graph.node(next).op) {
             nodes.push(next);
         } else {
             break;
         }
         cur = next;
     }
-    // Trim trailing element-wise nodes after the last conv: the chain ends
-    // at a conv (epilogues stay outside the pipelined subgraph).
+    // Trim trailing element-wise nodes after the last heavy node: the run
+    // ends at a heavy node (epilogues stay outside the subgraph).
     while let Some(&last) = nodes.last() {
-        if matches!(graph.node(last).op, Op::Conv2d(_)) {
+        if is_heavy(graph, last) {
             break;
         }
         nodes.pop();
     }
-    (nodes, convs)
+    (nodes, heavy)
 }
 
 /// Finds all pipelining candidates in the graph (§4.2.2: extracted
 /// subgraph patterns of 1x1 and DW CONV layers), longest pattern first at
-/// each start node.
+/// each start node. Nodes already claimed by an earlier chain do not start
+/// a new scan: the overlapping interior chains that used to come out of
+/// re-scanning a claimed run were redundant DP options (the suffix DP can
+/// never take both), and dropping them keeps one canonical candidate per
+/// site.
 pub fn find_chains(graph: &Graph) -> Vec<Chain> {
     let mut chains = Vec::new();
     let Ok(order) = graph.topo_order() else {
         return chains;
     };
+    let mut claimed: std::collections::HashSet<NodeId> = std::collections::HashSet::new();
     for &start in &order {
-        if !matches!(graph.node(start).op, Op::Conv2d(_)) {
+        if claimed.contains(&start) || !matches!(graph.node(start).op, Op::Conv2d(_)) {
             continue;
         }
-        let (nodes, convs) = linear_run(graph, start, 3);
+        let (nodes, convs) = linear_run_by(graph, start, 3, |g, id| {
+            matches!(g.node(id).op, Op::Conv2d(_))
+        });
         let classes: Vec<LayerClass> = convs.iter().map(|&c| classify(graph, c)).collect();
         let pattern = [PatternKind::PwDwPw, PatternKind::PwDw, PatternKind::DwPw]
             .into_iter()
@@ -143,6 +162,7 @@ pub fn find_chains(graph: &Graph) -> Vec<Chain> {
                     .position(|&n| n == last_conv)
                     .expect("pattern convs come from the walked node list");
                 let nodes: Vec<NodeId> = nodes.iter().copied().take(cut + 1).collect();
+                claimed.extend(nodes.iter().copied());
                 chains.push(Chain {
                     nodes,
                     convs,

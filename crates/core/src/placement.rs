@@ -6,10 +6,86 @@
 //! with `pim::` execute on the PIM-enabled channels, everything else on the
 //! GPU.
 
+use pimflow_isa::FusedRole;
 use pimflow_json::json_unit_enum;
 
 /// Name prefix marking PIM-offloaded nodes.
 pub const PIM_PREFIX: &str = "pim::";
+
+/// Name prefix marking members of a fusion group. It nests inside
+/// [`PIM_PREFIX`], so every fused node is PIM-placed by construction; the
+/// full tag is `pim::fuse.<gid>.<role>::<base>` with role codes `h`
+/// (head), `m` (middle), `t` (tail), `r` (element-wise rider).
+pub const FUSE_PREFIX: &str = "pim::fuse.";
+
+/// Role of a node inside a fusion group, encoded in its placement tag.
+///
+/// Heavy members map onto the typed ISA's [`FusedRole`]s; riders are the
+/// element-wise nodes between them, applied near the banks during the
+/// `BANKFEED` hand-off (no program of their own).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FusedNodeRole {
+    /// First heavy member (Drain → BankFeed).
+    Head,
+    /// Interior heavy member (both crossings elided).
+    Middle,
+    /// Last heavy member (BufWrite → BankFeed).
+    Tail,
+    /// Element-wise rider between heavy members.
+    Rider,
+}
+
+impl FusedNodeRole {
+    fn code(self) -> char {
+        match self {
+            FusedNodeRole::Head => 'h',
+            FusedNodeRole::Middle => 'm',
+            FusedNodeRole::Tail => 't',
+            FusedNodeRole::Rider => 'r',
+        }
+    }
+
+    fn from_code(c: char) -> Option<Self> {
+        match c {
+            'h' => Some(FusedNodeRole::Head),
+            'm' => Some(FusedNodeRole::Middle),
+            't' => Some(FusedNodeRole::Tail),
+            'r' => Some(FusedNodeRole::Rider),
+            _ => None,
+        }
+    }
+
+    /// The typed-ISA lowering role of this tag. Riders have no program, so
+    /// they map to the identity lowering.
+    pub fn isa_role(self) -> FusedRole {
+        match self {
+            FusedNodeRole::Head => FusedRole::Head,
+            FusedNodeRole::Middle => FusedRole::Middle,
+            FusedNodeRole::Tail => FusedRole::Tail,
+            FusedNodeRole::Rider => FusedRole::Standalone,
+        }
+    }
+}
+
+/// The name tagging `base` as a member of fusion group `gid` with `role`.
+pub fn fused_tag(gid: usize, role: FusedNodeRole, base: &str) -> String {
+    format!("{FUSE_PREFIX}{gid}.{}::{base}", role.code())
+}
+
+/// Parses a fusion-group tag: `(group id, role, base name)`. Returns
+/// `None` for untagged names (including plain `pim::` placements).
+pub fn parse_fused(name: &str) -> Option<(usize, FusedNodeRole, &str)> {
+    let rest = name.strip_prefix(FUSE_PREFIX)?;
+    let (gid_str, rest) = rest.split_once('.')?;
+    let gid: usize = gid_str.parse().ok()?;
+    let (role_str, base) = rest.split_once("::")?;
+    let mut chars = role_str.chars();
+    let role = FusedNodeRole::from_code(chars.next()?)?;
+    if chars.next().is_some() {
+        return None;
+    }
+    Some((gid, role, base))
+}
 
 /// Which device a node executes on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -53,6 +129,26 @@ impl std::fmt::Display for Placement {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fused_tag_roundtrip() {
+        for (role, code) in [
+            (FusedNodeRole::Head, 'h'),
+            (FusedNodeRole::Middle, 'm'),
+            (FusedNodeRole::Tail, 't'),
+            (FusedNodeRole::Rider, 'r'),
+        ] {
+            let tag = fused_tag(3, role, "conv_7");
+            assert_eq!(tag, format!("pim::fuse.3.{code}::conv_7"));
+            assert_eq!(parse_fused(&tag), Some((3, role, "conv_7")));
+            // Fused tags nest inside the PIM prefix.
+            assert_eq!(Placement::of_name(&tag), Placement::Pim);
+        }
+        assert_eq!(parse_fused("pim::conv_7"), None);
+        assert_eq!(parse_fused("conv_7"), None);
+        assert_eq!(parse_fused("pim::fuse.x.h::conv_7"), None);
+        assert_eq!(parse_fused("pim::fuse.1.z::conv_7"), None);
+    }
 
     #[test]
     fn roundtrip() {

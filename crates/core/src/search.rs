@@ -53,11 +53,12 @@ use crate::costcache::{
 };
 use crate::engine::{ChannelMask, EngineConfig};
 use crate::error::Result;
+use crate::passes::fusion::{find_fusion_groups, FusionGroup};
 use crate::passes::pipeline::{find_chains, Chain};
 use crate::placement::Placement;
 use pimflow_gpusim::{kernel_time_with_launch_us, KernelProfile};
 use pimflow_ir::{analysis, Graph, NodeId, Op};
-use pimflow_isa::{BackendKind, CrossbarConfig};
+use pimflow_isa::{BackendKind, CrossbarConfig, FusedRole};
 use pimflow_json::{json_struct, FromJson, Json, JsonError, ToJson};
 use pimflow_pool::WorkerPool;
 use std::collections::{BTreeMap, HashMap};
@@ -77,6 +78,12 @@ pub struct SearchOptions {
     pub allow_pipeline: bool,
     /// Pipeline stage count (2 in the paper; Fig. 15 sweeps it).
     pub pipeline_stages: usize,
+    /// Whether fusion-group candidates are considered: producer→consumer
+    /// runs of PIM-eligible layers priced as one fused region whose
+    /// intermediate activations never cross the channel bus. The fused
+    /// options only extend the DP's candidate set, so a search with fusion
+    /// enabled never predicts a worse time than one without.
+    pub allow_fusion: bool,
 }
 
 impl Default for SearchOptions {
@@ -86,6 +93,7 @@ impl Default for SearchOptions {
             offload_only: false,
             allow_pipeline: true,
             pipeline_stages: 2,
+            allow_fusion: true,
         }
     }
 }
@@ -112,6 +120,16 @@ pub enum Decision {
         node_names: Vec<String>,
         /// Stage count.
         stages: usize,
+    },
+    /// Fuse the group starting here: every member runs on the PIM side and
+    /// inter-member activations stay near the banks (the producer's drain
+    /// and the consumer's input staging collapse into `BANKFEED`s).
+    Fused {
+        /// Names of the group nodes — heavy layers and the element-wise
+        /// riders between them — in order.
+        node_names: Vec<String>,
+        /// PIM hardware model the group is priced (and would execute) on.
+        backend: BackendKind,
     },
 }
 
@@ -172,6 +190,19 @@ impl ToJson for Decision {
                     ("stages", stages.to_json()),
                 ]),
             )]),
+            Decision::Fused {
+                node_names,
+                backend,
+            } => {
+                // Same backward-compatible shape as `Split`: the backend
+                // field appears only for non-Newton groups, so Newton-only
+                // plan JSON stays byte-stable against older readers.
+                let mut fields = vec![("node_names", node_names.to_json())];
+                if *backend != BackendKind::Newton {
+                    fields.push(("backend", Json::Str(backend.name().into())));
+                }
+                Json::obj(vec![("Fused", Json::obj(fields))])
+            }
         }
     }
 }
@@ -202,6 +233,21 @@ impl FromJson for Decision {
                         node_names: Vec::from_json(payload.field("node_names")?)?,
                         stages: usize::from_json(payload.field("stages")?)?,
                     }),
+                    "Fused" => {
+                        let backend = match payload.field("backend") {
+                            Ok(j) => {
+                                let name = String::from_json(j)?;
+                                BackendKind::from_name(&name).ok_or_else(|| {
+                                    JsonError::msg(format!("unknown PIM backend `{name}`"))
+                                })?
+                            }
+                            Err(_) => BackendKind::Newton,
+                        };
+                        Ok(Decision::Fused {
+                            node_names: Vec::from_json(payload.field("node_names")?)?,
+                            backend,
+                        })
+                    }
                     other => Err(JsonError::msg(format!(
                         "unknown Decision variant `{other}`"
                     ))),
@@ -254,7 +300,8 @@ impl ExecutionPlan {
             let r = match d {
                 Decision::Gpu => 100,
                 Decision::Split { gpu_percent, .. } => *gpu_percent,
-                Decision::Pipeline { .. } => continue,
+                // Pipelined chains and fused groups have no single ratio.
+                Decision::Pipeline { .. } | Decision::Fused { .. } => continue,
             };
             *counts.entry(r).or_insert(0) += 1;
             total += 1;
@@ -437,6 +484,92 @@ impl ExecutionPlan {
                     i += chain.nodes.len();
                     continue;
                 }
+                Some(Decision::Fused {
+                    node_names,
+                    backend,
+                }) => {
+                    // Fused groups are contiguous and anchored at their
+                    // first node, like chains.
+                    let members: Vec<NodeId> = order
+                        .iter()
+                        .skip(i)
+                        .take(node_names.len())
+                        .copied()
+                        .collect();
+                    let matches = members.len() == node_names.len()
+                        && members
+                            .iter()
+                            .zip(node_names)
+                            .all(|(&nid, n)| &graph.node(nid).name == n);
+                    if !matches {
+                        return Err(crate::Error::NotApplicable(format!(
+                            "plan references unknown fusion group at `{name}`"
+                        )));
+                    }
+                    let group = find_fusion_groups(graph)
+                        .into_iter()
+                        .find(|g| g.nodes == members)
+                        .ok_or_else(|| {
+                            crate::Error::NotApplicable(format!(
+                                "plan references unknown fusion group at `{name}`"
+                            ))
+                        })?;
+                    let gpu_cost: f64 = group
+                        .nodes
+                        .iter()
+                        .map(|&nid| {
+                            let f = *conv_like.get(&nid).unwrap_or(&false);
+                            solo_gpu_cost(&mut profiler, nid, f)
+                        })
+                        .sum();
+                    let fused_cost = if pim_available {
+                        // Re-price on the backend the plan chose, as with
+                        // splits: repair migrates work, it does not re-run
+                        // the backend search.
+                        profiler.fused_group_cost_pinned(&group, Some(*backend)).0
+                    } else {
+                        f64::INFINITY
+                    };
+                    if fused_cost < gpu_cost {
+                        let rider_cost: f64 = group
+                            .nodes
+                            .iter()
+                            .filter(|nid| {
+                                !(matches!(graph.node(**nid).op, Op::Conv2d(_))
+                                    && graph.is_pim_candidate(**nid))
+                            })
+                            .map(|&nid| {
+                                let f = *conv_like.get(&nid).unwrap_or(&false);
+                                solo_gpu_cost(&mut profiler, nid, f)
+                            })
+                            .sum();
+                        predicted_us += fused_cost;
+                        conv_layer_us += (fused_cost - rider_cost).max(0.0);
+                        decisions.push((
+                            name,
+                            Decision::Fused {
+                                node_names: node_names.clone(),
+                                backend: *backend,
+                            },
+                        ));
+                    } else {
+                        // Dissolve the group: every member falls back to
+                        // its GPU-resident cost.
+                        predicted_us += gpu_cost;
+                        for &nid in &group.nodes {
+                            if graph.is_pim_candidate(nid) {
+                                let f = *conv_like.get(&nid).unwrap_or(&false);
+                                let c = solo_gpu_cost(&mut profiler, nid, f);
+                                if matches!(graph.node(nid).op, Op::Conv2d(_)) {
+                                    conv_layer_us += c;
+                                }
+                                decisions.push((graph.node(nid).name.clone(), Decision::Gpu));
+                            }
+                        }
+                    }
+                    i += group.nodes.len();
+                    continue;
+                }
                 Some(Decision::Split {
                     gpu_percent,
                     backend,
@@ -557,6 +690,12 @@ impl<'g> Profiler<'g> {
     /// PIM time of `frac` of node `id`'s rows, microseconds, over the
     /// channels the mask reports available.
     fn pim_time(&mut self, id: NodeId, frac: f64) -> f64 {
+        self.pim_time_role(id, frac, FusedRole::Standalone)
+    }
+
+    /// [`Profiler::pim_time`] under a fusion-group role: the lowered
+    /// program's elided bus crossings are priced as `BANKFEED`s.
+    fn pim_time_role(&mut self, id: NodeId, frac: f64, role: FusedRole) -> f64 {
         let mut w = PimWorkload::from_node(self.graph, id);
         w.rows = ((w.rows as f64 * frac).round() as usize).max(1);
         let key = WorkloadKey {
@@ -566,6 +705,7 @@ impl<'g> Profiler<'g> {
             mask_bits: self.mask_bits,
             granularity: self.cfg.granularity,
             pim_fingerprint: self.pim_fingerprint,
+            fused: role,
         };
         self.shard.count_lookup();
         if let Some(t) = self.shard.get(&key) {
@@ -583,6 +723,11 @@ impl<'g> Profiler<'g> {
     /// the same two-tier memo as [`Profiler::pim_time`]. Only callable when
     /// the backend set carries a crossbar config.
     fn crossbar_time(&mut self, id: NodeId, frac: f64) -> f64 {
+        self.crossbar_time_role(id, frac, FusedRole::Standalone)
+    }
+
+    /// [`Profiler::crossbar_time`] under a fusion-group role.
+    fn crossbar_time_role(&mut self, id: NodeId, frac: f64, role: FusedRole) -> f64 {
         let xbar = self.xbar.expect("crossbar time without a crossbar model");
         let mut w = PimWorkload::from_node(self.graph, id);
         w.rows = ((w.rows as f64 * frac).round() as usize).max(1);
@@ -593,6 +738,7 @@ impl<'g> Profiler<'g> {
             mask_bits: self.mask_bits,
             granularity: self.cfg.granularity,
             pim_fingerprint: self.xbar_fingerprint,
+            fused: role,
         };
         self.shard.count_lookup();
         if let Some(t) = self.shard.get(&key) {
@@ -788,6 +934,69 @@ impl<'g> Profiler<'g> {
         // node that follows the chain, exactly as in the MD-DP case.
         let last_conv = *chain.nodes.last().expect("chain non-empty");
         finish[stages - 1] + self.defusion_penalty(last_conv, 1.0)
+    }
+
+    /// Sum of the fused-role PIM times of a group's heavy members on one
+    /// backend: the first member lowers as `Head` (results hand off near
+    /// the banks instead of draining), the last as `Tail` (inputs arrive
+    /// near the banks), interior members as `Middle`. Element-wise riders
+    /// between the members are applied during the hand-off and cost
+    /// nothing.
+    fn fused_chain_time(&mut self, heavy: &[NodeId], backend: BackendKind) -> f64 {
+        let last = heavy.len() - 1;
+        let mut total = 0.0f64;
+        for (k, &id) in heavy.iter().enumerate() {
+            let role = if k == 0 {
+                FusedRole::Head
+            } else if k == last {
+                FusedRole::Tail
+            } else {
+                FusedRole::Middle
+            };
+            total += match backend {
+                BackendKind::Newton => self.pim_time_role(id, 1.0, role),
+                BackendKind::Crossbar => self.crossbar_time_role(id, 1.0, role),
+            };
+        }
+        total
+    }
+
+    /// Cost of running `group` as one fused region, with the backend that
+    /// achieves it: member times under their fused roles, the tail's
+    /// result-return transfer, and the tail's epilogue de-fusion penalty
+    /// (the group's own riders are free — that is the point). When `pin`
+    /// is set the recorded backend is re-priced instead of re-searched
+    /// (the repair path).
+    fn fused_group_cost_pinned(
+        &mut self,
+        group: &FusionGroup,
+        pin: Option<BackendKind>,
+    ) -> (f64, BackendKind) {
+        let tail = *group.heavy.last().expect("fusion group has heavy members");
+        let overhead = self.transfer_out(tail, 1.0) + self.defusion_penalty(tail, 1.0);
+        let (time, backend) = match pin {
+            Some(b) => (self.fused_chain_time(&group.heavy, b), b),
+            None => match (self.newton_allowed, self.xbar.is_some()) {
+                (true, false) => (
+                    self.fused_chain_time(&group.heavy, BackendKind::Newton),
+                    BackendKind::Newton,
+                ),
+                (false, _) => (
+                    self.fused_chain_time(&group.heavy, BackendKind::Crossbar),
+                    BackendKind::Crossbar,
+                ),
+                (true, true) => {
+                    let n = self.fused_chain_time(&group.heavy, BackendKind::Newton);
+                    let x = self.fused_chain_time(&group.heavy, BackendKind::Crossbar);
+                    if x < n {
+                        (x, BackendKind::Crossbar)
+                    } else {
+                        (n, BackendKind::Newton)
+                    }
+                }
+            },
+        };
+        (time + overhead, backend)
     }
 }
 
@@ -1148,9 +1357,51 @@ fn run_search(
         chain_options.entry(start).or_default().push((chain, cost));
     }
 
-    // DP combine: lines 23-28 (suffix form over the topo order).
+    // Fusion-group candidates: runs of PIM-eligible heavy layers whose
+    // inter-layer activations can stay near the banks. Like chains, a
+    // group is usable only when its nodes are contiguous in the topo order
+    // (the DP consumes whole index ranges). One independent pricing task
+    // per group; workers snapshot the table the earlier phases filled.
+    let mut group_list: Vec<(usize, FusionGroup)> = Vec::new();
+    if opts.allow_fusion && pim_available {
+        for group in find_fusion_groups(graph) {
+            let start = index_of[&group.nodes[0]];
+            let contiguous = group
+                .nodes
+                .iter()
+                .enumerate()
+                .all(|(k, nid)| index_of[nid] == start + k);
+            if contiguous {
+                group_list.push((start, group));
+            }
+        }
+    }
+    let base = cache.snapshot();
+    let (group_costs, group_shards) = pool.map_with(
+        &group_list,
+        || Profiler::with_base(graph, cfg, base.clone()),
+        |profiler, _, (_, group)| profiler.fused_group_cost_pinned(group, None),
+    );
+    cache.merge(group_shards.into_iter().map(Profiler::into_shard));
+    let mut fused_options: HashMap<usize, Vec<(FusionGroup, f64, BackendKind)>> = HashMap::new();
+    for ((start, group), (cost, backend)) in group_list.into_iter().zip(group_costs) {
+        fused_options
+            .entry(start)
+            .or_default()
+            .push((group, cost, backend));
+    }
+
+    // DP combine: lines 23-28 (suffix form over the topo order). The
+    // candidate set at each index is single-node decisions, pipeline
+    // chains, and fused groups; disabling fusion removes options without
+    // adding any, so the fused search's minimum can never be worse.
+    #[derive(Clone, Copy)]
+    enum DpChoice {
+        Chain(usize),
+        Fused(usize),
+    }
     let mut t = vec![0.0f64; n + 1];
-    let mut choice: Vec<Option<usize>> = vec![None; n]; // chain index used at i
+    let mut choice: Vec<Option<DpChoice>> = vec![None; n];
     for i in (0..n).rev() {
         let mut best = single_cost[i] + t[i + 1];
         let mut best_choice = None;
@@ -1160,7 +1411,17 @@ fn run_search(
                 let total = cost + t[i + len];
                 if total < best {
                     best = total;
-                    best_choice = Some(k);
+                    best_choice = Some(DpChoice::Chain(k));
+                }
+            }
+        }
+        if let Some(groups) = fused_options.get(&i) {
+            for (k, (group, cost, _)) in groups.iter().enumerate() {
+                let len = group.nodes.len();
+                let total = cost + t[i + len];
+                if total < best {
+                    best = total;
+                    best_choice = Some(DpChoice::Fused(k));
                 }
             }
         }
@@ -1175,7 +1436,7 @@ fn run_search(
     while i < n {
         let id = order[i];
         let name = graph.node(id).name.clone();
-        if let Some(k) = choice[i] {
+        if let Some(DpChoice::Chain(k)) = choice[i] {
             let (chain, cost) = &chain_options[&i][k];
             // Attribute only the candidate-conv share of the chain to the
             // Fig. 9 conv metric: subtract what the chain's non-candidate
@@ -1202,6 +1463,30 @@ fn run_search(
                 },
             ));
             i += chain.nodes.len();
+        } else if let Some(DpChoice::Fused(k)) = choice[i] {
+            let (group, cost, backend) = &fused_options[&i][k];
+            let rider_cost: f64 = group
+                .nodes
+                .iter()
+                .filter(|nid| {
+                    !(matches!(graph.node(**nid).op, Op::Conv2d(_))
+                        && graph.is_pim_candidate(**nid))
+                })
+                .map(|nid| single_cost[index_of[nid]])
+                .sum();
+            conv_layer_us += (cost - rider_cost).max(0.0);
+            decisions.push((
+                name,
+                Decision::Fused {
+                    node_names: group
+                        .nodes
+                        .iter()
+                        .map(|&nid| graph.node(nid).name.clone())
+                        .collect(),
+                    backend: *backend,
+                },
+            ));
+            i += group.nodes.len();
         } else {
             if matches!(graph.node(id).op, Op::Conv2d(_)) && graph.is_pim_candidate(id) {
                 conv_layer_us += single_cost[i];
@@ -1237,6 +1522,7 @@ fn run_search(
 pub fn apply_plan(graph: &Graph, plan: &ExecutionPlan) -> Result<Graph> {
     use crate::passes::PassError;
     let mut out = graph.clone();
+    let mut fused_gid = 0usize;
     for (name, decision) in &plan.decisions {
         match decision {
             Decision::Gpu => {}
@@ -1245,6 +1531,26 @@ pub fn apply_plan(graph: &Graph, plan: &ExecutionPlan) -> Result<Graph> {
                     PassError::NotApplicable(format!("plan references unknown node `{name}`"))
                 })?;
                 crate::passes::split_node(&mut out, id, *gpu_percent)?;
+            }
+            Decision::Fused { node_names, .. } => {
+                let ids = node_names
+                    .iter()
+                    .map(|n| {
+                        out.find_node(n).ok_or_else(|| {
+                            PassError::NotApplicable(format!(
+                                "plan references unknown node `{n}` in fusion group at `{name}`"
+                            ))
+                        })
+                    })
+                    .collect::<Result<Vec<NodeId>, PassError>>()?;
+                let heavy: Vec<NodeId> = ids
+                    .iter()
+                    .copied()
+                    .filter(|&id| crate::passes::fusion::is_fusion_heavy(&out, id))
+                    .collect();
+                let group = FusionGroup { nodes: ids, heavy };
+                crate::passes::fuse_group(&mut out, &group, fused_gid)?;
+                fused_gid += 1;
             }
             Decision::Pipeline { node_names, stages } => {
                 let chain = find_chains(&out)
@@ -1320,6 +1626,9 @@ mod tests {
             match d {
                 Decision::Split { gpu_percent, .. } => assert_eq!(*gpu_percent, 0),
                 Decision::Gpu => {}
+                // A fused group is a full offload, so it is compatible
+                // with the offload-only mode space.
+                Decision::Fused { .. } => {}
                 Decision::Pipeline { .. } => panic!("pipeline disabled"),
             }
         }

@@ -17,7 +17,7 @@
 //! interpreted time.
 
 use crate::backend::{BackendKind, Interpreter};
-use crate::inst::{IsaProgram, PimInst};
+use crate::inst::{FusedRole, IsaProgram, PimInst};
 
 /// Rows batched into one `BUFWRITE`/`MACBURST`/`DRAIN` triple by
 /// [`lower_shape`]. Per-instruction costs are linear in `bytes`/`repeat`,
@@ -188,6 +188,9 @@ impl CrossbarInterpreter {
             PimInst::Drain { bytes } => {
                 c.drain_latency_ns + bytes as f64 / c.drain_bytes_per_ns.max(1e-9)
             }
+            // Near-bank hand-off: pays the move, not the per-DRAIN fixed
+            // ADC-readout latency or any bus contention.
+            PimInst::BankFeed { bytes, .. } => bytes as f64 / c.drain_bytes_per_ns.max(1e-9),
             PimInst::HostBurst { bytes } => bytes as f64 / c.drain_bytes_per_ns.max(1e-9),
             PimInst::Barrier => 0.0,
         }
@@ -229,7 +232,21 @@ impl Interpreter for CrossbarInterpreter {
 /// `channels` crossbar channels. This is the pure cost function the
 /// compiler's cost cache stores per [`BackendKind::Crossbar`] key.
 pub fn estimate_shape_us(shape: &MatmulShape, channels: usize, cfg: &CrossbarConfig) -> f64 {
-    CrossbarInterpreter::new(*cfg).interpret_us(&lower_shape(shape, channels, cfg))
+    estimate_shape_us_fused(shape, channels, cfg, FusedRole::Standalone)
+}
+
+/// Role-aware variant of [`estimate_shape_us`]: the bus crossings a fused
+/// placement elides are rewritten to [`PimInst::BankFeed`]s before
+/// interpreting, so a fusion-group member's cost reflects activations
+/// staying near the banks. `Standalone` is exactly [`estimate_shape_us`].
+pub fn estimate_shape_us_fused(
+    shape: &MatmulShape,
+    channels: usize,
+    cfg: &CrossbarConfig,
+    role: FusedRole,
+) -> f64 {
+    let program = role.rewrite_program(&lower_shape(shape, channels, cfg));
+    CrossbarInterpreter::new(*cfg).interpret_us(&program)
 }
 
 #[cfg(test)]

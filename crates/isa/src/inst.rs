@@ -41,6 +41,20 @@ pub enum PimInst {
         /// Result payload size in bytes.
         bytes: u32,
     },
+    /// Move `bytes` of results into near-bank buffer `buffer` without
+    /// crossing the channel bus — the fused-dataflow hand-off between a
+    /// producer layer and its consumer on the same channels. Replaces a
+    /// producer's `Drain`/consumer's `BufWrite` pair when the
+    /// intermediate activation stays resident near the banks. The
+    /// producer's side carries the payload; the consumer's side is a
+    /// zero-byte staging marker (the move already happened), so the
+    /// hand-off is priced and counted exactly once.
+    BankFeed {
+        /// Destination buffer index of the consumer's staged inputs.
+        buffer: u8,
+        /// Payload size in bytes.
+        bytes: u32,
+    },
     /// Ordinary host (GPU) memory traffic occupying the channel bus — the
     /// contention term, not a PIM operation.
     HostBurst {
@@ -50,6 +64,81 @@ pub enum PimInst {
     /// Inter-op barrier: instructions after it start only once every
     /// channel has finished the instructions before it.
     Barrier,
+}
+
+/// Where a layer sits inside a fusion group — the discriminant that
+/// selects which bus crossings of its program a fused lowering elides.
+///
+/// A fusion group keeps inter-layer activations near the banks: the
+/// producer's result [`PimInst::Drain`] and the consumer's input
+/// [`PimInst::BufWrite`] both become [`PimInst::BankFeed`]s, so neither
+/// payload occupies the channel bus. The hand-off is one physical move,
+/// and the producer's side pays for it: its `BankFeed` carries the
+/// payload bytes, while the consumer's staging rewrites to a zero-byte
+/// `BankFeed` — the data is already resident near the banks, so the
+/// instruction only marks the buffer staged (and its bytes are not
+/// counted again by the timing, traffic, or energy models). `Standalone`
+/// is the identity — the unfused lowering every existing path uses, bit
+/// for bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum FusedRole {
+    /// Not part of any fusion group (the unfused lowering, unchanged).
+    #[default]
+    Standalone,
+    /// First layer of a group: inputs arrive from the host, outputs feed
+    /// the next member near the banks (Drain → BankFeed).
+    Head,
+    /// Interior layer: both input staging and result drain stay near the
+    /// banks (BufWrite → BankFeed and Drain → BankFeed).
+    Middle,
+    /// Last layer of a group: inputs arrive near the banks
+    /// (BufWrite → BankFeed), results drain to the host as usual.
+    Tail,
+}
+
+impl FusedRole {
+    /// Whether this role receives its inputs from the previous group
+    /// member near the banks (consumer side of a fused edge).
+    pub fn feeds_in(self) -> bool {
+        matches!(self, FusedRole::Middle | FusedRole::Tail)
+    }
+
+    /// Whether this role hands its outputs to the next group member near
+    /// the banks (producer side of a fused edge).
+    pub fn feeds_out(self) -> bool {
+        matches!(self, FusedRole::Head | FusedRole::Middle)
+    }
+
+    /// Rewrites one instruction for this role: the bus crossings a fused
+    /// placement elides become [`PimInst::BankFeed`]s. The producer side
+    /// keeps the payload bytes (it pays the one near-bank move); the
+    /// consumer side stages for free — its inputs were delivered by the
+    /// upstream member's `BankFeed`, so a second priced move would double
+    /// count the hand-off. `Standalone` is the identity.
+    pub fn rewrite(self, inst: PimInst) -> PimInst {
+        match inst {
+            PimInst::BufWrite { buffer, .. } if self.feeds_in() => {
+                PimInst::BankFeed { buffer, bytes: 0 }
+            }
+            PimInst::Drain { bytes } if self.feeds_out() => PimInst::BankFeed { buffer: 0, bytes },
+            other => other,
+        }
+    }
+
+    /// Rewrites every instruction of `program` for this role (see
+    /// [`FusedRole::rewrite`]).
+    pub fn rewrite_program(self, program: &IsaProgram) -> IsaProgram {
+        if self == FusedRole::Standalone {
+            return program.clone();
+        }
+        IsaProgram::from_channels(
+            program
+                .channels()
+                .iter()
+                .map(|ch| ch.iter().map(|&i| self.rewrite(i)).collect())
+                .collect(),
+        )
+    }
 }
 
 /// Structural errors of a program as a whole (single instructions are

@@ -30,6 +30,6 @@ pub mod validate;
 
 pub use backend::{BackendKind, Interpreter};
 pub use crossbar::{CrossbarConfig, CrossbarInterpreter, MatmulShape};
-pub use inst::{IsaProgram, PimInst, ProgramError};
+pub use inst::{FusedRole, IsaProgram, PimInst, ProgramError};
 pub use text::{inst_to_line, parse_program, program_to_text, ParseProgramError, PROGRAM_HEADER};
 pub use validate::{validate_program, IsaViolation, MachineSpec};

@@ -50,6 +50,7 @@ pub fn inst_to_line(inst: &PimInst) -> String {
         PimInst::RowActivate { row } => format!("ROWACT row={row}"),
         PimInst::MacBurst { buffer, repeat } => format!("MACBURST buf={buffer} repeat={repeat}"),
         PimInst::Drain { bytes } => format!("DRAIN bytes={bytes}"),
+        PimInst::BankFeed { buffer, bytes } => format!("BANKFEED buf={buffer} bytes={bytes}"),
         PimInst::HostBurst { bytes } => format!("HOSTBURST bytes={bytes}"),
         PimInst::Barrier => "BARRIER".into(),
     }
@@ -133,6 +134,14 @@ pub fn parse_program(text: &str) -> Result<IsaProgram, ParseProgramError> {
             "DRAIN" => {
                 let bytes = parse_field(parts.next().unwrap_or(""), "bytes", line_no)?;
                 PimInst::Drain {
+                    bytes: bytes as u32,
+                }
+            }
+            "BANKFEED" => {
+                let buf = parse_field(parts.next().unwrap_or(""), "buf", line_no)?;
+                let bytes = parse_field(parts.next().unwrap_or(""), "bytes", line_no)?;
+                PimInst::BankFeed {
+                    buffer: buf as u8,
                     bytes: bytes as u32,
                 }
             }

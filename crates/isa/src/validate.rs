@@ -189,6 +189,20 @@ pub fn validate_program(program: &IsaProgram, spec: &MachineSpec) -> Result<(), 
                     }
                     staged[buffer as usize] = true;
                 }
+                PimInst::BankFeed { buffer, .. } => {
+                    // Fused hand-off: stages the destination buffer like a
+                    // BUFWRITE, but a producer-side feed may batch more
+                    // bytes than one buffer holds (it never crosses the
+                    // bus), so capacity is not checked.
+                    if buffer as usize >= buffers {
+                        return Err(IsaViolation::BufferOutOfRange {
+                            channel,
+                            index,
+                            buffer,
+                        });
+                    }
+                    staged[buffer as usize] = true;
+                }
                 PimInst::RowActivate { .. } => row_open = true,
                 PimInst::MacBurst { buffer, .. } => {
                     if buffer as usize >= buffers {

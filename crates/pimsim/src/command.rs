@@ -44,6 +44,16 @@ pub enum PimCommand {
         /// Result payload in bytes.
         bytes: u32,
     },
+    /// Move `bytes` of accumulated results into global buffer `buffer`
+    /// without crossing the channel bus — the fused-layer hand-off that
+    /// keeps an intermediate activation resident near the banks (ISA
+    /// `BANKFEED`).
+    BankFeed {
+        /// Destination global buffer index.
+        buffer: u8,
+        /// Payload size in bytes.
+        bytes: u32,
+    },
     /// A burst of ordinary GPU memory traffic interleaved at the shared
     /// memory controller (used by the §7 contention experiment).
     GpuBurst {

@@ -69,7 +69,8 @@ pub fn pim_energy_breakdown(
     PimEnergyBreakdown {
         activation_nj: stats.gacts as f64 * params.gact_nj,
         compute_nj: stats.comps as f64 * params.comp_nj,
-        io_nj: (stats.gwrite_bytes + stats.readres_bytes) as f64 * params.io_nj_per_byte,
+        io_nj: (stats.gwrite_bytes + stats.readres_bytes + stats.bankfeed_bytes) as f64
+            * params.io_nj_per_byte,
         static_nj: params.static_w_per_channel * active_channels as f64 * seconds * 1e9,
     }
 }

@@ -37,6 +37,9 @@ pub fn lift_traces(traces: &[Vec<PimCommand>]) -> IsaProgram {
                         PimCommand::GAct { row } => PimInst::RowActivate { row },
                         PimCommand::Comp { buffer, repeat } => PimInst::MacBurst { buffer, repeat },
                         PimCommand::ReadRes { bytes } => PimInst::Drain { bytes },
+                        PimCommand::BankFeed { buffer, bytes } => {
+                            PimInst::BankFeed { buffer, bytes }
+                        }
                         PimCommand::GpuBurst { bytes } => PimInst::HostBurst { bytes },
                     })
                     .collect()
@@ -74,6 +77,7 @@ impl<'a> NewtonInterpreter<'a> {
             PimInst::RowActivate { row } => Some(PimCommand::GAct { row }),
             PimInst::MacBurst { buffer, repeat } => Some(PimCommand::Comp { buffer, repeat }),
             PimInst::Drain { bytes } => Some(PimCommand::ReadRes { bytes }),
+            PimInst::BankFeed { buffer, bytes } => Some(PimCommand::BankFeed { buffer, bytes }),
             PimInst::HostBurst { bytes } => Some(PimCommand::GpuBurst { bytes }),
             PimInst::Barrier => None,
         }

@@ -96,6 +96,10 @@ pub struct ChannelStats {
     pub readres_bytes: u64,
     /// Bytes of interleaved GPU traffic serviced.
     pub gpu_burst_bytes: u64,
+    /// BANKFEED commands issued (fused-layer near-bank hand-offs).
+    pub bankfeeds: u64,
+    /// Bytes moved near the banks by BANKFEEDs (never crossed the bus).
+    pub bankfeed_bytes: u64,
     /// Cycles during which the MAC pipeline was busy (COMP bursts).
     pub comp_busy_cycles: u64,
     /// All-bank refreshes serviced.
@@ -130,6 +134,8 @@ impl ChannelStats {
             gwrite_bytes: self.gwrite_bytes + other.gwrite_bytes,
             readres_bytes: self.readres_bytes + other.readres_bytes,
             gpu_burst_bytes: self.gpu_burst_bytes + other.gpu_burst_bytes,
+            bankfeeds: self.bankfeeds + other.bankfeeds,
+            bankfeed_bytes: self.bankfeed_bytes + other.bankfeed_bytes,
             comp_busy_cycles: self.comp_busy_cycles + other.comp_busy_cycles,
             refreshes: self.refreshes + other.refreshes,
             stall_cycles: self.stall_cycles + other.stall_cycles,
@@ -149,6 +155,8 @@ impl ChannelStats {
             gwrite_bytes: self.gwrite_bytes + other.gwrite_bytes,
             readres_bytes: self.readres_bytes + other.readres_bytes,
             gpu_burst_bytes: self.gpu_burst_bytes + other.gpu_burst_bytes,
+            bankfeeds: self.bankfeeds + other.bankfeeds,
+            bankfeed_bytes: self.bankfeed_bytes + other.bankfeed_bytes,
             comp_busy_cycles: self.comp_busy_cycles + other.comp_busy_cycles,
             refreshes: self.refreshes + other.refreshes,
             stall_cycles: self.stall_cycles + other.stall_cycles,
@@ -356,6 +364,25 @@ impl ChannelEngine {
                 self.clock = end;
                 self.stats.readres += 1;
                 self.stats.readres_bytes += bytes as u64;
+            }
+            PimCommand::BankFeed { buffer, bytes } => {
+                let buffer = buffer as usize;
+                assert!(
+                    buffer < self.buffer_ready.len(),
+                    "BANKFEED to buffer {buffer} but only {} configured",
+                    self.buffer_ready.len()
+                );
+                // Near-bank result hand-off: waits for the producing COMP
+                // stream like a READRES, but moves the payload bank-side —
+                // no bus occupancy and no CAS latency, just the internal
+                // move at I/O width. The destination buffer becomes
+                // readable when the move completes.
+                let start = self.clock.max(self.last_comp_end);
+                let end = start + self.io_cycles(bytes);
+                self.buffer_ready[buffer] = end;
+                self.clock = end;
+                self.stats.bankfeeds += 1;
+                self.stats.bankfeed_bytes += bytes as u64;
             }
             PimCommand::GpuBurst { bytes } => {
                 // Ordinary GPU traffic at the shared controller: occupies

@@ -52,6 +52,7 @@ pub fn command_to_line(cmd: &PimCommand) -> String {
         PimCommand::GAct { row } => format!("GACT row={row}"),
         PimCommand::Comp { buffer, repeat } => format!("COMP buf={buffer} repeat={repeat}"),
         PimCommand::ReadRes { bytes } => format!("READRES bytes={bytes}"),
+        PimCommand::BankFeed { buffer, bytes } => format!("BANKFEED buf={buffer} bytes={bytes}"),
         PimCommand::GpuBurst { bytes } => format!("GPUBURST bytes={bytes}"),
     }
 }
@@ -135,6 +136,14 @@ pub fn parse_traces(text: &str) -> Result<Vec<Vec<PimCommand>>, ParseTraceError>
             "READRES" => {
                 let bytes = parse_field(parts.next().unwrap_or(""), "bytes", line_no)?;
                 PimCommand::ReadRes {
+                    bytes: bytes as u32,
+                }
+            }
+            "BANKFEED" => {
+                let buf = parse_field(parts.next().unwrap_or(""), "buf", line_no)?;
+                let bytes = parse_field(parts.next().unwrap_or(""), "bytes", line_no)?;
+                PimCommand::BankFeed {
+                    buffer: buf as u8,
                     bytes: bytes as u32,
                 }
             }
@@ -273,6 +282,16 @@ pub fn validate_trace(
                     return Err(TraceViolation::ReadResBeforeComp { index });
                 }
                 results_pending = false;
+            }
+            PimCommand::BankFeed { buffer, .. } => {
+                // Fused hand-off: fills the destination buffer like a
+                // GWRITE, but the payload never crosses the bus and a
+                // producer-side feed may batch more bytes than one buffer
+                // holds, so capacity is not checked.
+                if buffer as usize >= buffers {
+                    return Err(TraceViolation::BufferOutOfRange { index, buffer });
+                }
+                written[buffer as usize] = true;
             }
             PimCommand::GpuBurst { .. } => {}
         }

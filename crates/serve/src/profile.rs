@@ -28,6 +28,12 @@ pub struct BatchProfile {
     pub energy_uj: f64,
     /// Per-PIM-channel MAC-pipeline busy time, microseconds.
     pub pim_channel_busy_us: Vec<f64>,
+    /// Host↔PIM traffic of one batch execution, bytes: PIM→host drains
+    /// (`transfer_bytes`) plus host→PIM GWRITE payload fetches
+    /// (`host_to_pim_bytes`). Fusion keeps inter-layer activations near
+    /// the banks, so fused plans shrink this without touching latency
+    /// accounting elsewhere.
+    pub host_pim_traffic_bytes: u64,
     /// The searched execution plan (`None` for policies without a search),
     /// kept so faults can repair it instead of re-searching.
     pub plan: Option<ExecutionPlan>,
@@ -41,6 +47,7 @@ impl BatchProfile {
             latency_us: report.total_us,
             energy_uj: report.energy_uj,
             pim_channel_busy_us: report.pim_channel_busy_us,
+            host_pim_traffic_bytes: report.transfer_bytes + report.host_to_pim_bytes,
             plan,
         }
     }
@@ -52,6 +59,7 @@ impl BatchProfile {
             latency_us: 0.0,
             energy_uj: 0.0,
             pim_channel_busy_us: Vec::new(),
+            host_pim_traffic_bytes: 0,
             plan: None,
         }
     }

@@ -203,6 +203,12 @@ pub struct ServeReport {
     pub pim_channel_utilization: Vec<f64>,
     /// Total simulated energy, microjoules.
     pub energy_uj: f64,
+    /// Total host↔PIM traffic over every flown batch (including aborted
+    /// attempts), bytes: PIM→host drains plus host→PIM GWRITE payload
+    /// fetches. Fusion-enabled plans keep inter-layer activations near the
+    /// banks, so this is the serving-level view of the traffic the fused
+    /// search removes.
+    pub host_pim_traffic_bytes: u64,
     /// Median latency of requests completing before the first failure
     /// (equals `p50_us` when the run has no faults).
     pub p50_before_us: f64,
@@ -247,6 +253,7 @@ json_struct!(ServeReport {
     batch_sizes,
     pim_channel_utilization,
     energy_uj,
+    host_pim_traffic_bytes,
     p50_before_us,
     p99_before_us,
     p50_during_us,
@@ -379,6 +386,7 @@ pub fn run(cfg: &ServeConfig) -> Result<ServeRun, ServeError> {
     let mut batch_size_counts: Vec<(usize, u64)> = Vec::new();
     let mut pim_busy_us = vec![0.0f64; engine_cfg.pim_channels];
     let mut energy_uj = 0.0f64;
+    let mut host_pim_traffic_bytes = 0u64;
     let mut completed_gpu_only = 0u64;
     // One cost cache for the whole run: precompile, lazy compiles, retry
     // compiles, repairs, and replan measurements all share PIM timings.
@@ -522,6 +530,7 @@ pub fn run(cfg: &ServeConfig) -> Result<ServeRun, ServeError> {
         let mut exec_us = profile.latency_us;
         let mut finish_us = start_us + exec_us;
         energy_uj += profile.energy_uj;
+        host_pim_traffic_bytes += profile.host_pim_traffic_bytes;
         while let Some(e) = cfg.faults.events.get(fault_idx) {
             if e.at_us >= finish_us {
                 break;
@@ -572,6 +581,7 @@ pub fn run(cfg: &ServeConfig) -> Result<ServeRun, ServeError> {
             exec_us = profile.latency_us;
             finish_us = start_us + exec_us;
             energy_uj += profile.energy_uj;
+            host_pim_traffic_bytes += profile.host_pim_traffic_bytes;
         }
 
         for (acc, b) in pim_busy_us.iter_mut().zip(&profile.pim_channel_busy_us) {
@@ -629,6 +639,7 @@ pub fn run(cfg: &ServeConfig) -> Result<ServeRun, ServeError> {
         batch_sizes: batch_size_counts,
         pim_channel_utilization,
         energy_uj,
+        host_pim_traffic_bytes,
         p50_before_us: phase_hists[0].quantile(0.50),
         p99_before_us: phase_hists[0].quantile(0.99),
         p50_during_us: phase_hists[1].quantile(0.50),
