@@ -87,22 +87,34 @@ grep -q '"tolerance_check_passed": true' "$tmpdir/BENCH_kernels.json"
 rm -rf "$tmpdir"
 
 # The fusion smoke sweep searches with fusion off and on: the fused
-# space is a strict superset (predicted time never worse, no epsilon)
-# and the fused plan must strictly cut host<->PIM traffic on at least
-# one smoke model (toy's conv chain).
+# space is a strict superset (predicted time never worse, no epsilon),
+# overlap-linked epoch pricing never loses to back-to-back (min
+# composition), the fused plan must strictly cut host<->PIM traffic on
+# at least one smoke model (toy's conv chain), and the residual-aware
+# walker must keep flipping resnet-50 towers.
 echo "==> figures fusion --smoke"
 tmpdir="$(mktemp -d)"
 cargo run -q --offline -p pimflow-bench --bin figures -- fusion "$tmpdir" --smoke
 grep -q '"fused_never_worse": true' "$tmpdir/BENCH_fusion.json"
+grep -q '"overlap_never_worse": true' "$tmpdir/BENCH_fusion.json"
+! grep -q '"resnet_groups_fused": 0,' "$tmpdir/BENCH_fusion.json"
 ! grep -q '"models_with_traffic_reduction": 0,' "$tmpdir/BENCH_fusion.json"
 ! grep -q '"total_traffic_reduction_bytes": 0,' "$tmpdir/BENCH_fusion.json"
 rm -rf "$tmpdir"
 
-# The fusion contracts (numerical equivalence, width-invariant plans,
-# superset invariant, legacy plan JSON) re-run at a 2-wide pool to
+# The fusion contracts (numerical equivalence on residual fan-out/rejoin
+# graphs, width-invariant plans, the superset invariant with overlap and
+# interior ratios live, legacy plan JSON) re-run at a 2-wide pool to
 # exercise the fusion-role-tagged cost cache under sharded profiling.
 echo "==> cargo test --test fusion (PIMFLOW_JOBS=2)"
 PIMFLOW_JOBS=2 cargo test -q --offline --test fusion
+
+# The overlap/interior/residual unit contracts (halo-exact interior
+# splits, overlap-aware epoch timing, near-bank re-addressing, fused
+# group stats) re-run at a 2-wide pool from the core crate's own tests.
+echo "==> cargo test -p pimflow fusion (PIMFLOW_JOBS=2)"
+PIMFLOW_JOBS=2 cargo test -q --offline -p pimflow fusion
+PIMFLOW_JOBS=2 cargo test -q --offline -p pimflow overlap
 
 # Re-run the kernel suite with the scalar oracle forced on: the exact
 # path must stay byte-identical at any worker-pool width.

@@ -37,10 +37,25 @@ pub struct ModelFusionRow {
     pub fused_groups: usize,
     /// Graph nodes covered by those groups (heavy layers and riders).
     pub fused_layers: usize,
+    /// Committed groups carrying an interior GPU/PIM ratio
+    /// (`gpu_percent > 0`): the GPU runs its row slice while the fused
+    /// PIM region streams the rest.
+    pub interior_ratio_groups: usize,
     /// Predicted end-to-end time of the fusion-disabled search, µs.
     pub unfused_predicted_us: f64,
     /// Predicted end-to-end time of the joint search, µs.
     pub fused_predicted_us: f64,
+    /// Predicted end-to-end time of the joint search with overlap-linked
+    /// epoch pricing disabled ([`SearchOptions::overlap_epochs`] off):
+    /// fused chains priced back-to-back only, µs.
+    pub no_overlap_predicted_us: f64,
+    /// PIM-pipeline time hidden by overlapped fusion epochs in the
+    /// executed fused plan, µs (sum over its groups).
+    pub overlap_hidden_us: f64,
+    /// `fused_predicted_us <= no_overlap_predicted_us`, exactly — the
+    /// overlapped chain time is `min(back_to_back, overlapped)`, so
+    /// enabling overlap can only widen the candidate space.
+    pub overlap_never_worse: bool,
     /// `unfused - fused` predicted time, µs (≥ 0 when the superset
     /// invariant holds).
     pub predicted_delta_us: f64,
@@ -67,8 +82,12 @@ json_struct!(ModelFusionRow {
     nodes,
     fused_groups,
     fused_layers,
+    interior_ratio_groups,
     unfused_predicted_us,
     fused_predicted_us,
+    no_overlap_predicted_us,
+    overlap_hidden_us,
+    overlap_never_worse,
     predicted_delta_us,
     unfused_traffic_bytes,
     fused_traffic_bytes,
@@ -92,6 +111,14 @@ pub struct FusionReport {
     /// The superset invariant held on every model — the property CI
     /// asserts.
     pub fused_never_worse: bool,
+    /// On every model, the overlap-enabled search predicted no worse than
+    /// the same joint search with overlap pricing disabled — the second
+    /// property CI asserts (exact, no epsilon).
+    pub overlap_never_worse: bool,
+    /// Fused groups committed on the resnet-family models: the residual
+    /// towers the skip-aware walker unlocked (0 before residual-aware
+    /// groups existed).
+    pub resnet_groups_fused: usize,
     /// Models where the fused plan moved strictly fewer bytes across the
     /// channel bus than the unfused plan.
     pub models_with_traffic_reduction: usize,
@@ -117,6 +144,8 @@ json_struct!(FusionReport {
     probed_widths,
     models,
     fused_never_worse,
+    overlap_never_worse,
+    resnet_groups_fused,
     models_with_traffic_reduction,
     total_traffic_reduction_bytes,
     wall_clock_model,
@@ -124,12 +153,21 @@ json_struct!(FusionReport {
     search_overhead_significant,
 });
 
-/// Host↔PIM traffic of one plan: apply it and execute the transformed
-/// graph, then count both crossing directions.
-fn executed_traffic(g: &pimflow_ir::Graph, plan: &ExecutionPlan, cfg: &EngineConfig) -> u64 {
+/// Executed stats of one plan: apply it, execute the transformed graph,
+/// and return the host↔PIM traffic (both crossing directions) plus the
+/// PIM time its fused groups hid by overlapping.
+fn executed_stats(g: &pimflow_ir::Graph, plan: &ExecutionPlan, cfg: &EngineConfig) -> (u64, f64) {
     let transformed = apply_plan(g, plan).expect("searched plan applies");
     let report = execute(&transformed, cfg).expect("transformed graph executes");
-    report.transfer_bytes + report.host_to_pim_bytes
+    (
+        report.transfer_bytes + report.host_to_pim_bytes,
+        report
+            .fused_groups
+            .iter()
+            .map(|s| s.overlap_hidden_us)
+            .sum::<f64>()
+            .max(0.0),
+    )
 }
 
 /// Times `Search::run` wall-clock on `g` under `opts`, one fresh cache
@@ -178,6 +216,10 @@ pub fn sweep(
         allow_fusion: false,
         ..Default::default()
     };
+    let no_overlap_opts = SearchOptions {
+        overlap_epochs: false,
+        ..Default::default()
+    };
     let rows: Vec<ModelFusionRow> = model_names
         .iter()
         .map(|name| {
@@ -202,23 +244,36 @@ pub fn sweep(
             let width_identical = fused_plans.windows(2).all(|p| p[0] == p[1]);
             let unfused_plan = search(unfused_opts, jobs);
             let fused_plan = search(fused_opts, jobs);
-            let (mut groups, mut layers) = (0, 0);
+            // Back-to-back-only pricing shares the same cache safely: its
+            // fused chain entries key under a salted group fingerprint.
+            let no_overlap_plan = search(no_overlap_opts, jobs);
+            let (mut groups, mut layers, mut interior) = (0, 0, 0);
             for (_, d) in &fused_plan.decisions {
-                if let Decision::Fused { node_names, .. } = d {
+                if let Decision::Fused {
+                    node_names,
+                    gpu_percent,
+                    ..
+                } = d
+                {
                     groups += 1;
                     layers += node_names.len();
+                    interior += (*gpu_percent > 0) as usize;
                 }
             }
-            let unfused_traffic = executed_traffic(&g, &unfused_plan, &cfg);
-            let fused_traffic = executed_traffic(&g, &fused_plan, &cfg);
+            let (unfused_traffic, _) = executed_stats(&g, &unfused_plan, &cfg);
+            let (fused_traffic, overlap_hidden_us) = executed_stats(&g, &fused_plan, &cfg);
             let reduction = unfused_traffic.saturating_sub(fused_traffic);
             ModelFusionRow {
                 model: g.name.clone(),
                 nodes: g.node_ids().count(),
                 fused_groups: groups,
                 fused_layers: layers,
+                interior_ratio_groups: interior,
                 unfused_predicted_us: unfused_plan.predicted_us,
                 fused_predicted_us: fused_plan.predicted_us,
+                no_overlap_predicted_us: no_overlap_plan.predicted_us,
+                overlap_hidden_us,
+                overlap_never_worse: fused_plan.predicted_us <= no_overlap_plan.predicted_us,
                 predicted_delta_us: unfused_plan.predicted_us - fused_plan.predicted_us,
                 unfused_traffic_bytes: unfused_traffic,
                 fused_traffic_bytes: fused_traffic,
@@ -245,6 +300,12 @@ pub fn sweep(
         host_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
         probed_widths: widths.to_vec(),
         fused_never_worse: rows.iter().all(|r| r.fused_never_worse),
+        overlap_never_worse: rows.iter().all(|r| r.overlap_never_worse),
+        resnet_groups_fused: rows
+            .iter()
+            .filter(|r| r.model.starts_with("resnet"))
+            .map(|r| r.fused_groups)
+            .sum(),
         models_with_traffic_reduction: rows
             .iter()
             .filter(|r| r.traffic_reduction_bytes > 0)
@@ -289,7 +350,15 @@ pub fn write_bench_artifact(
 ) -> Result<(FusionReport, std::path::PathBuf), String> {
     let jobs = WorkerPool::from_env().jobs();
     let report = if smoke {
-        sweep(&["toy", "mobilenet-v2"], &[1, 2], jobs, "toy", 5)
+        // resnet-50 rides along in smoke so CI pins the residual-tower
+        // flip (resnet_groups_fused > 0), not just the linear chains.
+        sweep(
+            &["toy", "mobilenet-v2", "resnet-50"],
+            &[1, 2],
+            jobs,
+            "toy",
+            5,
+        )
     } else {
         sweep(&DEFAULT_MODELS, &[1, 2, 8], jobs, "mobilenet-v2", 10)
     };
@@ -297,6 +366,12 @@ pub fn write_bench_artifact(
         return Err(format!(
             "fused search predicted worse than unfused on {} ({} vs {} µs)",
             bad.model, bad.fused_predicted_us, bad.unfused_predicted_us
+        ));
+    }
+    if let Some(bad) = report.models.iter().find(|m| !m.overlap_never_worse) {
+        return Err(format!(
+            "overlap-enabled search predicted worse than back-to-back on {} ({} vs {} µs)",
+            bad.model, bad.fused_predicted_us, bad.no_overlap_predicted_us
         ));
     }
     if let Some(bad) = report.models.iter().find(|m| !m.plans_bit_identical) {
@@ -307,6 +382,10 @@ pub fn write_bench_artifact(
     }
     if report.models_with_traffic_reduction == 0 {
         return Err("no model reduced host↔PIM traffic under the fused search".into());
+    }
+    let has_resnet = report.models.iter().any(|m| m.model.starts_with("resnet"));
+    if has_resnet && report.resnet_groups_fused == 0 {
+        return Err("no resnet tower fused — the residual-aware walker regressed".into());
     }
     std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
     let path = dir.join("BENCH_fusion.json");
@@ -325,6 +404,11 @@ mod tests {
         assert_eq!(report.models.len(), 1);
         let m = &report.models[0];
         assert!(m.fused_never_worse, "superset invariant broke on toy");
+        assert!(
+            m.overlap_never_worse,
+            "overlap pricing must stay min-composed: {} vs {} µs back-to-back",
+            m.fused_predicted_us, m.no_overlap_predicted_us
+        );
         assert!(m.plans_bit_identical, "fused plan diverged across widths");
         assert!(m.unfused_predicted_us > 0.0 && m.fused_predicted_us > 0.0);
         // The toy model's leading conv→relu→conv run fuses, keeping the

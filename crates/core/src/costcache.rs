@@ -87,6 +87,18 @@ pub struct WorkloadKey {
     /// shape prices differently per role — the discriminant keeps the four
     /// pure functions structurally apart in one shared table.
     pub fused: FusedRole,
+    /// Interior MD-DP GPU ratio of a fused-group query, in percent (0 for
+    /// every per-member and unfused query). Group-level entries priced at
+    /// different interior splits are different pure functions of the same
+    /// head shape, so the ratio is part of the identity — the same
+    /// conservative-discriminant rationale as `mask_bits`.
+    pub interior: u32,
+    /// FNV-1a fingerprint over a fused group's full member list (workload
+    /// bits and roles), 0 for per-member queries. Group-level chain costs
+    /// depend on every member, not just the head the key's `workload`
+    /// names; the fingerprint keeps two groups sharing a head structurally
+    /// apart (mirrors [`PimConfig::fingerprint`]'s hashing discipline).
+    pub group_fp: u64,
 }
 
 impl WorkloadKey {
@@ -100,6 +112,8 @@ impl WorkloadKey {
             granularity: cfg.granularity,
             pim_fingerprint: cfg.pim.fingerprint(),
             fused: FusedRole::Standalone,
+            interior: 0,
+            group_fp: 0,
         }
     }
 
@@ -117,6 +131,8 @@ impl WorkloadKey {
             granularity: cfg.granularity,
             pim_fingerprint: xbar.fingerprint(),
             fused: FusedRole::Standalone,
+            interior: 0,
+            group_fp: 0,
         }
     }
 
@@ -124,6 +140,17 @@ impl WorkloadKey {
     pub fn with_role(self, role: FusedRole) -> Self {
         WorkloadKey {
             fused: role,
+            ..self
+        }
+    }
+
+    /// The same key re-rolled as a group-level entry: the head's shape
+    /// plus the group fingerprint and interior split that complete the
+    /// chain cost's identity.
+    pub fn with_group(self, interior: u32, group_fp: u64) -> Self {
+        WorkloadKey {
+            interior,
+            group_fp,
             ..self
         }
     }
@@ -144,6 +171,7 @@ pub fn pim_cost_us(key: &WorkloadKey, pim: &PimConfig) -> f64 {
         pim.fingerprint(),
         "workload key priced under a different PimConfig"
     );
+    debug_assert_eq!(key.group_fp, 0, "per-member pricer fed a group-level key");
     execute_workload_fused(
         &key.workload,
         pim,
@@ -173,6 +201,7 @@ pub fn crossbar_cost_us(key: &WorkloadKey, xbar: &CrossbarConfig) -> f64 {
         xbar.fingerprint(),
         "workload key priced under a different CrossbarConfig"
     );
+    debug_assert_eq!(key.group_fp, 0, "per-member pricer fed a group-level key");
     let shape = crossbar::MatmulShape {
         rows: key.workload.rows,
         k_elems: key.workload.k_elems,
@@ -421,6 +450,16 @@ mod tests {
         let xk = WorkloadKey::crossbar(workload(100), &cfg, &xbar);
         assert_eq!(xk.backend, BackendKind::Crossbar);
         assert_ne!(a, xk);
+        // Group-level entries (chain cost keyed on the head, fingerprinted
+        // over the members, at an interior ratio) never collide with the
+        // head's own per-member entry, nor across groups or ratios.
+        let g1 = a.with_group(0, 0xdead_beef);
+        let g2 = a.with_group(0, 0xfeed_face);
+        let g1r = a.with_group(25, 0xdead_beef);
+        assert_ne!(a, g1);
+        assert_ne!(g1, g2);
+        assert_ne!(g1, g1r);
+        assert_eq!(a.with_group(0, 0), a);
     }
 
     #[test]

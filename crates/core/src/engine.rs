@@ -11,7 +11,9 @@
 //! a GPU convolution or GEMM are epilogue-fused (no launch, no extra DRAM
 //! round-trip), matching the cuDNN/CUTLASS mappings the artifact relies on.
 
-use crate::codegen::{execute_workload_fused_per_channel, PimWorkload};
+use crate::codegen::{
+    execute_group_overlapped_us, execute_workload_fused_per_channel, PimWorkload,
+};
 use crate::costcache::CacheCounters;
 use crate::error::Result;
 use crate::memopt::{data_move_bytes, is_data_move};
@@ -21,7 +23,7 @@ use pimflow_ir::{ActivationKind, Graph, NodeId, Op, ValueId};
 use pimflow_isa::{CrossbarConfig, FusedRole};
 use pimflow_json::json_struct;
 use pimflow_pimsim::{ChannelStats, FaultPlan, PimConfig, PimEnergyParams, ScheduleGranularity};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Availability mask over the PIM channels: bit `c` set means channel `c`
 /// is up. The default mask reports every channel available; masks only
@@ -285,9 +287,33 @@ pub struct ExecutionReport {
     /// `execute` call — unlike the search-side [`crate::costcache::CostCache`]
     /// it also carries per-channel stats, so it is not shared across runs.
     pub cost_cache: CacheCounters,
+    /// One entry per fusion group present in the graph (ordered by group
+    /// id): how many nodes ride in it and how much member time the
+    /// overlapped single-epoch lowering hides versus back-to-back epochs.
+    pub fused_groups: Vec<FusedGroupStat>,
     /// Per-node timeline in execution order.
     pub timings: Vec<NodeTiming>,
 }
+
+/// Per-fusion-group execution statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FusedGroupStat {
+    /// Group id (the `<gid>` of the `pim::fuse.<gid>.<role>::` tags).
+    pub gid: usize,
+    /// Total member nodes in the group (heavy layers and riders).
+    pub members: usize,
+    /// Member time hidden by overlapping the members in one epoch:
+    /// `max(0, sum of standalone member times - overlapped chain time)`.
+    /// Zero when the group runs back-to-back (overlap did not pay) or no
+    /// PIM channels are up.
+    pub overlap_hidden_us: f64,
+}
+
+json_struct!(FusedGroupStat {
+    gid,
+    members,
+    overlap_hidden_us
+});
 
 json_struct!(NodeTiming {
     name,
@@ -312,6 +338,7 @@ json_struct!(ExecutionReport {
     host_to_pim_bytes,
     pim_channel_busy_us,
     cost_cache,
+    fused_groups,
     timings,
 });
 
@@ -398,6 +425,64 @@ pub fn execute(graph: &Graph, cfg: &EngineConfig) -> Result<ExecutionReport> {
     // Device that produced each value (for fusion decisions).
     let mut produced_on_gpu_conv: HashMap<ValueId, bool> = HashMap::new();
 
+    // Pre-scan the fusion groups: collect each group's heavy-member chain
+    // and price it both back-to-back (sum of standalone member times) and
+    // overlap-linked in one epoch (carried engine state, imbalance hides
+    // under the neighbours' tails). The better composition wins — the
+    // per-member durations below are scaled by `chain/sum` when overlap
+    // pays, and never inflated when it does not.
+    let mut group_members: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut group_chain: BTreeMap<usize, Vec<(PimWorkload, FusedRole)>> = BTreeMap::new();
+    for &id in &order {
+        let node = graph.node(id);
+        let Some((gid, role, _)) = parse_fused(&node.name) else {
+            continue;
+        };
+        *group_members.entry(gid).or_default() += 1;
+        if effective_channels > 0 && is_heavy_compute(&node.op) && role != FusedNodeRole::Rider {
+            group_chain
+                .entry(gid)
+                .or_default()
+                .push((PimWorkload::from_node(graph, id), role.isa_role()));
+        }
+    }
+    let mut overlap_scale: HashMap<usize, f64> = HashMap::new();
+    let mut fused_groups = Vec::with_capacity(group_members.len());
+    for (&gid, &members) in &group_members {
+        let chain = group_chain.get(&gid).map(Vec::as_slice).unwrap_or(&[]);
+        let (scale, hidden_us) = if chain.len() >= 2 {
+            let sum_us: f64 = chain
+                .iter()
+                .map(|(w, r)| {
+                    execute_workload_fused_per_channel(
+                        w,
+                        &cfg.pim,
+                        effective_channels,
+                        cfg.granularity,
+                        *r,
+                    )
+                    .0
+                    .time_us
+                })
+                .sum();
+            let chain_us =
+                execute_group_overlapped_us(chain, &cfg.pim, effective_channels, cfg.granularity);
+            if sum_us > 0.0 && chain_us < sum_us {
+                (chain_us / sum_us, sum_us - chain_us)
+            } else {
+                (1.0, 0.0)
+            }
+        } else {
+            (1.0, 0.0)
+        };
+        overlap_scale.insert(gid, scale);
+        fused_groups.push(FusedGroupStat {
+            gid,
+            members,
+            overlap_hidden_us: hidden_us,
+        });
+    }
+
     let link_bw_bytes_per_us = cfg.link_gbps * 1e3; // GB/s -> bytes/us
 
     for id in order {
@@ -425,16 +510,35 @@ pub fn execute(graph: &Graph, cfg: &EngineConfig) -> Result<ExecutionReport> {
         // layers is applied near the banks during the BANKFEED hand-off —
         // no kernel, no bus crossing. Unlike the AiM ablation this needs no
         // special activation hardware flag; it is what the fused lowering
-        // means.
+        // means. Residual rejoins (`Add`/`Mul`) qualify too, as long as
+        // *every* operand is already PIM-resident — which holds exactly
+        // when the skip forked inside the group (the head's staging or a
+        // member's output), the condition the fusion walker enforces.
         let fused_rider = fused_role == Some(FusedNodeRole::Rider)
             && effective_channels > 0
             && op_is_fusable(&node.op)
-            && node.inputs.len() == 1
-            && values
-                .get(&node.inputs[0])
-                .map(|s| s.at_pim)
-                .unwrap_or(false);
-        if pim_activation || fused_rider {
+            && !node.inputs.is_empty()
+            && node
+                .inputs
+                .iter()
+                .all(|v| values.get(v).map(|s| s.at_pim).unwrap_or(false));
+        // Near-bank re-addressing: a contiguous row-range `Slice` (axis 1)
+        // or a zero-`Pad` of a value resident only in the PIM channels
+        // selects a row range or appends zero rows — bank addressing, not
+        // data movement, so nothing crosses the bus and the result stays
+        // near the banks. This is what keeps an interior-split group's
+        // residual-fork slices and halo pads from breaking the near-bank
+        // hand-off chain between fused members.
+        let near_bank_move = (matches!(&node.op, Op::Slice(a) if a.axis == 1)
+            || matches!(node.op, Op::Pad(_)))
+            && !node.inputs.is_empty()
+            && node.inputs.iter().all(|v| {
+                values
+                    .get(v)
+                    .map(|s| s.at_pim && !s.at_gpu)
+                    .unwrap_or(false)
+            });
+        if pim_activation || fused_rider || near_bank_move {
             device = Placement::Pim;
         } else if device == Placement::Pim
             && (effective_channels == 0 || !is_heavy_compute(&node.op))
@@ -479,6 +583,9 @@ pub fn execute(graph: &Graph, cfg: &EngineConfig) -> Result<ExecutionReport> {
             // (AiM ablation), or near the banks during the BANKFEED
             // hand-off (fusion-group rider).
             fused = true;
+            (ready, ready)
+        } else if near_bank_move {
+            // Addressing only: no kernel, no occupancy, no crossing.
             (ready, ready)
         } else if is_data_move(graph, id) {
             let bytes = data_move_bytes(graph, id, cfg.memopt);
@@ -533,6 +640,14 @@ pub fn execute(graph: &Graph, cfg: &EngineConfig) -> Result<ExecutionReport> {
                 }
             }
             pim_stats_total = pim_stats_total.merge_parallel(&stats);
+            // Overlap credit: members of an overlap-linked group finish
+            // earlier than their standalone times sum to — each member's
+            // wall-clock share shrinks proportionally. Busy counters stay
+            // unscaled: the MAC work is still done, only idle gaps hide.
+            let dur = match parse_fused(&node.name) {
+                Some((gid, _, _)) => dur * overlap_scale.get(&gid).copied().unwrap_or(1.0),
+                None => dur,
+            };
             let start = ready.max(pim_free);
             pim_free = start + dur;
             pim_busy += dur;
@@ -633,6 +748,7 @@ pub fn execute(graph: &Graph, cfg: &EngineConfig) -> Result<ExecutionReport> {
             misses: memo_misses,
             entries: pim_memo.len() as u64,
         },
+        fused_groups,
         timings,
     })
 }
@@ -752,6 +868,38 @@ mod tests {
         // GPU-only execution touches the memo not at all.
         let base = execute(&models::toy(), &EngineConfig::baseline_gpu()).unwrap();
         assert_eq!(base.cost_cache, CacheCounters::default());
+    }
+
+    #[test]
+    fn fused_group_reports_stats_and_residual_rider_rides_free() {
+        use crate::passes::{find_fusion_groups, fuse_group};
+        use pimflow_ir::{GraphBuilder, Shape};
+        // conv -> conv -> add(skip): fused as one group, the add is a
+        // two-input rider whose operands are both PIM-resident, so it
+        // applies near the banks at zero latency.
+        let mut b = GraphBuilder::new("res");
+        let x = b.input(Shape::nhwc(1, 8, 8, 16));
+        let y = b.conv1x1(x, 16);
+        let z = b.conv1x1(y, 16);
+        let w = b.add(z, y);
+        let mut g = b.finish(w);
+        let group = find_fusion_groups(&g).into_iter().next().unwrap();
+        fuse_group(&mut g, &group, 0).unwrap();
+        let r = execute(&g, &EngineConfig::pimflow()).unwrap();
+        let add = r.timings.iter().find(|t| t.name.contains("add_3")).unwrap();
+        assert_eq!(add.device, Placement::Pim);
+        assert!(add.fused, "residual rider should apply near the banks");
+        assert_eq!(add.start_us, add.finish_us);
+        // The report surfaces the group: 3 members, non-negative overlap
+        // credit (never inflates the group).
+        assert_eq!(r.fused_groups.len(), 1);
+        assert_eq!(r.fused_groups[0].gid, 0);
+        assert_eq!(r.fused_groups[0].members, 3);
+        assert!(r.fused_groups[0].overlap_hidden_us >= 0.0);
+        // Without PIM channels the stat degrades to zero hidden time.
+        let base = execute(&g, &EngineConfig::baseline_gpu()).unwrap();
+        assert_eq!(base.fused_groups.len(), 1);
+        assert_eq!(base.fused_groups[0].overlap_hidden_us, 0.0);
     }
 
     #[test]

@@ -18,10 +18,14 @@
 //! [`Decision::Fused`](crate::search::Decision::Fused)).
 
 use crate::passes::mddp::PassError;
-use crate::passes::pipeline::{is_chain_elementwise, linear_run_by};
-use crate::placement::{fused_tag, FusedNodeRole, PIM_PREFIX};
-use pimflow_ir::{Graph, NodeId};
-use std::collections::HashSet;
+use crate::passes::split_util::{
+    conv_input_span, emit_conv_on_span, emit_elementwise_part, is_linear_rider, is_residual_rider,
+    rows_from_parts,
+};
+use crate::placement::{fused_tag, FusedNodeRole, Placement, PIM_PREFIX};
+use pimflow_ir::{infer_shapes, ConcatAttrs, Graph, NodeId, Op, ValueId};
+use std::collections::{HashMap, HashSet};
+use std::ops::Range;
 
 /// A fusion candidate: a linear run of PIM-eligible heavy layers and the
 /// element-wise riders between them.
@@ -40,10 +44,21 @@ pub fn is_fusion_heavy(graph: &Graph, id: NodeId) -> bool {
     graph.is_pim_candidate(id)
 }
 
-/// Finds all fusion candidates: maximal linear runs of two or more heavy
-/// layers, scanned in topological order through the same linear-run
-/// walker the pipelining pass uses. Runs claimed by an earlier group do
-/// not start a new scan, so the returned groups are disjoint.
+/// Finds all fusion candidates: maximal residual-aware runs of two or
+/// more heavy layers, scanned in topological order. Runs claimed by an
+/// earlier group do not start a new scan, so the returned groups are
+/// disjoint.
+///
+/// Unlike the pipelining pass's strictly linear scanner, the fusion
+/// walker continues past skip-connection fan-outs whose rejoin lands
+/// back inside the group: when a member's output feeds one followable
+/// trunk successor *and* one two-input residual rider (`Add`/`Mul`), the
+/// walker follows the trunk and absorbs the rider once every operand is
+/// group-resident — the element-wise rejoin becomes a near-bank rider
+/// instead of a group terminator, which is what lets ResNet-style
+/// bottleneck towers fuse end to end. A fan-out whose rejoin never
+/// resolves (a projection shortcut, a true graph split) rolls the group
+/// back to the fork.
 pub fn find_fusion_groups(graph: &Graph) -> Vec<FusionGroup> {
     let mut groups = Vec::new();
     let Ok(order) = graph.topo_order() else {
@@ -54,7 +69,7 @@ pub fn find_fusion_groups(graph: &Graph) -> Vec<FusionGroup> {
         if claimed.contains(&start) || !is_fusion_heavy(graph, start) {
             continue;
         }
-        let (nodes, heavy) = linear_run_by(graph, start, usize::MAX, is_fusion_heavy);
+        let (nodes, heavy) = residual_run(graph, start);
         if heavy.len() < 2 {
             continue;
         }
@@ -62,6 +77,85 @@ pub fn find_fusion_groups(graph: &Graph) -> Vec<FusionGroup> {
         groups.push(FusionGroup { nodes, heavy });
     }
     groups
+}
+
+/// Walks forward from heavy node `start`, collecting the residual-aware
+/// run described on [`find_fusion_groups`]. Returns `(all nodes, heavy
+/// nodes)` in order.
+fn residual_run(graph: &Graph, start: NodeId) -> (Vec<NodeId>, Vec<NodeId>) {
+    let mut nodes = vec![start];
+    let mut heavy = vec![start];
+    // Values resident near the banks once the group executes fused: the
+    // head's own inputs (staged for it) and every member's output.
+    let mut available: HashSet<ValueId> = graph.node(start).inputs.iter().copied().collect();
+    available.insert(graph.node(start).output);
+    // Unresolved skip fan-outs: the forked value plus the group length at
+    // the fork, so a skip that never rejoins rolls the group back to it.
+    let mut pending: Vec<(ValueId, usize, usize)> = Vec::new();
+    let mut cur = start;
+    loop {
+        let out = graph.node(cur).output;
+        let consumers = graph.successors(cur);
+        let next = match consumers.as_slice() {
+            [one] => *one,
+            [a, b] => {
+                // Skip-connection fan-out: exactly one trunk successor to
+                // keep walking and one residual rider that must rejoin
+                // downstream with group-resident operands.
+                let trunk = |id: NodeId| {
+                    graph.node(id).inputs.len() == 1
+                        && (is_fusion_heavy(graph, id) || is_linear_rider(&graph.node(id).op))
+                };
+                let rejoiner = |id: NodeId| {
+                    let n = graph.node(id);
+                    is_residual_rider(&n.op) && n.inputs.len() == 2 && n.inputs.contains(&out)
+                };
+                if trunk(*a) && rejoiner(*b) {
+                    pending.push((out, nodes.len(), heavy.len()));
+                    *a
+                } else if trunk(*b) && rejoiner(*a) {
+                    pending.push((out, nodes.len(), heavy.len()));
+                    *b
+                } else {
+                    break;
+                }
+            }
+            _ => break,
+        };
+        let node = graph.node(next);
+        if node.inputs.len() == 1 && is_fusion_heavy(graph, next) {
+            nodes.push(next);
+            heavy.push(next);
+        } else if node.inputs.len() == 1 && is_linear_rider(&node.op) {
+            nodes.push(next);
+        } else if is_residual_rider(&node.op) && node.inputs.iter().all(|v| available.contains(v)) {
+            // The rejoin: every operand is already group-resident, so the
+            // element-wise op applies near the banks during the hand-off.
+            nodes.push(next);
+            pending.retain(|(v, _, _)| !node.inputs.contains(v));
+        } else {
+            break;
+        }
+        available.insert(node.output);
+        cur = next;
+    }
+    // Skips that never rejoined leave the fused region through the bus
+    // anyway: roll back to the earliest unresolved fork.
+    if let Some(&(_, n_len, h_len)) = pending.iter().min_by_key(|&&(_, n, _)| n) {
+        nodes.truncate(n_len);
+        heavy.truncate(h_len);
+    }
+    // Trim trailing single-input riders so linear runs still end at a
+    // heavy node (epilogues stay outside the region, as before); a
+    // trailing residual rejoin stays — pricing it near the banks is the
+    // point of absorbing it.
+    while let Some(&last) = nodes.last() {
+        if is_fusion_heavy(graph, last) || is_residual_rider(&graph.node(last).op) {
+            break;
+        }
+        nodes.pop();
+    }
+    (nodes, heavy)
 }
 
 /// Marks `group`'s members as fusion group `gid`: the first heavy layer
@@ -96,7 +190,7 @@ pub fn fuse_group(graph: &mut Graph, group: &FusionGroup, gid: usize) -> Result<
                 node.name
             )));
         }
-        if !heavy.contains(&id) && !is_chain_elementwise(&node.op) {
+        if !heavy.contains(&id) && !is_linear_rider(&node.op) && !is_residual_rider(&node.op) {
             return Err(PassError::NotApplicable(format!(
                 "fusion rider `{}` is not element-wise",
                 node.name
@@ -119,6 +213,253 @@ pub fn fuse_group(graph: &mut Graph, group: &FusionGroup, gid: usize) -> Result<
         graph.node_mut(id).name = tagged;
     }
     Ok(())
+}
+
+/// Uniform tensor height of `group` when it admits an interior MD-DP
+/// split, `None` otherwise. Eligible groups are those an H-split slices
+/// losslessly through every member at once: every heavy member is a
+/// stride-1 ungrouped conv — pointwise members split exactly on the row
+/// boundary, wider kernels (the 3x3s inside resnet bottleneck towers)
+/// over-compute a halo of boundary rows per branch, priced into nothing
+/// because the uniform-height check below forces "same" H padding (out
+/// H = in H under stride 1 pins `2*pad_h = kernel_h - 1`), so
+/// [`conv_input_span`] gives each member an exact input span — every
+/// rider preserves H row-locally (`Mul` is excluded: its `[N,1,1,C]`
+/// broadcast operand does not slice), and every value touching the
+/// group (member outputs and external skip inputs alike) has that same
+/// height, at least 2 rows tall.
+pub fn interior_split_height(graph: &Graph, group: &FusionGroup) -> Option<usize> {
+    // `h()` panics on non-NHWC shapes (Dense groups carry 2-D tensors).
+    let nhwc_h = |v: ValueId| -> Option<usize> {
+        let shape = &graph.value(v).desc.as_ref()?.shape;
+        (shape.rank() == 4).then(|| shape.h())
+    };
+    let input = *graph.node(*group.nodes.first()?).inputs.first()?;
+    let h = nhwc_h(input)?;
+    if h < 2 {
+        return None;
+    }
+    let heavy: HashSet<NodeId> = group.heavy.iter().copied().collect();
+    for &id in &group.nodes {
+        let node = graph.node(id);
+        if heavy.contains(&id) {
+            match &node.op {
+                Op::Conv2d(a) if a.stride.h == 1 && a.stride.w == 1 && a.groups == 1 => {}
+                _ => return None,
+            }
+        } else if matches!(node.op, Op::Mul) {
+            return None;
+        }
+        if nhwc_h(node.output)? != h {
+            return None;
+        }
+        for &v in &node.inputs {
+            if nhwc_h(v)? != h {
+                return None;
+            }
+        }
+    }
+    Some(h)
+}
+
+/// Applies `group` at an interior MD-DP ratio: the *whole fused region*
+/// is H-split once, `gpu_percent`% of the rows running as a plain GPU
+/// copy of every member and the rest as a fused PIM region tagged group
+/// `gid` (same [`fuse_group`] roles), with one concat joining the two
+/// branch tails.
+///
+/// Each branch's row requirements are computed by a backward pass over
+/// the members: a wide-kernel conv widens its input's needed range by
+/// [`conv_input_span`] (the halo), an element-wise rider passes its own
+/// range through, and a value consumed twice (a residual fork) needs the
+/// union. Every branch node is then emitted over exactly its needed
+/// rows — boundary halo rows are over-computed independently by both
+/// branches from the sliced external inputs, so numerics are preserved
+/// exactly; a consumer that needs fewer rows than its producer made
+/// (the narrow side of a fork, a pointwise conv after a halo) slices
+/// the difference off in place. External inputs (the group input,
+/// residual skips) are sliced per branch; intermediate activations of
+/// the PIM branch still never cross the bus.
+///
+/// # Errors
+///
+/// Returns [`PassError::NotApplicable`] when the group is not
+/// interior-splittable, `gpu_percent` is not in `1..=99`, a member is
+/// already placed, or the group is degenerate.
+pub fn fuse_group_interior(
+    graph: &mut Graph,
+    group: &FusionGroup,
+    gid: usize,
+    gpu_percent: u32,
+) -> Result<(), PassError> {
+    if !(1..=99).contains(&gpu_percent) {
+        return Err(PassError::NotApplicable(format!(
+            "interior ratio {gpu_percent}% is not a proper split"
+        )));
+    }
+    if group.heavy.len() < 2 {
+        return Err(PassError::NotApplicable(
+            "fusion group needs at least two heavy layers".into(),
+        ));
+    }
+    let Some(h) = interior_split_height(graph, group) else {
+        return Err(PassError::NotApplicable(
+            "fusion group does not admit an interior split".into(),
+        ));
+    };
+    for &id in &group.nodes {
+        if graph.node(id).name.starts_with(PIM_PREFIX) {
+            return Err(PassError::NotApplicable(format!(
+                "node `{}` is already placed",
+                graph.node(id).name
+            )));
+        }
+    }
+    let heavy: HashSet<NodeId> = group.heavy.iter().copied().collect();
+    // Same rounding as the per-node MD-DP pass, clamped to a proper split.
+    let gpu_rows = (((h as u64 * gpu_percent as u64) + 50) / 100).clamp(1, h as u64 - 1) as usize;
+    let ranges = [0..gpu_rows, gpu_rows..h];
+    let last = *group.nodes.last().expect("group non-empty");
+    let last_out = graph.node(last).output;
+
+    let mut branch_tails = Vec::with_capacity(2);
+    let mut pim_nodes: Vec<NodeId> = Vec::new();
+    for (bi, range) in ranges.iter().enumerate() {
+        let tag = if bi == 0 {
+            format!("ig{gid}g_")
+        } else {
+            format!("ig{gid}p_")
+        };
+        // Backward pass: rows of each value this branch must produce (or
+        // slice from an external input) — the union over its in-branch
+        // consumers, halo-widened through wide-kernel members. Walking
+        // the members in reverse topo order sees every consumer before
+        // its producer, so the union is complete when it is read.
+        let mut need: HashMap<ValueId, Range<usize>> = HashMap::new();
+        need.insert(last_out, range.clone());
+        let widen = |need: &mut HashMap<ValueId, Range<usize>>, v: ValueId, r: Range<usize>| {
+            need.entry(v)
+                .and_modify(|cur| {
+                    cur.start = cur.start.min(r.start);
+                    cur.end = cur.end.max(r.end);
+                })
+                .or_insert(r);
+        };
+        for &id in group.nodes.iter().rev() {
+            let node = graph.node(id);
+            let out_need = need
+                .get(&node.output)
+                .cloned()
+                .expect("walker invariant: member outputs are consumed in-group");
+            if heavy.contains(&id) {
+                let attrs = match &node.op {
+                    Op::Conv2d(a) => *a,
+                    other => unreachable!("heavy member must be a conv ({other})"),
+                };
+                let span = conv_input_span(&attrs, h, &out_need);
+                widen(&mut need, node.inputs[0], span.rows);
+            } else {
+                for &v in &node.inputs.clone() {
+                    widen(&mut need, v, out_need.clone());
+                }
+            }
+        }
+        // Original value -> (branch copy, rows it holds). External
+        // operand slices are cached per (value, rows) so a skip input
+        // consumed twice at the same span is sliced once.
+        let mut map: HashMap<ValueId, (ValueId, Range<usize>)> = HashMap::new();
+        let mut ext: HashMap<(ValueId, usize, usize), ValueId> = HashMap::new();
+        let take = |graph: &mut Graph,
+                    map: &HashMap<ValueId, (ValueId, Range<usize>)>,
+                    ext: &mut HashMap<(ValueId, usize, usize), ValueId>,
+                    v: ValueId,
+                    rows: &Range<usize>,
+                    tag: &str| match map.get(&v) {
+            Some((branch_v, have)) => {
+                rows_from_parts(graph, &[(*branch_v, have.clone())], rows, tag)
+            }
+            None => *ext
+                .entry((v, rows.start, rows.end))
+                .or_insert_with(|| rows_from_parts(graph, &[(v, 0..h)], rows, tag)),
+        };
+        let mut tail = None;
+        for &id in &group.nodes {
+            let node = graph.node(id).clone();
+            let out_need = need[&node.output].clone();
+            let out = if heavy.contains(&id) {
+                let attrs = match &node.op {
+                    Op::Conv2d(a) => *a,
+                    other => unreachable!("heavy member must be a conv ({other})"),
+                };
+                let span = conv_input_span(&attrs, h, &out_need);
+                let x = take(
+                    graph,
+                    &map,
+                    &mut ext,
+                    node.inputs[0],
+                    &span.rows,
+                    &format!("{tag}{}_in", node.name),
+                );
+                emit_conv_on_span(
+                    graph,
+                    id,
+                    x,
+                    span.pad_top,
+                    span.pad_bottom,
+                    Placement::Gpu,
+                    &tag,
+                )
+            } else {
+                let ins: Vec<ValueId> = node
+                    .inputs
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &v)| {
+                        take(
+                            graph,
+                            &map,
+                            &mut ext,
+                            v,
+                            &out_need,
+                            &format!("{tag}{}_in{j}", node.name),
+                        )
+                    })
+                    .collect();
+                emit_elementwise_part(graph, id, ins, &tag)
+            };
+            map.insert(node.output, (out, out_need));
+            if bi == 1 {
+                pim_nodes.push(graph.producer(out).expect("just added"));
+            }
+            tail = Some(out);
+        }
+        branch_tails.push(tail.expect("group non-empty"));
+    }
+    let joined = graph.add_node(
+        format!("ig{gid}_concat"),
+        Op::Concat(ConcatAttrs { axis: 1 }),
+        branch_tails,
+    );
+    graph.replace_uses(last_out, joined);
+    for &id in &group.nodes {
+        graph.remove_node(id);
+    }
+    infer_shapes(graph)?;
+    // The PIM branch fuses exactly like a full-offload group: same roles,
+    // same near-bank hand-offs, just over fewer rows.
+    let pim_heavy: Vec<NodeId> = pim_nodes
+        .iter()
+        .copied()
+        .filter(|&id| is_fusion_heavy(graph, id))
+        .collect();
+    fuse_group(
+        graph,
+        &FusionGroup {
+            nodes: pim_nodes,
+            heavy: pim_heavy,
+        },
+        gid,
+    )
 }
 
 #[cfg(test)]
@@ -156,16 +497,233 @@ mod tests {
     }
 
     #[test]
-    fn fanout_terminates_groups() {
-        // conv -> conv where the intermediate also feeds a residual Add:
-        // the fan-out means the activation must leave the PIM side anyway.
+    fn residual_rejoin_extends_groups() {
+        // conv -> conv where the intermediate also feeds a residual Add
+        // that rejoins right after: both operands are group-resident, so
+        // the Add rides near the banks instead of terminating the group.
         let mut b = GraphBuilder::new("res");
         let x = b.input(Shape::nhwc(1, 8, 8, 16));
         let y = b.conv1x1(x, 16);
         let z = b.conv1x1(y, 16);
         let w = b.add(z, y);
+        let mut g = b.finish(w);
+        let groups = find_fusion_groups(&g);
+        assert_eq!(groups.len(), 1, "{groups:?}");
+        let group = &groups[0];
+        assert_eq!(group.heavy.len(), 2);
+        assert_eq!(group.nodes.len(), 3);
+        let names: Vec<&str> = group
+            .nodes
+            .iter()
+            .map(|&id| g.node(id).name.as_str())
+            .collect();
+        assert_eq!(names, ["conv_1", "conv_2", "add_3"]);
+        // The trailing rejoin fuses as a rider behind the tail.
+        fuse_group(&mut g, group, 7).unwrap();
+        let roles: Vec<_> = group
+            .nodes
+            .iter()
+            .map(|&id| parse_fused(&g.node(id).name).unwrap())
+            .collect();
+        assert_eq!(
+            roles[0],
+            (7, crate::placement::FusedNodeRole::Head, "conv_1")
+        );
+        assert_eq!(
+            roles[1],
+            (7, crate::placement::FusedNodeRole::Tail, "conv_2")
+        );
+        assert_eq!(
+            roles[2],
+            (7, crate::placement::FusedNodeRole::Rider, "add_3")
+        );
+    }
+
+    #[test]
+    fn resnet_identity_block_fuses_through_the_add() {
+        // conv1x1 -> relu -> conv3x3 -> relu -> conv1x1 -> add(skip) ->
+        // relu: the canonical identity bottleneck. The skip forks off the
+        // block input (the head's own staged input), so the add rejoins
+        // with both operands group-resident and the whole tower fuses.
+        let mut b = GraphBuilder::new("bneck");
+        let x = b.input(Shape::nhwc(1, 14, 14, 64));
+        let skip = b.conv1x1(x, 64);
+        let y = b.conv1x1(skip, 16);
+        let y = b.relu(y);
+        let y = b.conv(y, 16, 3, 1, 1);
+        let y = b.relu(y);
+        let y = b.conv1x1(y, 64);
+        let y = b.add(y, skip);
+        let y = b.relu(y);
+        let g = b.finish(y);
+        let groups = find_fusion_groups(&g);
+        assert_eq!(groups.len(), 1, "{groups:?}");
+        // skip conv + 3 tower convs all land in one group, add included.
+        assert_eq!(groups[0].heavy.len(), 4, "{groups:?}");
+        let last = *groups[0].nodes.last().unwrap();
+        assert!(matches!(g.node(last).op, Op::Add));
+    }
+
+    #[test]
+    fn projection_shortcut_terminates_groups() {
+        // The add's second operand comes from a conv outside the run, so
+        // the rejoin is not group-resident: the group stops at the last
+        // trunk conv and the add stays outside.
+        let mut b = GraphBuilder::new("proj");
+        let x = b.input(Shape::nhwc(1, 8, 8, 16));
+        let y1 = b.conv1x1(x, 16);
+        let y2 = b.conv1x1(y1, 16);
+        let y3 = b.conv1x1(y2, 32);
+        let sc = b.conv1x1(x, 32);
+        let w = b.add(y3, sc);
+        let g = b.finish(w);
+        let groups = find_fusion_groups(&g);
+        assert_eq!(groups.len(), 1, "{groups:?}");
+        assert_eq!(groups[0].heavy.len(), 3);
+        assert_eq!(groups[0].nodes.len(), 3);
+        assert!(!groups[0]
+            .nodes
+            .iter()
+            .any(|&id| matches!(g.node(id).op, Op::Add)));
+    }
+
+    #[test]
+    fn unresolved_skip_rolls_back_to_fork() {
+        // The skip forks at conv_1's output but the trunk hits a
+        // depthwise conv before the add rejoins: the fork never resolves
+        // inside the group, so the walk rolls back and no group remains.
+        let mut b = GraphBuilder::new("deadskip");
+        let x = b.input(Shape::nhwc(1, 8, 8, 16));
+        let y = b.conv1x1(x, 16);
+        let z = b.conv1x1(y, 16);
+        let d = b.dwconv(z, 16, 3, 1, 1);
+        let w = b.add(d, y);
         let g = b.finish(w);
         assert!(find_fusion_groups(&g).is_empty());
+    }
+
+    #[test]
+    fn interior_split_height_gates_on_stride_and_uniform_height() {
+        // Toy's group is headed by a stride-1 "same"-padded 3x3 conv:
+        // eligible — the 3x3's halo rows are over-computed per branch.
+        let g = models::toy();
+        let group = find_fusion_groups(&g).into_iter().next().unwrap();
+        assert!(interior_split_height(&g, &group).is_some());
+
+        // An all-pointwise chain is eligible at the tensor height.
+        let mut b = GraphBuilder::new("pw");
+        let x = b.input(Shape::nhwc(1, 8, 8, 16));
+        let y = b.conv1x1(x, 32);
+        let y = b.relu(y);
+        let y = b.conv1x1(y, 16);
+        let g = b.finish(y);
+        let group = find_fusion_groups(&g).into_iter().next().unwrap();
+        assert_eq!(interior_split_height(&g, &group), Some(8));
+
+        // A strided member changes the height mid-group: row coordinates
+        // are no longer uniform, so the group is not splittable.
+        let mut b = GraphBuilder::new("strided");
+        let x = b.input(Shape::nhwc(1, 8, 8, 16));
+        let y = b.conv(x, 32, 3, 2, 1);
+        let y = b.relu(y);
+        let y = b.conv1x1(y, 16);
+        let g = b.finish(y);
+        let group = find_fusion_groups(&g).into_iter().next().unwrap();
+        assert_eq!(interior_split_height(&g, &group), None);
+    }
+
+    #[test]
+    fn fuse_group_interior_preserves_numerics() {
+        // Pointwise residual group split 40/60 across GPU and PIM rows:
+        // both branches run every member over disjoint rows, so the
+        // concat is bit-identical to the unsplit graph.
+        let mut b = GraphBuilder::new("res");
+        let x = b.input(Shape::nhwc(1, 8, 8, 16));
+        let y = b.conv1x1(x, 16);
+        let z = b.conv1x1(y, 16);
+        let w = b.add(z, y);
+        let original = b.finish(w);
+        let mut split = original.clone();
+        let group = find_fusion_groups(&split).into_iter().next().unwrap();
+        assert!(interior_split_height(&split, &group).is_some());
+        fuse_group_interior(&mut split, &group, 0, 40).unwrap();
+        // The PIM branch carries fused tags; the GPU branch stays plain.
+        let fused_n = split
+            .node_ids()
+            .filter(|&id| parse_fused(&split.node(id).name).is_some())
+            .count();
+        assert_eq!(fused_n, 3, "head, tail, and add rider on the PIM rows");
+        assert!(split
+            .node_ids()
+            .any(|id| split.node(id).name.contains("ig0g_")));
+        let inputs = input_tensors(&original, 23);
+        let a = run_graph(&original, &inputs).unwrap();
+        let b2 = run_graph(&split, &inputs).unwrap();
+        assert_eq!(a[0].max_abs_diff(&b2[0]), 0.0);
+    }
+
+    #[test]
+    fn fuse_group_interior_handles_halo_members_exactly() {
+        // A resnet-style bottleneck: 1x1 -> 3x3("same") -> 1x1 with the
+        // skip rejoining at the add. The 3x3 needs one halo row past the
+        // branch boundary; both branches over-compute it from the sliced
+        // external input, and the narrow side of the fork slices the
+        // difference off, so the concat is bit-identical to the unsplit
+        // graph at every ratio.
+        let mut b = GraphBuilder::new("bottleneck");
+        let x = b.input(Shape::nhwc(1, 8, 8, 16));
+        let y = b.conv1x1(x, 8);
+        let y = b.relu(y);
+        let y = b.conv(y, 8, 3, 1, 1);
+        let y = b.relu(y);
+        let y = b.conv1x1(y, 16);
+        let w = b.add(y, x);
+        let original = b.finish(w);
+        let group = find_fusion_groups(&original).into_iter().next().unwrap();
+        assert_eq!(group.heavy.len(), 3);
+        assert_eq!(interior_split_height(&original, &group), Some(8));
+        let inputs = input_tensors(&original, 31);
+        let a = run_graph(&original, &inputs).unwrap();
+        for ratio in [25, 50, 75] {
+            let mut split = original.clone();
+            let group = find_fusion_groups(&split).into_iter().next().unwrap();
+            fuse_group_interior(&mut split, &group, 0, ratio).unwrap();
+            let b2 = run_graph(&split, &inputs).unwrap();
+            assert_eq!(
+                a[0].max_abs_diff(&b2[0]),
+                0.0,
+                "interior split at {ratio}% must be exact"
+            );
+        }
+    }
+
+    #[test]
+    fn fuse_group_interior_rejects_bad_ratios_and_groups() {
+        // A strided head breaks row-coordinate uniformity: not
+        // interior-splittable.
+        let mut b = GraphBuilder::new("strided");
+        let x = b.input(Shape::nhwc(1, 8, 8, 16));
+        let y = b.conv(x, 32, 3, 2, 1);
+        let y = b.relu(y);
+        let y = b.conv1x1(y, 16);
+        let g0 = b.finish(y);
+        let group = find_fusion_groups(&g0).into_iter().next().unwrap();
+        let mut g = g0.clone();
+        assert!(matches!(
+            fuse_group_interior(&mut g, &group, 0, 50),
+            Err(PassError::NotApplicable(_))
+        ));
+        // Degenerate ratios are rejected outright.
+        let mut g = g0.clone();
+        assert!(matches!(
+            fuse_group_interior(&mut g, &group, 0, 0),
+            Err(PassError::NotApplicable(_))
+        ));
+        let mut g = g0;
+        assert!(matches!(
+            fuse_group_interior(&mut g, &group, 0, 100),
+            Err(PassError::NotApplicable(_))
+        ));
     }
 
     #[test]

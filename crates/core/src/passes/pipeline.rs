@@ -60,16 +60,11 @@ pub struct Chain {
     pub pattern: PatternKind,
 }
 
-/// True for nodes that ride along inside a chain (row-local element-wise).
-/// Shared by the pipelining pass and the fusion-group pass — the two
-/// consumers of the linear-run scanner below.
-pub(crate) fn is_chain_elementwise(op: &Op) -> bool {
-    matches!(op, Op::BatchNorm)
-        || matches!(
-            op,
-            Op::Activation(k) if *k != pimflow_ir::ActivationKind::Softmax
-        )
-}
+/// True for nodes that ride along inside a chain: the shared rider
+/// classification lives in [`split_util`](crate::passes::split_util) —
+/// this is a re-export-style alias kept for the scanner below and its
+/// callers.
+pub(crate) use crate::passes::split_util::is_linear_rider as is_chain_elementwise;
 
 /// The single consumer of `id`'s output, if it has exactly one and that
 /// consumer uses it as its only input.

@@ -12,6 +12,27 @@ use crate::placement::Placement;
 use pimflow_ir::{Conv2dAttrs, Graph, NodeId, Op, PadAttrs, SliceAttrs, ValueId};
 use std::ops::Range;
 
+/// True for nodes that ride along inside a linear PIM region as
+/// single-input element-wise work (`BatchNorm`, any activation except
+/// `Softmax`, whose normalization needs full-tensor reductions). This is
+/// the one rider classification in the codebase: the pipelining pass, the
+/// fusion-group pass, and the interior-split transform all consume it.
+pub(crate) fn is_linear_rider(op: &Op) -> bool {
+    matches!(op, Op::BatchNorm)
+        || matches!(
+            op,
+            Op::Activation(k) if *k != pimflow_ir::ActivationKind::Softmax
+        )
+}
+
+/// True for two-input element-wise ops that can rejoin a skip connection
+/// inside a fused region (residual `Add`, squeeze-excite `Mul`): row-local
+/// over their aligned operands, so they apply near the banks during the
+/// fused hand-off once both inputs are PIM-resident.
+pub(crate) fn is_residual_rider(op: &Op) -> bool {
+    matches!(op, Op::Add | Op::Mul)
+}
+
 /// Input-row requirements of a conv output-row range.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct InputSpan {

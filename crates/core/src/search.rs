@@ -47,13 +47,13 @@
 //! PIM capacity no longer pays — without rerunning the full Algorithm-1
 //! grid search.
 
-use crate::codegen::PimWorkload;
+use crate::codegen::{execute_group_overlapped_us, PimWorkload};
 use crate::costcache::{
     crossbar_cost_us, pim_cost_us, CostCache, CostTable, MemoShard, WorkloadKey,
 };
 use crate::engine::{ChannelMask, EngineConfig};
 use crate::error::Result;
-use crate::passes::fusion::{find_fusion_groups, FusionGroup};
+use crate::passes::fusion::{find_fusion_groups, interior_split_height, FusionGroup};
 use crate::passes::pipeline::{find_chains, Chain};
 use crate::placement::Placement;
 use pimflow_gpusim::{kernel_time_with_launch_us, KernelProfile};
@@ -84,6 +84,14 @@ pub struct SearchOptions {
     /// options only extend the DP's candidate set, so a search with fusion
     /// enabled never predicts a worse time than one without.
     pub allow_fusion: bool,
+    /// Whether fused chains may additionally be priced overlap-linked in
+    /// one epoch (relaxed `OBARRIER` separators, carried engine state).
+    /// The committed chain time is `min(back_to_back, overlapped)`, so
+    /// disabling this only shrinks the fused candidate space — the knob
+    /// exists so benchmarks can measure what overlap buys.
+    /// [`ExecutionPlan::repair`] always re-prices with overlap on,
+    /// matching the default.
+    pub overlap_epochs: bool,
 }
 
 impl Default for SearchOptions {
@@ -94,6 +102,7 @@ impl Default for SearchOptions {
             allow_pipeline: true,
             pipeline_stages: 2,
             allow_fusion: true,
+            overlap_epochs: true,
         }
     }
 }
@@ -130,6 +139,11 @@ pub enum Decision {
         node_names: Vec<String>,
         /// PIM hardware model the group is priced (and would execute) on.
         backend: BackendKind,
+        /// Interior MD-DP ratio: percent of the rows of the *whole fused
+        /// region* that run as a plain GPU copy alongside the fused PIM
+        /// rows. `0` (the only value for non-interior-splittable groups)
+        /// means full offload — the classic fused lowering.
+        gpu_percent: u32,
     },
 }
 
@@ -193,13 +207,18 @@ impl ToJson for Decision {
             Decision::Fused {
                 node_names,
                 backend,
+                gpu_percent,
             } => {
                 // Same backward-compatible shape as `Split`: the backend
-                // field appears only for non-Newton groups, so Newton-only
+                // and interior-ratio fields appear only when they differ
+                // from the legacy values (Newton, full offload), so older
                 // plan JSON stays byte-stable against older readers.
                 let mut fields = vec![("node_names", node_names.to_json())];
                 if *backend != BackendKind::Newton {
                     fields.push(("backend", Json::Str(backend.name().into())));
+                }
+                if *gpu_percent != 0 {
+                    fields.push(("gpu_percent", gpu_percent.to_json()));
                 }
                 Json::obj(vec![("Fused", Json::obj(fields))])
             }
@@ -243,9 +262,14 @@ impl FromJson for Decision {
                             }
                             Err(_) => BackendKind::Newton,
                         };
+                        let gpu_percent = match payload.field("gpu_percent") {
+                            Ok(j) => u32::from_json(j)?,
+                            Err(_) => 0,
+                        };
                         Ok(Decision::Fused {
                             node_names: Vec::from_json(payload.field("node_names")?)?,
                             backend,
+                            gpu_percent,
                         })
                     }
                     other => Err(JsonError::msg(format!(
@@ -487,6 +511,7 @@ impl ExecutionPlan {
                 Some(Decision::Fused {
                     node_names,
                     backend,
+                    gpu_percent,
                 }) => {
                     // Fused groups are contiguous and anchored at their
                     // first node, like chains.
@@ -523,10 +548,12 @@ impl ExecutionPlan {
                         })
                         .sum();
                     let fused_cost = if pim_available {
-                        // Re-price on the backend the plan chose, as with
-                        // splits: repair migrates work, it does not re-run
-                        // the backend search.
-                        profiler.fused_group_cost_pinned(&group, Some(*backend)).0
+                        // Re-price on the backend and interior ratio the
+                        // plan chose, as with splits: repair migrates
+                        // work, it does not re-run the search.
+                        profiler
+                            .fused_group_cost_at(&group, *gpu_percent, Some(*backend))
+                            .0
                     } else {
                         f64::INFINITY
                     };
@@ -550,6 +577,7 @@ impl ExecutionPlan {
                             Decision::Fused {
                                 node_names: node_names.clone(),
                                 backend: *backend,
+                                gpu_percent: *gpu_percent,
                             },
                         ));
                     } else {
@@ -653,11 +681,20 @@ struct Profiler<'g> {
     xbar_fingerprint: u64,
     /// Whether the backend set admits Newton placements.
     newton_allowed: bool,
+    /// Whether fused chains may be priced overlap-linked (see
+    /// [`SearchOptions::overlap_epochs`]). Defaults on; the group-search
+    /// phase threads the option through.
+    overlap_epochs: bool,
     /// Immutable snapshot of the shared cross-search table.
     base: Arc<CostTable>,
     /// Private shard: keys this profiler had to price itself.
     shard: MemoShard,
 }
+
+/// XOR-salt folded into the group fingerprint when overlap pricing is
+/// disabled, so back-to-back-only chain times never alias overlap-priced
+/// entries in a cost cache shared across option sets.
+const OVERLAP_OFF_SALT: u64 = 0x4F56_4C50_4F46_465F; // "OVLPOFF_"
 
 impl<'g> Profiler<'g> {
     fn new(graph: &'g Graph, cfg: &EngineConfig) -> Self {
@@ -676,10 +713,17 @@ impl<'g> Profiler<'g> {
             xbar,
             xbar_fingerprint: xbar.map(|x| x.fingerprint()).unwrap_or(0),
             newton_allowed: cfg.pim_backends.allows_newton(),
+            overlap_epochs: true,
             cfg: cfg.clone(),
             base,
             shard: MemoShard::new(),
         }
+    }
+
+    /// Sets whether fused chains may be priced overlap-linked.
+    fn overlap(mut self, on: bool) -> Self {
+        self.overlap_epochs = on;
+        self
     }
 
     /// Consumes the profiler, returning its memo shard for merging.
@@ -706,6 +750,8 @@ impl<'g> Profiler<'g> {
             granularity: self.cfg.granularity,
             pim_fingerprint: self.pim_fingerprint,
             fused: role,
+            interior: 0,
+            group_fp: 0,
         };
         self.shard.count_lookup();
         if let Some(t) = self.shard.get(&key) {
@@ -739,6 +785,8 @@ impl<'g> Profiler<'g> {
             granularity: self.cfg.granularity,
             pim_fingerprint: self.xbar_fingerprint,
             fused: role,
+            interior: 0,
+            group_fp: 0,
         };
         self.shard.count_lookup();
         if let Some(t) = self.shard.get(&key) {
@@ -936,16 +984,87 @@ impl<'g> Profiler<'g> {
         finish[stages - 1] + self.defusion_penalty(last_conv, 1.0)
     }
 
-    /// Sum of the fused-role PIM times of a group's heavy members on one
-    /// backend: the first member lowers as `Head` (results hand off near
-    /// the banks instead of draining), the last as `Tail` (inputs arrive
-    /// near the banks), interior members as `Middle`. Element-wise riders
+    /// Deterministic fingerprint of a group's heavy-member chain (shapes
+    /// and order), used to key group-level chain-cost cache entries: two
+    /// groups whose members happen to share a head shape must not collide.
+    /// Never zero — zero marks ordinary per-member keys.
+    fn group_fingerprint(&self, group: &FusionGroup) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        for (k, &id) in group.heavy.iter().enumerate() {
+            k.hash(&mut hasher);
+            PimWorkload::from_node(self.graph, id).hash(&mut hasher);
+        }
+        hasher.finish().max(1)
+    }
+
+    /// The group's heavy members as `(workload, fused role)` pairs with
+    /// `frac` of their rows, in chain order.
+    fn fused_members(&self, group: &FusionGroup, frac: f64) -> Vec<(PimWorkload, FusedRole)> {
+        let last = group.heavy.len() - 1;
+        group
+            .heavy
+            .iter()
+            .enumerate()
+            .map(|(k, &id)| {
+                let mut w = PimWorkload::from_node(self.graph, id);
+                w.rows = ((w.rows as f64 * frac).round() as usize).max(1);
+                let role = if k == 0 {
+                    FusedRole::Head
+                } else if k == last {
+                    FusedRole::Tail
+                } else {
+                    FusedRole::Middle
+                };
+                (w, role)
+            })
+            .collect()
+    }
+
+    /// PIM time of `frac` of a fused group's heavy chain on one backend:
+    /// the cheaper of running the members back-to-back (one epoch each,
+    /// the sum of their fused-role times) and overlap-linked in a single
+    /// epoch (relaxed `OBARRIER` separators, carried engine state, member
+    /// imbalance hides under the neighbours' tails). Element-wise riders
     /// between the members are applied during the hand-off and cost
-    /// nothing.
-    fn fused_chain_time(&mut self, heavy: &[NodeId], backend: BackendKind) -> f64 {
-        let last = heavy.len() - 1;
-        let mut total = 0.0f64;
-        for (k, &id) in heavy.iter().enumerate() {
+    /// nothing. The result is memoized group-level: the key is the head's
+    /// workload re-rolled with the interior ratio and the group
+    /// fingerprint, so it can never answer a per-member lookup.
+    fn fused_chain_time(
+        &mut self,
+        group: &FusionGroup,
+        backend: BackendKind,
+        frac: f64,
+        interior: u32,
+    ) -> f64 {
+        let mut group_fp = self.group_fingerprint(group);
+        if !self.overlap_epochs {
+            group_fp ^= OVERLAP_OFF_SALT;
+        }
+        let key = WorkloadKey {
+            workload: PimWorkload::from_node(self.graph, group.heavy[0]),
+            backend,
+            channels: self.pim_channels_eff as u32,
+            mask_bits: self.mask_bits,
+            granularity: self.cfg.granularity,
+            pim_fingerprint: match backend {
+                BackendKind::Newton => self.pim_fingerprint,
+                BackendKind::Crossbar => self.xbar_fingerprint,
+            },
+            fused: FusedRole::Head,
+            interior,
+            group_fp,
+        };
+        self.shard.count_lookup();
+        if let Some(t) = self.shard.get(&key) {
+            return t;
+        }
+        if let Some(t) = self.base.get(&key) {
+            return t;
+        }
+        let last = group.heavy.len() - 1;
+        let mut back_to_back = 0.0f64;
+        for (k, &id) in group.heavy.iter().enumerate() {
             let role = if k == 0 {
                 FusedRole::Head
             } else if k == last {
@@ -953,41 +1072,79 @@ impl<'g> Profiler<'g> {
             } else {
                 FusedRole::Middle
             };
-            total += match backend {
-                BackendKind::Newton => self.pim_time_role(id, 1.0, role),
-                BackendKind::Crossbar => self.crossbar_time_role(id, 1.0, role),
+            back_to_back += match backend {
+                BackendKind::Newton => self.pim_time_role(id, frac, role),
+                BackendKind::Crossbar => self.crossbar_time_role(id, frac, role),
             };
         }
-        total
+        let t = if !self.overlap_epochs {
+            back_to_back
+        } else {
+            let members = self.fused_members(group, frac);
+            let overlapped = match backend {
+                // Overlap is not structurally never-worse on Newton — a
+                // continuous run can cross refresh windows that per-epoch
+                // engine resets would dodge — so both compositions are
+                // priced and the min taken, keeping the candidate space a
+                // strict superset of the unlinked one.
+                BackendKind::Newton => execute_group_overlapped_us(
+                    &members,
+                    &self.cfg.pim,
+                    self.pim_channels_eff,
+                    self.cfg.granularity,
+                ),
+                BackendKind::Crossbar => {
+                    let xbar = self.xbar.expect("crossbar chain without a crossbar model");
+                    let shapes: Vec<(pimflow_isa::crossbar::MatmulShape, FusedRole)> = members
+                        .iter()
+                        .map(|(w, r)| {
+                            (
+                                pimflow_isa::crossbar::MatmulShape {
+                                    rows: w.rows,
+                                    k_elems: w.k_elems,
+                                    out_channels: w.out_channels,
+                                },
+                                *r,
+                            )
+                        })
+                        .collect();
+                    pimflow_isa::crossbar::estimate_chain_us_overlapped(
+                        &shapes,
+                        self.pim_channels_eff,
+                        &xbar,
+                    )
+                }
+            };
+            back_to_back.min(overlapped)
+        };
+        self.shard.insert(key, t);
+        t
     }
 
-    /// Cost of running `group` as one fused region, with the backend that
-    /// achieves it: member times under their fused roles, the tail's
-    /// result-return transfer, and the tail's epilogue de-fusion penalty
-    /// (the group's own riders are free — that is the point). When `pin`
-    /// is set the recorded backend is re-priced instead of re-searched
-    /// (the repair path).
-    fn fused_group_cost_pinned(
+    /// PIM-side time of `frac` of a fused group's chain: the pinned
+    /// backend's time, or — unpinned — the cheapest over the configured
+    /// backend set with the model that achieved it.
+    fn fused_chain_pick(
         &mut self,
         group: &FusionGroup,
+        frac: f64,
+        interior: u32,
         pin: Option<BackendKind>,
     ) -> (f64, BackendKind) {
-        let tail = *group.heavy.last().expect("fusion group has heavy members");
-        let overhead = self.transfer_out(tail, 1.0) + self.defusion_penalty(tail, 1.0);
-        let (time, backend) = match pin {
-            Some(b) => (self.fused_chain_time(&group.heavy, b), b),
+        match pin {
+            Some(b) => (self.fused_chain_time(group, b, frac, interior), b),
             None => match (self.newton_allowed, self.xbar.is_some()) {
                 (true, false) => (
-                    self.fused_chain_time(&group.heavy, BackendKind::Newton),
+                    self.fused_chain_time(group, BackendKind::Newton, frac, interior),
                     BackendKind::Newton,
                 ),
                 (false, _) => (
-                    self.fused_chain_time(&group.heavy, BackendKind::Crossbar),
+                    self.fused_chain_time(group, BackendKind::Crossbar, frac, interior),
                     BackendKind::Crossbar,
                 ),
                 (true, true) => {
-                    let n = self.fused_chain_time(&group.heavy, BackendKind::Newton);
-                    let x = self.fused_chain_time(&group.heavy, BackendKind::Crossbar);
+                    let n = self.fused_chain_time(group, BackendKind::Newton, frac, interior);
+                    let x = self.fused_chain_time(group, BackendKind::Crossbar, frac, interior);
                     if x < n {
                         (x, BackendKind::Crossbar)
                     } else {
@@ -995,8 +1152,61 @@ impl<'g> Profiler<'g> {
                     }
                 }
             },
-        };
-        (time + overhead, backend)
+        }
+    }
+
+    /// Cost of running `group` as one fused region at interior ratio
+    /// `gpu_percent`, with the backend that achieves it. At `0` (full
+    /// offload, the classic lowering): chain time plus the last member's
+    /// result-return transfer and epilogue de-fusion penalty — the last
+    /// *node*, not the last heavy layer, because a trailing residual
+    /// rider's output is what actually leaves the region. At an interior
+    /// ratio the whole region is H-split once: a GPU copy of every heavy
+    /// member over `gpu_percent`% of the rows runs alongside the fused
+    /// PIM chain over the rest, and the region completes when both
+    /// branches do. When `pin` is set the recorded backend is re-priced
+    /// instead of re-searched (the repair path).
+    fn fused_group_cost_at(
+        &mut self,
+        group: &FusionGroup,
+        gpu_percent: u32,
+        pin: Option<BackendKind>,
+    ) -> (f64, BackendKind) {
+        let last = *group.nodes.last().expect("fusion group has members");
+        if gpu_percent == 0 {
+            let (time, backend) = self.fused_chain_pick(group, 1.0, 0, pin);
+            (
+                time + self.transfer_out(last, 1.0) + self.defusion_penalty(last, 1.0),
+                backend,
+            )
+        } else {
+            let f = gpu_percent as f64 / 100.0;
+            // The GPU copy serializes its members on the GPU stream; the
+            // riders fuse into their producers' epilogues for free.
+            let gpu: f64 = group.heavy.iter().map(|&id| self.gpu_time(id, f)).sum();
+            let (chain, backend) = self.fused_chain_pick(group, 1.0 - f, gpu_percent, pin);
+            let pim = chain + self.transfer_out(last, 1.0 - f);
+            (gpu.max(pim) + self.defusion_penalty(last, 1.0 - f), backend)
+        }
+    }
+
+    /// [`Profiler::fused_group_cost_at`] minimized over `ratios` (which
+    /// must include `0`): the best interior split, its cost, backend, and
+    /// ratio. Strict `<` keeps ties on the earliest ratio, so widening
+    /// the grid can reorder nothing — determinism across pool widths.
+    fn fused_group_cost_searched(
+        &mut self,
+        group: &FusionGroup,
+        ratios: &[u32],
+    ) -> (f64, BackendKind, u32) {
+        let mut best: Option<(f64, BackendKind, u32)> = None;
+        for &r in ratios {
+            let (t, b) = self.fused_group_cost_at(group, r, None);
+            if best.is_none_or(|(bt, _, _)| t < bt) {
+                best = Some((t, b, r));
+            }
+        }
+        best.expect("ratio list is never empty")
     }
 }
 
@@ -1045,6 +1255,26 @@ pub fn estimate_node_best_us(
     } else {
         p.gpu_time(id, 1.0)
     }
+}
+
+/// Public cost-model access for harnesses: estimated time of `group` run
+/// as one fused region, minimized over the interior MD-DP ratios `opts`
+/// admits (always including full offload), with the winning
+/// `(time, backend, gpu_percent)`. Mirrors the search's group phase.
+pub fn estimate_group_fused_us(
+    graph: &Graph,
+    cfg: &EngineConfig,
+    group: &FusionGroup,
+    opts: &SearchOptions,
+) -> (f64, BackendKind, u32) {
+    let mut p = Profiler::new(graph, cfg).overlap(opts.overlap_epochs);
+    let step = (opts.ratio_step.max(25) as usize).min(100);
+    let ratios: Vec<u32> = if opts.offload_only || interior_split_height(graph, group).is_none() {
+        vec![0]
+    } else {
+        (0..100u32).step_by(step).collect()
+    };
+    p.fused_group_cost_searched(group, &ratios)
 }
 
 /// Baseline (GPU-resident) cost of a node inside the model timeline:
@@ -1377,18 +1607,33 @@ fn run_search(
         }
     }
     let base = cache.snapshot();
+    // Interior MD-DP grid for splittable groups: coarser than the
+    // per-node grid (the region is priced as a whole, fine steps move
+    // little), never finer than 25%. `0` — the classic full offload — is
+    // always first, so adding interior ratios only widens the candidate
+    // set: the searched minimum can never be worse than before.
+    let interior_step = (opts.ratio_step.max(25) as usize).min(100);
     let (group_costs, group_shards) = pool.map_with(
         &group_list,
-        || Profiler::with_base(graph, cfg, base.clone()),
-        |profiler, _, (_, group)| profiler.fused_group_cost_pinned(group, None),
+        || Profiler::with_base(graph, cfg, base.clone()).overlap(opts.overlap_epochs),
+        |profiler, _, (_, group)| {
+            let ratios: Vec<u32> =
+                if opts.offload_only || interior_split_height(graph, group).is_none() {
+                    vec![0]
+                } else {
+                    (0..100u32).step_by(interior_step).collect()
+                };
+            profiler.fused_group_cost_searched(group, &ratios)
+        },
     );
     cache.merge(group_shards.into_iter().map(Profiler::into_shard));
-    let mut fused_options: HashMap<usize, Vec<(FusionGroup, f64, BackendKind)>> = HashMap::new();
-    for ((start, group), (cost, backend)) in group_list.into_iter().zip(group_costs) {
+    let mut fused_options: HashMap<usize, Vec<(FusionGroup, f64, BackendKind, u32)>> =
+        HashMap::new();
+    for ((start, group), (cost, backend, ratio)) in group_list.into_iter().zip(group_costs) {
         fused_options
             .entry(start)
             .or_default()
-            .push((group, cost, backend));
+            .push((group, cost, backend, ratio));
     }
 
     // DP combine: lines 23-28 (suffix form over the topo order). The
@@ -1416,7 +1661,7 @@ fn run_search(
             }
         }
         if let Some(groups) = fused_options.get(&i) {
-            for (k, (group, cost, _)) in groups.iter().enumerate() {
+            for (k, (group, cost, _, _)) in groups.iter().enumerate() {
                 let len = group.nodes.len();
                 let total = cost + t[i + len];
                 if total < best {
@@ -1464,7 +1709,7 @@ fn run_search(
             ));
             i += chain.nodes.len();
         } else if let Some(DpChoice::Fused(k)) = choice[i] {
-            let (group, cost, backend) = &fused_options[&i][k];
+            let (group, cost, backend, ratio) = &fused_options[&i][k];
             let rider_cost: f64 = group
                 .nodes
                 .iter()
@@ -1484,6 +1729,7 @@ fn run_search(
                         .map(|&nid| graph.node(nid).name.clone())
                         .collect(),
                     backend: *backend,
+                    gpu_percent: *ratio,
                 },
             ));
             i += group.nodes.len();
@@ -1532,7 +1778,11 @@ pub fn apply_plan(graph: &Graph, plan: &ExecutionPlan) -> Result<Graph> {
                 })?;
                 crate::passes::split_node(&mut out, id, *gpu_percent)?;
             }
-            Decision::Fused { node_names, .. } => {
+            Decision::Fused {
+                node_names,
+                gpu_percent,
+                ..
+            } => {
                 let ids = node_names
                     .iter()
                     .map(|n| {
@@ -1549,7 +1799,16 @@ pub fn apply_plan(graph: &Graph, plan: &ExecutionPlan) -> Result<Graph> {
                     .filter(|&id| crate::passes::fusion::is_fusion_heavy(&out, id))
                     .collect();
                 let group = FusionGroup { nodes: ids, heavy };
-                crate::passes::fuse_group(&mut out, &group, fused_gid)?;
+                if *gpu_percent == 0 {
+                    crate::passes::fuse_group(&mut out, &group, fused_gid)?;
+                } else {
+                    crate::passes::fusion::fuse_group_interior(
+                        &mut out,
+                        &group,
+                        fused_gid,
+                        *gpu_percent,
+                    )?;
+                }
                 fused_gid += 1;
             }
             Decision::Pipeline { node_names, stages } => {

@@ -192,7 +192,12 @@ impl CrossbarInterpreter {
             // ADC-readout latency or any bus contention.
             PimInst::BankFeed { bytes, .. } => bytes as f64 / c.drain_bytes_per_ns.max(1e-9),
             PimInst::HostBurst { bytes } => bytes as f64 / c.drain_bytes_per_ns.max(1e-9),
-            PimInst::Barrier => 0.0,
+            // Barriers are structure, not work: the hard barrier splits
+            // epochs before costs are summed, and the overlap barrier is a
+            // free member separator inside one epoch (per-instruction
+            // costs are linear, so overlap-linked members sum per channel
+            // and overlap only across channel imbalance — the max).
+            PimInst::Barrier | PimInst::OverlapBarrier => 0.0,
         }
     }
 
@@ -247,6 +252,36 @@ pub fn estimate_shape_us_fused(
 ) -> f64 {
     let program = role.rewrite_program(&lower_shape(shape, channels, cfg));
     CrossbarInterpreter::new(*cfg).interpret_us(&program)
+}
+
+/// Overlap-linked fused-chain estimate: each member is lowered under its
+/// [`FusedRole`], the members are concatenated with
+/// [`IsaProgram::append_overlapped`] (relaxed separators, no rendezvous),
+/// and the single resulting epoch is interpreted. Per-instruction costs
+/// are linear, so a channel's time is the sum of its member streams and
+/// the chain time is the max over channels — max-of-sums, against the
+/// back-to-back composition's sum-of-maxes. The overlapped estimate is
+/// therefore structurally never above the sum of the per-member
+/// [`estimate_shape_us_fused`] costs: cross-channel imbalance hides under
+/// other members' work instead of being paid once per member.
+pub fn estimate_chain_us_overlapped(
+    members: &[(MatmulShape, FusedRole)],
+    channels: usize,
+    cfg: &CrossbarConfig,
+) -> f64 {
+    let channels = channels.max(1);
+    let mut linked: Option<IsaProgram> = None;
+    for (shape, role) in members {
+        let p = role.rewrite_program(&lower_shape(shape, channels, cfg));
+        match &mut linked {
+            Some(chain) => chain.append_overlapped(&p),
+            None => linked = Some(p),
+        }
+    }
+    match linked {
+        Some(chain) => CrossbarInterpreter::new(*cfg).interpret_us(&chain),
+        None => 0.0,
+    }
 }
 
 #[cfg(test)]
@@ -342,6 +377,45 @@ mod tests {
         b.adc_ns = 50.0;
         assert_ne!(a.fingerprint(), b.fingerprint());
         assert_eq!(a.fingerprint(), cfg().fingerprint());
+    }
+
+    #[test]
+    fn overlapped_chain_never_exceeds_member_sum() {
+        // Deliberately imbalanced members: out_channels not divisible by
+        // the channel count, so per-member channel loads differ and the
+        // overlap has imbalance to hide.
+        let c = cfg();
+        let members = [
+            (
+                MatmulShape {
+                    rows: 196,
+                    k_elems: 96,
+                    out_channels: 17,
+                },
+                FusedRole::Head,
+            ),
+            (
+                MatmulShape {
+                    rows: 196,
+                    k_elems: 17,
+                    out_channels: 530,
+                },
+                FusedRole::Tail,
+            ),
+        ];
+        for channels in [1, 4, 16] {
+            let sum: f64 = members
+                .iter()
+                .map(|(s, r)| estimate_shape_us_fused(s, channels, &c, *r))
+                .sum();
+            let overlapped = estimate_chain_us_overlapped(&members, channels, &c);
+            assert!(
+                overlapped <= sum + 1e-9,
+                "{channels}ch: overlapped {overlapped} > sum {sum}"
+            );
+            assert!(overlapped > 0.0);
+        }
+        assert_eq!(estimate_chain_us_overlapped(&[], 4, &c), 0.0);
     }
 
     #[test]

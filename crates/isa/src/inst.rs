@@ -64,6 +64,16 @@ pub enum PimInst {
     /// Inter-op barrier: instructions after it start only once every
     /// channel has finished the instructions before it.
     Barrier,
+    /// Relaxed member separator inside one fused region: a marker between
+    /// consecutive group members' instruction streams that imposes **no
+    /// cross-channel rendezvous and no engine-state reset**. Each channel
+    /// flows straight from the producer's tail into the consumer's
+    /// staging, so a consumer's `RowActivate`/`BankFeed` epoch overlaps
+    /// the producer's MAC/drain tail on other channels — the fused-epoch
+    /// overlap the group pricing exploits. Backends treat it as free
+    /// (barriers are structure, not work); only [`PimInst::Barrier`]
+    /// splits epochs.
+    OverlapBarrier,
 }
 
 /// Where a layer sits inside a fusion group — the discriminant that
@@ -254,6 +264,56 @@ impl IsaProgram {
         }
     }
 
+    /// Links `other` after this program with a relaxed
+    /// [`PimInst::OverlapBarrier`] on every channel — the intra-group
+    /// composition: each channel runs straight from this program's tail
+    /// into `other`'s head with no rendezvous and no state reset, so the
+    /// two members' epochs overlap wherever the channels are imbalanced.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the channel counts differ.
+    pub fn append_overlapped(&mut self, other: &IsaProgram) {
+        assert_eq!(
+            self.num_channels(),
+            other.num_channels(),
+            "cannot link programs over different channel counts"
+        );
+        for (ch, stream) in self.channels.iter_mut().zip(other.channels.iter()) {
+            ch.push(PimInst::OverlapBarrier);
+            ch.extend_from_slice(stream);
+        }
+    }
+
+    /// Shifts every [`PimInst::RowActivate`] row index by `delta`
+    /// (saturating). Overlap-linked group members share one continuous
+    /// engine run, so without distinct row ranges a consumer's activations
+    /// would spuriously hit the producer's open row; offsetting each
+    /// member past its predecessor's rows keeps the row-buffer behaviour
+    /// physical.
+    pub fn offset_rows(&mut self, delta: u32) {
+        for ch in &mut self.channels {
+            for inst in ch.iter_mut() {
+                if let PimInst::RowActivate { row } = inst {
+                    *row = row.saturating_add(delta);
+                }
+            }
+        }
+    }
+
+    /// The largest [`PimInst::RowActivate`] row index in the program, if
+    /// any rows are activated at all.
+    pub fn max_row(&self) -> Option<u32> {
+        self.channels
+            .iter()
+            .flatten()
+            .filter_map(|i| match i {
+                PimInst::RowActivate { row } => Some(*row),
+                _ => None,
+            })
+            .max()
+    }
+
     /// Splits each channel's stream at its barriers: element `e` of the
     /// result holds, per channel, the instruction slice of epoch `e`
     /// (barriers themselves excluded). A barrier-free program is a single
@@ -334,6 +394,53 @@ mod tests {
         assert!(epochs[0][1].is_empty());
         assert!(epochs[1][0].is_empty());
         assert_eq!(epochs[1][1], &[PimInst::Drain { bytes: 8 }][..]);
+    }
+
+    #[test]
+    fn overlap_links_stay_in_one_epoch() {
+        let mut a = IsaProgram::from_channels(vec![vec![PimInst::RowActivate { row: 0 }]]);
+        let b = IsaProgram::from_channels(vec![vec![PimInst::Drain { bytes: 8 }]]);
+        a.append_overlapped(&b);
+        assert_eq!(
+            a.channels()[0],
+            vec![
+                PimInst::RowActivate { row: 0 },
+                PimInst::OverlapBarrier,
+                PimInst::Drain { bytes: 8 },
+            ]
+        );
+        // Only hard barriers split epochs: the overlap-linked program is
+        // still a single epoch, which is what lets the channels flow
+        // through member boundaries.
+        let epochs = a.epochs().unwrap();
+        assert_eq!(epochs.len(), 1);
+    }
+
+    #[test]
+    fn offset_rows_shifts_activations_only() {
+        let mut p = IsaProgram::from_channels(vec![vec![
+            PimInst::RowActivate { row: 3 },
+            PimInst::MacBurst {
+                buffer: 0,
+                repeat: 2,
+            },
+            PimInst::RowActivate { row: 7 },
+        ]]);
+        assert_eq!(p.max_row(), Some(7));
+        p.offset_rows(10);
+        assert_eq!(
+            p.channels()[0],
+            vec![
+                PimInst::RowActivate { row: 13 },
+                PimInst::MacBurst {
+                    buffer: 0,
+                    repeat: 2,
+                },
+                PimInst::RowActivate { row: 17 },
+            ]
+        );
+        assert_eq!(p.max_row(), Some(17));
+        assert_eq!(IsaProgram::new(1).max_row(), None);
     }
 
     #[test]

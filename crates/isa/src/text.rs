@@ -12,6 +12,7 @@
 //! DRAIN bytes=64
 //! HOSTBURST bytes=512
 //! BARRIER
+//! OBARRIER
 //! ```
 //!
 //! [`parse_program`] inverts [`program_to_text`] exactly; the golden test
@@ -53,6 +54,7 @@ pub fn inst_to_line(inst: &PimInst) -> String {
         PimInst::BankFeed { buffer, bytes } => format!("BANKFEED buf={buffer} bytes={bytes}"),
         PimInst::HostBurst { bytes } => format!("HOSTBURST bytes={bytes}"),
         PimInst::Barrier => "BARRIER".into(),
+        PimInst::OverlapBarrier => "OBARRIER".into(),
     }
 }
 
@@ -152,6 +154,7 @@ pub fn parse_program(text: &str) -> Result<IsaProgram, ParseProgramError> {
                 }
             }
             "BARRIER" => PimInst::Barrier,
+            "OBARRIER" => PimInst::OverlapBarrier,
             other => {
                 return Err(ParseProgramError {
                     line: line_no,
@@ -187,6 +190,7 @@ mod tests {
                     repeat: 16,
                 },
                 PimInst::Barrier,
+                PimInst::OverlapBarrier,
                 PimInst::Drain { bytes: 64 },
             ],
             vec![PimInst::HostBurst { bytes: 512 }, PimInst::Barrier],

@@ -82,6 +82,18 @@ pub enum IsaViolation {
         /// Barriers on channel 0.
         want: usize,
     },
+    /// Channels disagree on overlap-barrier counts: the relaxed member
+    /// separators of a fused region must mark the same member boundaries
+    /// on every channel, or the per-member accounting is meaningless.
+    UnbalancedOverlapBarriers {
+        /// First channel whose overlap-barrier count differs from
+        /// channel 0's.
+        channel: usize,
+        /// Overlap barriers on that channel.
+        have: usize,
+        /// Overlap barriers on channel 0.
+        want: usize,
+    },
 }
 
 impl fmt::Display for IsaViolation {
@@ -131,6 +143,14 @@ impl fmt::Display for IsaViolation {
                 f,
                 "channel {channel} has {have} barriers, channel 0 has {want}"
             ),
+            IsaViolation::UnbalancedOverlapBarriers {
+                channel,
+                have,
+                want,
+            } => write!(
+                f,
+                "channel {channel} has {have} overlap barriers, channel 0 has {want}"
+            ),
         }
     }
 }
@@ -155,16 +175,39 @@ impl From<ProgramError> for IsaViolation {
 
 /// Validates a program against `spec`: buffers in range and staged before
 /// read, a row activated before MAC bursts, results computed before
-/// drains, payloads within capacity, and barriers balanced across
-/// channels. Barriers synchronize but do not reset channel state — a row
-/// activated before a barrier stays activated after it.
+/// drains, payloads within capacity, and barriers — hard and overlap —
+/// balanced across channels. Barriers synchronize but do not reset
+/// channel state — a row activated before a barrier stays activated after
+/// it — and overlap barriers neither synchronize nor reset: a fused
+/// consumer's staging may legally precede its producer's drain on another
+/// channel, which is exactly the overlap they exist to express.
 ///
 /// # Errors
 ///
 /// Returns the first [`IsaViolation`] found (barrier balance first, then
-/// channels in order).
+/// overlap-barrier balance, then channels in order).
 pub fn validate_program(program: &IsaProgram, spec: &MachineSpec) -> Result<(), IsaViolation> {
     program.epochs().map_err(IsaViolation::from)?;
+    let overlap_count = |ch: &[PimInst]| {
+        ch.iter()
+            .filter(|i| matches!(i, PimInst::OverlapBarrier))
+            .count()
+    };
+    let want = program
+        .channels()
+        .first()
+        .map(|c| overlap_count(c))
+        .unwrap_or(0);
+    for (channel, ch) in program.channels().iter().enumerate() {
+        let have = overlap_count(ch);
+        if have != want {
+            return Err(IsaViolation::UnbalancedOverlapBarriers {
+                channel,
+                have,
+                want,
+            });
+        }
+    }
     let buffers = spec.num_buffers.max(1);
     for (channel, stream) in program.channels().iter().enumerate() {
         let mut staged = vec![false; buffers];
@@ -230,7 +273,7 @@ pub fn validate_program(program: &IsaProgram, spec: &MachineSpec) -> Result<(), 
                     }
                     results_pending = false;
                 }
-                PimInst::HostBurst { .. } | PimInst::Barrier => {}
+                PimInst::HostBurst { .. } | PimInst::Barrier | PimInst::OverlapBarrier => {}
             }
         }
     }
@@ -319,5 +362,49 @@ mod tests {
             validate_program(&unbalanced, &spec()),
             Err(IsaViolation::UnbalancedBarriers { channel: 1, .. })
         ));
+
+        let overlap_unbalanced =
+            IsaProgram::from_channels(vec![vec![PimInst::OverlapBarrier], vec![]]);
+        assert!(matches!(
+            validate_program(&overlap_unbalanced, &spec()),
+            Err(IsaViolation::UnbalancedOverlapBarriers { channel: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn overlap_linked_members_validate_with_carried_state() {
+        // Head member stages/activates/computes and hands off near the
+        // banks; the overlap-linked tail member's staging arrives via
+        // BANKFEED and its MACBURST reuses the carried channel state —
+        // legal precisely because OverlapBarrier resets nothing.
+        let mut head = IsaProgram::from_channels(vec![vec![
+            PimInst::BufWrite {
+                buffer: 0,
+                bytes: 128,
+            },
+            PimInst::RowActivate { row: 0 },
+            PimInst::MacBurst {
+                buffer: 0,
+                repeat: 8,
+            },
+            PimInst::BankFeed {
+                buffer: 0,
+                bytes: 64,
+            },
+        ]]);
+        let tail = IsaProgram::from_channels(vec![vec![
+            PimInst::BankFeed {
+                buffer: 1,
+                bytes: 0,
+            },
+            PimInst::RowActivate { row: 1 },
+            PimInst::MacBurst {
+                buffer: 1,
+                repeat: 4,
+            },
+            PimInst::Drain { bytes: 32 },
+        ]]);
+        head.append_overlapped(&tail);
+        validate_program(&head, &spec()).unwrap();
     }
 }

@@ -79,7 +79,14 @@ impl<'a> NewtonInterpreter<'a> {
             PimInst::Drain { bytes } => Some(PimCommand::ReadRes { bytes }),
             PimInst::BankFeed { buffer, bytes } => Some(PimCommand::BankFeed { buffer, bytes }),
             PimInst::HostBurst { bytes } => Some(PimCommand::GpuBurst { bytes }),
-            PimInst::Barrier => None,
+            // Barriers carry no command. The hard barrier partitions
+            // execution into epochs before lowering; the overlap barrier
+            // deliberately vanishes *without* an epoch split, so
+            // overlap-linked member streams run through one continuous
+            // channel engine — carried row/refresh/pacing state and
+            // cross-channel imbalance hiding are exactly the overlap
+            // semantics.
+            PimInst::Barrier | PimInst::OverlapBarrier => None,
         }
     }
 
@@ -234,6 +241,70 @@ mod tests {
             .iter()
             .fold(ChannelStats::default(), |acc, (_, s)| acc.merge_parallel(s));
         assert_eq!(folded.comps, 2 * single.comps);
+    }
+
+    #[test]
+    fn overlap_conserves_work_in_one_epoch() {
+        // Linking with OverlapBarrier keeps everything in one epoch and
+        // conserves the command stream: same COMPs/MACs as a hard barrier
+        // link, never cheaper than one copy alone. (Cycles vs the hard
+        // link are *not* ordered structurally — a continuous run can cross
+        // refresh boundaries the per-epoch engine reset would have
+        // avoided — which is why the compiler prices a fused region as the
+        // min of both compositions.)
+        let cfg = PimConfig::default();
+        let traces = sample_traces();
+        let single = NewtonInterpreter::new(&cfg).run(&lift_traces(&traces), RunOptions::new());
+        let mut hard = lift_traces(&traces);
+        hard.append(&lift_traces(&traces));
+        let mut soft = lift_traces(&traces);
+        soft.append_overlapped(&lift_traces(&traces));
+        assert_eq!(soft.epochs().unwrap().len(), 1, "overlap keeps one epoch");
+        let interp = NewtonInterpreter::new(&cfg);
+        let hard_stats = interp.run(&hard, RunOptions::new());
+        let soft_stats = interp.run(&soft, RunOptions::new());
+        assert!(soft_stats.cycles >= single.cycles);
+        assert_eq!(soft_stats.comps, hard_stats.comps);
+        assert_eq!(soft_stats.macs, hard_stats.macs);
+    }
+
+    #[test]
+    fn overlap_hides_cross_channel_imbalance() {
+        // Member A loads channel 0 heavily and channel 1 lightly; member B
+        // is the mirror image. A hard barrier pays max(heavy, light) twice
+        // (≈ 2·heavy); the overlap link lets each channel flow straight
+        // into its next member, so the total approaches heavy + light.
+        // Workloads are sized well under the refresh interval so the
+        // continuous run pays no refresh the epoch-reset path would skip.
+        let cfg = PimConfig::default();
+        let member = |heavy_ch: usize| {
+            let mut p = IsaProgram::new(2);
+            for ch in 0..2 {
+                let repeat = if ch == heavy_ch { 400 } else { 20 };
+                p.push(
+                    ch,
+                    PimInst::BufWrite {
+                        buffer: 0,
+                        bytes: 64,
+                    },
+                );
+                p.push(ch, PimInst::RowActivate { row: 0 });
+                p.push(ch, PimInst::MacBurst { buffer: 0, repeat });
+                p.push(ch, PimInst::Drain { bytes: 32 });
+            }
+            p
+        };
+        let interp = NewtonInterpreter::new(&cfg);
+        let mut hard = member(0);
+        hard.append(&member(1));
+        let mut soft = member(0);
+        soft.append_overlapped(&member(1));
+        let hard_cycles = interp.run(&hard, RunOptions::new()).cycles;
+        let soft_cycles = interp.run(&soft, RunOptions::new()).cycles;
+        assert!(
+            soft_cycles < hard_cycles,
+            "overlap must hide the imbalance: soft {soft_cycles} vs hard {hard_cycles}"
+        );
     }
 
     #[test]

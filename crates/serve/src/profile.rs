@@ -11,7 +11,7 @@
 use crate::sim::ServeError;
 use pimflow::batch::with_batch;
 use pimflow::costcache::CostCache;
-use pimflow::engine::{execute, ChannelMask, EngineConfig, ExecutionReport};
+use pimflow::engine::{execute, ChannelMask, EngineConfig, ExecutionReport, FusedGroupStat};
 use pimflow::search::{apply_plan, ExecutionPlan, Search, SearchOptions};
 use std::fmt;
 
@@ -34,6 +34,11 @@ pub struct BatchProfile {
     /// the banks, so fused plans shrink this without touching latency
     /// accounting elsewhere.
     pub host_pim_traffic_bytes: u64,
+    /// Fused groups the executed graph carried (group id, member count,
+    /// overlap-hidden µs per batch), straight from
+    /// [`ExecutionReport::fused_groups`] — the serving-level view of
+    /// *which* groups the search flipped.
+    pub fused_groups: Vec<FusedGroupStat>,
     /// The searched execution plan (`None` for policies without a search),
     /// kept so faults can repair it instead of re-searching.
     pub plan: Option<ExecutionPlan>,
@@ -48,6 +53,7 @@ impl BatchProfile {
             energy_uj: report.energy_uj,
             pim_channel_busy_us: report.pim_channel_busy_us,
             host_pim_traffic_bytes: report.transfer_bytes + report.host_to_pim_bytes,
+            fused_groups: report.fused_groups,
             plan,
         }
     }
@@ -60,8 +66,15 @@ impl BatchProfile {
             energy_uj: 0.0,
             pim_channel_busy_us: Vec::new(),
             host_pim_traffic_bytes: 0,
+            fused_groups: Vec::new(),
             plan: None,
         }
+    }
+
+    /// Overlap-hidden time of one batch execution, µs, summed over the
+    /// fused groups.
+    pub fn overlap_hidden_us(&self) -> f64 {
+        self.fused_groups.iter().map(|g| g.overlap_hidden_us).sum()
     }
 
     /// Whether this batch keeps failed channel `ch` busy — i.e. whether a

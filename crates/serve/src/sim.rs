@@ -209,6 +209,17 @@ pub struct ServeReport {
     /// banks, so this is the serving-level view of the traffic the fused
     /// search removes.
     pub host_pim_traffic_bytes: u64,
+    /// Fused-group count of the last profile flown (a gauge of the plan in
+    /// effect at run end; 0 for policies whose search never flips a group).
+    pub fused_groups: usize,
+    /// Per-group member counts of that same last-flown profile, in group
+    /// order — shows *which* groups the search flipped and how deep.
+    pub fused_group_members: Vec<usize>,
+    /// Total PIM-pipeline time hidden by overlapped fusion epochs across
+    /// every flown batch (including aborted attempts), microseconds.
+    /// Accumulated like `energy_uj`, so it is the serving-level view of
+    /// the gap the overlap-aware epoch semantics closed.
+    pub overlap_hidden_us: f64,
     /// Median latency of requests completing before the first failure
     /// (equals `p50_us` when the run has no faults).
     pub p50_before_us: f64,
@@ -254,6 +265,9 @@ json_struct!(ServeReport {
     pim_channel_utilization,
     energy_uj,
     host_pim_traffic_bytes,
+    fused_groups,
+    fused_group_members,
+    overlap_hidden_us,
     p50_before_us,
     p99_before_us,
     p50_during_us,
@@ -387,6 +401,8 @@ pub fn run(cfg: &ServeConfig) -> Result<ServeRun, ServeError> {
     let mut pim_busy_us = vec![0.0f64; engine_cfg.pim_channels];
     let mut energy_uj = 0.0f64;
     let mut host_pim_traffic_bytes = 0u64;
+    let mut overlap_hidden_us = 0.0f64;
+    let mut fused_group_members: Vec<usize> = Vec::new();
     let mut completed_gpu_only = 0u64;
     // One cost cache for the whole run: precompile, lazy compiles, retry
     // compiles, repairs, and replan measurements all share PIM timings.
@@ -531,6 +547,7 @@ pub fn run(cfg: &ServeConfig) -> Result<ServeRun, ServeError> {
         let mut finish_us = start_us + exec_us;
         energy_uj += profile.energy_uj;
         host_pim_traffic_bytes += profile.host_pim_traffic_bytes;
+        overlap_hidden_us += profile.overlap_hidden_us();
         while let Some(e) = cfg.faults.events.get(fault_idx) {
             if e.at_us >= finish_us {
                 break;
@@ -582,7 +599,9 @@ pub fn run(cfg: &ServeConfig) -> Result<ServeRun, ServeError> {
             finish_us = start_us + exec_us;
             energy_uj += profile.energy_uj;
             host_pim_traffic_bytes += profile.host_pim_traffic_bytes;
+            overlap_hidden_us += profile.overlap_hidden_us();
         }
+        fused_group_members = profile.fused_groups.iter().map(|g| g.members).collect();
 
         for (acc, b) in pim_busy_us.iter_mut().zip(&profile.pim_channel_busy_us) {
             *acc += b;
@@ -640,6 +659,9 @@ pub fn run(cfg: &ServeConfig) -> Result<ServeRun, ServeError> {
         pim_channel_utilization,
         energy_uj,
         host_pim_traffic_bytes,
+        fused_groups: fused_group_members.len(),
+        fused_group_members,
+        overlap_hidden_us,
         p50_before_us: phase_hists[0].quantile(0.50),
         p99_before_us: phase_hists[0].quantile(0.99),
         p50_during_us: phase_hists[1].quantile(0.50),

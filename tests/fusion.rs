@@ -188,6 +188,107 @@ fn fused_predicted_time_is_never_worse_on_random_graphs() {
     );
 }
 
+/// A random-but-valid residual CNN: towers of stride-1 "same"-padded convs
+/// with element-wise riders, each closed by an `Add` rejoining an identity
+/// (or 1x1-projected) skip. This is the fan-out/rejoin shape the
+/// residual-aware group walker extends across and the halo-aware interior
+/// split must reproduce exactly at every GPU/PIM row ratio.
+fn random_residual_graph(seed: u64) -> Graph {
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(format!("fusion-residual-{seed}"));
+    let hw = 8 + 2 * rng.range_usize(0, 3);
+    let mut channels = 2 + rng.range_usize(0, 4);
+    let x = b.input(Shape::nhwc(1, hw, hw, channels));
+    let mut y = x;
+    for _ in 0..2 + rng.range_usize(0, 2) {
+        let skip = y;
+        let skip_channels = channels;
+        // Bottleneck body: 1x1 squeeze, random riders, 3x3 "same" conv.
+        let mid = 2 + rng.range_usize(0, 6);
+        y = b.conv_act(y, mid, 1, 1, 0, ActivationKind::Relu);
+        for _ in 0..rng.range_usize(0, 3) {
+            match rng.range_usize(0, 3) {
+                0 => y = b.relu(y),
+                1 => y = b.bn(y),
+                _ => y = b.conv(y, mid, 3, 1, 1),
+            }
+        }
+        // Half the towers keep identity skips (the walker's rejoin shape);
+        // the rest change channels and project the skip through a 1x1.
+        channels = if rng.range_usize(0, 2) == 0 {
+            skip_channels
+        } else {
+            2 + rng.range_usize(0, 6)
+        };
+        y = b.conv(y, channels, 3, 1, 1);
+        let skip = if channels == skip_channels {
+            skip
+        } else {
+            b.conv1x1(skip, channels)
+        };
+        y = b.add(y, skip);
+        if rng.range_usize(0, 2) == 0 {
+            y = b.relu(y);
+        }
+    }
+    let y = b.conv1x1(y, channels.max(2));
+    let y = b.gap(y);
+    let y = b.flatten(y);
+    let y = b.dense(y, 4);
+    b.finish(y)
+}
+
+/// Whether any fused group in the plan carries a residual rejoin (an `Add`
+/// member) — the walker actually crossed a skip fan-out, so the residual
+/// property tests are not running vacuously on linear groups.
+fn fuses_a_residual_add(plan: &ExecutionPlan) -> bool {
+    plan.decisions.iter().any(|(_, d)| match d {
+        Decision::Fused { node_names, .. } => node_names.iter().any(|n| n.starts_with("add")),
+        _ => false,
+    })
+}
+
+#[test]
+fn residual_fusion_is_width_invariant_and_equivalent() {
+    let cfg = EngineConfig::pimflow();
+    let mut residual_fused = false;
+    for case in 0..4u64 {
+        let g = random_residual_graph(0x2E51_0000 + case);
+        let plan = assert_fusion_preserves_semantics(&g, &cfg, 1e-4);
+        residual_fused |= fuses_a_residual_add(&plan);
+    }
+    assert!(
+        residual_fused,
+        "no seed fused a group across a residual Add — the property was tested vacuously"
+    );
+}
+
+#[test]
+fn residual_random_graphs_keep_the_strict_superset_invariant() {
+    // Overlap-aware epoch pricing and interior MD-DP ratios are both live
+    // under the default options, so this pins the full candidate space:
+    // still a strict superset of the unfused search, still no epsilon.
+    let cfg = EngineConfig::pimflow();
+    let mut fused_somewhere = false;
+    for case in 0..10u64 {
+        let g = random_residual_graph(0x2E51_1000 + case);
+        let fused = search_at(&g, &cfg, fused_opts(), 1);
+        let unfused = search_at(&g, &cfg, unfused_opts(), 1);
+        assert!(
+            fused.predicted_us <= unfused.predicted_us,
+            "{}: fused {} worse than unfused {}",
+            g.name,
+            fused.predicted_us,
+            unfused.predicted_us
+        );
+        fused_somewhere |= fused_group_count(&fused) > 0;
+    }
+    assert!(
+        fused_somewhere,
+        "no residual graph fused anything — the property was tested vacuously"
+    );
+}
+
 #[test]
 fn zoo_models_keep_the_superset_invariant() {
     let cfg = EngineConfig::pimflow();
@@ -264,17 +365,32 @@ fn fused_decision_json_tags_backend_only_when_not_newton() {
     let newton = Decision::Fused {
         node_names: vec!["a".into(), "b".into()],
         backend: BackendKind::Newton,
+        gpu_percent: 0,
     };
     let text = pimflow_json::to_string(&newton);
     assert!(
         !text.contains("backend"),
         "Newton fused decisions must stay tag-free for old readers: {text}"
     );
+    assert!(
+        !text.contains("gpu_percent"),
+        "full-offload fused decisions must stay ratio-free for old readers: {text}"
+    );
     let crossbar = Decision::Fused {
         node_names: vec!["a".into(), "b".into()],
         backend: BackendKind::Crossbar,
+        gpu_percent: 0,
     };
-    for d in [newton, crossbar] {
+    let interior = Decision::Fused {
+        node_names: vec!["a".into(), "b".into()],
+        backend: BackendKind::Newton,
+        gpu_percent: 25,
+    };
+    assert!(
+        pimflow_json::to_string(&interior).contains("\"gpu_percent\":25"),
+        "interior fused decisions must carry their ratio"
+    );
+    for d in [newton, crossbar, interior] {
         let round = Decision::from_json(&Json::parse(&pimflow_json::to_string(&d)).unwrap())
             .expect("fused decision round-trips");
         assert_eq!(round, d);
